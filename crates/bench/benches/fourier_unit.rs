@@ -1,0 +1,48 @@
+//! Criterion micro-bench for the §3.1.1 runtime claim: the optimized Fourier
+//! Unit (single forward FFT + C inverse FFTs) versus a baseline FNO layer
+//! stack (C forward + C inverse FFTs per layer), at equal channel count.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use doinn::models::FnoLayer;
+use doinn::FourierUnit;
+use litho_nn::{Graph, Module};
+use litho_tensor::init::seeded_rng;
+use litho_tensor::Tensor;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_fourier_units(c: &mut Criterion) {
+    let mut rng = seeded_rng(7);
+    let channels = 16;
+    let modes = 6;
+    let size = 64; // pooled-resolution working grid
+    let unit = FourierUnit::new(channels, modes, true, &mut rng);
+    let fno = FnoLayer::new(channels, modes, &mut rng);
+    let input1 = Tensor::zeros(&[1, 1, size, size]);
+    let inputc = Tensor::zeros(&[1, channels, size, size]);
+
+    let mut group = c.benchmark_group("fourier_unit");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("optimized_unit_forward", |b| {
+        b.iter(|| {
+            let mut g = Graph::new();
+            let x = g.input(black_box(input1.clone()));
+            let y = unit.forward(&mut g, x);
+            black_box(g.value(y).sum())
+        })
+    });
+    group.bench_function("baseline_fno_layer_forward", |b| {
+        b.iter(|| {
+            let mut g = Graph::new();
+            let x = g.input(black_box(inputc.clone()));
+            let y = fno.forward(&mut g, x);
+            black_box(g.value(y).sum())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fourier_units);
+criterion_main!(benches);

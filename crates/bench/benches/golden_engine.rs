@@ -1,0 +1,62 @@
+//! Criterion bench for the golden-simulator substrate: 2-D FFT scaling,
+//! SOCS aerial imaging per kernel count (the accuracy/speed ablation of
+//! eq. 2's `l` truncation), and the Abbe reference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use litho_fft::{Complex32, Fft2};
+use litho_optics::{AbbeSimulator, LithoModel, Pupil, SimGrid, SourceModel, TccModel};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_fft2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft2");
+    group.sample_size(30);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for size in [64usize, 128, 256] {
+        let plan = Fft2::new(size, size);
+        let data = vec![Complex32::new(0.3, -0.1); size * size];
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| {
+                let mut buf = data.clone();
+                plan.forward(&mut buf);
+                black_box(buf[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_socs_kernels(c: &mut Criterion) {
+    let grid = SimGrid::new(128, 8.0);
+    let pupil = Pupil::new(1.35, 193.0);
+    let source = SourceModel::annular_default();
+    let tcc = TccModel::new(grid, pupil, &source);
+    let mask: Vec<f32> = (0..128 * 128)
+        .map(|i| if (i / 128 + i % 128) % 17 < 6 { 1.0 } else { 0.0 })
+        .collect();
+    let mut group = c.benchmark_group("socs_aerial_image_128px");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for l in [2usize, 8, 16] {
+        let socs = tcc.kernels(l);
+        group.bench_with_input(BenchmarkId::from_parameter(l), &l, |b, _| {
+            b.iter(|| black_box(socs.aerial_image(black_box(&mask))[0]))
+        });
+    }
+    group.finish();
+
+    let abbe = AbbeSimulator::new(grid, pupil, &source);
+    let mut group = c.benchmark_group("abbe_reference_128px");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("aerial_image", |b| {
+        b.iter(|| black_box(abbe.aerial_image(black_box(&mask))[0]))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fft2, bench_socs_kernels);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench backing Figure 6: batch-1 inference latency of each model
+//! at the experiment tile size, on one core.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use litho_bench::{build_model, ModelKind};
+use litho_nn::Graph;
+use litho_tensor::Tensor;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_inference(c: &mut Criterion) {
+    let size = 128;
+    let input = Tensor::zeros(&[1, 1, size, size]);
+    let mut group = c.benchmark_group("inference_128px");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for kind in [ModelKind::Doinn, ModelKind::Unet, ModelKind::Damo, ModelKind::Fno] {
+        let built = build_model(kind, size, 7);
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let mut g = Graph::new();
+                let x = g.input(black_box(input.clone()));
+                let y = built.model.forward(&mut g, x);
+                black_box(g.value(y).sum())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

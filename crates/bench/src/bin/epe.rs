@@ -1,0 +1,72 @@
+//! Supplementary experiment — EPE-denominated accuracy.
+//!
+//! The paper scores contour quality in pixel terms (mPA/mIOU); OPC teams
+//! think in **edge placement error** nanometres. This binary re-scores the
+//! trained models' predicted contours against the golden prints as
+//! mean/max EPE and violation rates, the units a DFM flow would gate on.
+//!
+//! ```text
+//! cargo run -p litho-bench --release --bin epe
+//! ```
+
+use doinn::prediction_to_contour;
+use litho_bench::{load_dataset, print_table, train_or_load, ModelKind, Scale};
+use litho_data::{DatasetKind, Resolution};
+use litho_geometry::measure_epe;
+use litho_nn::Graph;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("# Supplementary: EPE-denominated accuracy (LITHO_SCALE={})", scale.tag());
+
+    let mut rows = Vec::new();
+    for kind in [DatasetKind::Ispd2019Like, DatasetKind::Iccad2013Like] {
+        let ds = load_dataset(kind, Resolution::Low, scale);
+        let px = ds.tile_pixels();
+        let pitch = ds.grid.pixel_nm();
+        // EPE spec: 10% of the minimum feature size is a common gate
+        let threshold_nm = 0.15 * kind.rules().via_size_nm as f32;
+        for model_kind in [ModelKind::Unet, ModelKind::Doinn] {
+            let built = train_or_load(model_kind, &ds, scale, 7);
+            let mut mean = 0.0f64;
+            let mut max = 0.0f32;
+            let mut viol = 0usize;
+            let mut total = 0usize;
+            for (mask, golden) in &ds.test {
+                let mut g = Graph::new();
+                let x = g.input(mask.reshape(&[1, 1, px, px]));
+                let y = built.model.forward(&mut g, x);
+                let pred = prediction_to_contour(g.value(y));
+                let stats =
+                    measure_epe(&pred, golden.as_slice(), px, pitch, 2, threshold_nm);
+                mean += (stats.mean_nm * stats.samples as f32) as f64;
+                max = max.max(stats.max_nm);
+                viol += stats.violations;
+                total += stats.samples;
+            }
+            let mean_nm = (mean / total.max(1) as f64) as f32;
+            eprintln!(
+                "{} / {}: mean EPE {:.2} nm, max {:.1} nm, violations {}/{}",
+                ds.name,
+                model_kind.name(),
+                mean_nm,
+                max,
+                viol,
+                total
+            );
+            rows.push(vec![
+                ds.name.clone(),
+                model_kind.name().to_string(),
+                format!("{mean_nm:.2}"),
+                format!("{max:.1}"),
+                format!("{:.1}%", 100.0 * viol as f32 / total.max(1) as f32),
+            ]);
+        }
+    }
+    print_table(
+        "EPE vs golden contours (lower is better)",
+        &["Benchmark", "Model", "Mean EPE (nm)", "Max EPE (nm)", "Violation rate"],
+        &rows,
+    );
+    println!("(Supplementary to the paper: same trained models as Table 2, scored in nm.)");
+}

@@ -1,0 +1,80 @@
+//! Figure 7 — feature-map visualisation of the GP and LP paths.
+//!
+//! Dumps the trained DOINN's Fourier-unit (GP) output channels and the LP
+//! skip features for one test tile as PGM images under
+//! `target/figures/fig7/`. GP channels should resemble aerial-intensity
+//! maps; LP channels should highlight shape edges.
+//!
+//! ```text
+//! cargo run -p litho-bench --release --bin fig7
+//! ```
+
+use litho_bench::{load_dataset, normalize_for_display, train_or_load_doinn, write_pgm, Scale};
+use litho_data::{DatasetKind, Resolution};
+use litho_nn::Graph;
+use std::path::PathBuf;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("# Figure 7: GP / LP feature maps (LITHO_SCALE={})", scale.tag());
+    let ds = load_dataset(DatasetKind::Ispd2019Like, Resolution::Low, scale);
+    let model = train_or_load_doinn(&ds, scale, 7);
+
+    let out_dir: PathBuf = {
+        let mut p = litho_bench::cache_dir();
+        p.pop();
+        p.push("figures");
+        p.push("fig7");
+        p
+    };
+    std::fs::create_dir_all(&out_dir).expect("create figure dir");
+
+    let (mask, _) = &ds.test[0];
+    let size = mask.dim(1);
+    write_pgm(out_dir.join("input_mask.pgm"), mask.as_slice(), size, size);
+
+    let mut g = Graph::new();
+    let x = g.input(mask.reshape(&[1, 1, size, size]));
+    let (gp, lp, out) = model.forward_with_features(&mut g, x);
+
+    // GP channels (paper: intensity-like maps)
+    let gpv = g.value(gp);
+    let (gc, gh, gw) = (gpv.dim(1), gpv.dim(2), gpv.dim(3));
+    for c in 0..gc {
+        let plane: Vec<f32> = (0..gh * gw)
+            .map(|i| gpv.as_slice()[c * gh * gw + i])
+            .collect();
+        write_pgm(
+            out_dir.join(format!("gp_ch{c:02}.pgm")),
+            &normalize_for_display(&plane),
+            gw,
+            gh,
+        );
+    }
+
+    // LP third-stage channels (paper: edge/detail maps)
+    if let Some((_, _, f3)) = lp {
+        let lpv = g.value(f3);
+        let (lc, lh, lw) = (lpv.dim(1), lpv.dim(2), lpv.dim(3));
+        for c in 0..lc {
+            let plane: Vec<f32> = (0..lh * lw)
+                .map(|i| lpv.as_slice()[c * lh * lw + i])
+                .collect();
+            write_pgm(
+                out_dir.join(format!("lp_ch{c:02}.pgm")),
+                &normalize_for_display(&plane),
+                lw,
+                lh,
+            );
+        }
+    }
+
+    // prediction + golden for reference
+    let pred = g.value(out);
+    let contour: Vec<f32> = pred.as_slice().iter().map(|&v| if v > 0.0 { 1.0 } else { 0.0 }).collect();
+    write_pgm(out_dir.join("prediction.pgm"), &contour, size, size);
+    write_pgm(out_dir.join("golden.pgm"), ds.test[0].1.as_slice(), size, size);
+
+    println!("wrote GP/LP channel PGMs to {}", out_dir.display());
+    println!("(Compare gp_ch*.pgm to aerial-intensity maps and lp_ch*.pgm to edge maps.)");
+}

@@ -1,0 +1,85 @@
+//! Figure 8 — sensitivity to subtle mask perturbations across OPC
+//! iterations.
+//!
+//! Runs the ILT OPC engine on a metal design for 24 iterations, and at every
+//! iteration asks DOINN and UNet (both trained on *converged* OPC'ed masks)
+//! to predict the resist image of the intermediate mask. mIOU vs the golden
+//! print is reported per iteration — the paper's Figure 8 curve, where DOINN
+//! stays ahead of the CNN thanks to the Fourier unit's inductive bias.
+//!
+//! ```text
+//! cargo run -p litho-bench --release --bin fig8
+//! ```
+
+use doinn::{prediction_to_contour, seg_metrics};
+use litho_bench::{load_dataset, train_or_load, ModelKind, Scale};
+use litho_data::{design_tile, golden_engine, DatasetKind, Resolution};
+use litho_layout::{IltConfig, IltEngine};
+use litho_nn::Graph;
+use litho_optics::{LithoModel, ResistModel};
+use litho_tensor::Tensor;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!(
+        "# Figure 8: mIOU across OPC iterations (LITHO_SCALE={})",
+        scale.tag()
+    );
+    let ds = load_dataset(DatasetKind::Iccad2013Like, Resolution::Low, scale);
+    let doinn = train_or_load(ModelKind::Doinn, &ds, scale, 7);
+    let unet = train_or_load(ModelKind::Unet, &ds, scale, 7);
+
+    // OPC trajectory of a fresh metal design
+    let cfg = litho_bench::dataset_config(DatasetKind::Iccad2013Like, Resolution::Low, scale);
+    let socs = golden_engine(&cfg);
+    let design = design_tile(&cfg, 31_337);
+    let iterations = match scale {
+        Scale::Smoke => 6,
+        _ => 24,
+    };
+    let engine = IltEngine::new(
+        &socs,
+        IltConfig {
+            iterations,
+            ..IltConfig::default()
+        },
+    );
+    let mut trajectory: Vec<Vec<f32>> = Vec::with_capacity(iterations);
+    let _ = engine.run_with_callback(&design, |_, mask| {
+        trajectory.push(mask.iter().map(|&v| if v >= 0.5 { 1.0 } else { 0.0 }).collect())
+    });
+
+    let resist = ResistModel::ConstantThreshold {
+        threshold: ds.resist_threshold,
+    };
+    let size = ds.tile_pixels();
+    let predict = |model: &dyn litho_nn::Module, mask: &[f32]| -> Vec<f32> {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_vec(mask.to_vec(), &[1, 1, size, size]));
+        let y = model.forward(&mut g, x);
+        prediction_to_contour(g.value(y))
+    };
+
+    println!("\n| OPC iter | DOINN mIOU | UNet mIOU |");
+    println!("|---|---|---|");
+    let mut doinn_total = 0.0f64;
+    let mut unet_total = 0.0f64;
+    for (it, mask) in trajectory.iter().enumerate() {
+        let golden = resist.develop(&socs.aerial_image(mask));
+        let d = seg_metrics(&predict(doinn.model.as_ref(), mask), &golden);
+        let u = seg_metrics(&predict(unet.model.as_ref(), mask), &golden);
+        doinn_total += d.miou as f64;
+        unet_total += u.miou as f64;
+        println!("| {} | {:.4} | {:.4} |", it + 1, d.miou, u.miou);
+    }
+    let n = trajectory.len() as f64;
+    println!(
+        "\nmean mIOU across trajectory: DOINN {:.4}, UNet {:.4}",
+        doinn_total / n,
+        unet_total / n
+    );
+    println!(
+        "(Paper Figure 8: both dip at early iterations — masks far from the\n\
+         training distribution — with DOINN consistently above UNet.)"
+    );
+}

@@ -1,0 +1,53 @@
+//! Table 1 — dataset inventory.
+//!
+//! Prints the synthetic counterparts of the paper's benchmark suites:
+//! name, train/test tile counts, tile area and golden litho engine.
+//!
+//! ```text
+//! cargo run -p litho-bench --release --bin table1
+//! ```
+
+use litho_bench::{dataset_config, print_table, Scale};
+use litho_data::{DatasetKind, Resolution};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("# Table 1: Details of the Dataset (synthetic, LITHO_SCALE={})", scale.tag());
+
+    let mut rows = Vec::new();
+    let mut push_row = |kind: DatasetKind, res: Resolution| {
+        let cfg = dataset_config(kind, res, scale);
+        let px = cfg.resolution.pixels();
+        let side_um = kind.rules().tile_nm as f32 / 1000.0;
+        rows.push(vec![
+            cfg.display_name(),
+            cfg.train_tiles.to_string(),
+            cfg.test_tiles.to_string(),
+            format!("{:.2} um^2", side_um * side_um),
+            format!("{px}x{px}"),
+            format!("{:.1} nm/px", cfg.pixel_nm()),
+            kind.engine_name().to_string(),
+        ]);
+    };
+    push_row(DatasetKind::Ispd2019Like, Resolution::Low);
+    if scale.include_high_res() {
+        push_row(DatasetKind::Ispd2019Like, Resolution::High);
+    }
+    push_row(DatasetKind::Iccad2013Like, Resolution::Low);
+    if scale.include_high_res() {
+        push_row(DatasetKind::Iccad2013Like, Resolution::High);
+    }
+    push_row(DatasetKind::N14Like, Resolution::Low);
+
+    print_table(
+        "Datasets",
+        &[
+            "Dataset", "Train", "Test", "Tile Size", "Raster", "Pitch", "Litho Engine",
+        ],
+        &rows,
+    );
+    println!(
+        "(Paper: ISPD-2019 10300/11641, ICCAD-2013 4875/10, N14 1630/137 tiles of 4 um^2;\n\
+         this reproduction synthesizes rule-matched tiles at CPU scale — see DESIGN.md.)"
+    );
+}

@@ -1,0 +1,70 @@
+//! Table 2 — result comparison with state of the art.
+//!
+//! Trains UNet [28], a DAMO-DLS-like nested UNet [10] and DOINN on each
+//! synthetic benchmark and reports test-set mPA / mIOU, mirroring the
+//! paper's Table 2 rows (the `(H)` rows require `LITHO_SCALE=full`).
+//!
+//! ```text
+//! cargo run -p litho-bench --release --bin table2
+//! ```
+
+use litho_bench::{load_dataset, print_table, run_experiment, ModelKind, Scale};
+use litho_data::{DatasetKind, Resolution};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!(
+        "# Table 2: Result Comparison with State-of-the-Art (LITHO_SCALE={})",
+        scale.tag()
+    );
+
+    let mut bench_rows: Vec<(DatasetKind, Resolution)> = vec![
+        (DatasetKind::Ispd2019Like, Resolution::Low),
+        (DatasetKind::Iccad2013Like, Resolution::Low),
+        (DatasetKind::N14Like, Resolution::Low),
+    ];
+    if scale.include_high_res() {
+        bench_rows.insert(1, (DatasetKind::Ispd2019Like, Resolution::High));
+        bench_rows.insert(3, (DatasetKind::Iccad2013Like, Resolution::High));
+    }
+
+    let models = [ModelKind::Unet, ModelKind::Damo, ModelKind::Doinn];
+    let mut rows = Vec::new();
+    for (kind, res) in bench_rows {
+        eprintln!("== dataset {} {:?} ==", kind.name(), res);
+        let ds = load_dataset(kind, res, scale);
+        let mut row = vec![ds.name.clone()];
+        for m in models {
+            eprintln!("   training {} ...", m.name());
+            let r = run_experiment(m, &ds, scale, 7);
+            eprintln!(
+                "   {}: {} ({} params, {:.0}s train)",
+                m.name(),
+                r.metrics,
+                r.params,
+                r.train_seconds
+            );
+            row.push(format!("{:.2}", r.metrics.mpa * 100.0));
+            row.push(format!("{:.2}", r.metrics.miou * 100.0));
+        }
+        rows.push(row);
+    }
+
+    print_table(
+        "mPA / mIOU (%) per model",
+        &[
+            "Benchmark",
+            "UNet mPA",
+            "UNet mIOU",
+            "DAMO mPA",
+            "DAMO mIOU",
+            "Ours mPA",
+            "Ours mIOU",
+        ],
+        &rows,
+    );
+    println!(
+        "(Paper reports e.g. ICCAD-2013 (L): UNet 97.30/95.38, DAMO-DLS 98.94/96.97,\n\
+         DOINN 98.98/97.79 — expect the same ordering, not identical values.)"
+    );
+}

@@ -1,0 +1,49 @@
+//! Table 2 (fast variant) — retrains only UNet and DOINN at the converged
+//! schedule on the remaining benchmarks, caching checkpoints for the other
+//! figure binaries. The DAMO-DLS-like rows converge by ~10 epochs and are
+//! taken from the full `table2` run.
+//!
+//! ```text
+//! cargo run -p litho-bench --release --bin table2b
+//! ```
+
+use doinn::evaluate_model;
+use litho_bench::{load_dataset, print_table, train_or_load, ModelKind, Scale};
+use litho_data::{DatasetKind, Resolution};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!(
+        "# Table 2 (fast variant: UNet + DOINN rows) (LITHO_SCALE={})",
+        scale.tag()
+    );
+    let mut rows = Vec::new();
+    for kind in [
+        DatasetKind::Ispd2019Like,
+        DatasetKind::Iccad2013Like,
+        DatasetKind::N14Like,
+    ] {
+        let ds = load_dataset(kind, Resolution::Low, scale);
+        let mut row = vec![ds.name.clone()];
+        for m in [ModelKind::Unet, ModelKind::Doinn] {
+            eprintln!("== {} / {} ==", ds.name, m.name());
+            let built = train_or_load(m, &ds, scale, 7);
+            let metrics = evaluate_model(built.model.as_ref(), &ds.test);
+            eprintln!("   {}: {} ({} params)", m.name(), metrics, built.params);
+            row.push(format!("{:.2}", metrics.mpa * 100.0));
+            row.push(format!("{:.2}", metrics.miou * 100.0));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "mPA / mIOU (%) per model",
+        &[
+            "Benchmark",
+            "UNet mPA",
+            "UNet mIOU",
+            "Ours mPA",
+            "Ours mIOU",
+        ],
+        &rows,
+    );
+}

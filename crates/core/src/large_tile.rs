@@ -1,0 +1,176 @@
+//! Large-tile simulation scheme (§3.2, Figure 5).
+//!
+//! A DOINN trained on `S×S` tiles degrades on larger inputs because the
+//! Fourier Unit's truncated-mode weights are calibrated to the training
+//! tile's frequency resolution. The paper's fix: run the **GP path** on
+//! half-overlapping `S×S` windows and stitch only each window's *core*
+//! region (safe from boundary effects, per the optical-diameter argument),
+//! while the purely local LP/IR convolutions run on the full tile unchanged.
+
+use crate::model::Doinn;
+use litho_nn::{ops, Graph, Module};
+use litho_tensor::{crop_spatial, Tensor};
+
+/// Applies a trained [`Doinn`] to tiles larger than its training size using
+/// the half-overlap core-stitching scheme.
+#[derive(Debug)]
+pub struct LargeTileSimulator<'a> {
+    model: &'a Doinn,
+    train_size: usize,
+}
+
+impl<'a> LargeTileSimulator<'a> {
+    /// Wraps a model trained on `train_size × train_size` tiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train_size` is not divisible by `2 × pool` (the scheme
+    /// needs half-tiles aligned to the pooled grid).
+    pub fn new(model: &'a Doinn, train_size: usize) -> Self {
+        let pool = model.config().pool;
+        assert!(
+            train_size % (2 * pool) == 0,
+            "train size must be a multiple of 2·pool"
+        );
+        Self { model, train_size }
+    }
+
+    /// Simulates a `[1, 1, L, L]` mask with `L ≥ train_size` and
+    /// `L` a multiple of `train_size/2`. Returns the Tanh contour prediction
+    /// of shape `[1, 1, L, L]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input shape violates the constraints above.
+    pub fn simulate(&self, mask: &Tensor) -> Tensor {
+        assert_eq!(mask.rank(), 4, "expects NCHW input");
+        assert_eq!(mask.dim(0), 1, "large-tile simulation is single-image");
+        assert_eq!(mask.dim(1), 1, "expects a 1-channel mask");
+        let l = mask.dim(2);
+        assert_eq!(mask.dim(3), l, "expects a square tile");
+        let s = self.train_size;
+        assert!(l >= s, "input smaller than training tile");
+        assert!(
+            l % (s / 2) == 0,
+            "input size must be a multiple of half the training tile"
+        );
+        let pool = self.model.config().pool;
+        let c = self.model.config().gp_channels;
+        let lp_pooled = l / pool; // stitched GP feature resolution
+        let p = s / pool; // per-window pooled size
+        let stride = s / 2;
+        let n_tiles = (l - s) / stride + 1;
+
+        // 1. GP path on half-overlapped windows, core-stitched.
+        let mut stitched = Tensor::zeros(&[1, c, lp_pooled, lp_pooled]);
+        for ty in 0..n_tiles {
+            for tx in 0..n_tiles {
+                let y0 = ty * stride;
+                let x0 = tx * stride;
+                let window = crop_spatial(mask, y0, x0, s, s);
+                let mut wg = Graph::new();
+                let win = wg.input(window);
+                let pooled = ops::avg_pool2d(&mut wg, win, pool);
+                let gp = self.model.gp_on_pooled(&mut wg, pooled);
+                let feat = wg.value(gp); // [1, C, p, p]
+
+                // core region in pooled window coords; edge windows extend to
+                // the tile boundary so every output pixel is covered exactly
+                // once
+                let cy0 = if ty == 0 { 0 } else { p / 4 };
+                let cy1 = if ty == n_tiles - 1 { p } else { 3 * p / 4 };
+                let cx0 = if tx == 0 { 0 } else { p / 4 };
+                let cx1 = if tx == n_tiles - 1 { p } else { 3 * p / 4 };
+                let oy = y0 / pool;
+                let ox = x0 / pool;
+                for ch in 0..c {
+                    for wy in cy0..cy1 {
+                        for wx in cx0..cx1 {
+                            stitched.set(
+                                &[0, ch, oy + wy, ox + wx],
+                                feat.get(&[0, ch, wy, wx]),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        // 2. LP on the full tile + IR reconstruction from the stitched GP.
+        let mut g = Graph::new();
+        let x = g.input(mask.clone());
+        let lp_feats = self.model.lp_features(&mut g, x);
+        let gp_var = g.input(stitched);
+        let out = self.model.reconstruct(&mut g, gp_var, lp_feats);
+        g.value(out).clone()
+    }
+
+    /// Naive baseline: feed the large tile directly through the network
+    /// (the "DOINN" row of Table 4 that shows the quality drop).
+    pub fn simulate_naive(&self, mask: &Tensor) -> Tensor {
+        let mut g = Graph::new();
+        let x = g.input(mask.clone());
+        let y = self.model.forward(&mut g, x);
+        g.value(y).clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::DoinnConfig;
+    use litho_tensor::init::seeded_rng;
+
+    #[test]
+    fn output_shape_matches_large_input() {
+        let mut rng = seeded_rng(1);
+        let model = Doinn::new(DoinnConfig::tiny(), &mut rng);
+        let sim = LargeTileSimulator::new(&model, 32);
+        let mask = Tensor::zeros(&[1, 1, 64, 64]);
+        let out = sim.simulate(&mask);
+        assert_eq!(out.shape(), &[1, 1, 64, 64]);
+        let naive = sim.simulate_naive(&mask);
+        assert_eq!(naive.shape(), &[1, 1, 64, 64]);
+    }
+
+    #[test]
+    fn equals_direct_forward_when_tile_matches_train_size() {
+        // with L == S there is a single window covering everything, so the
+        // stitched GP equals the direct GP and outputs must agree
+        let mut rng = seeded_rng(2);
+        let model = Doinn::new(DoinnConfig::tiny(), &mut rng);
+        model.set_training(false);
+        let sim = LargeTileSimulator::new(&model, 32);
+        let mask = litho_tensor::init::randn(&[1, 1, 32, 32], 0.5, &mut rng);
+        let a = sim.simulate(&mask);
+        let b = sim.simulate_naive(&mask);
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn covers_every_output_pixel() {
+        // stitched GP must leave no zero-holes for a constant input
+        // (constant mask -> every window produces identical features)
+        let mut rng = seeded_rng(3);
+        let model = Doinn::new(DoinnConfig::tiny(), &mut rng);
+        model.set_training(false);
+        let sim = LargeTileSimulator::new(&model, 32);
+        let mask = Tensor::ones(&[1, 1, 96, 96]);
+        let out = sim.simulate(&mask);
+        // interior must be translation invariant: compare two interior pixels
+        let a = out.get(&[0, 0, 40, 40]);
+        let b = out.get(&[0, 0, 56, 56]);
+        assert!((a - b).abs() < 1e-3, "interior not uniform: {a} vs {b}");
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of half the training tile")]
+    fn rejects_misaligned_input() {
+        let mut rng = seeded_rng(4);
+        let model = Doinn::new(DoinnConfig::tiny(), &mut rng);
+        let sim = LargeTileSimulator::new(&model, 32);
+        let _ = sim.simulate(&Tensor::zeros(&[1, 1, 40, 40]));
+    }
+}

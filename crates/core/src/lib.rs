@@ -1,0 +1,50 @@
+//! # doinn
+//!
+//! Reproduction of **"Generic Lithography Modeling with Dual-band
+//! Optics-Inspired Neural Networks"** (Yang et al., DAC 2022) — the paper's
+//! primary contribution, built on the pure-Rust substrates in this workspace
+//! (`litho-fft`, `litho-tensor`, `litho-nn`, `litho-optics`, `litho-layout`).
+//!
+//! - [`fourier`] — the optimized Fourier Unit (eq. 11) and the baseline FNO
+//!   spectral layer (eq. 10) as custom autograd ops.
+//! - [`Doinn`] / [`DoinnConfig`] — the dual-band GP/LP/IR network with the
+//!   Table 3 ablation switches.
+//! - [`models`] — the comparison baselines: [`models::Unet`],
+//!   [`models::DamoDls`] (nested-UNet DAMO-like), [`models::Fno`].
+//! - [`LargeTileSimulator`] — the §3.2 any-size tile scheme.
+//! - [`seg_metrics`] — mPA / mIOU (§2.2).
+//! - [`train_model`] / [`evaluate_model`] — the Table 8 training recipe.
+//!
+//! # Examples
+//!
+//! Build a small DOINN and run a forward pass:
+//!
+//! ```
+//! use doinn::{Doinn, DoinnConfig};
+//! use litho_nn::{Graph, Module};
+//! use litho_tensor::{init::seeded_rng, Tensor};
+//!
+//! let mut rng = seeded_rng(0);
+//! let model = Doinn::new(DoinnConfig::tiny(), &mut rng);
+//! let mut g = Graph::new();
+//! let mask = g.input(Tensor::zeros(&[1, 1, 64, 64]));
+//! let contour = model.forward(&mut g, mask);
+//! assert_eq!(g.value(contour).shape(), &[1, 1, 64, 64]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fourier;
+mod large_tile;
+mod metrics;
+mod model;
+pub mod models;
+mod trainer;
+
+pub use large_tile::LargeTileSimulator;
+pub use metrics::{seg_metrics, SegMetrics};
+pub use model::{predict, prediction_to_contour, Doinn, DoinnConfig, FourierUnit, VggBlock};
+pub use trainer::{
+    evaluate_model, to_tanh_target, train_model, EarlyStop, Sample, TrainConfig, TrainReport,
+};

@@ -1,0 +1,173 @@
+//! Evaluation metrics from §2.2 of the paper.
+//!
+//! Lithography contour prediction is treated as two-class (contour /
+//! background) pixel classification; quality is scored with mean
+//! intersection-over-union (Definition 1) and mean pixel accuracy
+//! (Definition 2), exactly as in DAMO and the paper's Tables 2–4.
+
+/// Two-class segmentation metrics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegMetrics {
+    /// Mean intersection-over-union across {contour, background}, in \[0,1\].
+    pub miou: f32,
+    /// Mean pixel accuracy across {contour, background}, in \[0,1\].
+    pub mpa: f32,
+}
+
+impl SegMetrics {
+    /// Averages a set of per-tile metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn mean(items: &[SegMetrics]) -> SegMetrics {
+        assert!(!items.is_empty(), "cannot average zero metric sets");
+        let n = items.len() as f32;
+        SegMetrics {
+            miou: items.iter().map(|m| m.miou).sum::<f32>() / n,
+            mpa: items.iter().map(|m| m.mpa).sum::<f32>() / n,
+        }
+    }
+}
+
+impl std::fmt::Display for SegMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "mPA {:.2}% / mIOU {:.2}%",
+            self.mpa * 100.0,
+            self.miou * 100.0
+        )
+    }
+}
+
+/// Computes [`SegMetrics`] between a predicted and a golden binary image.
+///
+/// Pixels ≥ `0.5` count as contour. A class absent from both prediction and
+/// ground truth scores 1.0 (perfect) for both metrics, following the usual
+/// segmentation convention.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn seg_metrics(pred: &[f32], golden: &[f32]) -> SegMetrics {
+    assert_eq!(pred.len(), golden.len(), "image length mismatch");
+    // confusion counts for the two classes
+    let mut inter_fg = 0usize;
+    let mut pred_fg = 0usize;
+    let mut gold_fg = 0usize;
+    let mut inter_bg = 0usize;
+    let mut pred_bg = 0usize;
+    let mut gold_bg = 0usize;
+    for (&p, &g) in pred.iter().zip(golden) {
+        let ps = p >= 0.5;
+        let gs = g >= 0.5;
+        match (ps, gs) {
+            (true, true) => {
+                inter_fg += 1;
+                pred_fg += 1;
+                gold_fg += 1;
+            }
+            (true, false) => {
+                pred_fg += 1;
+                gold_bg += 1;
+            }
+            (false, true) => {
+                pred_bg += 1;
+                gold_fg += 1;
+            }
+            (false, false) => {
+                inter_bg += 1;
+                pred_bg += 1;
+                gold_bg += 1;
+            }
+        }
+    }
+    let iou = |inter: usize, a: usize, b: usize| {
+        let union = a + b - inter;
+        if union == 0 {
+            1.0
+        } else {
+            inter as f32 / union as f32
+        }
+    };
+    let pa = |inter: usize, gold: usize| {
+        if gold == 0 {
+            1.0
+        } else {
+            inter as f32 / gold as f32
+        }
+    };
+    SegMetrics {
+        miou: 0.5 * (iou(inter_fg, pred_fg, gold_fg) + iou(inter_bg, pred_bg, gold_bg)),
+        mpa: 0.5 * (pa(inter_fg, gold_fg) + pa(inter_bg, gold_bg)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_scores_one() {
+        let img = vec![0.0, 1.0, 1.0, 0.0];
+        let m = seg_metrics(&img, &img);
+        assert_eq!(m.miou, 1.0);
+        assert_eq!(m.mpa, 1.0);
+    }
+
+    #[test]
+    fn inverted_prediction_scores_zero() {
+        let g = vec![0.0, 1.0];
+        let p = vec![1.0, 0.0];
+        let m = seg_metrics(&p, &g);
+        assert_eq!(m.miou, 0.0);
+        assert_eq!(m.mpa, 0.0);
+    }
+
+    #[test]
+    fn half_overlap_foreground() {
+        // golden fg: 2 pixels; pred fg: 2 pixels, 1 overlapping; 4 pixels total bg golden: 2
+        let g = vec![1.0, 1.0, 0.0, 0.0];
+        let p = vec![1.0, 0.0, 1.0, 0.0];
+        let m = seg_metrics(&p, &g);
+        // fg IoU = 1/3, bg IoU = 1/3 -> miou = 1/3
+        assert!((m.miou - 1.0 / 3.0).abs() < 1e-6);
+        // fg PA = 1/2, bg PA = 1/2
+        assert!((m.mpa - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_class_counts_perfect() {
+        let g = vec![0.0; 8];
+        let p = vec![0.0; 8];
+        let m = seg_metrics(&p, &g);
+        assert_eq!(m.miou, 1.0);
+        assert_eq!(m.mpa, 1.0);
+    }
+
+    #[test]
+    fn metrics_are_symmetric_under_class_swap() {
+        let g = vec![1.0, 1.0, 0.0, 0.0, 1.0, 0.0];
+        let p = vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0];
+        let m1 = seg_metrics(&p, &g);
+        let inv = |v: &[f32]| v.iter().map(|x| 1.0 - x).collect::<Vec<_>>();
+        let m2 = seg_metrics(&inv(&p), &inv(&g));
+        assert!((m1.miou - m2.miou).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mean_aggregates() {
+        let a = SegMetrics { miou: 0.8, mpa: 0.9 };
+        let b = SegMetrics { miou: 0.6, mpa: 0.7 };
+        let m = SegMetrics::mean(&[a, b]);
+        assert!((m.miou - 0.7).abs() < 1e-6);
+        assert!((m.mpa - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn display_formats_percentages() {
+        let m = SegMetrics { miou: 0.9779, mpa: 0.9898 };
+        assert_eq!(m.to_string(), "mPA 98.98% / mIOU 97.79%");
+    }
+}

@@ -1,0 +1,618 @@
+//! The DOINN architecture (§3.1, appendix Tables 5–7).
+//!
+//! Three paths:
+//!
+//! - **Global Perception (GP)** — 8× average pool, then the optimized
+//!   [`FourierUnit`] (single FFT → channel lift → per-frequency mixing →
+//!   iFFT → LeakyReLU 0.1), optionally with a spatial 1×1 bypass (Table 3's
+//!   "ByPass" row).
+//! - **Local Perception (LP)** — three stride-2 4×4 convs interleaved with
+//!   VGG blocks, producing skip features at 1/2, 1/4 and 1/8 resolution.
+//! - **Image Reconstruction (IR)** — three stride-2 transposed convs with
+//!   U-Net-style concats from the LP path, followed by four single-stride
+//!   refinement convs and a Tanh head.
+//!
+//! Ablation switches in [`DoinnConfig`] reproduce the four rows of Table 3.
+
+use crate::fourier::fourier_unit;
+use litho_nn::{ops, BatchNorm2d, Conv2d, ConvTranspose2d, Graph, Module, Param, Var};
+use litho_tensor::init;
+use litho_tensor::Tensor;
+use rand::Rng;
+
+/// Configuration of a [`Doinn`] model.
+///
+/// The paper's full-scale network (2048² inputs) is `DoinnConfig::paper()`;
+/// the scaled defaults used by the CPU experiments keep the same topology at
+/// smaller channel counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DoinnConfig {
+    /// GP path channel count `C` (paper: 16).
+    pub gp_channels: usize,
+    /// LP path channels after each stride-2 stage (paper: [4, 8, 16]).
+    pub lp_channels: [usize; 3],
+    /// Frequency modes kept per axis corner (`k`; `2k×2k` modes total;
+    /// paper keeps 50×50 of a 256-pixel pooled grid ⇒ `k = 25`).
+    pub fourier_modes: usize,
+    /// GP average-pooling factor (paper: 8).
+    pub pool: usize,
+    /// Enable the convolutional local-perception path (Table 3 row 3).
+    pub use_lp: bool,
+    /// Enable the four refinement convs in IR (Table 3 row 2).
+    pub use_refine: bool,
+    /// Enable the spatial bypass inside the Fourier unit (Table 3 row 4).
+    pub bypass: bool,
+}
+
+impl DoinnConfig {
+    /// Paper-scale configuration (for 2048² tiles).
+    pub fn paper() -> Self {
+        Self {
+            gp_channels: 16,
+            lp_channels: [4, 8, 16],
+            fourier_modes: 25,
+            pool: 8,
+            use_lp: true,
+            use_refine: true,
+            bypass: true,
+        }
+    }
+
+    /// Scaled configuration for the CPU experiments (128²–256² tiles).
+    pub fn scaled() -> Self {
+        Self {
+            gp_channels: 16,
+            lp_channels: [4, 8, 16],
+            fourier_modes: 4,
+            pool: 8,
+            use_lp: true,
+            use_refine: true,
+            bypass: true,
+        }
+    }
+
+    /// Tiny configuration for unit tests.
+    ///
+    /// Note: `pool` must stay 8 — the GP output resolution has to match the
+    /// LP path's three stride-2 stages for the IR concat.
+    pub fn tiny() -> Self {
+        Self {
+            gp_channels: 4,
+            lp_channels: [2, 4, 4],
+            fourier_modes: 2,
+            pool: 8,
+            use_lp: true,
+            use_refine: true,
+            bypass: true,
+        }
+    }
+
+    /// Table 3 row 1: Fourier unit only.
+    #[must_use]
+    pub fn ablation_gp(mut self) -> Self {
+        self.use_lp = false;
+        self.use_refine = false;
+        self.bypass = false;
+        self
+    }
+
+    /// Table 3 row 2: GP + refinement convs.
+    #[must_use]
+    pub fn ablation_gp_ir(mut self) -> Self {
+        self.use_lp = false;
+        self.use_refine = true;
+        self.bypass = false;
+        self
+    }
+
+    /// Table 3 row 3: GP + IR + LP (no bypass).
+    #[must_use]
+    pub fn ablation_gp_ir_lp(mut self) -> Self {
+        self.use_lp = true;
+        self.use_refine = true;
+        self.bypass = false;
+        self
+    }
+}
+
+/// The optimized Fourier Unit as a layer (weights + optional bypass conv).
+#[derive(Debug)]
+pub struct FourierUnit {
+    wp_re: Param,
+    wp_im: Param,
+    wr_re: Param,
+    wr_im: Param,
+    modes: usize,
+    bypass: Option<Conv2d>,
+}
+
+impl FourierUnit {
+    /// Creates a unit lifting 1 channel to `channels` with `modes` kept
+    /// frequencies per axis corner.
+    pub fn new(channels: usize, modes: usize, bypass: bool, rng: &mut impl Rng) -> Self {
+        let m = 2 * modes;
+        // FNO-style init: scale 1/(ci·co)
+        let lift_scale = 1.0 / channels as f32;
+        let mix_scale = 1.0 / (channels * channels) as f32;
+        Self {
+            wp_re: Param::new(
+                init::uniform(&[channels], 0.0, lift_scale, rng),
+                "fu.wp_re",
+            ),
+            wp_im: Param::new(
+                init::uniform(&[channels], 0.0, lift_scale, rng),
+                "fu.wp_im",
+            ),
+            wr_re: Param::new(
+                init::uniform(&[channels, channels, m, m], 0.0, mix_scale, rng),
+                "fu.wr_re",
+            ),
+            wr_im: Param::new(
+                init::uniform(&[channels, channels, m, m], 0.0, mix_scale, rng),
+                "fu.wr_im",
+            ),
+            modes,
+            bypass: bypass.then(|| Conv2d::new(1, channels, 1, 1, 0, true, rng)),
+        }
+    }
+
+    /// Number of kept modes per axis corner.
+    pub fn modes(&self) -> usize {
+        self.modes
+    }
+}
+
+impl Module for FourierUnit {
+    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        let wp_re = g.param(&self.wp_re);
+        let wp_im = g.param(&self.wp_im);
+        let wr_re = g.param(&self.wr_re);
+        let wr_im = g.param(&self.wr_im);
+        let spectral = fourier_unit(g, x, wp_re, wp_im, wr_re, wr_im, self.modes);
+        let pre = match &self.bypass {
+            Some(conv) => {
+                let b = conv.forward(g, x);
+                ops::add(g, spectral, b)
+            }
+            None => spectral,
+        };
+        ops::leaky_relu(g, pre, 0.1)
+    }
+
+    fn params(&self) -> Vec<Param> {
+        let mut p = vec![
+            self.wp_re.clone(),
+            self.wp_im.clone(),
+            self.wr_re.clone(),
+            self.wr_im.clone(),
+        ];
+        if let Some(c) = &self.bypass {
+            p.extend(c.params());
+        }
+        p
+    }
+}
+
+/// Two 3×3 convs with batch norm and LeakyReLU(0.2) — the paper's "vgg"
+/// block (appendix Tables 6–7).
+#[derive(Debug)]
+pub struct VggBlock {
+    conv1: Conv2d,
+    bn1: BatchNorm2d,
+    conv2: Conv2d,
+    bn2: BatchNorm2d,
+}
+
+impl VggBlock {
+    /// Creates a same-resolution block mapping `in_c` to `out_c` channels.
+    pub fn new(in_c: usize, out_c: usize, rng: &mut impl Rng) -> Self {
+        Self {
+            conv1: Conv2d::new(in_c, out_c, 3, 1, 1, true, rng),
+            bn1: BatchNorm2d::new(out_c),
+            conv2: Conv2d::new(out_c, out_c, 3, 1, 1, true, rng),
+            bn2: BatchNorm2d::new(out_c),
+        }
+    }
+}
+
+impl Module for VggBlock {
+    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        let mut v = self.conv1.forward(g, x);
+        v = self.bn1.forward(g, v);
+        v = ops::leaky_relu(g, v, 0.2);
+        v = self.conv2.forward(g, v);
+        v = self.bn2.forward(g, v);
+        ops::leaky_relu(g, v, 0.2)
+    }
+
+    fn params(&self) -> Vec<Param> {
+        [&self.conv1 as &dyn Module, &self.bn1, &self.conv2, &self.bn2]
+            .iter()
+            .flat_map(|m| m.params())
+            .collect()
+    }
+
+    fn set_training(&self, training: bool) {
+        self.bn1.set_training(training);
+        self.bn2.set_training(training);
+    }
+}
+
+/// Local-perception path: three stride-2 stages with VGG blocks, returning
+/// the three skip features (1/2, 1/4, 1/8 resolution).
+#[derive(Debug)]
+struct LpPath {
+    conv1: Conv2d,
+    vgg1: VggBlock,
+    conv2: Conv2d,
+    vgg2: VggBlock,
+    conv3: Conv2d,
+    vgg3: VggBlock,
+}
+
+impl LpPath {
+    fn new(c: [usize; 3], rng: &mut impl Rng) -> Self {
+        Self {
+            conv1: Conv2d::new(1, c[0], 4, 2, 1, true, rng),
+            vgg1: VggBlock::new(c[0], c[0], rng),
+            conv2: Conv2d::new(c[0], c[1], 4, 2, 1, true, rng),
+            vgg2: VggBlock::new(c[1], c[1], rng),
+            conv3: Conv2d::new(c[1], c[2], 4, 2, 1, true, rng),
+            vgg3: VggBlock::new(c[2], c[2], rng),
+        }
+    }
+
+    fn forward(&self, g: &mut Graph, x: Var) -> (Var, Var, Var) {
+        let d1 = self.conv1.forward(g, x);
+        let f1 = self.vgg1.forward(g, d1);
+        let d2 = self.conv2.forward(g, f1);
+        let f2 = self.vgg2.forward(g, d2);
+        let d3 = self.conv3.forward(g, f2);
+        let f3 = self.vgg3.forward(g, d3);
+        (f1, f2, f3)
+    }
+
+    fn params(&self) -> Vec<Param> {
+        let mods: [&dyn Module; 6] = [
+            &self.conv1,
+            &self.vgg1,
+            &self.conv2,
+            &self.vgg2,
+            &self.conv3,
+            &self.vgg3,
+        ];
+        mods.iter().flat_map(|m| m.params()).collect()
+    }
+
+    fn set_training(&self, training: bool) {
+        self.vgg1.set_training(training);
+        self.vgg2.set_training(training);
+        self.vgg3.set_training(training);
+    }
+}
+
+/// The dual-band optics-inspired neural network.
+#[derive(Debug)]
+pub struct Doinn {
+    config: DoinnConfig,
+    fu: FourierUnit,
+    lp: Option<LpPath>,
+    dconv1: ConvTranspose2d,
+    vgg4: Option<VggBlock>,
+    dconv2: ConvTranspose2d,
+    vgg5: Option<VggBlock>,
+    dconv3: ConvTranspose2d,
+    vgg6: Option<VggBlock>,
+    refine: Option<(Conv2d, Conv2d, Conv2d, Conv2d)>,
+    head: Option<Conv2d>,
+}
+
+/// IR upsampling channel plan (paper: 16 → 8 → 4).
+const U1: usize = 16;
+const U2: usize = 8;
+const U3: usize = 4;
+
+impl Doinn {
+    /// Builds a DOINN with the given configuration.
+    pub fn new(config: DoinnConfig, rng: &mut impl Rng) -> Self {
+        let c = config.gp_channels;
+        let [l1, l2, l3] = config.lp_channels;
+        let lp = config.use_lp.then(|| LpPath::new(config.lp_channels, rng));
+        let in1 = c + if config.use_lp { l3 } else { 0 };
+        let dconv1 = ConvTranspose2d::new(in1, U1, 4, 2, 1, true, rng);
+        let vgg4 = config.use_lp.then(|| VggBlock::new(U1, U1, rng));
+        let in2 = U1 + if config.use_lp { l2 } else { 0 };
+        let dconv2 = ConvTranspose2d::new(in2, U2, 4, 2, 1, true, rng);
+        let vgg5 = config.use_lp.then(|| VggBlock::new(U2, U2, rng));
+        let in3 = U2 + if config.use_lp { l1 } else { 0 };
+        let dconv3 = ConvTranspose2d::new(in3, U3, 4, 2, 1, true, rng);
+        let vgg6 = config.use_lp.then(|| VggBlock::new(U3, U3, rng));
+        let (refine, head) = if config.use_refine {
+            (
+                Some((
+                    Conv2d::new(U3, 32, 3, 1, 1, true, rng),
+                    Conv2d::new(32, 16, 3, 1, 1, true, rng),
+                    Conv2d::new(16, 16, 3, 1, 1, true, rng),
+                    Conv2d::new(16, 1, 3, 1, 1, true, rng),
+                )),
+                None,
+            )
+        } else {
+            (None, Some(Conv2d::new(U3, 1, 3, 1, 1, true, rng)))
+        };
+        Self {
+            config,
+            fu: FourierUnit::new(c, config.fourier_modes, config.bypass, rng),
+            lp,
+            dconv1,
+            vgg4,
+            dconv2,
+            vgg5,
+            dconv3,
+            vgg6,
+            refine,
+            head,
+        }
+    }
+
+    /// The configuration this model was built with.
+    pub fn config(&self) -> DoinnConfig {
+        self.config
+    }
+
+    /// GP-path forward on an already-pooled input (used directly by the
+    /// large-tile scheme, which tiles the pooled mask itself).
+    pub fn gp_on_pooled(&self, g: &mut Graph, pooled: Var) -> Var {
+        self.fu.forward(g, pooled)
+    }
+
+    /// LP-path skip features on a full-resolution input (`None` when the LP
+    /// path is disabled). Used by the large-tile scheme, which runs LP on the
+    /// whole tile while stitching GP windows.
+    pub fn lp_features(&self, g: &mut Graph, x: Var) -> Option<(Var, Var, Var)> {
+        self.lp.as_ref().map(|lp| lp.forward(g, x))
+    }
+
+    /// Forward pass exposing the GP feature map, LP skip features and output
+    /// (used for Figure 7 feature-map visualisation and the large-tile
+    /// scheme).
+    pub fn forward_with_features(
+        &self,
+        g: &mut Graph,
+        x: Var,
+    ) -> (Var, Option<(Var, Var, Var)>, Var) {
+        let pooled = ops::avg_pool2d(g, x, self.config.pool);
+        let gp = self.fu.forward(g, pooled);
+        let lp_feats = self.lp.as_ref().map(|lp| lp.forward(g, x));
+        let out = self.reconstruct(g, gp, lp_feats);
+        (gp, lp_feats, out)
+    }
+
+    /// IR path: upsample (with optional skips) + refinement + Tanh.
+    pub(crate) fn reconstruct(
+        &self,
+        g: &mut Graph,
+        gp: Var,
+        lp_feats: Option<(Var, Var, Var)>,
+    ) -> Var {
+        let j1 = match &lp_feats {
+            Some((_, _, f3)) => ops::concat(g, &[gp, *f3]),
+            None => gp,
+        };
+        let mut v = self.dconv1.forward(g, j1);
+        if let Some(vgg) = &self.vgg4 {
+            v = vgg.forward(g, v);
+        }
+        let j2 = match &lp_feats {
+            Some((_, f2, _)) => ops::concat(g, &[v, *f2]),
+            None => v,
+        };
+        v = self.dconv2.forward(g, j2);
+        if let Some(vgg) = &self.vgg5 {
+            v = vgg.forward(g, v);
+        }
+        let j3 = match &lp_feats {
+            Some((f1, _, _)) => ops::concat(g, &[v, *f1]),
+            None => v,
+        };
+        v = self.dconv3.forward(g, j3);
+        if let Some(vgg) = &self.vgg6 {
+            v = vgg.forward(g, v);
+        }
+        if let Some((r1, r2, r3, r4)) = &self.refine {
+            v = r1.forward(g, v);
+            v = ops::relu(g, v);
+            v = r2.forward(g, v);
+            v = ops::relu(g, v);
+            v = r3.forward(g, v);
+            v = ops::relu(g, v);
+            v = r4.forward(g, v);
+        } else if let Some(head) = &self.head {
+            v = head.forward(g, v);
+        }
+        ops::tanh(g, v)
+    }
+}
+
+impl Module for Doinn {
+    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        let (_, _, out) = self.forward_with_features(g, x);
+        out
+    }
+
+    fn params(&self) -> Vec<Param> {
+        let mut p = self.fu.params();
+        if let Some(lp) = &self.lp {
+            p.extend(lp.params());
+        }
+        p.extend(self.dconv1.params());
+        if let Some(v) = &self.vgg4 {
+            p.extend(v.params());
+        }
+        p.extend(self.dconv2.params());
+        if let Some(v) = &self.vgg5 {
+            p.extend(v.params());
+        }
+        p.extend(self.dconv3.params());
+        if let Some(v) = &self.vgg6 {
+            p.extend(v.params());
+        }
+        if let Some((r1, r2, r3, r4)) = &self.refine {
+            p.extend(r1.params());
+            p.extend(r2.params());
+            p.extend(r3.params());
+            p.extend(r4.params());
+        }
+        if let Some(h) = &self.head {
+            p.extend(h.params());
+        }
+        p
+    }
+
+    fn set_training(&self, training: bool) {
+        if let Some(lp) = &self.lp {
+            lp.set_training(training);
+        }
+        for v in [&self.vgg4, &self.vgg5, &self.vgg6].into_iter().flatten() {
+            v.set_training(training);
+        }
+    }
+}
+
+/// Runs an inference forward pass and returns the raw Tanh output.
+pub fn predict(model: &impl Module, input: &Tensor) -> Tensor {
+    let mut g = Graph::new();
+    let x = g.input(input.clone());
+    let y = model.forward(&mut g, x);
+    g.value(y).clone()
+}
+
+/// Thresholds a Tanh-activated prediction at 0 into a binary contour image.
+pub fn prediction_to_contour(pred: &Tensor) -> Vec<f32> {
+    pred.as_slice()
+        .iter()
+        .map(|&v| if v > 0.0 { 1.0 } else { 0.0 })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use litho_tensor::init::seeded_rng;
+
+    #[test]
+    fn full_model_shape_roundtrip() {
+        let mut rng = seeded_rng(1);
+        let model = Doinn::new(DoinnConfig::tiny(), &mut rng);
+        let mut g = Graph::new();
+        let x = g.input(Tensor::zeros(&[1, 1, 32, 32]));
+        let y = model.forward(&mut g, x);
+        assert_eq!(g.value(y).shape(), &[1, 1, 32, 32]);
+        // tanh range
+        assert!(g.value(y).as_slice().iter().all(|v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn any_sized_input_supported() {
+        // the paper's claim: the architecture itself accepts any tile size
+        let mut rng = seeded_rng(2);
+        let model = Doinn::new(DoinnConfig::tiny(), &mut rng);
+        for s in [32usize, 64] {
+            let mut g = Graph::new();
+            let x = g.input(Tensor::zeros(&[1, 1, s, s]));
+            let y = model.forward(&mut g, x);
+            assert_eq!(g.value(y).shape(), &[1, 1, s, s]);
+        }
+    }
+
+    #[test]
+    fn ablation_variants_build_and_run() {
+        let mut rng = seeded_rng(3);
+        let configs = [
+            DoinnConfig::tiny().ablation_gp(),
+            DoinnConfig::tiny().ablation_gp_ir(),
+            DoinnConfig::tiny().ablation_gp_ir_lp(),
+            DoinnConfig::tiny(),
+        ];
+        let mut last_params = 0usize;
+        for cfg in configs {
+            let m = Doinn::new(cfg, &mut rng);
+            let mut g = Graph::new();
+            let x = g.input(Tensor::zeros(&[1, 1, 32, 32]));
+            let y = m.forward(&mut g, x);
+            assert_eq!(g.value(y).shape(), &[1, 1, 32, 32]);
+            // each ablation stage adds parameters
+            let n = m.param_count();
+            assert!(n >= last_params, "param counts should be non-decreasing");
+            last_params = n;
+        }
+    }
+
+    #[test]
+    fn feature_maps_have_documented_shapes() {
+        let mut rng = seeded_rng(4);
+        let cfg = DoinnConfig::tiny();
+        let model = Doinn::new(cfg, &mut rng);
+        let mut g = Graph::new();
+        let x = g.input(Tensor::zeros(&[1, 1, 32, 32]));
+        let (gp, lp, out) = model.forward_with_features(&mut g, x);
+        assert_eq!(
+            g.value(gp).shape(),
+            &[1, cfg.gp_channels, 32 / cfg.pool, 32 / cfg.pool]
+        );
+        let (f1, f2, f3) = lp.expect("LP enabled");
+        assert_eq!(g.value(f1).dim(2), 16); // 1/2 resolution
+        assert_eq!(g.value(f2).dim(2), 8); // 1/4
+        assert_eq!(g.value(f3).dim(2), 4); // 1/8 — matches the pooled GP grid
+        let _ = out;
+    }
+
+    #[test]
+    fn training_reduces_loss_on_tiny_problem() {
+        // sanity: a few Adam steps on a fixed (mask, target) pair decrease MSE
+        use litho_nn::Adam;
+        let mut rng = seeded_rng(5);
+        let model = Doinn::new(DoinnConfig::tiny(), &mut rng);
+        let input = litho_tensor::init::randn(&[1, 1, 32, 32], 0.5, &mut rng);
+        let target = input.map(|v| if v > 0.0 { 1.0 } else { -1.0 });
+        let mut opt = Adam::new(model.params(), 2e-3);
+        let mut losses = Vec::new();
+        for _ in 0..8 {
+            opt.zero_grad();
+            let mut g = Graph::new();
+            let x = g.input(input.clone());
+            let y = model.forward(&mut g, x);
+            let loss = ops::mse_loss(&mut g, y, &target);
+            losses.push(g.value(loss).as_slice()[0]);
+            g.backward(loss);
+            opt.step();
+        }
+        let first = losses[0];
+        let last = *losses.last().unwrap();
+        assert!(last < first, "loss should drop: {first} -> {last}");
+    }
+
+    #[test]
+    fn predict_and_contour_helpers() {
+        let mut rng = seeded_rng(6);
+        let model = Doinn::new(DoinnConfig::tiny(), &mut rng);
+        let input = Tensor::zeros(&[1, 1, 32, 32]);
+        let pred = predict(&model, &input);
+        assert_eq!(pred.shape(), &[1, 1, 32, 32]);
+        let contour = prediction_to_contour(&pred);
+        assert!(contour.iter().all(|&v| v == 0.0 || v == 1.0));
+    }
+
+    #[test]
+    fn paper_config_param_count_matches_scale() {
+        // paper reports 1.3M parameters for the full model; the dominant
+        // term is W_R: 16·16·50·50·2 = 1.28M
+        let mut rng = seeded_rng(7);
+        let model = Doinn::new(DoinnConfig::paper(), &mut rng);
+        let n = model.param_count();
+        assert!(
+            (1_200_000..1_600_000).contains(&n),
+            "paper-config params = {n}, expected ≈1.3M"
+        );
+    }
+}

@@ -1,0 +1,182 @@
+//! Baseline FNO lithography model (Figure 3a, eqs. 8–10).
+//!
+//! Stacked Fourier Units: lift `P`, `T` spectral layers each performing a
+//! full per-channel FFT → truncated mixing → iFFT plus a linear bypass
+//! `W_L`, then projection `Q`. This is the architecture the paper argues is
+//! too expensive for lithography (multiple FFTs per layer) — kept here both
+//! as a quality baseline and as the runtime comparison target for the
+//! optimized Fourier Unit micro-bench.
+
+use crate::fourier::spectral_conv2d;
+use litho_nn::{ops, Conv2d, ConvTranspose2d, Graph, Module, Param, Var};
+use litho_tensor::init;
+use rand::Rng;
+
+/// One baseline Fourier layer: `σ(W_L·v + F⁻¹(R·F(v)_trunc))` (eq. 8).
+#[derive(Debug)]
+pub struct FnoLayer {
+    w_re: Param,
+    w_im: Param,
+    bypass: Conv2d,
+    modes: usize,
+}
+
+impl FnoLayer {
+    /// Creates a `channels → channels` Fourier layer keeping `modes`
+    /// frequencies per axis corner.
+    pub fn new(channels: usize, modes: usize, rng: &mut impl Rng) -> Self {
+        let m = 2 * modes;
+        let scale = 1.0 / (channels * channels) as f32;
+        Self {
+            w_re: Param::new(
+                init::uniform(&[channels, channels, m, m], 0.0, scale, rng),
+                "fno.w_re",
+            ),
+            w_im: Param::new(
+                init::uniform(&[channels, channels, m, m], 0.0, scale, rng),
+                "fno.w_im",
+            ),
+            bypass: Conv2d::new(channels, channels, 1, 1, 0, true, rng),
+            modes,
+        }
+    }
+}
+
+impl Module for FnoLayer {
+    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        let w_re = g.param(&self.w_re);
+        let w_im = g.param(&self.w_im);
+        let spectral = spectral_conv2d(g, x, w_re, w_im, self.modes);
+        let lin = self.bypass.forward(g, x);
+        let s = ops::add(g, spectral, lin);
+        ops::leaky_relu(g, s, 0.1)
+    }
+
+    fn params(&self) -> Vec<Param> {
+        let mut p = vec![self.w_re.clone(), self.w_im.clone()];
+        p.extend(self.bypass.params());
+        p
+    }
+}
+
+/// The full baseline FNO model: pool → lift `P` → stacked [`FnoLayer`]s →
+/// project `Q` → transposed-conv upsampling → Tanh.
+#[derive(Debug)]
+pub struct Fno {
+    pool: usize,
+    lift: Conv2d,
+    layers: Vec<FnoLayer>,
+    project: Conv2d,
+    up1: ConvTranspose2d,
+    up2: ConvTranspose2d,
+    up3: ConvTranspose2d,
+    out: Conv2d,
+}
+
+impl Fno {
+    /// Builds a baseline FNO with `depth` stacked Fourier layers of width
+    /// `channels`, keeping `modes` frequencies per corner, at an 8× pooled
+    /// working resolution (matching the DOINN GP path for fair comparison).
+    pub fn new(channels: usize, depth: usize, modes: usize, rng: &mut impl Rng) -> Self {
+        assert!(depth >= 1, "FNO needs at least one Fourier layer");
+        Self {
+            pool: 8,
+            lift: Conv2d::new(1, channels, 1, 1, 0, true, rng),
+            layers: (0..depth).map(|_| FnoLayer::new(channels, modes, rng)).collect(),
+            project: Conv2d::new(channels, 16, 1, 1, 0, true, rng),
+            up1: ConvTranspose2d::new(16, 8, 4, 2, 1, true, rng),
+            up2: ConvTranspose2d::new(8, 4, 4, 2, 1, true, rng),
+            up3: ConvTranspose2d::new(4, 4, 4, 2, 1, true, rng),
+            out: Conv2d::new(4, 1, 3, 1, 1, true, rng),
+        }
+    }
+
+    /// Number of stacked Fourier layers.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+}
+
+impl Module for Fno {
+    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        let mut v = ops::avg_pool2d(g, x, self.pool);
+        v = self.lift.forward(g, v);
+        for layer in &self.layers {
+            v = layer.forward(g, v);
+        }
+        v = self.project.forward(g, v);
+        v = self.up1.forward(g, v);
+        v = ops::leaky_relu(g, v, 0.1);
+        v = self.up2.forward(g, v);
+        v = ops::leaky_relu(g, v, 0.1);
+        v = self.up3.forward(g, v);
+        v = ops::leaky_relu(g, v, 0.1);
+        v = self.out.forward(g, v);
+        ops::tanh(g, v)
+    }
+
+    fn params(&self) -> Vec<Param> {
+        let mut p = self.lift.params();
+        for l in &self.layers {
+            p.extend(l.params());
+        }
+        p.extend(self.project.params());
+        p.extend(self.up1.params());
+        p.extend(self.up2.params());
+        p.extend(self.up3.params());
+        p.extend(self.out.params());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use litho_tensor::init::seeded_rng;
+    use litho_tensor::Tensor;
+
+    #[test]
+    fn shape_roundtrip() {
+        let mut rng = seeded_rng(1);
+        let net = Fno::new(8, 2, 2, &mut rng);
+        let mut g = Graph::new();
+        let x = g.input(Tensor::zeros(&[1, 1, 32, 32]));
+        let y = net.forward(&mut g, x);
+        assert_eq!(g.value(y).shape(), &[1, 1, 32, 32]);
+        assert_eq!(net.depth(), 2);
+    }
+
+    #[test]
+    fn deeper_fno_has_more_params() {
+        let mut rng = seeded_rng(2);
+        let d1 = Fno::new(8, 1, 2, &mut rng).param_count();
+        let d4 = Fno::new(8, 4, 2, &mut rng).param_count();
+        assert!(d4 > 2 * d1);
+    }
+
+    #[test]
+    fn trains_on_tiny_problem() {
+        use litho_nn::Adam;
+        let mut rng = seeded_rng(3);
+        let net = Fno::new(4, 1, 2, &mut rng);
+        let input = litho_tensor::init::randn(&[1, 1, 32, 32], 0.5, &mut rng);
+        let target = input.map(|v| if v > 0.0 { 1.0 } else { -1.0 });
+        let mut opt = Adam::new(net.params(), 2e-3);
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for i in 0..6 {
+            opt.zero_grad();
+            let mut g = Graph::new();
+            let x = g.input(input.clone());
+            let y = net.forward(&mut g, x);
+            let loss = ops::mse_loss(&mut g, y, &target);
+            if i == 0 {
+                first = g.value(loss).as_slice()[0];
+            }
+            last = g.value(loss).as_slice()[0];
+            g.backward(loss);
+            opt.step();
+        }
+        assert!(last < first, "{first} -> {last}");
+    }
+}

@@ -1,0 +1,9 @@
+//! Baseline models the paper compares DOINN against (Table 2, Figures 6/8).
+
+mod damo;
+mod fno;
+mod unet;
+
+pub use damo::DamoDls;
+pub use fno::{Fno, FnoLayer};
+pub use unet::Unet;

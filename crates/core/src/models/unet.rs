@@ -1,0 +1,133 @@
+//! U-Net baseline [28] — the standard encoder/decoder with skip connections
+//! the paper compares against in Table 2 and Figures 6/8.
+
+use crate::model::VggBlock;
+use litho_nn::{ops, Conv2d, ConvTranspose2d, Graph, Module, Param, Var};
+use rand::Rng;
+
+/// A three-level U-Net with Tanh output, sized by a base channel width.
+#[derive(Debug)]
+pub struct Unet {
+    enc1: Conv2d,
+    block1: VggBlock,
+    enc2: Conv2d,
+    block2: VggBlock,
+    enc3: Conv2d,
+    bottleneck: VggBlock,
+    up3: ConvTranspose2d,
+    dec3: VggBlock,
+    up2: ConvTranspose2d,
+    dec2: VggBlock,
+    up1: ConvTranspose2d,
+    out: Conv2d,
+}
+
+impl Unet {
+    /// Builds a U-Net with encoder widths `[b, 2b, 4b]`.
+    pub fn new(base: usize, rng: &mut impl Rng) -> Self {
+        let b = base;
+        Self {
+            enc1: Conv2d::new(1, b, 4, 2, 1, true, rng),
+            block1: VggBlock::new(b, b, rng),
+            enc2: Conv2d::new(b, 2 * b, 4, 2, 1, true, rng),
+            block2: VggBlock::new(2 * b, 2 * b, rng),
+            enc3: Conv2d::new(2 * b, 4 * b, 4, 2, 1, true, rng),
+            bottleneck: VggBlock::new(4 * b, 4 * b, rng),
+            up3: ConvTranspose2d::new(4 * b, 2 * b, 4, 2, 1, true, rng),
+            dec3: VggBlock::new(4 * b, 2 * b, rng),
+            up2: ConvTranspose2d::new(2 * b, b, 4, 2, 1, true, rng),
+            dec2: VggBlock::new(2 * b, b, rng),
+            up1: ConvTranspose2d::new(b, b, 4, 2, 1, true, rng),
+            out: Conv2d::new(b, 1, 3, 1, 1, true, rng),
+        }
+    }
+}
+
+impl Module for Unet {
+    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        let d1 = self.enc1.forward(g, x);
+        let e1 = self.block1.forward(g, d1);
+        let e2 = {
+            let d = self.enc2.forward(g, e1);
+            self.block2.forward(g, d)
+        };
+        let e3 = {
+            let d = self.enc3.forward(g, e2);
+            self.bottleneck.forward(g, d)
+        };
+        let u3 = self.up3.forward(g, e3);
+        let c3 = ops::concat(g, &[u3, e2]);
+        let d3 = self.dec3.forward(g, c3);
+        let u2 = self.up2.forward(g, d3);
+        let c2 = ops::concat(g, &[u2, e1]);
+        let d2 = self.dec2.forward(g, c2);
+        let u1 = self.up1.forward(g, d2);
+        let o = self.out.forward(g, u1);
+        ops::tanh(g, o)
+    }
+
+    fn params(&self) -> Vec<Param> {
+        let mods: [&dyn Module; 12] = [
+            &self.enc1,
+            &self.block1,
+            &self.enc2,
+            &self.block2,
+            &self.enc3,
+            &self.bottleneck,
+            &self.up3,
+            &self.dec3,
+            &self.up2,
+            &self.dec2,
+            &self.up1,
+            &self.out,
+        ];
+        mods.iter().flat_map(|m| m.params()).collect()
+    }
+
+    fn set_training(&self, training: bool) {
+        for b in [
+            &self.block1,
+            &self.block2,
+            &self.bottleneck,
+            &self.dec3,
+            &self.dec2,
+        ] {
+            b.set_training(training);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use litho_tensor::init::seeded_rng;
+    use litho_tensor::Tensor;
+
+    #[test]
+    fn shape_roundtrip() {
+        let mut rng = seeded_rng(1);
+        let net = Unet::new(4, &mut rng);
+        let mut g = Graph::new();
+        let x = g.input(Tensor::zeros(&[1, 1, 32, 32]));
+        let y = net.forward(&mut g, x);
+        assert_eq!(g.value(y).shape(), &[1, 1, 32, 32]);
+    }
+
+    #[test]
+    fn width_scales_parameters() {
+        let mut rng = seeded_rng(2);
+        let small = Unet::new(4, &mut rng).param_count();
+        let big = Unet::new(8, &mut rng).param_count();
+        assert!(big > 3 * small, "params {small} vs {big}");
+    }
+
+    #[test]
+    fn output_is_tanh_bounded() {
+        let mut rng = seeded_rng(3);
+        let net = Unet::new(4, &mut rng);
+        let mut g = Graph::new();
+        let x = g.input(litho_tensor::init::randn(&[1, 1, 32, 32], 1.0, &mut rng));
+        let y = net.forward(&mut g, x);
+        assert!(g.value(y).as_slice().iter().all(|v| v.abs() <= 1.0));
+    }
+}

@@ -1,0 +1,173 @@
+//! Behavioural tests for the DOINN crate as a whole: learnability of litho-
+//! like mappings, ablation ordering on a synthetic task, and metric
+//! consistency with the geometry crate's IoU.
+
+use doinn::{
+    evaluate_model, seg_metrics, to_tanh_target, train_model, Doinn, DoinnConfig, TrainConfig,
+};
+use litho_geometry::binary_iou;
+use litho_tensor::init::seeded_rng;
+use litho_tensor::Tensor;
+use rand::Rng;
+
+/// A cheap "optical" surrogate: blur the mask with a 5×5 box filter and
+/// threshold — same local-plus-smooth structure as real lithography, so a
+/// litho-capable network must fit it quickly.
+fn blur_threshold(mask: &Tensor, size: usize) -> Tensor {
+    let md = mask.as_slice();
+    let mut out = vec![0.0f32; size * size];
+    for y in 0..size {
+        for x in 0..size {
+            let mut acc = 0.0;
+            let mut count = 0.0;
+            for dy in -2i32..=2 {
+                for dx in -2i32..=2 {
+                    let (yy, xx) = (y as i32 + dy, x as i32 + dx);
+                    if yy >= 0 && yy < size as i32 && xx >= 0 && xx < size as i32 {
+                        acc += md[(yy as usize) * size + xx as usize];
+                        count += 1.0;
+                    }
+                }
+            }
+            out[y * size + x] = if acc / count > 0.45 { 1.0 } else { 0.0 };
+        }
+    }
+    Tensor::from_vec(out, &[1, size, size])
+}
+
+fn surrogate_dataset(n: usize, size: usize, seed: u64) -> Vec<(Tensor, Tensor)> {
+    let mut rng = seeded_rng(seed);
+    (0..n)
+        .map(|_| {
+            let mut mask = Tensor::zeros(&[1, size, size]);
+            for _ in 0..6 {
+                let y0 = rng.gen_range(2..size - 10);
+                let x0 = rng.gen_range(2..size - 10);
+                let h = rng.gen_range(4..10);
+                let w = rng.gen_range(4..10);
+                for y in y0..(y0 + h).min(size) {
+                    for x in x0..(x0 + w).min(size) {
+                        mask.set(&[0, y, x], 1.0);
+                    }
+                }
+            }
+            let target = blur_threshold(&mask, size);
+            (mask, target)
+        })
+        .collect()
+}
+
+#[test]
+fn doinn_learns_blur_threshold_surrogate() {
+    let size = 32;
+    let data = surrogate_dataset(12, size, 5);
+    let mut rng = seeded_rng(0);
+    let model = Doinn::new(DoinnConfig::tiny(), &mut rng);
+    let samples: Vec<_> = data
+        .iter()
+        .map(|(m, t)| (m.clone(), to_tanh_target(t)))
+        .collect();
+    train_model(
+        &model,
+        &samples,
+        &TrainConfig {
+            epochs: 30,
+            lr_step: 6,
+            batch_size: 4,
+            augment: true,
+            ..TrainConfig::default()
+        },
+    );
+    let test = surrogate_dataset(4, size, 77);
+    let metrics = evaluate_model(&model, &test);
+    assert!(
+        metrics.miou > 0.72,
+        "DOINN should fit a blur-threshold surrogate, got {metrics}"
+    );
+}
+
+#[test]
+fn full_config_beats_gp_only_on_surrogate() {
+    // compressed Table 3: same budget, full DOINN vs the GP-only ablation
+    let size = 32;
+    let data = surrogate_dataset(12, size, 9);
+    let samples: Vec<_> = data
+        .iter()
+        .map(|(m, t)| (m.clone(), to_tanh_target(t)))
+        .collect();
+    let test = surrogate_dataset(4, size, 78);
+    let run = |cfg: DoinnConfig| {
+        let mut rng = seeded_rng(1);
+        let model = Doinn::new(cfg, &mut rng);
+        let report = train_model(
+            &model,
+            &samples,
+            &TrainConfig {
+                epochs: 20,
+                lr_step: 6,
+                batch_size: 4,
+                augment: true,
+                ..TrainConfig::default()
+            },
+        );
+        (evaluate_model(&model, &test), *report.epoch_losses.last().unwrap())
+    };
+    let (gp_only, gp_loss) = run(DoinnConfig::tiny().ablation_gp());
+    let (full, full_loss) = run(DoinnConfig::tiny());
+    // the full model must fit the task better (training loss) and not be
+    // meaningfully worse on held-out tiles
+    assert!(
+        full_loss < gp_loss,
+        "full DOINN loss {full_loss} should beat GP-only {gp_loss}"
+    );
+    assert!(
+        full.miou > gp_only.miou - 0.02,
+        "full DOINN {} should not trail GP-only {}",
+        full.miou,
+        gp_only.miou
+    );
+}
+
+#[test]
+fn seg_metrics_consistent_with_geometry_iou() {
+    // when the background class is ignored, foreground IoU must match the
+    // geometry crate's binary_iou
+    let a = vec![1.0, 0.0, 1.0, 1.0, 0.0, 0.0, 1.0, 0.0];
+    let b = vec![1.0, 1.0, 0.0, 1.0, 0.0, 0.0, 1.0, 0.0];
+    let g_iou = binary_iou(&a, &b);
+    // recompute fg IoU from the two-class means: miou = (fg + bg)/2
+    let m = seg_metrics(&a, &b);
+    let inter_bg = 3.0; // positions 4,5,7
+    let union_bg = 5.0; // positions 1,2,4,5,7
+    let bg_iou = inter_bg / union_bg;
+    let fg_from_miou = 2.0 * m.miou - bg_iou;
+    assert!(
+        (fg_from_miou - g_iou).abs() < 1e-5,
+        "fg IoU {fg_from_miou} vs geometry {g_iou}"
+    );
+}
+
+#[test]
+fn dihedral_augmentation_does_not_break_training() {
+    // augmented training must remain finite and reduce loss
+    let size = 32;
+    let data = surrogate_dataset(6, size, 13);
+    let samples: Vec<_> = data
+        .iter()
+        .map(|(m, t)| (m.clone(), to_tanh_target(t)))
+        .collect();
+    let mut rng = seeded_rng(2);
+    let model = Doinn::new(DoinnConfig::tiny(), &mut rng);
+    let report = train_model(
+        &model,
+        &samples,
+        &TrainConfig {
+            epochs: 4,
+            batch_size: 3,
+            augment: true,
+            ..TrainConfig::default()
+        },
+    );
+    assert!(report.epoch_losses.iter().all(|l| l.is_finite()));
+    assert!(report.epoch_losses.last().unwrap() < &report.epoch_losses[0]);
+}

@@ -1,0 +1,244 @@
+//! On-disk dataset cache.
+//!
+//! Synthesizing a dataset costs minutes of ILT + golden simulation; the
+//! experiment binaries reuse tiles across runs via a simple binary cache
+//! keyed by the dataset configuration.
+//!
+//! Format (little-endian): magic `LDATSET1`, grid size u32, pixel f32,
+//! name/engine strings, then train and test pair arrays of raw f32 tiles.
+
+use crate::{DatasetConfig, LithoDataset};
+use litho_optics::SimGrid;
+use litho_tensor::Tensor;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 8] = b"LDATSET1";
+
+/// Saves a dataset to `path`.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn save_dataset(path: impl AsRef<Path>, ds: &LithoDataset) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&(ds.grid.size() as u32).to_le_bytes())?;
+    w.write_all(&ds.grid.pixel_nm().to_le_bytes())?;
+    w.write_all(&ds.resist_threshold.to_le_bytes())?;
+    write_str(&mut w, &ds.name)?;
+    write_str(&mut w, ds.engine)?;
+    for split in [&ds.train, &ds.test] {
+        w.write_all(&(split.len() as u32).to_le_bytes())?;
+        for (mask, resist) in split {
+            write_tile(&mut w, mask)?;
+            write_tile(&mut w, resist)?;
+        }
+    }
+    w.flush()
+}
+
+/// Loads a dataset previously written by [`save_dataset`].
+///
+/// # Errors
+///
+/// Returns an error for malformed files.
+pub fn load_dataset(path: impl AsRef<Path>) -> io::Result<LithoDataset> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a litho-data cache file (bad magic)",
+        ));
+    }
+    let size = read_u32(&mut r)? as usize;
+    let mut pxb = [0u8; 4];
+    r.read_exact(&mut pxb)?;
+    let pixel = f32::from_le_bytes(pxb);
+    let mut thb = [0u8; 4];
+    r.read_exact(&mut thb)?;
+    let resist_threshold = f32::from_le_bytes(thb);
+    let name = read_str(&mut r)?;
+    let engine_str = read_str(&mut r)?;
+    // engine strings are a small closed set; map back to 'static
+    let engine = match engine_str.as_str() {
+        "SOCS (Calibre-class)" => "SOCS (Calibre-class)",
+        "SOCS (Lithosim-class)" => "SOCS (Lithosim-class)",
+        _ => "SOCS",
+    };
+    let mut splits: Vec<Vec<(Tensor, Tensor)>> = Vec::with_capacity(2);
+    for _ in 0..2 {
+        let count = read_u32(&mut r)? as usize;
+        let mut pairs = Vec::with_capacity(count);
+        for _ in 0..count {
+            let mask = read_tile(&mut r, size)?;
+            let resist = read_tile(&mut r, size)?;
+            pairs.push((mask, resist));
+        }
+        splits.push(pairs);
+    }
+    let test = splits.pop().expect("two splits written");
+    let train = splits.pop().expect("two splits written");
+    Ok(LithoDataset {
+        name,
+        grid: SimGrid::new(size, pixel),
+        engine,
+        resist_threshold,
+        train,
+        test,
+    })
+}
+
+/// Cache path for a configuration inside `dir`.
+pub fn cache_path(dir: impl AsRef<Path>, cfg: &DatasetConfig) -> PathBuf {
+    let mut p = dir.as_ref().to_path_buf();
+    p.push(format!(
+        "{}_{}_{}x{}_t{}v{}_k{}_o{}_s{}.litho",
+        cfg.kind.name().replace('-', ""),
+        match cfg.resolution {
+            crate::Resolution::Low => "L",
+            crate::Resolution::High => "H",
+        },
+        cfg.resolution.pixels(),
+        cfg.resolution.pixels(),
+        cfg.train_tiles,
+        cfg.test_tiles,
+        cfg.socs_kernels,
+        cfg.opc_iterations,
+        cfg.seed
+    ));
+    p
+}
+
+/// Loads the dataset from cache or synthesizes and caches it.
+///
+/// # Errors
+///
+/// Returns I/O errors from cache writes (synthesis itself cannot fail).
+pub fn synthesize_cached(cfg: &DatasetConfig, dir: impl AsRef<Path>) -> io::Result<LithoDataset> {
+    std::fs::create_dir_all(&dir)?;
+    let path = cache_path(&dir, cfg);
+    if path.exists() {
+        if let Ok(ds) = load_dataset(&path) {
+            return Ok(ds);
+        }
+        // fall through and regenerate on a corrupt cache
+    }
+    let ds = crate::synthesize(cfg);
+    save_dataset(&path, &ds)?;
+    Ok(ds)
+}
+
+fn write_str(w: &mut impl Write, s: &str) -> io::Result<()> {
+    w.write_all(&(s.len() as u32).to_le_bytes())?;
+    w.write_all(s.as_bytes())
+}
+
+fn read_str(r: &mut impl Read) -> io::Result<String> {
+    let len = read_u32(r)? as usize;
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+fn write_tile(w: &mut impl Write, t: &Tensor) -> io::Result<()> {
+    for &v in t.as_slice() {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_tile(r: &mut impl Read, size: usize) -> io::Result<Tensor> {
+    let mut data = vec![0f32; size * size];
+    let mut buf = vec![0u8; size * size * 4];
+    r.read_exact(&mut buf)?;
+    for (i, chunk) in buf.chunks_exact(4).enumerate() {
+        data[i] = f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+    }
+    Ok(Tensor::from_vec(data, &[1, size, size]))
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DatasetKind, Resolution};
+
+    fn tiny_ds() -> LithoDataset {
+        let t = |v: f32| Tensor::full(&[1, 4, 4], v);
+        LithoDataset {
+            name: "unit-test".to_string(),
+            grid: SimGrid::new(4, 8.0),
+            engine: "SOCS",
+            resist_threshold: 0.27,
+            train: vec![(t(0.25), t(1.0)), (t(0.5), t(0.0))],
+            test: vec![(t(0.75), t(1.0))],
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("litho_data_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrip() {
+        let ds = tiny_ds();
+        let path = tmp("roundtrip.litho");
+        save_dataset(&path, &ds).unwrap();
+        let back = load_dataset(&path).unwrap();
+        assert_eq!(back.name, ds.name);
+        assert_eq!(back.grid, ds.grid);
+        assert_eq!(back.train.len(), 2);
+        assert_eq!(back.test.len(), 1);
+        assert_eq!(back.train[0].0, ds.train[0].0);
+        assert_eq!(back.test[0].1, ds.test[0].1);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let path = tmp("badmagic.litho");
+        std::fs::write(&path, b"GARBAGE!").unwrap();
+        assert!(load_dataset(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn cache_path_distinguishes_configs() {
+        let a = cache_path("/tmp", &DatasetConfig::new(DatasetKind::Ispd2019Like, Resolution::Low));
+        let b = cache_path("/tmp", &DatasetConfig::new(DatasetKind::Ispd2019Like, Resolution::High));
+        let c = cache_path("/tmp", &DatasetConfig::new(DatasetKind::N14Like, Resolution::Low));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn synthesize_cached_hits_cache_second_time() {
+        let dir = tmp("cachedir");
+        let cfg = DatasetConfig {
+            socs_kernels: 4,
+            opc_iterations: 1,
+            ..DatasetConfig::new(DatasetKind::Ispd2019Like, Resolution::Low)
+        }
+        .with_tiles(1, 1);
+        let t0 = std::time::Instant::now();
+        let a = synthesize_cached(&cfg, &dir).unwrap();
+        let first = t0.elapsed();
+        let t1 = std::time::Instant::now();
+        let b = synthesize_cached(&cfg, &dir).unwrap();
+        let second = t1.elapsed();
+        assert_eq!(a.train[0].0, b.train[0].0);
+        assert!(second < first, "cache read should beat synthesis");
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

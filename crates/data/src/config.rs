@@ -1,0 +1,164 @@
+//! Dataset configuration mirroring Table 1 of the paper.
+
+use litho_layout::DesignRules;
+
+/// Which benchmark family to synthesize (Table 1 rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetKind {
+    /// ISPD-2019-like via layer (random rule-clean vias + SRAFs).
+    Ispd2019Like,
+    /// ICCAD-2013-like metal layer (Manhattan routing segments).
+    Iccad2013Like,
+    /// N14-like dense via layer (on-pitch arrays, high occupancy).
+    N14Like,
+}
+
+impl DatasetKind {
+    /// Human-readable benchmark name used in printed tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetKind::Ispd2019Like => "ISPD-2019",
+            DatasetKind::Iccad2013Like => "ICCAD-2013",
+            DatasetKind::N14Like => "N14",
+        }
+    }
+
+    /// The design-rule table for this benchmark family.
+    pub fn rules(&self) -> DesignRules {
+        match self {
+            DatasetKind::Ispd2019Like => DesignRules::ispd2019_like(),
+            DatasetKind::Iccad2013Like => DesignRules::iccad2013_like(),
+            DatasetKind::N14Like => DesignRules::n14_like(),
+        }
+    }
+
+    /// The golden engine label reported in Table 1.
+    pub fn engine_name(&self) -> &'static str {
+        match self {
+            DatasetKind::Ispd2019Like => "SOCS (Calibre-class)",
+            DatasetKind::Iccad2013Like => "SOCS (Lithosim-class)",
+            DatasetKind::N14Like => "SOCS",
+        }
+    }
+}
+
+/// Raster resolution of a tile (paper: "L" = 1000², "H" = 2000² for 4 µm²;
+/// scaled here to the 1 µm tiles of the synthetic rules so single-core
+/// training stays tractable — the H/L ratio is preserved).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Resolution {
+    /// Low resolution (the paper's `(L)` rows).
+    Low,
+    /// High resolution (the paper's `(H)` rows — 2× the pixel density).
+    High,
+}
+
+impl Resolution {
+    /// Pixels per tile side at this resolution.
+    pub fn pixels(&self) -> usize {
+        match self {
+            Resolution::Low => 64,
+            Resolution::High => 128,
+        }
+    }
+
+    /// The paper-style suffix, e.g. `"(L)"`.
+    pub fn suffix(&self) -> &'static str {
+        match self {
+            Resolution::Low => "(L)",
+            Resolution::High => "(H)",
+        }
+    }
+}
+
+/// Full synthesis configuration for one dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetConfig {
+    /// Benchmark family.
+    pub kind: DatasetKind,
+    /// Raster resolution.
+    pub resolution: Resolution,
+    /// Number of training tiles.
+    pub train_tiles: usize,
+    /// Number of held-out test tiles.
+    pub test_tiles: usize,
+    /// SOCS kernels used by the golden engine.
+    pub socs_kernels: usize,
+    /// ILT iterations used to OPC the masks.
+    pub opc_iterations: usize,
+    /// Mean shape count per via tile (ignored for metal).
+    pub shapes_per_tile: usize,
+    /// Base RNG seed (tile `i` uses `seed + i`).
+    pub seed: u64,
+}
+
+impl DatasetConfig {
+    /// A reasonable default for the given kind and resolution.
+    pub fn new(kind: DatasetKind, resolution: Resolution) -> Self {
+        Self {
+            kind,
+            resolution,
+            train_tiles: 60,
+            test_tiles: 10,
+            socs_kernels: 8,
+            opc_iterations: 8,
+            shapes_per_tile: match kind {
+                DatasetKind::N14Like => 40,
+                _ => 14,
+            },
+            seed: 0xDA7A + kind as u64,
+        }
+    }
+
+    /// Shrinks tile counts (builder style) — used by smoke tests.
+    #[must_use]
+    pub fn with_tiles(mut self, train: usize, test: usize) -> Self {
+        self.train_tiles = train;
+        self.test_tiles = test;
+        self
+    }
+
+    /// Dataset display name, e.g. `"ISPD-2019 (L)"`.
+    pub fn display_name(&self) -> String {
+        format!("{} {}", self.kind.name(), self.resolution.suffix())
+    }
+
+    /// Pixel pitch in nm for this configuration.
+    pub fn pixel_nm(&self) -> f32 {
+        self.kind.rules().tile_nm as f32 / self.resolution.pixels() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper_tables() {
+        let c = DatasetConfig::new(DatasetKind::Ispd2019Like, Resolution::Low);
+        assert_eq!(c.display_name(), "ISPD-2019 (L)");
+        let c = DatasetConfig::new(DatasetKind::Iccad2013Like, Resolution::High);
+        assert_eq!(c.display_name(), "ICCAD-2013 (H)");
+        assert_eq!(DatasetKind::N14Like.name(), "N14");
+    }
+
+    #[test]
+    fn high_resolution_doubles_pixels() {
+        assert_eq!(Resolution::Low.pixels() * 2, Resolution::High.pixels());
+    }
+
+    #[test]
+    fn pixel_pitch_consistent() {
+        let c = DatasetConfig::new(DatasetKind::Ispd2019Like, Resolution::Low);
+        assert!((c.pixel_nm() - 16.0).abs() < 1e-6);
+        let h = DatasetConfig::new(DatasetKind::Ispd2019Like, Resolution::High);
+        assert!((h.pixel_nm() - 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn seeds_differ_per_kind() {
+        let a = DatasetConfig::new(DatasetKind::Ispd2019Like, Resolution::Low).seed;
+        let b = DatasetConfig::new(DatasetKind::N14Like, Resolution::Low).seed;
+        assert_ne!(a, b);
+    }
+}

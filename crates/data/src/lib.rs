@@ -1,0 +1,32 @@
+//! # litho-data
+//!
+//! End-to-end dataset synthesis for the DOINN reproduction: rule-clean
+//! layout generation → SRAF insertion → ILT OPC → golden SOCS simulation,
+//! yielding the `(mask, resist)` pairs the networks train on (the open
+//! substitute for the paper's ISPD-2019 / ICCAD-2013 / N14 benchmarks —
+//! see `DESIGN.md`).
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use litho_data::{synthesize, DatasetConfig, DatasetKind, Resolution};
+//!
+//! let cfg = DatasetConfig::new(DatasetKind::Ispd2019Like, Resolution::Low)
+//!     .with_tiles(60, 10);
+//! let ds = synthesize(&cfg);
+//! assert_eq!(ds.train.len(), 60);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod config;
+mod synth;
+
+pub use cache::{cache_path, load_dataset, save_dataset, synthesize_cached};
+pub use config::{DatasetConfig, DatasetKind, Resolution};
+pub use synth::{
+    calibrate_threshold, calibrated_resist, design_tile, golden_engine, prepare_mask, synthesize,
+    synthesize_tile, LithoDataset,
+};

@@ -1,0 +1,273 @@
+//! End-to-end dataset synthesis: layout → (SRAF) → ILT OPC → golden litho
+//! simulation → `(mask, resist)` training pairs.
+//!
+//! This replaces the paper's proprietary data pipeline (contest layouts +
+//! Calibre/Lithosim golden runs) with an equivalent fully-open one, per the
+//! substitution table in `DESIGN.md`. The paper itself trains on synthetic
+//! tiles generated "following the same design rules" as the contest layouts,
+//! so the statistical shape of the data is preserved.
+
+use crate::{DatasetConfig, DatasetKind};
+use litho_geometry::rasterize;
+use litho_layout::{
+    generate_metal_layout, generate_via_grid_layout, generate_via_layout, insert_srafs,
+    IltConfig, IltEngine, SrafRules,
+};
+use litho_optics::{
+    LithoModel, Pupil, ResistModel, SimGrid, SocsKernels, SourceModel, TccModel,
+};
+use litho_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A synthesized lithography dataset: `(mask, resist)` pairs as `[1, S, S]`
+/// CHW tensors; masks are grey `[0,1]`, resists are binary `{0,1}`.
+#[derive(Debug, Clone)]
+pub struct LithoDataset {
+    /// Display name, e.g. `"ISPD-2019 (L)"`.
+    pub name: String,
+    /// Simulation grid the tiles were generated on.
+    pub grid: SimGrid,
+    /// Golden engine label (Table 1's "Litho Engine" column).
+    pub engine: &'static str,
+    /// Dose-to-size calibrated resist threshold used for the golden prints.
+    pub resist_threshold: f32,
+    /// Training pairs.
+    pub train: Vec<(Tensor, Tensor)>,
+    /// Held-out test pairs.
+    pub test: Vec<(Tensor, Tensor)>,
+}
+
+impl LithoDataset {
+    /// Tile side length in pixels.
+    pub fn tile_pixels(&self) -> usize {
+        self.grid.size()
+    }
+
+    /// Physical tile area in µm².
+    pub fn tile_area_um2(&self) -> f32 {
+        self.grid.area_um2()
+    }
+}
+
+/// Builds the golden SOCS engine for a dataset configuration.
+pub fn golden_engine(cfg: &DatasetConfig) -> SocsKernels {
+    let grid = SimGrid::new(cfg.resolution.pixels(), cfg.pixel_nm());
+    TccModel::new(grid, Pupil::new(1.35, 193.0), &SourceModel::annular_default())
+        .kernels(cfg.socs_kernels)
+}
+
+/// Generates the design-layer raster for one tile.
+pub fn design_tile(cfg: &DatasetConfig, tile_seed: u64) -> Vec<f32> {
+    let rules = cfg.kind.rules();
+    let size = cfg.resolution.pixels();
+    let px = cfg.pixel_nm();
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(tile_seed));
+    let shapes = match cfg.kind {
+        DatasetKind::Ispd2019Like => {
+            let n = cfg.shapes_per_tile.max(2);
+            let count = rng.gen_range(n / 2..=n + n / 2);
+            generate_via_layout(&rules, count, &mut rng)
+        }
+        DatasetKind::Iccad2013Like => generate_metal_layout(&rules, &mut rng),
+        DatasetKind::N14Like => {
+            let occ = rng.gen_range(0.45..0.8);
+            generate_via_grid_layout(&rules, occ, &mut rng)
+        }
+    };
+    rasterize(&shapes, size, px)
+}
+
+/// Dose-to-size calibration: finds the resist threshold at which the printed
+/// area of `mask` matches the `design` area (bisection; the standard way a
+/// fab anchors the resist model to a calibration pattern).
+pub fn calibrate_threshold(socs: &SocsKernels, mask: &[f32], design: &[f32]) -> f32 {
+    let intensity = socs.aerial_image(mask);
+    let target_area: f32 = design.iter().filter(|&&v| v >= 0.5).count() as f32;
+    if target_area == 0.0 {
+        return 0.3;
+    }
+    let printed_area = |t: f32| intensity.iter().filter(|&&v| v >= t).count() as f32;
+    let (mut lo, mut hi) = (0.02f32, 0.9f32);
+    for _ in 0..24 {
+        let mid = 0.5 * (lo + hi);
+        // raising the threshold shrinks the printed area
+        if printed_area(mid) > target_area {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Prepares the OPC'ed mask for a design raster (SRAF seeding for via
+/// layers, then ILT).
+pub fn prepare_mask(
+    cfg: &DatasetConfig,
+    socs: &SocsKernels,
+    shapes: &[litho_geometry::Rect],
+    design: &[f32],
+) -> Vec<f32> {
+    if cfg.opc_iterations == 0 {
+        return design.to_vec();
+    }
+    let rules = cfg.kind.rules();
+    let size = cfg.resolution.pixels();
+    let px = cfg.pixel_nm();
+    let init = match cfg.kind {
+        DatasetKind::Iccad2013Like => design.to_vec(),
+        _ => {
+            let sraf_rules = SrafRules::default_for(&rules);
+            let srafs = insert_srafs(shapes, &rules, &sraf_rules);
+            let mut all = shapes.to_vec();
+            all.extend(srafs);
+            rasterize(&all, size, px)
+        }
+    };
+    let engine = IltEngine::new(
+        socs,
+        IltConfig {
+            iterations: cfg.opc_iterations,
+            ..IltConfig::default()
+        },
+    );
+    engine.run_from(&init, design).mask
+}
+
+/// Generates one `(mask, resist)` pair: design → optional SRAFs → ILT OPC →
+/// golden print at the given calibrated threshold.
+pub fn synthesize_tile(
+    cfg: &DatasetConfig,
+    socs: &SocsKernels,
+    resist: &ResistModel,
+    tile_seed: u64,
+) -> (Tensor, Tensor) {
+    let rules = cfg.kind.rules();
+    let size = cfg.resolution.pixels();
+    let px = cfg.pixel_nm();
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(tile_seed));
+
+    // design shapes
+    let shapes = match cfg.kind {
+        DatasetKind::Ispd2019Like => {
+            let n = cfg.shapes_per_tile.max(2);
+            let count = rng.gen_range(n / 2..=n + n / 2);
+            generate_via_layout(&rules, count, &mut rng)
+        }
+        DatasetKind::Iccad2013Like => generate_metal_layout(&rules, &mut rng),
+        DatasetKind::N14Like => {
+            let occ = rng.gen_range(0.45..0.8);
+            generate_via_grid_layout(&rules, occ, &mut rng)
+        }
+    };
+    let design = rasterize(&shapes, size, px);
+    let mask = prepare_mask(cfg, socs, &shapes, &design);
+    let printed = resist.develop(&socs.aerial_image(&mask));
+
+    let s = [1, size, size];
+    (Tensor::from_vec(mask, &s), Tensor::from_vec(printed, &s))
+}
+
+/// Builds the dose-to-size calibrated resist model for a dataset (uses a
+/// dedicated calibration tile, seed `9_000_000`).
+pub fn calibrated_resist(cfg: &DatasetConfig, socs: &SocsKernels) -> ResistModel {
+    let rules = cfg.kind.rules();
+    let size = cfg.resolution.pixels();
+    let px = cfg.pixel_nm();
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(9_000_000));
+    let shapes = match cfg.kind {
+        DatasetKind::Ispd2019Like => generate_via_layout(&rules, cfg.shapes_per_tile, &mut rng),
+        DatasetKind::Iccad2013Like => generate_metal_layout(&rules, &mut rng),
+        DatasetKind::N14Like => generate_via_grid_layout(&rules, 0.6, &mut rng),
+    };
+    let design = rasterize(&shapes, size, px);
+    let mask = prepare_mask(cfg, socs, &shapes, &design);
+    let threshold = calibrate_threshold(socs, &mask, &design);
+    ResistModel::ConstantThreshold { threshold }
+}
+
+/// Synthesizes a complete dataset per the configuration.
+///
+/// Deterministic given `cfg.seed`; train and test tiles use disjoint seeds.
+pub fn synthesize(cfg: &DatasetConfig) -> LithoDataset {
+    let socs = golden_engine(cfg);
+    let grid = socs.grid();
+    let resist = calibrated_resist(cfg, &socs);
+    let train = (0..cfg.train_tiles)
+        .map(|i| synthesize_tile(cfg, &socs, &resist, i as u64))
+        .collect();
+    let test = (0..cfg.test_tiles)
+        .map(|i| synthesize_tile(cfg, &socs, &resist, 1_000_000 + i as u64))
+        .collect();
+    LithoDataset {
+        name: cfg.display_name(),
+        grid,
+        engine: cfg.kind.engine_name(),
+        resist_threshold: resist.threshold(),
+        train,
+        test,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Resolution;
+
+    fn smoke_cfg(kind: DatasetKind) -> DatasetConfig {
+        DatasetConfig {
+            socs_kernels: 6,
+            opc_iterations: 3,
+            ..DatasetConfig::new(kind, Resolution::Low)
+        }
+        .with_tiles(2, 1)
+    }
+
+    #[test]
+    fn synthesize_produces_valid_pairs() {
+        let cfg = smoke_cfg(DatasetKind::Ispd2019Like);
+        let ds = synthesize(&cfg);
+        assert_eq!(ds.train.len(), 2);
+        assert_eq!(ds.test.len(), 1);
+        assert_eq!(ds.tile_pixels(), 64);
+        for (mask, resist) in ds.train.iter().chain(&ds.test) {
+            assert_eq!(mask.shape(), &[1, 64, 64]);
+            assert_eq!(resist.shape(), &[1, 64, 64]);
+            assert!(mask.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+            assert!(resist.as_slice().iter().all(|&v| v == 0.0 || v == 1.0));
+            // something must actually print
+            assert!(resist.sum() > 0.0, "empty resist image");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = smoke_cfg(DatasetKind::N14Like);
+        let a = synthesize(&cfg);
+        let b = synthesize(&cfg);
+        assert_eq!(a.train[0].0, b.train[0].0);
+        assert_eq!(a.train[0].1, b.train[0].1);
+    }
+
+    #[test]
+    fn train_and_test_tiles_differ() {
+        let cfg = smoke_cfg(DatasetKind::Iccad2013Like);
+        let ds = synthesize(&cfg);
+        assert_ne!(ds.train[0].0, ds.test[0].0);
+    }
+
+    #[test]
+    fn resist_roughly_tracks_design_area() {
+        // the printed region should be on the same order as the mask area —
+        // sanity that OPC + threshold are calibrated sensibly
+        let cfg = smoke_cfg(DatasetKind::Ispd2019Like);
+        let ds = synthesize(&cfg);
+        for (mask, resist) in &ds.train {
+            let m = mask.sum();
+            let r = resist.sum();
+            assert!(r > 0.1 * m, "resist {r} vs mask {m}");
+            assert!(r < 10.0 * m, "resist {r} vs mask {m}");
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Minimal single-precision complex number type.
+//!
+//! The lithography pipeline only needs `f32` complex arithmetic; a local type
+//! keeps the workspace dependency-free and lets us derive exactly the traits
+//! we need.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f32` components.
+///
+/// # Examples
+///
+/// ```
+/// use litho_fft::Complex32;
+/// let a = Complex32::new(1.0, 2.0);
+/// let b = Complex32::new(3.0, -1.0);
+/// assert_eq!(a + b, Complex32::new(4.0, 1.0));
+/// assert_eq!(a * b, Complex32::new(5.0, 5.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex32 {
+    /// Real part.
+    pub re: f32,
+    /// Imaginary part.
+    pub im: f32,
+}
+
+impl Complex32 {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: Complex32 = Complex32 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: Complex32 = Complex32 { re: 1.0, im: 0.0 };
+    /// The imaginary unit `0 + 1i`.
+    pub const I: Complex32 = Complex32 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f32, im: f32) -> Self {
+        Self { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn from_re(re: f32) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// Returns `e^(i·theta)` (a unit phasor).
+    #[inline]
+    pub fn from_polar(radius: f32, theta: f32) -> Self {
+        Self::new(radius * theta.cos(), radius * theta.sin())
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+
+    /// Squared magnitude `re² + im²`.
+    #[inline]
+    pub fn norm_sqr(self) -> f32 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude (Euclidean norm).
+    #[inline]
+    pub fn abs(self) -> f32 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Argument (phase angle) in radians.
+    #[inline]
+    pub fn arg(self) -> f32 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplies by a real scalar.
+    #[inline]
+    pub fn scale(self, s: f32) -> Self {
+        Self::new(self.re * s, self.im * s)
+    }
+
+    /// Fused multiply-add: `self + a * b`.
+    #[inline]
+    pub fn mul_add(self, a: Self, b: Self) -> Self {
+        Self::new(
+            self.re + a.re * b.re - a.im * b.im,
+            self.im + a.re * b.im + a.im * b.re,
+        )
+    }
+
+    /// Returns `true` if both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl From<f32> for Complex32 {
+    fn from(re: f32) -> Self {
+        Self::from_re(re)
+    }
+}
+
+impl fmt::Display for Complex32 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+impl Add for Complex32 {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex32 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex32 {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Complex32 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex32 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Self::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex32 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f32> for Complex32 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: f32) -> Self {
+        self.scale(rhs)
+    }
+}
+
+impl Div for Complex32 {
+    type Output = Self;
+    #[inline]
+    fn div(self, rhs: Self) -> Self {
+        let d = rhs.norm_sqr();
+        Self::new(
+            (self.re * rhs.re + self.im * rhs.im) / d,
+            (self.im * rhs.re - self.re * rhs.im) / d,
+        )
+    }
+}
+
+impl Div<f32> for Complex32 {
+    type Output = Self;
+    #[inline]
+    fn div(self, rhs: f32) -> Self {
+        Self::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Neg for Complex32 {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        Self::new(-self.re, -self.im)
+    }
+}
+
+impl Sum for Complex32 {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Complex32::new(2.0, -3.0);
+        assert_eq!(a + Complex32::ZERO, a);
+        assert_eq!(a * Complex32::ONE, a);
+        assert_eq!(a - a, Complex32::ZERO);
+        assert_eq!(-a, Complex32::new(-2.0, 3.0));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert_eq!(Complex32::I * Complex32::I, Complex32::new(-1.0, 0.0));
+    }
+
+    #[test]
+    fn conj_and_norm() {
+        let a = Complex32::new(3.0, 4.0);
+        assert_eq!(a.conj(), Complex32::new(3.0, -4.0));
+        assert_eq!(a.norm_sqr(), 25.0);
+        assert_eq!(a.abs(), 5.0);
+        let p = a * a.conj();
+        assert!((p.re - 25.0).abs() < 1e-6 && p.im.abs() < 1e-6);
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = Complex32::new(1.5, -0.5);
+        let b = Complex32::new(-2.0, 0.25);
+        let q = (a * b) / b;
+        assert!((q.re - a.re).abs() < 1e-5);
+        assert!((q.im - a.im).abs() < 1e-5);
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = Complex32::from_polar(2.0, 0.7);
+        assert!((z.abs() - 2.0).abs() < 1e-6);
+        assert!((z.arg() - 0.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mul_add_matches_expanded_form() {
+        let acc = Complex32::new(0.5, 0.5);
+        let a = Complex32::new(1.0, 2.0);
+        let b = Complex32::new(3.0, -1.0);
+        assert_eq!(acc.mul_add(a, b), acc + a * b);
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Complex32::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(Complex32::new(1.0, -2.0).to_string(), "1-2i");
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let v = vec![Complex32::new(1.0, 1.0); 4];
+        let s: Complex32 = v.into_iter().sum();
+        assert_eq!(s, Complex32::new(4.0, 4.0));
+    }
+}

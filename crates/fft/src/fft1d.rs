@@ -1,0 +1,436 @@
+//! One-dimensional complex FFT.
+//!
+//! Power-of-two lengths use an iterative in-place radix-2 Cooley-Tukey
+//! transform; every other length falls back to Bluestein's chirp-z algorithm
+//! (which internally uses a radix-2 transform of length `>= 2n-1`).
+//!
+//! Convention: the forward transform is unscaled, the inverse transform is
+//! scaled by `1/n` — the same convention as `torch.fft.fft` / `ifft`, which
+//! the paper's reference implementation relies on.
+
+use crate::Complex32;
+
+/// Direction of a discrete Fourier transform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// `X[k] = Σ x[n]·e^(-2πi·kn/N)` (unscaled).
+    Forward,
+    /// `x[n] = (1/N)·Σ X[k]·e^(+2πi·kn/N)`.
+    Inverse,
+}
+
+/// A reusable FFT plan for a fixed transform length.
+///
+/// Planning precomputes twiddle factors (and, for non-power-of-two lengths,
+/// the Bluestein chirp filter), so repeated transforms of the same length —
+/// the common case in 2-D transforms and NN training — avoid all setup cost.
+///
+/// # Examples
+///
+/// ```
+/// use litho_fft::{Complex32, FftPlan};
+/// let plan = FftPlan::new(8);
+/// let mut data = vec![Complex32::ZERO; 8];
+/// data[1] = Complex32::ONE;
+/// plan.forward(&mut data);
+/// plan.inverse(&mut data);
+/// assert!((data[1].re - 1.0).abs() < 1e-5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    n: usize,
+    kind: PlanKind,
+}
+
+#[derive(Debug, Clone)]
+enum PlanKind {
+    /// Identity transform (n == 1).
+    Trivial,
+    Radix2 {
+        /// Forward twiddles for each butterfly stage, flattened.
+        twiddles: Vec<Complex32>,
+        /// Bit-reversal permutation.
+        rev: Vec<u32>,
+    },
+    Bluestein {
+        /// Chirp `w[k] = e^(-iπk²/n)` for k in 0..n.
+        chirp: Vec<Complex32>,
+        /// Forward FFT (length m) of the zero-padded conjugate chirp filter.
+        filter_fft: Vec<Complex32>,
+        /// Inner power-of-two plan of length m >= 2n-1.
+        inner: Box<FftPlan>,
+    },
+}
+
+impl FftPlan {
+    /// Creates a plan for transforms of length `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "FFT length must be positive");
+        let kind = if n == 1 {
+            PlanKind::Trivial
+        } else if n.is_power_of_two() {
+            PlanKind::Radix2 {
+                twiddles: make_twiddles(n),
+                rev: bit_reversal(n),
+            }
+        } else {
+            let m = (2 * n - 1).next_power_of_two();
+            let inner = FftPlan::new(m);
+            // chirp[k] = exp(-i * pi * k^2 / n); compute k^2 mod 2n to keep
+            // the phase argument small and accurate for large k.
+            let chirp: Vec<Complex32> = (0..n)
+                .map(|k| {
+                    let k2 = (k * k) % (2 * n);
+                    Complex32::from_polar(1.0, -std::f32::consts::PI * k2 as f32 / n as f32)
+                })
+                .collect();
+            let mut filter = vec![Complex32::ZERO; m];
+            filter[0] = chirp[0].conj();
+            for k in 1..n {
+                filter[k] = chirp[k].conj();
+                filter[m - k] = chirp[k].conj();
+            }
+            inner.forward(&mut filter);
+            PlanKind::Bluestein {
+                chirp,
+                filter_fft: filter,
+                inner: Box::new(inner),
+            }
+        };
+        Self { n, kind }
+    }
+
+    /// The transform length this plan was built for.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` if the transform length is 1 (the identity transform).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// In-place forward DFT (unscaled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.len()`.
+    pub fn forward(&self, data: &mut [Complex32]) {
+        self.transform(data, Direction::Forward);
+    }
+
+    /// In-place inverse DFT (scaled by `1/n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.len()`.
+    pub fn inverse(&self, data: &mut [Complex32]) {
+        self.transform(data, Direction::Inverse);
+    }
+
+    /// In-place transform in the given direction.
+    pub fn transform(&self, data: &mut [Complex32], dir: Direction) {
+        assert_eq!(data.len(), self.n, "buffer length must match plan length");
+        match (&self.kind, dir) {
+            (PlanKind::Trivial, _) => {}
+            (PlanKind::Radix2 { twiddles, rev }, Direction::Forward) => {
+                radix2(data, twiddles, rev, false);
+            }
+            (PlanKind::Radix2 { twiddles, rev }, Direction::Inverse) => {
+                radix2(data, twiddles, rev, true);
+                let inv = 1.0 / self.n as f32;
+                for v in data.iter_mut() {
+                    *v = v.scale(inv);
+                }
+            }
+            (PlanKind::Bluestein { .. }, Direction::Forward) => {
+                self.bluestein(data, false);
+            }
+            (PlanKind::Bluestein { .. }, Direction::Inverse) => {
+                self.bluestein(data, true);
+                let inv = 1.0 / self.n as f32;
+                for v in data.iter_mut() {
+                    *v = v.scale(inv);
+                }
+            }
+        }
+    }
+
+    fn bluestein(&self, data: &mut [Complex32], inverse: bool) {
+        let PlanKind::Bluestein {
+            chirp,
+            filter_fft,
+            inner,
+        } = &self.kind
+        else {
+            unreachable!("bluestein called on non-bluestein plan");
+        };
+        let n = self.n;
+        let m = inner.len();
+        // For the inverse direction run the forward machinery on conjugated
+        // input and conjugate the output (standard conjugation trick).
+        let mut a = vec![Complex32::ZERO; m];
+        for k in 0..n {
+            let x = if inverse { data[k].conj() } else { data[k] };
+            a[k] = x * chirp[k];
+        }
+        inner.forward(&mut a);
+        for (v, f) in a.iter_mut().zip(filter_fft.iter()) {
+            *v = *v * *f;
+        }
+        inner.inverse(&mut a);
+        for k in 0..n {
+            let y = a[k] * chirp[k];
+            data[k] = if inverse { y.conj() } else { y };
+        }
+    }
+}
+
+/// Per-stage forward twiddles, flattened stage after stage.
+fn make_twiddles(n: usize) -> Vec<Complex32> {
+    let mut tw = Vec::with_capacity(n.max(2) - 1);
+    let mut len = 2;
+    while len <= n {
+        let half = len / 2;
+        for j in 0..half {
+            let angle = -2.0 * std::f64::consts::PI * j as f64 / len as f64;
+            tw.push(Complex32::new(angle.cos() as f32, angle.sin() as f32));
+        }
+        len <<= 1;
+    }
+    tw
+}
+
+fn bit_reversal(n: usize) -> Vec<u32> {
+    let bits = n.trailing_zeros();
+    (0..n as u32)
+        .map(|i| i.reverse_bits() >> (32 - bits))
+        .collect()
+}
+
+fn radix2(data: &mut [Complex32], twiddles: &[Complex32], rev: &[u32], inverse: bool) {
+    let n = data.len();
+    for i in 0..n {
+        let j = rev[i] as usize;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    let mut len = 2;
+    let mut tw_off = 0;
+    while len <= n {
+        let half = len / 2;
+        let stage = &twiddles[tw_off..tw_off + half];
+        let mut base = 0;
+        while base < n {
+            for j in 0..half {
+                let w = if inverse { stage[j].conj() } else { stage[j] };
+                let u = data[base + j];
+                let t = data[base + j + half] * w;
+                data[base + j] = u + t;
+                data[base + j + half] = u - t;
+            }
+            base += len;
+        }
+        tw_off += half;
+        len <<= 1;
+    }
+}
+
+/// Convenience one-shot forward FFT (allocates a plan internally).
+///
+/// Prefer [`FftPlan`] when transforming repeatedly at the same length.
+pub fn fft(data: &mut [Complex32]) {
+    FftPlan::new(data.len()).forward(data);
+}
+
+/// Convenience one-shot inverse FFT (allocates a plan internally).
+pub fn ifft(data: &mut [Complex32]) {
+    FftPlan::new(data.len()).inverse(data);
+}
+
+/// Sample frequencies (cycles per unit of `spacing`) for an `n`-point DFT,
+/// matching `numpy.fft.fftfreq` ordering.
+pub fn fft_freq(n: usize, spacing: f32) -> Vec<f32> {
+    let mut out = Vec::with_capacity(n);
+    let nf = n as f32;
+    let half = n.div_ceil(2);
+    for k in 0..half {
+        out.push(k as f32 / (nf * spacing));
+    }
+    for k in half..n {
+        out.push((k as isize - n as isize) as f32 / (nf * spacing));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dft(x: &[Complex32], inverse: bool) -> Vec<Complex32> {
+        let n = x.len();
+        let sign = if inverse { 1.0 } else { -1.0 };
+        let mut out = vec![Complex32::ZERO; n];
+        for (k, o) in out.iter_mut().enumerate() {
+            let mut acc = Complex32::ZERO;
+            for (j, &v) in x.iter().enumerate() {
+                let angle =
+                    sign * 2.0 * std::f64::consts::PI * (k * j % n) as f64 / n as f64;
+                acc += v * Complex32::new(angle.cos() as f32, angle.sin() as f32);
+            }
+            *o = if inverse { acc.scale(1.0 / n as f32) } else { acc };
+        }
+        out
+    }
+
+    fn ramp(n: usize) -> Vec<Complex32> {
+        (0..n)
+            .map(|i| Complex32::new(i as f32 * 0.37 - 1.0, (i as f32 * 0.11).sin()))
+            .collect()
+    }
+
+    fn assert_close(a: &[Complex32], b: &[Complex32], tol: f32) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (*x - *y).abs() <= tol,
+                "mismatch at {i}: {x} vs {y} (tol {tol})"
+            );
+        }
+    }
+
+    #[test]
+    fn impulse_transforms_to_constant() {
+        let mut d = vec![Complex32::ZERO; 16];
+        d[0] = Complex32::ONE;
+        fft(&mut d);
+        for v in &d {
+            assert!((v.re - 1.0).abs() < 1e-6 && v.im.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft_power_of_two() {
+        for n in [2usize, 4, 8, 32, 128] {
+            let x = ramp(n);
+            let mut y = x.clone();
+            fft(&mut y);
+            assert_close(&y, &naive_dft(&x, false), 1e-3 * n as f32);
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft_bluestein() {
+        for n in [3usize, 5, 6, 7, 12, 15, 50, 100] {
+            let x = ramp(n);
+            let mut y = x.clone();
+            fft(&mut y);
+            assert_close(&y, &naive_dft(&x, false), 2e-3 * n as f32);
+        }
+    }
+
+    #[test]
+    fn roundtrip_restores_input() {
+        for n in [1usize, 2, 3, 8, 10, 17, 64, 100] {
+            let x = ramp(n);
+            let mut y = x.clone();
+            let plan = FftPlan::new(n);
+            plan.forward(&mut y);
+            plan.inverse(&mut y);
+            assert_close(&y, &x, 1e-4 * (n as f32).max(1.0));
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conserved() {
+        let n = 64;
+        let x = ramp(n);
+        let mut y = x.clone();
+        fft(&mut y);
+        let ex: f32 = x.iter().map(|v| v.norm_sqr()).sum();
+        let ey: f32 = y.iter().map(|v| v.norm_sqr()).sum::<f32>() / n as f32;
+        assert!((ex - ey).abs() < 1e-2 * ex.max(1.0));
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 32;
+        let a = ramp(n);
+        let b: Vec<Complex32> = ramp(n).iter().map(|v| v.conj() * 0.5).collect();
+        let sum: Vec<Complex32> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        let mut fs = sum.clone();
+        fft(&mut fa);
+        fft(&mut fb);
+        fft(&mut fs);
+        let expect: Vec<Complex32> = fa.iter().zip(&fb).map(|(x, y)| *x + *y).collect();
+        assert_close(&fs, &expect, 1e-3);
+    }
+
+    #[test]
+    fn real_input_has_hermitian_spectrum() {
+        let n = 16;
+        let x: Vec<Complex32> = (0..n)
+            .map(|i| Complex32::from_re((i as f32 * 0.9).cos()))
+            .collect();
+        let mut y = x;
+        fft(&mut y);
+        for k in 1..n {
+            let d = y[k] - y[n - k].conj();
+            assert!(d.abs() < 1e-4, "k={k}: {d:?}");
+        }
+    }
+
+    #[test]
+    fn shift_theorem() {
+        // x[n-1 cyclic shift] => X[k] * e^{-2pi i k / N}
+        let n = 32;
+        let x = ramp(n);
+        let mut shifted = vec![Complex32::ZERO; n];
+        for i in 0..n {
+            shifted[(i + 1) % n] = x[i];
+        }
+        let mut fx = x.clone();
+        let mut fsh = shifted;
+        fft(&mut fx);
+        fft(&mut fsh);
+        for k in 0..n {
+            let phase = Complex32::from_polar(
+                1.0,
+                -2.0 * std::f32::consts::PI * k as f32 / n as f32,
+            );
+            let d = fsh[k] - fx[k] * phase;
+            assert!(d.abs() < 2e-3, "k={k}");
+        }
+    }
+
+    #[test]
+    fn fft_freq_matches_numpy_convention() {
+        let f = fft_freq(4, 1.0);
+        assert_eq!(f, vec![0.0, 0.25, -0.5, -0.25]);
+        let f5 = fft_freq(5, 1.0);
+        assert_eq!(f5, vec![0.0, 0.2, 0.4, -0.4, -0.2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "FFT length must be positive")]
+    fn zero_length_plan_panics() {
+        let _ = FftPlan::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length must match")]
+    fn wrong_buffer_length_panics() {
+        let plan = FftPlan::new(8);
+        let mut d = vec![Complex32::ZERO; 4];
+        plan.forward(&mut d);
+    }
+}

@@ -1,0 +1,290 @@
+//! Two-dimensional FFT over row-major buffers.
+//!
+//! A [`Fft2`] plan owns 1-D plans for the row and column lengths and a
+//! scratch-free transpose strategy: rows are transformed in place, then the
+//! matrix is transposed, column transforms run as rows, and the matrix is
+//! transposed back. For the image sizes used in lithography (≥128²) this is
+//! faster than strided column access on one core.
+
+use crate::fft1d::{Direction, FftPlan};
+use crate::Complex32;
+
+/// A reusable 2-D FFT plan for `rows x cols` row-major complex buffers.
+///
+/// Convention matches [`FftPlan`]: forward unscaled, inverse scaled by
+/// `1/(rows·cols)` — identical to `torch.fft.fft2` / `ifft2`.
+///
+/// # Examples
+///
+/// ```
+/// use litho_fft::{Complex32, Fft2};
+/// let plan = Fft2::new(4, 8);
+/// let mut img = vec![Complex32::ZERO; 32];
+/// img[0] = Complex32::ONE;
+/// plan.forward(&mut img);
+/// assert!(img.iter().all(|v| (v.re - 1.0).abs() < 1e-6));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fft2 {
+    rows: usize,
+    cols: usize,
+    row_plan: FftPlan,
+    col_plan: FftPlan,
+}
+
+impl Fft2 {
+    /// Creates a plan for `rows x cols` transforms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            row_plan: FftPlan::new(cols),
+            col_plan: FftPlan::new(rows),
+        }
+    }
+
+    /// Number of rows (height).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (width).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of elements per transform.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Returns `true` if the plan covers zero elements (never happens; kept
+    /// for API symmetry with `len`).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// In-place forward 2-D DFT (unscaled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows*cols`.
+    pub fn forward(&self, data: &mut [Complex32]) {
+        self.transform(data, Direction::Forward);
+    }
+
+    /// In-place inverse 2-D DFT (scaled by `1/(rows·cols)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows*cols`.
+    pub fn inverse(&self, data: &mut [Complex32]) {
+        self.transform(data, Direction::Inverse);
+    }
+
+    /// In-place transform in the given direction.
+    pub fn transform(&self, data: &mut [Complex32], dir: Direction) {
+        assert_eq!(
+            data.len(),
+            self.rows * self.cols,
+            "buffer length must be rows*cols"
+        );
+        for r in 0..self.rows {
+            self.row_plan
+                .transform(&mut data[r * self.cols..(r + 1) * self.cols], dir);
+        }
+        let mut tr = transpose(data, self.rows, self.cols);
+        for c in 0..self.cols {
+            self.col_plan
+                .transform(&mut tr[c * self.rows..(c + 1) * self.rows], dir);
+        }
+        transpose_into(&tr, self.cols, self.rows, data);
+    }
+
+    /// Forward transform of a real image, returning a freshly allocated
+    /// complex spectrum.
+    pub fn forward_real(&self, data: &[f32]) -> Vec<Complex32> {
+        assert_eq!(data.len(), self.len(), "buffer length must be rows*cols");
+        let mut c: Vec<Complex32> = data.iter().map(|&v| Complex32::from_re(v)).collect();
+        self.forward(&mut c);
+        c
+    }
+
+    /// Inverse transform returning only the real part (imaginary residue from
+    /// numerically Hermitian spectra is discarded).
+    pub fn inverse_real(&self, spectrum: &[Complex32]) -> Vec<f32> {
+        assert_eq!(
+            spectrum.len(),
+            self.len(),
+            "buffer length must be rows*cols"
+        );
+        let mut c = spectrum.to_vec();
+        self.inverse(&mut c);
+        c.into_iter().map(|v| v.re).collect()
+    }
+}
+
+/// Out-of-place matrix transpose (`rows x cols` → `cols x rows`).
+pub fn transpose(data: &[Complex32], rows: usize, cols: usize) -> Vec<Complex32> {
+    let mut out = vec![Complex32::ZERO; data.len()];
+    transpose_into(data, rows, cols, &mut out);
+    out
+}
+
+fn transpose_into(data: &[Complex32], rows: usize, cols: usize, out: &mut [Complex32]) {
+    // Blocked transpose for cache friendliness at large sizes.
+    const B: usize = 32;
+    for rb in (0..rows).step_by(B) {
+        for cb in (0..cols).step_by(B) {
+            for r in rb..(rb + B).min(rows) {
+                for c in cb..(cb + B).min(cols) {
+                    out[c * rows + r] = data[r * cols + c];
+                }
+            }
+        }
+    }
+}
+
+/// Swaps quadrants so the zero-frequency component moves to the centre
+/// (`numpy.fft.fftshift` for 2-D arrays).
+pub fn fftshift2(data: &[Complex32], rows: usize, cols: usize) -> Vec<Complex32> {
+    let mut out = vec![Complex32::ZERO; data.len()];
+    let rh = rows.div_ceil(2);
+    let ch = cols.div_ceil(2);
+    for r in 0..rows {
+        for c in 0..cols {
+            let nr = (r + rows - rh) % rows;
+            let nc = (c + cols - ch) % cols;
+            out[nr * cols + nc] = data[r * cols + c];
+        }
+    }
+    out
+}
+
+/// Inverse of [`fftshift2`].
+pub fn ifftshift2(data: &[Complex32], rows: usize, cols: usize) -> Vec<Complex32> {
+    let mut out = vec![Complex32::ZERO; data.len()];
+    let rh = rows.div_ceil(2);
+    let ch = cols.div_ceil(2);
+    for r in 0..rows {
+        for c in 0..cols {
+            let nr = (r + rh) % rows;
+            let nc = (c + ch) % cols;
+            out[nr * cols + nc] = data[r * cols + c];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(rows: usize, cols: usize) -> Vec<Complex32> {
+        (0..rows * cols)
+            .map(|i| Complex32::new((i as f32 * 0.13).sin(), (i as f32 * 0.07).cos()))
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_square_and_rect() {
+        for (r, c) in [(4usize, 4usize), (8, 16), (3, 5), (16, 3)] {
+            let x = ramp(r, c);
+            let mut y = x.clone();
+            let plan = Fft2::new(r, c);
+            plan.forward(&mut y);
+            plan.inverse(&mut y);
+            for (a, b) in x.iter().zip(&y) {
+                assert!((*a - *b).abs() < 1e-4, "({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn separable_product_transforms_correctly() {
+        // x[r,c] = f[r]*g[c]  =>  X[k,l] = F[k]*G[l]
+        let rows = 8;
+        let cols = 4;
+        let f: Vec<Complex32> = (0..rows)
+            .map(|i| Complex32::new(i as f32, -(i as f32) * 0.5))
+            .collect();
+        let g: Vec<Complex32> = (0..cols).map(|i| Complex32::new(1.0, i as f32)).collect();
+        let mut x = vec![Complex32::ZERO; rows * cols];
+        for r in 0..rows {
+            for c in 0..cols {
+                x[r * cols + c] = f[r] * g[c];
+            }
+        }
+        let plan = Fft2::new(rows, cols);
+        plan.forward(&mut x);
+        let mut ff = f;
+        let mut fg = g;
+        crate::fft(&mut ff);
+        crate::fft(&mut fg);
+        for r in 0..rows {
+            for c in 0..cols {
+                let want = ff[r] * fg[c];
+                let got = x[r * cols + c];
+                assert!((want - got).abs() < 1e-2, "r={r} c={c}: {want} vs {got}");
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let x = ramp(5, 7);
+        let t = transpose(&x, 5, 7);
+        let tt = transpose(&t, 7, 5);
+        assert_eq!(x, tt);
+    }
+
+    #[test]
+    fn fftshift_roundtrip_even_and_odd() {
+        for (r, c) in [(4usize, 4usize), (5, 5), (4, 6), (5, 4)] {
+            let x = ramp(r, c);
+            let s = fftshift2(&x, r, c);
+            let back = ifftshift2(&s, r, c);
+            assert_eq!(x, back, "({r},{c})");
+        }
+    }
+
+    #[test]
+    fn fftshift_centres_dc() {
+        let rows = 4;
+        let cols = 4;
+        let mut x = vec![Complex32::ZERO; 16];
+        x[0] = Complex32::ONE; // DC bin at (0,0)
+        let s = fftshift2(&x, rows, cols);
+        assert_eq!(s[2 * cols + 2], Complex32::ONE);
+    }
+
+    #[test]
+    fn real_helpers_roundtrip() {
+        let plan = Fft2::new(8, 8);
+        let img: Vec<f32> = (0..64).map(|i| (i as f32 * 0.3).sin()).collect();
+        let spec = plan.forward_real(&img);
+        let back = plan.inverse_real(&spec);
+        for (a, b) in img.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn parseval_2d() {
+        let plan = Fft2::new(16, 8);
+        let x = ramp(16, 8);
+        let mut y = x.clone();
+        plan.forward(&mut y);
+        let ex: f32 = x.iter().map(|v| v.norm_sqr()).sum();
+        let ey: f32 = y.iter().map(|v| v.norm_sqr()).sum::<f32>() / 128.0;
+        assert!((ex - ey).abs() < 1e-2 * ex);
+    }
+}

@@ -1,0 +1,43 @@
+//! # litho-fft
+//!
+//! Pure-Rust single-precision FFT used throughout the DOINN lithography
+//! reproduction: by the golden Hopkins/Abbe simulator (`litho-optics`), by the
+//! optimized Fourier Unit at the heart of the DOINN network (`doinn`), and by
+//! the ILT OPC engine (`litho-layout`).
+//!
+//! - [`Complex32`] — minimal `f32` complex arithmetic.
+//! - [`FftPlan`] — reusable 1-D plans; radix-2 for powers of two, Bluestein
+//!   for everything else.
+//! - [`Fft2`] — 2-D transforms over row-major buffers with real-input helpers.
+//!
+//! Scaling convention matches `torch.fft`: forward unscaled, inverse scaled
+//! by `1/N`. The adjoint identities used by backpropagation are therefore
+//! `F^H = N·F⁻¹` and `(F⁻¹)^H = (1/N)·F`.
+//!
+//! # Examples
+//!
+//! ```
+//! use litho_fft::{Complex32, Fft2};
+//!
+//! // 2-D convolution theorem: conv(a, b) == iFFT(FFT(a) ⊙ FFT(b))
+//! let plan = Fft2::new(8, 8);
+//! let a: Vec<f32> = (0..64).map(|i| (i % 7) as f32).collect();
+//! let mut fa = plan.forward_real(&a);
+//! let fb = plan.forward_real(&a);
+//! for (x, y) in fa.iter_mut().zip(&fb) {
+//!     *x = *x * *y;
+//! }
+//! let conv = plan.inverse_real(&fa);
+//! assert_eq!(conv.len(), 64);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod complex;
+mod fft1d;
+mod fft2d;
+
+pub use complex::Complex32;
+pub use fft1d::{fft, fft_freq, ifft, Direction, FftPlan};
+pub use fft2d::{fftshift2, ifftshift2, transpose, Fft2};

@@ -1,0 +1,90 @@
+//! Adjoint identities the autograd stack relies on:
+//! `F^H = N·F⁻¹` and `(F⁻¹)^H = F/N` under the torch-style scaling
+//! convention (forward unscaled, inverse 1/N).
+//!
+//! If these break, every gradient flowing through a Fourier unit is wrong,
+//! so they get their own integration test file.
+
+use litho_fft::{Complex32, Fft2, FftPlan};
+
+fn inner(a: &[Complex32], b: &[Complex32]) -> Complex32 {
+    a.iter().zip(b).map(|(x, y)| x.conj() * *y).sum()
+}
+
+fn signal(n: usize, seed: u32) -> Vec<Complex32> {
+    (0..n)
+        .map(|i| {
+            let t = (i as u32).wrapping_mul(seed.wrapping_add(13)) as f32;
+            Complex32::new((t * 0.017).sin(), (t * 0.029).cos())
+        })
+        .collect()
+}
+
+#[test]
+fn forward_adjoint_is_scaled_inverse_1d() {
+    for n in [8usize, 16, 12, 50] {
+        let plan = FftPlan::new(n);
+        let x = signal(n, 1);
+        let y = signal(n, 2);
+        // <F x, y> must equal <x, F^H y> with F^H = N * F^{-1}
+        let mut fx = x.clone();
+        plan.forward(&mut fx);
+        let lhs = inner(&fx, &y);
+        let mut fhy = y.clone();
+        plan.inverse(&mut fhy);
+        let fhy: Vec<Complex32> = fhy.into_iter().map(|v| v.scale(n as f32)).collect();
+        let rhs = inner(&x, &fhy);
+        assert!(
+            (lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()),
+            "n={n}: {lhs} vs {rhs}"
+        );
+    }
+}
+
+#[test]
+fn inverse_adjoint_is_scaled_forward_1d() {
+    let n = 32;
+    let plan = FftPlan::new(n);
+    let x = signal(n, 3);
+    let y = signal(n, 4);
+    // <F^{-1} x, y> == <x, (1/N) F y>
+    let mut ix = x.clone();
+    plan.inverse(&mut ix);
+    let lhs = inner(&ix, &y);
+    let mut fy = y.clone();
+    plan.forward(&mut fy);
+    let fy: Vec<Complex32> = fy.into_iter().map(|v| v.scale(1.0 / n as f32)).collect();
+    let rhs = inner(&x, &fy);
+    assert!((lhs - rhs).abs() < 1e-3 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+}
+
+#[test]
+fn forward_adjoint_2d() {
+    let (r, c) = (8usize, 16usize);
+    let n = r * c;
+    let plan = Fft2::new(r, c);
+    let x = signal(n, 5);
+    let y = signal(n, 6);
+    let mut fx = x.clone();
+    plan.forward(&mut fx);
+    let lhs = inner(&fx, &y);
+    let mut fhy = y.clone();
+    plan.inverse(&mut fhy);
+    let fhy: Vec<Complex32> = fhy.into_iter().map(|v| v.scale(n as f32)).collect();
+    let rhs = inner(&x, &fhy);
+    assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+}
+
+#[test]
+fn unitarity_up_to_scaling_2d() {
+    // ||F x||² == N ||x||² under the unscaled-forward convention
+    let (r, c) = (16usize, 8usize);
+    let n = r * c;
+    let plan = Fft2::new(r, c);
+    let x = signal(n, 7);
+    let ex: f64 = x.iter().map(|v| v.norm_sqr() as f64).sum();
+    let mut fx = x;
+    plan.forward(&mut fx);
+    let efx: f64 = fx.iter().map(|v| v.norm_sqr() as f64).sum();
+    assert!((efx - n as f64 * ex).abs() < 1e-2 * efx, "{efx} vs {}", n as f64 * ex);
+}

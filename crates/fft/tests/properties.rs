@@ -1,0 +1,93 @@
+//! Property-based tests for the FFT crate: invariants that must hold for any
+//! input signal and any transform length.
+
+use litho_fft::{fft_freq, Complex32, Fft2, FftPlan};
+use proptest::prelude::*;
+
+fn signal(n: usize) -> impl Strategy<Value = Vec<Complex32>> {
+    prop::collection::vec((-10.0f32..10.0, -10.0f32..10.0), n)
+        .prop_map(|v| v.into_iter().map(|(re, im)| Complex32::new(re, im)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn roundtrip_any_length(n in 1usize..96, seed in 0u64..1000) {
+        let x: Vec<Complex32> = (0..n)
+            .map(|i| {
+                let t = (i as u64).wrapping_mul(seed.wrapping_add(1)) as f32;
+                Complex32::new((t * 0.01).sin(), (t * 0.013).cos())
+            })
+            .collect();
+        let plan = FftPlan::new(n);
+        let mut y = x.clone();
+        plan.forward(&mut y);
+        plan.inverse(&mut y);
+        for (a, b) in x.iter().zip(&y) {
+            prop_assert!((*a - *b).abs() < 1e-3 * (n as f32).max(1.0));
+        }
+    }
+
+    #[test]
+    fn parseval_any_signal(x in signal(64)) {
+        let mut y = x.clone();
+        let plan = FftPlan::new(64);
+        plan.forward(&mut y);
+        let ex: f64 = x.iter().map(|v| v.norm_sqr() as f64).sum();
+        let ey: f64 = y.iter().map(|v| v.norm_sqr() as f64).sum::<f64>() / 64.0;
+        prop_assert!((ex - ey).abs() <= 1e-3 * ex.max(1.0));
+    }
+
+    #[test]
+    fn forward_is_linear(a in signal(32), b in signal(32), alpha in -3.0f32..3.0) {
+        let plan = FftPlan::new(32);
+        let combo: Vec<Complex32> = a.iter().zip(&b).map(|(x, y)| *x + y.scale(alpha)).collect();
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        let mut fc = combo;
+        plan.forward(&mut fa);
+        plan.forward(&mut fb);
+        plan.forward(&mut fc);
+        for i in 0..32 {
+            let want = fa[i] + fb[i].scale(alpha);
+            prop_assert!((fc[i] - want).abs() < 2e-2 * (1.0 + want.abs()));
+        }
+    }
+
+    #[test]
+    fn dc_bin_is_signal_sum(x in signal(48)) {
+        let mut y = x.clone();
+        FftPlan::new(48).forward(&mut y);
+        let sum: Complex32 = x.into_iter().sum();
+        prop_assert!((y[0] - sum).abs() < 1e-2 * (1.0 + sum.abs()));
+    }
+
+    #[test]
+    fn fft2_roundtrip(r in 1usize..12, c in 1usize..12, seed in 0u64..100) {
+        let n = r * c;
+        let x: Vec<Complex32> = (0..n)
+            .map(|i| {
+                let t = (i as u64).wrapping_mul(seed + 3) as f32;
+                Complex32::new((t * 0.021).sin(), (t * 0.017).cos())
+            })
+            .collect();
+        let plan = Fft2::new(r, c);
+        let mut y = x.clone();
+        plan.forward(&mut y);
+        plan.inverse(&mut y);
+        for (a, b) in x.iter().zip(&y) {
+            prop_assert!((*a - *b).abs() < 1e-3 * (n as f32).max(1.0));
+        }
+    }
+
+    #[test]
+    fn fft_freq_is_antisymmetric(n in 2usize..64) {
+        let f = fft_freq(n, 1.0);
+        prop_assert_eq!(f[0], 0.0);
+        // every non-Nyquist positive frequency has a matching negative one
+        for k in 1..n.div_ceil(2) {
+            prop_assert!((f[k] + f[n - k]).abs() < 1e-6);
+        }
+    }
+}

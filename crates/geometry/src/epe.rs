@@ -1,0 +1,214 @@
+//! Edge placement error (EPE) measurement.
+//!
+//! OPC flows steer mask edges by the *edge placement error*: the distance
+//! between where a contour edge was drawn and where it actually prints. The
+//! DOINN paper's introduction frames prior ML-for-litho work around EPE
+//! prediction ([6], [7]); this module measures it between two binary images
+//! so learned simulators can be scored in OPC-relevant units (nanometres)
+//! rather than only pixel overlap.
+
+/// Summary statistics of edge placement error between a reference contour
+/// and an observed contour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpeStats {
+    /// Mean absolute EPE over all sampled reference edge points, in nm.
+    pub mean_nm: f32,
+    /// Maximum absolute EPE, in nm.
+    pub max_nm: f32,
+    /// Number of sampled edge points whose EPE exceeds the threshold.
+    pub violations: usize,
+    /// Total number of sampled edge points.
+    pub samples: usize,
+}
+
+impl EpeStats {
+    /// Fraction of sampled points violating the EPE threshold.
+    pub fn violation_rate(&self) -> f32 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.violations as f32 / self.samples as f32
+        }
+    }
+}
+
+/// Returns `true` where the binary image has a set pixel with at least one
+/// unset 4-neighbour (its inner boundary).
+pub fn boundary(img: &[f32], size: usize) -> Vec<bool> {
+    assert_eq!(img.len(), size * size, "image size mismatch");
+    let set = |y: isize, x: isize| -> bool {
+        if y < 0 || x < 0 || y >= size as isize || x >= size as isize {
+            false
+        } else {
+            img[y as usize * size + x as usize] >= 0.5
+        }
+    };
+    let mut out = vec![false; size * size];
+    for y in 0..size as isize {
+        for x in 0..size as isize {
+            if set(y, x)
+                && (!set(y - 1, x) || !set(y + 1, x) || !set(y, x - 1) || !set(y, x + 1))
+            {
+                out[y as usize * size + x as usize] = true;
+            }
+        }
+    }
+    out
+}
+
+/// Measures EPE of `observed` against `reference` (both binary images of
+/// `size²` pixels with `pixel_nm` pitch).
+///
+/// Every `sample_stride`-th boundary pixel of the reference is matched to
+/// the nearest boundary pixel of the observed contour within a search
+/// window; the distance (in nm) is its EPE. Points with no observed edge in
+/// the window count as `window` nm (a gross miss). `threshold_nm` defines a
+/// violation.
+///
+/// # Panics
+///
+/// Panics if image sizes mismatch or `sample_stride == 0`.
+pub fn measure_epe(
+    observed: &[f32],
+    reference: &[f32],
+    size: usize,
+    pixel_nm: f32,
+    sample_stride: usize,
+    threshold_nm: f32,
+) -> EpeStats {
+    assert_eq!(observed.len(), size * size, "observed size mismatch");
+    assert_eq!(reference.len(), size * size, "reference size mismatch");
+    assert!(sample_stride > 0, "sample stride must be positive");
+    let ref_edge = boundary(reference, size);
+    let obs_edge = boundary(observed, size);
+    let window = 16isize.min(size as isize - 1);
+
+    let mut total = 0.0f64;
+    let mut max_nm = 0.0f32;
+    let mut violations = 0usize;
+    let mut samples = 0usize;
+    let mut counter = 0usize;
+    for y in 0..size {
+        for x in 0..size {
+            if !ref_edge[y * size + x] {
+                continue;
+            }
+            counter += 1;
+            if counter % sample_stride != 0 {
+                continue;
+            }
+            // nearest observed-edge pixel within the window
+            let mut best = f32::INFINITY;
+            for dy in -window..=window {
+                for dx in -window..=window {
+                    let (yy, xx) = (y as isize + dy, x as isize + dx);
+                    if yy < 0 || xx < 0 || yy >= size as isize || xx >= size as isize {
+                        continue;
+                    }
+                    if obs_edge[yy as usize * size + xx as usize] {
+                        let d2 = (dy * dy + dx * dx) as f32;
+                        best = best.min(d2);
+                    }
+                }
+            }
+            let epe_nm = if best.is_finite() {
+                best.sqrt() * pixel_nm
+            } else {
+                window as f32 * pixel_nm
+            };
+            total += epe_nm as f64;
+            max_nm = max_nm.max(epe_nm);
+            if epe_nm > threshold_nm {
+                violations += 1;
+            }
+            samples += 1;
+        }
+    }
+    EpeStats {
+        mean_nm: if samples == 0 {
+            0.0
+        } else {
+            (total / samples as f64) as f32
+        },
+        max_nm,
+        violations,
+        samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{rasterize, Rect};
+
+    fn square_img(size: usize, r: Rect) -> Vec<f32> {
+        rasterize(&[r], size, 4.0)
+    }
+
+    #[test]
+    fn boundary_of_square_is_its_perimeter() {
+        let img = square_img(16, Rect::new(16, 16, 40, 40)); // 6x6 px square
+        let b = boundary(&img, 16);
+        let count = b.iter().filter(|&&v| v).count();
+        // 6x6 square: perimeter pixels = 6*4 - 4 = 20
+        assert_eq!(count, 20);
+    }
+
+    #[test]
+    fn identical_contours_have_zero_epe() {
+        let img = square_img(32, Rect::new(24, 24, 88, 88));
+        let stats = measure_epe(&img, &img, 32, 4.0, 1, 2.0);
+        assert!(stats.samples > 0);
+        assert_eq!(stats.mean_nm, 0.0);
+        assert_eq!(stats.max_nm, 0.0);
+        assert_eq!(stats.violations, 0);
+    }
+
+    #[test]
+    fn shifted_contour_reports_shift_distance() {
+        // reference square and a copy shifted by 2 px = 8 nm: edges parallel
+        // to the shift keep ~0 EPE, edges perpendicular see 8 nm
+        let reference = square_img(32, Rect::new(24, 24, 72, 72));
+        let observed = square_img(32, Rect::new(32, 24, 80, 72)); // +8 nm in x
+        let stats = measure_epe(&observed, &reference, 32, 4.0, 1, 4.0);
+        assert!(stats.mean_nm > 1.0, "mean {}", stats.mean_nm);
+        assert!(
+            (stats.max_nm - 8.0).abs() <= 4.0,
+            "max EPE should be ≈ the shift: {}",
+            stats.max_nm
+        );
+        assert!(stats.violations > 0);
+    }
+
+    #[test]
+    fn biased_contour_epe_matches_bias() {
+        // uniformly grown square: every edge displaced by exactly 1 px = 4 nm
+        let reference = square_img(32, Rect::new(24, 24, 72, 72));
+        let observed = square_img(32, Rect::new(20, 20, 76, 76));
+        let stats = measure_epe(&observed, &reference, 32, 4.0, 1, 2.0);
+        assert!(
+            (stats.mean_nm - 4.0).abs() < 1.5,
+            "mean EPE {} should be ≈ 4 nm",
+            stats.mean_nm
+        );
+        assert_eq!(stats.violation_rate(), 1.0);
+    }
+
+    #[test]
+    fn missing_contour_counts_as_gross_miss() {
+        let reference = square_img(32, Rect::new(24, 24, 72, 72));
+        let observed = vec![0.0f32; 32 * 32];
+        let stats = measure_epe(&observed, &reference, 32, 4.0, 1, 10.0);
+        assert!(stats.mean_nm >= 16.0 * 4.0 - 1.0, "mean {}", stats.mean_nm);
+        assert_eq!(stats.violation_rate(), 1.0);
+    }
+
+    #[test]
+    fn stride_subsamples_points() {
+        let img = square_img(32, Rect::new(24, 24, 88, 88));
+        let all = measure_epe(&img, &img, 32, 4.0, 1, 2.0);
+        let some = measure_epe(&img, &img, 32, 4.0, 4, 2.0);
+        assert!(some.samples < all.samples);
+        assert!(some.samples > 0);
+    }
+}

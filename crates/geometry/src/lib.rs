@@ -1,0 +1,28 @@
+//! # litho-geometry
+//!
+//! Manhattan layout geometry for the DOINN reproduction: integer-nanometre
+//! rectangles ([`Rect`]), area-weighted rasterization to mask images
+//! ([`rasterize`]), binary morphology ([`dilate`]/[`erode`]) and image
+//! comparison ([`binary_iou`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use litho_geometry::{binary_iou, rasterize, Rect};
+//!
+//! let vias = vec![Rect::square(32, 32, 64), Rect::square(160, 96, 64)];
+//! let mask = rasterize(&vias, 32, 8.0); // 256 nm tile at 8 nm/px
+//! assert_eq!(mask.len(), 32 * 32);
+//! assert_eq!(binary_iou(&mask, &mask), 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod epe;
+mod raster;
+mod rect;
+
+pub use epe::{boundary, measure_epe, EpeStats};
+pub use raster::{binarize, binary_iou, dilate, erode, rasterize, rasterize_into};
+pub use rect::Rect;

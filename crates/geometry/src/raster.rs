@@ -1,0 +1,239 @@
+//! Rasterization of Manhattan layouts to grey-scale mask images.
+//!
+//! Rectangles are converted to pixel coverage fractions (area-weighted
+//! anti-aliasing), which is how mask writers and litho simulators consume
+//! layout data. Images are row-major with pixel `(0,0)` at the layout origin.
+
+use crate::Rect;
+
+/// Rasterizes rectangles onto a `size × size` image with `pixel_nm` pitch.
+///
+/// Each pixel receives its covered-area fraction, clamped to 1 where shapes
+/// overlap.
+///
+/// # Examples
+///
+/// ```
+/// use litho_geometry::{rasterize, Rect};
+/// let img = rasterize(&[Rect::new(0, 0, 16, 8)], 4, 8.0);
+/// assert_eq!(img[0], 1.0);       // fully covered pixel
+/// assert_eq!(img[1], 1.0);
+/// assert_eq!(img[2], 0.0);       // outside
+/// assert_eq!(img[4], 0.0);       // second row: rect is 8nm tall = row 0 only
+/// ```
+pub fn rasterize(rects: &[Rect], size: usize, pixel_nm: f32) -> Vec<f32> {
+    let mut img = vec![0.0f32; size * size];
+    rasterize_into(rects, size, pixel_nm, &mut img);
+    img
+}
+
+/// Like [`rasterize`], accumulating into an existing buffer.
+///
+/// # Panics
+///
+/// Panics if `img.len() != size²`.
+pub fn rasterize_into(rects: &[Rect], size: usize, pixel_nm: f32, img: &mut [f32]) {
+    assert_eq!(img.len(), size * size, "image buffer size mismatch");
+    let extent = size as f32 * pixel_nm;
+    for r in rects {
+        if r.is_empty() {
+            continue;
+        }
+        let x0 = (r.x0 as f32).max(0.0).min(extent);
+        let y0 = (r.y0 as f32).max(0.0).min(extent);
+        let x1 = (r.x1 as f32).max(0.0).min(extent);
+        let y1 = (r.y1 as f32).max(0.0).min(extent);
+        if x0 >= x1 || y0 >= y1 {
+            continue;
+        }
+        let px0 = (x0 / pixel_nm).floor() as usize;
+        let px1 = ((x1 / pixel_nm).ceil() as usize).min(size);
+        let py0 = (y0 / pixel_nm).floor() as usize;
+        let py1 = ((y1 / pixel_nm).ceil() as usize).min(size);
+        for py in py0..py1 {
+            let cell_y0 = py as f32 * pixel_nm;
+            let cell_y1 = cell_y0 + pixel_nm;
+            let cover_y = (y1.min(cell_y1) - y0.max(cell_y0)).max(0.0) / pixel_nm;
+            for px in px0..px1 {
+                let cell_x0 = px as f32 * pixel_nm;
+                let cell_x1 = cell_x0 + pixel_nm;
+                let cover_x = (x1.min(cell_x1) - x0.max(cell_x0)).max(0.0) / pixel_nm;
+                let idx = py * size + px;
+                img[idx] = (img[idx] + cover_x * cover_y).min(1.0);
+            }
+        }
+    }
+}
+
+/// Thresholds a grey image into `{0.0, 1.0}`.
+pub fn binarize(img: &[f32], threshold: f32) -> Vec<f32> {
+    img.iter()
+        .map(|&v| if v >= threshold { 1.0 } else { 0.0 })
+        .collect()
+}
+
+/// Intersection-over-union of two binary images (values ≥ 0.5 count as set).
+///
+/// Returns 1.0 when both images are empty.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn binary_iou(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "image length mismatch");
+    let mut inter = 0usize;
+    let mut union = 0usize;
+    for (&x, &y) in a.iter().zip(b) {
+        let xs = x >= 0.5;
+        let ys = y >= 0.5;
+        if xs && ys {
+            inter += 1;
+        }
+        if xs || ys {
+            union += 1;
+        }
+    }
+    if union == 0 {
+        1.0
+    } else {
+        inter as f32 / union as f32
+    }
+}
+
+/// Binary morphological dilation with a square structuring element of
+/// half-width `r` pixels.
+pub fn dilate(img: &[f32], size: usize, r: usize) -> Vec<f32> {
+    assert_eq!(img.len(), size * size, "image buffer size mismatch");
+    let mut out = vec![0.0f32; size * size];
+    for y in 0..size {
+        for x in 0..size {
+            if img[y * size + x] >= 0.5 {
+                let y0 = y.saturating_sub(r);
+                let y1 = (y + r + 1).min(size);
+                let x0 = x.saturating_sub(r);
+                let x1 = (x + r + 1).min(size);
+                for yy in y0..y1 {
+                    for xx in x0..x1 {
+                        out[yy * size + xx] = 1.0;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Binary morphological erosion with a square structuring element of
+/// half-width `r` pixels.
+pub fn erode(img: &[f32], size: usize, r: usize) -> Vec<f32> {
+    assert_eq!(img.len(), size * size, "image buffer size mismatch");
+    let mut out = vec![0.0f32; size * size];
+    for y in 0..size {
+        for x in 0..size {
+            let y0 = y.saturating_sub(r);
+            let y1 = (y + r + 1).min(size);
+            let x0 = x.saturating_sub(r);
+            let x1 = (x + r + 1).min(size);
+            // the full (2r+1)² window must be set *and* inside the image
+            let full = (y1 - y0) == 2 * r + 1 && (x1 - x0) == 2 * r + 1;
+            let mut all = full;
+            'scan: for yy in y0..y1 {
+                for xx in x0..x1 {
+                    if img[yy * size + xx] < 0.5 {
+                        all = false;
+                        break 'scan;
+                    }
+                }
+            }
+            out[y * size + x] = if all { 1.0 } else { 0.0 };
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_pixel_coverage() {
+        let img = rasterize(&[Rect::new(0, 0, 8, 8)], 2, 8.0);
+        assert_eq!(img, vec![1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn partial_coverage_antialiased() {
+        // rect covers half of pixel 0 horizontally
+        let img = rasterize(&[Rect::new(0, 0, 4, 8)], 2, 8.0);
+        assert!((img[0] - 0.5).abs() < 1e-6);
+        // quarter coverage
+        let img2 = rasterize(&[Rect::new(0, 0, 4, 4)], 2, 8.0);
+        assert!((img2[0] - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn overlapping_rects_clamp_to_one() {
+        let img = rasterize(
+            &[Rect::new(0, 0, 8, 8), Rect::new(0, 0, 8, 8)],
+            2,
+            8.0,
+        );
+        assert_eq!(img[0], 1.0);
+    }
+
+    #[test]
+    fn out_of_bounds_rect_is_clipped() {
+        let img = rasterize(&[Rect::new(-100, -100, 1000, 1000)], 2, 8.0);
+        assert!(img.iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn total_area_preserved() {
+        // conservation: sum of coverage × pixel area == rect area (when fully
+        // inside the raster)
+        let size = 16;
+        let px = 4.0;
+        let r = Rect::new(5, 9, 37, 30);
+        let img = rasterize(&[r], size, px);
+        let raster_area: f32 = img.iter().sum::<f32>() * px * px;
+        assert!((raster_area - r.area() as f32).abs() < 1e-2);
+    }
+
+    #[test]
+    fn binarize_thresholds() {
+        assert_eq!(binarize(&[0.2, 0.5, 0.9], 0.5), vec![0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn iou_basics() {
+        let a = vec![1.0, 1.0, 0.0, 0.0];
+        let b = vec![1.0, 0.0, 1.0, 0.0];
+        assert!((binary_iou(&a, &b) - 1.0 / 3.0).abs() < 1e-6);
+        assert_eq!(binary_iou(&a, &a), 1.0);
+        let empty = vec![0.0; 4];
+        assert_eq!(binary_iou(&empty, &empty), 1.0);
+    }
+
+    #[test]
+    fn dilate_then_erode_restores_rectangle() {
+        let size = 16;
+        let img = rasterize(&[Rect::new(16, 16, 40, 40)], size, 4.0);
+        let d = dilate(&img, size, 2);
+        let e = erode(&d, size, 2);
+        assert_eq!(binarize(&img, 0.5), e);
+        // dilation strictly grows
+        assert!(d.iter().sum::<f32>() > img.iter().sum::<f32>());
+    }
+
+    #[test]
+    fn erode_removes_thin_features() {
+        let size = 8;
+        // 1-pixel-wide line
+        let mut img = vec![0.0f32; 64];
+        for x in 0..8 {
+            img[3 * 8 + x] = 1.0;
+        }
+        let e = erode(&img, size, 1);
+        assert!(e.iter().all(|&v| v == 0.0));
+    }
+}

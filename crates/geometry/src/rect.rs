@@ -1,0 +1,176 @@
+//! Axis-aligned rectangles in integer nanometres — the native primitive of
+//! Manhattan VLSI layouts.
+
+/// A half-open axis-aligned rectangle `[x0, x1) × [y0, y1)` in nanometres.
+///
+/// # Examples
+///
+/// ```
+/// use litho_geometry::Rect;
+/// let r = Rect::new(0, 0, 100, 50);
+/// assert_eq!(r.width(), 100);
+/// assert_eq!(r.area(), 5000);
+/// assert!(r.contains(99, 49));
+/// assert!(!r.contains(100, 0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rect {
+    /// Left edge (inclusive).
+    pub x0: i32,
+    /// Bottom edge (inclusive).
+    pub y0: i32,
+    /// Right edge (exclusive).
+    pub x1: i32,
+    /// Top edge (exclusive).
+    pub y1: i32,
+}
+
+impl Rect {
+    /// Creates a rectangle; coordinates are normalised so `x0 ≤ x1`,
+    /// `y0 ≤ y1`.
+    pub fn new(x0: i32, y0: i32, x1: i32, y1: i32) -> Self {
+        Self {
+            x0: x0.min(x1),
+            y0: y0.min(y1),
+            x1: x0.max(x1),
+            y1: y0.max(y1),
+        }
+    }
+
+    /// A square of side `size` with bottom-left corner at `(x, y)`.
+    pub fn square(x: i32, y: i32, size: i32) -> Self {
+        Self::new(x, y, x + size, y + size)
+    }
+
+    /// Width in nm.
+    #[inline]
+    pub fn width(&self) -> i32 {
+        self.x1 - self.x0
+    }
+
+    /// Height in nm.
+    #[inline]
+    pub fn height(&self) -> i32 {
+        self.y1 - self.y0
+    }
+
+    /// Area in nm².
+    #[inline]
+    pub fn area(&self) -> i64 {
+        self.width() as i64 * self.height() as i64
+    }
+
+    /// Returns `true` if the rectangle has zero area.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.x0 >= self.x1 || self.y0 >= self.y1
+    }
+
+    /// Centre point (rounded down).
+    pub fn center(&self) -> (i32, i32) {
+        ((self.x0 + self.x1) / 2, (self.y0 + self.y1) / 2)
+    }
+
+    /// Point-in-rectangle test (half-open).
+    pub fn contains(&self, x: i32, y: i32) -> bool {
+        x >= self.x0 && x < self.x1 && y >= self.y0 && y < self.y1
+    }
+
+    /// Returns `true` if the interiors overlap.
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.x0 < other.x1 && other.x0 < self.x1 && self.y0 < other.y1 && other.y0 < self.y1
+    }
+
+    /// Intersection rectangle, if non-empty.
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        let r = Rect {
+            x0: self.x0.max(other.x0),
+            y0: self.y0.max(other.y0),
+            x1: self.x1.min(other.x1),
+            y1: self.y1.min(other.y1),
+        };
+        (!r.is_empty()).then_some(r)
+    }
+
+    /// Smallest rectangle covering both.
+    pub fn union_bbox(&self, other: &Rect) -> Rect {
+        Rect {
+            x0: self.x0.min(other.x0),
+            y0: self.y0.min(other.y0),
+            x1: self.x1.max(other.x1),
+            y1: self.y1.max(other.y1),
+        }
+    }
+
+    /// Rectangle grown by `d` nm on every side (negative shrinks).
+    pub fn expanded(&self, d: i32) -> Rect {
+        Rect::new(self.x0 - d, self.y0 - d, self.x1 + d, self.y1 + d)
+    }
+
+    /// Minimum edge-to-edge Chebyshev spacing to another rectangle
+    /// (0 if they touch or overlap).
+    pub fn spacing_to(&self, other: &Rect) -> i32 {
+        let dx = (other.x0 - self.x1).max(self.x0 - other.x1).max(0);
+        let dy = (other.y0 - self.y1).max(self.y0 - other.y1).max(0);
+        dx.max(dy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalisation() {
+        let r = Rect::new(10, 20, 0, 5);
+        assert_eq!(r, Rect::new(0, 5, 10, 20));
+        assert_eq!(r.width(), 10);
+        assert_eq!(r.height(), 15);
+    }
+
+    #[test]
+    fn intersection_and_union() {
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(5, 5, 15, 15);
+        assert!(a.intersects(&b));
+        assert_eq!(a.intersection(&b), Some(Rect::new(5, 5, 10, 10)));
+        assert_eq!(a.union_bbox(&b), Rect::new(0, 0, 15, 15));
+        let c = Rect::new(20, 20, 30, 30);
+        assert!(!a.intersects(&c));
+        assert_eq!(a.intersection(&c), None);
+    }
+
+    #[test]
+    fn touching_rects_do_not_intersect() {
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(10, 0, 20, 10);
+        assert!(!a.intersects(&b));
+        assert_eq!(a.spacing_to(&b), 0);
+    }
+
+    #[test]
+    fn spacing_measures_gap() {
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(25, 0, 30, 10);
+        assert_eq!(a.spacing_to(&b), 15);
+        assert_eq!(b.spacing_to(&a), 15);
+        // diagonal gap: Chebyshev
+        let c = Rect::new(15, 18, 20, 25);
+        assert_eq!(a.spacing_to(&c), 8);
+    }
+
+    #[test]
+    fn expanded_grows_and_shrinks() {
+        let r = Rect::new(10, 10, 20, 20);
+        assert_eq!(r.expanded(5), Rect::new(5, 5, 25, 25));
+        assert_eq!(r.expanded(-3), Rect::new(13, 13, 17, 17));
+    }
+
+    #[test]
+    fn square_constructor() {
+        let s = Rect::square(100, 200, 70);
+        assert_eq!(s.width(), 70);
+        assert_eq!(s.height(), 70);
+        assert_eq!(s.center(), (135, 235));
+    }
+}

@@ -1,0 +1,226 @@
+//! Synthetic layout generation under design rules.
+//!
+//! Three generators mirror the paper's benchmark suites:
+//!
+//! - [`generate_via_layout`] — randomly placed vias with spacing rules
+//!   (ISPD-2019-like via layer).
+//! - [`generate_via_grid_layout`] — dense on-pitch via arrays with random
+//!   occupancy (N14-like 14 nm node vias).
+//! - [`generate_metal_layout`] — random Manhattan routing segments on tracks
+//!   (ICCAD-2013-like metal layer).
+
+use crate::DesignRules;
+use litho_geometry::Rect;
+use rand::Rng;
+
+/// Randomly places up to `count` vias with rejection sampling; every returned
+/// pair satisfies the via spacing rule.
+///
+/// # Panics
+///
+/// Panics if `rules` are invalid.
+pub fn generate_via_layout(rules: &DesignRules, count: usize, rng: &mut impl Rng) -> Vec<Rect> {
+    assert!(rules.is_valid(), "invalid design rules");
+    let (lo, hi) = rules.placement_window();
+    let max_pos = hi - rules.via_size_nm;
+    let mut placed: Vec<Rect> = Vec::with_capacity(count);
+    let mut attempts = 0usize;
+    while placed.len() < count && attempts < count * 40 {
+        attempts += 1;
+        let x = rng.gen_range(lo..=max_pos.max(lo));
+        let y = rng.gen_range(lo..=max_pos.max(lo));
+        let cand = Rect::square(x, y, rules.via_size_nm);
+        if placed
+            .iter()
+            .all(|r| r.spacing_to(&cand) >= rules.via_space_nm)
+        {
+            placed.push(cand);
+        }
+    }
+    placed
+}
+
+/// Places vias on a regular pitch grid, keeping each site with probability
+/// `occupancy` — the dense, regular style of advanced-node via layers.
+///
+/// # Panics
+///
+/// Panics if `rules` are invalid or `occupancy` is outside `[0, 1]`.
+pub fn generate_via_grid_layout(
+    rules: &DesignRules,
+    occupancy: f64,
+    rng: &mut impl Rng,
+) -> Vec<Rect> {
+    assert!(rules.is_valid(), "invalid design rules");
+    assert!((0.0..=1.0).contains(&occupancy), "occupancy must be in [0,1]");
+    let pitch = rules.via_size_nm + rules.via_space_nm;
+    let (lo, hi) = rules.placement_window();
+    let mut out = Vec::new();
+    let mut y = lo;
+    while y + rules.via_size_nm <= hi {
+        let mut x = lo;
+        while x + rules.via_size_nm <= hi {
+            if rng.gen_bool(occupancy) {
+                out.push(Rect::square(x, y, rules.via_size_nm));
+            }
+            x += pitch;
+        }
+        y += pitch;
+    }
+    out
+}
+
+/// Generates a random Manhattan metal layer: horizontal wire segments on
+/// routing tracks plus occasional vertical jogs connecting adjacent tracks.
+///
+/// # Panics
+///
+/// Panics if `rules` are invalid.
+pub fn generate_metal_layout(rules: &DesignRules, rng: &mut impl Rng) -> Vec<Rect> {
+    assert!(rules.is_valid(), "invalid design rules");
+    let (lo, hi) = rules.placement_window();
+    let w = rules.metal_width_nm;
+    let track_pitch = w + rules.metal_space_nm;
+    let min_len = 3 * w;
+    let mut out = Vec::new();
+    let mut track_segments: Vec<Vec<Rect>> = Vec::new();
+    let mut y = lo;
+    while y + w <= hi {
+        let mut segments = Vec::new();
+        let mut x = lo;
+        while x + min_len <= hi {
+            if rng.gen_bool(0.55) {
+                let max_len = (hi - x).min(8 * min_len);
+                let len = rng.gen_range(min_len..=max_len);
+                let seg = Rect::new(x, y, (x + len).min(hi), y + w);
+                segments.push(seg);
+                x += len + rules.metal_space_nm;
+            } else {
+                x += min_len + rules.metal_space_nm;
+            }
+        }
+        out.extend(segments.iter().copied());
+        track_segments.push(segments);
+        y += track_pitch;
+    }
+    // vertical jogs between vertically adjacent, horizontally overlapping
+    // segments (connects tracks like a router would)
+    for ti in 0..track_segments.len().saturating_sub(1) {
+        for a in &track_segments[ti] {
+            for b in &track_segments[ti + 1] {
+                let x_lo = a.x0.max(b.x0);
+                let x_hi = a.x1.min(b.x1);
+                if x_hi - x_lo >= w && rng.gen_bool(0.18) {
+                    let jx = rng.gen_range(x_lo..=x_hi - w);
+                    out.push(Rect::new(jx, a.y0, jx + w, b.y1));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Verifies that every pair of distinct shapes satisfies a minimum spacing
+/// (touching/overlapping counts as connected, which is allowed for metal).
+pub fn check_spacing(shapes: &[Rect], min_space: i32) -> bool {
+    for (i, a) in shapes.iter().enumerate() {
+        for b in shapes.iter().skip(i + 1) {
+            let s = a.spacing_to(b);
+            if s > 0 && s < min_space {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn via_layout_respects_spacing() {
+        let rules = DesignRules::ispd2019_like();
+        let mut rng = StdRng::seed_from_u64(1);
+        let vias = generate_via_layout(&rules, 20, &mut rng);
+        assert!(!vias.is_empty());
+        for (i, a) in vias.iter().enumerate() {
+            for b in vias.iter().skip(i + 1) {
+                assert!(
+                    a.spacing_to(b) >= rules.via_space_nm,
+                    "spacing violation: {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn via_layout_inside_window() {
+        let rules = DesignRules::ispd2019_like();
+        let mut rng = StdRng::seed_from_u64(2);
+        let (lo, hi) = rules.placement_window();
+        for v in generate_via_layout(&rules, 30, &mut rng) {
+            assert!(v.x0 >= lo && v.x1 <= hi && v.y0 >= lo && v.y1 <= hi);
+            assert_eq!(v.width(), rules.via_size_nm);
+        }
+    }
+
+    #[test]
+    fn grid_layout_on_pitch() {
+        let rules = DesignRules::n14_like();
+        let mut rng = StdRng::seed_from_u64(3);
+        let vias = generate_via_grid_layout(&rules, 0.7, &mut rng);
+        assert!(vias.len() > 10);
+        let pitch = rules.via_size_nm + rules.via_space_nm;
+        let (lo, _) = rules.placement_window();
+        for v in &vias {
+            assert_eq!((v.x0 - lo) % pitch, 0);
+            assert_eq!((v.y0 - lo) % pitch, 0);
+        }
+    }
+
+    #[test]
+    fn grid_occupancy_scales_count() {
+        let rules = DesignRules::n14_like();
+        let mut rng = StdRng::seed_from_u64(4);
+        let dense = generate_via_grid_layout(&rules, 0.9, &mut rng);
+        let sparse = generate_via_grid_layout(&rules, 0.2, &mut rng);
+        assert!(dense.len() > 2 * sparse.len());
+    }
+
+    #[test]
+    fn metal_layout_has_wires_and_valid_widths() {
+        let rules = DesignRules::iccad2013_like();
+        let mut rng = StdRng::seed_from_u64(5);
+        let wires = generate_metal_layout(&rules, &mut rng);
+        assert!(wires.len() > 3);
+        for wire in &wires {
+            assert!(
+                wire.width() == rules.metal_width_nm || wire.height() == rules.metal_width_nm,
+                "wire {wire:?} has no min-width dimension"
+            );
+        }
+    }
+
+    #[test]
+    fn metal_layout_spacing_sane() {
+        let rules = DesignRules::iccad2013_like();
+        let mut rng = StdRng::seed_from_u64(6);
+        let wires = generate_metal_layout(&rules, &mut rng);
+        // same-track segments must satisfy spacing (jogs may touch wires —
+        // spacing 0 is connectivity, allowed)
+        assert!(check_spacing(&wires, rules.metal_space_nm.min(8)));
+    }
+
+    #[test]
+    fn generators_deterministic_per_seed() {
+        let rules = DesignRules::ispd2019_like();
+        let a = generate_via_layout(&rules, 12, &mut StdRng::seed_from_u64(9));
+        let b = generate_via_layout(&rules, 12, &mut StdRng::seed_from_u64(9));
+        let c = generate_via_layout(&rules, 12, &mut StdRng::seed_from_u64(10));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,43 @@
+//! # litho-layout
+//!
+//! Synthetic mask-layout substrate for the DOINN reproduction:
+//!
+//! - [`DesignRules`] — minimum-geometry tables mimicking the ISPD-2019 /
+//!   ICCAD-2013 / N14 benchmark styles.
+//! - [`generate_via_layout`] / [`generate_via_grid_layout`] /
+//!   [`generate_metal_layout`] — random rule-clean layout generation.
+//! - [`IltEngine`] — pixel-based inverse-lithography OPC over the SOCS golden
+//!   model (generates the OPC'ed masks the networks train on, and the
+//!   24-iteration trajectory of the paper's Figure 8).
+//! - [`insert_srafs`] — rule-based sub-resolution assist features.
+//!
+//! # Examples
+//!
+//! ```
+//! use litho_layout::{generate_via_layout, DesignRules};
+//! use litho_geometry::rasterize;
+//! use rand::SeedableRng;
+//!
+//! let rules = DesignRules::ispd2019_like();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let vias = generate_via_layout(&rules, 12, &mut rng);
+//! let mask = rasterize(&vias, 128, rules.tile_nm as f32 / 128.0);
+//! assert_eq!(mask.len(), 128 * 128);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod edge_opc;
+mod generate;
+mod opc;
+mod rules;
+mod sraf;
+
+pub use generate::{
+    check_spacing, generate_metal_layout, generate_via_grid_layout, generate_via_layout,
+};
+pub use edge_opc::{EdgeBias, EdgeOpcConfig, EdgeOpcEngine, EdgeOpcResult};
+pub use opc::{IltConfig, IltEngine, IltResult};
+pub use rules::DesignRules;
+pub use sraf::{insert_srafs, SrafRules};

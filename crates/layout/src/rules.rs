@@ -1,0 +1,113 @@
+//! Design-rule tables for the synthetic layout generators.
+//!
+//! Values are scaled for the 193 nm / NA 1.35 immersion system modelled by
+//! `litho-optics` (≈36 nm half-pitch resolution limit), mirroring the kinds
+//! of rules the ISPD-2019 / ICCAD-2013 benchmark layers follow.
+
+/// Minimum geometry rules for one synthetic technology setup.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesignRules {
+    /// Square-tile side length in nm.
+    pub tile_nm: i32,
+    /// Via (cut) edge length in nm.
+    pub via_size_nm: i32,
+    /// Minimum via-to-via spacing in nm.
+    pub via_space_nm: i32,
+    /// Metal wire width in nm.
+    pub metal_width_nm: i32,
+    /// Minimum metal-to-metal spacing in nm.
+    pub metal_space_nm: i32,
+    /// Margin kept clear around the tile boundary in nm.
+    pub boundary_margin_nm: i32,
+}
+
+impl DesignRules {
+    /// ISPD-2019-like via-layer rules on a 1 µm tile.
+    pub fn ispd2019_like() -> Self {
+        Self {
+            tile_nm: 1024,
+            via_size_nm: 72,
+            via_space_nm: 88,
+            metal_width_nm: 56,
+            metal_space_nm: 56,
+            boundary_margin_nm: 64,
+        }
+    }
+
+    /// ICCAD-2013-like metal-layer rules on a 1 µm tile.
+    pub fn iccad2013_like() -> Self {
+        Self {
+            tile_nm: 1024,
+            via_size_nm: 72,
+            via_space_nm: 88,
+            metal_width_nm: 64,
+            metal_space_nm: 64,
+            boundary_margin_nm: 64,
+        }
+    }
+
+    /// N14-like dense-via rules (tighter pitch, denser fill).
+    pub fn n14_like() -> Self {
+        Self {
+            tile_nm: 1024,
+            via_size_nm: 64,
+            via_space_nm: 72,
+            metal_width_nm: 48,
+            metal_space_nm: 48,
+            boundary_margin_nm: 48,
+        }
+    }
+
+    /// Usable placement window (tile minus boundary margin).
+    pub fn placement_window(&self) -> (i32, i32) {
+        (
+            self.boundary_margin_nm,
+            self.tile_nm - self.boundary_margin_nm,
+        )
+    }
+
+    /// Validates internal consistency.
+    pub fn is_valid(&self) -> bool {
+        self.tile_nm > 0
+            && self.via_size_nm > 0
+            && self.via_space_nm >= 0
+            && self.metal_width_nm > 0
+            && self.metal_space_nm >= 0
+            && self.boundary_margin_nm >= 0
+            && 2 * self.boundary_margin_nm + self.via_size_nm < self.tile_nm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        assert!(DesignRules::ispd2019_like().is_valid());
+        assert!(DesignRules::iccad2013_like().is_valid());
+        assert!(DesignRules::n14_like().is_valid());
+    }
+
+    #[test]
+    fn n14_is_denser_than_ispd() {
+        let a = DesignRules::n14_like();
+        let b = DesignRules::ispd2019_like();
+        assert!(a.via_size_nm + a.via_space_nm < b.via_size_nm + b.via_space_nm);
+    }
+
+    #[test]
+    fn placement_window_respects_margin() {
+        let r = DesignRules::ispd2019_like();
+        let (lo, hi) = r.placement_window();
+        assert_eq!(lo, 64);
+        assert_eq!(hi, 1024 - 64);
+    }
+
+    #[test]
+    fn degenerate_rules_invalid() {
+        let mut r = DesignRules::ispd2019_like();
+        r.boundary_margin_nm = 1000;
+        assert!(!r.is_valid());
+    }
+}

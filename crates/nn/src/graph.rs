@@ -1,0 +1,397 @@
+//! Define-by-run tape autograd.
+//!
+//! A [`Graph`] is rebuilt for every forward pass (like PyTorch's dynamic
+//! graph). Operations append nodes holding the computed value, the parent
+//! node ids and a backward closure; [`Graph::backward`] walks the tape in
+//! reverse and accumulates gradients into the [`Param`]s that participated.
+//!
+//! The node-pushing API ([`Graph::push`]) is public so downstream crates can
+//! register custom differentiable operations — the DOINN crate uses this for
+//! its FFT-based Fourier Unit.
+
+use litho_tensor::Tensor;
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// Handle to a node in a [`Graph`] (an activation or leaf tensor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(pub(crate) usize);
+
+impl Var {
+    /// The raw tape index (useful only for debugging).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A trainable parameter: a shared, mutable `(value, grad)` pair that
+/// outlives the per-step graphs.
+///
+/// Cloning a `Param` clones the *handle* (both clones refer to the same
+/// storage), which is how optimizers and layers share parameters.
+///
+/// # Examples
+///
+/// ```
+/// use litho_nn::{Graph, Param};
+/// use litho_tensor::Tensor;
+///
+/// let p = Param::new(Tensor::from_vec(vec![2.0], &[1]), "w");
+/// let mut g = Graph::new();
+/// let w = g.param(&p);
+/// let loss = litho_nn::ops::mse_loss(&mut g, w, &Tensor::from_vec(vec![0.0], &[1]));
+/// g.backward(loss);
+/// // d/dw mean((w-0)^2) = 2w = 4
+/// assert!((p.grad().as_slice()[0] - 4.0).abs() < 1e-6);
+/// ```
+#[derive(Clone)]
+pub struct Param {
+    inner: Rc<RefCell<ParamStorage>>,
+}
+
+struct ParamStorage {
+    value: Tensor,
+    grad: Tensor,
+    name: String,
+    buffer: bool,
+}
+
+impl Param {
+    /// Creates a parameter from an initial value. The gradient starts at 0.
+    pub fn new(value: Tensor, name: &str) -> Self {
+        let grad = Tensor::zeros(value.shape());
+        Self {
+            inner: Rc::new(RefCell::new(ParamStorage {
+                value,
+                grad,
+                name: name.to_string(),
+                buffer: false,
+            })),
+        }
+    }
+
+    /// Creates a non-trainable *buffer* (e.g. batch-norm running statistics):
+    /// saved/loaded with the model but skipped by optimizers.
+    pub fn buffer(value: Tensor, name: &str) -> Self {
+        let p = Self::new(value, name);
+        p.inner.borrow_mut().buffer = true;
+        p
+    }
+
+    /// Returns `true` for non-trainable buffers.
+    pub fn is_buffer(&self) -> bool {
+        self.inner.borrow().buffer
+    }
+
+    /// A copy of the current value.
+    pub fn value(&self) -> Tensor {
+        self.inner.borrow().value.clone()
+    }
+
+    /// A copy of the accumulated gradient.
+    pub fn grad(&self) -> Tensor {
+        self.inner.borrow().grad.clone()
+    }
+
+    /// The parameter's diagnostic name.
+    pub fn name(&self) -> String {
+        self.inner.borrow().name.clone()
+    }
+
+    /// The parameter's shape.
+    pub fn shape(&self) -> Vec<usize> {
+        self.inner.borrow().value.shape().to_vec()
+    }
+
+    /// Number of scalar elements.
+    pub fn numel(&self) -> usize {
+        self.inner.borrow().value.numel()
+    }
+
+    /// Replaces the value (used by optimizers and checkpoint loading).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new value's shape differs.
+    pub fn set_value(&self, value: Tensor) {
+        let mut s = self.inner.borrow_mut();
+        assert_eq!(
+            s.value.shape(),
+            value.shape(),
+            "set_value must preserve shape of {}",
+            s.name
+        );
+        s.value = value;
+    }
+
+    /// Applies `f` to the stored value in place.
+    pub fn update_value(&self, f: impl FnOnce(&mut Tensor)) {
+        f(&mut self.inner.borrow_mut().value);
+    }
+
+    /// Zeroes the accumulated gradient.
+    pub fn zero_grad(&self) {
+        let mut s = self.inner.borrow_mut();
+        s.grad.map_inplace(|_| 0.0);
+    }
+
+    /// Adds `g` into the accumulated gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn accumulate_grad(&self, g: &Tensor) {
+        self.inner.borrow_mut().grad.add_assign(g);
+    }
+
+    /// Returns `true` if two handles refer to the same storage.
+    pub fn same_storage(&self, other: &Param) -> bool {
+        Rc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl fmt::Debug for Param {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.inner.borrow();
+        write!(f, "Param({:?}, shape {:?})", s.name, s.value.shape())
+    }
+}
+
+/// Backward closure contract: given `(grad_out, parent_values, out_value)`,
+/// return one gradient tensor per parent (same order as the `parents` slice
+/// passed to [`Graph::push`]). Each returned tensor must have its parent's
+/// shape.
+pub type BackwardFn = Box<dyn Fn(&Tensor, &[&Tensor], &Tensor) -> Vec<Tensor>>;
+
+struct Node {
+    value: Tensor,
+    parents: Vec<Var>,
+    backward: Option<BackwardFn>,
+    param: Option<Param>,
+    needs_grad: bool,
+}
+
+/// A dynamic computation graph (tape).
+///
+/// Build a fresh graph per training step; it owns all intermediate
+/// activations for that step.
+#[derive(Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Graph({} nodes)", self.nodes.len())
+    }
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self { nodes: Vec::new() }
+    }
+
+    /// Number of nodes on the tape.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if no nodes have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Adds a constant leaf (no gradient flows into it).
+    pub fn input(&mut self, value: Tensor) -> Var {
+        self.nodes.push(Node {
+            value,
+            parents: Vec::new(),
+            backward: None,
+            param: None,
+            needs_grad: false,
+        });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Adds a parameter leaf; [`Graph::backward`] will accumulate into it.
+    pub fn param(&mut self, p: &Param) -> Var {
+        self.nodes.push(Node {
+            value: p.value(),
+            parents: Vec::new(),
+            backward: None,
+            param: Some(p.clone()),
+            needs_grad: true,
+        });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// The value computed at `v`.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// Whether gradients flow through `v` (any parameter upstream).
+    pub fn needs_grad(&self, v: Var) -> bool {
+        self.nodes[v.0].needs_grad
+    }
+
+    /// Registers a new operation node.
+    ///
+    /// `backward` receives `(grad_out, parent_values, out_value)` and must
+    /// return one gradient per parent. It is only invoked for nodes on a path
+    /// between a [`Param`] and the loss, so it may be expensive without
+    /// penalising inference-only graphs.
+    pub fn push(&mut self, value: Tensor, parents: &[Var], backward: BackwardFn) -> Var {
+        let needs_grad = parents.iter().any(|p| self.nodes[p.0].needs_grad);
+        self.nodes.push(Node {
+            value,
+            parents: parents.to_vec(),
+            backward: Some(backward),
+            param: None,
+            needs_grad,
+        });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Runs reverse-mode differentiation from `loss` (must be a scalar) and
+    /// accumulates gradients into every participating [`Param`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not a single-element tensor.
+    pub fn backward(&self, loss: Var) {
+        assert_eq!(
+            self.nodes[loss.0].value.numel(),
+            1,
+            "backward requires a scalar loss"
+        );
+        let mut grads: Vec<Option<Tensor>> = (0..self.nodes.len()).map(|_| None).collect();
+        grads[loss.0] = Some(Tensor::ones(self.nodes[loss.0].value.shape()));
+        for i in (0..=loss.0).rev() {
+            let node = &self.nodes[i];
+            if !node.needs_grad {
+                continue;
+            }
+            let Some(g) = grads[i].take() else {
+                continue;
+            };
+            if let Some(p) = &node.param {
+                p.accumulate_grad(&g);
+            }
+            if let Some(bf) = &node.backward {
+                let parent_values: Vec<&Tensor> =
+                    node.parents.iter().map(|p| &self.nodes[p.0].value).collect();
+                let pgrads = bf(&g, &parent_values, &node.value);
+                assert_eq!(
+                    pgrads.len(),
+                    node.parents.len(),
+                    "backward fn returned wrong number of gradients"
+                );
+                for (pv, pg) in node.parents.iter().zip(pgrads) {
+                    if !self.nodes[pv.0].needs_grad {
+                        continue;
+                    }
+                    assert_eq!(
+                        pg.shape(),
+                        self.nodes[pv.0].value.shape(),
+                        "gradient shape mismatch for parent node {}",
+                        pv.0
+                    );
+                    match &mut grads[pv.0] {
+                        Some(acc) => acc.add_assign(&pg),
+                        slot @ None => *slot = Some(pg),
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+
+    #[test]
+    fn input_nodes_do_not_need_grad() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::ones(&[2]));
+        assert!(!g.needs_grad(x));
+        let p = Param::new(Tensor::ones(&[2]), "p");
+        let w = g.param(&p);
+        assert!(g.needs_grad(w));
+    }
+
+    #[test]
+    fn needs_grad_propagates() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::ones(&[2]));
+        let y = g.input(Tensor::ones(&[2]));
+        let z = ops::add(&mut g, x, y);
+        assert!(!g.needs_grad(z));
+        let p = Param::new(Tensor::ones(&[2]), "p");
+        let w = g.param(&p);
+        let q = ops::add(&mut g, z, w);
+        assert!(g.needs_grad(q));
+    }
+
+    #[test]
+    fn simple_chain_gradient() {
+        // loss = mean((3x)^2), x = [1, 2] => d/dx = 2*9*x / 2 = 9x
+        let p = Param::new(Tensor::from_vec(vec![1.0, 2.0], &[2]), "x");
+        let mut g = Graph::new();
+        let x = g.param(&p);
+        let y = ops::scale(&mut g, x, 3.0);
+        let loss = ops::mse_loss(&mut g, y, &Tensor::zeros(&[2]));
+        g.backward(loss);
+        let grad = p.grad();
+        assert!((grad.as_slice()[0] - 9.0).abs() < 1e-5);
+        assert!((grad.as_slice()[1] - 18.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_accumulates_across_backwards() {
+        let p = Param::new(Tensor::from_vec(vec![1.0], &[1]), "x");
+        for _ in 0..2 {
+            let mut g = Graph::new();
+            let x = g.param(&p);
+            let loss = ops::mse_loss(&mut g, x, &Tensor::zeros(&[1]));
+            g.backward(loss);
+        }
+        // each pass adds 2x = 2
+        assert!((p.grad().as_slice()[0] - 4.0).abs() < 1e-5);
+        p.zero_grad();
+        assert_eq!(p.grad().as_slice()[0], 0.0);
+    }
+
+    #[test]
+    fn diamond_graph_accumulates_both_paths() {
+        // loss = mean((x + x)^2) => dloss/dx = 2*(2x)*2 / 1 = 8x at numel 1
+        let p = Param::new(Tensor::from_vec(vec![3.0], &[1]), "x");
+        let mut g = Graph::new();
+        let x = g.param(&p);
+        let s = ops::add(&mut g, x, x);
+        let loss = ops::mse_loss(&mut g, s, &Tensor::zeros(&[1]));
+        g.backward(loss);
+        assert!((p.grad().as_slice()[0] - 24.0).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar loss")]
+    fn non_scalar_loss_panics() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::ones(&[2]));
+        g.backward(x);
+    }
+
+    #[test]
+    fn param_handles_share_storage() {
+        let p = Param::new(Tensor::ones(&[1]), "p");
+        let q = p.clone();
+        q.set_value(Tensor::from_vec(vec![5.0], &[1]));
+        assert_eq!(p.value().as_slice()[0], 5.0);
+        assert!(p.same_storage(&q));
+    }
+}

@@ -1,0 +1,385 @@
+//! Layer modules: stateful wrappers that own [`Param`]s and record ops onto a
+//! [`Graph`] per forward pass.
+
+use crate::graph::{Graph, Param, Var};
+use crate::ops;
+use crate::ops::BatchNormState;
+use litho_tensor::{init, Tensor};
+use rand::Rng;
+use std::cell::Cell;
+
+/// A neural-network building block.
+///
+/// `forward` is `&self` (graphs are rebuilt per step); training/eval mode is
+/// toggled through interior mutability so whole models can stay shared.
+pub trait Module {
+    /// Records this module's computation on the tape.
+    fn forward(&self, g: &mut Graph, x: Var) -> Var;
+
+    /// All trainable parameters, in a stable order (used by optimizers and
+    /// checkpointing).
+    fn params(&self) -> Vec<Param>;
+
+    /// Switches between training and inference behaviour (batch-norm etc.).
+    fn set_training(&self, _training: bool) {}
+
+    /// Total number of trainable scalars (buffers excluded).
+    fn param_count(&self) -> usize {
+        self.params()
+            .iter()
+            .filter(|p| !p.is_buffer())
+            .map(Param::numel)
+            .sum()
+    }
+}
+
+/// 2-D convolution layer (PyTorch `nn.Conv2d` semantics).
+#[derive(Debug)]
+pub struct Conv2d {
+    weight: Param,
+    bias: Option<Param>,
+    stride: usize,
+    pad: usize,
+}
+
+impl Conv2d {
+    /// Creates a conv layer with Kaiming-uniform weights.
+    pub fn new(
+        in_c: usize,
+        out_c: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        bias: bool,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let fan_in = in_c * k * k;
+        let weight = Param::new(
+            init::kaiming_uniform(&[out_c, in_c, k, k], fan_in, rng),
+            "conv.weight",
+        );
+        let bias = bias.then(|| {
+            let bound = 1.0 / (fan_in as f32).sqrt();
+            Param::new(init::uniform(&[out_c], -bound, bound, rng), "conv.bias")
+        });
+        Self {
+            weight,
+            bias,
+            stride,
+            pad,
+        }
+    }
+}
+
+impl Module for Conv2d {
+    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        let w = g.param(&self.weight);
+        let b = self.bias.as_ref().map(|b| g.param(b));
+        ops::conv2d(g, x, w, b, self.stride, self.pad)
+    }
+
+    fn params(&self) -> Vec<Param> {
+        let mut p = vec![self.weight.clone()];
+        if let Some(b) = &self.bias {
+            p.push(b.clone());
+        }
+        p
+    }
+}
+
+/// 2-D transposed convolution layer (PyTorch `nn.ConvTranspose2d` semantics).
+#[derive(Debug)]
+pub struct ConvTranspose2d {
+    weight: Param,
+    bias: Option<Param>,
+    stride: usize,
+    pad: usize,
+}
+
+impl ConvTranspose2d {
+    /// Creates a transposed-conv layer with Kaiming-uniform weights.
+    pub fn new(
+        in_c: usize,
+        out_c: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+        bias: bool,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let fan_in = out_c * k * k; // PyTorch fan-in convention for convT
+        let weight = Param::new(
+            init::kaiming_uniform(&[in_c, out_c, k, k], fan_in, rng),
+            "convt.weight",
+        );
+        let bias = bias.then(|| {
+            let bound = 1.0 / (fan_in as f32).sqrt();
+            Param::new(init::uniform(&[out_c], -bound, bound, rng), "convt.bias")
+        });
+        Self {
+            weight,
+            bias,
+            stride,
+            pad,
+        }
+    }
+}
+
+impl Module for ConvTranspose2d {
+    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        let w = g.param(&self.weight);
+        let b = self.bias.as_ref().map(|b| g.param(b));
+        ops::conv_transpose2d(g, x, w, b, self.stride, self.pad)
+    }
+
+    fn params(&self) -> Vec<Param> {
+        let mut p = vec![self.weight.clone()];
+        if let Some(b) = &self.bias {
+            p.push(b.clone());
+        }
+        p
+    }
+}
+
+/// Batch normalisation layer with running statistics.
+#[derive(Debug)]
+pub struct BatchNorm2d {
+    gamma: Param,
+    beta: Param,
+    state: BatchNormState,
+    training: Cell<bool>,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer for `c` channels (γ=1, β=0).
+    pub fn new(c: usize) -> Self {
+        Self {
+            gamma: Param::new(Tensor::ones(&[c]), "bn.gamma"),
+            beta: Param::new(Tensor::zeros(&[c]), "bn.beta"),
+            state: BatchNormState::new(c),
+            training: Cell::new(true),
+        }
+    }
+
+    /// Read access to the running statistics (for tests/inspection).
+    pub fn state(&self) -> &BatchNormState {
+        &self.state
+    }
+}
+
+impl Module for BatchNorm2d {
+    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        let gamma = g.param(&self.gamma);
+        let beta = g.param(&self.beta);
+        ops::batch_norm2d(g, x, gamma, beta, &self.state, self.training.get())
+    }
+
+    fn params(&self) -> Vec<Param> {
+        // running statistics ride along as buffers so checkpoints restore
+        // eval-mode behaviour exactly; optimizers skip them
+        vec![
+            self.gamma.clone(),
+            self.beta.clone(),
+            self.state.running_mean.clone(),
+            self.state.running_var.clone(),
+        ]
+    }
+
+    fn set_training(&self, training: bool) {
+        self.training.set(training);
+    }
+}
+
+/// Leaky ReLU activation layer.
+#[derive(Debug, Clone, Copy)]
+pub struct LeakyRelu {
+    slope: f32,
+}
+
+impl LeakyRelu {
+    /// Creates a leaky ReLU with the given negative slope.
+    pub fn new(slope: f32) -> Self {
+        Self { slope }
+    }
+}
+
+impl Module for LeakyRelu {
+    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        ops::leaky_relu(g, x, self.slope)
+    }
+    fn params(&self) -> Vec<Param> {
+        Vec::new()
+    }
+}
+
+/// ReLU activation layer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Relu;
+
+impl Module for Relu {
+    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        ops::relu(g, x)
+    }
+    fn params(&self) -> Vec<Param> {
+        Vec::new()
+    }
+}
+
+/// Tanh activation layer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Tanh;
+
+impl Module for Tanh {
+    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        ops::tanh(g, x)
+    }
+    fn params(&self) -> Vec<Param> {
+        Vec::new()
+    }
+}
+
+/// Average-pooling layer (square window, stride = window).
+#[derive(Debug, Clone, Copy)]
+pub struct AvgPool2d {
+    k: usize,
+}
+
+impl AvgPool2d {
+    /// Creates an average-pooling layer with window and stride `k`.
+    pub fn new(k: usize) -> Self {
+        Self { k }
+    }
+}
+
+impl Module for AvgPool2d {
+    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        ops::avg_pool2d(g, x, self.k)
+    }
+    fn params(&self) -> Vec<Param> {
+        Vec::new()
+    }
+}
+
+/// A chain of modules applied in order.
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Module>>,
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Sequential({} layers)", self.layers.len())
+    }
+}
+
+impl Sequential {
+    /// Creates an empty chain.
+    pub fn new() -> Self {
+        Self { layers: Vec::new() }
+    }
+
+    /// Appends a module (builder style).
+    #[must_use]
+    pub fn push(mut self, m: impl Module + 'static) -> Self {
+        self.layers.push(Box::new(m));
+        self
+    }
+
+    /// Number of layers in the chain.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Returns `true` if the chain has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl Module for Sequential {
+    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        let mut v = x;
+        for l in &self.layers {
+            v = l.forward(g, v);
+        }
+        v
+    }
+
+    fn params(&self) -> Vec<Param> {
+        self.layers.iter().flat_map(|l| l.params()).collect()
+    }
+
+    fn set_training(&self, training: bool) {
+        for l in &self.layers {
+            l.set_training(training);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use litho_tensor::init::seeded_rng;
+
+    #[test]
+    fn conv_layer_shapes_and_params() {
+        let mut rng = seeded_rng(1);
+        let conv = Conv2d::new(3, 8, 3, 1, 1, true, &mut rng);
+        assert_eq!(conv.params().len(), 2);
+        assert_eq!(conv.param_count(), 8 * 3 * 3 * 3 + 8);
+        let mut g = Graph::new();
+        let x = g.input(Tensor::zeros(&[2, 3, 8, 8]));
+        let y = conv.forward(&mut g, x);
+        assert_eq!(g.value(y).shape(), &[2, 8, 8, 8]);
+    }
+
+    #[test]
+    fn conv_transpose_layer_upsamples() {
+        let mut rng = seeded_rng(2);
+        let convt = ConvTranspose2d::new(4, 2, 4, 2, 1, true, &mut rng);
+        let mut g = Graph::new();
+        let x = g.input(Tensor::zeros(&[1, 4, 8, 8]));
+        let y = convt.forward(&mut g, x);
+        assert_eq!(g.value(y).shape(), &[1, 2, 16, 16]);
+    }
+
+    #[test]
+    fn sequential_chains_and_collects_params() {
+        let mut rng = seeded_rng(3);
+        let net = Sequential::new()
+            .push(Conv2d::new(1, 4, 3, 1, 1, true, &mut rng))
+            .push(BatchNorm2d::new(4))
+            .push(LeakyRelu::new(0.2))
+            .push(Conv2d::new(4, 1, 3, 1, 1, true, &mut rng));
+        assert_eq!(net.len(), 4);
+        // conv(w,b) + bn(gamma,beta + 2 running-stat buffers) + conv(w,b)
+        assert_eq!(net.params().len(), 8);
+        assert_eq!(net.params().iter().filter(|p| !p.is_buffer()).count(), 6);
+        let mut g = Graph::new();
+        let x = g.input(Tensor::zeros(&[1, 1, 8, 8]));
+        let y = net.forward(&mut g, x);
+        assert_eq!(g.value(y).shape(), &[1, 1, 8, 8]);
+    }
+
+    #[test]
+    fn set_training_propagates_to_batchnorm() {
+        let net = Sequential::new().push(BatchNorm2d::new(2));
+        net.set_training(false);
+        // eval mode: running stats (zeros mean, ones var) are used, so a
+        // constant input maps to roughly itself.
+        let mut g = Graph::new();
+        let x = g.input(Tensor::full(&[1, 2, 2, 2], 0.5));
+        let y = net.forward(&mut g, x);
+        assert!((g.value(y).as_slice()[0] - 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn avg_pool_layer() {
+        let pool = AvgPool2d::new(2);
+        let mut g = Graph::new();
+        let x = g.input(Tensor::ones(&[1, 1, 4, 4]));
+        let y = pool.forward(&mut g, x);
+        assert_eq!(g.value(y).shape(), &[1, 1, 2, 2]);
+        assert!(pool.params().is_empty());
+    }
+}

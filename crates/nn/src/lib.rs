@@ -1,0 +1,48 @@
+//! # litho-nn
+//!
+//! A compact, pure-Rust neural-network stack: define-by-run tape autograd
+//! ([`Graph`]/[`Var`]/[`Param`]), the layer set needed by the DOINN paper's
+//! architecture tables (convolution, transposed convolution, batch norm,
+//! leaky-ReLU/tanh, average pooling), MSE/BCE losses, the Adam optimizer
+//! with step-decay scheduling, and binary checkpointing.
+//!
+//! Downstream crates can register custom differentiable ops via
+//! [`Graph::push`]; the `doinn` crate uses this for its FFT-based Fourier
+//! Unit.
+//!
+//! # Examples
+//!
+//! Train a one-parameter "network" to fit a constant:
+//!
+//! ```
+//! use litho_nn::{ops, Adam, Graph, Param};
+//! use litho_tensor::Tensor;
+//!
+//! let w = Param::new(Tensor::zeros(&[1]), "w");
+//! let mut opt = Adam::new(vec![w.clone()], 0.1);
+//! for _ in 0..200 {
+//!     opt.zero_grad();
+//!     let mut g = Graph::new();
+//!     let x = g.param(&w);
+//!     let loss = ops::mse_loss(&mut g, x, &Tensor::from_vec(vec![1.0], &[1]));
+//!     g.backward(loss);
+//!     opt.step();
+//! }
+//! assert!((w.value().as_slice()[0] - 1.0).abs() < 0.05);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod graph;
+mod layers;
+pub mod ops;
+mod optim;
+mod serial;
+
+pub use graph::{BackwardFn, Graph, Param, Var};
+pub use layers::{
+    AvgPool2d, BatchNorm2d, Conv2d, ConvTranspose2d, LeakyRelu, Module, Relu, Sequential, Tanh,
+};
+pub use optim::{Adam, StepLr};
+pub use serial::{load_params, save_params};

@@ -1,0 +1,477 @@
+//! Differentiable 2-D convolution and transposed convolution.
+//!
+//! Semantics follow PyTorch exactly:
+//!
+//! - `conv2d`: cross-correlation, weight `[O, C, kh, kw]`, output size
+//!   `(s + 2p − k)/stride + 1`.
+//! - `conv_transpose2d`: the adjoint map, weight `[C_in, C_out, kh, kw]`,
+//!   output size `(s − 1)·stride + k − 2p`.
+//!
+//! Both are lowered to GEMM via im2col/col2im; backward passes recompute the
+//! lowering instead of caching it, trading a little compute for a much
+//! smaller tape.
+
+use crate::graph::{Graph, Var};
+use litho_tensor::{
+    col2im, conv_out_size, conv_transpose_out_size, im2col, sgemm_nn, sgemm_nt, sgemm_tn, Tensor,
+};
+
+/// 2-D convolution. `x: [N,C,H,W]`, `w: [O,C,kh,kw]`, optional `b: [O]`.
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+pub fn conv2d(g: &mut Graph, x: Var, w: Var, b: Option<Var>, stride: usize, pad: usize) -> Var {
+    let xv = g.value(x);
+    let wv = g.value(w);
+    assert_eq!(xv.rank(), 4, "conv2d expects NCHW input");
+    assert_eq!(wv.rank(), 4, "conv2d expects OCKK weight");
+    let (n, c, h, width) = (xv.dim(0), xv.dim(1), xv.dim(2), xv.dim(3));
+    let (o, wc, kh, kw) = (wv.dim(0), wv.dim(1), wv.dim(2), wv.dim(3));
+    assert_eq!(c, wc, "channel mismatch between input and weight");
+    let oh = conv_out_size(h, kh, stride, pad);
+    let ow = conv_out_size(width, kw, stride, pad);
+    let k = c * kh * kw;
+    let l = oh * ow;
+
+    let mut out = Tensor::zeros(&[n, o, oh, ow]);
+    let mut cols = vec![0.0f32; k * l];
+    {
+        let od = out.as_mut_slice();
+        let xd = xv.as_slice();
+        let wd = wv.as_slice();
+        for ni in 0..n {
+            im2col(
+                &xd[ni * c * h * width..(ni + 1) * c * h * width],
+                c,
+                h,
+                width,
+                kh,
+                kw,
+                stride,
+                pad,
+                &mut cols,
+            );
+            sgemm_nn(o, l, k, 1.0, wd, &cols, &mut od[ni * o * l..(ni + 1) * o * l]);
+        }
+        if let Some(bvar) = b {
+            let bv = g.value(bvar);
+            assert_eq!(bv.numel(), o, "bias length must equal output channels");
+            let bd = bv.as_slice();
+            for ni in 0..n {
+                for oi in 0..o {
+                    let base = (ni * o + oi) * l;
+                    let bias = bd[oi];
+                    for v in &mut od[base..base + l] {
+                        *v += bias;
+                    }
+                }
+            }
+        }
+    }
+
+    let parents: Vec<Var> = match b {
+        Some(bvar) => vec![x, w, bvar],
+        None => vec![x, w],
+    };
+    let has_bias = b.is_some();
+    g.push(
+        out,
+        &parents,
+        Box::new(move |grad, parents, _| {
+            let xv = parents[0];
+            let wv = parents[1];
+            let gd = grad.as_slice();
+            let xd = xv.as_slice();
+            let wd = wv.as_slice();
+            let mut dx = Tensor::zeros(xv.shape());
+            let mut dw = Tensor::zeros(wv.shape());
+            let mut cols = vec![0.0f32; k * l];
+            let mut dcols = vec![0.0f32; k * l];
+            {
+                let dxd = dx.as_mut_slice();
+                let dwd = dw.as_mut_slice();
+                for ni in 0..n {
+                    let gy = &gd[ni * o * l..(ni + 1) * o * l];
+                    im2col(
+                        &xd[ni * c * h * width..(ni + 1) * c * h * width],
+                        c,
+                        h,
+                        width,
+                        kh,
+                        kw,
+                        stride,
+                        pad,
+                        &mut cols,
+                    );
+                    // dW += dY · colsᵀ
+                    sgemm_nt(o, k, l, 1.0, gy, &cols, dwd);
+                    // dcols = Wᵀ · dY
+                    dcols.fill(0.0);
+                    sgemm_tn(o, l, k, 1.0, wd, gy, &mut dcols);
+                    col2im(
+                        &dcols,
+                        c,
+                        h,
+                        width,
+                        kh,
+                        kw,
+                        stride,
+                        pad,
+                        &mut dxd[ni * c * h * width..(ni + 1) * c * h * width],
+                    );
+                }
+            }
+            let mut grads = vec![dx, dw];
+            if has_bias {
+                let mut db = Tensor::zeros(&[o]);
+                let dbd = db.as_mut_slice();
+                for ni in 0..n {
+                    for oi in 0..o {
+                        let base = (ni * o + oi) * l;
+                        dbd[oi] += gd[base..base + l].iter().sum::<f32>();
+                    }
+                }
+                grads.push(db);
+            }
+            grads
+        }),
+    )
+}
+
+/// 2-D transposed convolution. `x: [N,C_in,H,W]`, `w: [C_in,C_out,kh,kw]`,
+/// optional `b: [C_out]`.
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+pub fn conv_transpose2d(
+    g: &mut Graph,
+    x: Var,
+    w: Var,
+    b: Option<Var>,
+    stride: usize,
+    pad: usize,
+) -> Var {
+    let xv = g.value(x);
+    let wv = g.value(w);
+    assert_eq!(xv.rank(), 4, "conv_transpose2d expects NCHW input");
+    assert_eq!(wv.rank(), 4, "conv_transpose2d expects IOKK weight");
+    let (n, ci, h, width) = (xv.dim(0), xv.dim(1), xv.dim(2), xv.dim(3));
+    let (wi, co, kh, kw) = (wv.dim(0), wv.dim(1), wv.dim(2), wv.dim(3));
+    assert_eq!(ci, wi, "channel mismatch between input and weight");
+    let oh = conv_transpose_out_size(h, kh, stride, pad);
+    let ow = conv_transpose_out_size(width, kw, stride, pad);
+    // sanity: the adjoint conv maps the output size back to the input size
+    debug_assert_eq!(conv_out_size(oh, kh, stride, pad), h);
+    debug_assert_eq!(conv_out_size(ow, kw, stride, pad), width);
+    let kout = co * kh * kw;
+    let lin = h * width;
+
+    let mut out = Tensor::zeros(&[n, co, oh, ow]);
+    let mut cols = vec![0.0f32; kout * lin];
+    {
+        let od = out.as_mut_slice();
+        let xd = xv.as_slice();
+        let wd = wv.as_slice();
+        for ni in 0..n {
+            // cols = Wᵀ · x_n   ([kout, lin])
+            cols.fill(0.0);
+            sgemm_tn(
+                ci,
+                lin,
+                kout,
+                1.0,
+                wd,
+                &xd[ni * ci * lin..(ni + 1) * ci * lin],
+                &mut cols,
+            );
+            col2im(
+                &cols,
+                co,
+                oh,
+                ow,
+                kh,
+                kw,
+                stride,
+                pad,
+                &mut od[ni * co * oh * ow..(ni + 1) * co * oh * ow],
+            );
+        }
+        if let Some(bvar) = b {
+            let bv = g.value(bvar);
+            assert_eq!(bv.numel(), co, "bias length must equal output channels");
+            let bd = bv.as_slice();
+            let hw = oh * ow;
+            for ni in 0..n {
+                for oi in 0..co {
+                    let base = (ni * co + oi) * hw;
+                    let bias = bd[oi];
+                    for v in &mut od[base..base + hw] {
+                        *v += bias;
+                    }
+                }
+            }
+        }
+    }
+
+    let parents: Vec<Var> = match b {
+        Some(bvar) => vec![x, w, bvar],
+        None => vec![x, w],
+    };
+    let has_bias = b.is_some();
+    g.push(
+        out,
+        &parents,
+        Box::new(move |grad, parents, _| {
+            let xv = parents[0];
+            let wv = parents[1];
+            let gd = grad.as_slice();
+            let xd = xv.as_slice();
+            let wd = wv.as_slice();
+            let mut dx = Tensor::zeros(xv.shape());
+            let mut dw = Tensor::zeros(wv.shape());
+            let mut dcols = vec![0.0f32; kout * lin];
+            {
+                let dxd = dx.as_mut_slice();
+                let dwd = dw.as_mut_slice();
+                for ni in 0..n {
+                    let gy = &gd[ni * co * oh * ow..(ni + 1) * co * oh * ow];
+                    // dcols = im2col(dY)
+                    im2col(gy, co, oh, ow, kh, kw, stride, pad, &mut dcols);
+                    // dX = W · dcols
+                    sgemm_nn(
+                        ci,
+                        lin,
+                        kout,
+                        1.0,
+                        wd,
+                        &dcols,
+                        &mut dxd[ni * ci * lin..(ni + 1) * ci * lin],
+                    );
+                    // dW += x_n · dcolsᵀ
+                    sgemm_nt(
+                        ci,
+                        kout,
+                        lin,
+                        1.0,
+                        &xd[ni * ci * lin..(ni + 1) * ci * lin],
+                        &dcols,
+                        dwd,
+                    );
+                }
+            }
+            let mut grads = vec![dx, dw];
+            if has_bias {
+                let hw = oh * ow;
+                let mut db = Tensor::zeros(&[co]);
+                let dbd = db.as_mut_slice();
+                for ni in 0..n {
+                    for oi in 0..co {
+                        let base = (ni * co + oi) * hw;
+                        dbd[oi] += gd[base..base + hw].iter().sum::<f32>();
+                    }
+                }
+                grads.push(db);
+            }
+            grads
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Param;
+    use crate::ops::mse_loss;
+
+    fn ramp(shape: &[usize], s: f32) -> Tensor {
+        let n: usize = shape.iter().product();
+        Tensor::from_vec(
+            (0..n).map(|i| ((i * 7 % 13) as f32 - 6.0) * s).collect(),
+            shape,
+        )
+    }
+
+    #[test]
+    fn conv2d_known_values() {
+        // 1x1x3x3 input, 3x3 averaging kernel, pad 1
+        let mut g = Graph::new();
+        let x = g.input(Tensor::ones(&[1, 1, 3, 3]));
+        let w = g.input(Tensor::full(&[1, 1, 3, 3], 1.0 / 9.0));
+        let y = conv2d(&mut g, x, w, None, 1, 1);
+        let out = g.value(y);
+        assert_eq!(out.shape(), &[1, 1, 3, 3]);
+        assert!((out.get(&[0, 0, 1, 1]) - 1.0).abs() < 1e-6); // centre full overlap
+        assert!((out.get(&[0, 0, 0, 0]) - 4.0 / 9.0).abs() < 1e-6); // corner
+    }
+
+    #[test]
+    fn conv2d_identity_kernel_with_stride() {
+        let input = ramp(&[1, 1, 4, 4], 0.5);
+        let mut g = Graph::new();
+        let x = g.input(input.clone());
+        // 1x1 kernel = identity, stride 2 samples even pixels
+        let w = g.input(Tensor::ones(&[1, 1, 1, 1]));
+        let y = conv2d(&mut g, x, w, None, 2, 0);
+        let out = g.value(y);
+        assert_eq!(out.shape(), &[1, 1, 2, 2]);
+        assert_eq!(out.get(&[0, 0, 0, 0]), input.get(&[0, 0, 0, 0]));
+        assert_eq!(out.get(&[0, 0, 1, 1]), input.get(&[0, 0, 2, 2]));
+    }
+
+    #[test]
+    fn conv2d_multichannel_sums_channels() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::ones(&[1, 3, 2, 2]));
+        let w = g.input(Tensor::ones(&[2, 3, 1, 1]));
+        let b = g.input(Tensor::from_vec(vec![0.5, -0.5], &[2]));
+        let y = conv2d(&mut g, x, w, Some(b), 1, 0);
+        let out = g.value(y);
+        assert_eq!(out.shape(), &[1, 2, 2, 2]);
+        assert!((out.get(&[0, 0, 0, 0]) - 3.5).abs() < 1e-6);
+        assert!((out.get(&[0, 1, 0, 0]) - 2.5).abs() < 1e-6);
+    }
+
+    /// Generic finite-difference check for a parameter used inside a conv op.
+    fn grad_check(loss_of: impl Fn(&Tensor) -> f32, init: &Tensor, analytic: &Tensor, tol: f32) {
+        let eps = 1e-2f32;
+        for i in 0..init.numel() {
+            let mut plus = init.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = init.clone();
+            minus.as_mut_slice()[i] -= eps;
+            let num = (loss_of(&plus) - loss_of(&minus)) / (2.0 * eps);
+            let ana = analytic.as_slice()[i];
+            assert!(
+                (num - ana).abs() <= tol * (1.0 + num.abs()),
+                "elem {i}: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn conv2d_weight_and_input_gradients() {
+        let x0 = ramp(&[2, 2, 5, 5], 0.21);
+        let w0 = ramp(&[3, 2, 3, 3], 0.11);
+        let b0 = ramp(&[3], 0.3);
+
+        // analytic grads
+        let px = Param::new(x0.clone(), "x");
+        let pw = Param::new(w0.clone(), "w");
+        let pb = Param::new(b0.clone(), "b");
+        let mut g = Graph::new();
+        let x = g.param(&px);
+        let w = g.param(&pw);
+        let b = g.param(&pb);
+        let y = conv2d(&mut g, x, w, Some(b), 2, 1);
+        let target = Tensor::zeros(g.value(y).shape());
+        let loss = mse_loss(&mut g, y, &target);
+        g.backward(loss);
+
+        let loss_with = |xt: &Tensor, wt: &Tensor, bt: &Tensor| {
+            let mut g2 = Graph::new();
+            let x2 = g2.input(xt.clone());
+            let w2 = g2.input(wt.clone());
+            let b2 = g2.input(bt.clone());
+            let y2 = conv2d(&mut g2, x2, w2, Some(b2), 2, 1);
+            let t2 = Tensor::zeros(g2.value(y2).shape());
+            let l2 = mse_loss(&mut g2, y2, &t2);
+            g2.value(l2).as_slice()[0]
+        };
+        grad_check(|t| loss_with(t, &w0, &b0), &x0, &px.grad(), 3e-2);
+        grad_check(|t| loss_with(&x0, t, &b0), &w0, &pw.grad(), 3e-2);
+        grad_check(|t| loss_with(&x0, &w0, t), &b0, &pb.grad(), 3e-2);
+    }
+
+    #[test]
+    fn conv_transpose2d_upsamples() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::ones(&[1, 1, 4, 4]));
+        let w = g.input(Tensor::ones(&[1, 1, 4, 4]));
+        let y = conv_transpose2d(&mut g, x, w, None, 2, 1);
+        assert_eq!(g.value(y).shape(), &[1, 1, 8, 8]);
+    }
+
+    #[test]
+    fn conv_transpose_is_adjoint_of_conv() {
+        // <conv(x), y> == <x, conv_transpose(y)> with shared weight
+        let x0 = ramp(&[1, 2, 6, 6], 0.3);
+        let w0 = ramp(&[3, 2, 4, 4], 0.17); // conv weight [O=3, C=2]
+        let mut g = Graph::new();
+        let x = g.input(x0.clone());
+        let w = g.input(w0.clone());
+        let y = conv2d(&mut g, x, w, None, 2, 1);
+        let yv = g.value(y).clone(); // [1,3,3,3]
+        let probe = ramp(yv.shape(), 0.23);
+        let lhs: f32 = yv
+            .as_slice()
+            .iter()
+            .zip(probe.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+
+        // conv_transpose with weight [C_in=3, C_out=2] = same tensor viewed
+        // as [3,2,4,4]? No — PyTorch convT weight is [in=O, out=C]: to be the
+        // adjoint we must transpose the first two axes of w0.
+        let mut wt = Tensor::zeros(&[3, 2, 4, 4]);
+        for o in 0..3 {
+            for c in 0..2 {
+                for i in 0..4 {
+                    for j in 0..4 {
+                        wt.set(&[o, c, i, j], w0.get(&[o, c, i, j]));
+                    }
+                }
+            }
+        }
+        let mut g2 = Graph::new();
+        let p = g2.input(probe);
+        let w2 = g2.input(wt);
+        let back = conv_transpose2d(&mut g2, p, w2, None, 2, 1);
+        let bv = g2.value(back);
+        assert_eq!(bv.shape(), x0.shape());
+        let rhs: f32 = bv
+            .as_slice()
+            .iter()
+            .zip(x0.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        assert!(
+            (lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0),
+            "{lhs} vs {rhs}"
+        );
+    }
+
+    #[test]
+    fn conv_transpose2d_gradients() {
+        let x0 = ramp(&[1, 2, 3, 3], 0.25);
+        let w0 = ramp(&[2, 3, 4, 4], 0.09); // [C_in=2, C_out=3]
+        let b0 = ramp(&[3], 0.2);
+
+        let px = Param::new(x0.clone(), "x");
+        let pw = Param::new(w0.clone(), "w");
+        let pb = Param::new(b0.clone(), "b");
+        let mut g = Graph::new();
+        let x = g.param(&px);
+        let w = g.param(&pw);
+        let b = g.param(&pb);
+        let y = conv_transpose2d(&mut g, x, w, Some(b), 2, 1);
+        let target = Tensor::zeros(g.value(y).shape());
+        let loss = mse_loss(&mut g, y, &target);
+        g.backward(loss);
+
+        let loss_with = |xt: &Tensor, wt: &Tensor, bt: &Tensor| {
+            let mut g2 = Graph::new();
+            let x2 = g2.input(xt.clone());
+            let w2 = g2.input(wt.clone());
+            let b2 = g2.input(bt.clone());
+            let y2 = conv_transpose2d(&mut g2, x2, w2, Some(b2), 2, 1);
+            let t2 = Tensor::zeros(g2.value(y2).shape());
+            let l2 = mse_loss(&mut g2, y2, &t2);
+            g2.value(l2).as_slice()[0]
+        };
+        grad_check(|t| loss_with(t, &w0, &b0), &x0, &px.grad(), 3e-2);
+        grad_check(|t| loss_with(&x0, t, &b0), &w0, &pw.grad(), 3e-2);
+        grad_check(|t| loss_with(&x0, &w0, t), &b0, &pb.grad(), 3e-2);
+    }
+}

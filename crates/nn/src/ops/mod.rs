@@ -1,0 +1,431 @@
+//! Differentiable operations on [`Graph`] nodes.
+//!
+//! Every function appends a node to the tape and returns its [`Var`]. The
+//! convolution family lives in [`conv`], batch normalisation in [`norm`];
+//! this module holds elementwise ops, pooling, concatenation and losses.
+
+mod conv;
+mod norm;
+
+pub use conv::{conv2d, conv_transpose2d};
+pub use norm::{batch_norm2d, BatchNormState};
+
+use crate::graph::{Graph, Var};
+use litho_tensor::{concat_channels as cat_t, slice_channels, Tensor};
+
+/// Elementwise sum of two same-shaped tensors.
+pub fn add(g: &mut Graph, a: Var, b: Var) -> Var {
+    let value = g.value(a).add(g.value(b));
+    g.push(
+        value,
+        &[a, b],
+        Box::new(|grad, _, _| vec![grad.clone(), grad.clone()]),
+    )
+}
+
+/// Elementwise difference `a - b`.
+pub fn sub(g: &mut Graph, a: Var, b: Var) -> Var {
+    let value = g.value(a).sub(g.value(b));
+    g.push(
+        value,
+        &[a, b],
+        Box::new(|grad, _, _| vec![grad.clone(), grad.scale(-1.0)]),
+    )
+}
+
+/// Elementwise (Hadamard) product.
+pub fn mul(g: &mut Graph, a: Var, b: Var) -> Var {
+    let value = g.value(a).mul(g.value(b));
+    g.push(
+        value,
+        &[a, b],
+        Box::new(|grad, parents, _| {
+            vec![grad.mul(parents[1]), grad.mul(parents[0])]
+        }),
+    )
+}
+
+/// Multiplies every element by the constant `s`.
+pub fn scale(g: &mut Graph, x: Var, s: f32) -> Var {
+    let value = g.value(x).scale(s);
+    g.push(
+        value,
+        &[x],
+        Box::new(move |grad, _, _| vec![grad.scale(s)]),
+    )
+}
+
+/// Adds a per-channel bias `b: [C]` to an NCHW tensor.
+pub fn add_bias(g: &mut Graph, x: Var, b: Var) -> Var {
+    let xv = g.value(x);
+    let bv = g.value(b);
+    assert_eq!(xv.rank(), 4, "add_bias expects NCHW input");
+    let (n, c, h, w) = (xv.dim(0), xv.dim(1), xv.dim(2), xv.dim(3));
+    assert_eq!(bv.numel(), c, "bias length must equal channel count");
+    let hw = h * w;
+    let mut out = xv.clone();
+    {
+        let od = out.as_mut_slice();
+        let bd = bv.as_slice();
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * hw;
+                let bias = bd[ci];
+                for v in &mut od[base..base + hw] {
+                    *v += bias;
+                }
+            }
+        }
+    }
+    g.push(
+        out,
+        &[x, b],
+        Box::new(move |grad, _, _| {
+            let mut db = Tensor::zeros(&[c]);
+            let dbd = db.as_mut_slice();
+            let gd = grad.as_slice();
+            for ni in 0..n {
+                for ci in 0..c {
+                    let base = (ni * c + ci) * hw;
+                    dbd[ci] += gd[base..base + hw].iter().sum::<f32>();
+                }
+            }
+            vec![grad.clone(), db]
+        }),
+    )
+}
+
+/// Leaky ReLU with the given negative slope.
+pub fn leaky_relu(g: &mut Graph, x: Var, slope: f32) -> Var {
+    let value = g.value(x).map(|v| if v >= 0.0 { v } else { slope * v });
+    g.push(
+        value,
+        &[x],
+        Box::new(move |grad, parents, _| {
+            vec![grad.zip(parents[0], |gv, xv| if xv >= 0.0 { gv } else { slope * gv })]
+        }),
+    )
+}
+
+/// Rectified linear unit.
+pub fn relu(g: &mut Graph, x: Var) -> Var {
+    leaky_relu(g, x, 0.0)
+}
+
+/// Hyperbolic tangent.
+pub fn tanh(g: &mut Graph, x: Var) -> Var {
+    let value = g.value(x).map(f32::tanh);
+    g.push(
+        value,
+        &[x],
+        Box::new(|grad, _, out| vec![grad.zip(out, |gv, y| gv * (1.0 - y * y))]),
+    )
+}
+
+/// Logistic sigmoid.
+pub fn sigmoid(g: &mut Graph, x: Var) -> Var {
+    let value = g.value(x).map(|v| 1.0 / (1.0 + (-v).exp()));
+    g.push(
+        value,
+        &[x],
+        Box::new(|grad, _, out| vec![grad.zip(out, |gv, y| gv * y * (1.0 - y))]),
+    )
+}
+
+/// Average pooling with a square `k × k` window and stride `k` (the only
+/// configuration the paper uses: 8×8/8 in the GP path).
+///
+/// # Panics
+///
+/// Panics if the spatial dims are not divisible by `k`.
+pub fn avg_pool2d(g: &mut Graph, x: Var, k: usize) -> Var {
+    let xv = g.value(x);
+    assert_eq!(xv.rank(), 4, "avg_pool2d expects NCHW input");
+    let (n, c, h, w) = (xv.dim(0), xv.dim(1), xv.dim(2), xv.dim(3));
+    assert!(
+        h % k == 0 && w % k == 0,
+        "avg_pool2d requires dims divisible by k (got {h}x{w} / {k})"
+    );
+    let (oh, ow) = (h / k, w / k);
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    {
+        let od = out.as_mut_slice();
+        let xd = xv.as_slice();
+        let inv = 1.0 / (k * k) as f32;
+        for nc in 0..n * c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0;
+                    for dy in 0..k {
+                        let row = (nc * h + oy * k + dy) * w + ox * k;
+                        for dx in 0..k {
+                            acc += xd[row + dx];
+                        }
+                    }
+                    od[(nc * oh + oy) * ow + ox] = acc * inv;
+                }
+            }
+        }
+    }
+    g.push(
+        out,
+        &[x],
+        Box::new(move |grad, _, _| {
+            let mut dx = Tensor::zeros(&[n, c, h, w]);
+            let dxd = dx.as_mut_slice();
+            let gd = grad.as_slice();
+            let inv = 1.0 / (k * k) as f32;
+            for nc in 0..n * c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let gv = gd[(nc * oh + oy) * ow + ox] * inv;
+                        for dy in 0..k {
+                            let row = (nc * h + oy * k + dy) * w + ox * k;
+                            for dx_i in 0..k {
+                                dxd[row + dx_i] += gv;
+                            }
+                        }
+                    }
+                }
+            }
+            vec![dx]
+        }),
+    )
+}
+
+/// Concatenates NCHW tensors along the channel axis (U-Net skip joins).
+pub fn concat(g: &mut Graph, xs: &[Var]) -> Var {
+    assert!(!xs.is_empty(), "concat of zero vars");
+    let values: Vec<&Tensor> = xs.iter().map(|&v| g.value(v)).collect();
+    let channels: Vec<usize> = values.iter().map(|t| t.dim(1)).collect();
+    let out = cat_t(&values);
+    g.push(
+        out,
+        xs,
+        Box::new(move |grad, _, _| {
+            let mut grads = Vec::with_capacity(channels.len());
+            let mut off = 0;
+            for &c in &channels {
+                grads.push(slice_channels(grad, off, c));
+                off += c;
+            }
+            grads
+        }),
+    )
+}
+
+/// Mean-squared-error loss against a constant target; returns a scalar node.
+pub fn mse_loss(g: &mut Graph, pred: Var, target: &Tensor) -> Var {
+    let pv = g.value(pred);
+    assert_eq!(pv.shape(), target.shape(), "mse target shape mismatch");
+    let diff = pv.sub(target);
+    let n = diff.numel() as f32;
+    let loss = Tensor::scalar(diff.norm_sqr() / n);
+    let target = target.clone();
+    g.push(
+        loss,
+        &[pred],
+        Box::new(move |grad, parents, _| {
+            let scale = 2.0 * grad.as_slice()[0] / n;
+            vec![parents[0].zip(&target, |p, t| scale * (p - t))]
+        }),
+    )
+}
+
+/// Binary cross-entropy on logits against a constant `{0,1}` target image;
+/// numerically stable formulation; returns a scalar node.
+pub fn bce_with_logits_loss(g: &mut Graph, logits: Var, target: &Tensor) -> Var {
+    let lv = g.value(logits);
+    assert_eq!(lv.shape(), target.shape(), "bce target shape mismatch");
+    let n = lv.numel() as f32;
+    // loss = mean( max(x,0) - x*t + ln(1 + e^{-|x|}) )
+    let total: f32 = lv
+        .as_slice()
+        .iter()
+        .zip(target.as_slice())
+        .map(|(&x, &t)| x.max(0.0) - x * t + (1.0 + (-x.abs()).exp()).ln())
+        .sum();
+    let loss = Tensor::scalar(total / n);
+    let target = target.clone();
+    g.push(
+        loss,
+        &[logits],
+        Box::new(move |grad, parents, _| {
+            let scale = grad.as_slice()[0] / n;
+            vec![parents[0].zip(&target, |x, t| {
+                let sig = 1.0 / (1.0 + (-x).exp());
+                scale * (sig - t)
+            })]
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Param;
+
+    fn finite_diff_check(
+        build: impl Fn(&mut Graph, Var) -> Var,
+        init: Tensor,
+        tol: f32,
+    ) {
+        let p = Param::new(init.clone(), "p");
+        let mut g = Graph::new();
+        let x = g.param(&p);
+        let y = build(&mut g, x);
+        let yshape = g.value(y).shape().to_vec();
+        let loss = mse_loss(&mut g, y, &Tensor::zeros(&yshape));
+        g.backward(loss);
+        let analytic = p.grad();
+        let eps = 1e-2f32;
+        for i in 0..init.numel() {
+            let mut plus = init.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = init.clone();
+            minus.as_mut_slice()[i] -= eps;
+            let eval = |t: Tensor| {
+                let q = Param::new(t, "q");
+                let mut g2 = Graph::new();
+                let x2 = g2.param(&q);
+                let y2 = build(&mut g2, x2);
+                let y2shape = g2.value(y2).shape().to_vec();
+                let l2 = mse_loss(&mut g2, y2, &Tensor::zeros(&y2shape));
+                g2.value(l2).as_slice()[0]
+            };
+            let num = (eval(plus) - eval(minus)) / (2.0 * eps);
+            let ana = analytic.as_slice()[i];
+            assert!(
+                (num - ana).abs() <= tol * (1.0 + num.abs()),
+                "elem {i}: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    fn ramp(shape: &[usize]) -> Tensor {
+        let n: usize = shape.iter().product();
+        Tensor::from_vec(
+            (0..n).map(|i| ((i * 7 % 13) as f32 - 6.0) * 0.15).collect(),
+            shape,
+        )
+    }
+
+    #[test]
+    fn add_forward_and_grad() {
+        finite_diff_check(|g, x| add(g, x, x), ramp(&[4]), 1e-2);
+    }
+
+    #[test]
+    fn sub_grad() {
+        finite_diff_check(
+            |g, x| {
+                let two = scale(g, x, 2.0);
+                sub(g, two, x)
+            },
+            ramp(&[4]),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn mul_grad() {
+        finite_diff_check(|g, x| mul(g, x, x), ramp(&[5]), 2e-2);
+    }
+
+    #[test]
+    fn leaky_relu_grad() {
+        finite_diff_check(|g, x| leaky_relu(g, x, 0.1), ramp(&[8]), 2e-2);
+    }
+
+    #[test]
+    fn tanh_grad() {
+        finite_diff_check(|g, x| tanh(g, x), ramp(&[6]), 2e-2);
+    }
+
+    #[test]
+    fn sigmoid_grad() {
+        finite_diff_check(|g, x| sigmoid(g, x), ramp(&[6]), 2e-2);
+    }
+
+    #[test]
+    fn avg_pool_forward_values() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_vec(
+            (0..16).map(|v| v as f32).collect(),
+            &[1, 1, 4, 4],
+        ));
+        let y = avg_pool2d(&mut g, x, 2);
+        assert_eq!(g.value(y).shape(), &[1, 1, 2, 2]);
+        assert_eq!(g.value(y).as_slice(), &[2.5, 4.5, 10.5, 12.5]);
+    }
+
+    #[test]
+    fn avg_pool_grad() {
+        finite_diff_check(|g, x| avg_pool2d(g, x, 2), ramp(&[1, 1, 4, 4]), 1e-2);
+    }
+
+    #[test]
+    fn concat_grad_splits_correctly() {
+        finite_diff_check(
+            |g, x| {
+                let y = scale(g, x, 2.0);
+                concat(g, &[x, y])
+            },
+            ramp(&[1, 2, 2, 2]),
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn add_bias_broadcast_and_grad() {
+        let b = Param::new(Tensor::from_vec(vec![1.0, -1.0], &[2]), "b");
+        let mut g = Graph::new();
+        let x = g.input(Tensor::zeros(&[1, 2, 2, 2]));
+        let bv = g.param(&b);
+        let y = add_bias(&mut g, x, bv);
+        assert_eq!(
+            g.value(y).as_slice(),
+            &[1.0, 1.0, 1.0, 1.0, -1.0, -1.0, -1.0, -1.0]
+        );
+        let loss = mse_loss(&mut g, y, &Tensor::zeros(&[1, 2, 2, 2]));
+        g.backward(loss);
+        // d/db_c mean((b_c)^2 over 8 elems) = 2*b_c*4/8 = b_c
+        let grad = b.grad();
+        assert!((grad.as_slice()[0] - 1.0).abs() < 1e-5);
+        assert!((grad.as_slice()[1] + 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn mse_loss_value() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_vec(vec![1.0, 3.0], &[2]));
+        let l = mse_loss(&mut g, x, &Tensor::from_vec(vec![0.0, 1.0], &[2]));
+        assert!((g.value(l).as_slice()[0] - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bce_loss_matches_reference() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_vec(vec![0.0, 2.0, -2.0], &[3]));
+        let t = Tensor::from_vec(vec![0.0, 1.0, 0.0], &[3]);
+        let l = bce_with_logits_loss(&mut g, x, &t);
+        // reference: ln2, ln(1+e^-2), ln(1+e^-2)
+        let want = (std::f32::consts::LN_2 + 2.0 * (1.0f32 + (-2.0f32).exp()).ln()) / 3.0;
+        assert!((g.value(l).as_slice()[0] - want).abs() < 1e-5);
+    }
+
+    #[test]
+    fn bce_grad_is_sigmoid_minus_target() {
+        let p = Param::new(Tensor::from_vec(vec![0.5, -1.0], &[2]), "x");
+        let t = Tensor::from_vec(vec![1.0, 0.0], &[2]);
+        let mut g = Graph::new();
+        let x = g.param(&p);
+        let l = bce_with_logits_loss(&mut g, x, &t);
+        g.backward(l);
+        let grad = p.grad();
+        let want0 = (1.0 / (1.0 + (-0.5f32).exp()) - 1.0) / 2.0;
+        let want1 = (1.0 / (1.0 + 1.0f32.exp())) / 2.0;
+        assert!((grad.as_slice()[0] - want0).abs() < 1e-5);
+        assert!((grad.as_slice()[1] - want1).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,314 @@
+//! Differentiable batch normalisation for NCHW tensors.
+
+use crate::graph::{Graph, Param, Var};
+use litho_tensor::Tensor;
+
+/// Running statistics and hyper-parameters for a batch-norm layer.
+///
+/// The running statistics are stored as non-trainable buffer [`Param`]s so
+/// checkpoints capture them (optimizers skip buffers automatically).
+#[derive(Debug)]
+pub struct BatchNormState {
+    /// Exponential moving average of per-channel means.
+    pub running_mean: Param,
+    /// Exponential moving average of per-channel (unbiased) variances.
+    pub running_var: Param,
+    /// Numerical-stability constant added to the variance.
+    pub eps: f32,
+    /// EMA momentum (PyTorch convention: `new = (1-m)·old + m·batch`).
+    pub momentum: f32,
+}
+
+impl BatchNormState {
+    /// Fresh state for `c` channels (mean 0, var 1), PyTorch defaults.
+    pub fn new(c: usize) -> Self {
+        Self {
+            running_mean: Param::buffer(Tensor::zeros(&[c]), "bn.running_mean"),
+            running_var: Param::buffer(Tensor::ones(&[c]), "bn.running_var"),
+            eps: 1e-5,
+            momentum: 0.1,
+        }
+    }
+}
+
+/// Batch normalisation over the `(N, H, W)` axes of an NCHW tensor.
+///
+/// In training mode the batch statistics are used (and folded into the
+/// running averages); in eval mode the running statistics are used and
+/// treated as constants by the backward pass.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent.
+pub fn batch_norm2d(
+    g: &mut Graph,
+    x: Var,
+    gamma: Var,
+    beta: Var,
+    state: &BatchNormState,
+    training: bool,
+) -> Var {
+    let xv = g.value(x);
+    assert_eq!(xv.rank(), 4, "batch_norm2d expects NCHW input");
+    let (n, c, h, w) = (xv.dim(0), xv.dim(1), xv.dim(2), xv.dim(3));
+    assert_eq!(g.value(gamma).numel(), c, "gamma length mismatch");
+    assert_eq!(g.value(beta).numel(), c, "beta length mismatch");
+    let m = (n * h * w) as f32;
+    let hw = h * w;
+
+    // Per-channel statistics.
+    let (mean, var) = if training {
+        let xd = xv.as_slice();
+        let mut mean = vec![0.0f32; c];
+        let mut var = vec![0.0f32; c];
+        for ci in 0..c {
+            let mut acc = 0.0f64;
+            for ni in 0..n {
+                let base = (ni * c + ci) * hw;
+                for &v in &xd[base..base + hw] {
+                    acc += v as f64;
+                }
+            }
+            mean[ci] = (acc / m as f64) as f32;
+        }
+        for ci in 0..c {
+            let mu = mean[ci];
+            let mut acc = 0.0f64;
+            for ni in 0..n {
+                let base = (ni * c + ci) * hw;
+                for &v in &xd[base..base + hw] {
+                    let d = v - mu;
+                    acc += (d * d) as f64;
+                }
+            }
+            var[ci] = (acc / m as f64) as f32;
+        }
+        // fold into running stats (unbiased variance, PyTorch convention)
+        {
+            let unbias = if m > 1.0 { m / (m - 1.0) } else { 1.0 };
+            let momentum = state.momentum;
+            state.running_mean.update_value(|rm| {
+                let rmd = rm.as_mut_slice();
+                for ci in 0..c {
+                    rmd[ci] = (1.0 - momentum) * rmd[ci] + momentum * mean[ci];
+                }
+            });
+            state.running_var.update_value(|rv| {
+                let rvd = rv.as_mut_slice();
+                for ci in 0..c {
+                    rvd[ci] = (1.0 - momentum) * rvd[ci] + momentum * var[ci] * unbias;
+                }
+            });
+        }
+        (mean, var)
+    } else {
+        (
+            state.running_mean.value().into_vec(),
+            state.running_var.value().into_vec(),
+        )
+    };
+
+    let eps = state.eps;
+    let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + eps).sqrt()).collect();
+
+    // Forward.
+    let mut out = Tensor::zeros(xv.shape());
+    {
+        let od = out.as_mut_slice();
+        let xd = xv.as_slice();
+        let gd = g.value(gamma).as_slice();
+        let bd = g.value(beta).as_slice();
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * hw;
+                let (mu, is, ga, be) = (mean[ci], inv_std[ci], gd[ci], bd[ci]);
+                for i in base..base + hw {
+                    od[i] = (xd[i] - mu) * is * ga + be;
+                }
+            }
+        }
+    }
+
+    g.push(
+        out,
+        &[x, gamma, beta],
+        Box::new(move |grad, parents, _| {
+            let xv = parents[0];
+            let gammav = parents[1];
+            let gd = grad.as_slice();
+            let xd = xv.as_slice();
+            let gad = gammav.as_slice();
+            let mut dx = Tensor::zeros(xv.shape());
+            let mut dgamma = Tensor::zeros(&[c]);
+            let mut dbeta = Tensor::zeros(&[c]);
+            let dxd = dx.as_mut_slice();
+            let dgd = dgamma.as_mut_slice();
+            let dbd = dbeta.as_mut_slice();
+            for ci in 0..c {
+                let (mu, is, ga) = (mean[ci], inv_std[ci], gad[ci]);
+                // accumulate per-channel sums
+                let mut sum_dy = 0.0f64;
+                let mut sum_dy_xhat = 0.0f64;
+                for ni in 0..n {
+                    let base = (ni * c + ci) * hw;
+                    for i in base..base + hw {
+                        let xhat = (xd[i] - mu) * is;
+                        sum_dy += gd[i] as f64;
+                        sum_dy_xhat += (gd[i] * xhat) as f64;
+                    }
+                }
+                dbd[ci] = sum_dy as f32;
+                dgd[ci] = sum_dy_xhat as f32;
+                if training {
+                    let mean_dy = (sum_dy / m as f64) as f32;
+                    let mean_dy_xhat = (sum_dy_xhat / m as f64) as f32;
+                    for ni in 0..n {
+                        let base = (ni * c + ci) * hw;
+                        for i in base..base + hw {
+                            let xhat = (xd[i] - mu) * is;
+                            dxd[i] = ga * is * (gd[i] - mean_dy - xhat * mean_dy_xhat);
+                        }
+                    }
+                } else {
+                    for ni in 0..n {
+                        let base = (ni * c + ci) * hw;
+                        for i in base..base + hw {
+                            dxd[i] = ga * is * gd[i];
+                        }
+                    }
+                }
+            }
+            vec![dx, dgamma, dbeta]
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Param;
+    use crate::ops::mse_loss;
+
+    fn ramp(shape: &[usize], s: f32) -> Tensor {
+        let n: usize = shape.iter().product();
+        Tensor::from_vec(
+            (0..n).map(|i| ((i * 11 % 17) as f32 - 8.0) * s).collect(),
+            shape,
+        )
+    }
+
+    #[test]
+    fn training_output_is_normalised() {
+        let state = BatchNormState::new(3);
+        let mut g = Graph::new();
+        let x = g.input(ramp(&[2, 3, 4, 4], 0.5));
+        let gamma = g.input(Tensor::ones(&[3]));
+        let beta = g.input(Tensor::zeros(&[3]));
+        let y = batch_norm2d(&mut g, x, gamma, beta, &state, true);
+        let out = g.value(y);
+        // per-channel mean ~ 0, var ~ 1
+        let (n, c, h, w) = (2, 3usize, 4, 4);
+        let hw = h * w;
+        for ci in 0..c {
+            let mut vals = Vec::new();
+            for ni in 0..n {
+                let base = (ni * c + ci) * hw;
+                vals.extend_from_slice(&out.as_slice()[base..base + hw]);
+            }
+            let m: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let v: f32 = vals.iter().map(|x| (x - m) * (x - m)).sum::<f32>() / vals.len() as f32;
+            assert!(m.abs() < 1e-4, "mean {m}");
+            assert!((v - 1.0).abs() < 1e-2, "var {v}");
+        }
+    }
+
+    #[test]
+    fn running_stats_updated_in_training_only() {
+        let state = BatchNormState::new(1);
+        let x0 = Tensor::full(&[1, 1, 2, 2], 4.0);
+        let mut g = Graph::new();
+        let x = g.input(x0.clone());
+        let gamma = g.input(Tensor::ones(&[1]));
+        let beta = g.input(Tensor::zeros(&[1]));
+        let _ = batch_norm2d(&mut g, x, gamma, beta, &state, true);
+        // running_mean = 0.9*0 + 0.1*4
+        assert!((state.running_mean.value().as_slice()[0] - 0.4).abs() < 1e-6);
+        let before = state.running_mean.value().as_slice()[0];
+        let mut g2 = Graph::new();
+        let x2 = g2.input(x0);
+        let gamma2 = g2.input(Tensor::ones(&[1]));
+        let beta2 = g2.input(Tensor::zeros(&[1]));
+        let _ = batch_norm2d(&mut g2, x2, gamma2, beta2, &state, false);
+        assert_eq!(state.running_mean.value().as_slice()[0], before);
+    }
+
+    #[test]
+    fn eval_uses_running_stats() {
+        let state = BatchNormState::new(1);
+        state.running_mean.set_value(Tensor::from_vec(vec![2.0], &[1]));
+        state.running_var.set_value(Tensor::from_vec(vec![4.0], &[1]));
+        let mut g = Graph::new();
+        let x = g.input(Tensor::full(&[1, 1, 1, 1], 6.0));
+        let gamma = g.input(Tensor::from_vec(vec![3.0], &[1]));
+        let beta = g.input(Tensor::from_vec(vec![1.0], &[1]));
+        let y = batch_norm2d(&mut g, x, gamma, beta, &state, false);
+        // (6-2)/2 * 3 + 1 = 7 (up to eps)
+        assert!((g.value(y).as_slice()[0] - 7.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gradients_match_finite_difference_training_mode() {
+        let x0 = ramp(&[2, 2, 3, 3], 0.4);
+        let g0 = Tensor::from_vec(vec![1.2, 0.8], &[2]);
+        let b0 = Tensor::from_vec(vec![0.1, -0.2], &[2]);
+
+        let loss_with = |xt: &Tensor, gt: &Tensor, bt: &Tensor| {
+            let state = BatchNormState::new(2);
+            let mut g = Graph::new();
+            let x = g.input(xt.clone());
+            let ga = g.input(gt.clone());
+            let be = g.input(bt.clone());
+            let y = batch_norm2d(&mut g, x, ga, be, &state, true);
+            let t = ramp(&[2, 2, 3, 3], 0.1);
+            let l = mse_loss(&mut g, y, &t);
+            g.value(l).as_slice()[0]
+        };
+
+        let px = Param::new(x0.clone(), "x");
+        let pg = Param::new(g0.clone(), "gamma");
+        let pb = Param::new(b0.clone(), "beta");
+        let state = BatchNormState::new(2);
+        let mut g = Graph::new();
+        let x = g.param(&px);
+        let ga = g.param(&pg);
+        let be = g.param(&pb);
+        let y = batch_norm2d(&mut g, x, ga, be, &state, true);
+        let t = ramp(&[2, 2, 3, 3], 0.1);
+        let l = mse_loss(&mut g, y, &t);
+        g.backward(l);
+
+        let eps = 1e-2f32;
+        let check = |init: &Tensor, analytic: &Tensor, which: usize| {
+            for i in 0..init.numel() {
+                let mut plus = init.clone();
+                plus.as_mut_slice()[i] += eps;
+                let mut minus = init.clone();
+                minus.as_mut_slice()[i] -= eps;
+                let (lp, lm) = match which {
+                    0 => (loss_with(&plus, &g0, &b0), loss_with(&minus, &g0, &b0)),
+                    1 => (loss_with(&x0, &plus, &b0), loss_with(&x0, &minus, &b0)),
+                    _ => (loss_with(&x0, &g0, &plus), loss_with(&x0, &g0, &minus)),
+                };
+                let num = (lp - lm) / (2.0 * eps);
+                let ana = analytic.as_slice()[i];
+                assert!(
+                    (num - ana).abs() <= 4e-2 * (1.0 + num.abs()),
+                    "which={which} elem {i}: numeric {num} vs analytic {ana}"
+                );
+            }
+        };
+        check(&x0, &px.grad(), 0);
+        check(&g0, &pg.grad(), 1);
+        check(&b0, &pb.grad(), 2);
+    }
+}

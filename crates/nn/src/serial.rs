@@ -1,0 +1,188 @@
+//! Binary checkpointing of parameter lists.
+//!
+//! Format (little-endian):
+//!
+//! ```text
+//! magic   b"LNNCKPT1"
+//! count   u32
+//! repeat count times:
+//!   name_len u32, name bytes (UTF-8)
+//!   rank     u32, dims u64 × rank
+//!   data     f32 × numel
+//! ```
+//!
+//! Parameters are matched **by position**; names and shapes are verified on
+//! load so architecture drift is caught instead of silently mis-assigned.
+
+use crate::graph::Param;
+use litho_tensor::Tensor;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"LNNCKPT1";
+
+/// Saves `params` to `path`.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn save_params(path: impl AsRef<Path>, params: &[Param]) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&(params.len() as u32).to_le_bytes())?;
+    for p in params {
+        let name = p.name();
+        let value = p.value();
+        w.write_all(&(name.len() as u32).to_le_bytes())?;
+        w.write_all(name.as_bytes())?;
+        w.write_all(&(value.rank() as u32).to_le_bytes())?;
+        for &d in value.shape() {
+            w.write_all(&(d as u64).to_le_bytes())?;
+        }
+        for &v in value.as_slice() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    w.flush()
+}
+
+/// Loads a checkpoint into `params` (same order as saved).
+///
+/// # Errors
+///
+/// Returns an error if the file is malformed, or if the parameter count,
+/// a name, or a shape does not match.
+pub fn load_params(path: impl AsRef<Path>, params: &[Param]) -> io::Result<()> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a litho-nn checkpoint (bad magic)",
+        ));
+    }
+    let count = read_u32(&mut r)? as usize;
+    if count != params.len() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "checkpoint holds {count} params but the model has {}",
+                params.len()
+            ),
+        ));
+    }
+    for p in params {
+        let name_len = read_u32(&mut r)? as usize;
+        let mut name = vec![0u8; name_len];
+        r.read_exact(&mut name)?;
+        let name = String::from_utf8(name)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        if name != p.name() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("param name mismatch: checkpoint '{name}' vs model '{}'", p.name()),
+            ));
+        }
+        let rank = read_u32(&mut r)? as usize;
+        let mut shape = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            let mut b = [0u8; 8];
+            r.read_exact(&mut b)?;
+            shape.push(u64::from_le_bytes(b) as usize);
+        }
+        if shape != p.shape() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "shape mismatch for '{name}': checkpoint {shape:?} vs model {:?}",
+                    p.shape()
+                ),
+            ));
+        }
+        let numel: usize = shape.iter().product();
+        let mut data = vec![0f32; numel];
+        for v in &mut data {
+            let mut b = [0u8; 4];
+            r.read_exact(&mut b)?;
+            *v = f32::from_le_bytes(b);
+        }
+        p.set_value(Tensor::from_vec(data, &shape));
+    }
+    Ok(())
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("litho_nn_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrip_preserves_values() {
+        let a = Param::new(Tensor::from_vec(vec![1.5, -2.5, 3.0], &[3]), "a");
+        let b = Param::new(Tensor::from_vec((0..12).map(|i| i as f32).collect(), &[3, 4]), "b");
+        let path = tmp("roundtrip.ckpt");
+        save_params(&path, &[a.clone(), b.clone()]).unwrap();
+
+        let a2 = Param::new(Tensor::zeros(&[3]), "a");
+        let b2 = Param::new(Tensor::zeros(&[3, 4]), "b");
+        load_params(&path, &[a2.clone(), b2.clone()]).unwrap();
+        assert_eq!(a2.value(), a.value());
+        assert_eq!(b2.value(), b.value());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_wrong_count() {
+        let a = Param::new(Tensor::zeros(&[2]), "a");
+        let path = tmp("count.ckpt");
+        save_params(&path, &[a.clone()]).unwrap();
+        let err = load_params(&path, &[a.clone(), a.clone()]).unwrap_err();
+        assert!(err.to_string().contains("holds 1 params"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_name_mismatch() {
+        let a = Param::new(Tensor::zeros(&[2]), "weight");
+        let path = tmp("name.ckpt");
+        save_params(&path, &[a]).unwrap();
+        let b = Param::new(Tensor::zeros(&[2]), "bias");
+        let err = load_params(&path, &[b]).unwrap_err();
+        assert!(err.to_string().contains("name mismatch"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_shape_mismatch() {
+        let a = Param::new(Tensor::zeros(&[2]), "w");
+        let path = tmp("shape.ckpt");
+        save_params(&path, &[a]).unwrap();
+        let b = Param::new(Tensor::zeros(&[3]), "w");
+        let err = load_params(&path, &[b]).unwrap_err();
+        assert!(err.to_string().contains("shape mismatch"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let path = tmp("magic.ckpt");
+        std::fs::write(&path, b"NOTACKPTxxxx").unwrap();
+        let p = Param::new(Tensor::zeros(&[1]), "w");
+        let err = load_params(&path, &[p]).unwrap_err();
+        assert!(err.to_string().contains("bad magic"));
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,227 @@
+//! Abbe (source-point summation) imaging engine.
+//!
+//! For every discretised source point `s`, the mask spectrum is filtered by
+//! the shifted pupil `P(f + s)` and transformed back; intensities add
+//! incoherently:
+//!
+//! ```text
+//! I(x) = Σ_s w_s · |F⁻¹[ P(f + s) · F[M] ](x)|²
+//! ```
+//!
+//! This is the reference model: exact for the discretised source, no kernel
+//! truncation. The SOCS/TCC engine in [`crate::tcc`] is validated against it.
+
+use crate::{Pupil, SimGrid, SourceModel, SourcePoint};
+use litho_fft::{Complex32, Fft2};
+
+/// Partially coherent aerial-image simulator using the Abbe method.
+#[derive(Debug, Clone)]
+pub struct AbbeSimulator {
+    grid: SimGrid,
+    pupil: Pupil,
+    points: Vec<SourcePoint>,
+    /// Pre-evaluated shifted pupils, one `size²` plane per source point.
+    shifted_pupils: Vec<Vec<Complex32>>,
+    fft: Fft2,
+    clear_intensity: f32,
+}
+
+impl AbbeSimulator {
+    /// Builds a simulator for the given grid, pupil and source.
+    pub fn new(grid: SimGrid, pupil: Pupil, source: &SourceModel) -> Self {
+        let points = source.sample(pupil.cutoff());
+        let freq = grid.freq_axis();
+        let n = grid.size();
+        let mut shifted_pupils = Vec::with_capacity(points.len());
+        for p in &points {
+            let mut plane = vec![Complex32::ZERO; n * n];
+            for (iy, &fy) in freq.iter().enumerate() {
+                for (ix, &fx) in freq.iter().enumerate() {
+                    plane[iy * n + ix] = pupil.eval(fx + p.fx, fy + p.fy);
+                }
+            }
+            shifted_pupils.push(plane);
+        }
+        // clear-field intensity: all-ones mask => spectrum = N²·δ(DC),
+        // field per source point = P(s); intensity = Σ w |P(s)|².
+        let clear_intensity: f32 = points
+            .iter()
+            .map(|p| p.weight * pupil.eval(p.fx, p.fy).norm_sqr())
+            .sum();
+        Self {
+            grid,
+            pupil,
+            points,
+            shifted_pupils,
+            fft: Fft2::new(n, n),
+            clear_intensity: clear_intensity.max(f32::EPSILON),
+        }
+    }
+
+    /// The simulation grid.
+    pub fn grid(&self) -> SimGrid {
+        self.grid
+    }
+
+    /// The pupil.
+    pub fn pupil(&self) -> Pupil {
+        self.pupil
+    }
+
+    /// Number of discretised source points.
+    pub fn source_point_count(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Computes the aerial image of a mask transmission raster (row-major,
+    /// `size²` values in `[0, 1]`), normalised so a clear mask gives
+    /// intensity 1 everywhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask length does not match the grid.
+    pub fn aerial_image(&self, mask: &[f32]) -> Vec<f32> {
+        assert_eq!(mask.len(), self.grid.len(), "mask size mismatch");
+        let n = self.grid.size();
+        let spectrum = self.fft.forward_real(mask);
+        let mut intensity = vec![0.0f32; n * n];
+        let mut field = vec![Complex32::ZERO; n * n];
+        for (pt, pupil_plane) in self.points.iter().zip(&self.shifted_pupils) {
+            for ((f, &s), &p) in field.iter_mut().zip(&spectrum).zip(pupil_plane) {
+                *f = s * p;
+            }
+            self.fft.inverse(&mut field);
+            let w = pt.weight / self.clear_intensity;
+            for (i, &e) in field.iter().enumerate() {
+                intensity[i] += w * e.norm_sqr();
+            }
+        }
+        intensity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simulator(size: usize, pixel: f32) -> AbbeSimulator {
+        AbbeSimulator::new(
+            SimGrid::new(size, pixel),
+            Pupil::new(1.35, 193.0),
+            &SourceModel::annular_default(),
+        )
+    }
+
+    #[test]
+    fn clear_mask_gives_unit_intensity() {
+        let sim = simulator(64, 8.0);
+        let img = sim.aerial_image(&vec![1.0; 64 * 64]);
+        for &v in &img {
+            assert!((v - 1.0).abs() < 1e-3, "intensity {v}");
+        }
+    }
+
+    #[test]
+    fn dark_mask_gives_zero_intensity() {
+        let sim = simulator(64, 8.0);
+        let img = sim.aerial_image(&vec![0.0; 64 * 64]);
+        for &v in &img {
+            assert!(v.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn intensity_nonnegative_and_peaks_inside_feature() {
+        let size = 64;
+        let sim = simulator(size, 8.0);
+        let mut mask = vec![0.0f32; size * size];
+        // 160 nm square centred in the tile (20 px at 8 nm)
+        for y in 22..42 {
+            for x in 22..42 {
+                mask[y * size + x] = 1.0;
+            }
+        }
+        let img = sim.aerial_image(&mask);
+        assert!(img.iter().all(|&v| v >= 0.0));
+        let centre = img[32 * size + 32];
+        let corner = img[2 * size + 2];
+        assert!(centre > 0.3, "centre intensity {centre}");
+        assert!(corner < 0.1, "corner intensity {corner}");
+        assert!(centre > 4.0 * corner);
+    }
+
+    #[test]
+    fn image_shifts_with_mask() {
+        let size = 64;
+        let sim = simulator(size, 8.0);
+        let mut mask = vec![0.0f32; size * size];
+        for y in 10..26 {
+            for x in 10..26 {
+                mask[y * size + x] = 1.0;
+            }
+        }
+        let img1 = sim.aerial_image(&mask);
+        // cyclic shift by (8, 4)
+        let mut shifted = vec![0.0f32; size * size];
+        for y in 0..size {
+            for x in 0..size {
+                shifted[((y + 8) % size) * size + ((x + 4) % size)] = mask[y * size + x];
+            }
+        }
+        let img2 = sim.aerial_image(&shifted);
+        for y in 0..size {
+            for x in 0..size {
+                let a = img1[y * size + x];
+                let b = img2[((y + 8) % size) * size + ((x + 4) % size)];
+                assert!((a - b).abs() < 1e-3, "shift equivariance broken at ({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn subresolution_feature_prints_dim() {
+        let size = 64;
+        let sim = simulator(size, 4.0);
+        // single 4nm pixel: far below resolution (~70nm)
+        let mut mask = vec![0.0f32; size * size];
+        mask[32 * size + 32] = 1.0;
+        let img = sim.aerial_image(&mask);
+        let peak = img.iter().cloned().fold(0.0f32, f32::max);
+        assert!(peak < 0.05, "sub-resolution peak {peak}");
+    }
+
+    #[test]
+    fn coherent_source_uses_single_system() {
+        let sim = AbbeSimulator::new(
+            SimGrid::new(32, 8.0),
+            Pupil::new(1.35, 193.0),
+            &SourceModel::circular(0.0),
+        );
+        assert_eq!(sim.source_point_count(), 1);
+        let img = sim.aerial_image(&vec![1.0; 32 * 32]);
+        assert!((img[0] - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn defocus_blurs_image() {
+        let size = 64;
+        let grid = SimGrid::new(size, 8.0);
+        let src = SourceModel::annular_default();
+        let focus = AbbeSimulator::new(grid, Pupil::new(1.35, 193.0), &src);
+        let defocus = AbbeSimulator::new(grid, Pupil::new(1.35, 193.0).with_defocus(200.0), &src);
+        let mut mask = vec![0.0f32; size * size];
+        for y in 24..40 {
+            for x in 24..40 {
+                mask[y * size + x] = 1.0;
+            }
+        }
+        let sharp = focus.aerial_image(&mask);
+        let blurred = defocus.aerial_image(&mask);
+        // image contrast (max-min) drops with defocus
+        let contrast = |img: &[f32]| {
+            img.iter().cloned().fold(0.0f32, f32::max)
+                - img.iter().cloned().fold(f32::INFINITY, f32::min)
+        };
+        assert!(contrast(&blurred) < contrast(&sharp));
+    }
+}

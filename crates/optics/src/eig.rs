@@ -1,0 +1,315 @@
+//! Eigensolvers for the Hopkins TCC matrix.
+//!
+//! Two solvers:
+//!
+//! - [`jacobi_symmetric`] — a classical cyclic Jacobi sweep for dense real
+//!   symmetric matrices. Robust, `O(n³)` per sweep; used as the reference
+//!   implementation and for small systems.
+//! - [`top_eigenpairs_hermitian`] — deflated power iteration over a dense
+//!   complex Hermitian PSD matrix; extracts only the leading `l` eigenpairs,
+//!   which is exactly what SOCS kernel truncation needs (eq. 2 of the paper:
+//!   keep the `l` largest `α_k`, `l ≪ N²`).
+
+use litho_fft::Complex32;
+
+/// Eigendecomposition of a dense real symmetric matrix via cyclic Jacobi.
+///
+/// Returns `(eigenvalues, eigenvectors)` sorted by descending eigenvalue;
+/// eigenvector `k` is `vectors[k]`.
+///
+/// # Panics
+///
+/// Panics if `mat.len() != n·n`.
+pub fn jacobi_symmetric(mat: &[f64], n: usize, sweeps: usize) -> (Vec<f64>, Vec<Vec<f64>>) {
+    assert_eq!(mat.len(), n * n, "matrix must be n×n");
+    let mut a = mat.to_vec();
+    // v starts as identity; columns accumulate the rotations
+    let mut v = vec![0.0f64; n * n];
+    for i in 0..n {
+        v[i * n + i] = 1.0;
+    }
+    for _ in 0..sweeps {
+        let mut off = 0.0f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                off += a[p * n + q] * a[p * n + q];
+            }
+        }
+        if off < 1e-24 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = a[p * n + q];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = a[p * n + p];
+                let aqq = a[q * n + q];
+                let theta = 0.5 * (aqq - app) / apq;
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // rotate rows/cols p and q
+                for k in 0..n {
+                    let akp = a[k * n + p];
+                    let akq = a[k * n + q];
+                    a[k * n + p] = c * akp - s * akq;
+                    a[k * n + q] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = a[p * n + k];
+                    let aqk = a[q * n + k];
+                    a[p * n + k] = c * apk - s * aqk;
+                    a[q * n + k] = s * apk + c * aqk;
+                }
+                for k in 0..n {
+                    let vkp = v[k * n + p];
+                    let vkq = v[k * n + q];
+                    v[k * n + p] = c * vkp - s * vkq;
+                    v[k * n + q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    let mut pairs: Vec<(f64, Vec<f64>)> = (0..n)
+        .map(|k| {
+            (
+                a[k * n + k],
+                (0..n).map(|i| v[i * n + k]).collect::<Vec<f64>>(),
+            )
+        })
+        .collect();
+    pairs.sort_by(|x, y| y.0.partial_cmp(&x.0).unwrap_or(std::cmp::Ordering::Equal));
+    let evals = pairs.iter().map(|p| p.0).collect();
+    let evecs = pairs.into_iter().map(|p| p.1).collect();
+    (evals, evecs)
+}
+
+/// Leading `count` eigenpairs of a dense Hermitian **positive-semidefinite**
+/// matrix (row-major, `n×n`) by power iteration with deflation.
+///
+/// Returns `(eigenvalue, eigenvector)` pairs in descending eigenvalue order.
+/// Eigenvectors are unit-norm. Deterministic given `seed`.
+///
+/// # Panics
+///
+/// Panics if `mat.len() != n·n` or `count > n`.
+pub fn top_eigenpairs_hermitian(
+    mat: &[Complex32],
+    n: usize,
+    count: usize,
+    iters: usize,
+    seed: u64,
+) -> Vec<(f32, Vec<Complex32>)> {
+    assert_eq!(mat.len(), n * n, "matrix must be n×n");
+    assert!(count <= n, "cannot extract more eigenpairs than the dimension");
+    let mut found: Vec<(f32, Vec<Complex32>)> = Vec::with_capacity(count);
+    let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut next = move || {
+        // xorshift64*
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 40) as f32 / (1u64 << 24) as f32 - 0.5
+    };
+    for _ in 0..count {
+        let mut v: Vec<Complex32> = (0..n).map(|_| Complex32::new(next(), next())).collect();
+        normalize(&mut v);
+        let mut lambda = 0.0f32;
+        for _ in 0..iters {
+            let mut w = matvec(mat, n, &v);
+            // deflate against found eigenvectors
+            for (_, u) in &found {
+                let proj = dot_conj(u, &w);
+                for (wi, ui) in w.iter_mut().zip(u) {
+                    *wi -= *ui * proj;
+                }
+            }
+            let norm = normalize(&mut w);
+            lambda = norm;
+            v = w;
+        }
+        // Rayleigh quotient for a more accurate eigenvalue
+        let av = matvec(mat, n, &v);
+        let rq = dot_conj(&v, &av);
+        lambda = if rq.re.is_finite() { rq.re } else { lambda };
+        found.push((lambda.max(0.0), v));
+    }
+    found.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    found
+}
+
+fn matvec(mat: &[Complex32], n: usize, v: &[Complex32]) -> Vec<Complex32> {
+    let mut out = vec![Complex32::ZERO; n];
+    for (i, o) in out.iter_mut().enumerate() {
+        let row = &mat[i * n..(i + 1) * n];
+        let mut acc_re = 0.0f64;
+        let mut acc_im = 0.0f64;
+        for (m, x) in row.iter().zip(v) {
+            let p = *m * *x;
+            acc_re += p.re as f64;
+            acc_im += p.im as f64;
+        }
+        *o = Complex32::new(acc_re as f32, acc_im as f32);
+    }
+    out
+}
+
+/// `<a, b> = Σ conj(a_i)·b_i`
+fn dot_conj(a: &[Complex32], b: &[Complex32]) -> Complex32 {
+    let mut re = 0.0f64;
+    let mut im = 0.0f64;
+    for (x, y) in a.iter().zip(b) {
+        let p = x.conj() * *y;
+        re += p.re as f64;
+        im += p.im as f64;
+    }
+    Complex32::new(re as f32, im as f32)
+}
+
+fn normalize(v: &mut [Complex32]) -> f32 {
+    let norm: f64 = v.iter().map(|x| x.norm_sqr() as f64).sum::<f64>().sqrt();
+    let norm = norm as f32;
+    if norm > 0.0 {
+        let inv = 1.0 / norm;
+        for x in v.iter_mut() {
+            *x = x.scale(inv);
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jacobi_known_2x2() {
+        // [[2, 1], [1, 2]] has eigenvalues 3 and 1
+        let (evals, evecs) = jacobi_symmetric(&[2.0, 1.0, 1.0, 2.0], 2, 20);
+        assert!((evals[0] - 3.0).abs() < 1e-10);
+        assert!((evals[1] - 1.0).abs() < 1e-10);
+        // eigenvector for 3 is (1,1)/√2 up to sign
+        let v = &evecs[0];
+        assert!((v[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-8);
+        assert!((v[0] - v[1]).abs() < 1e-8);
+    }
+
+    #[test]
+    fn jacobi_reconstructs_matrix() {
+        let n = 6;
+        // symmetric positive definite: A = B Bᵀ + I
+        let mut a = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = if i == j { 1.0 } else { 0.0 };
+                for k in 0..n {
+                    let bi = ((i * 7 + k * 3) % 5) as f64 - 2.0;
+                    let bj = ((j * 7 + k * 3) % 5) as f64 - 2.0;
+                    acc += bi * bj * 0.1;
+                }
+                a[i * n + j] = acc;
+            }
+        }
+        let (evals, evecs) = jacobi_symmetric(&a, n, 30);
+        // rebuild A = Σ λ v vᵀ
+        let mut rec = vec![0.0f64; n * n];
+        for k in 0..n {
+            for i in 0..n {
+                for j in 0..n {
+                    rec[i * n + j] += evals[k] * evecs[k][i] * evecs[k][j];
+                }
+            }
+        }
+        for (x, y) in a.iter().zip(&rec) {
+            assert!((x - y).abs() < 1e-8, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn jacobi_eigenvectors_orthonormal() {
+        let a = [4.0, 1.0, 0.5, 1.0, 3.0, 0.2, 0.5, 0.2, 2.0];
+        let (_, evecs) = jacobi_symmetric(&a, 3, 30);
+        for i in 0..3 {
+            for j in 0..3 {
+                let dot: f64 = evecs[i].iter().zip(&evecs[j]).map(|(a, b)| a * b).sum();
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((dot - want).abs() < 1e-8);
+            }
+        }
+    }
+
+    fn hermitian_from_rank1(
+        vecs: &[(f32, Vec<Complex32>)],
+        n: usize,
+    ) -> Vec<Complex32> {
+        let mut m = vec![Complex32::ZERO; n * n];
+        for (lam, v) in vecs {
+            for i in 0..n {
+                for j in 0..n {
+                    m[i * n + j] += (v[i] * v[j].conj()).scale(*lam);
+                }
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn power_iteration_finds_leading_eigenpairs() {
+        // build a Hermitian PSD matrix with known spectrum
+        let n = 8;
+        let mut basis: Vec<Vec<Complex32>> = Vec::new();
+        // orthonormalise some deterministic complex vectors (Gram-Schmidt)
+        for k in 0..3 {
+            let mut v: Vec<Complex32> = (0..n)
+                .map(|i| {
+                    Complex32::new(
+                        ((i * 3 + k * 5) % 7) as f32 - 3.0,
+                        ((i * 5 + k * 2) % 5) as f32 - 2.0,
+                    )
+                })
+                .collect();
+            for u in &basis {
+                let proj = dot_conj(u, &v);
+                for (vi, ui) in v.iter_mut().zip(u) {
+                    *vi -= *ui * proj;
+                }
+            }
+            normalize(&mut v);
+            basis.push(v);
+        }
+        let spectrum = [(5.0f32, basis[0].clone()), (2.0, basis[1].clone()), (0.5, basis[2].clone())];
+        let m = hermitian_from_rank1(&spectrum, n);
+        let found = top_eigenpairs_hermitian(&m, n, 3, 200, 7);
+        assert!((found[0].0 - 5.0).abs() < 1e-2, "λ0 = {}", found[0].0);
+        assert!((found[1].0 - 2.0).abs() < 1e-2, "λ1 = {}", found[1].0);
+        assert!((found[2].0 - 0.5).abs() < 5e-2, "λ2 = {}", found[2].0);
+        // leading eigenvector matches up to global phase
+        let overlap = dot_conj(&found[0].1, &basis[0]).abs();
+        assert!(overlap > 0.999, "overlap {overlap}");
+    }
+
+    #[test]
+    fn power_iteration_matches_jacobi_on_real_matrix() {
+        // real symmetric matrix treated as Hermitian
+        let n = 5;
+        let mut a = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                a[i * n + j] = 1.0 / (1.0 + (i as f64 - j as f64).abs()) + if i == j { 2.0 } else { 0.0 };
+            }
+        }
+        let (jev, _) = jacobi_symmetric(&a, n, 30);
+        let ac: Vec<Complex32> = a.iter().map(|&v| Complex32::from_re(v as f32)).collect();
+        let found = top_eigenpairs_hermitian(&ac, n, 3, 300, 11);
+        for k in 0..3 {
+            assert!(
+                (found[k].0 as f64 - jev[k]).abs() < 1e-2,
+                "k={k}: {} vs {}",
+                found[k].0,
+                jev[k]
+            );
+        }
+    }
+}

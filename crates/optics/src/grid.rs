@@ -1,0 +1,121 @@
+//! Simulation grid: square pixel rasters and their frequency axes.
+
+use litho_fft::fft_freq;
+
+/// A square simulation raster: `size × size` pixels of `pixel_nm` nanometres.
+///
+/// The paper simulates 4 µm² tiles at 1 nm²/pixel (2048²); the scaled default
+/// configurations in this reproduction use the same physics on coarser grids.
+///
+/// # Examples
+///
+/// ```
+/// use litho_optics::SimGrid;
+/// let grid = SimGrid::new(256, 4.0);
+/// assert_eq!(grid.len(), 256 * 256);
+/// assert!((grid.extent_nm() - 1024.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimGrid {
+    size: usize,
+    pixel_nm: f32,
+}
+
+impl SimGrid {
+    /// Creates a grid of `size × size` pixels, each `pixel_nm` across.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0` or `pixel_nm <= 0`.
+    pub fn new(size: usize, pixel_nm: f32) -> Self {
+        assert!(size > 0, "grid size must be positive");
+        assert!(pixel_nm > 0.0, "pixel pitch must be positive");
+        Self { size, pixel_nm }
+    }
+
+    /// Pixels per side.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Pixel pitch in nanometres.
+    #[inline]
+    pub fn pixel_nm(&self) -> f32 {
+        self.pixel_nm
+    }
+
+    /// Total pixel count (`size²`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.size * self.size
+    }
+
+    /// Returns `true` for a degenerate empty grid (never constructible).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Physical side length in nanometres.
+    #[inline]
+    pub fn extent_nm(&self) -> f32 {
+        self.size as f32 * self.pixel_nm
+    }
+
+    /// Physical area in µm².
+    #[inline]
+    pub fn area_um2(&self) -> f32 {
+        let side_um = self.extent_nm() / 1000.0;
+        side_um * side_um
+    }
+
+    /// DFT sample frequencies along one axis, in 1/nm (`fftfreq` order).
+    pub fn freq_axis(&self) -> Vec<f32> {
+        fft_freq(self.size, self.pixel_nm)
+    }
+
+    /// Frequency-step between adjacent DFT bins, in 1/nm.
+    #[inline]
+    pub fn freq_step(&self) -> f32 {
+        1.0 / (self.size as f32 * self.pixel_nm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_geometry() {
+        let g = SimGrid::new(128, 8.0);
+        assert_eq!(g.size(), 128);
+        assert_eq!(g.len(), 16384);
+        assert_eq!(g.extent_nm(), 1024.0);
+        assert!((g.area_um2() - 1.048576).abs() < 1e-5);
+    }
+
+    #[test]
+    fn freq_axis_properties() {
+        let g = SimGrid::new(8, 2.0);
+        let f = g.freq_axis();
+        assert_eq!(f.len(), 8);
+        assert_eq!(f[0], 0.0);
+        assert!((f[1] - g.freq_step()).abs() < 1e-9);
+        // Nyquist magnitude = 1/(2*pixel)
+        let max = f.iter().fold(0.0f32, |a, &b| a.max(b.abs()));
+        assert!((max - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "grid size must be positive")]
+    fn zero_size_panics() {
+        let _ = SimGrid::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pixel pitch must be positive")]
+    fn zero_pitch_panics() {
+        let _ = SimGrid::new(8, 0.0);
+    }
+}

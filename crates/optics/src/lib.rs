@@ -1,0 +1,145 @@
+//! # litho-optics
+//!
+//! The "golden" lithography simulator substrate for the DOINN reproduction —
+//! the physics that commercial engines (Calibre, Lithosim) implement and that
+//! the paper's eqs. (1)–(3) describe:
+//!
+//! - [`Pupil`] / [`SourceModel`] — projection optics and Köhler illumination.
+//! - [`AbbeSimulator`] — exact source-point-summation imaging (reference).
+//! - [`TccModel`] / [`SocsKernels`] — Hopkins transmission cross coefficients,
+//!   eigendecomposed into the truncated sum-of-coherent-systems form
+//!   `I = Σ_k α_k |F⁻¹(Ψ_k ⊙ F(M))|²` used for fast simulation.
+//! - [`ResistModel`] — constant-threshold (and differentiable sigmoid)
+//!   develop models.
+//! - [`LithoPipeline`] — mask → aerial image → printed resist in one call.
+//!
+//! # Examples
+//!
+//! ```
+//! use litho_optics::{LithoModel, LithoPipeline, Pupil, ResistModel, SimGrid,
+//!                    SourceModel, TccModel};
+//!
+//! let grid = SimGrid::new(64, 8.0); // 512 nm tile, 8 nm pixels
+//! let pupil = Pupil::new(1.35, 193.0);
+//! let source = SourceModel::annular_default();
+//! let socs = TccModel::new(grid, pupil, &source).kernels(8);
+//! let litho = LithoPipeline::new(socs, ResistModel::default_threshold());
+//!
+//! let mut mask = vec![0.0f32; 64 * 64];
+//! for y in 24..40 { for x in 24..40 { mask[y * 64 + x] = 1.0; } }
+//! let printed = litho.print(&mask);
+//! assert_eq!(printed.len(), 64 * 64);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod abbe;
+pub mod eig;
+mod grid;
+mod pupil;
+mod resist;
+mod source;
+mod tcc;
+
+pub use abbe::AbbeSimulator;
+pub use grid::SimGrid;
+pub use pupil::Pupil;
+pub use resist::ResistModel;
+pub use source::{SourceModel, SourcePoint, SourceShape};
+pub use tcc::{SocsKernels, TccModel};
+
+/// A forward optical model: mask transmission raster → aerial intensity.
+///
+/// Implemented by both the exact [`AbbeSimulator`] and the truncated
+/// [`SocsKernels`] engine so downstream code (OPC, dataset generation) can
+/// swap them freely.
+pub trait LithoModel {
+    /// The simulation grid this model was built for.
+    fn grid(&self) -> SimGrid;
+
+    /// Computes the aerial image of a mask (row-major, `size²`, values in
+    /// `[0, 1]`), normalised to clear-field intensity 1.
+    fn aerial_image(&self, mask: &[f32]) -> Vec<f32>;
+}
+
+impl LithoModel for AbbeSimulator {
+    fn grid(&self) -> SimGrid {
+        AbbeSimulator::grid(self)
+    }
+    fn aerial_image(&self, mask: &[f32]) -> Vec<f32> {
+        AbbeSimulator::aerial_image(self, mask)
+    }
+}
+
+/// Convenience facade: optical model + resist model.
+#[derive(Debug, Clone)]
+pub struct LithoPipeline<M> {
+    model: M,
+    resist: ResistModel,
+}
+
+impl<M: LithoModel> LithoPipeline<M> {
+    /// Pairs an optical model with a resist model.
+    pub fn new(model: M, resist: ResistModel) -> Self {
+        Self { model, resist }
+    }
+
+    /// The optical model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// The resist model.
+    pub fn resist(&self) -> ResistModel {
+        self.resist
+    }
+
+    /// Aerial image of a mask.
+    pub fn aerial_image(&self, mask: &[f32]) -> Vec<f32> {
+        self.model.aerial_image(mask)
+    }
+
+    /// Printed (developed) resist raster of a mask.
+    pub fn print(&self, mask: &[f32]) -> Vec<f32> {
+        self.resist.develop(&self.model.aerial_image(mask))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_print_is_binary_with_hard_threshold() {
+        let grid = SimGrid::new(32, 16.0);
+        let socs = TccModel::new(grid, Pupil::new(1.35, 193.0), &SourceModel::circular(0.5))
+            .kernels(6);
+        let pipe = LithoPipeline::new(socs, ResistModel::default_threshold());
+        let mut mask = vec![0.0f32; 32 * 32];
+        for y in 8..24 {
+            for x in 8..24 {
+                mask[y * 32 + x] = 1.0;
+            }
+        }
+        let printed = pipe.print(&mask);
+        assert!(printed.iter().all(|&v| v == 0.0 || v == 1.0));
+        assert!(printed.iter().sum::<f32>() > 0.0, "feature should print");
+    }
+
+    #[test]
+    fn trait_object_compatible_models() {
+        // both engines usable through the trait
+        let grid = SimGrid::new(32, 16.0);
+        let pupil = Pupil::new(1.35, 193.0);
+        let source = SourceModel::circular(0.4);
+        let abbe = AbbeSimulator::new(grid, pupil, &source);
+        let socs = TccModel::new(grid, pupil, &source).kernels(10);
+        let models: Vec<&dyn LithoModel> = vec![&abbe, &socs];
+        let mask = vec![1.0f32; 32 * 32];
+        for m in models {
+            let img = m.aerial_image(&mask);
+            assert!((img[5] - 1.0).abs() < 0.05);
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Projection-lens pupil function.
+
+use litho_fft::Complex32;
+
+/// A circular pupil with numerical aperture, wavelength and paraxial defocus.
+///
+/// The pupil transmits spatial frequencies up to `NA/λ`; defocus adds the
+/// paraxial phase `exp(−iπ·λ·z·|f|²)`.
+///
+/// # Examples
+///
+/// ```
+/// use litho_optics::Pupil;
+/// let p = Pupil::new(1.35, 193.0);
+/// assert!(p.eval(0.0, 0.0).re == 1.0);           // DC passes
+/// assert!(p.eval(1.0, 0.0).abs() == 0.0);        // far beyond cutoff
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pupil {
+    na: f32,
+    wavelength_nm: f32,
+    defocus_nm: f32,
+}
+
+impl Pupil {
+    /// Creates an in-focus pupil.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `na <= 0` or `wavelength_nm <= 0`.
+    pub fn new(na: f32, wavelength_nm: f32) -> Self {
+        assert!(na > 0.0, "NA must be positive");
+        assert!(wavelength_nm > 0.0, "wavelength must be positive");
+        Self {
+            na,
+            wavelength_nm,
+            defocus_nm: 0.0,
+        }
+    }
+
+    /// Sets paraxial defocus in nanometres (builder style).
+    #[must_use]
+    pub fn with_defocus(mut self, defocus_nm: f32) -> Self {
+        self.defocus_nm = defocus_nm;
+        self
+    }
+
+    /// Numerical aperture.
+    #[inline]
+    pub fn na(&self) -> f32 {
+        self.na
+    }
+
+    /// Exposure wavelength in nanometres.
+    #[inline]
+    pub fn wavelength_nm(&self) -> f32 {
+        self.wavelength_nm
+    }
+
+    /// Defocus in nanometres.
+    #[inline]
+    pub fn defocus_nm(&self) -> f32 {
+        self.defocus_nm
+    }
+
+    /// Pupil cutoff frequency `NA/λ` in 1/nm.
+    #[inline]
+    pub fn cutoff(&self) -> f32 {
+        self.na / self.wavelength_nm
+    }
+
+    /// Evaluates the pupil at spatial frequency `(fx, fy)` (1/nm).
+    pub fn eval(&self, fx: f32, fy: f32) -> Complex32 {
+        let f2 = fx * fx + fy * fy;
+        let c = self.cutoff();
+        if f2 > c * c {
+            return Complex32::ZERO;
+        }
+        if self.defocus_nm == 0.0 {
+            Complex32::ONE
+        } else {
+            let phase = -std::f32::consts::PI * self.wavelength_nm * self.defocus_nm * f2;
+            Complex32::from_polar(1.0, phase)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cutoff_behaviour() {
+        let p = Pupil::new(1.35, 193.0);
+        let c = p.cutoff();
+        assert!((c - 1.35 / 193.0).abs() < 1e-8);
+        assert_eq!(p.eval(c * 0.99, 0.0), Complex32::ONE);
+        assert_eq!(p.eval(c * 1.01, 0.0), Complex32::ZERO);
+        // diagonal: radius counts, not per-axis
+        let d = c / std::f32::consts::SQRT_2;
+        assert_eq!(p.eval(d * 0.99, d * 0.99), Complex32::ONE);
+        assert_eq!(p.eval(d * 1.01, d * 1.01), Complex32::ZERO);
+    }
+
+    #[test]
+    fn defocus_adds_unit_magnitude_phase() {
+        let p = Pupil::new(0.9, 193.0).with_defocus(50.0);
+        let v = p.eval(0.003, 0.001);
+        assert!((v.abs() - 1.0).abs() < 1e-6);
+        assert!(v.arg() != 0.0);
+        // DC is unaffected by defocus
+        assert_eq!(p.eval(0.0, 0.0), Complex32::ONE);
+    }
+
+    #[test]
+    fn defocus_phase_is_radially_symmetric() {
+        let p = Pupil::new(0.9, 193.0).with_defocus(80.0);
+        let a = p.eval(0.002, 0.0);
+        let b = p.eval(0.0, 0.002);
+        assert!((a - b).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "NA must be positive")]
+    fn invalid_na_panics() {
+        let _ = Pupil::new(0.0, 193.0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Resist models: aerial intensity → printed pattern.
+//!
+//! The paper uses a constant-threshold resist model for contour generation
+//! (§2.1). The sigmoid variant is the standard differentiable relaxation used
+//! by ILT-style OPC (`litho-layout` optimises through it).
+
+/// Converts aerial intensity into developed resist.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ResistModel {
+    /// Hard threshold: prints where `I ≥ threshold`.
+    ConstantThreshold {
+        /// Print threshold relative to clear-field intensity 1.0.
+        threshold: f32,
+    },
+    /// Smooth threshold `1/(1+exp(−k·(I−t)))` for gradient-based OPC.
+    Sigmoid {
+        /// Print threshold relative to clear-field intensity 1.0.
+        threshold: f32,
+        /// Sigmoid steepness `k` (larger = closer to a hard threshold).
+        steepness: f32,
+    },
+}
+
+impl ResistModel {
+    /// The conventional positive-resist threshold used by the golden engine
+    /// in this reproduction (30 % of clear field).
+    pub fn default_threshold() -> Self {
+        ResistModel::ConstantThreshold { threshold: 0.3 }
+    }
+
+    /// A differentiable resist matched to [`Self::default_threshold`].
+    pub fn default_sigmoid() -> Self {
+        ResistModel::Sigmoid {
+            threshold: 0.3,
+            steepness: 40.0,
+        }
+    }
+
+    /// The print threshold.
+    pub fn threshold(&self) -> f32 {
+        match *self {
+            ResistModel::ConstantThreshold { threshold } => threshold,
+            ResistModel::Sigmoid { threshold, .. } => threshold,
+        }
+    }
+
+    /// Develops an intensity raster into resist occupancy.
+    ///
+    /// Hard threshold yields exactly `{0.0, 1.0}`; the sigmoid yields values
+    /// in `(0, 1)`.
+    pub fn develop(&self, intensity: &[f32]) -> Vec<f32> {
+        match *self {
+            ResistModel::ConstantThreshold { threshold } => intensity
+                .iter()
+                .map(|&v| if v >= threshold { 1.0 } else { 0.0 })
+                .collect(),
+            ResistModel::Sigmoid {
+                threshold,
+                steepness,
+            } => intensity
+                .iter()
+                .map(|&v| 1.0 / (1.0 + (-steepness * (v - threshold)).exp()))
+                .collect(),
+        }
+    }
+
+    /// Derivative of [`Self::develop`] w.r.t. intensity (zero for the hard
+    /// threshold almost everywhere).
+    pub fn develop_deriv(&self, intensity: &[f32]) -> Vec<f32> {
+        match *self {
+            ResistModel::ConstantThreshold { .. } => vec![0.0; intensity.len()],
+            ResistModel::Sigmoid {
+                threshold,
+                steepness,
+            } => intensity
+                .iter()
+                .map(|&v| {
+                    let s = 1.0 / (1.0 + (-steepness * (v - threshold)).exp());
+                    steepness * s * (1.0 - s)
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hard_threshold_is_binary() {
+        let r = ResistModel::ConstantThreshold { threshold: 0.5 };
+        let out = r.develop(&[0.0, 0.49, 0.5, 0.51, 1.0]);
+        assert_eq!(out, vec![0.0, 0.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn sigmoid_is_monotone_and_centred() {
+        let r = ResistModel::Sigmoid {
+            threshold: 0.3,
+            steepness: 40.0,
+        };
+        let out = r.develop(&[0.0, 0.3, 1.0]);
+        assert!(out[0] < 0.01);
+        assert!((out[1] - 0.5).abs() < 1e-6);
+        assert!(out[2] > 0.99);
+        assert!(out[0] < out[1] && out[1] < out[2]);
+    }
+
+    #[test]
+    fn sigmoid_approaches_hard_threshold() {
+        let hard = ResistModel::ConstantThreshold { threshold: 0.3 };
+        let steep = ResistModel::Sigmoid {
+            threshold: 0.3,
+            steepness: 500.0,
+        };
+        let intensities = [0.1, 0.25, 0.35, 0.6];
+        let a = hard.develop(&intensities);
+        let b = steep.develop(&intensities);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        let r = ResistModel::Sigmoid {
+            threshold: 0.3,
+            steepness: 20.0,
+        };
+        let eps = 1e-4f32;
+        for &i in &[0.1f32, 0.3, 0.4, 0.8] {
+            let d = r.develop_deriv(&[i])[0];
+            let num = (r.develop(&[i + eps])[0] - r.develop(&[i - eps])[0]) / (2.0 * eps);
+            assert!((d - num).abs() < 1e-2 * (1.0 + num.abs()), "{d} vs {num}");
+        }
+    }
+
+    #[test]
+    fn hard_threshold_derivative_is_zero() {
+        let r = ResistModel::default_threshold();
+        assert_eq!(r.develop_deriv(&[0.2, 0.4]), vec![0.0, 0.0]);
+        assert_eq!(r.threshold(), 0.3);
+    }
+}

@@ -1,0 +1,253 @@
+//! Köhler illumination source models.
+//!
+//! A source is discretised into weighted point emitters in the pupil plane;
+//! each point contributes one coherent imaging system (the Abbe method).
+//! Coordinates are in sigma units (fractions of `NA/λ`).
+
+/// One discretised source point: pupil-plane offset (in 1/nm) plus weight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SourcePoint {
+    /// Frequency offset along x in 1/nm.
+    pub fx: f32,
+    /// Frequency offset along y in 1/nm.
+    pub fy: f32,
+    /// Non-negative weight (the full set is normalised to sum 1).
+    pub weight: f32,
+}
+
+/// Illumination shapes used in production lithography.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SourceShape {
+    /// Conventional circular (partially coherent) illumination of radius
+    /// `sigma`.
+    Circular {
+        /// Outer radius in sigma units (0 = fully coherent).
+        sigma: f32,
+    },
+    /// Annular illumination between two radii.
+    Annular {
+        /// Inner radius in sigma units.
+        sigma_in: f32,
+        /// Outer radius in sigma units.
+        sigma_out: f32,
+    },
+    /// Four-pole (quasar) illumination: quadrants of an annulus centred on
+    /// the axes at 45°.
+    Quasar {
+        /// Inner radius in sigma units.
+        sigma_in: f32,
+        /// Outer radius in sigma units.
+        sigma_out: f32,
+        /// Half-opening angle of each pole, radians.
+        opening: f32,
+    },
+}
+
+/// A source shape together with its sampling density.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SourceModel {
+    shape: SourceShape,
+    samples_per_axis: usize,
+}
+
+impl SourceModel {
+    /// Creates a source with the given shape, sampled on an `n × n` grid
+    /// over the unit sigma square.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples_per_axis == 0`.
+    pub fn new(shape: SourceShape, samples_per_axis: usize) -> Self {
+        assert!(samples_per_axis > 0, "need at least one sample per axis");
+        Self {
+            shape,
+            samples_per_axis,
+        }
+    }
+
+    /// Standard annular immersion-litho source (σ 0.55–0.85), 9×9 samples.
+    pub fn annular_default() -> Self {
+        Self::new(
+            SourceShape::Annular {
+                sigma_in: 0.55,
+                sigma_out: 0.85,
+            },
+            9,
+        )
+    }
+
+    /// Conventional circular source with the given sigma, 9×9 samples.
+    pub fn circular(sigma: f32) -> Self {
+        Self::new(SourceShape::Circular { sigma }, 9)
+    }
+
+    /// The source shape.
+    pub fn shape(&self) -> SourceShape {
+        self.shape
+    }
+
+    /// Discretises the source into weighted points, in absolute frequency
+    /// units for a pupil of cutoff `na_over_lambda` (1/nm). Weights sum to 1.
+    ///
+    /// A fully coherent source (σ = 0 circular) yields exactly one on-axis
+    /// point.
+    pub fn sample(&self, na_over_lambda: f32) -> Vec<SourcePoint> {
+        let n = self.samples_per_axis;
+        let mut pts = Vec::new();
+        let outer = match self.shape {
+            SourceShape::Circular { sigma } => sigma,
+            SourceShape::Annular { sigma_out, .. } => sigma_out,
+            SourceShape::Quasar { sigma_out, .. } => sigma_out,
+        };
+        if outer <= f32::EPSILON {
+            return vec![SourcePoint {
+                fx: 0.0,
+                fy: 0.0,
+                weight: 1.0,
+            }];
+        }
+        for iy in 0..n {
+            for ix in 0..n {
+                // cell centres over [-outer, outer]^2
+                let sx = outer * (2.0 * (ix as f32 + 0.5) / n as f32 - 1.0);
+                let sy = outer * (2.0 * (iy as f32 + 0.5) / n as f32 - 1.0);
+                let r = (sx * sx + sy * sy).sqrt();
+                let inside = match self.shape {
+                    SourceShape::Circular { sigma } => r <= sigma,
+                    SourceShape::Annular {
+                        sigma_in,
+                        sigma_out,
+                    } => r >= sigma_in && r <= sigma_out,
+                    SourceShape::Quasar {
+                        sigma_in,
+                        sigma_out,
+                        opening,
+                    } => {
+                        if r < sigma_in || r > sigma_out {
+                            false
+                        } else {
+                            let theta = sy.atan2(sx);
+                            // poles on the x/y axes
+                            [0.0f32, 0.5, 1.0, 1.5, 2.0]
+                                .iter()
+                                .any(|&m| {
+                                    let centre = m * std::f32::consts::PI;
+                                    let tau = 2.0 * std::f32::consts::PI;
+                                    let mut d = (theta - centre).rem_euclid(tau);
+                                    if d > std::f32::consts::PI {
+                                        d = tau - d;
+                                    }
+                                    d <= opening
+                                })
+                        }
+                    }
+                };
+                if inside {
+                    pts.push(SourcePoint {
+                        fx: sx * na_over_lambda,
+                        fy: sy * na_over_lambda,
+                        weight: 1.0,
+                    });
+                }
+            }
+        }
+        if pts.is_empty() {
+            // degenerate shapes collapse to a coherent point
+            return vec![SourcePoint {
+                fx: 0.0,
+                fy: 0.0,
+                weight: 1.0,
+            }];
+        }
+        let total: f32 = pts.iter().map(|p| p.weight).sum();
+        for p in &mut pts {
+            p.weight /= total;
+        }
+        pts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coherent_source_is_single_point() {
+        let s = SourceModel::circular(0.0);
+        let pts = s.sample(0.007);
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0].fx, 0.0);
+        assert_eq!(pts[0].weight, 1.0);
+    }
+
+    #[test]
+    fn weights_normalised() {
+        let s = SourceModel::annular_default();
+        let pts = s.sample(0.007);
+        assert!(pts.len() > 10);
+        let total: f32 = pts.iter().map(|p| p.weight).sum();
+        assert!((total - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn annular_excludes_centre() {
+        let s = SourceModel::new(
+            SourceShape::Annular {
+                sigma_in: 0.5,
+                sigma_out: 0.9,
+            },
+            15,
+        );
+        let c = 0.007f32;
+        for p in s.sample(c) {
+            let r = (p.fx * p.fx + p.fy * p.fy).sqrt() / c;
+            assert!(r >= 0.5 - 1e-4 && r <= 0.9 + 1e-4, "r = {r}");
+        }
+    }
+
+    #[test]
+    fn circular_points_within_radius() {
+        let s = SourceModel::circular(0.6);
+        let c = 0.01f32;
+        for p in s.sample(c) {
+            let r = (p.fx * p.fx + p.fy * p.fy).sqrt() / c;
+            assert!(r <= 0.6 + 1e-4);
+        }
+    }
+
+    #[test]
+    fn source_is_symmetric() {
+        // for every sampled point, its mirror about x (and y) is present
+        let s = SourceModel::annular_default();
+        let pts = s.sample(1.0);
+        for p in &pts {
+            assert!(
+                pts.iter()
+                    .any(|q| (q.fx + p.fx).abs() < 1e-5 && (q.fy - p.fy).abs() < 1e-5),
+                "missing x-mirror of ({}, {})",
+                p.fx,
+                p.fy
+            );
+        }
+    }
+
+    #[test]
+    fn quasar_poles_on_axes() {
+        let s = SourceModel::new(
+            SourceShape::Quasar {
+                sigma_in: 0.5,
+                sigma_out: 0.9,
+                opening: 0.4,
+            },
+            21,
+        );
+        let pts = s.sample(1.0);
+        assert!(!pts.is_empty());
+        for p in &pts {
+            let theta = p.fy.atan2(p.fx).abs();
+            let on_x = theta < 0.45 || theta > std::f32::consts::PI - 0.45;
+            let on_y = (theta - std::f32::consts::FRAC_PI_2).abs() < 0.45;
+            assert!(on_x || on_y, "point off-pole at angle {theta}");
+        }
+    }
+}

@@ -1,0 +1,365 @@
+//! Hopkins TCC construction and SOCS kernel decomposition.
+//!
+//! The transmission cross coefficient matrix
+//!
+//! ```text
+//! TCC(f₁, f₂) = Σ_s w_s · P(f₁ + s) · P*(f₂ + s)
+//! ```
+//!
+//! is Hermitian positive-semidefinite on the truncated frequency support of
+//! the mask. Its leading eigenpairs give the *sum of coherent systems*
+//! decomposition used throughout OPC (eqs. 1–3 of the paper):
+//!
+//! ```text
+//! I = Σ_k α_k · |F⁻¹( Ψ_k ⊙ F(M) )|²,   l ≪ N²
+//! ```
+//!
+//! which is the "golden" forward model this reproduction trains against.
+
+use crate::eig::top_eigenpairs_hermitian;
+use crate::{LithoModel, Pupil, SimGrid, SourceModel};
+use litho_fft::{Complex32, Fft2};
+
+/// Dense TCC matrix on the truncated frequency support.
+#[derive(Debug, Clone)]
+pub struct TccModel {
+    grid: SimGrid,
+    /// Frequency-plane flat indices (into the full `size²` spectrum) kept in
+    /// the truncated support, in deterministic order.
+    support: Vec<usize>,
+    /// Dense Hermitian matrix, `support.len()²` entries.
+    matrix: Vec<Complex32>,
+    clear_intensity: f32,
+}
+
+impl TccModel {
+    /// Builds the TCC for a grid/pupil/source triple.
+    ///
+    /// The support keeps every frequency with `|f| ≤ NA/λ + max|s|` — the
+    /// exact set that can pass any shifted pupil.
+    pub fn new(grid: SimGrid, pupil: Pupil, source: &SourceModel) -> Self {
+        let points = source.sample(pupil.cutoff());
+        let freq = grid.freq_axis();
+        let n = grid.size();
+        let max_src = points
+            .iter()
+            .map(|p| (p.fx * p.fx + p.fy * p.fy).sqrt())
+            .fold(0.0f32, f32::max);
+        let radius = pupil.cutoff() + max_src;
+        let r2 = radius * radius;
+        let mut support = Vec::new();
+        let mut support_f = Vec::new();
+        for (iy, &fy) in freq.iter().enumerate() {
+            for (ix, &fx) in freq.iter().enumerate() {
+                if fx * fx + fy * fy <= r2 {
+                    support.push(iy * n + ix);
+                    support_f.push((fx, fy));
+                }
+            }
+        }
+        let k = support.len();
+        let mut matrix = vec![Complex32::ZERO; k * k];
+        // Pre-evaluate shifted pupil values per support frequency per source
+        // point: pv[s][i] = P(f_i + s)
+        let pv: Vec<Vec<Complex32>> = points
+            .iter()
+            .map(|s| {
+                support_f
+                    .iter()
+                    .map(|&(fx, fy)| pupil.eval(fx + s.fx, fy + s.fy))
+                    .collect()
+            })
+            .collect();
+        for (s, pt) in points.iter().enumerate() {
+            let w = pt.weight;
+            let pvs = &pv[s];
+            for i in 0..k {
+                let a = pvs[i];
+                if a == Complex32::ZERO {
+                    continue;
+                }
+                let row = &mut matrix[i * k..(i + 1) * k];
+                for (j, cell) in row.iter_mut().enumerate() {
+                    let b = pvs[j].conj();
+                    if b != Complex32::ZERO {
+                        *cell += (a * b).scale(w);
+                    }
+                }
+            }
+        }
+        let clear_intensity: f32 = points
+            .iter()
+            .map(|p| p.weight * pupil.eval(p.fx, p.fy).norm_sqr())
+            .sum();
+        Self {
+            grid,
+            support,
+            matrix,
+            clear_intensity: clear_intensity.max(f32::EPSILON),
+        }
+    }
+
+    /// Dimension of the truncated frequency support.
+    pub fn dimension(&self) -> usize {
+        self.support.len()
+    }
+
+    /// Trace of the TCC (= total transmitted energy; eigenvalues sum to it).
+    pub fn trace(&self) -> f32 {
+        let k = self.support.len();
+        (0..k).map(|i| self.matrix[i * k + i].re).sum()
+    }
+
+    /// Extracts the leading `count` SOCS kernels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` exceeds the support dimension.
+    pub fn kernels(&self, count: usize) -> SocsKernels {
+        let k = self.support.len();
+        let pairs = top_eigenpairs_hermitian(&self.matrix, k, count, 120, 0xD01);
+        let n = self.grid.size();
+        let kernels = pairs
+            .into_iter()
+            .map(|(alpha, vec)| {
+                let mut spectrum = vec![Complex32::ZERO; n * n];
+                for (idx, &flat) in self.support.iter().enumerate() {
+                    spectrum[flat] = vec[idx];
+                }
+                (alpha, spectrum)
+            })
+            .collect();
+        SocsKernels {
+            grid: self.grid,
+            kernels,
+            fft: Fft2::new(n, n),
+            clear_intensity: self.clear_intensity,
+        }
+    }
+}
+
+/// A truncated sum-of-coherent-systems model: `l` lithography kernels
+/// `(α_k, Ψ_k)` ready for FFT-based imaging.
+#[derive(Debug, Clone)]
+pub struct SocsKernels {
+    grid: SimGrid,
+    kernels: Vec<(f32, Vec<Complex32>)>,
+    fft: Fft2,
+    clear_intensity: f32,
+}
+
+impl SocsKernels {
+    /// Number of kernels kept (`l` in eq. 2).
+    pub fn len(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// Returns `true` if no kernels were kept.
+    pub fn is_empty(&self) -> bool {
+        self.kernels.is_empty()
+    }
+
+    /// The eigenvalues `α_k`, descending.
+    pub fn alphas(&self) -> Vec<f32> {
+        self.kernels.iter().map(|(a, _)| *a).collect()
+    }
+
+    /// Frequency-domain kernel `Ψ_k` on the full grid.
+    pub fn spectrum(&self, k: usize) -> &[Complex32] {
+        &self.kernels[k].1
+    }
+
+    /// Clear-field intensity the aerial image is normalised by
+    /// (`Σ_s w_s |P(s)|²`). Exposed so gradient-based OPC can reproduce the
+    /// exact normalisation of [`LithoModel::aerial_image`].
+    pub fn clear_intensity(&self) -> f32 {
+        self.clear_intensity
+    }
+
+    /// Spatial-domain kernel `h_k = F⁻¹(Ψ_k)` (row-major complex image).
+    pub fn spatial_kernel(&self, k: usize) -> Vec<Complex32> {
+        let mut buf = self.kernels[k].1.clone();
+        self.fft.inverse(&mut buf);
+        buf
+    }
+
+    /// Estimates the optical diameter in nanometres: twice the radius that
+    /// contains `energy_fraction` of the total α-weighted kernel energy.
+    ///
+    /// The large-tile simulation scheme (§3.2) uses this to size its halo.
+    pub fn optical_diameter_nm(&self, energy_fraction: f32) -> f32 {
+        let n = self.grid.size();
+        let centre = (n / 2) as isize;
+        // accumulate α-weighted |h|² by distance from the kernel origin
+        // (spatial kernels are centred at pixel (0,0) with wrap-around)
+        let mut total = 0.0f64;
+        let mut entries: Vec<(f32, f32)> = Vec::with_capacity(n * n);
+        for k in 0..self.kernels.len() {
+            let alpha = self.kernels[k].0;
+            let h = self.spatial_kernel(k);
+            for y in 0..n {
+                for x in 0..n {
+                    // wrap to signed offsets around origin
+                    let dy = if y as isize > centre { y as isize - n as isize } else { y as isize };
+                    let dx = if x as isize > centre { x as isize - n as isize } else { x as isize };
+                    let r2 = (dx * dx + dy * dy) as f32;
+                    let e = alpha * h[y * n + x].norm_sqr();
+                    if e > 0.0 {
+                        entries.push((r2, e));
+                        total += e as f64;
+                    }
+                }
+            }
+        }
+        entries.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let target = total * energy_fraction as f64;
+        let mut acc = 0.0f64;
+        let mut radius_px = 0.0f32;
+        for (r2, e) in entries {
+            acc += e as f64;
+            if acc >= target {
+                radius_px = r2.sqrt();
+                break;
+            }
+        }
+        2.0 * radius_px * self.grid.pixel_nm()
+    }
+}
+
+impl LithoModel for SocsKernels {
+    fn grid(&self) -> SimGrid {
+        self.grid
+    }
+
+    /// SOCS aerial image: `I = Σ_k α_k |F⁻¹(Ψ_k ⊙ F(M))|²`, normalised to a
+    /// clear-field intensity of 1.
+    fn aerial_image(&self, mask: &[f32]) -> Vec<f32> {
+        assert_eq!(mask.len(), self.grid.len(), "mask size mismatch");
+        let n = self.grid.size();
+        let spectrum = self.fft.forward_real(mask);
+        let mut intensity = vec![0.0f32; n * n];
+        let mut field = vec![Complex32::ZERO; n * n];
+        for (alpha, psi) in &self.kernels {
+            for ((f, &s), &p) in field.iter_mut().zip(&spectrum).zip(psi) {
+                *f = s * p;
+            }
+            self.fft.inverse(&mut field);
+            let w = alpha / self.clear_intensity;
+            for (i, &e) in field.iter().enumerate() {
+                intensity[i] += w * e.norm_sqr();
+            }
+        }
+        intensity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AbbeSimulator;
+
+    fn setup(size: usize, pixel: f32) -> (SimGrid, Pupil, SourceModel) {
+        (
+            SimGrid::new(size, pixel),
+            Pupil::new(1.35, 193.0),
+            SourceModel::annular_default(),
+        )
+    }
+
+    fn test_mask(size: usize) -> Vec<f32> {
+        let mut mask = vec![0.0f32; size * size];
+        // two rectangles
+        for y in 10..26 {
+            for x in 8..20 {
+                mask[y * size + x] = 1.0;
+            }
+        }
+        for y in 34..44 {
+            for x in 30..58 {
+                mask[y * size + x] = 1.0;
+            }
+        }
+        mask
+    }
+
+    #[test]
+    fn support_dimension_reasonable() {
+        let (g, p, s) = setup(64, 8.0);
+        let tcc = TccModel::new(g, p, &s);
+        let k = tcc.dimension();
+        // radius ≈ 1.85·NA/λ / freq_step ≈ 6.6 bins → ~140 bins
+        assert!(k > 40 && k < 400, "support dim {k}");
+        assert!(tcc.trace() > 0.0);
+    }
+
+    #[test]
+    fn eigenvalues_nonnegative_and_descending() {
+        let (g, p, s) = setup(64, 8.0);
+        let socs = TccModel::new(g, p, &s).kernels(8);
+        let a = socs.alphas();
+        assert_eq!(a.len(), 8);
+        for i in 0..a.len() {
+            assert!(a[i] >= 0.0);
+            if i > 0 {
+                assert!(a[i] <= a[i - 1] + 1e-5);
+            }
+        }
+        // leading kernel dominates
+        assert!(a[0] > 4.0 * a[4], "spectrum should decay: {a:?}");
+    }
+
+    #[test]
+    fn socs_matches_abbe_with_enough_kernels() {
+        let (g, p, s) = setup(64, 8.0);
+        let abbe = AbbeSimulator::new(g, p, &s);
+        let socs = TccModel::new(g, p, &s).kernels(24);
+        let mask = test_mask(64);
+        let ia = abbe.aerial_image(&mask);
+        let is = socs.aerial_image(&mask);
+        let mut max_err = 0.0f32;
+        for (a, b) in ia.iter().zip(&is) {
+            max_err = max_err.max((a - b).abs());
+        }
+        assert!(max_err < 0.05, "Abbe vs SOCS max error {max_err}");
+    }
+
+    #[test]
+    fn truncation_error_decreases_with_kernel_count() {
+        let (g, p, s) = setup(64, 8.0);
+        let abbe = AbbeSimulator::new(g, p, &s);
+        let tcc = TccModel::new(g, p, &s);
+        let mask = test_mask(64);
+        let ia = abbe.aerial_image(&mask);
+        let err = |count: usize| {
+            let is = tcc.kernels(count).aerial_image(&mask);
+            ia.iter()
+                .zip(&is)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f32>()
+        };
+        let e4 = err(4);
+        let e16 = err(16);
+        assert!(e16 < e4, "e4={e4} e16={e16}");
+    }
+
+    #[test]
+    fn clear_mask_normalised() {
+        let (g, p, s) = setup(32, 8.0);
+        let socs = TccModel::new(g, p, &s).kernels(12);
+        let img = socs.aerial_image(&vec![1.0; 32 * 32]);
+        // DC is fully captured by the kernels; clear field ≈ 1
+        for &v in &img {
+            assert!((v - 1.0).abs() < 0.05, "clear intensity {v}");
+        }
+    }
+
+    #[test]
+    fn optical_diameter_is_subwavelength_scale() {
+        let (g, p, s) = setup(64, 8.0);
+        let socs = TccModel::new(g, p, &s).kernels(8);
+        let d = socs.optical_diameter_nm(0.98);
+        // ~ a few λ/NA: expect hundreds of nm, bounded by tile size
+        assert!(d > 50.0, "diameter {d}");
+        assert!(d < g.extent_nm(), "diameter {d}");
+    }
+}

@@ -1,0 +1,107 @@
+//! Textbook imaging-physics checks on the golden simulator: the partially
+//! coherent resolution limit and contrast behaviour of line/space gratings.
+//!
+//! For λ=193 nm, NA=1.35, annular σ ≤ 0.85, the minimum resolvable grating
+//! pitch is `λ / ((1 + σ_out)·NA) ≈ 77 nm`; a simulator without this
+//! behaviour is not a lithography simulator.
+
+use litho_optics::{AbbeSimulator, Pupil, SimGrid, SourceModel, SourceShape};
+
+/// Builds a vertical line/space grating mask with the given pitch (50% duty).
+fn grating(size: usize, pixel_nm: f32, pitch_nm: f32) -> Vec<f32> {
+    let mut mask = vec![0.0f32; size * size];
+    for y in 0..size {
+        for x in 0..size {
+            let pos = (x as f32 + 0.5) * pixel_nm;
+            if (pos / pitch_nm).fract() < 0.5 {
+                mask[y * size + x] = 1.0;
+            }
+        }
+    }
+    mask
+}
+
+/// Michelson contrast of the aerial image along the centre row.
+fn contrast(img: &[f32], size: usize) -> f32 {
+    let row = &img[(size / 2) * size..(size / 2 + 1) * size];
+    let max = row.iter().cloned().fold(0.0f32, f32::max);
+    let min = row.iter().cloned().fold(f32::INFINITY, f32::min);
+    if max + min == 0.0 {
+        0.0
+    } else {
+        (max - min) / (max + min)
+    }
+}
+
+fn simulator(size: usize, pixel: f32) -> AbbeSimulator {
+    AbbeSimulator::new(
+        SimGrid::new(size, pixel),
+        Pupil::new(1.35, 193.0),
+        &SourceModel::new(
+            SourceShape::Annular {
+                sigma_in: 0.55,
+                sigma_out: 0.85,
+            },
+            11,
+        ),
+    )
+}
+
+#[test]
+fn subresolution_grating_has_no_contrast() {
+    // 64 nm pitch < 77 nm limit: all diffraction orders except the 0th fall
+    // outside the (shifted) pupil, so the image is flat
+    let size = 128;
+    let pixel = 4.0;
+    let sim = simulator(size, pixel);
+    let mask = grating(size, pixel, 64.0);
+    let img = sim.aerial_image(&mask);
+    let c = contrast(&img, size);
+    assert!(c < 0.05, "64 nm pitch should not resolve, contrast {c}");
+}
+
+#[test]
+fn resolvable_grating_has_strong_contrast() {
+    let size = 128;
+    let pixel = 4.0;
+    let sim = simulator(size, pixel);
+    let mask = grating(size, pixel, 128.0); // well above the limit
+    let img = sim.aerial_image(&mask);
+    let c = contrast(&img, size);
+    assert!(c > 0.4, "128 nm pitch should resolve, contrast {c}");
+}
+
+#[test]
+fn contrast_increases_with_pitch() {
+    let size = 128;
+    let pixel = 4.0;
+    let sim = simulator(size, pixel);
+    let c64 = contrast(&sim.aerial_image(&grating(size, pixel, 64.0)), size);
+    let c96 = contrast(&sim.aerial_image(&grating(size, pixel, 96.0)), size);
+    let c160 = contrast(&sim.aerial_image(&grating(size, pixel, 160.0)), size);
+    assert!(c64 < c96, "contrast must grow past the limit: {c64} vs {c96}");
+    assert!(c96 < c160 + 0.1, "near-monotone growth: {c96} vs {c160}");
+}
+
+#[test]
+fn larger_na_resolves_finer_pitch() {
+    let size = 128;
+    let pixel = 4.0;
+    let grating_mask = grating(size, pixel, 88.0);
+    let low_na = AbbeSimulator::new(
+        SimGrid::new(size, pixel),
+        Pupil::new(0.93, 193.0),
+        &SourceModel::circular(0.6),
+    );
+    let high_na = AbbeSimulator::new(
+        SimGrid::new(size, pixel),
+        Pupil::new(1.35, 193.0),
+        &SourceModel::circular(0.6),
+    );
+    let c_low = contrast(&low_na.aerial_image(&grating_mask), size);
+    let c_high = contrast(&high_na.aerial_image(&grating_mask), size);
+    assert!(
+        c_high > c_low + 0.1,
+        "NA 1.35 must out-resolve NA 0.93: {c_high} vs {c_low}"
+    );
+}

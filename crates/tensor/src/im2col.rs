@@ -1,0 +1,218 @@
+//! im2col / col2im lowering for convolution.
+//!
+//! `im2col` unfolds sliding windows of a CHW image into a matrix of shape
+//! `[C·kh·kw, oh·ow]` so convolution becomes one GEMM; `col2im` is its exact
+//! adjoint (scatter-add), which is what the input-gradient and the
+//! transposed-convolution forward pass need.
+
+/// Output spatial size of a convolution: `(size + 2·pad − k)/stride + 1`.
+///
+/// # Panics
+///
+/// Panics if the window does not fit (`size + 2·pad < k`) or `stride == 0`.
+#[inline]
+pub fn conv_out_size(size: usize, k: usize, stride: usize, pad: usize) -> usize {
+    assert!(stride > 0, "stride must be positive");
+    assert!(size + 2 * pad >= k, "kernel larger than padded input");
+    (size + 2 * pad - k) / stride + 1
+}
+
+/// Output spatial size of a transposed convolution:
+/// `(size − 1)·stride − 2·pad + k`.
+#[inline]
+pub fn conv_transpose_out_size(size: usize, k: usize, stride: usize, pad: usize) -> usize {
+    assert!(stride > 0, "stride must be positive");
+    (size - 1) * stride + k - 2 * pad
+}
+
+/// Unfolds a `C×H×W` image into a `[C·kh·kw, oh·ow]` matrix (row-major).
+///
+/// `out` must have length `c·kh·kw·oh·ow`; it is fully overwritten.
+///
+/// # Panics
+///
+/// Panics on size mismatches.
+#[allow(clippy::too_many_arguments)]
+pub fn im2col(
+    input: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    out: &mut [f32],
+) {
+    let oh = conv_out_size(h, kh, stride, pad);
+    let ow = conv_out_size(w, kw, stride, pad);
+    assert_eq!(input.len(), c * h * w, "input length mismatch");
+    assert_eq!(out.len(), c * kh * kw * oh * ow, "output length mismatch");
+    let l = oh * ow;
+    for ci in 0..c {
+        let img = &input[ci * h * w..(ci + 1) * h * w];
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let row = &mut out[((ci * kh + ky) * kw + kx) * l..((ci * kh + ky) * kw + kx + 1) * l];
+                for oy in 0..oh {
+                    let iy = (oy * stride + ky) as isize - pad as isize;
+                    let dst = &mut row[oy * ow..(oy + 1) * ow];
+                    if iy < 0 || iy >= h as isize {
+                        dst.fill(0.0);
+                        continue;
+                    }
+                    let src_row = &img[iy as usize * w..(iy as usize + 1) * w];
+                    for (ox, d) in dst.iter_mut().enumerate() {
+                        let ix = (ox * stride + kx) as isize - pad as isize;
+                        *d = if ix < 0 || ix >= w as isize {
+                            0.0
+                        } else {
+                            src_row[ix as usize]
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Adjoint of [`im2col`]: scatter-adds a `[C·kh·kw, oh·ow]` matrix back into
+/// a `C×H×W` image. The output buffer is **accumulated into**, not cleared.
+///
+/// # Panics
+///
+/// Panics on size mismatches.
+#[allow(clippy::too_many_arguments)]
+pub fn col2im(
+    cols: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    out: &mut [f32],
+) {
+    let oh = conv_out_size(h, kh, stride, pad);
+    let ow = conv_out_size(w, kw, stride, pad);
+    assert_eq!(out.len(), c * h * w, "output length mismatch");
+    assert_eq!(cols.len(), c * kh * kw * oh * ow, "cols length mismatch");
+    let l = oh * ow;
+    for ci in 0..c {
+        let img = &mut out[ci * h * w..(ci + 1) * h * w];
+        for ky in 0..kh {
+            for kx in 0..kw {
+                let row = &cols[((ci * kh + ky) * kw + kx) * l..((ci * kh + ky) * kw + kx + 1) * l];
+                for oy in 0..oh {
+                    let iy = (oy * stride + ky) as isize - pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let dst_row = &mut img[iy as usize * w..(iy as usize + 1) * w];
+                    let src = &row[oy * ow..(oy + 1) * ow];
+                    for (ox, &s) in src.iter().enumerate() {
+                        let ix = (ox * stride + kx) as isize - pad as isize;
+                        if ix >= 0 && ix < w as isize {
+                            dst_row[ix as usize] += s;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_size_formulas() {
+        assert_eq!(conv_out_size(8, 3, 1, 1), 8);
+        assert_eq!(conv_out_size(8, 4, 2, 1), 4);
+        assert_eq!(conv_out_size(5, 3, 2, 0), 2);
+        assert_eq!(conv_transpose_out_size(4, 4, 2, 1), 8);
+        assert_eq!(conv_transpose_out_size(8, 3, 1, 1), 8);
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1x1 kernel, stride 1, no pad: cols == input
+        let input: Vec<f32> = (0..12).map(|v| v as f32).collect();
+        let mut out = vec![0.0; 12];
+        im2col(&input, 3, 2, 2, 1, 1, 1, 0, &mut out);
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn im2col_3x3_center_row() {
+        // single channel 3x3 image, 3x3 kernel, pad 1: the centre kernel tap
+        // row must reproduce the image.
+        let input: Vec<f32> = (1..=9).map(|v| v as f32).collect();
+        let mut out = vec![0.0; 9 * 9];
+        im2col(&input, 1, 3, 3, 3, 3, 1, 1, &mut out);
+        let centre = &out[4 * 9..5 * 9]; // tap (ky=1, kx=1)
+        assert_eq!(centre, &input[..]);
+        // top-left tap (ky=0,kx=0) at output (0,0) looks at (-1,-1) => 0
+        assert_eq!(out[0], 0.0);
+        // top-left tap at output (1,1) looks at (0,0) => 1.0
+        assert_eq!(out[4], 1.0);
+    }
+
+    #[test]
+    fn im2col_stride2() {
+        let input: Vec<f32> = (0..16).map(|v| v as f32).collect(); // 1x4x4
+        let mut out = vec![0.0; 4 * 4]; // k=2x2, stride 2, pad 0 -> oh=ow=2
+        im2col(&input, 1, 4, 4, 2, 2, 2, 0, &mut out);
+        // tap (0,0) gathers pixels (0,0),(0,2),(2,0),(2,2)
+        assert_eq!(&out[0..4], &[0.0, 2.0, 8.0, 10.0]);
+        // tap (1,1) gathers pixels (1,1),(1,3),(3,1),(3,3)
+        assert_eq!(&out[12..16], &[5.0, 7.0, 13.0, 15.0]);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random-ish x, y
+        let (c, h, w, kh, kw, s, p) = (2usize, 5usize, 4usize, 3usize, 3usize, 2usize, 1usize);
+        let oh = conv_out_size(h, kh, s, p);
+        let ow = conv_out_size(w, kw, s, p);
+        let x: Vec<f32> = (0..c * h * w).map(|i| ((i * 13 % 7) as f32) - 3.0).collect();
+        let y: Vec<f32> = (0..c * kh * kw * oh * ow)
+            .map(|i| ((i * 5 % 11) as f32) * 0.5 - 2.0)
+            .collect();
+        let mut cols = vec![0.0; y.len()];
+        im2col(&x, c, h, w, kh, kw, s, p, &mut cols);
+        let lhs: f32 = cols.iter().zip(&y).map(|(a, b)| a * b).sum();
+        let mut back = vec![0.0; x.len()];
+        col2im(&y, c, h, w, kh, kw, s, p, &mut back);
+        let rhs: f32 = x.iter().zip(&back).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn col2im_counts_window_coverage() {
+        // ones through im2col then col2im gives, per pixel, the number of
+        // windows covering that pixel.
+        let (h, w) = (4usize, 4usize);
+        let mut cols = vec![0.0; 9 * 16];
+        let img = vec![1.0; 16];
+        im2col(&img, 1, h, w, 3, 3, 1, 1, &mut cols);
+        // replace cols with all ones to count coverage
+        for v in cols.iter_mut() {
+            *v = 1.0;
+        }
+        let mut out = vec![0.0; 16];
+        col2im(&cols, 1, h, w, 3, 3, 1, 1, &mut out);
+        // corner pixel covered by 4 windows of the 3x3/pad1 conv
+        assert_eq!(out[0], 4.0);
+        // centre pixel covered by all 9
+        assert_eq!(out[5], 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel larger than padded input")]
+    fn oversized_kernel_panics() {
+        let _ = conv_out_size(2, 5, 1, 1);
+    }
+}

@@ -1,0 +1,44 @@
+//! # litho-tensor
+//!
+//! Dense `f32` tensors and the handful of numeric primitives the DOINN
+//! reproduction's neural-network stack is built on:
+//!
+//! - [`Tensor`] — contiguous row-major buffers with NCHW conventions.
+//! - [`sgemm_nn`] / [`sgemm_nt`] / [`sgemm_tn`] — the three GEMM variants
+//!   needed by convolution forward/backward.
+//! - [`im2col`] / [`col2im`] — convolution lowering and its adjoint.
+//! - [`concat_channels`], [`pad_spatial`], … — shape plumbing for skip
+//!   connections and tile stitching.
+//! - [`init`] — seeded random initialisation.
+//!
+//! # Examples
+//!
+//! ```
+//! use litho_tensor::{im2col, sgemm_nn, Tensor};
+//!
+//! // A 1-channel 4x4 image convolved with a 3x3 averaging kernel via
+//! // im2col + GEMM.
+//! let img = Tensor::ones(&[1, 1, 4, 4]);
+//! let mut cols = vec![0.0; 9 * 16];
+//! im2col(img.as_slice(), 1, 4, 4, 3, 3, 1, 1, &mut cols);
+//! let w = vec![1.0 / 9.0; 9];
+//! let mut out = vec![0.0; 16];
+//! sgemm_nn(1, 16, 9, 1.0, &w, &cols, &mut out);
+//! assert!((out[5] - 1.0).abs() < 1e-6); // interior pixel: full coverage
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod gemm;
+mod im2col;
+pub mod init;
+mod shape_ops;
+mod tensor;
+
+pub use gemm::{sgemm_nn, sgemm_nt, sgemm_tn};
+pub use im2col::{col2im, conv_out_size, conv_transpose_out_size, im2col};
+pub use shape_ops::{
+    concat_channels, crop_spatial, dihedral_chw, pad_spatial, slice_channels, stack_batch,
+};
+pub use tensor::Tensor;

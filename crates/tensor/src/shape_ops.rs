@@ -1,0 +1,268 @@
+//! Shape-manipulating operations on NCHW tensors: channel concat/split,
+//! spatial zero-pad and crop. These are the plumbing for U-Net-style skip
+//! connections and the large-tile stitching scheme.
+
+use crate::Tensor;
+
+/// Concatenates NCHW tensors along the channel axis.
+///
+/// # Panics
+///
+/// Panics if the list is empty, ranks are not 4, or batch/spatial dims differ.
+pub fn concat_channels(tensors: &[&Tensor]) -> Tensor {
+    assert!(!tensors.is_empty(), "concat of zero tensors");
+    let first = tensors[0];
+    assert_eq!(first.rank(), 4, "concat_channels expects NCHW tensors");
+    let (n, h, w) = (first.dim(0), first.dim(2), first.dim(3));
+    let mut c_total = 0;
+    for t in tensors {
+        assert_eq!(t.rank(), 4, "concat_channels expects NCHW tensors");
+        assert_eq!(t.dim(0), n, "batch mismatch");
+        assert_eq!(t.dim(2), h, "height mismatch");
+        assert_eq!(t.dim(3), w, "width mismatch");
+        c_total += t.dim(1);
+    }
+    let hw = h * w;
+    let mut out = Tensor::zeros(&[n, c_total, h, w]);
+    let od = out.as_mut_slice();
+    for ni in 0..n {
+        let mut c_off = 0;
+        for t in tensors {
+            let c = t.dim(1);
+            let src = &t.as_slice()[ni * c * hw..(ni + 1) * c * hw];
+            let dst = &mut od[(ni * c_total + c_off) * hw..(ni * c_total + c_off + c) * hw];
+            dst.copy_from_slice(src);
+            c_off += c;
+        }
+    }
+    out
+}
+
+/// Extracts channels `[start, start+count)` of an NCHW tensor.
+///
+/// # Panics
+///
+/// Panics if the range is out of bounds or the tensor is not rank 4.
+pub fn slice_channels(t: &Tensor, start: usize, count: usize) -> Tensor {
+    assert_eq!(t.rank(), 4, "slice_channels expects NCHW tensors");
+    let (n, c, h, w) = (t.dim(0), t.dim(1), t.dim(2), t.dim(3));
+    assert!(start + count <= c, "channel slice out of bounds");
+    let hw = h * w;
+    let mut out = Tensor::zeros(&[n, count, h, w]);
+    let od = out.as_mut_slice();
+    for ni in 0..n {
+        let src = &t.as_slice()[(ni * c + start) * hw..(ni * c + start + count) * hw];
+        od[ni * count * hw..(ni + 1) * count * hw].copy_from_slice(src);
+    }
+    out
+}
+
+/// Zero-pads the spatial dims of an NCHW tensor by `(top, bottom, left,
+/// right)`.
+pub fn pad_spatial(t: &Tensor, top: usize, bottom: usize, left: usize, right: usize) -> Tensor {
+    assert_eq!(t.rank(), 4, "pad_spatial expects NCHW tensors");
+    let (n, c, h, w) = (t.dim(0), t.dim(1), t.dim(2), t.dim(3));
+    let (nh, nw) = (h + top + bottom, w + left + right);
+    let mut out = Tensor::zeros(&[n, c, nh, nw]);
+    let od = out.as_mut_slice();
+    let sd = t.as_slice();
+    for nc in 0..n * c {
+        for y in 0..h {
+            let src = &sd[(nc * h + y) * w..(nc * h + y + 1) * w];
+            let dst_off = (nc * nh + y + top) * nw + left;
+            od[dst_off..dst_off + w].copy_from_slice(src);
+        }
+    }
+    out
+}
+
+/// Crops the spatial dims of an NCHW tensor to the window starting at
+/// `(y0, x0)` with size `(h, w)`.
+///
+/// # Panics
+///
+/// Panics if the window exceeds the tensor bounds.
+pub fn crop_spatial(t: &Tensor, y0: usize, x0: usize, h: usize, w: usize) -> Tensor {
+    assert_eq!(t.rank(), 4, "crop_spatial expects NCHW tensors");
+    let (n, c, ih, iw) = (t.dim(0), t.dim(1), t.dim(2), t.dim(3));
+    assert!(y0 + h <= ih && x0 + w <= iw, "crop window out of bounds");
+    let mut out = Tensor::zeros(&[n, c, h, w]);
+    let od = out.as_mut_slice();
+    let sd = t.as_slice();
+    for nc in 0..n * c {
+        for y in 0..h {
+            let src_off = (nc * ih + y0 + y) * iw + x0;
+            od[(nc * h + y) * w..(nc * h + y + 1) * w]
+                .copy_from_slice(&sd[src_off..src_off + w]);
+        }
+    }
+    out
+}
+
+/// Applies one of the 8 dihedral-group symmetries (`k in 0..8`) to the
+/// spatial dims of a CHW tensor: `k % 4` quarter-turns, then a horizontal
+/// flip if `k >= 4`.
+///
+/// Used for data augmentation — rotationally symmetric illumination makes
+/// lithography equivariant under these transforms.
+///
+/// # Panics
+///
+/// Panics if the tensor is not rank 3 with square spatial dims, or `k >= 8`.
+pub fn dihedral_chw(t: &Tensor, k: usize) -> Tensor {
+    assert_eq!(t.rank(), 3, "dihedral_chw expects CHW tensors");
+    assert!(k < 8, "dihedral index must be in 0..8");
+    let (c, h, w) = (t.dim(0), t.dim(1), t.dim(2));
+    assert_eq!(h, w, "dihedral_chw expects square spatial dims");
+    let rot = k % 4;
+    let flip = k >= 4;
+    let mut out = Tensor::zeros(&[c, h, w]);
+    let od = out.as_mut_slice();
+    let sd = t.as_slice();
+    for ci in 0..c {
+        for y in 0..h {
+            for x in 0..w {
+                // rotate (y, x) by `rot` quarter turns counter-clockwise
+                let (mut ry, mut rx) = (y, x);
+                for _ in 0..rot {
+                    let (ny, nx) = (w - 1 - rx, ry);
+                    ry = ny;
+                    rx = nx;
+                }
+                if flip {
+                    rx = w - 1 - rx;
+                }
+                od[(ci * h + ry) * w + rx] = sd[(ci * h + y) * w + x];
+            }
+        }
+    }
+    out
+}
+
+/// Stacks a batch of CHW tensors into one NCHW tensor.
+///
+/// # Panics
+///
+/// Panics if the list is empty or shapes differ.
+pub fn stack_batch(items: &[&Tensor]) -> Tensor {
+    assert!(!items.is_empty(), "stack of zero tensors");
+    let shape = items[0].shape().to_vec();
+    assert_eq!(shape.len(), 3, "stack_batch expects CHW tensors");
+    let numel = items[0].numel();
+    let mut data = Vec::with_capacity(items.len() * numel);
+    for it in items {
+        assert_eq!(it.shape(), &shape[..], "shape mismatch in stack_batch");
+        data.extend_from_slice(it.as_slice());
+    }
+    Tensor::from_vec(data, &[items.len(), shape[0], shape[1], shape[2]])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: usize, c: usize, h: usize, w: usize, base: f32) -> Tensor {
+        Tensor::from_vec(
+            (0..n * c * h * w).map(|i| base + i as f32).collect(),
+            &[n, c, h, w],
+        )
+    }
+
+    #[test]
+    fn concat_then_slice_roundtrip() {
+        let a = t(2, 3, 4, 4, 0.0);
+        let b = t(2, 2, 4, 4, 100.0);
+        let cat = concat_channels(&[&a, &b]);
+        assert_eq!(cat.shape(), &[2, 5, 4, 4]);
+        let a2 = slice_channels(&cat, 0, 3);
+        let b2 = slice_channels(&cat, 3, 2);
+        assert_eq!(a2, a);
+        assert_eq!(b2, b);
+    }
+
+    #[test]
+    fn concat_preserves_batch_interleaving() {
+        let a = t(2, 1, 1, 2, 0.0); // n0: [0,1], n1: [2,3]
+        let b = t(2, 1, 1, 2, 10.0); // n0: [10,11], n1: [12,13]
+        let cat = concat_channels(&[&a, &b]);
+        assert_eq!(cat.as_slice(), &[0.0, 1.0, 10.0, 11.0, 2.0, 3.0, 12.0, 13.0]);
+    }
+
+    #[test]
+    fn pad_then_crop_roundtrip() {
+        let x = t(1, 2, 3, 3, 0.0);
+        let padded = pad_spatial(&x, 1, 2, 3, 0);
+        assert_eq!(padded.shape(), &[1, 2, 6, 6]);
+        assert_eq!(padded.get(&[0, 0, 0, 0]), 0.0);
+        assert_eq!(padded.get(&[0, 0, 1, 3]), x.get(&[0, 0, 0, 0]));
+        let back = crop_spatial(&padded, 1, 3, 3, 3);
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn crop_window_contents() {
+        let x = t(1, 1, 4, 4, 0.0);
+        let c = crop_spatial(&x, 1, 2, 2, 2);
+        assert_eq!(c.as_slice(), &[6.0, 7.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn stack_batch_layout() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[1, 1, 2]);
+        let b = Tensor::from_vec(vec![3.0, 4.0], &[1, 1, 2]);
+        let s = stack_batch(&[&a, &b]);
+        assert_eq!(s.shape(), &[2, 1, 1, 2]);
+        assert_eq!(s.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn dihedral_identity_and_involutions() {
+        let t = Tensor::from_vec((0..18).map(|v| v as f32).collect(), &[2, 3, 3]);
+        assert_eq!(dihedral_chw(&t, 0), t);
+        // four quarter turns = identity
+        let mut r = t.clone();
+        for _ in 0..4 {
+            r = dihedral_chw(&r, 1);
+        }
+        assert_eq!(r, t);
+        // flip twice = identity
+        let f = dihedral_chw(&dihedral_chw(&t, 4), 4);
+        assert_eq!(f, t);
+    }
+
+    #[test]
+    fn dihedral_rotation_moves_corner() {
+        let mut t = Tensor::zeros(&[1, 2, 2]);
+        t.set(&[0, 0, 0], 1.0); // top-left
+        let r = dihedral_chw(&t, 1); // 90° CCW: (0,0) -> (1,0)
+        assert_eq!(r.get(&[0, 1, 0]), 1.0);
+        let f = dihedral_chw(&t, 4); // horizontal flip: (0,0) -> (0,1)
+        assert_eq!(f.get(&[0, 0, 1]), 1.0);
+    }
+
+    #[test]
+    fn dihedral_elements_are_distinct() {
+        let t = Tensor::from_vec((0..9).map(|v| v as f32).collect(), &[1, 3, 3]);
+        let images: Vec<Tensor> = (0..8).map(|k| dihedral_chw(&t, k)).collect();
+        for i in 0..8 {
+            for j in (i + 1)..8 {
+                assert_ne!(images[i], images[j], "transforms {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "height mismatch")]
+    fn concat_rejects_mismatched_spatial() {
+        let a = t(1, 1, 2, 2, 0.0);
+        let b = t(1, 1, 3, 2, 0.0);
+        let _ = concat_channels(&[&a, &b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "crop window out of bounds")]
+    fn crop_out_of_bounds_panics() {
+        let x = t(1, 1, 4, 4, 0.0);
+        let _ = crop_spatial(&x, 3, 3, 2, 2);
+    }
+}

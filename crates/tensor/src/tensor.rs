@@ -1,0 +1,397 @@
+//! The dense tensor type used by the whole NN stack.
+//!
+//! Tensors are always contiguous row-major `f32` buffers; the last axis is
+//! fastest-varying. Convolutional code uses the NCHW layout convention
+//! `[batch, channels, height, width]`, matching PyTorch, which the paper's
+//! architecture tables (Tables 5–7) are written against.
+
+use std::fmt;
+
+/// A contiguous row-major `f32` tensor.
+///
+/// # Examples
+///
+/// ```
+/// use litho_tensor::Tensor;
+/// let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+/// assert_eq!(t.shape(), &[2, 2]);
+/// assert_eq!(t.get(&[1, 0]), 3.0);
+/// assert_eq!(t.sum(), 10.0);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor from a flat buffer and a shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not equal the product of `shape`.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Self {
+        let numel: usize = shape.iter().product();
+        assert_eq!(
+            data.len(),
+            numel,
+            "data length {} does not match shape {:?}",
+            data.len(),
+            shape
+        );
+        Self {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// Creates a zero-filled tensor.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Self {
+            shape: shape.to_vec(),
+            data: vec![0.0; shape.iter().product()],
+        }
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        Self {
+            shape: shape.to_vec(),
+            data: vec![value; shape.iter().product()],
+        }
+    }
+
+    /// Creates a one-filled tensor.
+    pub fn ones(shape: &[usize]) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// Creates a scalar (rank-0) tensor.
+    pub fn scalar(value: f32) -> Self {
+        Self {
+            shape: vec![],
+            data: vec![value],
+        }
+    }
+
+    /// The tensor's shape.
+    #[inline]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of axes.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Immutable view of the flat buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the flat buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns the flat buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Size of axis `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= rank`.
+    #[inline]
+    pub fn dim(&self, axis: usize) -> usize {
+        self.shape[axis]
+    }
+
+    /// Flat offset of a multi-dimensional index.
+    fn offset(&self, index: &[usize]) -> usize {
+        debug_assert_eq!(index.len(), self.shape.len());
+        let mut off = 0;
+        for (i, (&idx, &d)) in index.iter().zip(&self.shape).enumerate() {
+            debug_assert!(idx < d, "index {idx} out of bounds for axis {i} (size {d})");
+            off = off * d + idx;
+        }
+        off
+    }
+
+    /// Element at a multi-dimensional index.
+    #[inline]
+    pub fn get(&self, index: &[usize]) -> f32 {
+        self.data[self.offset(index)]
+    }
+
+    /// Sets the element at a multi-dimensional index.
+    #[inline]
+    pub fn set(&mut self, index: &[usize], value: f32) {
+        let off = self.offset(index);
+        self.data[off] = value;
+    }
+
+    /// Returns a reshaped copy sharing no data; the element count must match.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new shape has a different element count.
+    pub fn reshape(&self, shape: &[usize]) -> Tensor {
+        Tensor::from_vec(self.data.clone(), shape)
+    }
+
+    /// Reshapes in place (no data movement).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new shape has a different element count.
+    pub fn reshape_mut(&mut self, shape: &[usize]) {
+        let numel: usize = shape.iter().product();
+        assert_eq!(numel, self.data.len(), "reshape must preserve element count");
+        self.shape = shape.to_vec();
+    }
+
+    /// Elementwise map into a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// In-place elementwise map.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Elementwise binary op into a new tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(self.shape, other.shape, "shape mismatch in zip");
+        Tensor {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// Elementwise sum.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a + b)
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a - b)
+    }
+
+    /// Elementwise product (Hadamard).
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip(other, |a, b| a * b)
+    }
+
+    /// Multiplies every element by `s`.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|v| v * s)
+    }
+
+    /// In-place `self += other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "shape mismatch in add_assign");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place `self += s * other` (axpy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn axpy(&mut self, s: f32, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "shape mismatch in axpy");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += s * b;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for empty tensors).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum element (−∞ for empty tensors).
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element (+∞ for empty tensors).
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Squared L2 norm.
+    pub fn norm_sqr(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum()
+    }
+
+    /// Returns `true` if every element is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?}", self.shape)?;
+        if self.numel() <= 8 {
+            write!(f, " {:?}", self.data)
+        } else {
+            write!(
+                f,
+                " [{:.4}, {:.4}, … ({} elems), mean {:.4}]",
+                self.data[0],
+                self.data[1],
+                self.numel(),
+                self.mean()
+            )
+        }
+    }
+}
+
+impl Default for Tensor {
+    fn default() -> Self {
+        Tensor::scalar(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_shape() {
+        let t = Tensor::zeros(&[2, 3, 4]);
+        assert_eq!(t.numel(), 24);
+        assert_eq!(t.rank(), 3);
+        assert_eq!(t.dim(1), 3);
+        assert!(t.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_checks_length() {
+        let _ = Tensor::from_vec(vec![1.0; 5], &[2, 3]);
+    }
+
+    #[test]
+    fn row_major_indexing() {
+        let t = Tensor::from_vec((0..24).map(|v| v as f32).collect(), &[2, 3, 4]);
+        assert_eq!(t.get(&[0, 0, 0]), 0.0);
+        assert_eq!(t.get(&[0, 0, 3]), 3.0);
+        assert_eq!(t.get(&[0, 2, 0]), 8.0);
+        assert_eq!(t.get(&[1, 0, 0]), 12.0);
+        assert_eq!(t.get(&[1, 2, 3]), 23.0);
+    }
+
+    #[test]
+    fn set_then_get() {
+        let mut t = Tensor::zeros(&[3, 3]);
+        t.set(&[2, 1], 7.5);
+        assert_eq!(t.get(&[2, 1]), 7.5);
+        assert_eq!(t.sum(), 7.5);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        let b = Tensor::from_vec(vec![4.0, 5.0, 6.0], &[3]);
+        assert_eq!(a.add(&b).as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).as_slice(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.mul(&b).as_slice(), &[4.0, 10.0, 18.0]);
+        assert_eq!(a.scale(2.0).as_slice(), &[2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Tensor::ones(&[4]);
+        let b = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[4]);
+        a.axpy(0.5, &b);
+        assert_eq!(a.as_slice(), &[1.5, 2.0, 2.5, 3.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec(vec![-1.0, 0.5, 2.0, 0.0], &[4]);
+        assert_eq!(t.sum(), 1.5);
+        assert_eq!(t.mean(), 0.375);
+        assert_eq!(t.max(), 2.0);
+        assert_eq!(t.min(), -1.0);
+        assert!((t.norm_sqr() - 5.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec((0..6).map(|v| v as f32).collect(), &[2, 3]);
+        let r = t.reshape(&[3, 2]);
+        assert_eq!(r.get(&[2, 1]), 5.0);
+        assert_eq!(r.as_slice(), t.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "reshape must preserve element count")]
+    fn reshape_wrong_count_panics() {
+        let mut t = Tensor::zeros(&[4]);
+        t.reshape_mut(&[5]);
+    }
+
+    #[test]
+    fn scalar_tensor() {
+        let s = Tensor::scalar(3.5);
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.numel(), 1);
+        assert_eq!(s.get(&[]), 3.5);
+    }
+
+    #[test]
+    fn finite_check() {
+        let mut t = Tensor::ones(&[2]);
+        assert!(t.all_finite());
+        t.set(&[0], f32::NAN);
+        assert!(!t.all_finite());
+    }
+}

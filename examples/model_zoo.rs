@@ -1,0 +1,71 @@
+//! Model-zoo tour: build every architecture the paper compares (DOINN, UNet,
+//! DAMO-like nested UNet, baseline FNO), print parameter counts and measure
+//! single-tile inference latency — the static half of Figure 6.
+//!
+//! ```text
+//! cargo run --release --example model_zoo
+//! ```
+
+use doinn::models::{DamoDls, Fno, Unet};
+use doinn::{Doinn, DoinnConfig};
+use litho_nn::{Graph, Module};
+use litho_tensor::init::seeded_rng;
+use litho_tensor::Tensor;
+use std::time::Instant;
+
+fn measure(model: &dyn Module, input: &Tensor) -> f64 {
+    // warm-up
+    let mut g = Graph::new();
+    let x = g.input(input.clone());
+    let _ = model.forward(&mut g, x);
+    let start = Instant::now();
+    for _ in 0..3 {
+        let mut g = Graph::new();
+        let x = g.input(input.clone());
+        let _ = model.forward(&mut g, x);
+    }
+    start.elapsed().as_secs_f64() / 3.0
+}
+
+fn main() {
+    let mut rng = seeded_rng(7);
+    let size = 64;
+    let input = Tensor::zeros(&[1, 1, size, size]);
+
+    let doinn = Doinn::new(
+        DoinnConfig {
+            fourier_modes: 2,
+            ..DoinnConfig::scaled()
+        },
+        &mut rng,
+    );
+    let unet = Unet::new(16, &mut rng);
+    let damo = DamoDls::new(16, &mut rng);
+    let fno = Fno::new(16, 4, 2, &mut rng);
+
+    println!("| model | params | latency @ {size}px (ms) |");
+    println!("|---|---|---|");
+    let zoo: [(&str, &dyn Module); 4] = [
+        ("DOINN (ours)", &doinn),
+        ("UNet", &unet),
+        ("DAMO-DLS-like", &damo),
+        ("FNO baseline", &fno),
+    ];
+    let mut doinn_params = 0usize;
+    let mut damo_params = 0usize;
+    for (name, model) in zoo {
+        let params = model.param_count();
+        if name.starts_with("DOINN") {
+            doinn_params = params;
+        }
+        if name.starts_with("DAMO") {
+            damo_params = params;
+        }
+        let ms = measure(model, &input) * 1000.0;
+        println!("| {name} | {params} | {ms:.1} |");
+    }
+    println!(
+        "\nmodel-size ratio DAMO-like : DOINN = {:.1}x (paper: ~20x smaller)",
+        damo_params as f64 / doinn_params as f64
+    );
+}

@@ -1,0 +1,64 @@
+//! OPC flow walkthrough: generate a metal design, run inverse-lithography
+//! OPC against the golden simulator, and show how print fidelity improves —
+//! the workload DOINN is built to accelerate (paper §4.5 / Figure 8).
+//!
+//! ```text
+//! cargo run --release --example opc_flow
+//! ```
+
+use litho_data::{calibrate_threshold, DatasetConfig, DatasetKind, Resolution};
+use litho_geometry::binary_iou;
+use litho_layout::{generate_metal_layout, IltConfig, IltEngine};
+use litho_optics::{LithoModel, ResistModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let cfg = DatasetConfig::new(DatasetKind::Iccad2013Like, Resolution::Low);
+    let socs = litho_data::golden_engine(&cfg);
+    let size = cfg.resolution.pixels();
+
+    // a random Manhattan metal design
+    let mut rng = StdRng::seed_from_u64(2013);
+    let wires = generate_metal_layout(&cfg.kind.rules(), &mut rng);
+    let design = litho_geometry::rasterize(&wires, size, cfg.pixel_nm());
+    println!("design: {} wire shapes on a {size}x{size} raster", wires.len());
+
+    // dose-to-size calibration, then the no-OPC print
+    let threshold = calibrate_threshold(&socs, &design, &design);
+    let resist = ResistModel::ConstantThreshold { threshold };
+    println!("calibrated resist threshold: {threshold:.3}");
+    let raw_print = resist.develop(&socs.aerial_image(&design));
+    println!(
+        "print fidelity without OPC: IoU = {:.4}",
+        binary_iou(&raw_print, &design)
+    );
+
+    // ILT OPC: gradient descent through the SOCS model + sigmoid resist
+    let engine = IltEngine::new(
+        &socs,
+        IltConfig {
+            iterations: 16,
+            ..IltConfig::default()
+        },
+    );
+    let result = engine.run_with_callback(&design, |it, mask| {
+        if (it + 1) % 4 == 0 {
+            let binary: Vec<f32> = mask.iter().map(|&v| if v >= 0.5 { 1.0 } else { 0.0 }).collect();
+            let print = resist.develop(&socs.aerial_image(&binary));
+            println!(
+                "  iter {:>2}: loss-side print IoU = {:.4}",
+                it + 1,
+                binary_iou(&print, &design)
+            );
+        }
+    });
+
+    let opc_print = resist.develop(&socs.aerial_image(&result.mask));
+    println!(
+        "print fidelity with OPC:    IoU = {:.4} (loss {:.5} -> {:.5})",
+        binary_iou(&opc_print, &design),
+        result.loss_history.first().unwrap(),
+        result.loss_history.last().unwrap()
+    );
+}

@@ -1,0 +1,66 @@
+//! Quickstart: synthesize a tiny via-layer dataset, train a small DOINN for
+//! a couple of epochs, and score its contour predictions against the golden
+//! lithography simulator.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use doinn::{evaluate_model, to_tanh_target, train_model, Doinn, DoinnConfig, TrainConfig};
+use litho_data::{synthesize, DatasetConfig, DatasetKind, Resolution};
+use litho_nn::Module;
+use litho_tensor::init::seeded_rng;
+
+fn main() {
+    // 1. Data: rule-clean via layouts → SRAF + ILT OPC masks → golden SOCS
+    //    resist prints. Small counts so this example runs in ~a minute.
+    println!("synthesizing dataset (layout -> OPC -> golden litho) ...");
+    let cfg = DatasetConfig {
+        socs_kernels: 6,
+        opc_iterations: 4,
+        ..DatasetConfig::new(DatasetKind::Ispd2019Like, Resolution::Low)
+    }
+    .with_tiles(12, 4);
+    let ds = synthesize(&cfg);
+    println!(
+        "  {}: {} train / {} test tiles of {}x{} px ({:.2} um^2), resist threshold {:.3}",
+        ds.name,
+        ds.train.len(),
+        ds.test.len(),
+        ds.tile_pixels(),
+        ds.tile_pixels(),
+        ds.tile_area_um2(),
+        ds.resist_threshold,
+    );
+
+    // 2. Model: the dual-band optics-inspired network.
+    let mut rng = seeded_rng(7);
+    let model = Doinn::new(DoinnConfig::scaled(), &mut rng);
+    println!("DOINN parameters: {}", model.param_count());
+
+    // 3. Train with the paper's recipe (shortened).
+    let samples: Vec<_> = ds
+        .train
+        .iter()
+        .map(|(m, r)| (m.clone(), to_tanh_target(r)))
+        .collect();
+    println!("training ...");
+    let report = train_model(
+        &model,
+        &samples,
+        &TrainConfig {
+            epochs: 3,
+            batch_size: 4,
+            verbose: true,
+            ..TrainConfig::default()
+        },
+    );
+    println!(
+        "trained {} steps in {:.1}s; epoch losses {:?}",
+        report.steps, report.seconds, report.epoch_losses
+    );
+
+    // 4. Evaluate contour quality (mPA / mIOU, paper §2.2).
+    let metrics = evaluate_model(&model, &ds.test);
+    println!("held-out test metrics: {metrics}");
+}

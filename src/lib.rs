@@ -1,0 +1,1 @@
+//! Workspace root crate: re-exports for examples and integration tests.

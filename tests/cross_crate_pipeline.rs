@@ -1,0 +1,150 @@
+//! End-to-end integration: layout generation → OPC → golden simulation →
+//! DOINN training → evaluation, across every crate in the workspace.
+
+use doinn::{evaluate_model, to_tanh_target, train_model, Doinn, DoinnConfig, TrainConfig};
+use litho_data::{synthesize, DatasetConfig, DatasetKind, Resolution};
+use litho_nn::Module;
+use litho_tensor::init::seeded_rng;
+
+fn tiny_dataset(kind: DatasetKind, seed: u64) -> litho_data::LithoDataset {
+    tiny_dataset_sized(kind, seed, 6, 2)
+}
+
+fn tiny_dataset_sized(
+    kind: DatasetKind,
+    seed: u64,
+    train: usize,
+    test: usize,
+) -> litho_data::LithoDataset {
+    let mut cfg = DatasetConfig {
+        socs_kernels: 6,
+        opc_iterations: 3,
+        ..DatasetConfig::new(kind, Resolution::Low)
+    }
+    .with_tiles(train, test);
+    cfg.seed = seed;
+    synthesize(&cfg)
+}
+
+#[test]
+fn train_doinn_end_to_end_beats_trivial_baselines() {
+    // experiment-scale DOINN (the tiny test config cannot fit real litho in
+    // a CI-sized step budget); 12 tiles + 30 epochs ≈ the regime where the
+    // recorded experiments reach >0.9 mIOU with 48 tiles
+    let ds = tiny_dataset_sized(DatasetKind::Ispd2019Like, 0xE2E, 12, 2);
+    let mut rng = seeded_rng(1);
+    let model = Doinn::new(
+        DoinnConfig {
+            fourier_modes: 2,
+            ..DoinnConfig::scaled()
+        },
+        &mut rng,
+    );
+    let samples: Vec<_> = ds
+        .train
+        .iter()
+        .map(|(m, r)| (m.clone(), to_tanh_target(r)))
+        .collect();
+    let report = train_model(
+        &model,
+        &samples,
+        &TrainConfig {
+            epochs: 30,
+            lr_step: 6,
+            batch_size: 3,
+            augment: true,
+            ..TrainConfig::default()
+        },
+    );
+    // training must make progress
+    assert!(
+        report.epoch_losses.last().unwrap() < &report.epoch_losses[0],
+        "losses: {:?}",
+        report.epoch_losses
+    );
+    let metrics = evaluate_model(&model, &ds.test);
+    // CI-scale budgets (12 tiles, 120 steps) only sanity-check the plumbing:
+    // the model must not score *below* the all-background trivial predictor.
+    // Contour quality at realistic budgets is demonstrated by the recorded
+    // experiments (48 tiles reach >0.95 mIOU; see EXPERIMENTS.md).
+    let trivial: Vec<doinn::SegMetrics> = ds
+        .test
+        .iter()
+        .map(|(_, golden)| {
+            doinn::seg_metrics(&vec![0.0; golden.numel()], golden.as_slice())
+        })
+        .collect();
+    let trivial = doinn::SegMetrics::mean(&trivial);
+    assert!(
+        metrics.miou >= trivial.miou - 0.01,
+        "end-to-end mIOU {} regressed below trivial {}",
+        metrics.miou,
+        trivial.miou
+    );
+    assert!(metrics.mpa >= trivial.mpa - 0.01);
+}
+
+#[test]
+fn all_three_benchmark_families_synthesize_consistently() {
+    for (kind, seed) in [
+        (DatasetKind::Ispd2019Like, 1u64),
+        (DatasetKind::Iccad2013Like, 2),
+        (DatasetKind::N14Like, 3),
+    ] {
+        let ds = tiny_dataset(kind, seed);
+        assert_eq!(ds.train.len(), 6, "{kind:?}");
+        assert_eq!(ds.test.len(), 2, "{kind:?}");
+        // calibrated threshold must be a plausible dose
+        assert!(
+            (0.02..0.9).contains(&ds.resist_threshold),
+            "{kind:?} threshold {}",
+            ds.resist_threshold
+        );
+        for (mask, resist) in ds.train.iter().chain(&ds.test) {
+            assert!(mask.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+            assert!(resist.as_slice().iter().all(|&v| v == 0.0 || v == 1.0));
+            // dose-to-size calibration keeps the printed area in the same
+            // ballpark as the drawn area
+            let ratio = resist.sum() / mask.sum().max(1.0);
+            assert!(
+                (0.1..8.0).contains(&ratio),
+                "{kind:?}: printed/drawn ratio {ratio}"
+            );
+        }
+    }
+}
+
+#[test]
+fn checkpoint_roundtrip_preserves_predictions() {
+    let ds = tiny_dataset(DatasetKind::N14Like, 0xC4E);
+    let mut rng = seeded_rng(5);
+    let model = Doinn::new(DoinnConfig::tiny(), &mut rng);
+    let samples: Vec<_> = ds
+        .train
+        .iter()
+        .map(|(m, r)| (m.clone(), to_tanh_target(r)))
+        .collect();
+    train_model(
+        &model,
+        &samples,
+        &TrainConfig {
+            epochs: 1,
+            batch_size: 3,
+            ..TrainConfig::default()
+        },
+    );
+    let path = std::env::temp_dir().join(format!("doinn_it_{}.ckpt", std::process::id()));
+    litho_nn::save_params(&path, &model.params()).unwrap();
+
+    let mut rng2 = seeded_rng(999); // different init on purpose
+    let restored = Doinn::new(DoinnConfig::tiny(), &mut rng2);
+    litho_nn::load_params(&path, &restored.params()).unwrap();
+    restored.set_training(false);
+    model.set_training(false);
+
+    let input = ds.test[0].0.reshape(&[1, 1, 64, 64]);
+    let a = doinn::predict(&model, &input);
+    let b = doinn::predict(&restored, &input);
+    assert_eq!(a, b, "restored model must predict identically");
+    std::fs::remove_file(path).ok();
+}

@@ -1,0 +1,100 @@
+//! Cross-crate property-based tests: invariants that must hold for random
+//! layouts, random images and random network inputs.
+
+use doinn::seg_metrics;
+use litho_geometry::{binarize, binary_iou, dilate, erode, rasterize, Rect};
+use litho_optics::{LithoModel, Pupil, ResistModel, SimGrid, SourceModel, TccModel};
+use proptest::prelude::*;
+
+fn arb_rects(n: usize) -> impl Strategy<Value = Vec<Rect>> {
+    prop::collection::vec(
+        (0i32..900, 0i32..900, 20i32..120, 20i32..120)
+            .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h)),
+        1..n,
+    )
+}
+
+fn arb_image(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(0.0f32..1.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn rasterized_coverage_is_bounded(rects in arb_rects(8)) {
+        let img = rasterize(&rects, 64, 16.0);
+        prop_assert!(img.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn raster_area_never_exceeds_drawn_area(rects in arb_rects(6)) {
+        // overlap clamps to 1, so raster area <= sum of clipped rect areas
+        let px = 16.0f32;
+        let img = rasterize(&rects, 64, px);
+        let raster_area: f32 = img.iter().sum::<f32>() * px * px;
+        let drawn: f32 = rects.iter().map(|r| r.area() as f32).sum();
+        prop_assert!(raster_area <= drawn + 1.0);
+    }
+
+    #[test]
+    fn iou_is_symmetric_and_bounded(a in arb_image(256), b in arb_image(256)) {
+        let i1 = binary_iou(&a, &b);
+        let i2 = binary_iou(&b, &a);
+        prop_assert!((i1 - i2).abs() < 1e-6);
+        prop_assert!((0.0..=1.0).contains(&i1));
+    }
+
+    #[test]
+    fn seg_metrics_bounded_and_perfect_on_self(img in arb_image(256)) {
+        let bin = binarize(&img, 0.5);
+        let m = seg_metrics(&bin, &bin);
+        prop_assert_eq!(m.miou, 1.0);
+        prop_assert_eq!(m.mpa, 1.0);
+        let other = binarize(&img, 0.3);
+        let m2 = seg_metrics(&other, &bin);
+        prop_assert!((0.0..=1.0).contains(&m2.miou));
+        prop_assert!((0.0..=1.0).contains(&m2.mpa));
+        prop_assert!(m2.mpa + 1e-6 >= m2.miou * 0.0); // both well-defined
+    }
+
+    #[test]
+    fn dilation_monotone_erosion_antimonotone(img in arb_image(256), r in 1usize..3) {
+        let bin = binarize(&img, 0.5);
+        let d = dilate(&bin, 16, r);
+        let e = erode(&bin, 16, r);
+        for i in 0..256 {
+            prop_assert!(d[i] >= bin[i]); // dilation grows
+            prop_assert!(e[i] <= bin[i]); // erosion shrinks
+        }
+    }
+
+    #[test]
+    fn aerial_intensity_nonnegative_and_bounded(rects in arb_rects(5)) {
+        // small grid so the property holds cheaply under proptest
+        let grid = SimGrid::new(32, 32.0);
+        let socs = TccModel::new(grid, Pupil::new(1.35, 193.0), &SourceModel::circular(0.6))
+            .kernels(6);
+        let mask = rasterize(&rects, 32, 32.0);
+        let img = socs.aerial_image(&mask);
+        for &v in &img {
+            prop_assert!(v >= -1e-4, "negative intensity {v}");
+            prop_assert!(v < 2.5, "unphysical intensity {v}");
+        }
+    }
+
+    #[test]
+    fn resist_monotone_in_threshold(rects in arb_rects(5), t1 in 0.05f32..0.4, dt in 0.01f32..0.3) {
+        let grid = SimGrid::new(32, 32.0);
+        let socs = TccModel::new(grid, Pupil::new(1.35, 193.0), &SourceModel::circular(0.6))
+            .kernels(6);
+        let mask = rasterize(&rects, 32, 32.0);
+        let img = socs.aerial_image(&mask);
+        let lo = ResistModel::ConstantThreshold { threshold: t1 }.develop(&img);
+        let hi = ResistModel::ConstantThreshold { threshold: t1 + dt }.develop(&img);
+        // higher dose threshold always prints a subset
+        for (a, b) in lo.iter().zip(&hi) {
+            prop_assert!(b <= a);
+        }
+    }
+}

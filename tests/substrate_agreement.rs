@@ -1,0 +1,136 @@
+//! Physics-level integration checks: the fast SOCS engine against the exact
+//! Abbe reference on realistic generated layouts, OPC behaviour, and the
+//! large-tile scheme's consistency guarantee.
+
+use doinn::{Doinn, DoinnConfig, LargeTileSimulator};
+use litho_geometry::{binary_iou, rasterize};
+use litho_layout::{generate_metal_layout, generate_via_layout, DesignRules, IltConfig, IltEngine};
+use litho_nn::Module;
+use litho_optics::{
+    AbbeSimulator, LithoModel, Pupil, ResistModel, SimGrid, SourceModel, TccModel,
+};
+use litho_tensor::init::seeded_rng;
+use litho_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn optics() -> (SimGrid, Pupil, SourceModel) {
+    (
+        SimGrid::new(128, 8.0),
+        Pupil::new(1.35, 193.0),
+        SourceModel::annular_default(),
+    )
+}
+
+#[test]
+fn socs_tracks_abbe_on_generated_layouts() {
+    let (grid, pupil, source) = optics();
+    let abbe = AbbeSimulator::new(grid, pupil, &source);
+    let socs = TccModel::new(grid, pupil, &source).kernels(16);
+    let rules = DesignRules::ispd2019_like();
+    for seed in 0..3u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let vias = generate_via_layout(&rules, 12, &mut rng);
+        let mask = rasterize(&vias, grid.size(), grid.pixel_nm());
+        let exact = abbe.aerial_image(&mask);
+        let fast = socs.aerial_image(&mask);
+        let max_err = exact
+            .iter()
+            .zip(&fast)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(max_err < 0.03, "seed {seed}: SOCS vs Abbe max err {max_err}");
+    }
+}
+
+#[test]
+fn printed_contours_agree_between_engines() {
+    let (grid, pupil, source) = optics();
+    let abbe = AbbeSimulator::new(grid, pupil, &source);
+    let socs = TccModel::new(grid, pupil, &source).kernels(16);
+    let rules = DesignRules::iccad2013_like();
+    let mut rng = StdRng::seed_from_u64(7);
+    let wires = generate_metal_layout(&rules, &mut rng);
+    let mask = rasterize(&wires, grid.size(), grid.pixel_nm());
+    let resist = ResistModel::ConstantThreshold { threshold: 0.25 };
+    let pa = resist.develop(&abbe.aerial_image(&mask));
+    let pb = resist.develop(&socs.aerial_image(&mask));
+    let iou = binary_iou(&pa, &pb);
+    assert!(iou > 0.97, "engine contour IoU {iou}");
+}
+
+#[test]
+fn opc_never_hurts_on_via_layouts() {
+    let (grid, pupil, source) = optics();
+    let socs = TccModel::new(grid, pupil, &source).kernels(8);
+    let rules = DesignRules::ispd2019_like();
+    let mut rng = StdRng::seed_from_u64(21);
+    let vias = generate_via_layout(&rules, 10, &mut rng);
+    let design = rasterize(&vias, grid.size(), grid.pixel_nm());
+    // dose-to-size calibrated threshold for this pattern
+    let intensity = socs.aerial_image(&design);
+    let area = design.iter().filter(|&&v| v >= 0.5).count() as f32;
+    let mut threshold = 0.25f32;
+    for t in (5..60).map(|v| v as f32 / 100.0) {
+        if intensity.iter().filter(|&&v| v >= t).count() as f32 <= area {
+            threshold = t;
+            break;
+        }
+    }
+    let resist = ResistModel::ConstantThreshold { threshold };
+    let raw = resist.develop(&intensity);
+    let engine = IltEngine::new(
+        &socs,
+        IltConfig {
+            iterations: 10,
+            resist: ResistModel::Sigmoid {
+                threshold,
+                steepness: 40.0,
+            },
+            ..IltConfig::default()
+        },
+    );
+    let opc = engine.run(&design);
+    let corrected = resist.develop(&socs.aerial_image(&opc.mask));
+    let iou_raw = binary_iou(&raw, &design);
+    let iou_opc = binary_iou(&corrected, &design);
+    assert!(
+        iou_opc >= iou_raw - 0.01,
+        "OPC regressed fidelity: {iou_raw} -> {iou_opc}"
+    );
+}
+
+#[test]
+fn large_tile_scheme_is_identity_at_training_size() {
+    let mut rng = seeded_rng(11);
+    let model = Doinn::new(DoinnConfig::tiny(), &mut rng);
+    model.set_training(false);
+    let sim = LargeTileSimulator::new(&model, 32);
+    // a real generated mask instead of noise
+    let rules = DesignRules::n14_like();
+    let mut lrng = StdRng::seed_from_u64(5);
+    let vias = litho_layout::generate_via_grid_layout(&rules, 0.5, &mut lrng);
+    let mask = rasterize(&vias, 32, rules.tile_nm as f32 / 32.0);
+    let mask_t = Tensor::from_vec(mask, &[1, 1, 32, 32]);
+    let a = sim.simulate(&mask_t);
+    let b = sim.simulate_naive(&mask_t);
+    for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+        assert!((x - y).abs() < 1e-4);
+    }
+}
+
+#[test]
+fn optical_diameter_bounds_halo_choice() {
+    // the §3.2 scheme reserves a quarter-tile halo; verify the optical
+    // diameter of the default optics fits inside it at the default tile size
+    let (grid, pupil, source) = optics();
+    let socs = TccModel::new(grid, pupil, &source).kernels(8);
+    let d = socs.optical_diameter_nm(0.98);
+    let halo_nm = grid.extent_nm() / 4.0;
+    assert!(
+        d / 2.0 < halo_nm,
+        "optical radius {:.0} nm exceeds the {:.0} nm half-overlap halo",
+        d / 2.0,
+        halo_nm
+    );
+}
