@@ -33,7 +33,13 @@ fn bench_socs_kernels(c: &mut Criterion) {
     let source = SourceModel::annular_default();
     let tcc = TccModel::new(grid, pupil, &source);
     let mask: Vec<f32> = (0..128 * 128)
-        .map(|i| if (i / 128 + i % 128) % 17 < 6 { 1.0 } else { 0.0 })
+        .map(|i| {
+            if (i / 128 + i % 128) % 17 < 6 {
+                1.0
+            } else {
+                0.0
+            }
+        })
         .collect();
     let mut group = c.benchmark_group("socs_aerial_image_128px");
     group.sample_size(10);

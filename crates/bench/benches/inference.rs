@@ -15,7 +15,12 @@ fn bench_inference(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(Duration::from_millis(500));
     group.measurement_time(Duration::from_secs(2));
-    for kind in [ModelKind::Doinn, ModelKind::Unet, ModelKind::Damo, ModelKind::Fno] {
+    for kind in [
+        ModelKind::Doinn,
+        ModelKind::Unet,
+        ModelKind::Damo,
+        ModelKind::Fno,
+    ] {
         let built = build_model(kind, size, 7);
         group.bench_function(kind.name(), |b| {
             b.iter(|| {

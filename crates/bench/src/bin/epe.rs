@@ -17,7 +17,10 @@ use litho_nn::Graph;
 
 fn main() {
     let scale = Scale::from_env();
-    println!("# Supplementary: EPE-denominated accuracy (LITHO_SCALE={})", scale.tag());
+    println!(
+        "# Supplementary: EPE-denominated accuracy (LITHO_SCALE={})",
+        scale.tag()
+    );
 
     let mut rows = Vec::new();
     for kind in [DatasetKind::Ispd2019Like, DatasetKind::Iccad2013Like] {
@@ -37,8 +40,7 @@ fn main() {
                 let x = g.input(mask.reshape(&[1, 1, px, px]));
                 let y = built.model.forward(&mut g, x);
                 let pred = prediction_to_contour(g.value(y));
-                let stats =
-                    measure_epe(&pred, golden.as_slice(), px, pitch, 2, threshold_nm);
+                let stats = measure_epe(&pred, golden.as_slice(), px, pitch, 2, threshold_nm);
                 mean += (stats.mean_nm * stats.samples as f32) as f64;
                 max = max.max(stats.max_nm);
                 viol += stats.violations;
@@ -65,7 +67,13 @@ fn main() {
     }
     print_table(
         "EPE vs golden contours (lower is better)",
-        &["Benchmark", "Model", "Mean EPE (nm)", "Max EPE (nm)", "Violation rate"],
+        &[
+            "Benchmark",
+            "Model",
+            "Mean EPE (nm)",
+            "Max EPE (nm)",
+            "Violation rate",
+        ],
         &rows,
     );
     println!("(Supplementary to the paper: same trained models as Table 2, scored in nm.)");

@@ -17,7 +17,10 @@ use std::time::Instant;
 
 fn main() {
     let scale = Scale::from_env();
-    println!("# Figure 6: Runtime comparison (LITHO_SCALE={})", scale.tag());
+    println!(
+        "# Figure 6: Runtime comparison (LITHO_SCALE={})",
+        scale.tag()
+    );
     let ds = load_dataset(DatasetKind::Ispd2019Like, Resolution::Low, scale);
     let iters = match scale {
         Scale::Smoke => 1,

@@ -16,7 +16,10 @@ use std::path::PathBuf;
 
 fn main() {
     let scale = Scale::from_env();
-    println!("# Figure 7: GP / LP feature maps (LITHO_SCALE={})", scale.tag());
+    println!(
+        "# Figure 7: GP / LP feature maps (LITHO_SCALE={})",
+        scale.tag()
+    );
     let ds = load_dataset(DatasetKind::Ispd2019Like, Resolution::Low, scale);
     let model = train_or_load_doinn(&ds, scale, 7);
 
@@ -71,9 +74,18 @@ fn main() {
 
     // prediction + golden for reference
     let pred = g.value(out);
-    let contour: Vec<f32> = pred.as_slice().iter().map(|&v| if v > 0.0 { 1.0 } else { 0.0 }).collect();
+    let contour: Vec<f32> = pred
+        .as_slice()
+        .iter()
+        .map(|&v| if v > 0.0 { 1.0 } else { 0.0 })
+        .collect();
     write_pgm(out_dir.join("prediction.pgm"), &contour, size, size);
-    write_pgm(out_dir.join("golden.pgm"), ds.test[0].1.as_slice(), size, size);
+    write_pgm(
+        out_dir.join("golden.pgm"),
+        ds.test[0].1.as_slice(),
+        size,
+        size,
+    );
 
     println!("wrote GP/LP channel PGMs to {}", out_dir.display());
     println!("(Compare gp_ch*.pgm to aerial-intensity maps and lp_ch*.pgm to edge maps.)");

@@ -46,7 +46,11 @@ fn main() {
     );
     let mut trajectory: Vec<Vec<f32>> = Vec::with_capacity(iterations);
     let _ = engine.run_with_callback(&design, |_, mask| {
-        trajectory.push(mask.iter().map(|&v| if v >= 0.5 { 1.0 } else { 0.0 }).collect())
+        trajectory.push(
+            mask.iter()
+                .map(|&v| if v >= 0.5 { 1.0 } else { 0.0 })
+                .collect(),
+        )
     });
 
     let resist = ResistModel::ConstantThreshold {

@@ -12,7 +12,10 @@ use litho_data::{DatasetKind, Resolution};
 
 fn main() {
     let scale = Scale::from_env();
-    println!("# Table 1: Details of the Dataset (synthetic, LITHO_SCALE={})", scale.tag());
+    println!(
+        "# Table 1: Details of the Dataset (synthetic, LITHO_SCALE={})",
+        scale.tag()
+    );
 
     let mut rows = Vec::new();
     let mut push_row = |kind: DatasetKind, res: Resolution| {
@@ -42,7 +45,13 @@ fn main() {
     print_table(
         "Datasets",
         &[
-            "Dataset", "Train", "Test", "Tile Size", "Raster", "Pitch", "Litho Engine",
+            "Dataset",
+            "Train",
+            "Test",
+            "Tile Size",
+            "Raster",
+            "Pitch",
+            "Litho Engine",
         ],
         &rows,
     );

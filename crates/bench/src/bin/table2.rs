@@ -1,6 +1,6 @@
 //! Table 2 — result comparison with state of the art.
 //!
-//! Trains UNet [28], a DAMO-DLS-like nested UNet [10] and DOINN on each
+//! Trains UNet \[28\], a DAMO-DLS-like nested UNet \[10\] and DOINN on each
 //! synthetic benchmark and reports test-set mPA / mIOU, mirroring the
 //! paper's Table 2 rows (the `(H)` rows require `LITHO_SCALE=full`).
 //!

@@ -24,7 +24,10 @@ use rand::SeedableRng;
 
 fn main() {
     let scale = Scale::from_env();
-    println!("# Table 4: Large Tile Simulation Scheme (LITHO_SCALE={})", scale.tag());
+    println!(
+        "# Table 4: Large Tile Simulation Scheme (LITHO_SCALE={})",
+        scale.tag()
+    );
 
     // 1. train DOINN on small, SRAF-seeded via tiles (no ILT so the exact
     //    same mask-preparation flow can be applied to the big tiles)
@@ -51,7 +54,11 @@ fn main() {
     };
 
     let grid = SimGrid::new(large_px, pixel_nm);
-    let abbe = AbbeSimulator::new(grid, Pupil::new(1.35, 193.0), &SourceModel::annular_default());
+    let abbe = AbbeSimulator::new(
+        grid,
+        Pupil::new(1.35, 193.0),
+        &SourceModel::annular_default(),
+    );
     let resist = ResistModel::ConstantThreshold {
         threshold: ds.resist_threshold,
     };
@@ -60,7 +67,10 @@ fn main() {
     let mut naive_scores = Vec::new();
     let mut lt_scores = Vec::new();
     for t in 0..n_tiles {
-        eprintln!("== large tile {}/{n_tiles} ({large_px}x{large_px}) ==", t + 1);
+        eprintln!(
+            "== large tile {}/{n_tiles} ({large_px}x{large_px}) ==",
+            t + 1
+        );
         // dense via layout on the enlarged tile
         let mut lrules = rules;
         lrules.tile_nm = large_tile_nm;

@@ -12,8 +12,10 @@
 //! experiment runs skip the ILT + golden-simulation cost.
 
 use doinn::models::{DamoDls, Fno, Unet};
-use doinn::{evaluate_model, to_tanh_target, train_model, Doinn, DoinnConfig, EarlyStop,
-            SegMetrics, TrainConfig};
+use doinn::{
+    evaluate_model, to_tanh_target, train_model, Doinn, DoinnConfig, EarlyStop, SegMetrics,
+    TrainConfig,
+};
 use litho_data::{DatasetConfig, DatasetKind, LithoDataset, Resolution};
 use litho_nn::{Graph, Module};
 use litho_tensor::init::seeded_rng;
@@ -147,9 +149,9 @@ pub fn load_dataset(kind: DatasetKind, res: Resolution, scale: Scale) -> LithoDa
 pub enum ModelKind {
     /// The paper's contribution.
     Doinn,
-    /// U-Net baseline [28].
+    /// U-Net baseline \[28\].
     Unet,
-    /// DAMO-DLS-like nested UNet [10].
+    /// DAMO-DLS-like nested UNet \[10\].
     Damo,
     /// Baseline stacked FNO (eq. 8–10).
     Fno,
@@ -353,7 +355,10 @@ pub fn normalize_for_display(img: &[f32]) -> Vec<f32> {
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     println!("\n## {title}\n");
     println!("| {} |", header.join(" | "));
-    println!("|{}|", header.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
     for row in rows {
         println!("| {} |", row.join(" | "));
     }
@@ -378,7 +383,12 @@ mod tests {
         let doinn = build_model(ModelKind::Doinn, 64, 1);
         let unet = build_model(ModelKind::Unet, 64, 1);
         let damo = build_model(ModelKind::Damo, 64, 1);
-        assert!(doinn.params < unet.params, "{} vs {}", doinn.params, unet.params);
+        assert!(
+            doinn.params < unet.params,
+            "{} vs {}",
+            doinn.params,
+            unet.params
+        );
         assert!(doinn.params < damo.params);
         // the paper's headline: ~20× smaller than DAMO-DLS
         let ratio = damo.params as f64 / doinn.params as f64;

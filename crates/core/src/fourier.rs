@@ -16,7 +16,7 @@
 //! corners of the spectrum, `2k × 2k` modes total), preserving Hermitian
 //! symmetry for real inputs.
 //!
-//! Complex weights are stored as separate real/imaginary [`Param`] tensors;
+//! Complex weights are stored as separate real/imaginary [`Param`](litho_nn::Param) tensors;
 //! gradients follow the real-pair (Wirtinger) rules `∇_w = conj(x)·ḡ`,
 //! `∇_x = conj(w)·ḡ`, and the FFT adjoints `F^H = N·F⁻¹`, `(F⁻¹)^H = F/N`.
 
@@ -322,8 +322,7 @@ pub fn fourier_unit(
                 // Ĝ_o
                 let mut g_modes = vec![Complex32::ZERO; c * nmodes];
                 for o in 0..c {
-                    let gspec =
-                        fft.forward_real(&gd[(b * c + o) * h * w..(b * c + o + 1) * h * w]);
+                    let gspec = fft.forward_real(&gd[(b * c + o) * h * w..(b * c + o + 1) * h * w]);
                     let gm = gather_modes(&gspec, w, &iy_b, &ix_b);
                     for (dst, v) in g_modes[o * nmodes..(o + 1) * nmodes].iter_mut().zip(gm) {
                         *dst = v.scale(1.0 / hw);
@@ -437,7 +436,11 @@ mod tests {
         let wr2 = g2.input(Tensor::ones(&[1, 1, 2, 2]));
         let wi2 = g2.input(Tensor::zeros(&[1, 1, 2, 2]));
         let y2 = spectral_conv2d(&mut g2, x2, wr2, wi2, 1);
-        assert!(g2.value(y2).as_slice().iter().all(|v| (v - 1.0).abs() < 1e-4));
+        assert!(g2
+            .value(y2)
+            .as_slice()
+            .iter()
+            .all(|v| (v - 1.0).abs() < 1e-4));
     }
 
     #[test]
@@ -500,11 +503,7 @@ mod tests {
         let wr_im0 = ramp(&[c, c, 2 * k, 2 * k], 0.08);
         let target = Tensor::zeros(&[1, c, h, h]);
 
-        let loss_with = |xt: &Tensor,
-                         pr: &Tensor,
-                         pi: &Tensor,
-                         rr: &Tensor,
-                         ri: &Tensor| {
+        let loss_with = |xt: &Tensor, pr: &Tensor, pi: &Tensor, rr: &Tensor, ri: &Tensor| {
             let mut g = Graph::new();
             let x = g.input(xt.clone());
             let a = g.input(pr.clone());

@@ -86,10 +86,7 @@ impl<'a> LargeTileSimulator<'a> {
                 for ch in 0..c {
                     for wy in cy0..cy1 {
                         for wx in cx0..cx1 {
-                            stitched.set(
-                                &[0, ch, oy + wy, ox + wx],
-                                feat.get(&[0, ch, wy, wx]),
-                            );
+                            stitched.set(&[0, ch, oy + wy, ox + wx], feat.get(&[0, ch, wy, wx]));
                         }
                     }
                 }

@@ -158,8 +158,14 @@ mod tests {
 
     #[test]
     fn mean_aggregates() {
-        let a = SegMetrics { miou: 0.8, mpa: 0.9 };
-        let b = SegMetrics { miou: 0.6, mpa: 0.7 };
+        let a = SegMetrics {
+            miou: 0.8,
+            mpa: 0.9,
+        };
+        let b = SegMetrics {
+            miou: 0.6,
+            mpa: 0.7,
+        };
         let m = SegMetrics::mean(&[a, b]);
         assert!((m.miou - 0.7).abs() < 1e-6);
         assert!((m.mpa - 0.8).abs() < 1e-6);
@@ -167,7 +173,10 @@ mod tests {
 
     #[test]
     fn display_formats_percentages() {
-        let m = SegMetrics { miou: 0.9779, mpa: 0.9898 };
+        let m = SegMetrics {
+            miou: 0.9779,
+            mpa: 0.9898,
+        };
         assert_eq!(m.to_string(), "mPA 98.98% / mIOU 97.79%");
     }
 }

@@ -135,14 +135,8 @@ impl FourierUnit {
         let lift_scale = 1.0 / channels as f32;
         let mix_scale = 1.0 / (channels * channels) as f32;
         Self {
-            wp_re: Param::new(
-                init::uniform(&[channels], 0.0, lift_scale, rng),
-                "fu.wp_re",
-            ),
-            wp_im: Param::new(
-                init::uniform(&[channels], 0.0, lift_scale, rng),
-                "fu.wp_im",
-            ),
+            wp_re: Param::new(init::uniform(&[channels], 0.0, lift_scale, rng), "fu.wp_re"),
+            wp_im: Param::new(init::uniform(&[channels], 0.0, lift_scale, rng), "fu.wp_im"),
             wr_re: Param::new(
                 init::uniform(&[channels, channels, m, m], 0.0, mix_scale, rng),
                 "fu.wr_re",
@@ -226,10 +220,15 @@ impl Module for VggBlock {
     }
 
     fn params(&self) -> Vec<Param> {
-        [&self.conv1 as &dyn Module, &self.bn1, &self.conv2, &self.bn2]
-            .iter()
-            .flat_map(|m| m.params())
-            .collect()
+        [
+            &self.conv1 as &dyn Module,
+            &self.bn1,
+            &self.conv2,
+            &self.bn2,
+        ]
+        .iter()
+        .flat_map(|m| m.params())
+        .collect()
     }
 
     fn set_training(&self, training: bool) {

@@ -143,8 +143,8 @@ impl Module for DamoDls {
 
     fn set_training(&self, training: bool) {
         for b in [
-            &self.b00, &self.b10, &self.b20, &self.b30, &self.b01, &self.b11, &self.b21,
-            &self.b02, &self.b12, &self.b03,
+            &self.b00, &self.b10, &self.b20, &self.b30, &self.b01, &self.b11, &self.b21, &self.b02,
+            &self.b12, &self.b03,
         ] {
             b.set_training(training);
         }

@@ -82,7 +82,9 @@ impl Fno {
         Self {
             pool: 8,
             lift: Conv2d::new(1, channels, 1, 1, 0, true, rng),
-            layers: (0..depth).map(|_| FnoLayer::new(channels, modes, rng)).collect(),
+            layers: (0..depth)
+                .map(|_| FnoLayer::new(channels, modes, rng))
+                .collect(),
             project: Conv2d::new(channels, 16, 1, 1, 0, true, rng),
             up1: ConvTranspose2d::new(16, 8, 4, 2, 1, true, rng),
             up2: ConvTranspose2d::new(8, 4, 4, 2, 1, true, rng),

@@ -110,7 +110,10 @@ fn full_config_beats_gp_only_on_surrogate() {
                 ..TrainConfig::default()
             },
         );
-        (evaluate_model(&model, &test), *report.epoch_losses.last().unwrap())
+        (
+            evaluate_model(&model, &test),
+            *report.epoch_losses.last().unwrap(),
+        )
     };
     let (gp_only, gp_loss) = run(DoinnConfig::tiny().ablation_gp());
     let (full, full_loss) = run(DoinnConfig::tiny());

@@ -215,9 +215,18 @@ mod tests {
 
     #[test]
     fn cache_path_distinguishes_configs() {
-        let a = cache_path("/tmp", &DatasetConfig::new(DatasetKind::Ispd2019Like, Resolution::Low));
-        let b = cache_path("/tmp", &DatasetConfig::new(DatasetKind::Ispd2019Like, Resolution::High));
-        let c = cache_path("/tmp", &DatasetConfig::new(DatasetKind::N14Like, Resolution::Low));
+        let a = cache_path(
+            "/tmp",
+            &DatasetConfig::new(DatasetKind::Ispd2019Like, Resolution::Low),
+        );
+        let b = cache_path(
+            "/tmp",
+            &DatasetConfig::new(DatasetKind::Ispd2019Like, Resolution::High),
+        );
+        let c = cache_path(
+            "/tmp",
+            &DatasetConfig::new(DatasetKind::N14Like, Resolution::Low),
+        );
         assert_ne!(a, b);
         assert_ne!(a, c);
     }

@@ -10,12 +10,10 @@
 use crate::{DatasetConfig, DatasetKind};
 use litho_geometry::rasterize;
 use litho_layout::{
-    generate_metal_layout, generate_via_grid_layout, generate_via_layout, insert_srafs,
-    IltConfig, IltEngine, SrafRules,
+    generate_metal_layout, generate_via_grid_layout, generate_via_layout, insert_srafs, IltConfig,
+    IltEngine, SrafRules,
 };
-use litho_optics::{
-    LithoModel, Pupil, ResistModel, SimGrid, SocsKernels, SourceModel, TccModel,
-};
+use litho_optics::{LithoModel, Pupil, ResistModel, SimGrid, SocsKernels, SourceModel, TccModel};
 use litho_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -53,8 +51,12 @@ impl LithoDataset {
 /// Builds the golden SOCS engine for a dataset configuration.
 pub fn golden_engine(cfg: &DatasetConfig) -> SocsKernels {
     let grid = SimGrid::new(cfg.resolution.pixels(), cfg.pixel_nm());
-    TccModel::new(grid, Pupil::new(1.35, 193.0), &SourceModel::annular_default())
-        .kernels(cfg.socs_kernels)
+    TccModel::new(
+        grid,
+        Pupil::new(1.35, 193.0),
+        &SourceModel::annular_default(),
+    )
+    .kernels(cfg.socs_kernels)
 }
 
 /// Generates the design-layer raster for one tile.

@@ -182,7 +182,7 @@ impl FftPlan {
         }
         inner.forward(&mut a);
         for (v, f) in a.iter_mut().zip(filter_fft.iter()) {
-            *v = *v * *f;
+            *v *= *f;
         }
         inner.inverse(&mut a);
         for k in 0..n {
@@ -281,11 +281,14 @@ mod tests {
         for (k, o) in out.iter_mut().enumerate() {
             let mut acc = Complex32::ZERO;
             for (j, &v) in x.iter().enumerate() {
-                let angle =
-                    sign * 2.0 * std::f64::consts::PI * (k * j % n) as f64 / n as f64;
+                let angle = sign * 2.0 * std::f64::consts::PI * (k * j % n) as f64 / n as f64;
                 acc += v * Complex32::new(angle.cos() as f32, angle.sin() as f32);
             }
-            *o = if inverse { acc.scale(1.0 / n as f32) } else { acc };
+            *o = if inverse {
+                acc.scale(1.0 / n as f32)
+            } else {
+                acc
+            };
         }
         out
     }
@@ -403,10 +406,8 @@ mod tests {
         fft(&mut fx);
         fft(&mut fsh);
         for k in 0..n {
-            let phase = Complex32::from_polar(
-                1.0,
-                -2.0 * std::f32::consts::PI * k as f32 / n as f32,
-            );
+            let phase =
+                Complex32::from_polar(1.0, -2.0 * std::f32::consts::PI * k as f32 / n as f32);
             let d = fsh[k] - fx[k] * phase;
             assert!(d.abs() < 2e-3, "k={k}");
         }

@@ -55,7 +55,10 @@ fn inverse_adjoint_is_scaled_forward_1d() {
     plan.forward(&mut fy);
     let fy: Vec<Complex32> = fy.into_iter().map(|v| v.scale(1.0 / n as f32)).collect();
     let rhs = inner(&x, &fy);
-    assert!((lhs - rhs).abs() < 1e-3 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+    assert!(
+        (lhs - rhs).abs() < 1e-3 * (1.0 + lhs.abs()),
+        "{lhs} vs {rhs}"
+    );
 }
 
 #[test]
@@ -72,7 +75,10 @@ fn forward_adjoint_2d() {
     plan.inverse(&mut fhy);
     let fhy: Vec<Complex32> = fhy.into_iter().map(|v| v.scale(n as f32)).collect();
     let rhs = inner(&x, &fhy);
-    assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+    assert!(
+        (lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()),
+        "{lhs} vs {rhs}"
+    );
 }
 
 #[test]
@@ -86,5 +92,9 @@ fn unitarity_up_to_scaling_2d() {
     let mut fx = x;
     plan.forward(&mut fx);
     let efx: f64 = fx.iter().map(|v| v.norm_sqr() as f64).sum();
-    assert!((efx - n as f64 * ex).abs() < 1e-2 * efx, "{efx} vs {}", n as f64 * ex);
+    assert!(
+        (efx - n as f64 * ex).abs() < 1e-2 * efx,
+        "{efx} vs {}",
+        n as f64 * ex
+    );
 }

@@ -5,8 +5,11 @@ use litho_fft::{fft_freq, Complex32, Fft2, FftPlan};
 use proptest::prelude::*;
 
 fn signal(n: usize) -> impl Strategy<Value = Vec<Complex32>> {
-    prop::collection::vec((-10.0f32..10.0, -10.0f32..10.0), n)
-        .prop_map(|v| v.into_iter().map(|(re, im)| Complex32::new(re, im)).collect())
+    prop::collection::vec((-10.0f32..10.0, -10.0f32..10.0), n).prop_map(|v| {
+        v.into_iter()
+            .map(|(re, im)| Complex32::new(re, im))
+            .collect()
+    })
 }
 
 proptest! {

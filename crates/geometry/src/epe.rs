@@ -46,9 +46,7 @@ pub fn boundary(img: &[f32], size: usize) -> Vec<bool> {
     let mut out = vec![false; size * size];
     for y in 0..size as isize {
         for x in 0..size as isize {
-            if set(y, x)
-                && (!set(y - 1, x) || !set(y + 1, x) || !set(y, x - 1) || !set(y, x + 1))
-            {
+            if set(y, x) && (!set(y - 1, x) || !set(y + 1, x) || !set(y, x - 1) || !set(y, x + 1)) {
                 out[y as usize * size + x as usize] = true;
             }
         }

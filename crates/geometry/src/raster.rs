@@ -173,11 +173,7 @@ mod tests {
 
     #[test]
     fn overlapping_rects_clamp_to_one() {
-        let img = rasterize(
-            &[Rect::new(0, 0, 8, 8), Rect::new(0, 0, 8, 8)],
-            2,
-            8.0,
-        );
+        let img = rasterize(&[Rect::new(0, 0, 8, 8), Rect::new(0, 0, 8, 8)], 2, 8.0);
         assert_eq!(img[0], 1.0);
     }
 

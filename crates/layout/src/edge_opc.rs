@@ -164,8 +164,8 @@ impl<'a> EdgeOpcEngine<'a> {
                 }
                 let adjust = |bias: &mut i32, epe: f32| {
                     // under-print (epe < 0): move edge outward; over-print: in
-                    let move_nm = (-epe)
-                        .clamp(-(self.config.step_nm as f32), self.config.step_nm as f32);
+                    let move_nm =
+                        (-epe).clamp(-(self.config.step_nm as f32), self.config.step_nm as f32);
                     *bias = (*bias + move_nm.round() as i32)
                         .clamp(-self.config.max_bias_nm, self.config.max_bias_nm);
                 };
@@ -248,10 +248,7 @@ mod tests {
     fn opc_improves_print_fidelity() {
         let socs = socs();
         let resist = ResistModel::ConstantThreshold { threshold: 0.22 };
-        let design = vec![
-            Rect::square(128, 128, 72),
-            Rect::square(320, 288, 72),
-        ];
+        let design = vec![Rect::square(128, 128, 72), Rect::square(320, 288, 72)];
         let target = rasterize(&design, 64, 8.0);
         let raw_print = resist.develop(&socs.aerial_image(&target));
         let engine = EdgeOpcEngine::new(

@@ -52,7 +52,10 @@ pub fn generate_via_grid_layout(
     rng: &mut impl Rng,
 ) -> Vec<Rect> {
     assert!(rules.is_valid(), "invalid design rules");
-    assert!((0.0..=1.0).contains(&occupancy), "occupancy must be in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&occupancy),
+        "occupancy must be in [0,1]"
+    );
     let pitch = rules.via_size_nm + rules.via_space_nm;
     let (lo, hi) = rules.placement_window();
     let mut out = Vec::new();

@@ -34,10 +34,10 @@ mod opc;
 mod rules;
 mod sraf;
 
+pub use edge_opc::{EdgeBias, EdgeOpcConfig, EdgeOpcEngine, EdgeOpcResult};
 pub use generate::{
     check_spacing, generate_metal_layout, generate_via_grid_layout, generate_via_layout,
 };
-pub use edge_opc::{EdgeBias, EdgeOpcConfig, EdgeOpcEngine, EdgeOpcResult};
 pub use opc::{IltConfig, IltEngine, IltResult};
 pub use rules::DesignRules;
 pub use sraf::{insert_srafs, SrafRules};

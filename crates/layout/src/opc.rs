@@ -104,11 +104,7 @@ impl<'a> IltEngine<'a> {
     /// # Panics
     ///
     /// Panics if `target` does not match the kernel grid.
-    pub fn run_with_callback(
-        &self,
-        target: &[f32],
-        cb: impl FnMut(usize, &[f32]),
-    ) -> IltResult {
+    pub fn run_with_callback(&self, target: &[f32], cb: impl FnMut(usize, &[f32])) -> IltResult {
         self.run_from_with_callback(target, target, cb)
     }
 
@@ -187,7 +183,7 @@ impl<'a> IltEngine<'a> {
                     .collect();
                 self.fft.forward(&mut buf);
                 for (b, &p) in buf.iter_mut().zip(psi) {
-                    *b = *b * p.conj();
+                    *b *= p.conj();
                 }
                 self.fft.inverse(&mut buf);
                 let w = 2.0 * alpha / clear;

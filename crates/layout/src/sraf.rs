@@ -61,15 +61,13 @@ pub fn insert_srafs(features: &[Rect], rules: &DesignRules, sraf: &SrafRules) ->
             Rect::new(f.x0, f.y1 + d, f.x1, f.y1 + d + w),
         ];
         for c in candidates {
-            let in_tile =
-                c.x0 >= 0 && c.y0 >= 0 && c.x1 <= rules.tile_nm && c.y1 <= rules.tile_nm;
+            let in_tile = c.x0 >= 0 && c.y0 >= 0 && c.x1 <= rules.tile_nm && c.y1 <= rules.tile_nm;
             if !in_tile {
                 continue;
             }
-            let clear_of_features = features
-                .iter()
-                .enumerate()
-                .all(|(j, o)| (j == i && c.spacing_to(o) >= d) || c.spacing_to(o) >= sraf.clearance_nm);
+            let clear_of_features = features.iter().enumerate().all(|(j, o)| {
+                (j == i && c.spacing_to(o) >= d) || c.spacing_to(o) >= sraf.clearance_nm
+            });
             let clear_of_srafs = out.iter().all(|o| c.spacing_to(o) >= sraf.clearance_nm);
             if clear_of_features && clear_of_srafs {
                 out.push(c);
@@ -105,7 +103,11 @@ mod tests {
     fn dense_vias_get_no_bars() {
         let (rules, sraf) = setup();
         let a = Rect::square(400, 400, rules.via_size_nm);
-        let b = Rect::square(400 + rules.via_size_nm + rules.via_space_nm, 400, rules.via_size_nm);
+        let b = Rect::square(
+            400 + rules.via_size_nm + rules.via_space_nm,
+            400,
+            rules.via_size_nm,
+        );
         let bars = insert_srafs(&[a, b], &rules, &sraf);
         assert!(bars.is_empty(), "dense pair should not receive SRAFs");
     }

@@ -281,8 +281,11 @@ impl Graph {
                 p.accumulate_grad(&g);
             }
             if let Some(bf) = &node.backward {
-                let parent_values: Vec<&Tensor> =
-                    node.parents.iter().map(|p| &self.nodes[p.0].value).collect();
+                let parent_values: Vec<&Tensor> = node
+                    .parents
+                    .iter()
+                    .map(|p| &self.nodes[p.0].value)
+                    .collect();
                 let pgrads = bf(&g, &parent_values, &node.value);
                 assert_eq!(
                     pgrads.len(),

@@ -52,7 +52,15 @@ pub fn conv2d(g: &mut Graph, x: Var, w: Var, b: Option<Var>, stride: usize, pad:
                 pad,
                 &mut cols,
             );
-            sgemm_nn(o, l, k, 1.0, wd, &cols, &mut od[ni * o * l..(ni + 1) * o * l]);
+            sgemm_nn(
+                o,
+                l,
+                k,
+                1.0,
+                wd,
+                &cols,
+                &mut od[ni * o * l..(ni + 1) * o * l],
+            );
         }
         if let Some(bvar) = b {
             let bv = g.value(bvar);

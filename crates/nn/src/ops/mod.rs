@@ -1,7 +1,7 @@
 //! Differentiable operations on [`Graph`] nodes.
 //!
 //! Every function appends a node to the tape and returns its [`Var`]. The
-//! convolution family lives in [`conv`], batch normalisation in [`norm`];
+//! convolution family lives in the `conv` submodule, batch normalisation in `norm`;
 //! this module holds elementwise ops, pooling, concatenation and losses.
 
 mod conv;
@@ -39,20 +39,14 @@ pub fn mul(g: &mut Graph, a: Var, b: Var) -> Var {
     g.push(
         value,
         &[a, b],
-        Box::new(|grad, parents, _| {
-            vec![grad.mul(parents[1]), grad.mul(parents[0])]
-        }),
+        Box::new(|grad, parents, _| vec![grad.mul(parents[1]), grad.mul(parents[0])]),
     )
 }
 
 /// Multiplies every element by the constant `s`.
 pub fn scale(g: &mut Graph, x: Var, s: f32) -> Var {
     let value = g.value(x).scale(s);
-    g.push(
-        value,
-        &[x],
-        Box::new(move |grad, _, _| vec![grad.scale(s)]),
-    )
+    g.push(value, &[x], Box::new(move |grad, _, _| vec![grad.scale(s)]))
 }
 
 /// Adds a per-channel bias `b: [C]` to an NCHW tensor.
@@ -265,11 +259,7 @@ mod tests {
     use super::*;
     use crate::graph::Param;
 
-    fn finite_diff_check(
-        build: impl Fn(&mut Graph, Var) -> Var,
-        init: Tensor,
-        tol: f32,
-    ) {
+    fn finite_diff_check(build: impl Fn(&mut Graph, Var) -> Var, init: Tensor, tol: f32) {
         let p = Param::new(init.clone(), "p");
         let mut g = Graph::new();
         let x = g.param(&p);
@@ -339,12 +329,12 @@ mod tests {
 
     #[test]
     fn tanh_grad() {
-        finite_diff_check(|g, x| tanh(g, x), ramp(&[6]), 2e-2);
+        finite_diff_check(tanh, ramp(&[6]), 2e-2);
     }
 
     #[test]
     fn sigmoid_grad() {
-        finite_diff_check(|g, x| sigmoid(g, x), ramp(&[6]), 2e-2);
+        finite_diff_check(sigmoid, ramp(&[6]), 2e-2);
     }
 
     #[test]

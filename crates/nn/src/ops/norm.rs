@@ -245,8 +245,12 @@ mod tests {
     #[test]
     fn eval_uses_running_stats() {
         let state = BatchNormState::new(1);
-        state.running_mean.set_value(Tensor::from_vec(vec![2.0], &[1]));
-        state.running_var.set_value(Tensor::from_vec(vec![4.0], &[1]));
+        state
+            .running_mean
+            .set_value(Tensor::from_vec(vec![2.0], &[1]));
+        state
+            .running_var
+            .set_value(Tensor::from_vec(vec![4.0], &[1]));
         let mut g = Graph::new();
         let x = g.input(Tensor::full(&[1, 1, 1, 1], 6.0));
         let gamma = g.input(Tensor::from_vec(vec![3.0], &[1]));

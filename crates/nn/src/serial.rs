@@ -77,12 +77,15 @@ pub fn load_params(path: impl AsRef<Path>, params: &[Param]) -> io::Result<()> {
         let name_len = read_u32(&mut r)? as usize;
         let mut name = vec![0u8; name_len];
         r.read_exact(&mut name)?;
-        let name = String::from_utf8(name)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let name =
+            String::from_utf8(name).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
         if name != p.name() {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                format!("param name mismatch: checkpoint '{name}' vs model '{}'", p.name()),
+                format!(
+                    "param name mismatch: checkpoint '{name}' vs model '{}'",
+                    p.name()
+                ),
             ));
         }
         let rank = read_u32(&mut r)? as usize;
@@ -132,7 +135,10 @@ mod tests {
     #[test]
     fn roundtrip_preserves_values() {
         let a = Param::new(Tensor::from_vec(vec![1.5, -2.5, 3.0], &[3]), "a");
-        let b = Param::new(Tensor::from_vec((0..12).map(|i| i as f32).collect(), &[3, 4]), "b");
+        let b = Param::new(
+            Tensor::from_vec((0..12).map(|i| i as f32).collect(), &[3, 4]),
+            "b",
+        );
         let path = tmp("roundtrip.ckpt");
         save_params(&path, &[a.clone(), b.clone()]).unwrap();
 
@@ -148,7 +154,7 @@ mod tests {
     fn rejects_wrong_count() {
         let a = Param::new(Tensor::zeros(&[2]), "a");
         let path = tmp("count.ckpt");
-        save_params(&path, &[a.clone()]).unwrap();
+        save_params(&path, std::slice::from_ref(&a)).unwrap();
         let err = load_params(&path, &[a.clone(), a.clone()]).unwrap_err();
         assert!(err.to_string().contains("holds 1 params"));
         std::fs::remove_file(path).ok();

@@ -18,8 +18,13 @@ fn small_cnn_fits_identity_function() {
         .push(LeakyRelu::new(0.1))
         .push(Conv2d::new(8, 1, 3, 1, 1, true, &mut rng))
         .push(Tanh);
-    let input = litho_tensor::init::randn(&[2, 1, 16, 16], 1.0, &mut rng)
-        .map(|v| if v > 0.5 { 1.0 } else { 0.0 });
+    let input = litho_tensor::init::randn(&[2, 1, 16, 16], 1.0, &mut rng).map(|v| {
+        if v > 0.5 {
+            1.0
+        } else {
+            0.0
+        }
+    });
     let target = input.map(|v| 2.0 * v - 1.0);
     let mut opt = Adam::new(net.params(), 0.01);
     let mut first = f32::NAN;
@@ -38,7 +43,10 @@ fn small_cnn_fits_identity_function() {
         g.backward(loss);
         opt.step();
     }
-    assert!(last < 0.3 * first, "CNN failed to fit identity: {first} -> {last}");
+    assert!(
+        last < 0.3 * first,
+        "CNN failed to fit identity: {first} -> {last}"
+    );
 }
 
 #[test]
@@ -94,7 +102,10 @@ fn adam_first_step_has_unit_scale() {
     let mut opt = Adam::new(vec![p.clone()], 0.1);
     opt.step();
     let v = p.value().as_slice()[0];
-    assert!((v + 0.1).abs() < 1e-3, "first step should be ≈ -lr, got {v}");
+    assert!(
+        (v + 0.1).abs() < 1e-3,
+        "first step should be ≈ -lr, got {v}"
+    );
 }
 
 #[test]

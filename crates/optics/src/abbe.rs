@@ -173,7 +173,10 @@ mod tests {
             for x in 0..size {
                 let a = img1[y * size + x];
                 let b = img2[((y + 8) % size) * size + ((x + 4) % size)];
-                assert!((a - b).abs() < 1e-3, "shift equivariance broken at ({x},{y})");
+                assert!(
+                    (a - b).abs() < 1e-3,
+                    "shift equivariance broken at ({x},{y})"
+                );
             }
         }
     }

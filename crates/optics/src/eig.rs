@@ -103,7 +103,10 @@ pub fn top_eigenpairs_hermitian(
     seed: u64,
 ) -> Vec<(f32, Vec<Complex32>)> {
     assert_eq!(mat.len(), n * n, "matrix must be n×n");
-    assert!(count <= n, "cannot extract more eigenpairs than the dimension");
+    assert!(
+        count <= n,
+        "cannot extract more eigenpairs than the dimension"
+    );
     let mut found: Vec<(f32, Vec<Complex32>)> = Vec::with_capacity(count);
     let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut next = move || {
@@ -240,10 +243,7 @@ mod tests {
         }
     }
 
-    fn hermitian_from_rank1(
-        vecs: &[(f32, Vec<Complex32>)],
-        n: usize,
-    ) -> Vec<Complex32> {
+    fn hermitian_from_rank1(vecs: &[(f32, Vec<Complex32>)], n: usize) -> Vec<Complex32> {
         let mut m = vec![Complex32::ZERO; n * n];
         for (lam, v) in vecs {
             for i in 0..n {
@@ -279,7 +279,11 @@ mod tests {
             normalize(&mut v);
             basis.push(v);
         }
-        let spectrum = [(5.0f32, basis[0].clone()), (2.0, basis[1].clone()), (0.5, basis[2].clone())];
+        let spectrum = [
+            (5.0f32, basis[0].clone()),
+            (2.0, basis[1].clone()),
+            (0.5, basis[2].clone()),
+        ];
         let m = hermitian_from_rank1(&spectrum, n);
         let found = top_eigenpairs_hermitian(&m, n, 3, 200, 7);
         assert!((found[0].0 - 5.0).abs() < 1e-2, "λ0 = {}", found[0].0);
@@ -297,7 +301,8 @@ mod tests {
         let mut a = vec![0.0f64; n * n];
         for i in 0..n {
             for j in 0..n {
-                a[i * n + j] = 1.0 / (1.0 + (i as f64 - j as f64).abs()) + if i == j { 2.0 } else { 0.0 };
+                a[i * n + j] =
+                    1.0 / (1.0 + (i as f64 - j as f64).abs()) + if i == j { 2.0 } else { 0.0 };
             }
         }
         let (jev, _) = jacobi_symmetric(&a, n, 30);

@@ -113,8 +113,8 @@ mod tests {
     #[test]
     fn pipeline_print_is_binary_with_hard_threshold() {
         let grid = SimGrid::new(32, 16.0);
-        let socs = TccModel::new(grid, Pupil::new(1.35, 193.0), &SourceModel::circular(0.5))
-            .kernels(6);
+        let socs =
+            TccModel::new(grid, Pupil::new(1.35, 193.0), &SourceModel::circular(0.5)).kernels(6);
         let pipe = LithoPipeline::new(socs, ResistModel::default_threshold());
         let mut mask = vec![0.0f32; 32 * 32];
         for y in 8..24 {

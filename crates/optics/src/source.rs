@@ -128,17 +128,15 @@ impl SourceModel {
                         } else {
                             let theta = sy.atan2(sx);
                             // poles on the x/y axes
-                            [0.0f32, 0.5, 1.0, 1.5, 2.0]
-                                .iter()
-                                .any(|&m| {
-                                    let centre = m * std::f32::consts::PI;
-                                    let tau = 2.0 * std::f32::consts::PI;
-                                    let mut d = (theta - centre).rem_euclid(tau);
-                                    if d > std::f32::consts::PI {
-                                        d = tau - d;
-                                    }
-                                    d <= opening
-                                })
+                            [0.0f32, 0.5, 1.0, 1.5, 2.0].iter().any(|&m| {
+                                let centre = m * std::f32::consts::PI;
+                                let tau = 2.0 * std::f32::consts::PI;
+                                let mut d = (theta - centre).rem_euclid(tau);
+                                if d > std::f32::consts::PI {
+                                    d = tau - d;
+                                }
+                                d <= opening
+                            })
                         }
                     }
                 };
@@ -201,7 +199,7 @@ mod tests {
         let c = 0.007f32;
         for p in s.sample(c) {
             let r = (p.fx * p.fx + p.fy * p.fy).sqrt() / c;
-            assert!(r >= 0.5 - 1e-4 && r <= 0.9 + 1e-4, "r = {r}");
+            assert!((0.5 - 1e-4..=0.9 + 1e-4).contains(&r), "r = {r}");
         }
     }
 
@@ -245,7 +243,7 @@ mod tests {
         assert!(!pts.is_empty());
         for p in &pts {
             let theta = p.fy.atan2(p.fx).abs();
-            let on_x = theta < 0.45 || theta > std::f32::consts::PI - 0.45;
+            let on_x = !(0.45..=std::f32::consts::PI - 0.45).contains(&theta);
             let on_y = (theta - std::f32::consts::FRAC_PI_2).abs() < 0.45;
             assert!(on_x || on_y, "point off-pole at angle {theta}");
         }

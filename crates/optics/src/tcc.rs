@@ -200,8 +200,16 @@ impl SocsKernels {
             for y in 0..n {
                 for x in 0..n {
                     // wrap to signed offsets around origin
-                    let dy = if y as isize > centre { y as isize - n as isize } else { y as isize };
-                    let dx = if x as isize > centre { x as isize - n as isize } else { x as isize };
+                    let dy = if y as isize > centre {
+                        y as isize - n as isize
+                    } else {
+                        y as isize
+                    };
+                    let dx = if x as isize > centre {
+                        x as isize - n as isize
+                    } else {
+                        x as isize
+                    };
                     let r2 = (dx * dx + dy * dy) as f32;
                     let e = alpha * h[y * n + x].norm_sqr();
                     if e > 0.0 {

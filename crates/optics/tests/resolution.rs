@@ -79,7 +79,10 @@ fn contrast_increases_with_pitch() {
     let c64 = contrast(&sim.aerial_image(&grating(size, pixel, 64.0)), size);
     let c96 = contrast(&sim.aerial_image(&grating(size, pixel, 96.0)), size);
     let c160 = contrast(&sim.aerial_image(&grating(size, pixel, 160.0)), size);
-    assert!(c64 < c96, "contrast must grow past the limit: {c64} vs {c96}");
+    assert!(
+        c64 < c96,
+        "contrast must grow past the limit: {c64} vs {c96}"
+    );
     assert!(c96 < c160 + 0.1, "near-monotone growth: {c96} vs {c160}");
 }
 

@@ -101,7 +101,9 @@ mod tests {
     }
 
     fn seq(n: usize, scale: f32) -> Vec<f32> {
-        (0..n).map(|i| ((i * 7 % 13) as f32 - 6.0) * scale).collect()
+        (0..n)
+            .map(|i| ((i * 7 % 13) as f32 - 6.0) * scale)
+            .collect()
     }
 
     #[test]
@@ -131,8 +133,9 @@ mod tests {
     fn nt_matches_transposed_naive() {
         let (m, n, k) = (4, 3, 6);
         let a = seq(m * k, 0.3);
-        let bt = seq(n * k, 0.7); // B stored as [n, k]
-        // build B = bt^T as [k, n] for the naive reference
+        // `bt` is B stored as [n, k]; build B = bt^T as [k, n] for the
+        // naive reference.
+        let bt = seq(n * k, 0.7);
         let mut b = vec![0.0; k * n];
         for j in 0..n {
             for p in 0..k {

@@ -53,7 +53,8 @@ pub fn im2col(
         let img = &input[ci * h * w..(ci + 1) * h * w];
         for ky in 0..kh {
             for kx in 0..kw {
-                let row = &mut out[((ci * kh + ky) * kw + kx) * l..((ci * kh + ky) * kw + kx + 1) * l];
+                let row =
+                    &mut out[((ci * kh + ky) * kw + kx) * l..((ci * kh + ky) * kw + kx + 1) * l];
                 for oy in 0..oh {
                     let iy = (oy * stride + ky) as isize - pad as isize;
                     let dst = &mut row[oy * ow..(oy + 1) * ow];
@@ -177,7 +178,9 @@ mod tests {
         let (c, h, w, kh, kw, s, p) = (2usize, 5usize, 4usize, 3usize, 3usize, 2usize, 1usize);
         let oh = conv_out_size(h, kh, s, p);
         let ow = conv_out_size(w, kw, s, p);
-        let x: Vec<f32> = (0..c * h * w).map(|i| ((i * 13 % 7) as f32) - 3.0).collect();
+        let x: Vec<f32> = (0..c * h * w)
+            .map(|i| ((i * 13 % 7) as f32) - 3.0)
+            .collect();
         let y: Vec<f32> = (0..c * kh * kw * oh * ow)
             .map(|i| ((i * 5 % 11) as f32) * 0.5 - 2.0)
             .collect();
@@ -187,7 +190,10 @@ mod tests {
         let mut back = vec![0.0; x.len()];
         col2im(&y, c, h, w, kh, kw, s, p, &mut back);
         let rhs: f32 = x.iter().zip(&back).map(|(a, b)| a * b).sum();
-        assert!((lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+        assert!(
+            (lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0),
+            "{lhs} vs {rhs}"
+        );
     }
 
     #[test]

@@ -92,8 +92,7 @@ pub fn crop_spatial(t: &Tensor, y0: usize, x0: usize, h: usize, w: usize) -> Ten
     for nc in 0..n * c {
         for y in 0..h {
             let src_off = (nc * ih + y0 + y) * iw + x0;
-            od[(nc * h + y) * w..(nc * h + y + 1) * w]
-                .copy_from_slice(&sd[src_off..src_off + w]);
+            od[(nc * h + y) * w..(nc * h + y + 1) * w].copy_from_slice(&sd[src_off..src_off + w]);
         }
     }
     out
@@ -185,7 +184,10 @@ mod tests {
         let a = t(2, 1, 1, 2, 0.0); // n0: [0,1], n1: [2,3]
         let b = t(2, 1, 1, 2, 10.0); // n0: [10,11], n1: [12,13]
         let cat = concat_channels(&[&a, &b]);
-        assert_eq!(cat.as_slice(), &[0.0, 1.0, 10.0, 11.0, 2.0, 3.0, 12.0, 13.0]);
+        assert_eq!(
+            cat.as_slice(),
+            &[0.0, 1.0, 10.0, 11.0, 2.0, 3.0, 12.0, 13.0]
+        );
     }
 
     #[test]

@@ -159,7 +159,11 @@ impl Tensor {
     /// Panics if the new shape has a different element count.
     pub fn reshape_mut(&mut self, shape: &[usize]) {
         let numel: usize = shape.iter().product();
-        assert_eq!(numel, self.data.len(), "reshape must preserve element count");
+        assert_eq!(
+            numel,
+            self.data.len(),
+            "reshape must preserve element count"
+        );
         self.shape = shape.to_vec();
     }
 

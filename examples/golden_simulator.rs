@@ -7,9 +7,7 @@
 //! ```
 
 use litho_geometry::{rasterize, Rect};
-use litho_optics::{
-    AbbeSimulator, LithoModel, Pupil, ResistModel, SimGrid, SourceModel, TccModel,
-};
+use litho_optics::{AbbeSimulator, LithoModel, Pupil, ResistModel, SimGrid, SourceModel, TccModel};
 
 fn main() {
     // 193 nm immersion scanner, NA 1.35, annular illumination σ 0.55–0.85 —
@@ -56,8 +54,10 @@ fn main() {
         .zip(&exact)
         .map(|(a, b)| (a - b).abs())
         .fold(0.0f32, f32::max);
-    println!("SOCS (8 kernels) vs Abbe ({} source points): max |ΔI| = {max_err:.4}",
-             abbe.source_point_count());
+    println!(
+        "SOCS (8 kernels) vs Abbe ({} source points): max |ΔI| = {max_err:.4}",
+        abbe.source_point_count()
+    );
 
     // threshold resist print
     let resist = ResistModel::ConstantThreshold { threshold: 0.15 };

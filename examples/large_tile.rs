@@ -7,8 +7,9 @@
 //! cargo run --release --example large_tile
 //! ```
 
-use doinn::{seg_metrics, to_tanh_target, train_model, Doinn, DoinnConfig, LargeTileSimulator,
-            TrainConfig};
+use doinn::{
+    seg_metrics, to_tanh_target, train_model, Doinn, DoinnConfig, LargeTileSimulator, TrainConfig,
+};
 use litho_data::{synthesize, DatasetConfig, DatasetKind, Resolution};
 use litho_geometry::rasterize;
 use litho_layout::generate_via_layout;
@@ -59,11 +60,18 @@ fn main() {
     let mut lrng = StdRng::seed_from_u64(99);
     let vias = generate_via_layout(&rules, 40, &mut lrng);
     let mask = rasterize(&vias, large_px, cfg.pixel_nm());
-    println!("large tile: {} vias on {large_px}x{large_px} px", vias.len());
+    println!(
+        "large tile: {} vias on {large_px}x{large_px} px",
+        vias.len()
+    );
 
     // golden print via the exact Abbe engine at the dataset's threshold
     let grid = SimGrid::new(large_px, cfg.pixel_nm());
-    let abbe = AbbeSimulator::new(grid, Pupil::new(1.35, 193.0), &SourceModel::annular_default());
+    let abbe = AbbeSimulator::new(
+        grid,
+        Pupil::new(1.35, 193.0),
+        &SourceModel::annular_default(),
+    );
     let resist = ResistModel::ConstantThreshold {
         threshold: ds.resist_threshold,
     };

@@ -22,7 +22,10 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(2013);
     let wires = generate_metal_layout(&cfg.kind.rules(), &mut rng);
     let design = litho_geometry::rasterize(&wires, size, cfg.pixel_nm());
-    println!("design: {} wire shapes on a {size}x{size} raster", wires.len());
+    println!(
+        "design: {} wire shapes on a {size}x{size} raster",
+        wires.len()
+    );
 
     // dose-to-size calibration, then the no-OPC print
     let threshold = calibrate_threshold(&socs, &design, &design);
@@ -44,7 +47,10 @@ fn main() {
     );
     let result = engine.run_with_callback(&design, |it, mask| {
         if (it + 1) % 4 == 0 {
-            let binary: Vec<f32> = mask.iter().map(|&v| if v >= 0.5 { 1.0 } else { 0.0 }).collect();
+            let binary: Vec<f32> = mask
+                .iter()
+                .map(|&v| if v >= 0.5 { 1.0 } else { 0.0 })
+                .collect();
             let print = resist.develop(&socs.aerial_image(&binary));
             println!(
                 "  iter {:>2}: loss-side print IoU = {:.4}",

@@ -1,1 +1,36 @@
-//! Workspace root crate: re-exports for examples and integration tests.
+//! # litho
+//!
+//! Umbrella crate for the DOINN lithography-modeling workspace — a pure-Rust
+//! reproduction of *"Generic Lithography Modeling with Dual-band
+//! Optics-Inspired Neural Networks"* (Yang et al., DAC 2022).
+//!
+//! The real code lives in the nine workspace crates; this crate exists so the
+//! top-level `examples/` and `tests/` can exercise the full cross-crate
+//! pipeline, and re-exports each crate under a short alias for convenience:
+//!
+//! | Alias | Crate | Role |
+//! |---|---|---|
+//! | [`tensor`] | `litho-tensor` | dense `f32` tensors, GEMM, im2col |
+//! | [`fft`] | `litho-fft` | radix-2 + Bluestein FFT (1-D / 2-D) |
+//! | [`nn`] | `litho-nn` | tape autograd, layers, Adam, checkpoints |
+//! | [`optics`] | `litho-optics` | golden Hopkins/Abbe simulator |
+//! | [`geometry`] | `litho-geometry` | rectangles, rasterization, EPE |
+//! | [`layout`] | `litho-layout` | layout synthesis, ILT OPC, SRAFs |
+//! | [`data`] | `litho-data` | dataset synthesis and caching |
+//! | [`doinn`] | `doinn` | the DOINN network and baselines |
+//! | [`bench`](mod@bench) | `litho-bench` | experiment harness for tables/figures |
+//!
+//! See the repository `README.md` for the architecture diagram and the
+//! quickstart commands.
+
+#![forbid(unsafe_code)]
+
+pub use doinn;
+pub use litho_bench as bench;
+pub use litho_data as data;
+pub use litho_fft as fft;
+pub use litho_geometry as geometry;
+pub use litho_layout as layout;
+pub use litho_nn as nn;
+pub use litho_optics as optics;
+pub use litho_tensor as tensor;

@@ -70,9 +70,7 @@ fn train_doinn_end_to_end_beats_trivial_baselines() {
     let trivial: Vec<doinn::SegMetrics> = ds
         .test
         .iter()
-        .map(|(_, golden)| {
-            doinn::seg_metrics(&vec![0.0; golden.numel()], golden.as_slice())
-        })
+        .map(|(_, golden)| doinn::seg_metrics(&vec![0.0; golden.numel()], golden.as_slice()))
         .collect();
     let trivial = doinn::SegMetrics::mean(&trivial);
     assert!(

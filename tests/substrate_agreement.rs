@@ -6,9 +6,7 @@ use doinn::{Doinn, DoinnConfig, LargeTileSimulator};
 use litho_geometry::{binary_iou, rasterize};
 use litho_layout::{generate_metal_layout, generate_via_layout, DesignRules, IltConfig, IltEngine};
 use litho_nn::Module;
-use litho_optics::{
-    AbbeSimulator, LithoModel, Pupil, ResistModel, SimGrid, SourceModel, TccModel,
-};
+use litho_optics::{AbbeSimulator, LithoModel, Pupil, ResistModel, SimGrid, SourceModel, TccModel};
 use litho_tensor::init::seeded_rng;
 use litho_tensor::Tensor;
 use rand::rngs::StdRng;
@@ -39,7 +37,10 @@ fn socs_tracks_abbe_on_generated_layouts() {
             .zip(&fast)
             .map(|(a, b)| (a - b).abs())
             .fold(0.0f32, f32::max);
-        assert!(max_err < 0.03, "seed {seed}: SOCS vs Abbe max err {max_err}");
+        assert!(
+            max_err < 0.03,
+            "seed {seed}: SOCS vs Abbe max err {max_err}"
+        );
     }
 }
 

@@ -1,0 +1,307 @@
+//! Minimal, clean-room stand-in for the subset of the
+//! [`criterion` 0.5](https://docs.rs/criterion/0.5) API used by this
+//! workspace's benches (`crates/bench/benches/`).
+//!
+//! The build environment is hermetic (no crates.io access), so this crate
+//! implements a small wall-clock harness behind criterion's API shape:
+//! [`criterion_group!`] / [`criterion_main!`], [`Criterion::benchmark_group`],
+//! `sample_size` / `warm_up_time` / `measurement_time`, `bench_function`,
+//! `bench_with_input`, and [`BenchmarkId`].
+//!
+//! Differences from real criterion, by design: no statistical outlier
+//! analysis, no plots, no saved baselines. Each benchmark warms up for the
+//! configured time, then runs `sample_size` samples (batches of iterations
+//! auto-sized to ~the measurement window) and reports min / mean / max
+//! per-iteration time to stdout. Good enough to compare the paper's
+//! Fourier-Unit and golden-engine variants on one machine; not a substitute
+//! for criterion's rigor across machines.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function(
+        &mut self,
+        name: impl fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut group = self.benchmark_group("");
+        group.bench_function(name, f);
+        group.finish();
+        self
+    }
+}
+
+/// Identifier for a parameterised benchmark, mirroring
+/// `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name plus a parameter, `"name/param"`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter's `Display` form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A group of benchmarks sharing sample-count and timing configuration.
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets how long to run the routine untimed before sampling.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Sets the target total duration of the timed samples.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Benchmarks `f`, reporting under this group's name plus `id`.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        self.run(&id.to_string(), &mut f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input, criterion-style.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(&id.to_string(), &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group. (Real criterion renders summary plots here; the
+    /// stand-in prints per-benchmark lines as it goes, so this is a no-op.)
+    pub fn finish(self) {}
+
+    fn run(&self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let label = if self.name.is_empty() {
+            id.to_string()
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        let mut bencher = Bencher {
+            mode: Mode::WarmUp {
+                until: Instant::now() + self.warm_up_time,
+            },
+            samples: Vec::with_capacity(self.sample_size),
+            calibrated_iters: None,
+        };
+        // Warm-up: keep invoking the routine until the window elapses.
+        loop {
+            f(&mut bencher);
+            match bencher.mode {
+                Mode::WarmUp { until } if Instant::now() < until => {}
+                _ => break,
+            }
+        }
+        let per_sample = self.measurement_time.div_f64(self.sample_size as f64);
+        bencher.mode = Mode::Measure { per_sample };
+        while bencher.samples.len() < self.sample_size {
+            let before = bencher.samples.len();
+            f(&mut bencher);
+            assert!(
+                bencher.samples.len() > before,
+                "benchmark '{label}' returned without calling Bencher::iter"
+            );
+        }
+        report(&label, &bencher.samples);
+    }
+}
+
+enum Mode {
+    WarmUp { until: Instant },
+    Measure { per_sample: Duration },
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    mode: Mode,
+    samples: Vec<Duration>,
+    calibrated_iters: Option<u64>,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`. Matches criterion's contract: the
+    /// closure you pass to `bench_function` should call `iter` exactly once.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        match self.mode {
+            Mode::WarmUp { .. } => {
+                std::hint::black_box(routine());
+            }
+            Mode::Measure { per_sample } => {
+                // Size the batch so one sample spans roughly `per_sample`.
+                // Calibrated once per benchmark — an untimed probe per
+                // sample would double the wall-clock of slow routines.
+                let iters = match self.calibrated_iters {
+                    Some(n) => n,
+                    None => {
+                        let probe_start = Instant::now();
+                        std::hint::black_box(routine());
+                        let probe = probe_start.elapsed().max(Duration::from_nanos(1));
+                        let n = (per_sample.as_secs_f64() / probe.as_secs_f64())
+                            .round()
+                            .clamp(1.0, 1e9) as u64;
+                        self.calibrated_iters = Some(n);
+                        n
+                    }
+                };
+                let start = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(routine());
+                }
+                self.samples.push(start.elapsed().div_f64(iters as f64));
+            }
+        }
+    }
+}
+
+fn report(label: &str, samples: &[Duration]) {
+    let min = samples.iter().min().copied().unwrap_or_default();
+    let max = samples.iter().max().copied().unwrap_or_default();
+    let mean = samples
+        .iter()
+        .sum::<Duration>()
+        .div_f64(samples.len().max(1) as f64);
+    println!(
+        "{label:<50} time: [{} {} {}]  ({} samples)",
+        fmt_duration(min),
+        fmt_duration(mean),
+        fmt_duration(max),
+        samples.len(),
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.4} s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.4} ms", d.as_secs_f64() * 1e3)
+    } else if ns >= 1_000 {
+        format!("{:.4} µs", d.as_secs_f64() * 1e6)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        /// Criterion benchmark group entry point (generated).
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_configured_sample_count() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        let mut group = c.benchmark_group("t");
+        group.sample_size(5);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(5));
+        group.bench_function("count", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert!(calls > 5);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input_through() {
+        let mut c = Criterion::default();
+        let data = vec![1u8, 2, 3];
+        let mut seen = 0usize;
+        let mut group = c.benchmark_group("t");
+        group.sample_size(2);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(2));
+        group.bench_with_input(BenchmarkId::from_parameter(3), &data, |b, d| {
+            b.iter(|| seen = d.len())
+        });
+        group.finish();
+        assert_eq!(seen, 3);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("fft", 64).to_string(), "fft/64");
+        assert_eq!(BenchmarkId::from_parameter(128).to_string(), "128");
+    }
+}

@@ -1,0 +1,336 @@
+//! Minimal, clean-room stand-in for the subset of the
+//! [`proptest` 1.x](https://docs.rs/proptest/1) API used by this workspace's
+//! property tests.
+//!
+//! The build environment is hermetic (no crates.io access), so this crate
+//! reimplements just what the tests call:
+//!
+//! - the [`proptest!`] macro with an optional `#![proptest_config(..)]`
+//!   header and `arg in strategy` parameter lists
+//! - [`prop_assert!`] / [`prop_assert_eq!`]
+//! - [`Strategy`] with [`Strategy::prop_map`], implemented for numeric
+//!   ranges and tuples, plus [`collection::vec`]
+//!
+//! Differences from real proptest, by design:
+//!
+//! - **No shrinking.** A failing case reports its inputs (via `Debug`) and
+//!   the case index, but is not minimised.
+//! - **Fixed seeding.** Each test function derives its RNG seed from its
+//!   own name, so runs are fully deterministic; there is no failure
+//!   persistence file.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::Rng as _;
+use std::fmt;
+use std::ops::Range;
+
+/// The RNG threaded through strategies; re-exported for the macro.
+pub type TestRng = StdRng;
+
+// The `proptest!` expansion must not assume the calling crate depends on
+// `rand`, so the seeding trait is re-exported here under `$crate::`.
+#[doc(hidden)]
+pub use rand::SeedableRng as __SeedableRng;
+
+/// Subset of proptest's run configuration: just the case count.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each `#[test]` inside [`proptest!`] runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Error type carried by `prop_assert!` failures inside a test body.
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A generator of random values, mirroring `proptest::strategy::Strategy`.
+///
+/// Unlike real proptest there is no value tree: `sample` yields the value
+/// directly and no shrinking is attempted.
+pub trait Strategy {
+    /// The type of values this strategy generates.
+    type Value: fmt::Debug;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U: fmt::Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: fmt::Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+impl<T> Strategy for Range<T>
+where
+    T: rand::SampleUniform + fmt::Debug,
+    Range<T>: Clone,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_strategy_for_tuple {
+    ($($s:ident / $v:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($v,)+) = self;
+                ($($v.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_strategy_for_tuple!(A / a);
+impl_strategy_for_tuple!(A / a, B / b);
+impl_strategy_for_tuple!(A / a, B / b, C / c);
+impl_strategy_for_tuple!(A / a, B / b, C / c, D / d);
+impl_strategy_for_tuple!(A / a, B / b, C / c, D / d, E / e);
+impl_strategy_for_tuple!(A / a, B / b, C / c, D / d, E / e, F / f);
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng as _;
+    use std::ops::Range;
+
+    /// Length specification for [`vec()`]: a fixed `usize` or a `Range<usize>`.
+    pub trait SizeRange {
+        /// Draws a concrete length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy producing `Vec`s of values drawn from `element`.
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    /// Strategy returned by [`vec()`].
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.pick(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// One-glob import mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{ProptestConfig, Strategy, TestCaseError};
+}
+
+/// Deterministic per-test seed derived from the test's name (FNV-1a).
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Declares property tests. Supports the two shapes used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn my_prop(x in 0usize..10, v in prop::collection::vec(0.0f32..1.0, 8)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg); $($rest)*);
+    };
+    (@run ($cfg:expr); $($(#[$meta:meta])+ fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = <$crate::TestRng as $crate::__SeedableRng>::seed_from_u64(
+                    $crate::seed_from_name(stringify!($name)),
+                );
+                for case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)*
+                    // Rendered before the body runs: the body may move the
+                    // inputs, and on failure we still want to show them.
+                    let inputs = format!("{:?}", ($(&$arg,)*));
+                    // catch_unwind so a plain panic in the body (assert!,
+                    // index out of bounds, unwrap) still reports the
+                    // generated inputs — there is no shrinking or failure
+                    // persistence to recover them otherwise.
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(
+                            || -> ::std::result::Result<(), $crate::TestCaseError> {
+                                $body
+                                Ok(())
+                            },
+                        ),
+                    );
+                    match outcome {
+                        Ok(Ok(())) => {}
+                        Ok(Err(err)) => panic!(
+                            "proptest case {}/{} failed: {}\ninputs: {}",
+                            case + 1,
+                            config.cases,
+                            err,
+                            inputs,
+                        ),
+                        Err(panic_payload) => {
+                            eprintln!(
+                                "proptest case {}/{} panicked\ninputs: {}",
+                                case + 1,
+                                config.cases,
+                                inputs,
+                            );
+                            ::std::panic::resume_unwind(panic_payload);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// `assert!` for property-test bodies: fails the case instead of panicking,
+/// so the harness can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `assert_eq!` for property-test bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                l, r
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_vecs_respect_bounds(
+            n in 1usize..10,
+            v in prop::collection::vec(0.0f32..1.0, 5),
+            pairs in prop::collection::vec((0i32..4, 0i32..4), 1..6),
+        ) {
+            prop_assert!((1..10).contains(&n));
+            prop_assert_eq!(v.len(), 5);
+            prop_assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+            prop_assert!(!pairs.is_empty() && pairs.len() < 6);
+        }
+
+        #[test]
+        fn prop_map_applies(sq in (0usize..9).prop_map(|x| x * x)) {
+            prop_assert!(sq <= 64);
+            let root = (sq as f64).sqrt().round() as usize;
+            prop_assert_eq!(root * root, sq);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+
+        #[test]
+        #[should_panic(expected = "proptest case")]
+        fn failing_property_panics_with_context(x in 0usize..4) {
+            prop_assert!(x > 100, "x was {x}");
+        }
+    }
+}
