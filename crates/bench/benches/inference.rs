@@ -1,9 +1,13 @@
 //! Criterion bench backing Figure 6: batch-1 inference latency of each model
-//! at the experiment tile size, on one core.
+//! at the experiment tile size, plus a batched DOINN run through
+//! [`doinn::predict_batch`]. Thread fan-out follows `LITHO_THREADS`
+//! (default: all available cores; set `LITHO_THREADS=1` for the serial
+//! baseline the paper's one-core numbers correspond to).
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use doinn::predict_batch;
 use litho_bench::{build_model, ModelKind};
-use litho_nn::Graph;
+use litho_nn::{Graph, Module};
 use litho_tensor::Tensor;
 use std::hint::black_box;
 use std::time::Duration;
@@ -34,5 +38,28 @@ fn bench_inference(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_inference);
+/// Multi-sample DOINN inference: the workload the `LITHO_THREADS` fan-out is
+/// built for (one forward pass per sample, one worker per sample).
+fn bench_batched_inference(c: &mut Criterion) {
+    let size = 128;
+    let batch = 4;
+    let inputs: Vec<Tensor> = (0..batch)
+        .map(|_| Tensor::zeros(&[1, 1, size, size]))
+        .collect();
+    let built = build_model(ModelKind::Doinn, size, 7);
+    built.model.set_training(false);
+    let mut group = c.benchmark_group("inference_128px_batch4");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("doinn_predict_batch", |b| {
+        b.iter(|| {
+            let out = predict_batch(&built.model, black_box(&inputs));
+            black_box(out.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference, bench_batched_inference);
 criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! Serial-vs-parallel scaling of the three `litho-parallel` hot paths —
+//! 2-D FFT, im2col convolution (plain and transposed), the §3.2 large-tile
+//! window fan-out — plus the batched inference entry point.
+//!
+//! Pool sizes are passed explicitly (1/2/4) so one run produces the whole
+//! scaling table regardless of `LITHO_THREADS`; the numbers recorded in
+//! `docs/PERFORMANCE.md` come from this bench. On a single-core container
+//! every row degrades to the inline path and the ratios stay ≈1, which is
+//! the correct (and asserted-bit-identical) behaviour.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use doinn::{predict_batch_with_pool, Doinn, DoinnConfig, LargeTileSimulator};
+use litho_fft::{Complex32, Direction, Fft2};
+use litho_nn::ops::{conv2d_forward_with_pool, conv_transpose2d_forward_with_pool};
+use litho_nn::Module;
+use litho_parallel::Pool;
+use litho_tensor::init::{randn, seeded_rng};
+use litho_tensor::Tensor;
+use std::hint::black_box;
+use std::time::Duration;
+
+const POOL_SIZES: [usize; 3] = [1, 2, 4];
+
+fn configure(group: &mut criterion::BenchmarkGroup<'_>) {
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+}
+
+fn bench_fft2d(c: &mut Criterion) {
+    let size = 512;
+    let plan = Fft2::new(size, size);
+    let img: Vec<Complex32> = (0..size * size)
+        .map(|i| Complex32::new((i as f32 * 0.13).sin(), (i as f32 * 0.07).cos()))
+        .collect();
+    let mut group = c.benchmark_group("fft2d_512");
+    configure(&mut group);
+    for threads in POOL_SIZES {
+        let pool = Pool::new(threads);
+        group.bench_function(BenchmarkId::new("threads", threads), |b| {
+            b.iter(|| {
+                let mut data = img.clone();
+                plan.transform_in(black_box(&mut data), Direction::Forward, &pool);
+                black_box(data[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let mut rng = seeded_rng(11);
+    // the heaviest refine-conv shape of the 128² DOINN inference path
+    let x = randn(&[1, 32, 128, 128], 0.5, &mut rng);
+    let w = randn(&[16, 32, 3, 3], 0.1, &mut rng);
+    let bias = randn(&[16], 0.1, &mut rng);
+    let xt = randn(&[1, 16, 64, 64], 0.5, &mut rng);
+    let wt = randn(&[16, 8, 4, 4], 0.1, &mut rng);
+    let mut group = c.benchmark_group("conv2d_32x128px");
+    configure(&mut group);
+    for threads in POOL_SIZES {
+        let pool = Pool::new(threads);
+        group.bench_function(BenchmarkId::new("threads", threads), |b| {
+            b.iter(|| {
+                black_box(conv2d_forward_with_pool(
+                    black_box(&x),
+                    &w,
+                    Some(&bias),
+                    1,
+                    1,
+                    &pool,
+                ))
+            })
+        });
+    }
+    group.finish();
+    let mut group = c.benchmark_group("conv_transpose2d_16x64px");
+    configure(&mut group);
+    for threads in POOL_SIZES {
+        let pool = Pool::new(threads);
+        group.bench_function(BenchmarkId::new("threads", threads), |b| {
+            b.iter(|| {
+                black_box(conv_transpose2d_forward_with_pool(
+                    black_box(&xt),
+                    &wt,
+                    None,
+                    2,
+                    1,
+                    &pool,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_large_tile_and_batch(c: &mut Criterion) {
+    let mut rng = seeded_rng(12);
+    let model = Doinn::new(DoinnConfig::tiny(), &mut rng);
+    model.set_training(false);
+    let sim = LargeTileSimulator::new(&model, 32);
+    let mask = randn(&[1, 1, 96, 96], 0.5, &mut rng);
+    let mut group = c.benchmark_group("large_tile_96px");
+    configure(&mut group);
+    for threads in POOL_SIZES {
+        let pool = Pool::new(threads);
+        group.bench_function(BenchmarkId::new("threads", threads), |b| {
+            b.iter(|| black_box(sim.simulate_with_pool(black_box(&mask), &pool)))
+        });
+    }
+    group.finish();
+
+    let inputs: Vec<Tensor> = (0..4)
+        .map(|_| randn(&[1, 1, 32, 32], 0.5, &mut rng))
+        .collect();
+    let mut group = c.benchmark_group("predict_batch4_32px");
+    configure(&mut group);
+    for threads in POOL_SIZES {
+        let pool = Pool::new(threads);
+        group.bench_function(BenchmarkId::new("threads", threads), |b| {
+            b.iter(|| black_box(predict_batch_with_pool(&model, black_box(&inputs), &pool)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fft2d, bench_conv, bench_large_tile_and_batch);
+criterion_main!(benches);

@@ -172,8 +172,9 @@ impl ModelKind {
 /// A boxed model + metadata, so experiments can treat all architectures
 /// uniformly.
 pub struct BuiltModel {
-    /// The trainable module.
-    pub model: Box<dyn Module>,
+    /// The trainable module (`Send + Sync` so `doinn::predict_batch` and the
+    /// litho-parallel fan-out can share it across workers).
+    pub model: Box<dyn Module + Send + Sync>,
     /// Which architecture this is.
     pub kind: ModelKind,
     /// Trainable parameter count.
@@ -195,7 +196,7 @@ pub fn doinn_config_for(tile_px: usize) -> DoinnConfig {
 pub fn build_model(kind: ModelKind, tile_px: usize, seed: u64) -> BuiltModel {
     let mut rng = seeded_rng(seed);
     let modes = doinn_config_for(tile_px).fourier_modes;
-    let model: Box<dyn Module> = match kind {
+    let model: Box<dyn Module + Send + Sync> = match kind {
         ModelKind::Doinn => Box::new(Doinn::new(doinn_config_for(tile_px), &mut rng)),
         ModelKind::Unet => Box::new(Unet::new(16, &mut rng)),
         ModelKind::Damo => Box::new(DamoDls::new(16, &mut rng)),

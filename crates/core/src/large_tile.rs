@@ -6,6 +6,13 @@
 //! half-overlapping `S×S` windows and stitch only each window's *core*
 //! region (safe from boundary effects, per the optical-diameter argument),
 //! while the purely local LP/IR convolutions run on the full tile unchanged.
+//!
+//! The window fan-out is embarrassingly parallel — every window runs an
+//! independent GP forward and its core region lands in a disjoint part of
+//! the stitched feature map — so it is distributed over the `litho-parallel`
+//! pool (one work item per window, results stitched in window order, output
+//! bit-identical for any `LITHO_THREADS` when the model is in eval mode —
+//! see [`LargeTileSimulator::simulate`] for the batch-norm caveat).
 
 use crate::model::Doinn;
 use litho_nn::{ops, Graph, Module};
@@ -39,10 +46,23 @@ impl<'a> LargeTileSimulator<'a> {
     /// `L` a multiple of `train_size/2`. Returns the Tanh contour prediction
     /// of shape `[1, 1, L, L]`.
     ///
+    /// Deterministic (bit-identical for any `LITHO_THREADS`) **provided the
+    /// model is in eval mode**: in training mode batch-norm layers fold
+    /// running statistics per forward pass, and with windows running
+    /// concurrently the fold order is scheduling-dependent. Call
+    /// [`litho_nn::Module::set_training`]`(false)` first — inference is the
+    /// only intended use of this scheme anyway.
+    ///
     /// # Panics
     ///
     /// Panics if the input shape violates the constraints above.
     pub fn simulate(&self, mask: &Tensor) -> Tensor {
+        self.simulate_with_pool(mask, litho_parallel::global())
+    }
+
+    /// [`LargeTileSimulator::simulate`] with an explicit `pool` for the
+    /// window fan-out (the public entry point uses the process-wide pool).
+    pub fn simulate_with_pool(&self, mask: &Tensor, wpool: &litho_parallel::Pool) -> Tensor {
         assert_eq!(mask.rank(), 4, "expects NCHW input");
         assert_eq!(mask.dim(0), 1, "large-tile simulation is single-image");
         assert_eq!(mask.dim(1), 1, "expects a 1-channel mask");
@@ -61,28 +81,41 @@ impl<'a> LargeTileSimulator<'a> {
         let stride = s / 2;
         let n_tiles = (l - s) / stride + 1;
 
-        // 1. GP path on half-overlapped windows, core-stitched.
+        // 1. GP path on half-overlapped windows, fanned out one window per
+        //    work item (each builds its own thread-local Graph) and stitched
+        //    in window order. Windows are processed in rounds of one per
+        //    worker so peak memory holds O(threads) feature maps, not
+        //    O(windows) — big masks have thousands of windows. Stitched
+        //    regions are disjoint, so neither the fan-out nor the rounding
+        //    can change the result.
+        let total = n_tiles * n_tiles;
+        let round = wpool.threads();
         let mut stitched = Tensor::zeros(&[1, c, lp_pooled, lp_pooled]);
-        for ty in 0..n_tiles {
-            for tx in 0..n_tiles {
-                let y0 = ty * stride;
-                let x0 = tx * stride;
-                let window = crop_spatial(mask, y0, x0, s, s);
+        let mut start = 0;
+        while start < total {
+            let count = round.min(total - start);
+            let feats: Vec<Tensor> = wpool.par_map(count, 1, |i| {
+                let ti = start + i;
+                let (ty, tx) = (ti / n_tiles, ti % n_tiles);
+                let window = crop_spatial(mask, ty * stride, tx * stride, s, s);
                 let mut wg = Graph::new();
                 let win = wg.input(window);
                 let pooled = ops::avg_pool2d(&mut wg, win, pool);
                 let gp = self.model.gp_on_pooled(&mut wg, pooled);
-                let feat = wg.value(gp); // [1, C, p, p]
-
-                // core region in pooled window coords; edge windows extend to
-                // the tile boundary so every output pixel is covered exactly
-                // once
+                wg.value(gp).clone() // [1, C, p, p]
+            });
+            for (off, feat) in feats.iter().enumerate() {
+                let ti = start + off;
+                let (ty, tx) = (ti / n_tiles, ti % n_tiles);
+                // core region in pooled window coords; edge windows extend
+                // to the tile boundary so every output pixel is covered
+                // exactly once
                 let cy0 = if ty == 0 { 0 } else { p / 4 };
                 let cy1 = if ty == n_tiles - 1 { p } else { 3 * p / 4 };
                 let cx0 = if tx == 0 { 0 } else { p / 4 };
                 let cx1 = if tx == n_tiles - 1 { p } else { 3 * p / 4 };
-                let oy = y0 / pool;
-                let ox = x0 / pool;
+                let oy = ty * stride / pool;
+                let ox = tx * stride / pool;
                 for ch in 0..c {
                     for wy in cy0..cy1 {
                         for wx in cx0..cx1 {
@@ -91,6 +124,7 @@ impl<'a> LargeTileSimulator<'a> {
                     }
                 }
             }
+            start += count;
         }
 
         // 2. LP on the full tile + IR reconstruction from the stitched GP.
@@ -160,6 +194,24 @@ mod tests {
         let a = out.get(&[0, 0, 40, 40]);
         let b = out.get(&[0, 0, 56, 56]);
         assert!((a - b).abs() < 1e-3, "interior not uniform: {a} vs {b}");
+    }
+
+    #[test]
+    fn window_fanout_bit_identical_across_pool_sizes() {
+        let mut rng = seeded_rng(5);
+        let model = Doinn::new(DoinnConfig::tiny(), &mut rng);
+        model.set_training(false);
+        let sim = LargeTileSimulator::new(&model, 32);
+        let mask = litho_tensor::init::randn(&[1, 1, 96, 96], 0.5, &mut rng);
+        let want = sim.simulate_with_pool(&mask, &litho_parallel::Pool::new(1));
+        for threads in [2usize, 4] {
+            let got = sim.simulate_with_pool(&mask, &litho_parallel::Pool::new(threads));
+            assert_eq!(
+                want.as_slice(),
+                got.as_slice(),
+                "{threads}-thread stitching must be bit-identical"
+            );
+        }
     }
 
     #[test]

@@ -44,7 +44,10 @@ mod trainer;
 
 pub use large_tile::LargeTileSimulator;
 pub use metrics::{seg_metrics, SegMetrics};
-pub use model::{predict, prediction_to_contour, Doinn, DoinnConfig, FourierUnit, VggBlock};
+pub use model::{
+    predict, predict_batch, predict_batch_with_pool, prediction_to_contour, Doinn, DoinnConfig,
+    FourierUnit, VggBlock,
+};
 pub use trainer::{
     evaluate_model, to_tanh_target, train_model, EarlyStop, Sample, TrainConfig, TrainReport,
 };

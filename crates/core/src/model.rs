@@ -479,11 +479,34 @@ impl Module for Doinn {
 }
 
 /// Runs an inference forward pass and returns the raw Tanh output.
-pub fn predict(model: &impl Module, input: &Tensor) -> Tensor {
+pub fn predict<M: Module + ?Sized>(model: &M, input: &Tensor) -> Tensor {
     let mut g = Graph::new();
     let x = g.input(input.clone());
     let y = model.forward(&mut g, x);
     g.value(y).clone()
+}
+
+/// Runs inference over a batch of inputs, one forward pass per sample,
+/// fanned out across the process-wide [`litho_parallel::global`] pool
+/// (`LITHO_THREADS` to configure). Each worker builds its own [`Graph`], so
+/// peak memory is one tape per live thread rather than one `N`-sample tape.
+///
+/// Outputs are returned in input order and are bit-identical to calling
+/// [`predict`] per sample, for any thread count — **provided the model is in
+/// eval mode**. In training mode batch-norm layers update running statistics
+/// per forward pass, and the update order across workers is scheduling-
+/// dependent; call [`Module::set_training`]`(false)` first.
+pub fn predict_batch<M: Module + Sync + ?Sized>(model: &M, inputs: &[Tensor]) -> Vec<Tensor> {
+    predict_batch_with_pool(model, inputs, litho_parallel::global())
+}
+
+/// [`predict_batch`] on an explicit [`litho_parallel::Pool`].
+pub fn predict_batch_with_pool<M: Module + Sync + ?Sized>(
+    model: &M,
+    inputs: &[Tensor],
+    pool: &litho_parallel::Pool,
+) -> Vec<Tensor> {
+    pool.par_map(inputs.len(), 1, |i| predict(model, &inputs[i]))
 }
 
 /// Thresholds a Tanh-activated prediction at 0 into a binary contour image.
@@ -600,6 +623,28 @@ mod tests {
         assert_eq!(pred.shape(), &[1, 1, 32, 32]);
         let contour = prediction_to_contour(&pred);
         assert!(contour.iter().all(|&v| v == 0.0 || v == 1.0));
+    }
+
+    #[test]
+    fn predict_batch_matches_serial_predict_for_any_pool_size() {
+        let mut rng = seeded_rng(8);
+        let model = Doinn::new(DoinnConfig::tiny(), &mut rng);
+        model.set_training(false); // running stats must not move under fan-out
+        let inputs: Vec<Tensor> = (0..5)
+            .map(|_| litho_tensor::init::randn(&[1, 1, 32, 32], 0.5, &mut rng))
+            .collect();
+        let want: Vec<Tensor> = inputs.iter().map(|x| predict(&model, x)).collect();
+        for threads in [1usize, 2, 4] {
+            let got = predict_batch_with_pool(&model, &inputs, &litho_parallel::Pool::new(threads));
+            assert_eq!(got.len(), want.len());
+            for (i, (a, b)) in want.iter().zip(&got).enumerate() {
+                assert_eq!(
+                    a.as_slice(),
+                    b.as_slice(),
+                    "sample {i} differs at {threads} threads"
+                );
+            }
+        }
     }
 
     #[test]

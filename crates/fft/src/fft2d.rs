@@ -5,9 +5,20 @@
 //! matrix is transposed, column transforms run as rows, and the matrix is
 //! transposed back. For the image sizes used in lithography (≥128²) this is
 //! faster than strided column access on one core.
+//!
+//! Both 1-D passes are data-parallel (each line is transformed
+//! independently), so they fan out over the `litho-parallel` pool. Results
+//! are bit-identical for every thread count: each line is produced by the
+//! same instruction sequence as the serial loop, and no reduction spans
+//! lines. See `docs/PERFORMANCE.md` for measured scaling.
 
 use crate::fft1d::{Direction, FftPlan};
 use crate::Complex32;
+use litho_parallel::Pool;
+
+/// Below this many elements per 1-D pass the whole transform runs inline:
+/// a thread spawn (~10–20 µs) would dominate the butterfly work.
+const PAR_MIN_ELEMS: usize = 16 * 1024;
 
 /// A reusable 2-D FFT plan for `rows x cols` row-major complex buffers.
 ///
@@ -90,22 +101,38 @@ impl Fft2 {
         self.transform(data, Direction::Inverse);
     }
 
-    /// In-place transform in the given direction.
+    /// In-place transform in the given direction, on the process-wide
+    /// [`litho_parallel::global`] pool (`LITHO_THREADS` to configure).
     pub fn transform(&self, data: &mut [Complex32], dir: Direction) {
+        self.transform_in(data, dir, litho_parallel::global());
+    }
+
+    /// In-place transform in the given direction, fanning the row and column
+    /// passes out over an explicit `pool`.
+    ///
+    /// Output is bit-identical for every pool size (including 1, which runs
+    /// fully inline); small transforms below an internal threshold skip the
+    /// fan-out entirely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows*cols`.
+    pub fn transform_in(&self, data: &mut [Complex32], dir: Direction, pool: &Pool) {
         assert_eq!(
             data.len(),
             self.rows * self.cols,
             "buffer length must be rows*cols"
         );
-        for r in 0..self.rows {
-            self.row_plan
-                .transform(&mut data[r * self.cols..(r + 1) * self.cols], dir);
-        }
+        // minimum lines per thread so each chunk carries >= PAR_MIN_ELEMS
+        let row_grain = PAR_MIN_ELEMS.div_ceil(self.cols.max(1));
+        pool.par_chunks_mut(data, self.cols, row_grain, |_, row| {
+            self.row_plan.transform(row, dir);
+        });
         let mut tr = transpose(data, self.rows, self.cols);
-        for c in 0..self.cols {
-            self.col_plan
-                .transform(&mut tr[c * self.rows..(c + 1) * self.rows], dir);
-        }
+        let col_grain = PAR_MIN_ELEMS.div_ceil(self.rows.max(1));
+        pool.par_chunks_mut(&mut tr, self.rows, col_grain, |_, col| {
+            self.col_plan.transform(col, dir);
+        });
         transpose_into(&tr, self.cols, self.rows, data);
     }
 
@@ -274,6 +301,33 @@ mod tests {
         let back = plan.inverse_real(&spec);
         for (a, b) in img.iter().zip(&back) {
             assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn transform_in_bit_identical_across_pool_sizes() {
+        // (8,8)..(256,64) stay under PAR_MIN_ELEMS and run inline;
+        // (128,256) and (256,256) exceed it in both passes, so the threaded
+        // split (not just the fallback) is exercised at 2 and 4 threads
+        for (r, c) in [
+            (8usize, 8usize),
+            (64, 128),
+            (96, 160),
+            (256, 64),
+            (128, 256),
+            (256, 256),
+        ] {
+            let plan = Fft2::new(r, c);
+            let mut reference = ramp(r, c);
+            plan.transform_in(&mut reference, Direction::Forward, &Pool::new(1));
+            for threads in [2usize, 4] {
+                let mut y = ramp(r, c);
+                plan.transform_in(&mut y, Direction::Forward, &Pool::new(threads));
+                assert_eq!(
+                    reference, y,
+                    "({r},{c}) with {threads} threads must be bit-identical"
+                );
+            }
         }
     }
 

@@ -10,9 +10,8 @@
 //! its FFT-based Fourier Unit.
 
 use litho_tensor::Tensor;
-use std::cell::RefCell;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Handle to a node in a [`Graph`] (an activation or leaf tensor).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -29,7 +28,12 @@ impl Var {
 /// outlives the per-step graphs.
 ///
 /// Cloning a `Param` clones the *handle* (both clones refer to the same
-/// storage), which is how optimizers and layers share parameters.
+/// storage), which is how optimizers and layers share parameters. Storage is
+/// behind an `Arc<RwLock<…>>`, so parameters — and therefore whole models —
+/// are `Send + Sync` and can be shared with the scoped workers of
+/// `litho-parallel` (the large-tile fan-out and `predict_batch` rely on
+/// this). Concurrent *reads* of the value are cheap; writers (optimizer
+/// steps, gradient accumulation) serialize on the lock.
 ///
 /// # Examples
 ///
@@ -47,7 +51,7 @@ impl Var {
 /// ```
 #[derive(Clone)]
 pub struct Param {
-    inner: Rc<RefCell<ParamStorage>>,
+    inner: Arc<RwLock<ParamStorage>>,
 }
 
 struct ParamStorage {
@@ -62,7 +66,7 @@ impl Param {
     pub fn new(value: Tensor, name: &str) -> Self {
         let grad = Tensor::zeros(value.shape());
         Self {
-            inner: Rc::new(RefCell::new(ParamStorage {
+            inner: Arc::new(RwLock::new(ParamStorage {
                 value,
                 grad,
                 name: name.to_string(),
@@ -71,42 +75,52 @@ impl Param {
         }
     }
 
+    /// Read access to the storage; a poisoned lock (a writer panicked) is
+    /// unrecoverable for numeric state, so it escalates to a panic here.
+    fn read(&self) -> RwLockReadGuard<'_, ParamStorage> {
+        self.inner.read().expect("Param lock poisoned")
+    }
+
+    fn write(&self) -> RwLockWriteGuard<'_, ParamStorage> {
+        self.inner.write().expect("Param lock poisoned")
+    }
+
     /// Creates a non-trainable *buffer* (e.g. batch-norm running statistics):
     /// saved/loaded with the model but skipped by optimizers.
     pub fn buffer(value: Tensor, name: &str) -> Self {
         let p = Self::new(value, name);
-        p.inner.borrow_mut().buffer = true;
+        p.write().buffer = true;
         p
     }
 
     /// Returns `true` for non-trainable buffers.
     pub fn is_buffer(&self) -> bool {
-        self.inner.borrow().buffer
+        self.read().buffer
     }
 
     /// A copy of the current value.
     pub fn value(&self) -> Tensor {
-        self.inner.borrow().value.clone()
+        self.read().value.clone()
     }
 
     /// A copy of the accumulated gradient.
     pub fn grad(&self) -> Tensor {
-        self.inner.borrow().grad.clone()
+        self.read().grad.clone()
     }
 
     /// The parameter's diagnostic name.
     pub fn name(&self) -> String {
-        self.inner.borrow().name.clone()
+        self.read().name.clone()
     }
 
     /// The parameter's shape.
     pub fn shape(&self) -> Vec<usize> {
-        self.inner.borrow().value.shape().to_vec()
+        self.read().value.shape().to_vec()
     }
 
     /// Number of scalar elements.
     pub fn numel(&self) -> usize {
-        self.inner.borrow().value.numel()
+        self.read().value.numel()
     }
 
     /// Replaces the value (used by optimizers and checkpoint loading).
@@ -115,7 +129,7 @@ impl Param {
     ///
     /// Panics if the new value's shape differs.
     pub fn set_value(&self, value: Tensor) {
-        let mut s = self.inner.borrow_mut();
+        let mut s = self.write();
         assert_eq!(
             s.value.shape(),
             value.shape(),
@@ -127,12 +141,12 @@ impl Param {
 
     /// Applies `f` to the stored value in place.
     pub fn update_value(&self, f: impl FnOnce(&mut Tensor)) {
-        f(&mut self.inner.borrow_mut().value);
+        f(&mut self.write().value);
     }
 
     /// Zeroes the accumulated gradient.
     pub fn zero_grad(&self) {
-        let mut s = self.inner.borrow_mut();
+        let mut s = self.write();
         s.grad.map_inplace(|_| 0.0);
     }
 
@@ -142,18 +156,18 @@ impl Param {
     ///
     /// Panics if shapes differ.
     pub fn accumulate_grad(&self, g: &Tensor) {
-        self.inner.borrow_mut().grad.add_assign(g);
+        self.write().grad.add_assign(g);
     }
 
     /// Returns `true` if two handles refer to the same storage.
     pub fn same_storage(&self, other: &Param) -> bool {
-        Rc::ptr_eq(&self.inner, &other.inner)
+        Arc::ptr_eq(&self.inner, &other.inner)
     }
 }
 
 impl fmt::Debug for Param {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = self.inner.borrow();
+        let s = self.read();
         write!(f, "Param({:?}, shape {:?})", s.name, s.value.shape())
     }
 }

@@ -6,7 +6,7 @@ use crate::ops;
 use crate::ops::BatchNormState;
 use litho_tensor::{init, Tensor};
 use rand::Rng;
-use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// A neural-network building block.
 ///
@@ -30,6 +30,20 @@ pub trait Module {
             .filter(|p| !p.is_buffer())
             .map(Param::numel)
             .sum()
+    }
+}
+
+impl<M: Module + ?Sized> Module for Box<M> {
+    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        (**self).forward(g, x)
+    }
+
+    fn params(&self) -> Vec<Param> {
+        (**self).params()
+    }
+
+    fn set_training(&self, training: bool) {
+        (**self).set_training(training);
     }
 }
 
@@ -147,7 +161,9 @@ pub struct BatchNorm2d {
     gamma: Param,
     beta: Param,
     state: BatchNormState,
-    training: Cell<bool>,
+    // atomic (not Cell) so models stay Sync and shareable across the
+    // litho-parallel workers; toggled rarely, read once per forward
+    training: AtomicBool,
 }
 
 impl BatchNorm2d {
@@ -157,7 +173,7 @@ impl BatchNorm2d {
             gamma: Param::new(Tensor::ones(&[c]), "bn.gamma"),
             beta: Param::new(Tensor::zeros(&[c]), "bn.beta"),
             state: BatchNormState::new(c),
-            training: Cell::new(true),
+            training: AtomicBool::new(true),
         }
     }
 
@@ -171,7 +187,14 @@ impl Module for BatchNorm2d {
     fn forward(&self, g: &mut Graph, x: Var) -> Var {
         let gamma = g.param(&self.gamma);
         let beta = g.param(&self.beta);
-        ops::batch_norm2d(g, x, gamma, beta, &self.state, self.training.get())
+        ops::batch_norm2d(
+            g,
+            x,
+            gamma,
+            beta,
+            &self.state,
+            self.training.load(Ordering::Relaxed),
+        )
     }
 
     fn params(&self) -> Vec<Param> {
@@ -186,7 +209,7 @@ impl Module for BatchNorm2d {
     }
 
     fn set_training(&self, training: bool) {
-        self.training.set(training);
+        self.training.store(training, Ordering::Relaxed);
     }
 }
 
@@ -261,9 +284,12 @@ impl Module for AvgPool2d {
 }
 
 /// A chain of modules applied in order.
+///
+/// Boxed layers carry `Send + Sync` bounds so a `Sequential` (like every
+/// concrete layer) can be shared with `litho-parallel` workers.
 #[derive(Default)]
 pub struct Sequential {
-    layers: Vec<Box<dyn Module>>,
+    layers: Vec<Box<dyn Module + Send + Sync>>,
 }
 
 impl std::fmt::Debug for Sequential {
@@ -280,7 +306,7 @@ impl Sequential {
 
     /// Appends a module (builder style).
     #[must_use]
-    pub fn push(mut self, m: impl Module + 'static) -> Self {
+    pub fn push(mut self, m: impl Module + Send + Sync + 'static) -> Self {
         self.layers.push(Box::new(m));
         self
     }
@@ -371,6 +397,17 @@ mod tests {
         let x = g.input(Tensor::full(&[1, 2, 2, 2], 0.5));
         let y = net.forward(&mut g, x);
         assert!((g.value(y).as_slice()[0] - 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn layers_and_params_are_shareable_across_threads() {
+        // compile-time guarantee the parallel fan-out relies on
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Param>();
+        assert_send_sync::<Conv2d>();
+        assert_send_sync::<ConvTranspose2d>();
+        assert_send_sync::<BatchNorm2d>();
+        assert_send_sync::<Sequential>();
     }
 
     #[test]

@@ -10,13 +10,134 @@
 //! Both are lowered to GEMM via im2col/col2im; backward passes recompute the
 //! lowering instead of caching it, trading a little compute for a much
 //! smaller tape.
+//!
+//! The forward passes are multi-threaded through `litho-parallel`: batched
+//! inputs fan out one sample per work item, and single-sample inputs fan the
+//! im2col/GEMM (and for the transposed conv, the col2im scatter) out across
+//! channels. Every split is over disjoint output regions with unchanged
+//! per-element arithmetic order, so results are **bit-identical to the
+//! serial path for any thread count**. The backward passes stay serial: the
+//! weight gradient accumulates across samples, and parallelizing it would
+//! reorder floating-point sums.
 
 use crate::graph::{Graph, Var};
+use litho_parallel::Pool;
 use litho_tensor::{
-    col2im, conv_out_size, conv_transpose_out_size, im2col, sgemm_nn, sgemm_nt, sgemm_tn, Tensor,
+    col2im, conv_out_size, conv_transpose_out_size, im2col, sgemm_nn, sgemm_nt, sgemm_tn,
+    sgemm_tn_rowblock, Tensor,
 };
 
+/// Minimum multiply-accumulates a worker thread must receive before a
+/// forward pass fans out; below this, spawn cost dominates.
+const PAR_MIN_MACS: usize = 64 * 1024;
+
+/// The multi-threaded inference kernel behind [`conv2d`]: cross-correlation
+/// of `x: [N,C,H,W]` with `w: [O,C,kh,kw]` and optional `bias: [O]`, on an
+/// explicit `pool`.
+///
+/// Batched inputs parallelize one sample per work item; single-sample inputs
+/// parallelize the im2col lowering across input channels and the GEMM across
+/// output channels. The result is bit-identical to the serial loop for any
+/// pool size (a pool of 1 never spawns).
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+pub fn conv2d_forward_with_pool(
+    x: &Tensor,
+    w: &Tensor,
+    bias: Option<&Tensor>,
+    stride: usize,
+    pad: usize,
+    pool: &Pool,
+) -> Tensor {
+    assert_eq!(x.rank(), 4, "conv2d expects NCHW input");
+    assert_eq!(w.rank(), 4, "conv2d expects OCKK weight");
+    let (n, c, h, width) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    let (o, wc, kh, kw) = (w.dim(0), w.dim(1), w.dim(2), w.dim(3));
+    assert_eq!(c, wc, "channel mismatch between input and weight");
+    let oh = conv_out_size(h, kh, stride, pad);
+    let ow = conv_out_size(width, kw, stride, pad);
+    let k = c * kh * kw;
+    let l = oh * ow;
+    let bd = bias.map(|bv| {
+        assert_eq!(bv.numel(), o, "bias length must equal output channels");
+        bv.as_slice()
+    });
+
+    let mut out = Tensor::zeros(&[n, o, oh, ow]);
+    if out.numel() == 0 {
+        return out; // empty batch or zero output channels: pre-pool no-op
+    }
+    let od = out.as_mut_slice();
+    let xd = x.as_slice();
+    let wd = w.as_slice();
+    if n > 1 {
+        // one work item per sample; each worker allocates one cols buffer
+        // for its whole run of samples (im2col fully overwrites it)
+        let sample_grain = PAR_MIN_MACS.div_ceil((o * l * k).max(1));
+        pool.par_chunk_runs_mut(od, o * l, sample_grain, |first, run| {
+            let mut cols = vec![0.0f32; k * l];
+            for (off, od_n) in run.chunks_mut(o * l).enumerate() {
+                let ni = first + off;
+                im2col(
+                    &xd[ni * c * h * width..(ni + 1) * c * h * width],
+                    c,
+                    h,
+                    width,
+                    kh,
+                    kw,
+                    stride,
+                    pad,
+                    &mut cols,
+                );
+                sgemm_nn(o, l, k, 1.0, wd, &cols, od_n);
+                if let Some(bd) = bd {
+                    for (oi, orow) in od_n.chunks_mut(l).enumerate() {
+                        let bias = bd[oi];
+                        for v in orow {
+                            *v += bias;
+                        }
+                    }
+                }
+            }
+        });
+    } else {
+        // single sample: lower across input channels, GEMM across output
+        // channels (disjoint rows of cols / of the output matrix)
+        let mut cols = vec![0.0f32; k * l];
+        let chan_grain = PAR_MIN_MACS.div_ceil((kh * kw * l).max(1));
+        pool.par_chunks_mut(&mut cols, kh * kw * l, chan_grain, |ci, rows| {
+            im2col(
+                &xd[ci * h * width..(ci + 1) * h * width],
+                1,
+                h,
+                width,
+                kh,
+                kw,
+                stride,
+                pad,
+                rows,
+            );
+        });
+        let row_grain = PAR_MIN_MACS.div_ceil((l * k).max(1));
+        pool.par_chunks_mut(od, l, row_grain, |oi, orow| {
+            sgemm_nn(1, l, k, 1.0, &wd[oi * k..(oi + 1) * k], &cols, orow);
+            if let Some(bd) = bd {
+                let bias = bd[oi];
+                for v in orow {
+                    *v += bias;
+                }
+            }
+        });
+    }
+    out
+}
+
 /// 2-D convolution. `x: [N,C,H,W]`, `w: [O,C,kh,kw]`, optional `b: [O]`.
+///
+/// The forward pass runs on the process-wide [`litho_parallel::global`]
+/// pool; see [`conv2d_forward_with_pool`].
 ///
 /// # Panics
 ///
@@ -27,56 +148,19 @@ pub fn conv2d(g: &mut Graph, x: Var, w: Var, b: Option<Var>, stride: usize, pad:
     assert_eq!(xv.rank(), 4, "conv2d expects NCHW input");
     assert_eq!(wv.rank(), 4, "conv2d expects OCKK weight");
     let (n, c, h, width) = (xv.dim(0), xv.dim(1), xv.dim(2), xv.dim(3));
-    let (o, wc, kh, kw) = (wv.dim(0), wv.dim(1), wv.dim(2), wv.dim(3));
-    assert_eq!(c, wc, "channel mismatch between input and weight");
+    let (o, kh, kw) = (wv.dim(0), wv.dim(2), wv.dim(3));
     let oh = conv_out_size(h, kh, stride, pad);
     let ow = conv_out_size(width, kw, stride, pad);
     let k = c * kh * kw;
     let l = oh * ow;
-
-    let mut out = Tensor::zeros(&[n, o, oh, ow]);
-    let mut cols = vec![0.0f32; k * l];
-    {
-        let od = out.as_mut_slice();
-        let xd = xv.as_slice();
-        let wd = wv.as_slice();
-        for ni in 0..n {
-            im2col(
-                &xd[ni * c * h * width..(ni + 1) * c * h * width],
-                c,
-                h,
-                width,
-                kh,
-                kw,
-                stride,
-                pad,
-                &mut cols,
-            );
-            sgemm_nn(
-                o,
-                l,
-                k,
-                1.0,
-                wd,
-                &cols,
-                &mut od[ni * o * l..(ni + 1) * o * l],
-            );
-        }
-        if let Some(bvar) = b {
-            let bv = g.value(bvar);
-            assert_eq!(bv.numel(), o, "bias length must equal output channels");
-            let bd = bv.as_slice();
-            for ni in 0..n {
-                for oi in 0..o {
-                    let base = (ni * o + oi) * l;
-                    let bias = bd[oi];
-                    for v in &mut od[base..base + l] {
-                        *v += bias;
-                    }
-                }
-            }
-        }
-    }
+    let out = conv2d_forward_with_pool(
+        xv,
+        wv,
+        b.map(|bvar| g.value(bvar)),
+        stride,
+        pad,
+        litho_parallel::global(),
+    );
 
     let parents: Vec<Var> = match b {
         Some(bvar) => vec![x, w, bvar],
@@ -147,8 +231,121 @@ pub fn conv2d(g: &mut Graph, x: Var, w: Var, b: Option<Var>, stride: usize, pad:
     )
 }
 
+/// The multi-threaded inference kernel behind [`conv_transpose2d`]:
+/// the adjoint convolution of `x: [N,C_in,H,W]` with `w: [C_in,C_out,kh,kw]`
+/// and optional `bias: [C_out]`, on an explicit `pool`.
+///
+/// Batched inputs parallelize one sample per work item; single-sample inputs
+/// parallelize the `Wᵀ·x` GEMM across its output rows and the col2im
+/// scatter across output channels. Bit-identical to the serial loop for any
+/// pool size.
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+pub fn conv_transpose2d_forward_with_pool(
+    x: &Tensor,
+    w: &Tensor,
+    bias: Option<&Tensor>,
+    stride: usize,
+    pad: usize,
+    pool: &Pool,
+) -> Tensor {
+    assert_eq!(x.rank(), 4, "conv_transpose2d expects NCHW input");
+    assert_eq!(w.rank(), 4, "conv_transpose2d expects IOKK weight");
+    let (n, ci, h, width) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    let (wi, co, kh, kw) = (w.dim(0), w.dim(1), w.dim(2), w.dim(3));
+    assert_eq!(ci, wi, "channel mismatch between input and weight");
+    let oh = conv_transpose_out_size(h, kh, stride, pad);
+    let ow = conv_transpose_out_size(width, kw, stride, pad);
+    // sanity: the adjoint conv maps the output size back to the input size
+    debug_assert_eq!(conv_out_size(oh, kh, stride, pad), h);
+    debug_assert_eq!(conv_out_size(ow, kw, stride, pad), width);
+    let kout = co * kh * kw;
+    let lin = h * width;
+    let bd = bias.map(|bv| {
+        assert_eq!(bv.numel(), co, "bias length must equal output channels");
+        bv.as_slice()
+    });
+
+    let mut out = Tensor::zeros(&[n, co, oh, ow]);
+    if out.numel() == 0 {
+        // empty batch, zero output channels or zero spatial output (e.g.
+        // 1x1 input with k == 2*pad): the pre-pool loop was a no-op
+        return out;
+    }
+    let od = out.as_mut_slice();
+    let xd = x.as_slice();
+    let wd = w.as_slice();
+    let hw = oh * ow;
+    if n > 1 {
+        // one cols buffer per worker run; sgemm_tn accumulates, so it is
+        // re-zeroed per sample (exactly like the old serial loop)
+        let sample_grain = PAR_MIN_MACS.div_ceil((ci * lin * kout).max(1));
+        pool.par_chunk_runs_mut(od, co * hw, sample_grain, |first, run| {
+            let mut cols = vec![0.0f32; kout * lin];
+            for (off, od_n) in run.chunks_mut(co * hw).enumerate() {
+                let ni = first + off;
+                // cols = Wᵀ · x_n   ([kout, lin])
+                cols.fill(0.0);
+                sgemm_tn(
+                    ci,
+                    lin,
+                    kout,
+                    1.0,
+                    wd,
+                    &xd[ni * ci * lin..(ni + 1) * ci * lin],
+                    &mut cols,
+                );
+                col2im(&cols, co, oh, ow, kh, kw, stride, pad, od_n);
+                if let Some(bd) = bd {
+                    for (oi, ochan) in od_n.chunks_mut(hw).enumerate() {
+                        let bias = bd[oi];
+                        for v in ochan {
+                            *v += bias;
+                        }
+                    }
+                }
+            }
+        });
+    } else {
+        // single sample: row-split the Wᵀ·x GEMM (one multi-row block per
+        // worker run — blocks compose bit-identically), then scatter per
+        // channel
+        let mut cols = vec![0.0f32; kout * lin];
+        let row_grain = PAR_MIN_MACS.div_ceil((ci * lin).max(1));
+        pool.par_chunk_runs_mut(&mut cols, lin, row_grain, |p0, run| {
+            sgemm_tn_rowblock(ci, lin, kout, 1.0, wd, xd, run, p0);
+        });
+        let chan_grain = PAR_MIN_MACS.div_ceil((kh * kw * lin).max(1));
+        pool.par_chunks_mut(od, hw, chan_grain, |oi, ochan| {
+            col2im(
+                &cols[oi * kh * kw * lin..(oi + 1) * kh * kw * lin],
+                1,
+                oh,
+                ow,
+                kh,
+                kw,
+                stride,
+                pad,
+                ochan,
+            );
+            if let Some(bd) = bd {
+                let bias = bd[oi];
+                for v in ochan {
+                    *v += bias;
+                }
+            }
+        });
+    }
+    out
+}
+
 /// 2-D transposed convolution. `x: [N,C_in,H,W]`, `w: [C_in,C_out,kh,kw]`,
 /// optional `b: [C_out]`.
+///
+/// The forward pass runs on the process-wide [`litho_parallel::global`]
+/// pool; see [`conv_transpose2d_forward_with_pool`].
 ///
 /// # Panics
 ///
@@ -166,62 +363,19 @@ pub fn conv_transpose2d(
     assert_eq!(xv.rank(), 4, "conv_transpose2d expects NCHW input");
     assert_eq!(wv.rank(), 4, "conv_transpose2d expects IOKK weight");
     let (n, ci, h, width) = (xv.dim(0), xv.dim(1), xv.dim(2), xv.dim(3));
-    let (wi, co, kh, kw) = (wv.dim(0), wv.dim(1), wv.dim(2), wv.dim(3));
-    assert_eq!(ci, wi, "channel mismatch between input and weight");
+    let (co, kh, kw) = (wv.dim(1), wv.dim(2), wv.dim(3));
     let oh = conv_transpose_out_size(h, kh, stride, pad);
     let ow = conv_transpose_out_size(width, kw, stride, pad);
-    // sanity: the adjoint conv maps the output size back to the input size
-    debug_assert_eq!(conv_out_size(oh, kh, stride, pad), h);
-    debug_assert_eq!(conv_out_size(ow, kw, stride, pad), width);
     let kout = co * kh * kw;
     let lin = h * width;
-
-    let mut out = Tensor::zeros(&[n, co, oh, ow]);
-    let mut cols = vec![0.0f32; kout * lin];
-    {
-        let od = out.as_mut_slice();
-        let xd = xv.as_slice();
-        let wd = wv.as_slice();
-        for ni in 0..n {
-            // cols = Wᵀ · x_n   ([kout, lin])
-            cols.fill(0.0);
-            sgemm_tn(
-                ci,
-                lin,
-                kout,
-                1.0,
-                wd,
-                &xd[ni * ci * lin..(ni + 1) * ci * lin],
-                &mut cols,
-            );
-            col2im(
-                &cols,
-                co,
-                oh,
-                ow,
-                kh,
-                kw,
-                stride,
-                pad,
-                &mut od[ni * co * oh * ow..(ni + 1) * co * oh * ow],
-            );
-        }
-        if let Some(bvar) = b {
-            let bv = g.value(bvar);
-            assert_eq!(bv.numel(), co, "bias length must equal output channels");
-            let bd = bv.as_slice();
-            let hw = oh * ow;
-            for ni in 0..n {
-                for oi in 0..co {
-                    let base = (ni * co + oi) * hw;
-                    let bias = bd[oi];
-                    for v in &mut od[base..base + hw] {
-                        *v += bias;
-                    }
-                }
-            }
-        }
-    }
+    let out = conv_transpose2d_forward_with_pool(
+        xv,
+        wv,
+        b.map(|bvar| g.value(bvar)),
+        stride,
+        pad,
+        litho_parallel::global(),
+    );
 
     let parents: Vec<Var> = match b {
         Some(bvar) => vec![x, w, bvar],
@@ -390,6 +544,34 @@ mod tests {
         grad_check(|t| loss_with(t, &w0, &b0), &x0, &px.grad(), 3e-2);
         grad_check(|t| loss_with(&x0, t, &b0), &w0, &pw.grad(), 3e-2);
         grad_check(|t| loss_with(&x0, &w0, t), &b0, &pb.grad(), 3e-2);
+    }
+
+    #[test]
+    fn forward_kernels_bit_identical_across_pool_sizes() {
+        // both batched (n=3) and single-sample shapes, sized past the
+        // fan-out threshold so threads actually engage
+        let x1 = ramp(&[1, 3, 48, 40], 0.13);
+        let xn = ramp(&[3, 3, 24, 24], 0.17);
+        let w = ramp(&[5, 3, 3, 3], 0.11);
+        let bias = ramp(&[5], 0.4);
+        let wt = ramp(&[3, 5, 4, 4], 0.07);
+        let bt = ramp(&[5], 0.3);
+        let serial = Pool::new(1);
+        for x in [&x1, &xn] {
+            let want = conv2d_forward_with_pool(x, &w, Some(&bias), 1, 1, &serial);
+            let want_t = conv_transpose2d_forward_with_pool(x, &wt, Some(&bt), 2, 1, &serial);
+            for threads in [2usize, 4] {
+                let pool = Pool::new(threads);
+                let got = conv2d_forward_with_pool(x, &w, Some(&bias), 1, 1, &pool);
+                assert_eq!(want.as_slice(), got.as_slice(), "conv2d @ {threads}");
+                let got_t = conv_transpose2d_forward_with_pool(x, &wt, Some(&bt), 2, 1, &pool);
+                assert_eq!(
+                    want_t.as_slice(),
+                    got_t.as_slice(),
+                    "conv_transpose2d @ {threads}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -7,7 +7,9 @@
 mod conv;
 mod norm;
 
-pub use conv::{conv2d, conv_transpose2d};
+pub use conv::{
+    conv2d, conv2d_forward_with_pool, conv_transpose2d, conv_transpose2d_forward_with_pool,
+};
 pub use norm::{batch_norm2d, BatchNormState};
 
 use crate::graph::{Graph, Var};

@@ -1,0 +1,557 @@
+//! # litho-parallel
+//!
+//! The workspace's one blessed parallelism primitive: a small scoped
+//! thread pool over `std::thread`, with chunked data-parallel loops and a
+//! deterministic reduction order. The FFT, convolution and large-tile hot
+//! paths all drain into a [`Pool`] rather than spawning ad-hoc threads, so
+//! every future scaling feature (sharding, batching, async serving) has a
+//! single place to reason about thread counts and determinism.
+//!
+//! ## Design
+//!
+//! A [`Pool`] is a *chunking policy* plus a fan-out built on
+//! [`std::thread::scope`]. Each parallel call splits its index space into at
+//! most [`Pool::threads`] contiguous chunks (respecting a caller-provided
+//! `grain`, the minimum items per chunk), spawns one scoped thread per extra
+//! chunk, runs the first chunk on the calling thread, and joins before
+//! returning. Borrowed data (slices, models) flows into workers with no
+//! `unsafe`, no `'static` bounds and no channels.
+//!
+//! Parallel calls **compose**: a call issued from inside a pool worker runs
+//! inline on that worker instead of spawning again, so layered hot paths
+//! (a batched predict whose samples each run FFTs and convolutions) fan out
+//! once, at the outermost level, never quadratically. A 1-thread pool marks
+//! its body the same way, so `Pool::new(1)` is serial **end to end** —
+//! nested calls on any pool (including [`global()`]) run inline beneath it,
+//! which is what makes it a valid serial baseline for scaling benches.
+//!
+//! Why scope-per-call instead of persistent parked workers? Persistent
+//! workers executing *borrowed* closures require erasing lifetimes, which is
+//! only expressible with `unsafe` — and this workspace is
+//! `#![forbid(unsafe_code)]` end to end. An OS thread spawn is ~10–20 µs;
+//! the hot paths dispatch work units of hundreds of microseconds to
+//! milliseconds per chunk, so the spawn cost is amortized below the noise
+//! floor (see `docs/PERFORMANCE.md` for measurements).
+//!
+//! ## Determinism
+//!
+//! - [`Pool::par_for`], [`Pool::par_map`] and [`Pool::par_chunks_mut`] apply
+//!   a pure-per-item function over disjoint indices/sub-slices. Results are
+//!   **bit-identical for every thread count**, because no floating-point
+//!   reduction order changes — each element is produced by exactly the same
+//!   instruction sequence as the serial loop.
+//! - [`Pool::par_map_reduce`] folds chunk results **in ascending chunk
+//!   order**, so it is deterministic for a fixed pool size; across *different*
+//!   pool sizes the chunk boundaries move, which reorders a floating-point
+//!   reduction. Hot paths that must be bit-stable across `LITHO_THREADS`
+//!   settings use the per-item primitives only.
+//!
+//! ## Configuration
+//!
+//! [`global()`] returns a process-wide pool sized from the `LITHO_THREADS`
+//! environment variable (clamped to ≥ 1; unset or unparsable falls back to
+//! [`std::thread::available_parallelism`]). `LITHO_THREADS=1` degrades every
+//! primitive to a plain inline loop — no threads are ever spawned.
+//!
+//! # Examples
+//!
+//! ```
+//! use litho_parallel::Pool;
+//!
+//! let pool = Pool::new(4);
+//! let mut data = vec![0u64; 1000];
+//! pool.par_chunks_mut(&mut data, 10, 1, |chunk_idx, chunk| {
+//!     for (i, v) in chunk.iter_mut().enumerate() {
+//!         *v = (chunk_idx * 10 + i) as u64;
+//!     }
+//! });
+//! assert!(data.iter().enumerate().all(|(i, &v)| v == i as u64));
+//!
+//! let total = pool.par_map_reduce(1000, 1, |r| r.map(|i| i as u64).sum::<u64>(), |a, b| a + b);
+//! assert_eq!(total, Some(data.iter().sum()));
+//! ```
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::OnceLock;
+
+thread_local! {
+    /// Set while this thread is executing a chunk on behalf of a [`Pool`];
+    /// nested parallel calls then run inline instead of spawning again, so
+    /// composed hot paths (e.g. a batched predict whose samples each run
+    /// FFTs and convolutions) fan out once at the outermost level rather
+    /// than oversubscribing threads quadratically.
+    static IN_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+fn in_worker() -> bool {
+    IN_POOL_WORKER.with(Cell::get)
+}
+
+/// RAII marker for "this thread is running pool work"; restores the previous
+/// state on drop even if the work panics.
+struct WorkerGuard {
+    prev: bool,
+}
+
+impl WorkerGuard {
+    fn enter() -> Self {
+        let prev = IN_POOL_WORKER.with(|c| c.replace(true));
+        Self { prev }
+    }
+}
+
+impl Drop for WorkerGuard {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        IN_POOL_WORKER.with(|c| c.set(prev));
+    }
+}
+
+/// A fixed-width scoped thread pool; see the crate docs for the design.
+///
+/// Cheap to construct (no threads live between calls); the usual entry point
+/// is the process-wide [`global()`] pool.
+#[derive(Debug, Clone)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// Creates a pool that fans out to at most `threads` OS threads
+    /// (including the calling thread). `0` is clamped to `1`.
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The maximum number of concurrently working threads.
+    #[inline]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Splits `0..n` into at most `threads` contiguous chunks and returns
+    /// them in order. Every chunk holds at least `grain` items (unless
+    /// `n < grain`, which yields a single short chunk): `k ≤ ⌊n/grain⌋`
+    /// implies `⌊n/k⌋ ≥ grain`, so the spawn-amortization thresholds the
+    /// callers derive grains from are actually enforced.
+    fn chunks(&self, n: usize, grain: usize) -> Vec<Range<usize>> {
+        let grain = grain.max(1);
+        let k = self.threads.min((n / grain).max(1));
+        let base = n / k;
+        let rem = n % k;
+        let mut out = Vec::with_capacity(k);
+        let mut start = 0;
+        for i in 0..k {
+            let len = base + usize::from(i < rem);
+            out.push(start..start + len);
+            start += len;
+        }
+        debug_assert_eq!(start, n);
+        out
+    }
+
+    /// Runs `f(range)` for each chunk of `0..n`, in parallel. The first chunk
+    /// runs on the calling thread; with one chunk nothing is spawned.
+    fn run_chunked(&self, n: usize, grain: usize, f: impl Fn(Range<usize>) + Sync) {
+        if n == 0 {
+            return;
+        }
+        let chunks = self.chunks(n, grain);
+        if chunks.len() == 1 || in_worker() {
+            // a 1-thread pool must be serial END TO END: mark its body as
+            // pool work so nested calls (e.g. conv/FFT on the global pool)
+            // run inline too. A wider pool that merely collapsed to one
+            // chunk leaves nested fan-out available.
+            let _guard = (self.threads == 1).then(WorkerGuard::enter);
+            f(0..n);
+            return;
+        }
+        let f = &f;
+        std::thread::scope(|s| {
+            let mut it = chunks.into_iter();
+            let first = it.next().expect("at least one chunk");
+            for r in it {
+                s.spawn(move || {
+                    let _guard = WorkerGuard::enter();
+                    f(r);
+                });
+            }
+            let _guard = WorkerGuard::enter();
+            f(first);
+        });
+    }
+
+    /// Calls `f(i)` for every `i in 0..n`, distributing contiguous index
+    /// ranges across threads. `grain` is the minimum indices per thread.
+    ///
+    /// Bit-identical to the serial loop for any thread count, provided `f`
+    /// only writes state disjoint per index (which the `Sync` bound plus
+    /// safe Rust enforce for everything but interior-mutable captures).
+    pub fn par_for(&self, n: usize, grain: usize, f: impl Fn(usize) + Sync) {
+        self.run_chunked(n, grain, |r| {
+            for i in r {
+                f(i);
+            }
+        });
+    }
+
+    /// Maps `0..n` through `f`, returning results in index order.
+    ///
+    /// Bit-identical to the serial `(0..n).map(f).collect()` for any thread
+    /// count.
+    pub fn par_map<T: Send>(
+        &self,
+        n: usize,
+        grain: usize,
+        f: impl Fn(usize) -> T + Sync,
+    ) -> Vec<T> {
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        self.par_chunk_runs_mut(&mut slots, 1, grain, |first, run| {
+            for (off, slot) in run.iter_mut().enumerate() {
+                *slot = Some(f(first + off));
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.expect("every index filled"))
+            .collect()
+    }
+
+    /// Maps each chunk of `0..n` through `map`, then folds the chunk results
+    /// with `reduce` **in ascending chunk order**. Returns `None` for `n == 0`.
+    ///
+    /// Deterministic for a fixed pool size. Across different pool sizes the
+    /// chunk boundaries (and therefore a floating-point reduction order)
+    /// change; use [`Pool::par_for`]/[`Pool::par_map`] where bit-stability
+    /// across `LITHO_THREADS` settings is required.
+    pub fn par_map_reduce<T: Send>(
+        &self,
+        n: usize,
+        grain: usize,
+        map: impl Fn(Range<usize>) -> T + Sync,
+        reduce: impl Fn(T, T) -> T,
+    ) -> Option<T> {
+        if n == 0 {
+            return None;
+        }
+        let ranges = self.chunks(n, grain);
+        let k = ranges.len();
+        let ranges_ref = &ranges;
+        let map_ref = &map;
+        let partials: Vec<T> = self.par_map(k, 1, move |ci| map_ref(ranges_ref[ci].clone()));
+        partials.into_iter().reduce(reduce)
+    }
+
+    /// Splits `data` into consecutive sub-slices of exactly `chunk_len`
+    /// elements and calls `f(chunk_index, chunk)` for each, in parallel.
+    /// `grain` is the minimum number of chunks per thread.
+    ///
+    /// This is the workhorse behind the FFT row/column passes (one chunk per
+    /// row) and the batched convolution (one chunk per sample's output).
+    /// Bit-identical to the serial loop for any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_len == 0` or `data.len()` is not a multiple of
+    /// `chunk_len`.
+    pub fn par_chunks_mut<T: Send>(
+        &self,
+        data: &mut [T],
+        chunk_len: usize,
+        grain: usize,
+        f: impl Fn(usize, &mut [T]) + Sync,
+    ) {
+        self.par_chunk_runs_mut(data, chunk_len, grain, |first, run| {
+            for (off, chunk) in run.chunks_mut(chunk_len).enumerate() {
+                f(first + off, chunk);
+            }
+        });
+    }
+
+    /// Like [`Pool::par_chunks_mut`], but hands each worker its whole
+    /// contiguous **run** of chunks in one call: `f(first_chunk_index, run)`
+    /// with `run.len()` a multiple of `chunk_len`. Use this when per-worker
+    /// scratch (an im2col buffer, an FFT staging area) should be allocated
+    /// once per run instead of once per chunk.
+    ///
+    /// Determinism is unchanged from [`Pool::par_chunks_mut`] as long as `f`
+    /// processes its run's chunks independently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_len == 0` or `data.len()` is not a multiple of
+    /// `chunk_len`.
+    pub fn par_chunk_runs_mut<T: Send>(
+        &self,
+        data: &mut [T],
+        chunk_len: usize,
+        grain: usize,
+        f: impl Fn(usize, &mut [T]) + Sync,
+    ) {
+        assert!(chunk_len > 0, "chunk_len must be positive");
+        assert_eq!(
+            data.len() % chunk_len,
+            0,
+            "data length must be a multiple of chunk_len"
+        );
+        let n_chunks = data.len() / chunk_len;
+        if n_chunks == 0 {
+            return;
+        }
+        let ranges = self.chunks(n_chunks, grain.max(1));
+        if ranges.len() == 1 || in_worker() {
+            // see run_chunked: a 1-thread pool suppresses nested fan-out
+            let _guard = (self.threads == 1).then(WorkerGuard::enter);
+            f(0, data);
+            return;
+        }
+        let f = &f;
+        std::thread::scope(|s| {
+            let mut rest = data;
+            let mut first_job = None;
+            for r in ranges {
+                let (mine, tail) = rest.split_at_mut(r.len() * chunk_len);
+                rest = tail;
+                let start = r.start;
+                let job = move || {
+                    let _guard = WorkerGuard::enter();
+                    f(start, mine);
+                };
+                if first_job.is_none() {
+                    first_job = Some(Box::new(job) as Box<dyn FnOnce() + Send + '_>);
+                } else {
+                    s.spawn(job);
+                }
+            }
+            if let Some(job) = first_job {
+                job();
+            }
+        });
+    }
+}
+
+/// The number of threads [`global()`] will use: `LITHO_THREADS` if set to a
+/// positive integer, otherwise [`std::thread::available_parallelism`]
+/// (falling back to 1 if even that is unavailable).
+pub fn configured_threads() -> usize {
+    match std::env::var("LITHO_THREADS") {
+        // 0 clamps to 1 (the documented floor) rather than silently meaning
+        // "auto": a user pinning the thread count down gets serial, not all
+        // cores. Unparsable values fall back to auto.
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) => n.max(1),
+            Err(_) => default_threads(),
+        },
+        Err(_) => default_threads(),
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The process-wide pool used by every hot path that does not take an
+/// explicit [`Pool`]. Sized once, on first use, from [`configured_threads`];
+/// later changes to `LITHO_THREADS` do not resize it.
+pub fn global() -> &'static Pool {
+    static GLOBAL: OnceLock<Pool> = OnceLock::new();
+    GLOBAL.get_or_init(|| Pool::new(configured_threads()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn chunks_cover_range_exactly() {
+        for threads in [1usize, 2, 3, 4, 7] {
+            let pool = Pool::new(threads);
+            for n in [0usize, 1, 2, 5, 16, 17, 97] {
+                for grain in [1usize, 2, 8, 100] {
+                    let chunks = pool.chunks(n, grain);
+                    assert!(chunks.len() <= threads.max(1));
+                    let mut next = 0;
+                    for c in &chunks {
+                        assert_eq!(c.start, next, "contiguous");
+                        next = c.end;
+                    }
+                    assert_eq!(next, n, "covers 0..{n}");
+                    if n > 0 {
+                        // every chunk respects the grain (single short
+                        // chunk allowed only when n < grain)
+                        for c in &chunks {
+                            assert!(
+                                c.len() >= grain.min(n),
+                                "chunk {c:?} under grain {grain} (n={n}, threads={threads})"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn par_for_touches_every_index_once() {
+        for threads in [1usize, 2, 4] {
+            let pool = Pool::new(threads);
+            let n = 1000;
+            let counters: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            pool.par_for(n, 1, |i| {
+                counters[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(counters.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+        }
+    }
+
+    #[test]
+    fn par_map_preserves_index_order() {
+        for threads in [1usize, 2, 4, 8] {
+            let pool = Pool::new(threads);
+            let out = pool.par_map(257, 3, |i| i * i);
+            assert_eq!(out.len(), 257);
+            assert!(out.iter().enumerate().all(|(i, &v)| v == i * i));
+        }
+    }
+
+    #[test]
+    fn par_map_reduce_matches_serial_sum() {
+        // integer sum: associative and exact, so any chunking agrees
+        let want: u64 = (0..10_000u64).sum();
+        for threads in [1usize, 2, 4] {
+            let pool = Pool::new(threads);
+            let got = pool.par_map_reduce(10_000, 16, |r| r.map(|i| i as u64).sum(), |a, b| a + b);
+            assert_eq!(got, Some(want));
+        }
+        assert_eq!(
+            Pool::new(4).par_map_reduce(0, 1, |_| 0u64, |a, b| a + b),
+            None
+        );
+    }
+
+    #[test]
+    fn par_chunks_mut_disjoint_and_indexed() {
+        for threads in [1usize, 2, 4] {
+            let pool = Pool::new(threads);
+            let mut data = vec![0usize; 12 * 7];
+            pool.par_chunks_mut(&mut data, 7, 1, |ci, chunk| {
+                assert_eq!(chunk.len(), 7);
+                for v in chunk.iter_mut() {
+                    *v = ci + 1;
+                }
+            });
+            for (i, &v) in data.iter().enumerate() {
+                assert_eq!(v, i / 7 + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn results_bit_identical_across_thread_counts() {
+        // f32 per-element math: the per-item primitives must agree exactly
+        let n = 513;
+        let reference: Vec<f32> = (0..n).map(|i| (i as f32 * 0.37).sin() * 1.7).collect();
+        for threads in [2usize, 3, 4, 8] {
+            let pool = Pool::new(threads);
+            let mapped = pool.par_map(n, 2, |i| (i as f32 * 0.37).sin() * 1.7);
+            assert_eq!(mapped, reference);
+            let mut buf = vec![0.0f32; n];
+            // one chunk per element keeps the write pattern trivially disjoint
+            pool.par_chunks_mut(&mut buf, 1, 4, |i, c| c[0] = (i as f32 * 0.37).sin() * 1.7);
+            assert_eq!(buf, reference);
+        }
+    }
+
+    #[test]
+    fn one_thread_pool_is_serial_end_to_end() {
+        let serial = Pool::new(1);
+        let wide = Pool::new(4);
+        serial.par_for(3, 1, |_| {
+            assert!(in_worker(), "1-thread pool marks its body as pool work");
+            // nested calls on ANY pool must run inline beneath it
+            wide.par_for(8, 1, |_| assert!(in_worker()));
+        });
+        assert!(!in_worker());
+        // a wide pool that collapsed to a single chunk does NOT mark its
+        // body: nested fan-out stays available at the inner level
+        wide.par_for(1, 1, |_| assert!(!in_worker()));
+    }
+
+    #[test]
+    fn par_chunk_runs_hand_out_whole_runs_exactly_once() {
+        for threads in [1usize, 2, 4] {
+            let pool = Pool::new(threads);
+            let mut data = vec![0usize; 10 * 3];
+            pool.par_chunk_runs_mut(&mut data, 3, 1, |first, run| {
+                assert_eq!(run.len() % 3, 0, "runs hold whole chunks");
+                for (off, chunk) in run.chunks_mut(3).enumerate() {
+                    for v in chunk.iter_mut() {
+                        *v = first + off + 1; // global chunk index, 1-based
+                    }
+                }
+            });
+            for (i, &v) in data.iter().enumerate() {
+                assert_eq!(v, i / 3 + 1, "thread count {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn nested_calls_run_inline_on_the_worker() {
+        let pool = Pool::new(4);
+        let out = pool.par_map(8, 1, |i| {
+            assert!(in_worker(), "chunk bodies are marked as pool work");
+            // the nested call must degrade to inline execution, not respawn
+            let inner = pool.par_map(10, 1, |j| i * 10 + j);
+            inner.into_iter().sum::<usize>()
+        });
+        assert_eq!(out.len(), 8);
+        for (i, v) in out.into_iter().enumerate() {
+            assert_eq!(v, (0..10).map(|j| i * 10 + j).sum::<usize>());
+        }
+        assert!(!in_worker(), "marker restored after the calls return");
+    }
+
+    #[test]
+    fn zero_and_tiny_sizes_are_safe() {
+        let pool = Pool::new(4);
+        pool.par_for(0, 1, |_| unreachable!("no indices"));
+        assert!(pool.par_map(0, 1, |i| i).is_empty());
+        let mut empty: Vec<f32> = Vec::new();
+        pool.par_chunks_mut(&mut empty, 3, 1, |_, _| unreachable!("no chunks"));
+        // n smaller than thread count
+        let out = pool.par_map(2, 1, |i| i + 10);
+        assert_eq!(out, vec![10, 11]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of chunk_len")]
+    fn misaligned_chunks_panic() {
+        let mut data = vec![0u8; 10];
+        Pool::new(2).par_chunks_mut(&mut data, 3, 1, |_, _| {});
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let result = std::panic::catch_unwind(|| {
+            Pool::new(4).par_for(100, 1, |i| {
+                if i == 73 {
+                    panic!("boom");
+                }
+            });
+        });
+        assert!(result.is_err(), "panic inside a worker must not be lost");
+    }
+
+    #[test]
+    fn configured_threads_is_positive() {
+        assert!(configured_threads() >= 1);
+        assert!(global().threads() >= 1);
+    }
+}

@@ -65,18 +65,50 @@ pub fn sgemm_nt(m: usize, n: usize, k: usize, alpha: f32, a: &[f32], b: &[f32], 
 ///
 /// Panics if any slice is shorter than its extent.
 pub fn sgemm_tn(m: usize, n: usize, k: usize, alpha: f32, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert!(c.len() >= k * n, "C too short");
+    if n == 0 {
+        return; // degenerate GEMM: historically a well-defined no-op
+    }
+    sgemm_tn_rowblock(m, n, k, alpha, a, b, &mut c[..k * n], 0);
+}
+
+/// Row-block of [`sgemm_tn`]: computes rows `p0..p0 + c_rows.len()/n` of
+/// `C[k×n] += α · A[m×k]ᵀ · B[m×n]` into `c_rows` (row-major), with the same
+/// per-element accumulation order (ascending `i`) and the same zero-skip as
+/// the full kernel — disjoint row-blocks therefore compose **bit-identically**
+/// to one `sgemm_tn` call, which is what lets `litho-nn` parallelize the
+/// transposed-convolution lowering across output rows.
+///
+/// # Panics
+///
+/// Panics if a slice is shorter than its extent, `c_rows.len()` is not a
+/// multiple of `n`, or the row block exceeds `k` rows.
+pub fn sgemm_tn_rowblock(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    c_rows: &mut [f32],
+    p0: usize,
+) {
     assert!(a.len() >= m * k, "A too short");
     assert!(b.len() >= m * n, "B too short");
-    assert!(c.len() >= k * n, "C too short");
+    assert!(n > 0, "C must have columns");
+    assert_eq!(c_rows.len() % n, 0, "C block must hold whole rows");
+    let rows = c_rows.len() / n;
+    assert!(p0 + rows <= k, "row block exceeds C");
     for i in 0..m {
         let arow = &a[i * k..(i + 1) * k];
         let brow = &b[i * n..(i + 1) * n];
-        for (p, &aip) in arow.iter().enumerate() {
+        for p in p0..p0 + rows {
+            let aip = arow[p];
             if aip == 0.0 {
                 continue;
             }
             let s = alpha * aip;
-            let crow = &mut c[p * n..(p + 1) * n];
+            let crow = &mut c_rows[(p - p0) * n..(p - p0 + 1) * n];
             for (cv, &bv) in crow.iter_mut().zip(brow) {
                 *cv += s * bv;
             }
@@ -169,6 +201,30 @@ mod tests {
         for (x, y) in c.iter().zip(&want) {
             assert!((x - y).abs() < 1e-4);
         }
+    }
+
+    #[test]
+    fn tn_rowblocks_compose_bit_identically() {
+        let (m, n, k) = (6usize, 5usize, 7usize);
+        let a = seq(m * k, 0.2);
+        let b = seq(m * n, 0.4);
+        let mut whole = vec![0.0f32; k * n];
+        sgemm_tn(m, n, k, 1.3, &a, &b, &mut whole);
+        // compute the same C in uneven disjoint row blocks
+        let mut blocked = vec![0.0f32; k * n];
+        for (p0, rows) in [(0usize, 2usize), (2, 1), (3, 4)] {
+            sgemm_tn_rowblock(
+                m,
+                n,
+                k,
+                1.3,
+                &a,
+                &b,
+                &mut blocked[p0 * n..(p0 + rows) * n],
+                p0,
+            );
+        }
+        assert_eq!(whole, blocked, "row blocks must be bit-identical");
     }
 
     #[test]

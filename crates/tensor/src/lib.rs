@@ -36,7 +36,7 @@ pub mod init;
 mod shape_ops;
 mod tensor;
 
-pub use gemm::{sgemm_nn, sgemm_nt, sgemm_tn};
+pub use gemm::{sgemm_nn, sgemm_nt, sgemm_tn, sgemm_tn_rowblock};
 pub use im2col::{col2im, conv_out_size, conv_transpose_out_size, im2col};
 pub use shape_ops::{
     concat_channels, crop_spatial, dihedral_chw, pad_spatial, slice_channels, stack_batch,

@@ -4,12 +4,13 @@
 //! reproduction of *"Generic Lithography Modeling with Dual-band
 //! Optics-Inspired Neural Networks"* (Yang et al., DAC 2022).
 //!
-//! The real code lives in the nine workspace crates; this crate exists so the
+//! The real code lives in the ten workspace crates; this crate exists so the
 //! top-level `examples/` and `tests/` can exercise the full cross-crate
 //! pipeline, and re-exports each crate under a short alias for convenience:
 //!
 //! | Alias | Crate | Role |
 //! |---|---|---|
+//! | [`parallel`] | `litho-parallel` | scoped thread pool driving every hot path |
 //! | [`tensor`] | `litho-tensor` | dense `f32` tensors, GEMM, im2col |
 //! | [`fft`] | `litho-fft` | radix-2 + Bluestein FFT (1-D / 2-D) |
 //! | [`nn`] | `litho-nn` | tape autograd, layers, Adam, checkpoints |
@@ -20,8 +21,12 @@
 //! | [`doinn`] | `doinn` | the DOINN network and baselines |
 //! | [`bench`](mod@bench) | `litho-bench` | experiment harness for tables/figures |
 //!
-//! See the repository `README.md` for the architecture diagram and the
-//! quickstart commands.
+//! The FFT, convolution and large-tile hot paths are multi-threaded through
+//! [`parallel`]; set `LITHO_THREADS` to control the fan-out (`1` forces the
+//! bit-identical serial path). See `docs/ARCHITECTURE.md` for the crate DAG
+//! and the pool's determinism guarantees, `docs/PERFORMANCE.md` for the
+//! benchmarking methodology and recorded timings, and the repository
+//! `README.md` for the quickstart commands.
 
 #![forbid(unsafe_code)]
 
@@ -33,4 +38,5 @@ pub use litho_geometry as geometry;
 pub use litho_layout as layout;
 pub use litho_nn as nn;
 pub use litho_optics as optics;
+pub use litho_parallel as parallel;
 pub use litho_tensor as tensor;

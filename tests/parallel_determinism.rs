@@ -1,0 +1,139 @@
+//! Cross-crate property tests for the `litho-parallel` fan-out: the
+//! multi-threaded FFT and convolution hot paths must produce **bit-identical**
+//! results at thread counts 1, 2 and 4 (and the 1-thread pool must equal the
+//! plain serial entry points), for arbitrary shapes, strides and data.
+
+use litho::fft::{Direction, Fft2};
+use litho::nn::ops::{conv2d_forward_with_pool, conv_transpose2d_forward_with_pool};
+use litho::parallel::Pool;
+use litho::tensor::Tensor;
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random fill (SplitMix64-ish) so a single generated
+/// seed covers arbitrarily sized buffers.
+fn fill(seed: u64, n: usize) -> Vec<f32> {
+    let mut state = seed;
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            ((z >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn fft2d_bit_identical_across_thread_counts(
+        rows in 1usize..48,
+        cols in 1usize..48,
+        seed in 0u64..u64::MAX,
+    ) {
+        // mixed power-of-two and Bluestein sizes, incl. degenerate 1-row/col
+        let plan = Fft2::new(rows, cols);
+        let re = fill(seed, rows * cols);
+        let im = fill(seed ^ 0xdead_beef, rows * cols);
+        let base: Vec<litho::fft::Complex32> = re
+            .iter()
+            .zip(&im)
+            .map(|(&a, &b)| litho::fft::Complex32::new(a, b))
+            .collect();
+        for dir in [Direction::Forward, Direction::Inverse] {
+            let mut want = base.clone();
+            plan.transform_in(&mut want, dir, &Pool::new(1));
+            for threads in [2usize, 4] {
+                let mut got = base.clone();
+                plan.transform_in(&mut got, dir, &Pool::new(threads));
+                prop_assert!(want == got, "{}x{} {:?} @ {} threads", rows, cols, dir, threads);
+            }
+        }
+    }
+
+    #[test]
+    fn conv2d_bit_identical_across_thread_counts(
+        n in 1usize..4,
+        c in 1usize..4,
+        o in 1usize..6,
+        hw in 4usize..20,
+        k in 1usize..4,
+        seed in 0u64..u64::MAX,
+        stride in 1usize..3,
+        pad in 0usize..2,
+    ) {
+        // k < 4 <= h < w, so the kernel always fits the padded input
+        let (h, w) = (hw, hw + 1); // non-square to catch transposed indexing
+        let x = Tensor::from_vec(fill(seed, n * c * h * w), &[n, c, h, w]);
+        let wt = Tensor::from_vec(fill(seed ^ 1, o * c * k * k), &[o, c, k, k]);
+        let bias = Tensor::from_vec(fill(seed ^ 2, o), &[o]);
+        let want = conv2d_forward_with_pool(&x, &wt, Some(&bias), stride, pad, &Pool::new(1));
+        for threads in [2usize, 4] {
+            let got = conv2d_forward_with_pool(&x, &wt, Some(&bias), stride, pad, &Pool::new(threads));
+            prop_assert!(
+                want.as_slice() == got.as_slice(),
+                "conv2d @ {} threads", threads
+            );
+        }
+    }
+
+    #[test]
+    fn conv_transpose2d_bit_identical_across_thread_counts(
+        n in 1usize..4,
+        ci in 1usize..4,
+        co in 1usize..6,
+        hw in 3usize..12,
+        k in 2usize..5,
+        seed in 0u64..u64::MAX,
+        stride in 1usize..3,
+        pad in 0usize..2,
+    ) {
+        let (h, w) = (hw, hw + 1);
+        let x = Tensor::from_vec(fill(seed, n * ci * h * w), &[n, ci, h, w]);
+        let wt = Tensor::from_vec(fill(seed ^ 3, ci * co * k * k), &[ci, co, k, k]);
+        let bias = Tensor::from_vec(fill(seed ^ 4, co), &[co]);
+        let want =
+            conv_transpose2d_forward_with_pool(&x, &wt, Some(&bias), stride, pad, &Pool::new(1));
+        for threads in [2usize, 4] {
+            let got = conv_transpose2d_forward_with_pool(
+                &x, &wt, Some(&bias), stride, pad, &Pool::new(threads),
+            );
+            prop_assert!(
+                want.as_slice() == got.as_slice(),
+                "conv_transpose2d @ {} threads", threads
+            );
+        }
+    }
+
+    #[test]
+    fn par_map_reduce_deterministic_for_fixed_pool(
+        len in 1usize..2000,
+        seed in 0u64..u64::MAX,
+    ) {
+        // the documented contract: fixed pool size => identical reduction
+        let data = fill(seed, len);
+        let pool = Pool::new(4);
+        let a = pool.par_map_reduce(len, 8, |r| r.map(|i| f64::from(data[i])).sum::<f64>(), |x, y| x + y);
+        let b = pool.par_map_reduce(len, 8, |r| r.map(|i| f64::from(data[i])).sum::<f64>(), |x, y| x + y);
+        prop_assert_eq!(a, b);
+    }
+}
+
+/// The `Fft2::forward`/`inverse` entry points (global pool) must agree with
+/// an explicit 1-thread pool: the env-driven fan-out may not change results.
+#[test]
+fn global_pool_entry_points_match_single_thread() {
+    let plan = Fft2::new(32, 24);
+    let base: Vec<litho::fft::Complex32> = fill(7, 32 * 24)
+        .into_iter()
+        .zip(fill(8, 32 * 24))
+        .map(|(a, b)| litho::fft::Complex32::new(a, b))
+        .collect();
+    let mut want = base.clone();
+    plan.transform_in(&mut want, Direction::Forward, &Pool::new(1));
+    let mut got = base;
+    plan.forward(&mut got);
+    assert_eq!(want, got);
+}
