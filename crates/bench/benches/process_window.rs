@@ -1,0 +1,96 @@
+//! Criterion bench for the process-window engine: the golden dose×defocus
+//! corner sweep (with and without a warm kernel cache) and PV-band
+//! extraction from the corner prints.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use litho_geometry::PvBand;
+use litho_optics::{
+    standard_corners, ProcessWindowEngine, Pupil, ResistModel, SimGrid, SourceModel,
+};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn test_mask(size: usize) -> Vec<f32> {
+    let mut mask = vec![0.0f32; size * size];
+    for y in 10..26 {
+        for x in 8..20 {
+            mask[y * size + x] = 1.0;
+        }
+    }
+    for y in 34..44 {
+        for x in 30..58 {
+            mask[y * size + x] = 1.0;
+        }
+    }
+    mask
+}
+
+fn bench_corner_sweep(c: &mut Criterion) {
+    let grid = SimGrid::new(64, 8.0);
+    let pupil = Pupil::new(1.35, 193.0);
+    let source = SourceModel::annular_default();
+    let resist = ResistModel::default_threshold();
+    let mask = test_mask(64);
+    let corners = standard_corners(0.05, 40.0);
+
+    let mut group = c.benchmark_group("process_window_64px");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+
+    // cold: every sweep pays the per-defocus TCC eigendecompositions
+    group.bench_function("sweep_9corners_cold_cache", |b| {
+        b.iter(|| {
+            let mut engine = ProcessWindowEngine::new(grid, pupil, source, 6);
+            black_box(
+                engine
+                    .print_corners(black_box(&mask), &corners, &resist)
+                    .len(),
+            )
+        })
+    });
+
+    // warm: the defocus-keyed cache leaves only FFT imaging + develop
+    let mut warm = ProcessWindowEngine::new(grid, pupil, source, 6);
+    warm.prepare(&corners);
+    group.bench_function("sweep_9corners_warm_cache", |b| {
+        b.iter(|| {
+            black_box(
+                warm.print_corners(black_box(&mask), &corners, &resist)
+                    .len(),
+            )
+        })
+    });
+
+    // per-corner cost as the grid widens (doses are free, defoci are not)
+    for (label, doses, defoci) in [
+        ("3dose_x_1focus", vec![0.95f32, 1.0, 1.05], vec![0.0f32]),
+        ("1dose_x_3focus", vec![1.0], vec![-40.0, 0.0, 40.0]),
+    ] {
+        let window = litho_optics::corner_grid(&doses, &defoci);
+        group.bench_with_input(BenchmarkId::new("cold_sweep", label), &window, |b, w| {
+            b.iter(|| {
+                let mut engine = ProcessWindowEngine::new(grid, pupil, source, 6);
+                black_box(engine.print_corners(black_box(&mask), w, &resist).len())
+            })
+        });
+    }
+    group.finish();
+
+    let mut engine = ProcessWindowEngine::new(grid, pupil, source, 6);
+    let prints = engine.print_corners(&mask, &corners, &resist);
+    let mut group = c.benchmark_group("pv_band_64px");
+    group.sample_size(30);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("from_9_prints_plus_stats", |b| {
+        b.iter(|| {
+            let pv = PvBand::from_prints(black_box(&prints), 64);
+            black_box(pv.stats(8.0).band_area_nm2)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_corner_sweep);
+criterion_main!(benches);

@@ -26,8 +26,14 @@ use litho_tensor::Tensor;
 
 /// Index set of the `k` lowest-frequency bins per axis: `[0,k) ∪ [n−k,n)`.
 ///
-/// `k` is clamped to `n/2` so the two corners never overlap.
+/// `k` is clamped to `n/2` so the two corners never overlap. A degenerate
+/// one-bin axis yields `[0]` alone: bin 0 is simultaneously the lowest
+/// positive and negative frequency there, and emitting it from both corners
+/// would double-count DC in the gather/scatter passes.
 pub fn mode_indices(n: usize, k: usize) -> Vec<usize> {
+    if n == 1 {
+        return vec![0];
+    }
     let k = k.min(n / 2).max(1);
     let mut idx: Vec<usize> = (0..k).collect();
     idx.extend(n - k..n);
@@ -396,6 +402,42 @@ mod tests {
         // clamped at n/2
         assert_eq!(mode_indices(8, 10), vec![0, 1, 2, 3, 4, 5, 6, 7]);
         assert_eq!(mode_indices(4, 1), vec![0, 3]);
+    }
+
+    #[test]
+    fn mode_indices_never_duplicate_bins() {
+        // regression: n == 1 used to emit [0, 0] (clamp floored k at 1, then
+        // [0,k) and [n−k,n) both named bin 0), double-counting DC and breaking
+        // the weight-shape assert downstream
+        assert_eq!(mode_indices(1, 1), vec![0]);
+        assert_eq!(mode_indices(1, 5), vec![0]);
+        for n in 1..10usize {
+            for k in 1..6usize {
+                let idx = mode_indices(n, k);
+                let mut dedup = idx.clone();
+                dedup.sort_unstable();
+                dedup.dedup();
+                assert_eq!(idx.len(), dedup.len(), "duplicate bins for n={n} k={k}");
+                assert!(idx.iter().all(|&i| i < n), "out of range for n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_single_row_input_runs() {
+        // regression: a 1×w input used to trip the weight-shape assert
+        // because the duplicated row-axis bin inflated the mode count
+        let w = 4;
+        let mut g = Graph::new();
+        let x0 = ramp(&[1, 1, 1, w], 0.2);
+        let x = g.input(x0.clone());
+        let wr = g.input(Tensor::ones(&[1, 1, 1, w]));
+        let wi = g.input(Tensor::zeros(&[1, 1, 1, w]));
+        // full spectrum + identity weights must reproduce the input
+        let y = spectral_conv2d(&mut g, x, wr, wi, w / 2);
+        for (a, b) in g.value(y).as_slice().iter().zip(x0.as_slice()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
     }
 
     #[test]

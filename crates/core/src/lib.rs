@@ -14,6 +14,8 @@
 //! - [`LargeTileSimulator`] — the §3.2 any-size tile scheme.
 //! - [`seg_metrics`] — mPA / mIOU (§2.2).
 //! - [`train_model`] / [`evaluate_model`] — the Table 8 training recipe.
+//! - [`evaluate_process_window`] — per-corner scoring of a trained model
+//!   across a dose × defocus sweep, with a worst-corner degradation table.
 //!
 //! # Examples
 //!
@@ -40,6 +42,7 @@ mod large_tile;
 mod metrics;
 mod model;
 pub mod models;
+mod process_window;
 mod trainer;
 
 pub use large_tile::LargeTileSimulator;
@@ -47,6 +50,10 @@ pub use metrics::{seg_metrics, SegMetrics};
 pub use model::{
     predict, predict_batch, predict_batch_with_pool, prediction_to_contour, Doinn, DoinnConfig,
     FourierUnit, VggBlock,
+};
+pub use process_window::{
+    evaluate_process_window, evaluate_process_window_with_pool, CornerEvalConfig, CornerSamples,
+    CornerScore, ProcessWindowReport,
 };
 pub use trainer::{
     evaluate_model, to_tanh_target, train_model, EarlyStop, Sample, TrainConfig, TrainReport,

@@ -235,6 +235,10 @@ impl Module for VggBlock {
         self.bn1.set_training(training);
         self.bn2.set_training(training);
     }
+
+    fn is_training(&self) -> bool {
+        self.bn1.is_training()
+    }
 }
 
 /// Local-perception path: three stride-2 stages with VGG blocks, returning
@@ -287,6 +291,10 @@ impl LpPath {
         self.vgg1.set_training(training);
         self.vgg2.set_training(training);
         self.vgg3.set_training(training);
+    }
+
+    fn is_training(&self) -> bool {
+        self.vgg1.is_training()
     }
 }
 
@@ -475,6 +483,14 @@ impl Module for Doinn {
         for v in [&self.vgg4, &self.vgg5, &self.vgg6].into_iter().flatten() {
             v.set_training(training);
         }
+    }
+
+    fn is_training(&self) -> bool {
+        self.lp.as_ref().is_some_and(|lp| lp.is_training())
+            || [&self.vgg4, &self.vgg5, &self.vgg6]
+                .into_iter()
+                .flatten()
+                .any(|v| v.is_training())
     }
 }
 

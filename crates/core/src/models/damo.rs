@@ -149,6 +149,10 @@ impl Module for DamoDls {
             b.set_training(training);
         }
     }
+
+    fn is_training(&self) -> bool {
+        self.b00.is_training()
+    }
 }
 
 #[cfg(test)]

@@ -95,6 +95,10 @@ impl Module for Unet {
             b.set_training(training);
         }
     }
+
+    fn is_training(&self) -> bool {
+        self.block1.is_training()
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,314 @@
+//! Process-window qualification of a trained model: per-corner scoring and
+//! the worst-corner degradation table.
+//!
+//! A model trained at nominal conditions approximates the nominal print; a
+//! corner sweep measures how far its prediction drifts from the *golden*
+//! print as dose and focus move across the window. Each corner is scored
+//! with the paper's mPA/mIOU segmentation metrics plus edge-placement error
+//! in nanometres ([`litho_geometry::measure_epe`]), and the report compares
+//! every corner against the most-nominal one.
+//!
+//! The `(corner, tile)` fan-out is distributed over the `litho-parallel`
+//! pool: one work item per pair, results collected in index order and
+//! aggregated serially in corner order, so the report is **bit-identical
+//! for every `LITHO_THREADS`** (the model is forced into eval mode for the
+//! duration — and restored afterwards — because training-mode batch-norm
+//! would make concurrent forwards scheduling-dependent).
+
+use crate::metrics::{seg_metrics, SegMetrics};
+use crate::model::{predict, prediction_to_contour};
+use litho_geometry::{measure_epe, EpeStats};
+use litho_nn::Module;
+use litho_optics::ProcessCondition;
+use litho_tensor::Tensor;
+
+/// One corner's tile set: the condition plus `(mask, golden print)` pairs.
+///
+/// Mirrors `litho_data::CornerSet` structurally; this crate does not depend
+/// on `litho-data`, so sweeps built there are converted at the call site by
+/// mapping each corner to `(corner.condition, corner.samples.as_slice())`.
+pub type CornerSamples<'a> = (ProcessCondition, &'a [(Tensor, Tensor)]);
+
+/// Evaluation knobs for [`evaluate_process_window`].
+#[derive(Debug, Clone, Copy)]
+pub struct CornerEvalConfig {
+    /// Pixel pitch of the tiles in nanometres (EPE is reported in nm).
+    pub pixel_nm: f32,
+    /// Every n-th golden boundary pixel is EPE-sampled.
+    pub epe_sample_stride: usize,
+    /// EPE above this threshold counts as a violation, in nm.
+    pub epe_threshold_nm: f32,
+}
+
+impl CornerEvalConfig {
+    /// Defaults for a pixel pitch: stride 2, violation threshold one pixel.
+    pub fn for_pixel(pixel_nm: f32) -> Self {
+        Self {
+            pixel_nm,
+            epe_sample_stride: 2,
+            epe_threshold_nm: pixel_nm,
+        }
+    }
+}
+
+/// Scores of one process corner.
+#[derive(Debug, Clone, Copy)]
+pub struct CornerScore {
+    /// The corner's operating point.
+    pub condition: ProcessCondition,
+    /// Dataset-mean mPA/mIOU against the corner's golden prints.
+    pub metrics: SegMetrics,
+    /// Pooled edge-placement error against the corner's golden prints.
+    pub epe: EpeStats,
+}
+
+/// Per-corner scores plus the nominal reference.
+#[derive(Debug, Clone)]
+pub struct ProcessWindowReport {
+    /// One score per corner, in input order.
+    pub corners: Vec<CornerScore>,
+    /// Index of the most-nominal corner (the degradation reference).
+    pub nominal: usize,
+}
+
+impl ProcessWindowReport {
+    /// The score at the most-nominal corner.
+    pub fn nominal_score(&self) -> &CornerScore {
+        &self.corners[self.nominal]
+    }
+
+    /// The corner with the lowest mIOU.
+    pub fn worst_corner(&self) -> &CornerScore {
+        self.corners
+            .iter()
+            .min_by(|a, b| {
+                a.metrics
+                    .miou
+                    .partial_cmp(&b.metrics.miou)
+                    .expect("finite metrics")
+            })
+            .expect("non-empty report")
+    }
+
+    /// mIOU drop from the nominal corner to the worst corner, in points
+    /// (`0.01` = one percentage point).
+    pub fn miou_degradation(&self) -> f32 {
+        self.nominal_score().metrics.miou - self.worst_corner().metrics.miou
+    }
+
+    /// Formats the per-corner table with a worst-vs-nominal footer.
+    pub fn table(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<26} {:>8} {:>8} {:>10} {:>10} {:>7}",
+            "condition", "mPA %", "mIOU %", "EPE μ nm", "EPE max", "viol %"
+        );
+        for (i, c) in self.corners.iter().enumerate() {
+            let marker = if i == self.nominal { " *" } else { "" };
+            let _ = writeln!(
+                out,
+                "{:<26} {:>8.2} {:>8.2} {:>10.2} {:>10.2} {:>7.2}",
+                format!("{}{marker}", c.condition),
+                c.metrics.mpa * 100.0,
+                c.metrics.miou * 100.0,
+                c.epe.mean_nm,
+                c.epe.max_nm,
+                c.epe.violation_rate() * 100.0,
+            );
+        }
+        let worst = self.worst_corner();
+        let _ = writeln!(
+            out,
+            "worst corner ({}): mIOU {:.2}% vs nominal {:.2}% (Δ {:.2} pts)",
+            worst.condition,
+            worst.metrics.miou * 100.0,
+            self.nominal_score().metrics.miou * 100.0,
+            self.miou_degradation() * 100.0,
+        );
+        out
+    }
+}
+
+/// Scores `model` at every corner of a process window, fanning the
+/// `(corner, tile)` pairs over the process-wide
+/// [`litho_parallel::global`] pool.
+///
+/// See [`evaluate_process_window_with_pool`] for the full contract.
+pub fn evaluate_process_window<M: Module + Sync + ?Sized>(
+    model: &M,
+    corners: &[CornerSamples<'_>],
+    cfg: &CornerEvalConfig,
+) -> ProcessWindowReport {
+    evaluate_process_window_with_pool(model, corners, cfg, litho_parallel::global())
+}
+
+/// [`evaluate_process_window`] on an explicit [`litho_parallel::Pool`].
+///
+/// Every `(corner, tile)` pair is one work item: predict the mask's
+/// contour, score it against that corner's golden print (mPA/mIOU + EPE).
+/// Work items write disjoint result slots and aggregation folds in fixed
+/// corner order, so the report is bit-identical for every pool size. The
+/// model is evaluated in inference mode; its previous mode is restored.
+///
+/// # Panics
+///
+/// Panics if `corners` is empty or any corner has no samples.
+pub fn evaluate_process_window_with_pool<M: Module + Sync + ?Sized>(
+    model: &M,
+    corners: &[CornerSamples<'_>],
+    cfg: &CornerEvalConfig,
+    pool: &litho_parallel::Pool,
+) -> ProcessWindowReport {
+    assert!(!corners.is_empty(), "no process corners to evaluate");
+    for (cond, samples) in corners {
+        assert!(!samples.is_empty(), "corner {cond} has no samples");
+    }
+    let was_training = model.is_training();
+    model.set_training(false);
+
+    // flatten to one work item per (corner, tile)
+    let jobs: Vec<(usize, usize)> = corners
+        .iter()
+        .enumerate()
+        .flat_map(|(ci, (_, samples))| (0..samples.len()).map(move |si| (ci, si)))
+        .collect();
+    let per_tile: Vec<(SegMetrics, EpeStats)> = pool.par_map(jobs.len(), 1, |j| {
+        let (ci, si) = jobs[j];
+        let (mask, golden) = &corners[ci].1[si];
+        let shape = [1, mask.dim(0), mask.dim(1), mask.dim(2)];
+        let pred = predict(model, &mask.reshape(&shape));
+        let contour = prediction_to_contour(&pred);
+        let size = mask.dim(mask.rank() - 1);
+        (
+            seg_metrics(&contour, golden.as_slice()),
+            measure_epe(
+                &contour,
+                golden.as_slice(),
+                size,
+                cfg.pixel_nm,
+                cfg.epe_sample_stride,
+                cfg.epe_threshold_nm,
+            ),
+        )
+    });
+    model.set_training(was_training);
+
+    // aggregate per corner, in corner order (deterministic fold)
+    let mut scores = Vec::with_capacity(corners.len());
+    let mut offset = 0usize;
+    for (condition, samples) in corners {
+        let tile_scores = &per_tile[offset..offset + samples.len()];
+        offset += samples.len();
+        let seg: Vec<SegMetrics> = tile_scores.iter().map(|(m, _)| *m).collect();
+        let epe: Vec<EpeStats> = tile_scores.iter().map(|(_, e)| *e).collect();
+        scores.push(CornerScore {
+            condition: *condition,
+            metrics: SegMetrics::mean(&seg),
+            epe: EpeStats::aggregate(&epe),
+        });
+    }
+    let conditions: Vec<ProcessCondition> = scores.iter().map(|s| s.condition).collect();
+    ProcessWindowReport {
+        corners: scores,
+        nominal: litho_optics::most_nominal_index(&conditions),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Doinn, DoinnConfig};
+    use crate::trainer::to_tanh_target;
+    use litho_nn::Module;
+    use litho_tensor::init::seeded_rng;
+
+    fn toy_corner(seed: u64, n: usize, size: usize) -> Vec<(Tensor, Tensor)> {
+        let mut rng = seeded_rng(seed);
+        (0..n)
+            .map(|_| {
+                let noise = litho_tensor::init::randn(&[1, size, size], 1.0, &mut rng);
+                let mask = noise.map(|v| if v > 0.6 { 1.0 } else { 0.0 });
+                let golden = to_tanh_target(&mask).map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+                (mask, golden)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn report_shape_and_nominal_selection() {
+        let mut rng = seeded_rng(1);
+        let model = Doinn::new(DoinnConfig::tiny(), &mut rng);
+        model.set_training(false);
+        let a = toy_corner(10, 2, 32);
+        let b = toy_corner(11, 2, 32);
+        let corners: Vec<CornerSamples<'_>> = vec![
+            (ProcessCondition::new(1.05, 40.0), a.as_slice()),
+            (ProcessCondition::nominal(), b.as_slice()),
+        ];
+        let report = evaluate_process_window(&model, &corners, &CornerEvalConfig::for_pixel(8.0));
+        assert_eq!(report.corners.len(), 2);
+        assert_eq!(report.nominal, 1, "nominal corner must be the reference");
+        for c in &report.corners {
+            assert!((0.0..=1.0).contains(&c.metrics.miou));
+            assert!((0.0..=1.0).contains(&c.metrics.mpa));
+            assert!(c.epe.samples > 0);
+        }
+        assert!(report.miou_degradation() >= 0.0 || report.corners.len() == 1);
+        let table = report.table();
+        assert!(table.contains("nominal *"), "table: {table}");
+        assert!(table.contains("worst corner"));
+    }
+
+    #[test]
+    fn evaluation_restores_model_mode() {
+        let mut rng = seeded_rng(2);
+        let model = Doinn::new(DoinnConfig::tiny(), &mut rng);
+        let samples = toy_corner(12, 1, 32);
+        let corners: Vec<CornerSamples<'_>> =
+            vec![(ProcessCondition::nominal(), samples.as_slice())];
+        model.set_training(true);
+        let _ = evaluate_process_window(&model, &corners, &CornerEvalConfig::for_pixel(8.0));
+        assert!(model.is_training(), "training mode must be restored");
+    }
+
+    #[test]
+    fn fanout_bit_identical_across_pool_sizes() {
+        let mut rng = seeded_rng(3);
+        let model = Doinn::new(DoinnConfig::tiny(), &mut rng);
+        model.set_training(false);
+        let a = toy_corner(20, 3, 32);
+        let b = toy_corner(21, 3, 32);
+        let c = toy_corner(22, 3, 32);
+        let corners: Vec<CornerSamples<'_>> = vec![
+            (ProcessCondition::new(0.95, -40.0), a.as_slice()),
+            (ProcessCondition::nominal(), b.as_slice()),
+            (ProcessCondition::new(1.05, 40.0), c.as_slice()),
+        ];
+        let cfg = CornerEvalConfig::for_pixel(8.0);
+        let want = evaluate_process_window_with_pool(
+            &model,
+            &corners,
+            &cfg,
+            &litho_parallel::Pool::new(1),
+        );
+        for threads in [2usize, 4] {
+            let got = evaluate_process_window_with_pool(
+                &model,
+                &corners,
+                &cfg,
+                &litho_parallel::Pool::new(threads),
+            );
+            assert_eq!(got.nominal, want.nominal);
+            for (x, y) in want.corners.iter().zip(&got.corners) {
+                assert_eq!(x.metrics.miou.to_bits(), y.metrics.miou.to_bits());
+                assert_eq!(x.metrics.mpa.to_bits(), y.metrics.mpa.to_bits());
+                assert_eq!(x.epe.mean_nm.to_bits(), y.epe.mean_nm.to_bits());
+                assert_eq!(x.epe.max_nm.to_bits(), y.epe.max_nm.to_bits());
+                assert_eq!(x.epe.violations, y.epe.violations);
+                assert_eq!(x.epe.samples, y.epe.samples);
+            }
+        }
+    }
+}

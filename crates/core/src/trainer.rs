@@ -117,7 +117,7 @@ pub fn train_model<M: Module + ?Sized>(
         opt.set_lr(sched.lr_at(epoch));
         order.shuffle(&mut rng);
         let mut total = 0.0f64;
-        let mut batches = 0usize;
+        let mut seen = 0usize;
         for chunk in order.chunks(cfg.batch_size) {
             let (x_batch, t_batch) = if cfg.augment {
                 use rand::Rng;
@@ -144,13 +144,17 @@ pub fn train_model<M: Module + ?Sized>(
             let x = g.input(x_batch);
             let y = model.forward(&mut g, x);
             let loss = ops::mse_loss(&mut g, y, &t_batch);
-            total += g.value(loss).as_slice()[0] as f64;
-            batches += 1;
+            // MSE is a mean over the batch, so weight each batch by its
+            // sample count: a ragged final batch must not be over-weighted
+            // in the epoch mean (17 samples at batch 16 would otherwise give
+            // the lone 17th sample half the epoch's weight).
+            total += g.value(loss).as_slice()[0] as f64 * chunk.len() as f64;
+            seen += chunk.len();
             g.backward(loss);
             opt.step();
             steps += 1;
         }
-        let mean = (total / batches.max(1) as f64) as f32;
+        let mean = (total / seen.max(1) as f64) as f32;
         epoch_losses.push(mean);
         if cfg.verbose {
             eprintln!(
@@ -192,11 +196,16 @@ pub fn train_model<M: Module + ?Sized>(
 /// Evaluates `model` against golden `{0,1}` resist images, returning the
 /// dataset-mean mPA/mIOU (paper §2.2). `golden` pairs are `(mask, resist)`.
 ///
+/// Evaluation runs in inference mode; the model's previous training/eval
+/// mode is restored before returning, so calling this mid-training does not
+/// freeze batch-norm statistics for the remaining epochs.
+///
 /// # Panics
 ///
 /// Panics if `samples` is empty.
 pub fn evaluate_model<M: Module + ?Sized>(model: &M, samples: &[(Tensor, Tensor)]) -> SegMetrics {
     assert!(!samples.is_empty(), "evaluation set is empty");
+    let was_training = model.is_training();
     model.set_training(false);
     let per_tile: Vec<SegMetrics> = samples
         .iter()
@@ -209,6 +218,7 @@ pub fn evaluate_model<M: Module + ?Sized>(model: &M, samples: &[(Tensor, Tensor)
             seg_metrics(&contour, golden.as_slice())
         })
         .collect();
+    model.set_training(was_training);
     SegMetrics::mean(&per_tile)
 }
 
@@ -287,6 +297,66 @@ mod tests {
         let r1 = train_model(&build(), &data, &cfg);
         let r2 = train_model(&build(), &data, &cfg);
         assert_eq!(r1.epoch_losses, r2.epoch_losses);
+    }
+
+    #[test]
+    fn ragged_final_batch_is_not_overweighted() {
+        // 17 samples at batch 16 leaves a lone final sample; weighting by
+        // batch (the old bug) gave it 50% of the epoch mean. With lr 0 the
+        // parameters never move, so the epoch loss must equal the plain
+        // per-sample mean — identical for every batch size.
+        let mut rng = seeded_rng(9);
+        // no-LP ablation: no batch-norm, so per-sample losses are independent
+        // of how the epoch is batched
+        let model = Doinn::new(DoinnConfig::tiny().ablation_gp(), &mut rng);
+        let data = toy_dataset(17, 32);
+        let loss_at = |batch_size: usize| {
+            train_model(
+                &model,
+                &data,
+                &TrainConfig {
+                    epochs: 1,
+                    batch_size,
+                    lr: 0.0,
+                    weight_decay: 0.0,
+                    ..TrainConfig::default()
+                },
+            )
+            .epoch_losses[0]
+        };
+        let reference = loss_at(17); // one full batch: unambiguous mean
+        for bs in [16usize, 5, 3] {
+            let got = loss_at(bs);
+            // tolerance: f32 summation order inside mse_loss differs per
+            // batching (~1e-5); the batch-weighting bug this guards against
+            // skews the mean at the 1e-2 scale
+            assert!(
+                (got - reference).abs() < 1e-3,
+                "batch size {bs}: epoch loss {got} vs whole-set mean {reference}"
+            );
+        }
+    }
+
+    #[test]
+    fn evaluate_restores_training_mode() {
+        // regression: evaluate_model forced eval mode and never restored it,
+        // silently freezing batch-norm for all epochs after a mid-training
+        // evaluation
+        let mut rng = seeded_rng(10);
+        let model = Doinn::new(DoinnConfig::tiny(), &mut rng);
+        let data: Vec<(Tensor, Tensor)> = toy_dataset(2, 32)
+            .into_iter()
+            .map(|(m, t)| (m, t.map(|v| if v > 0.0 { 1.0 } else { 0.0 })))
+            .collect();
+        model.set_training(true);
+        let _ = evaluate_model(&model, &data);
+        assert!(
+            model.is_training(),
+            "mid-training evaluation must restore training mode"
+        );
+        model.set_training(false);
+        let _ = evaluate_model(&model, &data);
+        assert!(!model.is_training(), "eval mode must survive evaluation");
     }
 
     #[test]

@@ -4,17 +4,26 @@
 //! experiment binaries reuse tiles across runs via a simple binary cache
 //! keyed by the dataset configuration.
 //!
-//! Format (little-endian): magic `LDATSET1`, grid size u32, pixel f32,
-//! name/engine strings, then train and test pair arrays of raw f32 tiles.
+//! Formats (little-endian):
+//!
+//! - magic `LDATSET1`: grid size u32, pixel f32, threshold f32, name/engine
+//!   strings, then train and test pair arrays of raw f32 tiles.
+//! - magic `LPWDSET1` (process-window sweeps): grid size u32, pixel f32,
+//!   threshold f32, name string, corner count u32, tiles-per-corner u32,
+//!   then per corner `dose f32, defocus f32` followed by its
+//!   `(mask, print)` tile pairs — the per-sample process condition is part
+//!   of the record.
 
+use crate::pwindow::{CornerSet, ProcessWindowDataset};
 use crate::{DatasetConfig, LithoDataset};
-use litho_optics::SimGrid;
+use litho_optics::{ProcessCondition, SimGrid};
 use litho_tensor::Tensor;
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 8] = b"LDATSET1";
+const PW_MAGIC: &[u8; 8] = b"LPWDSET1";
 
 /// Saves a dataset to `path`.
 ///
@@ -132,6 +141,178 @@ pub fn synthesize_cached(cfg: &DatasetConfig, dir: impl AsRef<Path>) -> io::Resu
     Ok(ds)
 }
 
+/// Saves a process-window corner sweep to `path` (`LPWDSET1` format).
+///
+/// # Errors
+///
+/// Returns any underlying I/O error, or `InvalidInput` if the corners do
+/// not all hold the same number of tiles (the format stores one file-wide
+/// tiles-per-corner count; a ragged sweep would serialize corruptly).
+pub fn save_process_window(path: impl AsRef<Path>, ds: &ProcessWindowDataset) -> io::Result<()> {
+    let tiles = ds.tiles_per_corner();
+    if let Some(bad) = ds.corners.iter().find(|c| c.samples.len() != tiles) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "ragged corner sweep: corner {} holds {} tiles but the first holds {tiles}",
+                bad.condition,
+                bad.samples.len()
+            ),
+        ));
+    }
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(PW_MAGIC)?;
+    w.write_all(&(ds.grid.size() as u32).to_le_bytes())?;
+    w.write_all(&ds.grid.pixel_nm().to_le_bytes())?;
+    w.write_all(&ds.resist_threshold.to_le_bytes())?;
+    write_str(&mut w, &ds.name)?;
+    w.write_all(&(ds.corners.len() as u32).to_le_bytes())?;
+    w.write_all(&(ds.tiles_per_corner() as u32).to_le_bytes())?;
+    for corner in &ds.corners {
+        w.write_all(&corner.condition.dose.to_le_bytes())?;
+        w.write_all(&corner.condition.defocus_nm.to_le_bytes())?;
+        for (mask, print) in &corner.samples {
+            write_tile(&mut w, mask)?;
+            write_tile(&mut w, print)?;
+        }
+    }
+    w.flush()
+}
+
+/// Loads a corner sweep previously written by [`save_process_window`].
+///
+/// The file is read in one pass and the header's counts are validated
+/// against the actual byte length **before** any count-sized allocation, so
+/// a truncated or corrupt cache (which [`process_window_cached`] falls back
+/// from) returns `InvalidData` instead of attempting a huge allocation.
+///
+/// # Errors
+///
+/// Returns an error for malformed files.
+pub fn load_process_window(path: impl AsRef<Path>) -> io::Result<ProcessWindowDataset> {
+    let buf = std::fs::read(path)?;
+    let mut r = io::Cursor::new(buf.as_slice());
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != PW_MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a litho-data process-window cache file (bad magic)",
+        ));
+    }
+    let size = read_u32(&mut r)? as usize;
+    let pixel = read_f32(&mut r)?;
+    let resist_threshold = read_f32(&mut r)?;
+    let name_len = read_u32(&mut r)? as usize;
+    if name_len > buf.len() - r.position() as usize {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "name length exceeds the file length",
+        ));
+    }
+    let mut name_bytes = vec![0u8; name_len];
+    r.read_exact(&mut name_bytes)?;
+    let name =
+        String::from_utf8(name_bytes).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let corner_count = read_u32(&mut r)? as usize;
+    let tiles = read_u32(&mut r)? as usize;
+    // the body's length is fully determined by the header: demand an exact
+    // match before allocating anything count-sized (this also rejects
+    // trailing garbage)
+    let expected = size
+        .checked_mul(size)
+        .and_then(|px| px.checked_mul(4))
+        .and_then(|tile| tile.checked_mul(2))
+        .and_then(|pair| pair.checked_mul(tiles))
+        .and_then(|corner| corner.checked_add(8))
+        .and_then(|corner| corner.checked_mul(corner_count));
+    let remaining = buf.len() - r.position() as usize;
+    if expected != Some(remaining) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "corner sweep body length mismatch: header implies {expected:?} bytes, \
+                 file holds {remaining}"
+            ),
+        ));
+    }
+    let mut corners = Vec::with_capacity(corner_count);
+    for _ in 0..corner_count {
+        let dose = read_f32(&mut r)?;
+        let defocus_nm = read_f32(&mut r)?;
+        if !(dose > 0.0 && dose.is_finite() && defocus_nm.is_finite()) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("invalid process condition (dose {dose}, defocus {defocus_nm})"),
+            ));
+        }
+        let mut samples = Vec::with_capacity(tiles);
+        for _ in 0..tiles {
+            let mask = read_tile(&mut r, size)?;
+            let print = read_tile(&mut r, size)?;
+            samples.push((mask, print));
+        }
+        corners.push(CornerSet {
+            condition: ProcessCondition::new(dose, defocus_nm),
+            samples,
+        });
+    }
+    Ok(ProcessWindowDataset {
+        name,
+        grid: SimGrid::new(size, pixel),
+        resist_threshold,
+        corners,
+    })
+}
+
+/// Cache path for a corner sweep: the base dataset path plus a hash of the
+/// condition list, so different windows over the same configuration never
+/// collide.
+pub fn process_window_cache_path(
+    dir: impl AsRef<Path>,
+    cfg: &DatasetConfig,
+    conditions: &[ProcessCondition],
+) -> PathBuf {
+    // FNV-1a over the condition bit patterns: stable across runs/platforms
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |bits: u32| {
+        for b in bits.to_le_bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for c in conditions {
+        mix(c.dose.to_bits());
+        mix(c.defocus_nm.to_bits());
+    }
+    let mut p = cache_path(dir, cfg);
+    p.set_extension(format!("pw{hash:016x}.litho"));
+    p
+}
+
+/// Loads a corner sweep from cache or synthesizes and caches it.
+///
+/// # Errors
+///
+/// Returns I/O errors from cache writes (synthesis itself cannot fail).
+pub fn process_window_cached(
+    cfg: &DatasetConfig,
+    conditions: &[ProcessCondition],
+    dir: impl AsRef<Path>,
+) -> io::Result<ProcessWindowDataset> {
+    std::fs::create_dir_all(&dir)?;
+    let path = process_window_cache_path(&dir, cfg, conditions);
+    if path.exists() {
+        if let Ok(ds) = load_process_window(&path) {
+            return Ok(ds);
+        }
+        // fall through and regenerate on a corrupt cache
+    }
+    let ds = crate::synthesize_process_window(cfg, conditions);
+    save_process_window(&path, &ds)?;
+    Ok(ds)
+}
+
 fn write_str(w: &mut impl Write, s: &str) -> io::Result<()> {
     w.write_all(&(s.len() as u32).to_le_bytes())?;
     w.write_all(s.as_bytes())
@@ -165,6 +346,12 @@ fn read_u32(r: &mut impl Read) -> io::Result<u32> {
     let mut b = [0u8; 4];
     r.read_exact(&mut b)?;
     Ok(u32::from_le_bytes(b))
+}
+
+fn read_f32(r: &mut impl Read) -> io::Result<f32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(f32::from_le_bytes(b))
 }
 
 #[cfg(test)]
@@ -229,6 +416,119 @@ mod tests {
         );
         assert_ne!(a, b);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn process_window_roundtrip() {
+        use litho_optics::ProcessCondition;
+        let t = |v: f32| Tensor::full(&[1, 4, 4], v);
+        let ds = ProcessWindowDataset {
+            name: "unit-test window".to_string(),
+            grid: SimGrid::new(4, 8.0),
+            resist_threshold: 0.31,
+            corners: vec![
+                CornerSet {
+                    condition: ProcessCondition::nominal(),
+                    samples: vec![(t(0.25), t(1.0)), (t(0.5), t(0.0))],
+                },
+                CornerSet {
+                    condition: ProcessCondition::new(1.05, -40.0),
+                    samples: vec![(t(0.25), t(0.0)), (t(0.5), t(1.0))],
+                },
+            ],
+        };
+        let path = tmp("pw_roundtrip.litho");
+        save_process_window(&path, &ds).unwrap();
+        let back = load_process_window(&path).unwrap();
+        assert_eq!(back.name, ds.name);
+        assert_eq!(back.grid, ds.grid);
+        assert_eq!(back.resist_threshold, ds.resist_threshold);
+        assert_eq!(back.corners.len(), 2);
+        for (a, b) in back.corners.iter().zip(&ds.corners) {
+            assert_eq!(a.condition, b.condition);
+            assert_eq!(a.samples, b.samples);
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn process_window_rejects_plain_dataset_magic() {
+        let ds = tiny_ds();
+        let path = tmp("pw_wrongmagic.litho");
+        save_dataset(&path, &ds).unwrap();
+        assert!(load_process_window(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn process_window_rejects_corrupt_headers_without_allocating() {
+        use litho_optics::ProcessCondition;
+        // build a valid file, then corrupt the corner count to u32::MAX: the
+        // exact body-length check must fail before any count-sized allocation
+        let t = |v: f32| Tensor::full(&[1, 4, 4], v);
+        let ds = ProcessWindowDataset {
+            name: "hdr".to_string(),
+            grid: SimGrid::new(4, 8.0),
+            resist_threshold: 0.3,
+            corners: vec![CornerSet {
+                condition: ProcessCondition::nominal(),
+                samples: vec![(t(0.5), t(1.0))],
+            }],
+        };
+        let path = tmp("pw_corrupt.litho");
+        save_process_window(&path, &ds).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // corner count sits right after magic(8)+size(4)+pixel(4)+thr(4)+
+        // name(4+3)
+        let off = 8 + 4 + 4 + 4 + 4 + 3;
+        bytes[off..off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let err = load_process_window(&path).unwrap_err();
+        assert!(err.to_string().contains("length mismatch"), "{err}");
+
+        // truncation is caught by the same exact-length check
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 5]).unwrap();
+        assert!(load_process_window(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn process_window_save_rejects_ragged_corners() {
+        use litho_optics::ProcessCondition;
+        let t = |v: f32| Tensor::full(&[1, 4, 4], v);
+        let ds = ProcessWindowDataset {
+            name: "ragged".to_string(),
+            grid: SimGrid::new(4, 8.0),
+            resist_threshold: 0.3,
+            corners: vec![
+                CornerSet {
+                    condition: ProcessCondition::nominal(),
+                    samples: vec![(t(0.5), t(1.0)), (t(0.2), t(0.0))],
+                },
+                CornerSet {
+                    condition: ProcessCondition::new(1.05, 0.0),
+                    samples: vec![(t(0.5), t(1.0))],
+                },
+            ],
+        };
+        let path = tmp("pw_ragged.litho");
+        let err = save_process_window(&path, &ds).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(err.to_string().contains("ragged"), "{err}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn process_window_cache_path_distinguishes_windows() {
+        use litho_optics::standard_corners;
+        let cfg = DatasetConfig::new(DatasetKind::Ispd2019Like, Resolution::Low);
+        let a = process_window_cache_path("/tmp", &cfg, &standard_corners(0.05, 40.0));
+        let b = process_window_cache_path("/tmp", &cfg, &standard_corners(0.05, 60.0));
+        let c = process_window_cache_path("/tmp", &cfg, &standard_corners(0.10, 40.0));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
     }
 
     #[test]

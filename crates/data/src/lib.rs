@@ -4,7 +4,9 @@
 //! layout generation → SRAF insertion → ILT OPC → golden SOCS simulation,
 //! yielding the `(mask, resist)` pairs the networks train on (the open
 //! substitute for the paper's ISPD-2019 / ICCAD-2013 / N14 benchmarks —
-//! see `DESIGN.md`).
+//! see `DESIGN.md`), plus golden process-window corner sweeps
+//! ([`synthesize_process_window`]) that print the held-out masks at every
+//! dose/defocus corner for PV-band and degradation analysis.
 //!
 //! # Examples
 //!
@@ -22,11 +24,16 @@
 
 mod cache;
 mod config;
+mod pwindow;
 mod synth;
 
-pub use cache::{cache_path, load_dataset, save_dataset, synthesize_cached};
+pub use cache::{
+    cache_path, load_dataset, load_process_window, process_window_cache_path,
+    process_window_cached, save_dataset, save_process_window, synthesize_cached,
+};
 pub use config::{DatasetConfig, DatasetKind, Resolution};
+pub use pwindow::{synthesize_process_window, CornerSet, ProcessWindowDataset};
 pub use synth::{
     calibrate_threshold, calibrated_resist, design_tile, golden_engine, prepare_mask, synthesize,
-    synthesize_tile, LithoDataset,
+    synthesize_tile, tile_mask, LithoDataset,
 };

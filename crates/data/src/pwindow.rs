@@ -1,0 +1,219 @@
+//! Corner-sweep dataset generation: the held-out masks of a configuration
+//! printed by the golden engine at every corner of a process window.
+//!
+//! The sweep reuses the *same* OPC'ed masks as the plain test split of
+//! [`synthesize`](crate::synthesize) (same seeds), so a model trained on the
+//! nominal train split is evaluated per-corner on exactly the tiles it is
+//! scored on nominally — the nominal corner of a
+//! [`ProcessWindowDataset`] reproduces the ordinary test-set evaluation,
+//! and every other corner quantifies degradation away from it.
+
+use crate::synth::{calibrated_resist, tile_mask};
+use crate::DatasetConfig;
+use litho_geometry::PvBand;
+use litho_optics::{ProcessCondition, ProcessWindowEngine, Pupil, SimGrid, SourceModel};
+use litho_tensor::Tensor;
+
+/// All held-out tiles printed at one process corner.
+#[derive(Debug, Clone)]
+pub struct CornerSet {
+    /// The dose/defocus operating point of this corner.
+    pub condition: ProcessCondition,
+    /// `(mask, golden print at this corner)` pairs; masks are identical
+    /// across all corners of a dataset, prints differ.
+    pub samples: Vec<(Tensor, Tensor)>,
+}
+
+/// A golden corner sweep: one [`CornerSet`] per process condition, sharing
+/// one set of masks.
+#[derive(Debug, Clone)]
+pub struct ProcessWindowDataset {
+    /// Display name, e.g. `"ISPD-2019 (L) process window"`.
+    pub name: String,
+    /// Simulation grid the tiles were generated on.
+    pub grid: SimGrid,
+    /// Dose-to-size calibrated resist threshold (calibrated at nominal).
+    pub resist_threshold: f32,
+    /// Per-corner tile sets, in the caller's condition order.
+    pub corners: Vec<CornerSet>,
+}
+
+impl ProcessWindowDataset {
+    /// Number of tiles per corner.
+    pub fn tiles_per_corner(&self) -> usize {
+        self.corners.first().map_or(0, |c| c.samples.len())
+    }
+
+    /// The conditions of the sweep, in corner order.
+    pub fn conditions(&self) -> Vec<ProcessCondition> {
+        self.corners.iter().map(|c| c.condition).collect()
+    }
+
+    /// Index of the corner closest to nominal (exactly nominal when the
+    /// sweep contains it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sweep has no corners.
+    pub fn nominal_index(&self) -> usize {
+        litho_optics::most_nominal_index(&self.conditions())
+    }
+
+    /// The golden PV band of tile `tile` across all corners.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile` is out of range.
+    pub fn pv_band(&self, tile: usize) -> PvBand {
+        let prints: Vec<&[f32]> = self
+            .corners
+            .iter()
+            .map(|c| c.samples[tile].1.as_slice())
+            .collect();
+        PvBand::from_prints(&prints, self.grid.size())
+    }
+}
+
+/// Synthesizes a golden corner sweep for `cfg` over `conditions`.
+///
+/// Masks are the configuration's held-out test tiles (seeds `1_000_000 + i`,
+/// matching the test split of [`synthesize`](crate::synthesize)); OPC and
+/// dose-to-size calibration run once, at nominal, exactly as a fab calibrates
+/// before qualifying the window. The per-defocus SOCS kernel cache of
+/// [`ProcessWindowEngine`] keeps the sweep cost at one eigendecomposition
+/// per unique defocus.
+///
+/// Deterministic given `cfg.seed` and the condition list.
+///
+/// # Panics
+///
+/// Panics if `conditions` is empty or `cfg.test_tiles == 0`.
+pub fn synthesize_process_window(
+    cfg: &DatasetConfig,
+    conditions: &[ProcessCondition],
+) -> ProcessWindowDataset {
+    assert!(!conditions.is_empty(), "at least one process condition");
+    assert!(cfg.test_tiles > 0, "corner sweep needs held-out tiles");
+    let grid = SimGrid::new(cfg.resolution.pixels(), cfg.pixel_nm());
+    let mut engine = ProcessWindowEngine::new(
+        grid,
+        Pupil::new(1.35, 193.0),
+        SourceModel::annular_default(),
+        cfg.socs_kernels,
+    );
+    // nominal kernels drive OPC and dose-to-size calibration
+    let nominal = engine.kernels_for(0.0).clone();
+    let resist = calibrated_resist(cfg, &nominal);
+    engine.prepare(conditions);
+
+    let size = grid.size();
+    let shape = [1, size, size];
+    let mut corners: Vec<CornerSet> = conditions
+        .iter()
+        .map(|&condition| CornerSet {
+            condition,
+            samples: Vec::with_capacity(cfg.test_tiles),
+        })
+        .collect();
+    for i in 0..cfg.test_tiles {
+        let mask = tile_mask(cfg, &nominal, 1_000_000 + i as u64);
+        let mask_t = Tensor::from_vec(mask.clone(), &shape);
+        for corner in corners.iter_mut() {
+            let printed = engine.print(&mask, corner.condition, &resist);
+            corner
+                .samples
+                .push((mask_t.clone(), Tensor::from_vec(printed, &shape)));
+        }
+    }
+    ProcessWindowDataset {
+        name: format!("{} process window", cfg.display_name()),
+        grid,
+        resist_threshold: resist.threshold(),
+        corners,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{synthesize, DatasetKind, Resolution};
+    use litho_optics::standard_corners;
+
+    fn smoke_cfg() -> DatasetConfig {
+        DatasetConfig {
+            socs_kernels: 4,
+            opc_iterations: 2,
+            ..DatasetConfig::new(DatasetKind::Ispd2019Like, Resolution::Low)
+        }
+        .with_tiles(1, 2)
+    }
+
+    #[test]
+    fn sweep_shares_masks_and_varies_prints() {
+        let cfg = smoke_cfg();
+        let pw = synthesize_process_window(&cfg, &standard_corners(0.1, 80.0));
+        assert_eq!(pw.corners.len(), 9);
+        assert_eq!(pw.tiles_per_corner(), 2);
+        let nominal = pw.nominal_index();
+        assert!(pw.corners[nominal].condition.is_nominal());
+        for corner in &pw.corners {
+            for (tile, (mask, print)) in corner.samples.iter().enumerate() {
+                // one mask per tile, shared across all corners
+                assert_eq!(mask, &pw.corners[0].samples[tile].0);
+                assert!(print.as_slice().iter().all(|&v| v == 0.0 || v == 1.0));
+            }
+        }
+        // a 10% dose / 80 nm defocus window must actually move some print
+        let moved = pw
+            .corners
+            .iter()
+            .any(|c| c.samples[0].1.as_slice() != pw.corners[nominal].samples[0].1.as_slice());
+        assert!(moved, "corner prints all identical to nominal");
+    }
+
+    #[test]
+    fn nominal_corner_matches_plain_test_split() {
+        let cfg = smoke_cfg();
+        let pw = synthesize_process_window(&cfg, &[ProcessCondition::nominal()]);
+        let ds = synthesize(&cfg);
+        assert_eq!(pw.tiles_per_corner(), ds.test.len());
+        assert!((pw.resist_threshold - ds.resist_threshold).abs() < 1e-6);
+        for (a, b) in pw.corners[0].samples.iter().zip(&ds.test) {
+            assert_eq!(a.0, b.0, "masks must match the test split");
+            assert_eq!(a.1, b.1, "nominal prints must match the test split");
+        }
+    }
+
+    #[test]
+    fn pv_band_bounds_every_corner_print() {
+        let cfg = smoke_cfg();
+        let pw = synthesize_process_window(&cfg, &standard_corners(0.1, 80.0));
+        let pv = pw.pv_band(0);
+        let n = pw.grid.size() * pw.grid.size();
+        for corner in &pw.corners {
+            let print = corner.samples[0].1.as_slice();
+            for i in 0..n {
+                if pv.inner()[i] >= 0.5 {
+                    assert!(print[i] >= 0.5);
+                }
+                if print[i] >= 0.5 {
+                    assert!(pv.outer()[i] >= 0.5);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = smoke_cfg();
+        let corners = standard_corners(0.05, 40.0);
+        let a = synthesize_process_window(&cfg, &corners);
+        let b = synthesize_process_window(&cfg, &corners);
+        for (ca, cb) in a.corners.iter().zip(&b.corners) {
+            assert_eq!(ca.condition, cb.condition);
+            for (sa, sb) in ca.samples.iter().zip(&cb.samples) {
+                assert_eq!(sa, sb);
+            }
+        }
+    }
+}

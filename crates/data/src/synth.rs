@@ -137,14 +137,10 @@ pub fn prepare_mask(
     engine.run_from(&init, design).mask
 }
 
-/// Generates one `(mask, resist)` pair: design → optional SRAFs → ILT OPC →
-/// golden print at the given calibrated threshold.
-pub fn synthesize_tile(
-    cfg: &DatasetConfig,
-    socs: &SocsKernels,
-    resist: &ResistModel,
-    tile_seed: u64,
-) -> (Tensor, Tensor) {
+/// Generates the finished (SRAF'ed + OPC'ed) mask raster for one tile —
+/// everything of [`synthesize_tile`] up to, but excluding, the golden print,
+/// so corner sweeps can re-print one mask under many process conditions.
+pub fn tile_mask(cfg: &DatasetConfig, socs: &SocsKernels, tile_seed: u64) -> Vec<f32> {
     let rules = cfg.kind.rules();
     let size = cfg.resolution.pixels();
     let px = cfg.pixel_nm();
@@ -164,7 +160,19 @@ pub fn synthesize_tile(
         }
     };
     let design = rasterize(&shapes, size, px);
-    let mask = prepare_mask(cfg, socs, &shapes, &design);
+    prepare_mask(cfg, socs, &shapes, &design)
+}
+
+/// Generates one `(mask, resist)` pair: design → optional SRAFs → ILT OPC →
+/// golden print at the given calibrated threshold.
+pub fn synthesize_tile(
+    cfg: &DatasetConfig,
+    socs: &SocsKernels,
+    resist: &ResistModel,
+    tile_seed: u64,
+) -> (Tensor, Tensor) {
+    let size = cfg.resolution.pixels();
+    let mask = tile_mask(cfg, socs, tile_seed);
     let printed = resist.develop(&socs.aerial_image(&mask));
 
     let s = [1, size, size];

@@ -30,6 +30,32 @@ impl EpeStats {
             self.violations as f32 / self.samples as f32
         }
     }
+
+    /// Pools per-image statistics into one: means are weighted by sample
+    /// count, maxima and violation/sample counts combine exactly. Folds in
+    /// slice order, so the result is deterministic for a fixed input order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn aggregate(items: &[EpeStats]) -> EpeStats {
+        assert!(!items.is_empty(), "cannot aggregate zero EPE stat sets");
+        let samples: usize = items.iter().map(|s| s.samples).sum();
+        let total: f64 = items
+            .iter()
+            .map(|s| s.mean_nm as f64 * s.samples as f64)
+            .sum();
+        EpeStats {
+            mean_nm: if samples == 0 {
+                0.0
+            } else {
+                (total / samples as f64) as f32
+            },
+            max_nm: items.iter().map(|s| s.max_nm).fold(0.0, f32::max),
+            violations: items.iter().map(|s| s.violations).sum(),
+            samples,
+        }
+    }
 }
 
 /// Returns `true` where the binary image has a set pixel with at least one
@@ -199,6 +225,30 @@ mod tests {
         let stats = measure_epe(&observed, &reference, 32, 4.0, 1, 10.0);
         assert!(stats.mean_nm >= 16.0 * 4.0 - 1.0, "mean {}", stats.mean_nm);
         assert_eq!(stats.violation_rate(), 1.0);
+    }
+
+    #[test]
+    fn aggregate_pools_by_sample_count() {
+        let a = EpeStats {
+            mean_nm: 2.0,
+            max_nm: 4.0,
+            violations: 1,
+            samples: 10,
+        };
+        let b = EpeStats {
+            mean_nm: 8.0,
+            max_nm: 12.0,
+            violations: 5,
+            samples: 30,
+        };
+        let agg = EpeStats::aggregate(&[a, b]);
+        // (2·10 + 8·30) / 40 = 6.5
+        assert!((agg.mean_nm - 6.5).abs() < 1e-6);
+        assert_eq!(agg.max_nm, 12.0);
+        assert_eq!(agg.violations, 6);
+        assert_eq!(agg.samples, 40);
+        // aggregating one item is the identity
+        assert_eq!(EpeStats::aggregate(&[a]), a);
     }
 
     #[test]

@@ -2,8 +2,9 @@
 //!
 //! Manhattan layout geometry for the DOINN reproduction: integer-nanometre
 //! rectangles ([`Rect`]), area-weighted rasterization to mask images
-//! ([`rasterize`]), binary morphology ([`dilate`]/[`erode`]) and image
-//! comparison ([`binary_iou`]).
+//! ([`rasterize`]), binary morphology ([`dilate`]/[`erode`]), image
+//! comparison ([`binary_iou`]), edge-placement error ([`measure_epe`]) and
+//! process-variation bands across corner sweeps ([`PvBand`]).
 //!
 //! # Examples
 //!
@@ -20,9 +21,11 @@
 #![warn(missing_docs)]
 
 mod epe;
+mod pvband;
 mod raster;
 mod rect;
 
 pub use epe::{boundary, measure_epe, EpeStats};
+pub use pvband::{PvBand, PvBandStats};
 pub use raster::{binarize, binary_iou, dilate, erode, rasterize, rasterize_into};
 pub use rect::Rect;

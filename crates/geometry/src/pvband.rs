@@ -1,0 +1,202 @@
+//! Process-variation (PV) bands.
+//!
+//! Printing the same mask across every corner of a process window yields a
+//! family of contours; their pixelwise intersection (the **inner** contour —
+//! prints under *all* conditions) and union (the **outer** contour — prints
+//! under *any* condition) bound the *PV band*, the region whose printing is
+//! condition-dependent. Band area and width are the standard OPC-qualification
+//! measures of process robustness: a design that keeps its PV band thin
+//! prints the same shape everywhere in the window.
+
+use crate::epe::boundary;
+
+/// Inner/outer printed contours across a set of process corners.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PvBand {
+    size: usize,
+    inner: Vec<f32>,
+    outer: Vec<f32>,
+}
+
+/// Physical summary statistics of a [`PvBand`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PvBandStats {
+    /// Area printing under all conditions, in nm².
+    pub inner_area_nm2: f32,
+    /// Area printing under at least one condition, in nm².
+    pub outer_area_nm2: f32,
+    /// PV-band area (outer − inner), in nm².
+    pub band_area_nm2: f32,
+    /// Mean band width: band area over the mean inner/outer contour length,
+    /// in nm. `0` when nothing prints.
+    pub mean_width_nm: f32,
+}
+
+impl PvBand {
+    /// Computes the inner/outer contours of `prints` (binary `size²` images,
+    /// one per process corner; pixels ≥ 0.5 count as printed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prints` is empty or any image is not `size²` long.
+    pub fn from_prints<S: AsRef<[f32]>>(prints: &[S], size: usize) -> Self {
+        assert!(!prints.is_empty(), "PV band needs at least one print");
+        let n = size * size;
+        let mut inner = vec![1.0f32; n];
+        let mut outer = vec![0.0f32; n];
+        for p in prints {
+            let p = p.as_ref();
+            assert_eq!(p.len(), n, "print size mismatch");
+            for i in 0..n {
+                let set = p[i] >= 0.5;
+                if !set {
+                    inner[i] = 0.0;
+                }
+                if set {
+                    outer[i] = 1.0;
+                }
+            }
+        }
+        Self { size, inner, outer }
+    }
+
+    /// Image side length in pixels.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The inner contour (printed in **all** corners), binary `size²` image.
+    pub fn inner(&self) -> &[f32] {
+        &self.inner
+    }
+
+    /// The outer contour (printed in **any** corner), binary `size²` image.
+    pub fn outer(&self) -> &[f32] {
+        &self.outer
+    }
+
+    /// The band itself (outer minus inner), binary `size²` image.
+    pub fn band(&self) -> Vec<f32> {
+        self.outer
+            .iter()
+            .zip(&self.inner)
+            .map(|(&o, &i)| if o >= 0.5 && i < 0.5 { 1.0 } else { 0.0 })
+            .collect()
+    }
+
+    /// Band area in pixels.
+    pub fn band_area_px(&self) -> usize {
+        self.outer
+            .iter()
+            .zip(&self.inner)
+            .filter(|&(&o, &i)| o >= 0.5 && i < 0.5)
+            .count()
+    }
+
+    /// Inner-contour area in pixels.
+    pub fn inner_area_px(&self) -> usize {
+        self.inner.iter().filter(|&&v| v >= 0.5).count()
+    }
+
+    /// Outer-contour area in pixels.
+    pub fn outer_area_px(&self) -> usize {
+        self.outer.iter().filter(|&&v| v >= 0.5).count()
+    }
+
+    /// Physical statistics at a pixel pitch of `pixel_nm`.
+    pub fn stats(&self, pixel_nm: f32) -> PvBandStats {
+        let px2 = pixel_nm * pixel_nm;
+        let band_px = self.band_area_px();
+        // mean width ≈ band area / contour length, with the length taken as
+        // the mean of the inner and outer boundary pixel counts
+        let edge_px = |img: &[f32]| boundary(img, self.size).iter().filter(|&&b| b).count() as f32;
+        let mean_edge = 0.5 * (edge_px(&self.inner) + edge_px(&self.outer));
+        let mean_width_nm = if mean_edge > 0.0 {
+            band_px as f32 * pixel_nm / mean_edge
+        } else {
+            0.0
+        };
+        PvBandStats {
+            inner_area_nm2: self.inner_area_px() as f32 * px2,
+            outer_area_nm2: self.outer_area_px() as f32 * px2,
+            band_area_nm2: band_px as f32 * px2,
+            mean_width_nm,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{rasterize, Rect};
+
+    fn square(size: usize, r: Rect) -> Vec<f32> {
+        rasterize(&[r], size, 4.0)
+    }
+
+    #[test]
+    fn identical_prints_have_empty_band() {
+        let img = square(16, Rect::new(8, 8, 40, 40));
+        let pv = PvBand::from_prints(&[img.clone(), img.clone(), img.clone()], 16);
+        assert_eq!(pv.band_area_px(), 0);
+        assert_eq!(pv.inner(), pv.outer());
+        let stats = pv.stats(4.0);
+        assert_eq!(stats.band_area_nm2, 0.0);
+        assert_eq!(stats.mean_width_nm, 0.0);
+        assert!(stats.inner_area_nm2 > 0.0);
+    }
+
+    #[test]
+    fn nested_squares_band_is_the_ring() {
+        // 6×6-px inner square, 8×8-px outer square: band = 8² − 6² = 28 px
+        let small = square(16, Rect::new(20, 20, 44, 44));
+        let big = square(16, Rect::new(16, 16, 48, 48));
+        let pv = PvBand::from_prints(&[small.clone(), big.clone()], 16);
+        assert_eq!(pv.inner_area_px(), 36);
+        assert_eq!(pv.outer_area_px(), 64);
+        assert_eq!(pv.band_area_px(), 28);
+        // uniform 1-px ring: mean width ≈ 1 px = 4 nm
+        let stats = pv.stats(4.0);
+        assert!(
+            (stats.mean_width_nm - 4.0).abs() < 2.0,
+            "ring width {} nm should be ≈ 4 nm",
+            stats.mean_width_nm
+        );
+        // order of prints must not matter
+        let pv2 = PvBand::from_prints(&[big, small], 16);
+        assert_eq!(pv, pv2);
+    }
+
+    #[test]
+    fn inner_subset_of_every_print_subset_of_outer() {
+        let prints = vec![
+            square(16, Rect::new(8, 8, 40, 40)),
+            square(16, Rect::new(12, 8, 44, 40)),
+            square(16, Rect::new(8, 12, 40, 44)),
+        ];
+        let pv = PvBand::from_prints(&prints, 16);
+        for p in &prints {
+            for i in 0..16 * 16 {
+                if pv.inner()[i] >= 0.5 {
+                    assert!(p[i] >= 0.5, "inner must print everywhere");
+                }
+                if p[i] >= 0.5 {
+                    assert!(pv.outer()[i] >= 0.5, "outer must cover every print");
+                }
+            }
+        }
+        assert_eq!(pv.band_area_px(), pv.outer_area_px() - pv.inner_area_px());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one print")]
+    fn empty_print_set_panics() {
+        let _ = PvBand::from_prints::<Vec<f32>>(&[], 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn mismatched_print_panics() {
+        let _ = PvBand::from_prints(&[vec![0.0f32; 9]], 8);
+    }
+}

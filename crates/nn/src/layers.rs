@@ -23,6 +23,16 @@ pub trait Module {
     /// Switches between training and inference behaviour (batch-norm etc.).
     fn set_training(&self, _training: bool) {}
 
+    /// Whether the module is currently in training mode.
+    ///
+    /// Stateless modules (whose behaviour is mode-independent) report
+    /// `false`; containers report `true` if any child does. Callers that
+    /// temporarily force a mode (e.g. evaluation inside a training loop)
+    /// use this to restore the previous mode afterwards.
+    fn is_training(&self) -> bool {
+        false
+    }
+
     /// Total number of trainable scalars (buffers excluded).
     fn param_count(&self) -> usize {
         self.params()
@@ -44,6 +54,10 @@ impl<M: Module + ?Sized> Module for Box<M> {
 
     fn set_training(&self, training: bool) {
         (**self).set_training(training);
+    }
+
+    fn is_training(&self) -> bool {
+        (**self).is_training()
     }
 }
 
@@ -211,6 +225,10 @@ impl Module for BatchNorm2d {
     fn set_training(&self, training: bool) {
         self.training.store(training, Ordering::Relaxed);
     }
+
+    fn is_training(&self) -> bool {
+        self.training.load(Ordering::Relaxed)
+    }
 }
 
 /// Leaky ReLU activation layer.
@@ -340,6 +358,10 @@ impl Module for Sequential {
             l.set_training(training);
         }
     }
+
+    fn is_training(&self) -> bool {
+        self.layers.iter().any(|l| l.is_training())
+    }
 }
 
 #[cfg(test)]
@@ -385,6 +407,20 @@ mod tests {
         let x = g.input(Tensor::zeros(&[1, 1, 8, 8]));
         let y = net.forward(&mut g, x);
         assert_eq!(g.value(y).shape(), &[1, 1, 8, 8]);
+    }
+
+    #[test]
+    fn is_training_reflects_mode() {
+        let net = Sequential::new()
+            .push(LeakyRelu::new(0.1))
+            .push(BatchNorm2d::new(2));
+        assert!(net.is_training(), "batch-norm starts in training mode");
+        net.set_training(false);
+        assert!(!net.is_training());
+        net.set_training(true);
+        assert!(net.is_training());
+        // stateless modules have no mode
+        assert!(!LeakyRelu::new(0.1).is_training());
     }
 
     #[test]

@@ -17,7 +17,7 @@
 use crate::graph::Param;
 use litho_tensor::Tensor;
 use std::fs::File;
-use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::io::{self, BufWriter, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"LNNCKPT1";
@@ -49,77 +49,112 @@ pub fn save_params(path: impl AsRef<Path>, params: &[Param]) -> io::Result<()> {
 
 /// Loads a checkpoint into `params` (same order as saved).
 ///
+/// The file is read in one bulk I/O pass and parsed with every length field
+/// validated against the bytes actually remaining, so a corrupt header can
+/// never drive a huge allocation. Trailing bytes after the last parameter
+/// are rejected. All tensors are staged first and committed only after the
+/// whole file has parsed, so a malformed file leaves `params` untouched
+/// rather than half-overwritten.
+///
 /// # Errors
 ///
-/// Returns an error if the file is malformed, or if the parameter count,
-/// a name, or a shape does not match.
+/// Returns an error if the file is malformed (truncated, oversized length
+/// fields, trailing garbage), or if the parameter count, a name, or a shape
+/// does not match.
 pub fn load_params(path: impl AsRef<Path>, params: &[Param]) -> io::Result<()> {
-    let mut r = BufReader::new(File::open(path)?);
-    let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)?;
-    if &magic != MAGIC {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "not a litho-nn checkpoint (bad magic)",
-        ));
+    let buf = std::fs::read(path)?;
+    let mut pos = 0usize;
+    let magic = take(&buf, &mut pos, MAGIC.len(), "magic")?;
+    if magic != MAGIC {
+        return Err(invalid("not a litho-nn checkpoint (bad magic)"));
     }
-    let count = read_u32(&mut r)? as usize;
+    let count = take_u32(&buf, &mut pos, "param count")? as usize;
     if count != params.len() {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!(
-                "checkpoint holds {count} params but the model has {}",
-                params.len()
-            ),
-        ));
+        return Err(invalid(format!(
+            "checkpoint holds {count} params but the model has {}",
+            params.len()
+        )));
     }
+    let mut staged: Vec<Tensor> = Vec::with_capacity(params.len());
     for p in params {
-        let name_len = read_u32(&mut r)? as usize;
-        let mut name = vec![0u8; name_len];
-        r.read_exact(&mut name)?;
-        let name =
-            String::from_utf8(name).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        // every `take` bounds-checks against the remaining bytes, so a
+        // corrupt name_len/rank/dim fails fast instead of allocating
+        let name_len = take_u32(&buf, &mut pos, "name length")? as usize;
+        let name_bytes = take(&buf, &mut pos, name_len, "param name")?;
+        let name = std::str::from_utf8(name_bytes).map_err(invalid)?;
         if name != p.name() {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!(
-                    "param name mismatch: checkpoint '{name}' vs model '{}'",
-                    p.name()
-                ),
-            ));
+            return Err(invalid(format!(
+                "param name mismatch: checkpoint '{name}' vs model '{}'",
+                p.name()
+            )));
         }
-        let rank = read_u32(&mut r)? as usize;
+        let rank = take_u32(&buf, &mut pos, "rank")? as usize;
+        if rank
+            .checked_mul(8)
+            .map_or(true, |bytes| bytes > buf.len() - pos)
+        {
+            return Err(invalid(format!(
+                "rank {rank} exceeds the remaining file length"
+            )));
+        }
         let mut shape = Vec::with_capacity(rank);
         for _ in 0..rank {
-            let mut b = [0u8; 8];
-            r.read_exact(&mut b)?;
-            shape.push(u64::from_le_bytes(b) as usize);
+            let b = take(&buf, &mut pos, 8, "dimension")?;
+            let d = u64::from_le_bytes(b.try_into().expect("8-byte slice"));
+            shape.push(usize::try_from(d).map_err(invalid)?);
         }
         if shape != p.shape() {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!(
-                    "shape mismatch for '{name}': checkpoint {shape:?} vs model {:?}",
-                    p.shape()
-                ),
-            ));
+            return Err(invalid(format!(
+                "shape mismatch for '{name}': checkpoint {shape:?} vs model {:?}",
+                p.shape()
+            )));
         }
+        // shape == model shape, so numel is the model's (sane) element count
         let numel: usize = shape.iter().product();
-        let mut data = vec![0f32; numel];
-        for v in &mut data {
-            let mut b = [0u8; 4];
-            r.read_exact(&mut b)?;
-            *v = f32::from_le_bytes(b);
-        }
-        p.set_value(Tensor::from_vec(data, &shape));
+        let data_bytes = take(&buf, &mut pos, numel * 4, "tensor data")?;
+        let data: Vec<f32> = data_bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        staged.push(Tensor::from_vec(data, &shape));
+    }
+    if pos != buf.len() {
+        return Err(invalid(format!(
+            "{} trailing bytes after the last parameter",
+            buf.len() - pos
+        )));
+    }
+    // commit atomically: nothing above may fail past this point
+    for (p, t) in params.iter().zip(staged) {
+        p.set_value(t);
     }
     Ok(())
 }
 
-fn read_u32(r: &mut impl Read) -> io::Result<u32> {
-    let mut b = [0u8; 4];
-    r.read_exact(&mut b)?;
-    Ok(u32::from_le_bytes(b))
+fn invalid(msg: impl Into<Box<dyn std::error::Error + Send + Sync>>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Consumes `n` bytes from `buf` at `*pos`, erroring (without advancing or
+/// allocating) if fewer remain.
+fn take<'a>(buf: &'a [u8], pos: &mut usize, n: usize, what: &str) -> io::Result<&'a [u8]> {
+    let end = pos
+        .checked_add(n)
+        .filter(|&e| e <= buf.len())
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("checkpoint truncated while reading {what}"),
+            )
+        })?;
+    let slice = &buf[*pos..end];
+    *pos = end;
+    Ok(slice)
+}
+
+fn take_u32(buf: &[u8], pos: &mut usize, what: &str) -> io::Result<u32> {
+    let b = take(buf, pos, 4, what)?;
+    Ok(u32::from_le_bytes(b.try_into().expect("4-byte slice")))
 }
 
 #[cfg(test)]
@@ -189,6 +224,97 @@ mod tests {
         let p = Param::new(Tensor::zeros(&[1]), "w");
         let err = load_params(&path, &[p]).unwrap_err();
         assert!(err.to_string().contains("bad magic"));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn truncated_file_leaves_params_untouched() {
+        // regression: the loader used to mutate params in place, so a file
+        // truncated mid-way left the model half-overwritten
+        let a = Param::new(Tensor::from_vec(vec![1.0, 2.0], &[2]), "a");
+        let b = Param::new(Tensor::from_vec(vec![3.0, 4.0, 5.0], &[3]), "b");
+        let path = tmp("trunc.ckpt");
+        save_params(&path, &[a.clone(), b.clone()]).unwrap();
+        // cut the file inside the second param's data
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 6]).unwrap();
+
+        let a2 = Param::new(Tensor::from_vec(vec![-1.0, -1.0], &[2]), "a");
+        let b2 = Param::new(Tensor::from_vec(vec![-2.0, -2.0, -2.0], &[3]), "b");
+        let err = load_params(&path, &[a2.clone(), b2.clone()]).unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+        // neither param moved — including the first one, which parsed fine
+        assert_eq!(a2.value().as_slice(), &[-1.0, -1.0]);
+        assert_eq!(b2.value().as_slice(), &[-2.0, -2.0, -2.0]);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_huge_name_len_without_allocating() {
+        // regression: a corrupt name_len used to drive a huge Vec allocation
+        // before hitting EOF
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // one param
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // absurd name_len
+        let path = tmp("hugename.ckpt");
+        std::fs::write(&path, &bytes).unwrap();
+        let p = Param::new(Tensor::zeros(&[1]), "w");
+        let err = load_params(&path, &[p]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_huge_rank_and_dims() {
+        // absurd rank fails the remaining-length check instead of allocating
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // name_len 1
+        bytes.push(b'w');
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // absurd rank
+        let path = tmp("hugerank.ckpt");
+        std::fs::write(&path, &bytes).unwrap();
+        let p = Param::new(Tensor::zeros(&[1]), "w");
+        let err = load_params(&path, &[p]).unwrap_err();
+        assert!(err.to_string().contains("rank"), "{err}");
+        std::fs::remove_file(&path).ok();
+
+        // an absurd dimension is caught as a shape mismatch before any data
+        // read is attempted
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.push(b'w');
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // rank 1
+        bytes.extend_from_slice(&(u64::MAX).to_le_bytes()); // absurd dim
+        let path = tmp("hugedim.ckpt");
+        std::fs::write(&path, &bytes).unwrap();
+        let p = Param::new(Tensor::zeros(&[1]), "w");
+        let err = load_params(&path, &[p]).unwrap_err();
+        assert!(
+            err.to_string().contains("shape mismatch")
+                || err.kind() == std::io::ErrorKind::InvalidData,
+            "{err}"
+        );
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let a = Param::new(Tensor::from_vec(vec![1.0, 2.0], &[2]), "a");
+        let path = tmp("trailing.ckpt");
+        save_params(&path, std::slice::from_ref(&a)).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(b"junk");
+        std::fs::write(&path, &bytes).unwrap();
+        let a2 = Param::new(Tensor::zeros(&[2]), "a");
+        let err = load_params(&path, std::slice::from_ref(&a2)).unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+        // the atomic-commit rule applies here too
+        assert_eq!(a2.value().as_slice(), &[0.0, 0.0]);
         std::fs::remove_file(path).ok();
     }
 }

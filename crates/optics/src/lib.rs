@@ -10,7 +10,9 @@
 //!   eigendecomposed into the truncated sum-of-coherent-systems form
 //!   `I = Σ_k α_k |F⁻¹(Ψ_k ⊙ F(M))|²` used for fast simulation.
 //! - [`ResistModel`] — constant-threshold (and differentiable sigmoid)
-//!   develop models.
+//!   develop models, with dose-aware development for process windows.
+//! - [`ProcessCondition`] / [`ProcessWindowEngine`] — dose × defocus corner
+//!   sweeps with a defocus-keyed SOCS kernel cache.
 //! - [`LithoPipeline`] — mask → aerial image → printed resist in one call.
 //!
 //! # Examples
@@ -37,6 +39,7 @@
 mod abbe;
 pub mod eig;
 mod grid;
+mod process;
 mod pupil;
 mod resist;
 mod source;
@@ -44,6 +47,9 @@ mod tcc;
 
 pub use abbe::AbbeSimulator;
 pub use grid::SimGrid;
+pub use process::{
+    corner_grid, most_nominal_index, standard_corners, ProcessCondition, ProcessWindowEngine,
+};
 pub use pupil::Pupil;
 pub use resist::ResistModel;
 pub use source::{SourceModel, SourcePoint, SourceShape};

@@ -1,0 +1,361 @@
+//! Process-window modeling: dose/defocus conditions, corner grids and a
+//! kernel-cached corner-sweep engine.
+//!
+//! A lithography model is only trusted once it behaves across the *process
+//! window* — the range of exposure dose and focus the fab actually delivers.
+//! This module provides the scenario vocabulary for that qualification:
+//!
+//! - [`ProcessCondition`] — one `(dose, defocus)` operating point.
+//! - [`corner_grid`] / [`standard_corners`] — deterministic N×M sweeps and
+//!   the conventional 3×3 FEM (focus-exposure matrix) corners.
+//! - [`ProcessWindowEngine`] — golden SOCS simulation per condition, with a
+//!   defocus-keyed kernel cache: dose only rescales the delivered intensity,
+//!   so an N-dose × M-defocus sweep costs **M** TCC eigendecompositions, not
+//!   N×M.
+//!
+//! Dose enters at develop time via
+//! [`ResistModel::develop_at_dose`](crate::ResistModel::develop_at_dose);
+//! defocus enters the optics through the paraxial pupil phase
+//! ([`Pupil::with_defocus`]).
+
+use crate::{LithoModel, Pupil, ResistModel, SimGrid, SocsKernels, SourceModel, TccModel};
+use std::collections::HashMap;
+
+/// One operating point of the process window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProcessCondition {
+    /// Relative exposure dose (nominal `1.0`; `1.05` = +5 % over-dose).
+    pub dose: f32,
+    /// Defocus offset from nominal focus, in nanometres.
+    pub defocus_nm: f32,
+}
+
+impl ProcessCondition {
+    /// The nominal condition: dose 1.0, zero defocus.
+    pub fn nominal() -> Self {
+        Self {
+            dose: 1.0,
+            defocus_nm: 0.0,
+        }
+    }
+
+    /// Creates a condition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dose <= 0` or either value is non-finite.
+    pub fn new(dose: f32, defocus_nm: f32) -> Self {
+        assert!(dose > 0.0 && dose.is_finite(), "dose must be positive");
+        assert!(defocus_nm.is_finite(), "defocus must be finite");
+        Self { dose, defocus_nm }
+    }
+
+    /// Whether this is exactly the nominal condition.
+    pub fn is_nominal(&self) -> bool {
+        self.dose == 1.0 && self.defocus_nm == 0.0
+    }
+
+    /// Distance from nominal used to pick the "most nominal" corner of a
+    /// sweep: relative dose offset plus defocus scaled to the same order
+    /// (100 nm of defocus weighs like a 100 % dose error).
+    pub fn distance_from_nominal(&self) -> f32 {
+        (self.dose - 1.0).abs() + self.defocus_nm.abs() / 100.0
+    }
+}
+
+impl std::fmt::Display for ProcessCondition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_nominal() {
+            return write!(f, "nominal");
+        }
+        write!(
+            f,
+            "dose {:+.1}% / focus {:+.0}nm",
+            (self.dose - 1.0) * 100.0,
+            self.defocus_nm
+        )
+    }
+}
+
+/// The full N×M corner grid over the given dose and defocus values, in
+/// deterministic row-major order (doses outer, defoci inner).
+///
+/// # Panics
+///
+/// Panics if either axis is empty or any dose is invalid.
+pub fn corner_grid(doses: &[f32], defoci: &[f32]) -> Vec<ProcessCondition> {
+    assert!(!doses.is_empty(), "at least one dose required");
+    assert!(!defoci.is_empty(), "at least one defocus required");
+    doses
+        .iter()
+        .flat_map(|&d| defoci.iter().map(move |&z| ProcessCondition::new(d, z)))
+        .collect()
+}
+
+/// Index of the condition closest to nominal (per
+/// [`ProcessCondition::distance_from_nominal`]; first wins on ties) — the
+/// degradation reference of a corner sweep.
+///
+/// # Panics
+///
+/// Panics if `conditions` is empty.
+pub fn most_nominal_index(conditions: &[ProcessCondition]) -> usize {
+    assert!(!conditions.is_empty(), "no process conditions");
+    conditions
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| {
+            a.distance_from_nominal()
+                .partial_cmp(&b.distance_from_nominal())
+                .expect("finite condition distances")
+        })
+        .map(|(i, _)| i)
+        .expect("non-empty conditions")
+}
+
+/// The conventional 3×3 focus-exposure matrix: doses
+/// `{1−δ, 1, 1+δ}` × defoci `{−z, 0, +z}` (9 corners, nominal included).
+///
+/// # Panics
+///
+/// Panics if `dose_delta` is not in `(0, 1)` or `defocus_nm <= 0`.
+pub fn standard_corners(dose_delta: f32, defocus_nm: f32) -> Vec<ProcessCondition> {
+    assert!(
+        dose_delta > 0.0 && dose_delta < 1.0,
+        "dose delta must be in (0, 1)"
+    );
+    assert!(defocus_nm > 0.0, "defocus span must be positive");
+    corner_grid(
+        &[1.0 - dose_delta, 1.0, 1.0 + dose_delta],
+        &[-defocus_nm, 0.0, defocus_nm],
+    )
+}
+
+/// Golden corner-sweep engine: per-condition SOCS simulation with a
+/// defocus-keyed kernel cache.
+///
+/// Rebuilding the Hopkins TCC and its eigendecomposition is by far the most
+/// expensive step of a sweep; the cache does it once per **unique defocus**
+/// and reuses the kernels for every dose riding on that focus plane.
+#[derive(Debug, Clone)]
+pub struct ProcessWindowEngine {
+    grid: SimGrid,
+    /// Nominal-focus pupil; a condition's defocus is added on top of any
+    /// defocus already baked into it.
+    pupil: Pupil,
+    source: SourceModel,
+    kernel_count: usize,
+    cache: HashMap<u32, SocsKernels>,
+}
+
+impl ProcessWindowEngine {
+    /// Creates an engine around a nominal grid/pupil/source triple keeping
+    /// `kernel_count` SOCS kernels per condition.
+    pub fn new(grid: SimGrid, pupil: Pupil, source: SourceModel, kernel_count: usize) -> Self {
+        Self {
+            grid,
+            pupil,
+            source,
+            kernel_count,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// The simulation grid.
+    pub fn grid(&self) -> SimGrid {
+        self.grid
+    }
+
+    /// SOCS kernels kept per condition.
+    pub fn kernel_count(&self) -> usize {
+        self.kernel_count
+    }
+
+    /// Number of kernel sets currently cached (one per unique defocus seen).
+    pub fn cached_kernel_sets(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// The SOCS kernels for a defocus offset, eigendecomposing the shifted
+    /// TCC on first use and serving the cache afterwards.
+    pub fn kernels_for(&mut self, defocus_nm: f32) -> &SocsKernels {
+        let (grid, pupil, source, count) = (self.grid, self.pupil, &self.source, self.kernel_count);
+        self.cache.entry(defocus_nm.to_bits()).or_insert_with(|| {
+            let shifted = pupil.with_defocus(pupil.defocus_nm() + defocus_nm);
+            TccModel::new(grid, shifted, source).kernels(count)
+        })
+    }
+
+    /// Warms the cache for every unique defocus in `conditions`.
+    pub fn prepare(&mut self, conditions: &[ProcessCondition]) {
+        for c in conditions {
+            self.kernels_for(c.defocus_nm);
+        }
+    }
+
+    /// Aerial image of `mask` at a condition's focus plane (dose does not
+    /// alter the optical image — it is applied at develop time).
+    pub fn aerial_image(&mut self, mask: &[f32], condition: ProcessCondition) -> Vec<f32> {
+        self.kernels_for(condition.defocus_nm).aerial_image(mask)
+    }
+
+    /// Printed resist raster of `mask` at `condition`: defocused aerial
+    /// image, dose-aware develop.
+    pub fn print(
+        &mut self,
+        mask: &[f32],
+        condition: ProcessCondition,
+        resist: &ResistModel,
+    ) -> Vec<f32> {
+        let intensity = self.aerial_image(mask, condition);
+        resist.develop_at_dose(&intensity, condition.dose)
+    }
+
+    /// Prints `mask` at every condition, in order — the golden corner sweep
+    /// whose outputs feed PV-band extraction.
+    pub fn print_corners(
+        &mut self,
+        mask: &[f32],
+        conditions: &[ProcessCondition],
+        resist: &ResistModel,
+    ) -> Vec<Vec<f32>> {
+        self.prepare(conditions);
+        conditions
+            .iter()
+            .map(|&c| self.print(mask, c, resist))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LithoPipeline;
+
+    fn setup() -> (SimGrid, Pupil, SourceModel) {
+        (
+            SimGrid::new(32, 16.0),
+            Pupil::new(1.35, 193.0),
+            SourceModel::circular(0.5),
+        )
+    }
+
+    fn via_mask(size: usize) -> Vec<f32> {
+        let mut mask = vec![0.0f32; size * size];
+        for y in 12..20 {
+            for x in 12..20 {
+                mask[y * size + x] = 1.0;
+            }
+        }
+        mask
+    }
+
+    #[test]
+    fn nominal_condition_matches_plain_pipeline() {
+        let (g, p, s) = setup();
+        let mut engine = ProcessWindowEngine::new(g, p, s, 6);
+        let resist = ResistModel::default_threshold();
+        let plain = LithoPipeline::new(TccModel::new(g, p, &s).kernels(6), resist);
+        let mask = via_mask(32);
+        assert_eq!(
+            engine.print(&mask, ProcessCondition::nominal(), &resist),
+            plain.print(&mask)
+        );
+    }
+
+    #[test]
+    fn cache_is_keyed_by_defocus_not_dose() {
+        let (g, p, s) = setup();
+        let mut engine = ProcessWindowEngine::new(g, p, s, 4);
+        let corners = standard_corners(0.05, 40.0);
+        assert_eq!(corners.len(), 9);
+        engine.prepare(&corners);
+        // 3 doses × 3 defoci → only 3 eigendecompositions
+        assert_eq!(engine.cached_kernel_sets(), 3);
+        // further sweeps over the same window add nothing
+        engine.prepare(&corners);
+        assert_eq!(engine.cached_kernel_sets(), 3);
+    }
+
+    #[test]
+    fn dose_moves_printed_area_monotonically() {
+        let (g, p, s) = setup();
+        let mut engine = ProcessWindowEngine::new(g, p, s, 6);
+        let resist = ResistModel::default_threshold();
+        let mask = via_mask(32);
+        let area = |e: &mut ProcessWindowEngine, dose: f32| {
+            e.print(&mask, ProcessCondition::new(dose, 0.0), &resist)
+                .iter()
+                .sum::<f32>()
+        };
+        let under = area(&mut engine, 0.8);
+        let nominal = area(&mut engine, 1.0);
+        let over = area(&mut engine, 1.2);
+        assert!(under <= nominal && nominal <= over);
+        assert!(over > under, "20% dose swing must move the printed area");
+    }
+
+    #[test]
+    fn defocus_changes_the_aerial_image() {
+        let (g, p, s) = setup();
+        let mut engine = ProcessWindowEngine::new(g, p, s, 6);
+        let mask = via_mask(32);
+        let focused = engine.aerial_image(&mask, ProcessCondition::nominal());
+        let blurred = engine.aerial_image(&mask, ProcessCondition::new(1.0, 120.0));
+        let diff: f32 = focused
+            .iter()
+            .zip(&blurred)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(diff > 0.1, "defocus must perturb the image (|Δ|₁ = {diff})");
+        // defocus loses contrast: the in-focus peak is at least as bright
+        let peak = |img: &[f32]| img.iter().fold(0.0f32, |a, &b| a.max(b));
+        assert!(peak(&focused) >= peak(&blurred) - 1e-3);
+    }
+
+    #[test]
+    fn corner_grid_order_is_deterministic() {
+        let grid = corner_grid(&[0.95, 1.05], &[-30.0, 0.0, 30.0]);
+        assert_eq!(grid.len(), 6);
+        assert_eq!(grid[0], ProcessCondition::new(0.95, -30.0));
+        assert_eq!(grid[1], ProcessCondition::new(0.95, 0.0));
+        assert_eq!(grid[5], ProcessCondition::new(1.05, 30.0));
+    }
+
+    #[test]
+    fn standard_corners_include_nominal_once() {
+        let corners = standard_corners(0.05, 50.0);
+        assert_eq!(corners.iter().filter(|c| c.is_nominal()).count(), 1);
+        assert!(corners[most_nominal_index(&corners)].is_nominal());
+        // without an exact nominal, the closest corner wins
+        let skewed = corner_grid(&[0.9, 1.02], &[-80.0, 20.0]);
+        assert_eq!(
+            most_nominal_index(&skewed),
+            3,
+            "dose 1.02 / +20nm is closest to nominal"
+        );
+    }
+
+    #[test]
+    fn condition_labels_are_readable() {
+        assert_eq!(ProcessCondition::nominal().to_string(), "nominal");
+        assert_eq!(
+            ProcessCondition::new(1.05, -40.0).to_string(),
+            "dose +5.0% / focus -40nm"
+        );
+    }
+
+    #[test]
+    fn print_corners_sweeps_in_condition_order() {
+        let (g, p, s) = setup();
+        let mut engine = ProcessWindowEngine::new(g, p, s, 4);
+        let resist = ResistModel::default_threshold();
+        let mask = via_mask(32);
+        let corners = standard_corners(0.1, 60.0);
+        let prints = engine.print_corners(&mask, &corners, &resist);
+        assert_eq!(prints.len(), corners.len());
+        for (print, cond) in prints.iter().zip(&corners) {
+            assert_eq!(*print, engine.print(&mask, *cond, &resist));
+        }
+    }
+}

@@ -64,6 +64,34 @@ impl ResistModel {
         }
     }
 
+    /// Develops an intensity raster delivered at a relative exposure
+    /// `dose` (nominal `1.0`).
+    ///
+    /// Exposure dose scales the energy delivered to the resist linearly, so
+    /// a pixel prints where `dose · I` crosses the threshold: over-dose
+    /// grows printed features, under-dose shrinks them — the dose axis of a
+    /// process window. `develop_at_dose(i, 1.0)` equals [`Self::develop`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dose <= 0`.
+    pub fn develop_at_dose(&self, intensity: &[f32], dose: f32) -> Vec<f32> {
+        assert!(dose > 0.0, "dose must be positive");
+        match *self {
+            ResistModel::ConstantThreshold { threshold } => intensity
+                .iter()
+                .map(|&v| if dose * v >= threshold { 1.0 } else { 0.0 })
+                .collect(),
+            ResistModel::Sigmoid {
+                threshold,
+                steepness,
+            } => intensity
+                .iter()
+                .map(|&v| 1.0 / (1.0 + (-steepness * (dose * v - threshold)).exp()))
+                .collect(),
+        }
+    }
+
     /// Derivative of [`Self::develop`] w.r.t. intensity (zero for the hard
     /// threshold almost everywhere).
     pub fn develop_deriv(&self, intensity: &[f32]) -> Vec<f32> {
@@ -134,6 +162,39 @@ mod tests {
             let num = (r.develop(&[i + eps])[0] - r.develop(&[i - eps])[0]) / (2.0 * eps);
             assert!((d - num).abs() < 1e-2 * (1.0 + num.abs()), "{d} vs {num}");
         }
+    }
+
+    #[test]
+    fn nominal_dose_matches_plain_develop() {
+        let intensities = [0.0f32, 0.1, 0.29, 0.3, 0.31, 0.7, 1.0];
+        for r in [
+            ResistModel::default_threshold(),
+            ResistModel::default_sigmoid(),
+        ] {
+            assert_eq!(
+                r.develop_at_dose(&intensities, 1.0),
+                r.develop(&intensities)
+            );
+        }
+    }
+
+    #[test]
+    fn overdose_grows_and_underdose_shrinks_the_print() {
+        let r = ResistModel::default_threshold();
+        let intensities = [0.1f32, 0.2, 0.28, 0.32, 0.5];
+        let area = |dose: f32| r.develop_at_dose(&intensities, dose).iter().sum::<f32>();
+        assert!(area(1.2) >= area(1.0));
+        assert!(area(0.8) <= area(1.0));
+        assert!(area(1.2) > area(0.8), "dose must move the printed area");
+        // 0.28 prints only over-dosed; 0.32 drops out under-dosed
+        assert_eq!(r.develop_at_dose(&[0.28], 1.2), vec![1.0]);
+        assert_eq!(r.develop_at_dose(&[0.32], 0.8), vec![0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dose must be positive")]
+    fn zero_dose_panics() {
+        ResistModel::default_threshold().develop_at_dose(&[0.5], 0.0);
     }
 
     #[test]

@@ -1,0 +1,79 @@
+//! End-to-end determinism of the process-window engine: the golden corner
+//! sweep, the PV bands derived from it, and the per-corner model evaluation
+//! must be **bit-identical** for every pool size (the `LITHO_THREADS`
+//! guarantee, exercised with explicit pools so one process can cover
+//! 1/2/4 threads).
+
+use litho::data::{synthesize_process_window, DatasetConfig, DatasetKind, Resolution};
+use litho::doinn::{
+    evaluate_process_window_with_pool, CornerEvalConfig, CornerSamples, Doinn, DoinnConfig,
+};
+use litho::nn::Module;
+use litho::optics::standard_corners;
+use litho::parallel::Pool;
+use litho::tensor::init::seeded_rng;
+
+fn smoke_cfg() -> DatasetConfig {
+    DatasetConfig {
+        socs_kernels: 4,
+        opc_iterations: 1,
+        ..DatasetConfig::new(DatasetKind::Ispd2019Like, Resolution::Low)
+    }
+    .with_tiles(1, 2)
+}
+
+#[test]
+fn corner_sweep_end_to_end_bit_identical_across_pool_sizes() {
+    let cfg = smoke_cfg();
+    let conditions = standard_corners(0.05, 40.0);
+
+    // 1. the golden sweep itself is deterministic run-to-run (its FFT hot
+    //    paths carry the pool determinism guarantee internally)
+    let pw = synthesize_process_window(&cfg, &conditions);
+    let pw2 = synthesize_process_window(&cfg, &conditions);
+    for (a, b) in pw.corners.iter().zip(&pw2.corners) {
+        assert_eq!(a.condition, b.condition);
+        for (sa, sb) in a.samples.iter().zip(&b.samples) {
+            assert_eq!(sa.0.as_slice(), sb.0.as_slice(), "golden masks drifted");
+            assert_eq!(sa.1.as_slice(), sb.1.as_slice(), "golden prints drifted");
+        }
+    }
+
+    // 2. PV bands are a pure function of the prints
+    for tile in 0..pw.tiles_per_corner() {
+        assert_eq!(pw.pv_band(tile), pw2.pv_band(tile));
+    }
+
+    // 3. the per-corner evaluation fan-out is bit-identical for any pool
+    let mut rng = seeded_rng(42);
+    let model = Doinn::new(DoinnConfig::tiny(), &mut rng);
+    model.set_training(false);
+    let corners: Vec<CornerSamples<'_>> = pw
+        .corners
+        .iter()
+        .map(|c| (c.condition, c.samples.as_slice()))
+        .collect();
+    let eval_cfg = CornerEvalConfig::for_pixel(pw.grid.pixel_nm());
+    let want = evaluate_process_window_with_pool(&model, &corners, &eval_cfg, &Pool::new(1));
+    assert_eq!(want.corners.len(), conditions.len());
+    assert!(want.corners[want.nominal].condition.is_nominal());
+    for threads in [2usize, 4] {
+        let got =
+            evaluate_process_window_with_pool(&model, &corners, &eval_cfg, &Pool::new(threads));
+        assert_eq!(got.nominal, want.nominal, "{threads}-thread nominal pick");
+        for (a, b) in want.corners.iter().zip(&got.corners) {
+            assert_eq!(a.condition, b.condition);
+            assert_eq!(
+                a.metrics.miou.to_bits(),
+                b.metrics.miou.to_bits(),
+                "{threads}-thread mIOU differs at {}",
+                a.condition
+            );
+            assert_eq!(a.metrics.mpa.to_bits(), b.metrics.mpa.to_bits());
+            assert_eq!(a.epe.mean_nm.to_bits(), b.epe.mean_nm.to_bits());
+            assert_eq!(a.epe.max_nm.to_bits(), b.epe.max_nm.to_bits());
+            assert_eq!(a.epe.violations, b.epe.violations);
+            assert_eq!(a.epe.samples, b.epe.samples);
+        }
+    }
+}
