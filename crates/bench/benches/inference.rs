@@ -1,5 +1,8 @@
 //! Criterion bench backing Figure 6: batch-1 inference latency of each model
-//! at the experiment tile size, plus a batched DOINN run through
+//! at the experiment tile size — on both execution paths (the autograd
+//! `Graph` tape and the tape-free `Module::infer` runtime with a warm
+//! `InferCtx`), so the tape overhead (weight clones + per-op allocation) is
+//! directly visible per model — plus a batched DOINN run through
 //! [`doinn::predict_batch`]. Thread fan-out follows `LITHO_THREADS`
 //! (default: all available cores; set `LITHO_THREADS=1` for the serial
 //! baseline the paper's one-core numbers correspond to).
@@ -7,7 +10,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use doinn::predict_batch;
 use litho_bench::{build_model, ModelKind};
-use litho_nn::{Graph, Module};
+use litho_nn::{Graph, InferCtx, Module};
 use litho_tensor::Tensor;
 use std::hint::black_box;
 use std::time::Duration;
@@ -26,12 +29,22 @@ fn bench_inference(c: &mut Criterion) {
         ModelKind::Fno,
     ] {
         let built = build_model(kind, size, 7);
-        group.bench_function(kind.name(), |b| {
+        built.model.set_training(false);
+        group.bench_function(format!("{} [graph]", kind.name()), |b| {
             b.iter(|| {
                 let mut g = Graph::new();
                 let x = g.input(black_box(input.clone()));
                 let y = built.model.forward(&mut g, x);
                 black_box(g.value(y).sum())
+            })
+        });
+        let mut ctx = InferCtx::new();
+        group.bench_function(format!("{} [infer]", kind.name()), |b| {
+            b.iter(|| {
+                let y = built.model.infer(&mut ctx, black_box(input.clone()));
+                let s = y.sum();
+                ctx.recycle(y);
+                black_box(s)
             })
         });
     }

@@ -15,7 +15,6 @@ use doinn::{prediction_to_contour, seg_metrics};
 use litho_bench::{load_dataset, train_or_load, ModelKind, Scale};
 use litho_data::{design_tile, golden_engine, DatasetKind, Resolution};
 use litho_layout::{IltConfig, IltEngine};
-use litho_nn::Graph;
 use litho_optics::{LithoModel, ResistModel};
 use litho_tensor::Tensor;
 
@@ -58,10 +57,8 @@ fn main() {
     };
     let size = ds.tile_pixels();
     let predict = |model: &dyn litho_nn::Module, mask: &[f32]| -> Vec<f32> {
-        let mut g = Graph::new();
-        let x = g.input(Tensor::from_vec(mask.to_vec(), &[1, 1, size, size]));
-        let y = model.forward(&mut g, x);
-        prediction_to_contour(g.value(y))
+        let input = Tensor::from_vec(mask.to_vec(), &[1, 1, size, size]);
+        prediction_to_contour(&doinn::predict(model, input))
     };
 
     println!("\n| OPC iter | DOINN mIOU | UNet mIOU |");

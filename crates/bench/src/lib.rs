@@ -17,7 +17,7 @@ use doinn::{
     TrainConfig,
 };
 use litho_data::{DatasetConfig, DatasetKind, LithoDataset, Resolution};
-use litho_nn::{Graph, Module};
+use litho_nn::Module;
 use litho_tensor::init::seeded_rng;
 use litho_tensor::Tensor;
 use std::io::Write as _;
@@ -308,21 +308,20 @@ pub fn train_or_load_doinn(ds: &LithoDataset, scale: Scale, seed: u64) -> Doinn 
     model
 }
 
-/// Measures batch-1 inference throughput in µm²/s over the first test tile.
+/// Measures batch-1 inference throughput in µm²/s over the first test tile,
+/// on the tape-free [`Module::infer`] path (one warm [`litho_nn::InferCtx`],
+/// as a serving loop would run it).
 pub fn measure_throughput(model: &dyn Module, ds: &LithoDataset, iters: usize) -> f64 {
     let (mask, _) = &ds.test[0];
     let input = mask.reshape(&[1, mask.dim(0), mask.dim(1), mask.dim(2)]);
-    // warm-up
-    {
-        let mut g = Graph::new();
-        let x = g.input(input.clone());
-        let _ = model.forward(&mut g, x);
-    }
+    let mut ctx = litho_nn::InferCtx::new();
+    // warm-up (also fills the ctx buffer pool)
+    let y = model.infer(&mut ctx, input.clone());
+    ctx.recycle(y);
     let start = Instant::now();
     for _ in 0..iters {
-        let mut g = Graph::new();
-        let x = g.input(input.clone());
-        let _ = model.forward(&mut g, x);
+        let y = model.infer(&mut ctx, input.clone());
+        ctx.recycle(y);
     }
     let secs = start.elapsed().as_secs_f64() / iters as f64;
     ds.tile_area_um2() as f64 / secs

@@ -21,7 +21,7 @@
 //! `∇_x = conj(w)·ḡ`, and the FFT adjoints `F^H = N·F⁻¹`, `(F⁻¹)^H = F/N`.
 
 use litho_fft::{Complex32, Fft2};
-use litho_nn::{Graph, Var};
+use litho_nn::{Graph, InferCtx, Var};
 use litho_tensor::Tensor;
 
 /// Index set of the `k` lowest-frequency bins per axis: `[0,k) ∪ [n−k,n)`.
@@ -80,6 +80,84 @@ fn to_complex(re: &Tensor, im: &Tensor) -> Vec<Complex32> {
         .collect()
 }
 
+/// Shared forward kernel of the FNO spectral conv: writes the full output
+/// `[N, Co, h, w]` (every element overwritten). Both the graph op and the
+/// tape-free eval path route through this, which keeps them bit-identical.
+fn spectral_conv2d_fill(
+    x: &Tensor,
+    weights: &[Complex32],
+    co: usize,
+    iy: &[usize],
+    ix: &[usize],
+    out: &mut Tensor,
+) {
+    let (n, ci, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    let nmodes = iy.len() * ix.len();
+    let fft = Fft2::new(h, w);
+    let mut t_all = vec![Complex32::ZERO; n * ci * nmodes];
+    let xd = x.as_slice();
+    for b in 0..n {
+        for c in 0..ci {
+            let spec = fft.forward_real(&xd[(b * ci + c) * h * w..(b * ci + c + 1) * h * w]);
+            let t = gather_modes(&spec, w, iy, ix);
+            t_all[(b * ci + c) * nmodes..(b * ci + c + 1) * nmodes].copy_from_slice(&t);
+        }
+    }
+    let od = out.as_mut_slice();
+    for b in 0..n {
+        for o in 0..co {
+            let mut acc = vec![Complex32::ZERO; nmodes];
+            for c in 0..ci {
+                let t = &t_all[(b * ci + c) * nmodes..(b * ci + c + 1) * nmodes];
+                let wslice = &weights[(c * co + o) * nmodes..(c * co + o + 1) * nmodes];
+                for f in 0..nmodes {
+                    acc[f] = acc[f].mul_add(t[f], wslice[f]);
+                }
+            }
+            let mut full = scatter_modes(&acc, h, w, iy, ix);
+            fft.inverse(&mut full);
+            for (dst, &v) in od[(b * co + o) * h * w..(b * co + o + 1) * h * w]
+                .iter_mut()
+                .zip(&full)
+            {
+                *dst = v.re;
+            }
+        }
+    }
+}
+
+/// Graph-free eval of the FNO spectral conv (eq. 10): same shapes and
+/// bit-identical output to [`spectral_conv2d`], with the output drawn from
+/// the [`InferCtx`] buffer pool and no tape recorded.
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+pub fn spectral_conv2d_infer(
+    ctx: &mut InferCtx,
+    x: &Tensor,
+    w_re: &Tensor,
+    w_im: &Tensor,
+    k: usize,
+) -> Tensor {
+    assert_eq!(x.rank(), 4, "spectral_conv2d expects NCHW input");
+    let (n, ci, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    let co = w_re.dim(1);
+    let iy = mode_indices(h, k);
+    let ix = mode_indices(w, k);
+    let (my, mx) = (iy.len(), ix.len());
+    assert_eq!(
+        w_re.shape(),
+        &[ci, co, my, mx],
+        "spectral weight shape mismatch"
+    );
+    assert_eq!(w_im.shape(), &[ci, co, my, mx]);
+    let weights = to_complex(w_re, w_im);
+    let mut out = ctx.alloc(&[n, co, h, w]);
+    spectral_conv2d_fill(x, &weights, co, &iy, &ix, &mut out);
+    out
+}
+
 /// Generic FNO spectral convolution (eq. 10).
 ///
 /// `x: [N, Ci, h, w]` real; weights `w_re/w_im: [Ci, Co, 2k, 2k]` form the
@@ -106,46 +184,9 @@ pub fn spectral_conv2d(g: &mut Graph, x: Var, w_re: Var, w_im: Var, k: usize) ->
     );
     assert_eq!(g.value(w_im).shape(), &[ci, co, my, mx]);
 
-    let fft = Fft2::new(h, w);
     let weights = to_complex(g.value(w_re), g.value(w_im)); // [ci, co, modes]
-
-    let forward = |xv: &Tensor, weights: &[Complex32]| -> (Tensor, Vec<Complex32>) {
-        // returns (output, gathered input modes T[n, ci, modes])
-        let mut t_all = vec![Complex32::ZERO; n * ci * nmodes];
-        let xd = xv.as_slice();
-        for b in 0..n {
-            for c in 0..ci {
-                let spec = fft.forward_real(&xd[(b * ci + c) * h * w..(b * ci + c + 1) * h * w]);
-                let t = gather_modes(&spec, w, &iy, &ix);
-                t_all[(b * ci + c) * nmodes..(b * ci + c + 1) * nmodes].copy_from_slice(&t);
-            }
-        }
-        let mut out = Tensor::zeros(&[n, co, h, w]);
-        let od = out.as_mut_slice();
-        for b in 0..n {
-            for o in 0..co {
-                let mut acc = vec![Complex32::ZERO; nmodes];
-                for c in 0..ci {
-                    let t = &t_all[(b * ci + c) * nmodes..(b * ci + c + 1) * nmodes];
-                    let wslice = &weights[(c * co + o) * nmodes..(c * co + o + 1) * nmodes];
-                    for f in 0..nmodes {
-                        acc[f] = acc[f].mul_add(t[f], wslice[f]);
-                    }
-                }
-                let mut full = scatter_modes(&acc, h, w, &iy, &ix);
-                fft.inverse(&mut full);
-                for (dst, &v) in od[(b * co + o) * h * w..(b * co + o + 1) * h * w]
-                    .iter_mut()
-                    .zip(&full)
-                {
-                    *dst = v.re;
-                }
-            }
-        }
-        (out, t_all)
-    };
-
-    let (out, _) = forward(xv, &weights);
+    let mut out = Tensor::zeros(&[n, co, h, w]);
+    spectral_conv2d_fill(xv, &weights, co, &iy, &ix, &mut out);
     let iy_b = iy.clone();
     let ix_b = ix.clone();
     g.push(
@@ -233,6 +274,83 @@ pub fn spectral_conv2d(g: &mut Graph, x: Var, w_re: Var, w_im: Var, k: usize) ->
     )
 }
 
+/// Shared forward kernel of the optimized Fourier Unit: writes the full
+/// output `[N, C, h, w]` (every element overwritten). Both the graph op and
+/// the tape-free eval path route through this.
+fn fourier_unit_fill(
+    x: &Tensor,
+    wp: &[Complex32],
+    wr: &[Complex32],
+    iy: &[usize],
+    ix: &[usize],
+    out: &mut Tensor,
+) {
+    let (n, h, w) = (x.dim(0), x.dim(2), x.dim(3));
+    let c = wp.len();
+    let nmodes = iy.len() * ix.len();
+    let fft = Fft2::new(h, w);
+    let xd = x.as_slice();
+    let od = out.as_mut_slice();
+    for b in 0..n {
+        let spec = fft.forward_real(&xd[b * h * w..(b + 1) * h * w]);
+        let t = gather_modes(&spec, w, iy, ix);
+        // lift: B_i = T · wp_i ; mix: Ĉ_o = Σ_i B_i ⊙ wr[i,o]
+        for o in 0..c {
+            let mut acc = vec![Complex32::ZERO; nmodes];
+            for i in 0..c {
+                let lift = wp[i];
+                let wslice = &wr[(i * c + o) * nmodes..(i * c + o + 1) * nmodes];
+                for f in 0..nmodes {
+                    acc[f] = acc[f].mul_add(t[f] * lift, wslice[f]);
+                }
+            }
+            let mut full = scatter_modes(&acc, h, w, iy, ix);
+            fft.inverse(&mut full);
+            for (dst, &v) in od[(b * c + o) * h * w..(b * c + o + 1) * h * w]
+                .iter_mut()
+                .zip(&full)
+            {
+                *dst = v.re;
+            }
+        }
+    }
+}
+
+/// Graph-free eval of the optimized Fourier Unit (eq. 11): same shapes and
+/// bit-identical output to [`fourier_unit`], with the output drawn from the
+/// [`InferCtx`] buffer pool and no tape recorded.
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+pub fn fourier_unit_infer(
+    ctx: &mut InferCtx,
+    x: &Tensor,
+    wp_re: &Tensor,
+    wp_im: &Tensor,
+    wr_re: &Tensor,
+    wr_im: &Tensor,
+    k: usize,
+) -> Tensor {
+    assert_eq!(x.rank(), 4, "fourier_unit expects NCHW input");
+    assert_eq!(x.dim(1), 1, "fourier_unit expects a single input channel");
+    let (n, h, w) = (x.dim(0), x.dim(2), x.dim(3));
+    let c = wp_re.numel();
+    // to_complex zips the two parts — a silent truncation here would leave
+    // tail output channels holding recycled-buffer garbage
+    assert_eq!(wp_im.numel(), c, "W_P imaginary length mismatch");
+    let iy = mode_indices(h, k);
+    let ix = mode_indices(w, k);
+    let (my, mx) = (iy.len(), ix.len());
+    assert_eq!(wr_re.shape(), &[c, c, my, mx], "W_R shape mismatch");
+    assert_eq!(wr_im.shape(), &[c, c, my, mx]);
+    let wp = to_complex(wp_re, wp_im);
+    let wr = to_complex(wr_re, wr_im);
+    let mut out = ctx.alloc(&[n, c, h, w]);
+    fourier_unit_fill(x, &wp, &wr, &iy, &ix, &mut out);
+    out
+}
+
 /// The paper's optimized Fourier Unit (eq. 11).
 ///
 /// `x: [N, 1, h, w]` real; `wp_re/wp_im: [C]` is the frequency-constant
@@ -259,6 +377,7 @@ pub fn fourier_unit(
     assert_eq!(xv.dim(1), 1, "fourier_unit expects a single input channel");
     let (n, h, w) = (xv.dim(0), xv.dim(2), xv.dim(3));
     let c = g.value(wp_re).numel();
+    assert_eq!(g.value(wp_im).numel(), c, "W_P imaginary length mismatch");
     let iy = mode_indices(h, k);
     let ix = mode_indices(w, k);
     let (my, mx) = (iy.len(), ix.len());
@@ -270,39 +389,11 @@ pub fn fourier_unit(
     );
     assert_eq!(g.value(wr_im).shape(), &[c, c, my, mx]);
 
-    let fft = Fft2::new(h, w);
     let wp = to_complex(g.value(wp_re), g.value(wp_im));
     let wr = to_complex(g.value(wr_re), g.value(wr_im));
 
-    // forward
     let mut out = Tensor::zeros(&[n, c, h, w]);
-    {
-        let xd = xv.as_slice();
-        let od = out.as_mut_slice();
-        for b in 0..n {
-            let spec = fft.forward_real(&xd[b * h * w..(b + 1) * h * w]);
-            let t = gather_modes(&spec, w, &iy, &ix);
-            // lift: B_i = T · wp_i ; mix: Ĉ_o = Σ_i B_i ⊙ wr[i,o]
-            for o in 0..c {
-                let mut acc = vec![Complex32::ZERO; nmodes];
-                for i in 0..c {
-                    let lift = wp[i];
-                    let wslice = &wr[(i * c + o) * nmodes..(i * c + o + 1) * nmodes];
-                    for f in 0..nmodes {
-                        acc[f] = acc[f].mul_add(t[f] * lift, wslice[f]);
-                    }
-                }
-                let mut full = scatter_modes(&acc, h, w, &iy, &ix);
-                fft.inverse(&mut full);
-                for (dst, &v) in od[(b * c + o) * h * w..(b * c + o + 1) * h * w]
-                    .iter_mut()
-                    .zip(&full)
-                {
-                    *dst = v.re;
-                }
-            }
-        }
-    }
+    fourier_unit_fill(xv, &wp, &wr, &iy, &ix, &mut out);
 
     let iy_b = iy.clone();
     let ix_b = ix.clone();

@@ -15,8 +15,8 @@
 //! see [`LargeTileSimulator::simulate`] for the batch-norm caveat).
 
 use crate::model::Doinn;
-use litho_nn::{ops, Graph, Module};
-use litho_tensor::{crop_spatial, Tensor};
+use litho_nn::{ops, InferCtx, Module};
+use litho_tensor::{crop_spatial_into, Tensor};
 
 /// Applies a trained [`Doinn`] to tiles larger than its training size using
 /// the half-overlap core-stitching scheme.
@@ -82,29 +82,36 @@ impl<'a> LargeTileSimulator<'a> {
         let n_tiles = (l - s) / stride + 1;
 
         // 1. GP path on half-overlapped windows, fanned out one window per
-        //    work item (each builds its own thread-local Graph) and stitched
-        //    in window order. Windows are processed in rounds of one per
-        //    worker so peak memory holds O(threads) feature maps, not
-        //    O(windows) — big masks have thousands of windows. Stitched
-        //    regions are disjoint, so neither the fan-out nor the rounding
-        //    can change the result.
+        //    work item and stitched in window order. Each worker *slot* owns
+        //    one tape-free InferCtx that lives across all rounds, so after
+        //    the first round every window draws its activations from the
+        //    slot's recycled buffers — zero allocations for the long tail of
+        //    a big mask's thousands of windows. Windows are processed in
+        //    rounds of one per worker so peak memory holds O(threads)
+        //    feature maps, not O(windows). Stitched regions are disjoint, so
+        //    neither the fan-out nor the rounding can change the result.
         let total = n_tiles * n_tiles;
         let round = wpool.threads();
         let mut stitched = Tensor::zeros(&[1, c, lp_pooled, lp_pooled]);
+        let mut workers: Vec<(InferCtx, Option<Tensor>)> = (0..round)
+            .map(|_| (InferCtx::with_pool(wpool), None))
+            .collect();
         let mut start = 0;
         while start < total {
             let count = round.min(total - start);
-            let feats: Vec<Tensor> = wpool.par_map(count, 1, |i| {
+            wpool.par_chunks_mut(&mut workers[..count], 1, 1, |i, slot| {
+                let (ctx, out) = &mut slot[0];
                 let ti = start + i;
                 let (ty, tx) = (ti / n_tiles, ti % n_tiles);
-                let window = crop_spatial(mask, ty * stride, tx * stride, s, s);
-                let mut wg = Graph::new();
-                let win = wg.input(window);
-                let pooled = ops::avg_pool2d(&mut wg, win, pool);
-                let gp = self.model.gp_on_pooled(&mut wg, pooled);
-                wg.value(gp).clone() // [1, C, p, p]
+                // crop into a recycled buffer so the s×s bucket cycles too
+                let mut window = ctx.alloc(&[1, 1, s, s]);
+                crop_spatial_into(mask, ty * stride, tx * stride, &mut window);
+                let pooled = ops::avg_pool2d_infer(ctx, &window, pool);
+                ctx.recycle(window);
+                *out = Some(self.model.gp_on_pooled_infer(ctx, pooled)); // [1, C, p, p]
             });
-            for (off, feat) in feats.iter().enumerate() {
+            for (off, (ctx, out)) in workers[..count].iter_mut().enumerate() {
+                let feat = out.take().expect("window feature filled");
                 let ti = start + off;
                 let (ty, tx) = (ti / n_tiles, ti % n_tiles);
                 // core region in pooled window coords; edge windows extend
@@ -123,26 +130,26 @@ impl<'a> LargeTileSimulator<'a> {
                         }
                     }
                 }
+                ctx.recycle(feat);
             }
             start += count;
         }
 
-        // 2. LP on the full tile + IR reconstruction from the stitched GP.
-        let mut g = Graph::new();
-        let x = g.input(mask.clone());
-        let lp_feats = self.model.lp_features(&mut g, x);
-        let gp_var = g.input(stitched);
-        let out = self.model.reconstruct(&mut g, gp_var, lp_feats);
-        g.value(out).clone()
+        // 2. LP on the full tile + IR reconstruction from the stitched GP,
+        //    tape-free on one context (reuse a window worker's warm pool).
+        let mut ctx = workers
+            .into_iter()
+            .next()
+            .map(|(ctx, _)| ctx)
+            .unwrap_or_else(|| InferCtx::with_pool(wpool));
+        let lp_feats = self.model.lp_features_infer(&mut ctx, mask);
+        self.model.reconstruct_infer(&mut ctx, stitched, lp_feats)
     }
 
     /// Naive baseline: feed the large tile directly through the network
     /// (the "DOINN" row of Table 4 that shows the quality drop).
     pub fn simulate_naive(&self, mask: &Tensor) -> Tensor {
-        let mut g = Graph::new();
-        let x = g.input(mask.clone());
-        let y = self.model.forward(&mut g, x);
-        g.value(y).clone()
+        self.model.infer(&mut InferCtx::new(), mask.clone())
     }
 }
 

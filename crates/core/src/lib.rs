@@ -16,6 +16,11 @@
 //! - [`train_model`] / [`evaluate_model`] — the Table 8 training recipe.
 //! - [`evaluate_process_window`] — per-corner scoring of a trained model
 //!   across a dose × defocus sweep, with a worst-corner degradation table.
+//! - [`predict`] / [`predict_batch`] — tape-free inference: every serving
+//!   path (`predict*`, the large-tile scheme, `evaluate_model`,
+//!   `evaluate_process_window`) runs graph-free through
+//!   [`litho_nn::Module::infer`] with buffer reuse, bit-identical to the
+//!   graph forward (see `litho_nn::infer`).
 //!
 //! # Examples
 //!
@@ -48,8 +53,8 @@ mod trainer;
 pub use large_tile::LargeTileSimulator;
 pub use metrics::{seg_metrics, SegMetrics};
 pub use model::{
-    predict, predict_batch, predict_batch_with_pool, prediction_to_contour, Doinn, DoinnConfig,
-    FourierUnit, VggBlock,
+    predict, predict_batch, predict_batch_with_pool, predict_with_ctx, prediction_to_contour,
+    Doinn, DoinnConfig, FourierUnit, VggBlock,
 };
 pub use process_window::{
     evaluate_process_window, evaluate_process_window_with_pool, CornerEvalConfig, CornerSamples,

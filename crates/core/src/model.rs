@@ -14,8 +14,10 @@
 //!
 //! Ablation switches in [`DoinnConfig`] reproduce the four rows of Table 3.
 
-use crate::fourier::fourier_unit;
-use litho_nn::{ops, BatchNorm2d, Conv2d, ConvTranspose2d, Graph, Module, Param, Var};
+use crate::fourier::{fourier_unit, fourier_unit_infer};
+use litho_nn::{
+    infer, ops, BatchNorm2d, Conv2d, ConvTranspose2d, Graph, InferCtx, Module, Param, Var,
+};
 use litho_tensor::init;
 use litho_tensor::Tensor;
 use rand::Rng;
@@ -173,6 +175,24 @@ impl Module for FourierUnit {
         ops::leaky_relu(g, pre, 0.1)
     }
 
+    fn infer(&self, ctx: &mut InferCtx, x: Tensor) -> Tensor {
+        let mut spectral = {
+            let wp_re = self.wp_re.value_ref();
+            let wp_im = self.wp_im.value_ref();
+            let wr_re = self.wr_re.value_ref();
+            let wr_im = self.wr_im.value_ref();
+            fourier_unit_infer(ctx, &x, &wp_re, &wp_im, &wr_re, &wr_im, self.modes)
+        };
+        if let Some(conv) = &self.bypass {
+            let b = conv.infer_ref(ctx, &x);
+            spectral.add_assign(&b); // same elementwise order as ops::add
+            ctx.recycle(b);
+        }
+        ctx.recycle(x);
+        infer::leaky_relu_inplace(&mut spectral, 0.1);
+        spectral
+    }
+
     fn params(&self) -> Vec<Param> {
         let mut p = vec![
             self.wp_re.clone(),
@@ -217,6 +237,16 @@ impl Module for VggBlock {
         v = self.conv2.forward(g, v);
         v = self.bn2.forward(g, v);
         ops::leaky_relu(g, v, 0.2)
+    }
+
+    fn infer(&self, ctx: &mut InferCtx, x: Tensor) -> Tensor {
+        let mut v = self.conv1.infer(ctx, x);
+        v = self.bn1.infer(ctx, v);
+        infer::leaky_relu_inplace(&mut v, 0.2);
+        v = self.conv2.infer(ctx, v);
+        v = self.bn2.infer(ctx, v);
+        infer::leaky_relu_inplace(&mut v, 0.2);
+        v
     }
 
     fn params(&self) -> Vec<Param> {
@@ -272,6 +302,18 @@ impl LpPath {
         let f2 = self.vgg2.forward(g, d2);
         let d3 = self.conv3.forward(g, f2);
         let f3 = self.vgg3.forward(g, d3);
+        (f1, f2, f3)
+    }
+
+    /// Tape-free skip features; `x` is borrowed (the caller also feeds it to
+    /// the GP path).
+    fn infer(&self, ctx: &mut InferCtx, x: &Tensor) -> (Tensor, Tensor, Tensor) {
+        let d1 = self.conv1.infer_ref(ctx, x);
+        let f1 = self.vgg1.infer(ctx, d1);
+        let d2 = self.conv2.infer_ref(ctx, &f1);
+        let f2 = self.vgg2.infer(ctx, d2);
+        let d3 = self.conv3.infer_ref(ctx, &f2);
+        let f3 = self.vgg3.infer(ctx, d3);
         (f1, f2, f3)
     }
 
@@ -373,11 +415,25 @@ impl Doinn {
         self.fu.forward(g, pooled)
     }
 
+    /// Tape-free [`Doinn::gp_on_pooled`] — bit-identical to the graph path.
+    pub fn gp_on_pooled_infer(&self, ctx: &mut InferCtx, pooled: Tensor) -> Tensor {
+        self.fu.infer(ctx, pooled)
+    }
+
     /// LP-path skip features on a full-resolution input (`None` when the LP
     /// path is disabled). Used by the large-tile scheme, which runs LP on the
     /// whole tile while stitching GP windows.
     pub fn lp_features(&self, g: &mut Graph, x: Var) -> Option<(Var, Var, Var)> {
         self.lp.as_ref().map(|lp| lp.forward(g, x))
+    }
+
+    /// Tape-free [`Doinn::lp_features`] — bit-identical to the graph path.
+    pub fn lp_features_infer(
+        &self,
+        ctx: &mut InferCtx,
+        x: &Tensor,
+    ) -> Option<(Tensor, Tensor, Tensor)> {
+        self.lp.as_ref().map(|lp| lp.infer(ctx, x))
     }
 
     /// Forward pass exposing the GP feature map, LP skip features and output
@@ -439,12 +495,88 @@ impl Doinn {
         }
         ops::tanh(g, v)
     }
+
+    /// Tape-free IR path, mirroring [`Doinn::reconstruct`] op for op. Skip
+    /// features are consumed (their buffers return to the `ctx` pool after
+    /// their join).
+    pub(crate) fn reconstruct_infer(
+        &self,
+        ctx: &mut InferCtx,
+        gp: Tensor,
+        lp_feats: Option<(Tensor, Tensor, Tensor)>,
+    ) -> Tensor {
+        let (f1, f2, f3) = match lp_feats {
+            Some((a, b, c)) => (Some(a), Some(b), Some(c)),
+            None => (None, None, None),
+        };
+        let j1 = match &f3 {
+            Some(f3) => {
+                let j = infer::concat(ctx, &[&gp, f3]);
+                ctx.recycle(gp);
+                j
+            }
+            None => gp,
+        };
+        if let Some(f3) = f3 {
+            ctx.recycle(f3);
+        }
+        let mut v = self.dconv1.infer(ctx, j1);
+        if let Some(vgg) = &self.vgg4 {
+            v = vgg.infer(ctx, v);
+        }
+        if let Some(f2) = &f2 {
+            let j = infer::concat(ctx, &[&v, f2]);
+            ctx.recycle(v);
+            v = j;
+        }
+        if let Some(f2) = f2 {
+            ctx.recycle(f2);
+        }
+        v = self.dconv2.infer(ctx, v);
+        if let Some(vgg) = &self.vgg5 {
+            v = vgg.infer(ctx, v);
+        }
+        if let Some(f1) = &f1 {
+            let j = infer::concat(ctx, &[&v, f1]);
+            ctx.recycle(v);
+            v = j;
+        }
+        if let Some(f1) = f1 {
+            ctx.recycle(f1);
+        }
+        v = self.dconv3.infer(ctx, v);
+        if let Some(vgg) = &self.vgg6 {
+            v = vgg.infer(ctx, v);
+        }
+        if let Some((r1, r2, r3, r4)) = &self.refine {
+            v = r1.infer(ctx, v);
+            infer::relu_inplace(&mut v);
+            v = r2.infer(ctx, v);
+            infer::relu_inplace(&mut v);
+            v = r3.infer(ctx, v);
+            infer::relu_inplace(&mut v);
+            v = r4.infer(ctx, v);
+        } else if let Some(head) = &self.head {
+            v = head.infer(ctx, v);
+        }
+        infer::tanh_inplace(&mut v);
+        v
+    }
 }
 
 impl Module for Doinn {
     fn forward(&self, g: &mut Graph, x: Var) -> Var {
         let (_, _, out) = self.forward_with_features(g, x);
         out
+    }
+
+    fn infer(&self, ctx: &mut InferCtx, x: Tensor) -> Tensor {
+        // same op order as forward_with_features: pool → GP → LP → IR
+        let pooled = ops::avg_pool2d_infer(ctx, &x, self.config.pool);
+        let gp = self.fu.infer(ctx, pooled);
+        let lp_feats = self.lp.as_ref().map(|lp| lp.infer(ctx, &x));
+        ctx.recycle(x);
+        self.reconstruct_infer(ctx, gp, lp_feats)
     }
 
     fn params(&self) -> Vec<Param> {
@@ -494,18 +626,37 @@ impl Module for Doinn {
     }
 }
 
-/// Runs an inference forward pass and returns the raw Tanh output.
-pub fn predict<M: Module + ?Sized>(model: &M, input: &Tensor) -> Tensor {
-    let mut g = Graph::new();
-    let x = g.input(input.clone());
-    let y = model.forward(&mut g, x);
-    g.value(y).clone()
+/// Runs a tape-free inference forward pass ([`Module::infer`]) and returns
+/// the raw Tanh output.
+///
+/// The input is taken **by value** — no defensive copy is made on either the
+/// tape-free path or the graph fallback (its buffer is recycled into the
+/// per-call context instead). Callers that still need the input afterwards
+/// clone at the call site, where the cost is visible.
+///
+/// For repeated predictions, hold an [`InferCtx`] and call
+/// [`predict_with_ctx`] (or [`Module::infer`] directly) so activation
+/// buffers recycle across calls instead of being reallocated.
+pub fn predict<M: Module + ?Sized>(model: &M, input: Tensor) -> Tensor {
+    model.infer(&mut InferCtx::new(), input)
 }
 
-/// Runs inference over a batch of inputs, one forward pass per sample,
-/// fanned out across the process-wide [`litho_parallel::global`] pool
-/// (`LITHO_THREADS` to configure). Each worker builds its own [`Graph`], so
-/// peak memory is one tape per live thread rather than one `N`-sample tape.
+/// [`predict`] reusing a caller-held [`InferCtx`] (buffer recycling across
+/// calls; pass the prediction back to [`InferCtx::recycle`] once consumed to
+/// make the loop allocation-free).
+pub fn predict_with_ctx<M: Module + ?Sized>(
+    model: &M,
+    ctx: &mut InferCtx,
+    input: Tensor,
+) -> Tensor {
+    model.infer(ctx, input)
+}
+
+/// Runs tape-free inference over a batch of inputs, one forward pass per
+/// sample, fanned out across the process-wide [`litho_parallel::global`]
+/// pool (`LITHO_THREADS` to configure). Each worker thread owns one
+/// [`InferCtx`], so activation buffers recycle across that worker's samples
+/// and peak memory is one live activation set per thread.
 ///
 /// Outputs are returned in input order and are bit-identical to calling
 /// [`predict`] per sample, for any thread count — **provided the model is in
@@ -522,7 +673,9 @@ pub fn predict_batch_with_pool<M: Module + Sync + ?Sized>(
     inputs: &[Tensor],
     pool: &litho_parallel::Pool,
 ) -> Vec<Tensor> {
-    pool.par_map(inputs.len(), 1, |i| predict(model, &inputs[i]))
+    infer::par_infer_map(pool, inputs.len(), |ctx, i| {
+        model.infer(ctx, inputs[i].clone())
+    })
 }
 
 /// Thresholds a Tanh-activated prediction at 0 into a binary contour image.
@@ -635,7 +788,7 @@ mod tests {
         let mut rng = seeded_rng(6);
         let model = Doinn::new(DoinnConfig::tiny(), &mut rng);
         let input = Tensor::zeros(&[1, 1, 32, 32]);
-        let pred = predict(&model, &input);
+        let pred = predict(&model, input);
         assert_eq!(pred.shape(), &[1, 1, 32, 32]);
         let contour = prediction_to_contour(&pred);
         assert!(contour.iter().all(|&v| v == 0.0 || v == 1.0));
@@ -649,7 +802,7 @@ mod tests {
         let inputs: Vec<Tensor> = (0..5)
             .map(|_| litho_tensor::init::randn(&[1, 1, 32, 32], 0.5, &mut rng))
             .collect();
-        let want: Vec<Tensor> = inputs.iter().map(|x| predict(&model, x)).collect();
+        let want: Vec<Tensor> = inputs.iter().map(|x| predict(&model, x.clone())).collect();
         for threads in [1usize, 2, 4] {
             let got = predict_batch_with_pool(&model, &inputs, &litho_parallel::Pool::new(threads));
             assert_eq!(got.len(), want.len());

@@ -13,7 +13,8 @@
 //! which is exactly the Figure 6 story.
 
 use crate::model::VggBlock;
-use litho_nn::{ops, Conv2d, ConvTranspose2d, Graph, Module, Param, Var};
+use litho_nn::{infer, ops, Conv2d, ConvTranspose2d, Graph, InferCtx, Module, Param, Var};
+use litho_tensor::Tensor;
 use rand::Rng;
 
 /// Nested-UNet generator with dense skip pathways (depth 3).
@@ -111,6 +112,55 @@ impl Module for DamoDls {
         let x03 = self.b03.forward(g, c);
         let o = self.out.forward(g, x03);
         ops::tanh(g, o)
+    }
+
+    fn infer(&self, ctx: &mut InferCtx, x: Tensor) -> Tensor {
+        // mirror of forward; dense skips keep backbone features alive until
+        // their last concat, then recycle
+        let s = self.stem.infer(ctx, x);
+        let x00 = self.b00.infer(ctx, s);
+        let d1 = self.enc1.infer_ref(ctx, &x00);
+        let x10 = self.b10.infer(ctx, d1);
+        let d2 = self.enc2.infer_ref(ctx, &x10);
+        let x20 = self.b20.infer(ctx, d2);
+        let d3 = self.enc3.infer_ref(ctx, &x20);
+        let x30 = self.b30.infer(ctx, d3);
+        // first nested column
+        let u = self.up11_from.infer_ref(ctx, &x10);
+        let c = infer::concat(ctx, &[&x00, &u]);
+        ctx.recycle(u);
+        let x01 = self.b01.infer(ctx, c);
+        let u = self.up21_from.infer_ref(ctx, &x20);
+        let c = infer::concat(ctx, &[&x10, &u]);
+        ctx.recycle(u);
+        let x11 = self.b11.infer(ctx, c);
+        let u = self.up31_from.infer(ctx, x30);
+        let c = infer::concat(ctx, &[&x20, &u]);
+        ctx.recycle(u);
+        ctx.recycle(x20);
+        let x21 = self.b21.infer(ctx, c);
+        // second nested column
+        let u = self.up12.infer_ref(ctx, &x11);
+        let c = infer::concat(ctx, &[&x00, &x01, &u]);
+        ctx.recycle(u);
+        let x02 = self.b02.infer(ctx, c);
+        let u = self.up22.infer(ctx, x21);
+        let c = infer::concat(ctx, &[&x10, &x11, &u]);
+        ctx.recycle(u);
+        ctx.recycle(x10);
+        ctx.recycle(x11);
+        let x12 = self.b12.infer(ctx, c);
+        // third nested column
+        let u = self.up13.infer(ctx, x12);
+        let c = infer::concat(ctx, &[&x00, &x01, &x02, &u]);
+        ctx.recycle(u);
+        ctx.recycle(x00);
+        ctx.recycle(x01);
+        ctx.recycle(x02);
+        let x03 = self.b03.infer(ctx, c);
+        let mut o = self.out.infer(ctx, x03);
+        infer::tanh_inplace(&mut o);
+        o
     }
 
     fn params(&self) -> Vec<Param> {

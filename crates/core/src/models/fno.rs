@@ -7,9 +7,9 @@
 //! as a quality baseline and as the runtime comparison target for the
 //! optimized Fourier Unit micro-bench.
 
-use crate::fourier::spectral_conv2d;
-use litho_nn::{ops, Conv2d, ConvTranspose2d, Graph, Module, Param, Var};
-use litho_tensor::init;
+use crate::fourier::{spectral_conv2d, spectral_conv2d_infer};
+use litho_nn::{infer, ops, Conv2d, ConvTranspose2d, Graph, InferCtx, Module, Param, Var};
+use litho_tensor::{init, Tensor};
 use rand::Rng;
 
 /// One baseline Fourier layer: `σ(W_L·v + F⁻¹(R·F(v)_trunc))` (eq. 8).
@@ -50,6 +50,20 @@ impl Module for FnoLayer {
         let lin = self.bypass.forward(g, x);
         let s = ops::add(g, spectral, lin);
         ops::leaky_relu(g, s, 0.1)
+    }
+
+    fn infer(&self, ctx: &mut InferCtx, x: Tensor) -> Tensor {
+        let mut spectral = {
+            let w_re = self.w_re.value_ref();
+            let w_im = self.w_im.value_ref();
+            spectral_conv2d_infer(ctx, &x, &w_re, &w_im, self.modes)
+        };
+        let lin = self.bypass.infer_ref(ctx, &x);
+        ctx.recycle(x);
+        spectral.add_assign(&lin); // same elementwise order as ops::add
+        ctx.recycle(lin);
+        infer::leaky_relu_inplace(&mut spectral, 0.1);
+        spectral
     }
 
     fn params(&self) -> Vec<Param> {
@@ -115,6 +129,25 @@ impl Module for Fno {
         v = ops::leaky_relu(g, v, 0.1);
         v = self.out.forward(g, v);
         ops::tanh(g, v)
+    }
+
+    fn infer(&self, ctx: &mut InferCtx, x: Tensor) -> Tensor {
+        let mut v = ops::avg_pool2d_infer(ctx, &x, self.pool);
+        ctx.recycle(x);
+        v = self.lift.infer(ctx, v);
+        for layer in &self.layers {
+            v = layer.infer(ctx, v);
+        }
+        v = self.project.infer(ctx, v);
+        v = self.up1.infer(ctx, v);
+        infer::leaky_relu_inplace(&mut v, 0.1);
+        v = self.up2.infer(ctx, v);
+        infer::leaky_relu_inplace(&mut v, 0.1);
+        v = self.up3.infer(ctx, v);
+        infer::leaky_relu_inplace(&mut v, 0.1);
+        v = self.out.infer(ctx, v);
+        infer::tanh_inplace(&mut v);
+        v
     }
 
     fn params(&self) -> Vec<Param> {

@@ -2,7 +2,8 @@
 //! the paper compares against in Table 2 and Figures 6/8.
 
 use crate::model::VggBlock;
-use litho_nn::{ops, Conv2d, ConvTranspose2d, Graph, Module, Param, Var};
+use litho_nn::{infer, ops, Conv2d, ConvTranspose2d, Graph, InferCtx, Module, Param, Var};
+use litho_tensor::Tensor;
 use rand::Rng;
 
 /// A three-level U-Net with Tanh output, sized by a base channel width.
@@ -64,6 +65,30 @@ impl Module for Unet {
         let u1 = self.up1.forward(g, d2);
         let o = self.out.forward(g, u1);
         ops::tanh(g, o)
+    }
+
+    fn infer(&self, ctx: &mut InferCtx, x: Tensor) -> Tensor {
+        // mirror of forward, with skip activations recycled after their join
+        let d1 = self.enc1.infer(ctx, x);
+        let e1 = self.block1.infer(ctx, d1);
+        let d = self.enc2.infer_ref(ctx, &e1);
+        let e2 = self.block2.infer(ctx, d);
+        let d = self.enc3.infer_ref(ctx, &e2);
+        let e3 = self.bottleneck.infer(ctx, d);
+        let u3 = self.up3.infer(ctx, e3);
+        let c3 = infer::concat(ctx, &[&u3, &e2]);
+        ctx.recycle(u3);
+        ctx.recycle(e2);
+        let d3 = self.dec3.infer(ctx, c3);
+        let u2 = self.up2.infer(ctx, d3);
+        let c2 = infer::concat(ctx, &[&u2, &e1]);
+        ctx.recycle(u2);
+        ctx.recycle(e1);
+        let d2 = self.dec2.infer(ctx, c2);
+        let u1 = self.up1.infer(ctx, d2);
+        let mut o = self.out.infer(ctx, u1);
+        infer::tanh_inplace(&mut o);
+        o
     }
 
     fn params(&self) -> Vec<Param> {

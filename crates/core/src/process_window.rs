@@ -16,9 +16,9 @@
 //! would make concurrent forwards scheduling-dependent).
 
 use crate::metrics::{seg_metrics, SegMetrics};
-use crate::model::{predict, prediction_to_contour};
+use crate::model::prediction_to_contour;
 use litho_geometry::{measure_epe, EpeStats};
-use litho_nn::Module;
+use litho_nn::{infer, Module};
 use litho_optics::ProcessCondition;
 use litho_tensor::Tensor;
 
@@ -174,12 +174,13 @@ pub fn evaluate_process_window_with_pool<M: Module + Sync + ?Sized>(
         .enumerate()
         .flat_map(|(ci, (_, samples))| (0..samples.len()).map(move |si| (ci, si)))
         .collect();
-    let per_tile: Vec<(SegMetrics, EpeStats)> = pool.par_map(jobs.len(), 1, |j| {
+    let per_tile: Vec<(SegMetrics, EpeStats)> = infer::par_infer_map(pool, jobs.len(), |ctx, j| {
         let (ci, si) = jobs[j];
         let (mask, golden) = &corners[ci].1[si];
         let shape = [1, mask.dim(0), mask.dim(1), mask.dim(2)];
-        let pred = predict(model, &mask.reshape(&shape));
+        let pred = model.infer(ctx, mask.reshape(&shape));
         let contour = prediction_to_contour(&pred);
+        ctx.recycle(pred);
         let size = mask.dim(mask.rank() - 1);
         (
             seg_metrics(&contour, golden.as_slice()),

@@ -4,7 +4,7 @@
 
 use crate::metrics::{seg_metrics, SegMetrics};
 use crate::model::prediction_to_contour;
-use litho_nn::{ops, Adam, Graph, Module, StepLr};
+use litho_nn::{ops, Adam, Graph, InferCtx, Module, StepLr};
 use litho_tensor::{stack_batch, Tensor};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -198,7 +198,9 @@ pub fn train_model<M: Module + ?Sized>(
 ///
 /// Evaluation runs in inference mode; the model's previous training/eval
 /// mode is restored before returning, so calling this mid-training does not
-/// freeze batch-norm statistics for the remaining epochs.
+/// freeze batch-norm statistics for the remaining epochs. The forwards are
+/// tape-free ([`Module::infer`]) on one shared [`InferCtx`], so activation
+/// buffers recycle across the whole evaluation set.
 ///
 /// # Panics
 ///
@@ -207,14 +209,14 @@ pub fn evaluate_model<M: Module + ?Sized>(model: &M, samples: &[(Tensor, Tensor)
     assert!(!samples.is_empty(), "evaluation set is empty");
     let was_training = model.is_training();
     model.set_training(false);
+    let mut ctx = InferCtx::new();
     let per_tile: Vec<SegMetrics> = samples
         .iter()
         .map(|(mask, golden)| {
-            let mut g = Graph::new();
             let shape = [1, mask.dim(0), mask.dim(1), mask.dim(2)];
-            let x = g.input(mask.reshape(&shape));
-            let y = model.forward(&mut g, x);
-            let contour = prediction_to_contour(g.value(y));
+            let y = model.infer(&mut ctx, mask.reshape(&shape));
+            let contour = prediction_to_contour(&y);
+            ctx.recycle(y);
             seg_metrics(&contour, golden.as_slice())
         })
         .collect();

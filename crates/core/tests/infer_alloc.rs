@@ -1,0 +1,75 @@
+//! Regression test for the tape-free inference runtime's buffer reuse: a
+//! warm DOINN forward must be allocation-flat — after the first call fills
+//! the `InferCtx` pool, repeated forwards of the same shape allocate **zero**
+//! new tensor buffers (tracked by the `litho-tensor` debug allocation
+//! counter) and never miss the buffer pool.
+//!
+//! This file holds a single test on purpose: the allocation counter is
+//! process-global, and sibling tests running on other threads (cargo runs a
+//! binary's tests concurrently) would pollute the deltas. Integration-test
+//! binaries are separate processes, so this one observes only its own
+//! allocations.
+
+use doinn::{Doinn, DoinnConfig};
+use litho_nn::{InferCtx, Module};
+use litho_tensor::alloc_stats::tensor_allocations;
+use litho_tensor::{init::seeded_rng, Tensor};
+
+#[test]
+fn warm_doinn_infer_is_allocation_flat() {
+    let mut rng = seeded_rng(21);
+    let model = Doinn::new(DoinnConfig::tiny(), &mut rng);
+    model.set_training(false);
+    let input = litho_tensor::init::randn(&[1, 1, 32, 32], 0.5, &mut rng);
+    let mut ctx = InferCtx::with_pool(&litho_parallel::Pool::new(1));
+
+    // warm-up: populates the buffer pool (and takes the graph path nowhere —
+    // every layer of DOINN overrides infer)
+    let y = model.infer(&mut ctx, input.clone());
+    let reference = y.as_slice().to_vec();
+    ctx.recycle(y);
+    let (_, misses_after_warmup) = ctx.alloc_stats();
+
+    // warm calls: bit-identical output, no pool misses, and (in debug
+    // builds, where the counter is live) zero fresh tensor allocations
+    // beyond the explicit input clone handed to each call
+    for call in 0..3 {
+        let before = tensor_allocations();
+        let x = input.clone(); // 1 counted allocation, owned by the call
+        let after_clone = tensor_allocations();
+        let y = model.infer(&mut ctx, x);
+        let after_infer = tensor_allocations();
+        assert_eq!(y.as_slice(), &reference[..], "call {call} output drifted");
+        ctx.recycle(y);
+        if cfg!(debug_assertions) {
+            assert_eq!(
+                after_clone - before,
+                1,
+                "the input clone is the only allocation the caller makes"
+            );
+            assert_eq!(
+                after_infer, after_clone,
+                "warm call {call} allocated fresh tensor buffers — the \
+                 InferCtx pool failed to recycle"
+            );
+        }
+        let (_, misses) = ctx.alloc_stats();
+        assert_eq!(
+            misses, misses_after_warmup,
+            "warm call {call} missed the buffer pool"
+        );
+    }
+
+    // changing the input shape allocates once for the new sizes, then goes
+    // flat again — buckets are keyed by element count, not wired to a shape
+    for size in [32usize, 64] {
+        let input = Tensor::zeros(&[1, 1, size, size]);
+        let y = model.infer(&mut ctx, input.clone());
+        ctx.recycle(y);
+        let (_, misses_warm) = ctx.alloc_stats();
+        let y = model.infer(&mut ctx, input);
+        ctx.recycle(y);
+        let (_, misses) = ctx.alloc_stats();
+        assert_eq!(misses, misses_warm, "size {size} not flat after warm-up");
+    }
+}

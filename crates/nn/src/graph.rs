@@ -103,6 +103,21 @@ impl Param {
         self.read().value.clone()
     }
 
+    /// Borrowed read access to the current value — no clone.
+    ///
+    /// This is how the tape-free inference path ([`Module::infer`]) reads
+    /// weights: [`Graph::param`] must snapshot the value onto the tape (the
+    /// backward pass needs the exact forward-time weights), but inference has
+    /// no tape, so it borrows instead of copying the whole weight set per
+    /// forward. The guard holds the parameter's read lock; concurrent readers
+    /// (other inference workers) are unaffected, writers (optimizer steps)
+    /// block until it drops, so keep guards scoped to one layer's kernel.
+    ///
+    /// [`Module::infer`]: crate::Module::infer
+    pub fn value_ref(&self) -> ParamGuard<'_> {
+        ParamGuard(self.read())
+    }
+
     /// A copy of the accumulated gradient.
     pub fn grad(&self) -> Tensor {
         self.read().grad.clone()
@@ -169,6 +184,20 @@ impl fmt::Debug for Param {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = self.read();
         write!(f, "Param({:?}, shape {:?})", s.name, s.value.shape())
+    }
+}
+
+/// Read guard over a [`Param`]'s value, returned by [`Param::value_ref`].
+///
+/// Dereferences to the stored [`Tensor`]; the parameter cannot be written
+/// while any guard is alive.
+pub struct ParamGuard<'a>(RwLockReadGuard<'a, ParamStorage>);
+
+impl std::ops::Deref for ParamGuard<'_> {
+    type Target = Tensor;
+
+    fn deref(&self) -> &Tensor {
+        &self.0.value
     }
 }
 
@@ -244,6 +273,14 @@ impl Graph {
     /// The value computed at `v`.
     pub fn value(&self, v: Var) -> &Tensor {
         &self.nodes[v.0].value
+    }
+
+    /// Moves the value computed at `v` out of the graph (a scalar placeholder
+    /// is left behind). For inference-only graphs that are about to be
+    /// dropped: the output tensor escapes without a clone. Do not call
+    /// [`Graph::backward`] (or read `v` again) afterwards.
+    pub fn take_value(&mut self, v: Var) -> Tensor {
+        std::mem::take(&mut self.nodes[v.0].value)
     }
 
     /// Whether gradients flow through `v` (any parameter upstream).

@@ -1,0 +1,286 @@
+//! Tape-free inference runtime.
+//!
+//! The autograd [`Graph`] is the right tool for training but a poor one for
+//! serving: every forward pass clones the whole weight set onto the tape
+//! ([`Graph::param`] must snapshot values for the backward pass), allocates
+//! a fresh tensor per op, and retains every intermediate activation until
+//! the graph drops. [`Module::infer`] is the graph-free alternative: weights
+//! are read **by borrow** ([`Param::value_ref`](crate::Param::value_ref)),
+//! elementwise ops run in place on activations the caller hands over by
+//! value, and shape-changing ops draw their outputs from an [`InferCtx`]
+//! buffer pool that recycles freed activations instead of reallocating
+//! them.
+//!
+//! ## Determinism contract
+//!
+//! The infer path reuses the exact forward kernels of the graph path
+//! (`conv2d_forward_with_pool` and friends) and mirrors every elementwise
+//! expression verbatim, so outputs are **bit-identical** to running the same
+//! module through a [`Graph`] in eval mode — at any pool size
+//! (the kernels carry the `litho-parallel` bit-stability guarantee). The
+//! property tests in `tests/infer_parity.rs` assert this across all four
+//! model families.
+//!
+//! ## Buffer-pool lifecycle
+//!
+//! An [`InferCtx`] owns a size-bucketed pool of `f32` buffers. Ops request
+//! output storage with [`InferCtx::alloc`] / [`InferCtx::alloc_zeroed`] and
+//! hand consumed inputs back with [`InferCtx::recycle`]; after a warm-up
+//! forward, a model whose shapes repeat allocates **zero** new buffers per
+//! call (asserted, via the `litho-tensor` debug allocation counter, in the
+//! doinn crate's regression tests). A context is `Send` but not shared:
+//! create one per worker thread ([`par_infer_map`] does this for fan-outs).
+//!
+//! ## Training-mode modules
+//!
+//! `infer` is an inference path, but it never silently changes semantics: a
+//! batch-norm layer still in training mode falls back to the graph
+//! implementation for that layer (batch statistics + running-stat update,
+//! exactly like `forward`), so `infer` equals `forward` in *any* mode — the
+//! tape-free fast path simply engages fully once the model is in eval mode.
+
+use crate::graph::Graph;
+use crate::layers::Module;
+use litho_parallel::Pool;
+use litho_tensor::{concat_channels_into, concat_channels_shape, Tensor};
+use std::collections::HashMap;
+
+/// Reusable state for tape-free inference: a size-bucketed buffer pool plus
+/// the thread [`Pool`] the forward kernels fan out on.
+///
+/// # Examples
+///
+/// ```
+/// use litho_nn::{InferCtx, Module, Sequential, Tanh};
+/// use litho_tensor::Tensor;
+///
+/// let net = Sequential::new().push(Tanh);
+/// let mut ctx = InferCtx::new();
+/// let y = net.infer(&mut ctx, Tensor::zeros(&[1, 1, 4, 4]));
+/// assert_eq!(y.shape(), &[1, 1, 4, 4]);
+/// ```
+#[derive(Debug)]
+pub struct InferCtx {
+    pool: Pool,
+    /// Free buffers keyed by element count. Shapes repeat across the forwards
+    /// of a fixed model, so exact-length bucketing hits after one warm call.
+    buckets: HashMap<usize, Vec<Vec<f32>>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Default for InferCtx {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl InferCtx {
+    /// A context whose kernels fan out on the process-wide
+    /// [`litho_parallel::global`] pool (`LITHO_THREADS` to configure).
+    pub fn new() -> Self {
+        Self::with_pool(litho_parallel::global())
+    }
+
+    /// A context whose kernels fan out on an explicit pool (benches and
+    /// per-worker contexts inside an outer fan-out; nested parallel calls
+    /// degrade to inline exactly as on the graph path).
+    pub fn with_pool(pool: &Pool) -> Self {
+        Self {
+            pool: pool.clone(),
+            buckets: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The thread pool inference kernels fan out on.
+    pub fn pool(&self) -> &Pool {
+        &self.pool
+    }
+
+    /// Takes a tensor of `shape` from the pool with **unspecified contents**
+    /// (recycled data or zeros). Only for ops that overwrite every element
+    /// of their output before it escapes.
+    pub fn alloc(&mut self, shape: &[usize]) -> Tensor {
+        let numel: usize = shape.iter().product();
+        match self.buckets.get_mut(&numel).and_then(Vec::pop) {
+            Some(buf) => {
+                self.hits += 1;
+                Tensor::from_vec(buf, shape)
+            }
+            None => {
+                self.misses += 1;
+                Tensor::zeros(shape)
+            }
+        }
+    }
+
+    /// Takes a zero-filled tensor of `shape` from the pool (the conv kernels
+    /// accumulate into their output, so it must start at zero).
+    pub fn alloc_zeroed(&mut self, shape: &[usize]) -> Tensor {
+        let numel: usize = shape.iter().product();
+        match self.buckets.get_mut(&numel).and_then(Vec::pop) {
+            Some(mut buf) => {
+                self.hits += 1;
+                buf.fill(0.0);
+                Tensor::from_vec(buf, shape)
+            }
+            None => {
+                self.misses += 1;
+                Tensor::zeros(shape)
+            }
+        }
+    }
+
+    /// Returns a no-longer-needed tensor's buffer to the pool for reuse by a
+    /// later [`InferCtx::alloc`] of the same element count.
+    pub fn recycle(&mut self, t: Tensor) {
+        let numel = t.numel();
+        if numel == 0 {
+            return;
+        }
+        self.buckets.entry(numel).or_default().push(t.into_vec());
+    }
+
+    /// `(pool hits, pool misses)` of the alloc calls so far — a warm context
+    /// driving a fixed model should report only hits after its first call.
+    pub fn alloc_stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+/// The graph-backed fallback behind the default [`Module::infer`]: records
+/// one tape, runs `forward`, and moves the output out without a clone.
+pub(crate) fn infer_via_graph<M: Module + ?Sized>(m: &M, x: Tensor) -> Tensor {
+    let mut g = Graph::new();
+    let v = g.input(x);
+    let y = m.forward(&mut g, v);
+    g.take_value(y)
+}
+
+/// In-place leaky ReLU — same expression as the graph op
+/// [`ops::leaky_relu`](crate::ops::leaky_relu), so results are bit-identical
+/// (including `0.0 * v = -0.0` for a zero slope on negative inputs).
+pub fn leaky_relu_inplace(x: &mut Tensor, slope: f32) {
+    x.map_inplace(|v| if v >= 0.0 { v } else { slope * v });
+}
+
+/// In-place ReLU — bit-identical to the graph op [`ops::relu`](crate::ops::relu)
+/// (which is leaky ReLU at slope 0).
+pub fn relu_inplace(x: &mut Tensor) {
+    leaky_relu_inplace(x, 0.0);
+}
+
+/// In-place tanh — bit-identical to the graph op [`ops::tanh`](crate::ops::tanh).
+pub fn tanh_inplace(x: &mut Tensor) {
+    x.map_inplace(f32::tanh);
+}
+
+/// Channel concatenation into a pooled output tensor — same copy layout as
+/// the graph op [`ops::concat`](crate::ops::concat).
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or shapes are incompatible.
+pub fn concat(ctx: &mut InferCtx, xs: &[&Tensor]) -> Tensor {
+    let shape = concat_channels_shape(xs);
+    let mut out = ctx.alloc(&shape);
+    concat_channels_into(xs, &mut out);
+    out
+}
+
+/// Maps `0..n` through `f` on `pool`, handing each worker thread its own
+/// [`InferCtx`] (contexts must not be shared across threads; per-worker
+/// contexts keep buffer recycling alive across that worker's whole run of
+/// items). Results come back in index order, bit-identical for any pool
+/// size — this is the fan-out primitive behind `doinn::predict_batch` and
+/// `doinn::evaluate_process_window`.
+pub fn par_infer_map<T: Send>(
+    pool: &Pool,
+    n: usize,
+    f: impl Fn(&mut InferCtx, usize) -> T + Sync,
+) -> Vec<T> {
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    pool.par_chunk_runs_mut(&mut slots, 1, 1, |first, run| {
+        let mut ctx = InferCtx::with_pool(pool);
+        for (off, slot) in run.iter_mut().enumerate() {
+            *slot = Some(f(&mut ctx, first + off));
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_recycle_roundtrip_reuses_buffers() {
+        let mut ctx = InferCtx::with_pool(&Pool::new(1));
+        let a = ctx.alloc_zeroed(&[2, 3]);
+        assert!(a.as_slice().iter().all(|&v| v == 0.0));
+        ctx.recycle(a);
+        let b = ctx.alloc(&[6]); // same element count, different shape: hits
+        assert_eq!(b.shape(), &[6]);
+        let (hits, misses) = ctx.alloc_stats();
+        assert_eq!((hits, misses), (1, 1));
+        // zeroed alloc from a dirty recycled buffer really is zeroed
+        let mut c = b;
+        c.as_mut_slice().fill(7.0);
+        ctx.recycle(c);
+        let d = ctx.alloc_zeroed(&[2, 3]);
+        assert!(d.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn inplace_activations_match_graph_expressions() {
+        let vals = [-2.5f32, -0.0, 0.0, 1.75];
+        let mk = || Tensor::from_vec(vals.to_vec(), &[4]);
+        let mut g = Graph::new();
+        let x = g.input(mk());
+        let lr = crate::ops::leaky_relu(&mut g, x, 0.1);
+        let r = crate::ops::relu(&mut g, x);
+        let t = crate::ops::tanh(&mut g, x);
+
+        let mut a = mk();
+        leaky_relu_inplace(&mut a, 0.1);
+        assert_eq!(a.as_slice(), g.value(lr).as_slice());
+        let mut b = mk();
+        relu_inplace(&mut b);
+        // bit-level comparison: relu(negative) is -0.0 on both paths
+        let want: Vec<u32> = g.value(r).as_slice().iter().map(|v| v.to_bits()).collect();
+        let got: Vec<u32> = b.as_slice().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(want, got);
+        let mut c = mk();
+        tanh_inplace(&mut c);
+        assert_eq!(c.as_slice(), g.value(t).as_slice());
+    }
+
+    #[test]
+    fn concat_matches_tensor_concat() {
+        let a = Tensor::from_vec((0..8).map(|v| v as f32).collect(), &[1, 2, 2, 2]);
+        let b = Tensor::from_vec((8..12).map(|v| v as f32).collect(), &[1, 1, 2, 2]);
+        let want = litho_tensor::concat_channels(&[&a, &b]);
+        let mut ctx = InferCtx::with_pool(&Pool::new(1));
+        let got = concat(&mut ctx, &[&a, &b]);
+        assert_eq!(want.as_slice(), got.as_slice());
+        assert_eq!(want.shape(), got.shape());
+    }
+
+    #[test]
+    fn par_infer_map_preserves_order_and_runs_everything() {
+        for threads in [1usize, 2, 4] {
+            let pool = Pool::new(threads);
+            let out = par_infer_map(&pool, 9, |ctx, i| {
+                let t = ctx.alloc_zeroed(&[2]);
+                ctx.recycle(t);
+                i * 3
+            });
+            assert_eq!(out, (0..9).map(|i| i * 3).collect::<Vec<_>>());
+        }
+    }
+}

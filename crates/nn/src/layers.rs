@@ -2,6 +2,7 @@
 //! [`Graph`] per forward pass.
 
 use crate::graph::{Graph, Param, Var};
+use crate::infer::{self, InferCtx};
 use crate::ops;
 use crate::ops::BatchNormState;
 use litho_tensor::{init, Tensor};
@@ -15,6 +16,23 @@ use std::sync::atomic::{AtomicBool, Ordering};
 pub trait Module {
     /// Records this module's computation on the tape.
     fn forward(&self, g: &mut Graph, x: Var) -> Var;
+
+    /// Tape-free inference: consumes `x`, returns the module output,
+    /// **bit-identical** to recording [`Module::forward`] on a fresh graph
+    /// and reading the result — with no tape, no per-forward weight clones
+    /// (weights are read by borrow) and activation buffers recycled through
+    /// `ctx` (see [`InferCtx`]).
+    ///
+    /// The default implementation falls back to a throwaway graph, so every
+    /// module supports `infer` out of the box; layers override it with
+    /// graph-free kernels. Mode-dependent layers (batch norm) keep their
+    /// `forward` semantics in either mode: the tape-free fast path engages
+    /// in eval mode, training mode falls back to the graph op (which must
+    /// update running statistics exactly as `forward` would).
+    fn infer(&self, ctx: &mut InferCtx, x: Tensor) -> Tensor {
+        let _ = ctx;
+        infer::infer_via_graph(self, x)
+    }
 
     /// All trainable parameters, in a stable order (used by optimizers and
     /// checkpointing).
@@ -46,6 +64,10 @@ pub trait Module {
 impl<M: Module + ?Sized> Module for Box<M> {
     fn forward(&self, g: &mut Graph, x: Var) -> Var {
         (**self).forward(g, x)
+    }
+
+    fn infer(&self, ctx: &mut InferCtx, x: Tensor) -> Tensor {
+        (**self).infer(ctx, x)
     }
 
     fn params(&self) -> Vec<Param> {
@@ -97,6 +119,15 @@ impl Conv2d {
             pad,
         }
     }
+
+    /// Tape-free forward that borrows its input (for call sites that still
+    /// need `x` afterwards — skip joins, bypass branches). Weights are read
+    /// by borrow; the output comes from the `ctx` buffer pool.
+    pub fn infer_ref(&self, ctx: &mut InferCtx, x: &Tensor) -> Tensor {
+        let w = self.weight.value_ref();
+        let b = self.bias.as_ref().map(Param::value_ref);
+        ops::conv2d_infer(ctx, x, &w, b.as_deref(), self.stride, self.pad)
+    }
 }
 
 impl Module for Conv2d {
@@ -104,6 +135,12 @@ impl Module for Conv2d {
         let w = g.param(&self.weight);
         let b = self.bias.as_ref().map(|b| g.param(b));
         ops::conv2d(g, x, w, b, self.stride, self.pad)
+    }
+
+    fn infer(&self, ctx: &mut InferCtx, x: Tensor) -> Tensor {
+        let out = self.infer_ref(ctx, &x);
+        ctx.recycle(x);
+        out
     }
 
     fn params(&self) -> Vec<Param> {
@@ -151,6 +188,13 @@ impl ConvTranspose2d {
             pad,
         }
     }
+
+    /// Tape-free forward that borrows its input; see [`Conv2d::infer_ref`].
+    pub fn infer_ref(&self, ctx: &mut InferCtx, x: &Tensor) -> Tensor {
+        let w = self.weight.value_ref();
+        let b = self.bias.as_ref().map(Param::value_ref);
+        ops::conv_transpose2d_infer(ctx, x, &w, b.as_deref(), self.stride, self.pad)
+    }
 }
 
 impl Module for ConvTranspose2d {
@@ -158,6 +202,12 @@ impl Module for ConvTranspose2d {
         let w = g.param(&self.weight);
         let b = self.bias.as_ref().map(|b| g.param(b));
         ops::conv_transpose2d(g, x, w, b, self.stride, self.pad)
+    }
+
+    fn infer(&self, ctx: &mut InferCtx, x: Tensor) -> Tensor {
+        let out = self.infer_ref(ctx, &x);
+        ctx.recycle(x);
+        out
     }
 
     fn params(&self) -> Vec<Param> {
@@ -211,6 +261,46 @@ impl Module for BatchNorm2d {
         )
     }
 
+    fn infer(&self, ctx: &mut InferCtx, mut x: Tensor) -> Tensor {
+        if self.training.load(Ordering::Relaxed) {
+            // training-mode semantics (batch statistics + running-stat
+            // update) belong to the graph op; infer must not diverge from
+            // forward, so fall back rather than silently freezing stats
+            let _ = ctx;
+            return infer::infer_via_graph(self, x);
+        }
+        assert_eq!(x.rank(), 4, "batch_norm2d expects NCHW input");
+        let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+        let gamma = self.gamma.value_ref();
+        let beta = self.beta.value_ref();
+        let rm = self.state.running_mean.value_ref();
+        let rv = self.state.running_var.value_ref();
+        assert_eq!(gamma.numel(), c, "gamma length mismatch");
+        assert_eq!(beta.numel(), c, "beta length mismatch");
+        let eps = self.state.eps;
+        let hw = h * w;
+        let (gd, bd) = (gamma.as_slice(), beta.as_slice());
+        let (rmd, rvd) = (rm.as_slice(), rv.as_slice());
+        // same inv_std expression as the graph op, then the shared
+        // normalisation kernel — one definition for both execution paths
+        let inv_std: Vec<f32> = rvd.iter().map(|&v| 1.0 / (v + eps).sqrt()).collect();
+        let xd = x.as_mut_slice();
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * hw;
+                ops::normalize_channel(
+                    &mut xd[base..base + hw],
+                    rmd[ci],
+                    inv_std[ci],
+                    gd[ci],
+                    bd[ci],
+                );
+            }
+        }
+        drop((gamma, beta, rm, rv));
+        x
+    }
+
     fn params(&self) -> Vec<Param> {
         // running statistics ride along as buffers so checkpoints restore
         // eval-mode behaviour exactly; optimizers skip them
@@ -248,6 +338,10 @@ impl Module for LeakyRelu {
     fn forward(&self, g: &mut Graph, x: Var) -> Var {
         ops::leaky_relu(g, x, self.slope)
     }
+    fn infer(&self, _ctx: &mut InferCtx, mut x: Tensor) -> Tensor {
+        infer::leaky_relu_inplace(&mut x, self.slope);
+        x
+    }
     fn params(&self) -> Vec<Param> {
         Vec::new()
     }
@@ -261,6 +355,10 @@ impl Module for Relu {
     fn forward(&self, g: &mut Graph, x: Var) -> Var {
         ops::relu(g, x)
     }
+    fn infer(&self, _ctx: &mut InferCtx, mut x: Tensor) -> Tensor {
+        infer::relu_inplace(&mut x);
+        x
+    }
     fn params(&self) -> Vec<Param> {
         Vec::new()
     }
@@ -273,6 +371,10 @@ pub struct Tanh;
 impl Module for Tanh {
     fn forward(&self, g: &mut Graph, x: Var) -> Var {
         ops::tanh(g, x)
+    }
+    fn infer(&self, _ctx: &mut InferCtx, mut x: Tensor) -> Tensor {
+        infer::tanh_inplace(&mut x);
+        x
     }
     fn params(&self) -> Vec<Param> {
         Vec::new()
@@ -295,6 +397,11 @@ impl AvgPool2d {
 impl Module for AvgPool2d {
     fn forward(&self, g: &mut Graph, x: Var) -> Var {
         ops::avg_pool2d(g, x, self.k)
+    }
+    fn infer(&self, ctx: &mut InferCtx, x: Tensor) -> Tensor {
+        let out = ops::avg_pool2d_infer(ctx, &x, self.k);
+        ctx.recycle(x);
+        out
     }
     fn params(&self) -> Vec<Param> {
         Vec::new()
@@ -345,6 +452,14 @@ impl Module for Sequential {
         let mut v = x;
         for l in &self.layers {
             v = l.forward(g, v);
+        }
+        v
+    }
+
+    fn infer(&self, ctx: &mut InferCtx, x: Tensor) -> Tensor {
+        let mut v = x;
+        for l in &self.layers {
+            v = l.infer(ctx, v);
         }
         v
     }
@@ -454,5 +569,76 @@ mod tests {
         let y = pool.forward(&mut g, x);
         assert_eq!(g.value(y).shape(), &[1, 1, 2, 2]);
         assert!(pool.params().is_empty());
+    }
+
+    fn ramp(shape: &[usize]) -> Tensor {
+        let n: usize = shape.iter().product();
+        Tensor::from_vec(
+            (0..n).map(|i| ((i * 7 % 13) as f32 - 6.0) * 0.15).collect(),
+            shape,
+        )
+    }
+
+    /// Graph forward vs tape-free infer for every layer kind, both modes.
+    #[test]
+    fn infer_is_bit_identical_to_graph_forward() {
+        let mut rng = seeded_rng(11);
+        let net = Sequential::new()
+            .push(Conv2d::new(1, 4, 3, 1, 1, true, &mut rng))
+            .push(BatchNorm2d::new(4))
+            .push(LeakyRelu::new(0.2))
+            .push(AvgPool2d::new(2))
+            .push(ConvTranspose2d::new(4, 2, 4, 2, 1, true, &mut rng))
+            .push(Relu)
+            .push(Conv2d::new(2, 1, 3, 1, 1, true, &mut rng))
+            .push(Tanh);
+        let x = ramp(&[2, 1, 8, 8]);
+        for training in [false, true] {
+            net.set_training(training);
+            let mut g = Graph::new();
+            let vx = g.input(x.clone());
+            let y = net.forward(&mut g, vx);
+            let want = g.value(y).clone();
+            // re-run infer from the same running-stat state: training-mode
+            // forward above moved the stats, so reset per mode via a fresh
+            // forward ordering — instead compare against a second forward
+            // from identical state by snapshotting params first.
+            net.set_training(training);
+            let mut ctx = InferCtx::new();
+            let got = net.infer(&mut ctx, x.clone());
+            if training {
+                // training-mode batch norm folds running stats per forward,
+                // so the two runs saw different stats only if eval; in
+                // training both use *batch* stats — outputs still match
+                assert_eq!(want.as_slice(), got.as_slice(), "training mode");
+            } else {
+                assert_eq!(want.as_slice(), got.as_slice(), "eval mode");
+            }
+            assert_eq!(want.shape(), got.shape());
+        }
+    }
+
+    /// A second eval-mode forward through a warm context allocates nothing.
+    #[test]
+    fn infer_ctx_recycles_across_calls() {
+        let mut rng = seeded_rng(12);
+        let net = Sequential::new()
+            .push(Conv2d::new(1, 3, 3, 1, 1, true, &mut rng))
+            .push(LeakyRelu::new(0.1))
+            .push(Conv2d::new(3, 1, 3, 1, 1, true, &mut rng));
+        net.set_training(false);
+        let mut ctx = InferCtx::new();
+        let x = ramp(&[1, 1, 8, 8]);
+        let y = net.infer(&mut ctx, x.clone());
+        ctx.recycle(y);
+        let (_, misses_after_warmup) = ctx.alloc_stats();
+        let y = net.infer(&mut ctx, x);
+        ctx.recycle(y);
+        let (hits, misses) = ctx.alloc_stats();
+        assert_eq!(
+            misses, misses_after_warmup,
+            "warm call must not miss the buffer pool"
+        );
+        assert!(hits > 0, "warm call must reuse recycled buffers");
     }
 }

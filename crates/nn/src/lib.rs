@@ -35,12 +35,14 @@
 #![warn(missing_docs)]
 
 mod graph;
+pub mod infer;
 mod layers;
 pub mod ops;
 mod optim;
 mod serial;
 
-pub use graph::{BackwardFn, Graph, Param, Var};
+pub use graph::{BackwardFn, Graph, Param, ParamGuard, Var};
+pub use infer::InferCtx;
 pub use layers::{
     AvgPool2d, BatchNorm2d, Conv2d, ConvTranspose2d, LeakyRelu, Module, Relu, Sequential, Tanh,
 };

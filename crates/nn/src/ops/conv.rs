@@ -21,6 +21,7 @@
 //! reorder floating-point sums.
 
 use crate::graph::{Graph, Var};
+use crate::infer::InferCtx;
 use litho_parallel::Pool;
 use litho_tensor::{
     col2im, conv_out_size, conv_transpose_out_size, im2col, sgemm_nn, sgemm_nt, sgemm_tn,
@@ -30,6 +31,23 @@ use litho_tensor::{
 /// Minimum multiply-accumulates a worker thread must receive before a
 /// forward pass fans out; below this, spawn cost dominates.
 const PAR_MIN_MACS: usize = 64 * 1024;
+
+/// Output shape `[N, O, OH, OW]` of a conv2d, with full shape validation.
+fn conv2d_out_shape(x: &Tensor, w: &Tensor, stride: usize, pad: usize) -> [usize; 4] {
+    assert_eq!(x.rank(), 4, "conv2d expects NCHW input");
+    assert_eq!(w.rank(), 4, "conv2d expects OCKK weight");
+    assert_eq!(
+        x.dim(1),
+        w.dim(1),
+        "channel mismatch between input and weight"
+    );
+    [
+        x.dim(0),
+        w.dim(0),
+        conv_out_size(x.dim(2), w.dim(2), stride, pad),
+        conv_out_size(x.dim(3), w.dim(3), stride, pad),
+    ]
+}
 
 /// The multi-threaded inference kernel behind [`conv2d`]: cross-correlation
 /// of `x: [N,C,H,W]` with `w: [O,C,kh,kw]` and optional `bias: [O]`, on an
@@ -51,13 +69,48 @@ pub fn conv2d_forward_with_pool(
     pad: usize,
     pool: &Pool,
 ) -> Tensor {
-    assert_eq!(x.rank(), 4, "conv2d expects NCHW input");
-    assert_eq!(w.rank(), 4, "conv2d expects OCKK weight");
+    let mut out = Tensor::zeros(&conv2d_out_shape(x, w, stride, pad));
+    conv2d_fill(x, w, bias, stride, pad, pool, &mut out);
+    out
+}
+
+/// [`conv2d_forward_with_pool`] drawing its output from an [`InferCtx`]
+/// buffer pool — the tape-free path behind `Conv2d::infer`. Bit-identical to
+/// the graph forward (same fill kernel).
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+pub fn conv2d_infer(
+    ctx: &mut InferCtx,
+    x: &Tensor,
+    w: &Tensor,
+    bias: Option<&Tensor>,
+    stride: usize,
+    pad: usize,
+) -> Tensor {
+    let mut out = ctx.alloc_zeroed(&conv2d_out_shape(x, w, stride, pad));
+    let pool = ctx.pool().clone();
+    conv2d_fill(x, w, bias, stride, pad, &pool, &mut out);
+    out
+}
+
+/// Shared fill kernel: accumulates the convolution into a **zeroed** `out`
+/// of the exact output shape. Both the graph forward and the tape-free path
+/// route through this, which is what keeps them bit-identical.
+fn conv2d_fill(
+    x: &Tensor,
+    w: &Tensor,
+    bias: Option<&Tensor>,
+    stride: usize,
+    pad: usize,
+    pool: &Pool,
+    out: &mut Tensor,
+) {
     let (n, c, h, width) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
-    let (o, wc, kh, kw) = (w.dim(0), w.dim(1), w.dim(2), w.dim(3));
-    assert_eq!(c, wc, "channel mismatch between input and weight");
-    let oh = conv_out_size(h, kh, stride, pad);
-    let ow = conv_out_size(width, kw, stride, pad);
+    let (o, kh, kw) = (w.dim(0), w.dim(2), w.dim(3));
+    debug_assert_eq!(out.shape(), &conv2d_out_shape(x, w, stride, pad));
+    let (oh, ow) = (out.dim(2), out.dim(3));
     let k = c * kh * kw;
     let l = oh * ow;
     let bd = bias.map(|bv| {
@@ -65,9 +118,8 @@ pub fn conv2d_forward_with_pool(
         bv.as_slice()
     });
 
-    let mut out = Tensor::zeros(&[n, o, oh, ow]);
     if out.numel() == 0 {
-        return out; // empty batch or zero output channels: pre-pool no-op
+        return; // empty batch or zero output channels: pre-pool no-op
     }
     let od = out.as_mut_slice();
     let xd = x.as_slice();
@@ -131,7 +183,6 @@ pub fn conv2d_forward_with_pool(
             }
         });
     }
-    out
 }
 
 /// 2-D convolution. `x: [N,C,H,W]`, `w: [O,C,kh,kw]`, optional `b: [O]`.
@@ -251,16 +302,66 @@ pub fn conv_transpose2d_forward_with_pool(
     pad: usize,
     pool: &Pool,
 ) -> Tensor {
+    let mut out = Tensor::zeros(&conv_transpose2d_out_shape(x, w, stride, pad));
+    conv_transpose2d_fill(x, w, bias, stride, pad, pool, &mut out);
+    out
+}
+
+/// [`conv_transpose2d_forward_with_pool`] drawing its output from an
+/// [`InferCtx`] buffer pool — the tape-free path behind
+/// `ConvTranspose2d::infer`. Bit-identical to the graph forward (same fill
+/// kernel).
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+pub fn conv_transpose2d_infer(
+    ctx: &mut InferCtx,
+    x: &Tensor,
+    w: &Tensor,
+    bias: Option<&Tensor>,
+    stride: usize,
+    pad: usize,
+) -> Tensor {
+    let mut out = ctx.alloc_zeroed(&conv_transpose2d_out_shape(x, w, stride, pad));
+    let pool = ctx.pool().clone();
+    conv_transpose2d_fill(x, w, bias, stride, pad, &pool, &mut out);
+    out
+}
+
+/// Output shape `[N, C_out, OH, OW]` of a conv_transpose2d, with full shape
+/// validation.
+fn conv_transpose2d_out_shape(x: &Tensor, w: &Tensor, stride: usize, pad: usize) -> [usize; 4] {
     assert_eq!(x.rank(), 4, "conv_transpose2d expects NCHW input");
     assert_eq!(w.rank(), 4, "conv_transpose2d expects IOKK weight");
-    let (n, ci, h, width) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
-    let (wi, co, kh, kw) = (w.dim(0), w.dim(1), w.dim(2), w.dim(3));
-    assert_eq!(ci, wi, "channel mismatch between input and weight");
-    let oh = conv_transpose_out_size(h, kh, stride, pad);
-    let ow = conv_transpose_out_size(width, kw, stride, pad);
+    assert_eq!(
+        x.dim(1),
+        w.dim(0),
+        "channel mismatch between input and weight"
+    );
+    let oh = conv_transpose_out_size(x.dim(2), w.dim(2), stride, pad);
+    let ow = conv_transpose_out_size(x.dim(3), w.dim(3), stride, pad);
     // sanity: the adjoint conv maps the output size back to the input size
-    debug_assert_eq!(conv_out_size(oh, kh, stride, pad), h);
-    debug_assert_eq!(conv_out_size(ow, kw, stride, pad), width);
+    debug_assert_eq!(conv_out_size(oh, w.dim(2), stride, pad), x.dim(2));
+    debug_assert_eq!(conv_out_size(ow, w.dim(3), stride, pad), x.dim(3));
+    [x.dim(0), w.dim(1), oh, ow]
+}
+
+/// Shared fill kernel for the transposed conv: accumulates into a **zeroed**
+/// `out` of the exact output shape; both forward entry points route here.
+fn conv_transpose2d_fill(
+    x: &Tensor,
+    w: &Tensor,
+    bias: Option<&Tensor>,
+    stride: usize,
+    pad: usize,
+    pool: &Pool,
+    out: &mut Tensor,
+) {
+    let (n, ci, h, width) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    let (co, kh, kw) = (w.dim(1), w.dim(2), w.dim(3));
+    debug_assert_eq!(out.shape(), &conv_transpose2d_out_shape(x, w, stride, pad));
+    let (oh, ow) = (out.dim(2), out.dim(3));
     let kout = co * kh * kw;
     let lin = h * width;
     let bd = bias.map(|bv| {
@@ -268,11 +369,10 @@ pub fn conv_transpose2d_forward_with_pool(
         bv.as_slice()
     });
 
-    let mut out = Tensor::zeros(&[n, co, oh, ow]);
     if out.numel() == 0 {
         // empty batch, zero output channels or zero spatial output (e.g.
         // 1x1 input with k == 2*pad): the pre-pool loop was a no-op
-        return out;
+        return;
     }
     let od = out.as_mut_slice();
     let xd = x.as_slice();
@@ -338,7 +438,6 @@ pub fn conv_transpose2d_forward_with_pool(
             }
         });
     }
-    out
 }
 
 /// 2-D transposed convolution. `x: [N,C_in,H,W]`, `w: [C_in,C_out,kh,kw]`,

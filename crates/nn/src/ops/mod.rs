@@ -8,11 +8,14 @@ mod conv;
 mod norm;
 
 pub use conv::{
-    conv2d, conv2d_forward_with_pool, conv_transpose2d, conv_transpose2d_forward_with_pool,
+    conv2d, conv2d_forward_with_pool, conv2d_infer, conv_transpose2d,
+    conv_transpose2d_forward_with_pool, conv_transpose2d_infer,
 };
+pub(crate) use norm::normalize_channel;
 pub use norm::{batch_norm2d, BatchNormState};
 
 use crate::graph::{Graph, Var};
+use crate::infer::InferCtx;
 use litho_tensor::{concat_channels as cat_t, slice_channels, Tensor};
 
 /// Elementwise sum of two same-shaped tensors.
@@ -128,6 +131,53 @@ pub fn sigmoid(g: &mut Graph, x: Var) -> Var {
     )
 }
 
+/// Output shape of [`avg_pool2d`], with full validation.
+fn avg_pool2d_out_shape(x: &Tensor, k: usize) -> [usize; 4] {
+    assert_eq!(x.rank(), 4, "avg_pool2d expects NCHW input");
+    let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    assert!(
+        h % k == 0 && w % k == 0,
+        "avg_pool2d requires dims divisible by k (got {h}x{w} / {k})"
+    );
+    [n, c, h / k, w / k]
+}
+
+/// Shared average-pooling fill kernel (every element of `out` overwritten);
+/// both the graph op and the tape-free path route through this.
+fn avg_pool2d_fill(x: &Tensor, k: usize, out: &mut Tensor) {
+    let (n, c, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
+    let (oh, ow) = (out.dim(2), out.dim(3));
+    let od = out.as_mut_slice();
+    let xd = x.as_slice();
+    let inv = 1.0 / (k * k) as f32;
+    for nc in 0..n * c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0.0;
+                for dy in 0..k {
+                    let row = (nc * h + oy * k + dy) * w + ox * k;
+                    for dx in 0..k {
+                        acc += xd[row + dx];
+                    }
+                }
+                od[(nc * oh + oy) * ow + ox] = acc * inv;
+            }
+        }
+    }
+}
+
+/// Tape-free average pooling drawing its output from the [`InferCtx`] buffer
+/// pool — bit-identical to the graph op [`avg_pool2d`] (same fill kernel).
+///
+/// # Panics
+///
+/// Panics if the spatial dims are not divisible by `k`.
+pub fn avg_pool2d_infer(ctx: &mut InferCtx, x: &Tensor, k: usize) -> Tensor {
+    let mut out = ctx.alloc(&avg_pool2d_out_shape(x, k));
+    avg_pool2d_fill(x, k, &mut out);
+    out
+}
+
 /// Average pooling with a square `k × k` window and stride `k` (the only
 /// configuration the paper uses: 8×8/8 in the GP path).
 ///
@@ -136,33 +186,11 @@ pub fn sigmoid(g: &mut Graph, x: Var) -> Var {
 /// Panics if the spatial dims are not divisible by `k`.
 pub fn avg_pool2d(g: &mut Graph, x: Var, k: usize) -> Var {
     let xv = g.value(x);
-    assert_eq!(xv.rank(), 4, "avg_pool2d expects NCHW input");
-    let (n, c, h, w) = (xv.dim(0), xv.dim(1), xv.dim(2), xv.dim(3));
-    assert!(
-        h % k == 0 && w % k == 0,
-        "avg_pool2d requires dims divisible by k (got {h}x{w} / {k})"
-    );
-    let (oh, ow) = (h / k, w / k);
-    let mut out = Tensor::zeros(&[n, c, oh, ow]);
-    {
-        let od = out.as_mut_slice();
-        let xd = xv.as_slice();
-        let inv = 1.0 / (k * k) as f32;
-        for nc in 0..n * c {
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut acc = 0.0;
-                    for dy in 0..k {
-                        let row = (nc * h + oy * k + dy) * w + ox * k;
-                        for dx in 0..k {
-                            acc += xd[row + dx];
-                        }
-                    }
-                    od[(nc * oh + oy) * ow + ox] = acc * inv;
-                }
-            }
-        }
-    }
+    let shape = avg_pool2d_out_shape(xv, k);
+    let [n, c, h, w] = [xv.dim(0), xv.dim(1), xv.dim(2), xv.dim(3)];
+    let (oh, ow) = (shape[2], shape[3]);
+    let mut out = Tensor::zeros(&shape);
+    avg_pool2d_fill(xv, k, &mut out);
     g.push(
         out,
         &[x],

@@ -31,6 +31,17 @@ impl BatchNormState {
     }
 }
 
+/// The one batch-norm normalisation expression,
+/// `(v − mu) · inv_std · gamma + beta`, applied in place over a channel
+/// plane. Shared between the graph op's forward loop and the tape-free
+/// `BatchNorm2d::infer` so the two execution paths stay bit-identical by
+/// construction.
+pub(crate) fn normalize_channel(vals: &mut [f32], mu: f32, inv_std: f32, gamma: f32, beta: f32) {
+    for v in vals {
+        *v = (*v - mu) * inv_std * gamma + beta;
+    }
+}
+
 /// Batch normalisation over the `(N, H, W)` axes of an NCHW tensor.
 ///
 /// In training mode the batch statistics are used (and folded into the
@@ -111,20 +122,24 @@ pub fn batch_norm2d(
     let eps = state.eps;
     let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + eps).sqrt()).collect();
 
-    // Forward.
-    let mut out = Tensor::zeros(xv.shape());
+    // Forward: copy the input, then the shared per-channel kernel (the same
+    // one the tape-free BatchNorm2d::infer runs in place — the expression
+    // lives in exactly one spot so the two paths cannot drift).
+    let mut out = xv.clone();
     {
         let od = out.as_mut_slice();
-        let xd = xv.as_slice();
         let gd = g.value(gamma).as_slice();
         let bd = g.value(beta).as_slice();
         for ni in 0..n {
             for ci in 0..c {
                 let base = (ni * c + ci) * hw;
-                let (mu, is, ga, be) = (mean[ci], inv_std[ci], gd[ci], bd[ci]);
-                for i in base..base + hw {
-                    od[i] = (xd[i] - mu) * is * ga + be;
-                }
+                normalize_channel(
+                    &mut od[base..base + hw],
+                    mean[ci],
+                    inv_std[ci],
+                    gd[ci],
+                    bd[ci],
+                );
             }
         }
     }

@@ -39,6 +39,7 @@ mod tensor;
 pub use gemm::{sgemm_nn, sgemm_nt, sgemm_tn, sgemm_tn_rowblock};
 pub use im2col::{col2im, conv_out_size, conv_transpose_out_size, im2col};
 pub use shape_ops::{
-    concat_channels, crop_spatial, dihedral_chw, pad_spatial, slice_channels, stack_batch,
+    concat_channels, concat_channels_into, concat_channels_shape, crop_spatial, crop_spatial_into,
+    dihedral_chw, pad_spatial, slice_channels, stack_batch,
 };
-pub use tensor::Tensor;
+pub use tensor::{alloc_stats, Tensor};

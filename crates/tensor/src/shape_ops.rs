@@ -10,6 +10,19 @@ use crate::Tensor;
 ///
 /// Panics if the list is empty, ranks are not 4, or batch/spatial dims differ.
 pub fn concat_channels(tensors: &[&Tensor]) -> Tensor {
+    let shape = concat_channels_shape(tensors);
+    let mut out = Tensor::zeros(&shape);
+    concat_channels_into(tensors, &mut out);
+    out
+}
+
+/// The output shape `[N, ΣC, H, W]` of [`concat_channels`], with the same
+/// shape validation.
+///
+/// # Panics
+///
+/// Panics if the list is empty, ranks are not 4, or batch/spatial dims differ.
+pub fn concat_channels_shape(tensors: &[&Tensor]) -> [usize; 4] {
     assert!(!tensors.is_empty(), "concat of zero tensors");
     let first = tensors[0];
     assert_eq!(first.rank(), 4, "concat_channels expects NCHW tensors");
@@ -22,8 +35,22 @@ pub fn concat_channels(tensors: &[&Tensor]) -> Tensor {
         assert_eq!(t.dim(3), w, "width mismatch");
         c_total += t.dim(1);
     }
+    [n, c_total, h, w]
+}
+
+/// [`concat_channels`] into a caller-provided output tensor (every element
+/// of `out` is overwritten). This is the allocation-free variant the
+/// tape-free inference path pairs with a recycled buffer.
+///
+/// # Panics
+///
+/// Panics on the [`concat_channels`] conditions, or if `out` does not have
+/// the `[N, ΣC, H, W]` result shape.
+pub fn concat_channels_into(tensors: &[&Tensor], out: &mut Tensor) {
+    let shape = concat_channels_shape(tensors);
+    assert_eq!(out.shape(), &shape, "concat output shape mismatch");
+    let [n, c_total, h, w] = shape;
     let hw = h * w;
-    let mut out = Tensor::zeros(&[n, c_total, h, w]);
     let od = out.as_mut_slice();
     for ni in 0..n {
         let mut c_off = 0;
@@ -35,7 +62,6 @@ pub fn concat_channels(tensors: &[&Tensor]) -> Tensor {
             c_off += c;
         }
     }
-    out
 }
 
 /// Extracts channels `[start, start+count)` of an NCHW tensor.
@@ -83,10 +109,29 @@ pub fn pad_spatial(t: &Tensor, top: usize, bottom: usize, left: usize, right: us
 ///
 /// Panics if the window exceeds the tensor bounds.
 pub fn crop_spatial(t: &Tensor, y0: usize, x0: usize, h: usize, w: usize) -> Tensor {
-    assert_eq!(t.rank(), 4, "crop_spatial expects NCHW tensors");
-    let (n, c, ih, iw) = (t.dim(0), t.dim(1), t.dim(2), t.dim(3));
-    assert!(y0 + h <= ih && x0 + w <= iw, "crop window out of bounds");
+    let (n, c) = (t.dim(0), t.dim(1));
     let mut out = Tensor::zeros(&[n, c, h, w]);
+    crop_spatial_into(t, y0, x0, &mut out);
+    out
+}
+
+/// [`crop_spatial`] into a caller-provided `[N, C, h, w]` output tensor
+/// (every element overwritten; the window size is taken from `out`'s spatial
+/// dims). This is the allocation-free variant the large-tile window loop
+/// pairs with a recycled buffer.
+///
+/// # Panics
+///
+/// Panics if `out`'s batch/channel dims differ from `t`'s or the window
+/// exceeds the tensor bounds.
+pub fn crop_spatial_into(t: &Tensor, y0: usize, x0: usize, out: &mut Tensor) {
+    assert_eq!(t.rank(), 4, "crop_spatial expects NCHW tensors");
+    assert_eq!(out.rank(), 4, "crop_spatial expects an NCHW output");
+    let (n, c, ih, iw) = (t.dim(0), t.dim(1), t.dim(2), t.dim(3));
+    let (h, w) = (out.dim(2), out.dim(3));
+    assert_eq!(out.dim(0), n, "crop output batch mismatch");
+    assert_eq!(out.dim(1), c, "crop output channel mismatch");
+    assert!(y0 + h <= ih && x0 + w <= iw, "crop window out of bounds");
     let od = out.as_mut_slice();
     let sd = t.as_slice();
     for nc in 0..n * c {
@@ -95,7 +140,6 @@ pub fn crop_spatial(t: &Tensor, y0: usize, x0: usize, h: usize, w: usize) -> Ten
             od[(nc * h + y) * w..(nc * h + y + 1) * w].copy_from_slice(&sd[src_off..src_off + w]);
         }
     }
-    out
 }
 
 /// Applies one of the 8 dihedral-group symmetries (`k in 0..8`) to the

@@ -7,6 +7,45 @@
 
 use std::fmt;
 
+/// Accounting for fresh tensor-buffer allocations, used by the tape-free
+/// inference tests to prove the `InferCtx` buffer pool actually recycles.
+///
+/// The counter only exists in debug builds (`#[cfg(debug_assertions)]`): it
+/// is an atomic bump on every constructor that materialises a **new** `f32`
+/// buffer inside this crate — [`Tensor::zeros`], [`Tensor::full`],
+/// [`Tensor::ones`], [`Tensor::scalar`], [`Tensor::map`], [`Tensor::zip`],
+/// [`Tensor::reshape`] and `Clone`. [`Tensor::from_vec`] *adopts* a
+/// caller-provided buffer and is deliberately not counted — which is exactly
+/// what lets a buffer pool's recycled tensors register as zero new
+/// allocations.
+pub mod alloc_stats {
+    #[cfg(debug_assertions)]
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[cfg(debug_assertions)]
+    static TENSOR_ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+    /// Number of fresh tensor buffers allocated so far by this crate's
+    /// constructors. Always `0` in release builds (the counter is
+    /// debug-only); gate assertions on `cfg(debug_assertions)`.
+    pub fn tensor_allocations() -> u64 {
+        #[cfg(debug_assertions)]
+        {
+            TENSOR_ALLOCS.load(Ordering::Relaxed)
+        }
+        #[cfg(not(debug_assertions))]
+        {
+            0
+        }
+    }
+
+    #[inline]
+    pub(crate) fn bump() {
+        #[cfg(debug_assertions)]
+        TENSOR_ALLOCS.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 /// A contiguous row-major `f32` tensor.
 ///
 /// # Examples
@@ -18,10 +57,20 @@ use std::fmt;
 /// assert_eq!(t.get(&[1, 0]), 3.0);
 /// assert_eq!(t.sum(), 10.0);
 /// ```
-#[derive(Clone, PartialEq)]
+#[derive(PartialEq)]
 pub struct Tensor {
     shape: Vec<usize>,
     data: Vec<f32>,
+}
+
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        alloc_stats::bump();
+        Self {
+            shape: self.shape.clone(),
+            data: self.data.clone(),
+        }
+    }
 }
 
 impl Tensor {
@@ -47,6 +96,7 @@ impl Tensor {
 
     /// Creates a zero-filled tensor.
     pub fn zeros(shape: &[usize]) -> Self {
+        alloc_stats::bump();
         Self {
             shape: shape.to_vec(),
             data: vec![0.0; shape.iter().product()],
@@ -55,6 +105,7 @@ impl Tensor {
 
     /// Creates a tensor filled with `value`.
     pub fn full(shape: &[usize], value: f32) -> Self {
+        alloc_stats::bump();
         Self {
             shape: shape.to_vec(),
             data: vec![value; shape.iter().product()],
@@ -68,6 +119,7 @@ impl Tensor {
 
     /// Creates a scalar (rank-0) tensor.
     pub fn scalar(value: f32) -> Self {
+        alloc_stats::bump();
         Self {
             shape: vec![],
             data: vec![value],
@@ -149,6 +201,7 @@ impl Tensor {
     ///
     /// Panics if the new shape has a different element count.
     pub fn reshape(&self, shape: &[usize]) -> Tensor {
+        alloc_stats::bump();
         Tensor::from_vec(self.data.clone(), shape)
     }
 
@@ -169,6 +222,7 @@ impl Tensor {
 
     /// Elementwise map into a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        alloc_stats::bump();
         Tensor {
             shape: self.shape.clone(),
             data: self.data.iter().map(|&v| f(v)).collect(),
@@ -189,6 +243,7 @@ impl Tensor {
     /// Panics if shapes differ.
     pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
         assert_eq!(self.shape, other.shape, "shape mismatch in zip");
+        alloc_stats::bump();
         Tensor {
             shape: self.shape.clone(),
             data: self
@@ -397,5 +452,28 @@ mod tests {
         assert!(t.all_finite());
         t.set(&[0], f32::NAN);
         assert!(!t.all_finite());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn alloc_counter_counts_fresh_buffers_only() {
+        use super::alloc_stats::tensor_allocations;
+        let before = tensor_allocations();
+        let a = Tensor::zeros(&[4]); // +1
+        let b = a.clone(); // +1
+        let _m = b.map(|v| v + 1.0); // +1
+        let _z = a.zip(&b, |x, y| x + y); // +1
+        let counted = tensor_allocations() - before;
+        assert_eq!(counted, 4, "zeros/clone/map/zip each allocate once");
+        // adopting an existing buffer is free — this is what lets the
+        // InferCtx buffer pool register recycled tensors as zero allocations
+        let buf = b.into_vec();
+        let before = tensor_allocations();
+        let _t = Tensor::from_vec(buf, &[4]);
+        assert_eq!(
+            tensor_allocations(),
+            before,
+            "from_vec adopts, not allocates"
+        );
     }
 }

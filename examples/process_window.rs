@@ -15,13 +15,18 @@ use litho::optics::standard_corners;
 use litho::tensor::init::seeded_rng;
 
 fn main() {
+    // CI smoke-runs this example (LITHO_SCALE=smoke) at tiny sizes so its
+    // runtime behaviour — not just its build — is exercised on every push.
+    let smoke = matches!(std::env::var("LITHO_SCALE").as_deref(), Ok("smoke"));
+    let (train_tiles, test_tiles, epochs) = if smoke { (4, 2, 2) } else { (12, 4, 4) };
+
     // a small ISPD-like configuration so the whole tour runs in seconds
     let cfg = DatasetConfig {
         socs_kernels: 6,
         opc_iterations: 4,
         ..DatasetConfig::new(DatasetKind::Ispd2019Like, Resolution::Low)
     }
-    .with_tiles(12, 4);
+    .with_tiles(train_tiles, test_tiles);
 
     // ±5 % dose, ±40 nm focus: the conventional 3×3 focus-exposure matrix
     let conditions = standard_corners(0.05, 40.0);
@@ -63,7 +68,7 @@ fn main() {
         .collect();
     let mut rng = seeded_rng(7);
     let model = Doinn::new(DoinnConfig::scaled(), &mut rng);
-    let report = train_model(&model, &train, &TrainConfig::quick(4, 4));
+    let report = train_model(&model, &train, &TrainConfig::quick(epochs, 4));
     println!(
         "\ntrained DOINN (scaled): {} steps in {:.1} s, final epoch loss {:.4}",
         report.steps,

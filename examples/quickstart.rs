@@ -12,6 +12,11 @@ use litho_nn::Module;
 use litho_tensor::init::seeded_rng;
 
 fn main() {
+    // CI smoke-runs this example (LITHO_SCALE=smoke) at tiny sizes so its
+    // runtime behaviour — not just its build — is exercised on every push.
+    let smoke = matches!(std::env::var("LITHO_SCALE").as_deref(), Ok("smoke"));
+    let (train_tiles, test_tiles, epochs) = if smoke { (4, 2, 1) } else { (12, 4, 3) };
+
     // 1. Data: rule-clean via layouts → SRAF + ILT OPC masks → golden SOCS
     //    resist prints. Small counts so this example runs in ~a minute.
     println!("synthesizing dataset (layout -> OPC -> golden litho) ...");
@@ -20,7 +25,7 @@ fn main() {
         opc_iterations: 4,
         ..DatasetConfig::new(DatasetKind::Ispd2019Like, Resolution::Low)
     }
-    .with_tiles(12, 4);
+    .with_tiles(train_tiles, test_tiles);
     let ds = synthesize(&cfg);
     println!(
         "  {}: {} train / {} test tiles of {}x{} px ({:.2} um^2), resist threshold {:.3}",
@@ -49,7 +54,7 @@ fn main() {
         &model,
         &samples,
         &TrainConfig {
-            epochs: 3,
+            epochs,
             batch_size: 4,
             verbose: true,
             ..TrainConfig::default()

@@ -141,8 +141,8 @@ fn checkpoint_roundtrip_preserves_predictions() {
     model.set_training(false);
 
     let input = ds.test[0].0.reshape(&[1, 1, 64, 64]);
-    let a = doinn::predict(&model, &input);
-    let b = doinn::predict(&restored, &input);
+    let a = doinn::predict(&model, input.clone());
+    let b = doinn::predict(&restored, input);
     assert_eq!(a, b, "restored model must predict identically");
     std::fs::remove_file(path).ok();
 }

@@ -1,0 +1,148 @@
+//! Property tests for the tape-free inference runtime: `Module::infer` must
+//! be **bit-identical** to recording `Module::forward` on a graph, in eval
+//! mode, for every model family (all four `DoinnConfig` ablation rows, UNet,
+//! DAMO-DLS-like, FNO), over random shapes and weights, at pool sizes 1, 2
+//! and 4 — the same determinism contract the PR-2/PR-3 fan-outs carry.
+
+use doinn::models::{DamoDls, Fno, Unet};
+use doinn::{Doinn, DoinnConfig};
+use litho_nn::{Graph, InferCtx, Module};
+use litho_parallel::Pool;
+use litho_tensor::{init::seeded_rng, Tensor};
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random input fill (SplitMix64-ish).
+fn fill(seed: u64, n: usize) -> Vec<f32> {
+    let mut state = seed;
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            ((z >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+        })
+        .collect()
+}
+
+/// Graph-forward reference vs `infer` at pool sizes 1/2/4, compared at the
+/// bit level.
+fn assert_parity<M: Module + ?Sized>(model: &M, x: &Tensor, label: &str) {
+    model.set_training(false);
+    let mut g = Graph::new();
+    let vx = g.input(x.clone());
+    let y = model.forward(&mut g, vx);
+    let want: Vec<u32> = g.value(y).as_slice().iter().map(|v| v.to_bits()).collect();
+    let want_shape = g.value(y).shape().to_vec();
+    for threads in [1usize, 2, 4] {
+        let mut ctx = InferCtx::with_pool(&Pool::new(threads));
+        // run twice on one warm context: buffer recycling must not perturb
+        // the result either
+        for round in 0..2 {
+            let got = model.infer(&mut ctx, x.clone());
+            assert_eq!(got.shape(), &want_shape[..], "{label} @ {threads} threads");
+            let got_bits: Vec<u32> = got.as_slice().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(
+                want, got_bits,
+                "{label} infer differs from graph forward @ {threads} threads round {round}"
+            );
+            ctx.recycle(got);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// All four Table-3 ablation rows of DOINN.
+    #[test]
+    fn doinn_ablations_infer_matches_forward(
+        seed in 0u64..u64::MAX,
+        size_factor in 4usize..7,
+        batch in 1usize..3,
+    ) {
+        // /8 for the GP pool and LP strides; ≥ 32 so the pooled grid holds
+        // the tiny config's 2·modes kept frequencies per axis
+        let size = 8 * size_factor;
+        let x = Tensor::from_vec(fill(seed, batch * size * size), &[batch, 1, size, size]);
+        let configs = [
+            ("gp", DoinnConfig::tiny().ablation_gp()),
+            ("gp+ir", DoinnConfig::tiny().ablation_gp_ir()),
+            ("gp+ir+lp", DoinnConfig::tiny().ablation_gp_ir_lp()),
+            ("full", DoinnConfig::tiny()),
+        ];
+        for (label, cfg) in configs {
+            let mut rng = seeded_rng(seed ^ 0xD01);
+            let model = Doinn::new(cfg, &mut rng);
+            assert_parity(&model, &x, &format!("doinn[{label}]"));
+        }
+    }
+
+    /// UNet baseline.
+    #[test]
+    fn unet_infer_matches_forward(seed in 0u64..u64::MAX, size_factor in 2usize..5) {
+        let size = 8 * size_factor;
+        let x = Tensor::from_vec(fill(seed, size * size), &[1, 1, size, size]);
+        let mut rng = seeded_rng(seed ^ 0x0E7);
+        let model = Unet::new(4, &mut rng);
+        assert_parity(&model, &x, "unet");
+    }
+
+    /// DAMO-DLS-like nested UNet.
+    #[test]
+    fn damo_infer_matches_forward(seed in 0u64..u64::MAX, size_factor in 2usize..4) {
+        let size = 8 * size_factor;
+        let x = Tensor::from_vec(fill(seed, size * size), &[1, 1, size, size]);
+        let mut rng = seeded_rng(seed ^ 0xDA3);
+        let model = DamoDls::new(4, &mut rng);
+        assert_parity(&model, &x, "damo");
+    }
+
+    /// Baseline stacked FNO.
+    #[test]
+    fn fno_infer_matches_forward(seed in 0u64..u64::MAX, size_factor in 4usize..7) {
+        // ≥ 32: the pooled grid must hold the FNO layers' 2·modes bins
+        let size = 8 * size_factor;
+        let x = Tensor::from_vec(fill(seed, size * size), &[1, 1, size, size]);
+        let mut rng = seeded_rng(seed ^ 0xF40);
+        let model = Fno::new(4, 2, 2, &mut rng);
+        assert_parity(&model, &x, "fno");
+    }
+}
+
+/// A boxed `dyn Module` (the litho-bench harness shape) routes through the
+/// same overridden infer impls, not the graph fallback — and still matches.
+#[test]
+fn boxed_dyn_module_infer_matches_forward() {
+    let mut rng = seeded_rng(7);
+    let model: Box<dyn Module + Send + Sync> = Box::new(Doinn::new(DoinnConfig::tiny(), &mut rng));
+    let x = Tensor::from_vec(fill(99, 32 * 32), &[1, 1, 32, 32]);
+    assert_parity(model.as_ref(), &x, "boxed doinn");
+}
+
+/// `predict_batch` (tape-free, one InferCtx per worker) stays bit-identical
+/// to per-sample graph forwards at every pool size.
+#[test]
+fn predict_batch_matches_graph_forwards() {
+    let mut rng = seeded_rng(13);
+    let model = Doinn::new(DoinnConfig::tiny(), &mut rng);
+    model.set_training(false);
+    let inputs: Vec<Tensor> = (0..5)
+        .map(|i| Tensor::from_vec(fill(1000 + i, 32 * 32), &[1, 1, 32, 32]))
+        .collect();
+    let want: Vec<Tensor> = inputs
+        .iter()
+        .map(|x| {
+            let mut g = Graph::new();
+            let vx = g.input(x.clone());
+            let y = model.forward(&mut g, vx);
+            g.value(y).clone()
+        })
+        .collect();
+    for threads in [1usize, 2, 4] {
+        let got = doinn::predict_batch_with_pool(&model, &inputs, &Pool::new(threads));
+        for (i, (a, b)) in want.iter().zip(&got).enumerate() {
+            assert_eq!(a.as_slice(), b.as_slice(), "sample {i} @ {threads} threads");
+        }
+    }
+}
