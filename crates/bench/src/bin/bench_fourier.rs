@@ -1,0 +1,331 @@
+//! Machine-readable spectral-engine benchmark: `BENCH_fourier.json`.
+//!
+//! Measures the fourier/inference hot paths twice — once through the
+//! pre-spectral-engine algorithm (full complex-to-complex transforms, dense
+//! gather/scatter), reimplemented here from the PR-4-era kernel, and once
+//! through today's pruned real-input paths — and records **butterfly
+//! operation counts** (from `litho_fft::op_count`) next to wall clock.
+//!
+//! Op counts are the primary metric: this project's container has a single
+//! CPU, so wall-clock deltas are dominated by scheduler noise, while
+//! butterfly counts are exact and machine-independent. The committed
+//! `BENCH_fourier.json` at the repo root holds the default-scale numbers
+//! (the paper's `k = 16`, `h = w = 128` configuration); CI re-runs the
+//! binary at `LITHO_SCALE=smoke` (same shape, fewer reps) and fails if any
+//! expected row goes missing.
+//!
+//! Usage: `bench_fourier [output-path]` (default `BENCH_fourier.json`).
+
+use doinn::fourier::{fourier_unit_infer, mode_indices, spectral_conv2d_infer};
+use litho_bench::Scale;
+use litho_fft::op_count::butterfly_ops;
+use litho_fft::{plan_cache_stats, plans, Complex32, Fft2};
+use litho_nn::InferCtx;
+use litho_tensor::init::seeded_rng;
+use std::time::Instant;
+
+/// The paper's default spectral configuration (§3.1.1): 128² tiles, k = 16.
+const H: usize = 128;
+const K: usize = 16;
+/// Channel counts for the operator-level rows (kept small: FFT op counts
+/// scale linearly in channels, so the reduction ratio is channel-invariant).
+const CI: usize = 2;
+const CO: usize = 2;
+const C_UNIT: usize = 4;
+
+struct Row {
+    name: &'static str,
+    ops_per_rep: u64,
+    wall_ms_total: f64,
+}
+
+fn measure(reps: usize, mut f: impl FnMut()) -> (u64, f64) {
+    let ops0 = butterfly_ops();
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    let wall = t0.elapsed().as_secs_f64() * 1e3;
+    let ops = butterfly_ops() - ops0;
+    (ops / reps as u64, wall)
+}
+
+/// Dense gather of the truncated modes (the pre-PR kernel's companion).
+fn gather_modes(spec: &[Complex32], w: usize, iy: &[usize], ix: &[usize]) -> Vec<Complex32> {
+    let mut out = Vec::with_capacity(iy.len() * ix.len());
+    for &y in iy {
+        for &x in ix {
+            out.push(spec[y * w + x]);
+        }
+    }
+    out
+}
+
+/// Dense scatter into a zeroed full spectrum (the pre-PR kernel's companion).
+fn scatter_modes(
+    modes: &[Complex32],
+    h: usize,
+    w: usize,
+    iy: &[usize],
+    ix: &[usize],
+) -> Vec<Complex32> {
+    let mut out = vec![Complex32::ZERO; h * w];
+    let mut it = modes.iter();
+    for &y in iy {
+        for &x in ix {
+            out[y * w + x] = *it.next().expect("mode count mismatch");
+        }
+    }
+    out
+}
+
+/// The pre-spectral-engine `forward_real`: widen to complex, full C2C.
+fn forward_real_c2c(fft: &Fft2, data: &[f32]) -> Vec<Complex32> {
+    let mut c: Vec<Complex32> = data.iter().map(|&v| Complex32::from_re(v)).collect();
+    fft.forward(&mut c);
+    c
+}
+
+/// The PR-4-era FNO spectral-conv forward: one full C2C per input channel,
+/// dense mixing, one full C2C inverse per output channel.
+fn spectral_conv_c2c(
+    fft: &Fft2,
+    x: &[f32],
+    weights: &[Complex32],
+    iy: &[usize],
+    ix: &[usize],
+    out: &mut [f32],
+) {
+    let hw = H * H;
+    let nmodes = iy.len() * ix.len();
+    let mut t_all = vec![Complex32::ZERO; CI * nmodes];
+    for c in 0..CI {
+        let spec = forward_real_c2c(fft, &x[c * hw..(c + 1) * hw]);
+        t_all[c * nmodes..(c + 1) * nmodes].copy_from_slice(&gather_modes(&spec, H, iy, ix));
+    }
+    for o in 0..CO {
+        let mut acc = vec![Complex32::ZERO; nmodes];
+        for c in 0..CI {
+            let t = &t_all[c * nmodes..(c + 1) * nmodes];
+            let ws = &weights[(c * CO + o) * nmodes..(c * CO + o + 1) * nmodes];
+            for f in 0..nmodes {
+                acc[f] = acc[f].mul_add(t[f], ws[f]);
+            }
+        }
+        let mut full = scatter_modes(&acc, H, H, iy, ix);
+        fft.inverse(&mut full);
+        for (dst, v) in out[o * hw..(o + 1) * hw].iter_mut().zip(&full) {
+            *dst = v.re;
+        }
+    }
+}
+
+/// The PR-4-era optimized Fourier Unit forward: one full C2C on the input,
+/// dense lift/mix, one full C2C inverse per output channel.
+fn fourier_unit_c2c(
+    fft: &Fft2,
+    x: &[f32],
+    wp: &[Complex32],
+    wr: &[Complex32],
+    iy: &[usize],
+    ix: &[usize],
+    out: &mut [f32],
+) {
+    let hw = H * H;
+    let nmodes = iy.len() * ix.len();
+    let spec = forward_real_c2c(fft, x);
+    let t = gather_modes(&spec, H, iy, ix);
+    for o in 0..C_UNIT {
+        let mut acc = vec![Complex32::ZERO; nmodes];
+        for (i, &lift) in wp.iter().enumerate() {
+            let ws = &wr[(i * C_UNIT + o) * nmodes..(i * C_UNIT + o + 1) * nmodes];
+            for f in 0..nmodes {
+                acc[f] = acc[f].mul_add(t[f] * lift, ws[f]);
+            }
+        }
+        let mut full = scatter_modes(&acc, H, H, iy, ix);
+        fft.inverse(&mut full);
+        for (dst, v) in out[o * hw..(o + 1) * hw].iter_mut().zip(&full) {
+            *dst = v.re;
+        }
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_fourier.json".to_string());
+    let scale = Scale::from_env();
+    let reps = match scale {
+        Scale::Smoke => 2,
+        Scale::Default => 20,
+        Scale::Full => 100,
+    };
+
+    let mut rng = seeded_rng(0xF0);
+    let fft = plans(H, H);
+    let iy = mode_indices(H, K);
+    let ix = mode_indices(H, K);
+    let nmodes = iy.len() * ix.len();
+    let img = litho_tensor::init::randn(&[1, 1, H, H], 1.0, &mut rng);
+    let x_multi = litho_tensor::init::randn(&[1, CI, H, H], 1.0, &mut rng);
+    let w_re = litho_tensor::init::randn(&[CI, CO, iy.len(), ix.len()], 0.1, &mut rng);
+    let w_im = litho_tensor::init::randn(&[CI, CO, iy.len(), ix.len()], 0.1, &mut rng);
+    let weights: Vec<Complex32> = w_re
+        .as_slice()
+        .iter()
+        .zip(w_im.as_slice())
+        .map(|(&r, &i)| Complex32::new(r, i))
+        .collect();
+    let wp_re = litho_tensor::init::randn(&[C_UNIT], 0.3, &mut rng);
+    let wp_im = litho_tensor::init::randn(&[C_UNIT], 0.3, &mut rng);
+    let wr_re = litho_tensor::init::randn(&[C_UNIT, C_UNIT, iy.len(), ix.len()], 0.1, &mut rng);
+    let wr_im = litho_tensor::init::randn(&[C_UNIT, C_UNIT, iy.len(), ix.len()], 0.1, &mut rng);
+    let wp: Vec<Complex32> = wp_re
+        .as_slice()
+        .iter()
+        .zip(wp_im.as_slice())
+        .map(|(&r, &i)| Complex32::new(r, i))
+        .collect();
+    let wr: Vec<Complex32> = wr_re
+        .as_slice()
+        .iter()
+        .zip(wr_im.as_slice())
+        .map(|(&r, &i)| Complex32::new(r, i))
+        .collect();
+
+    let mut rows: Vec<Row> = Vec::new();
+    let push = |rows: &mut Vec<Row>, name: &'static str, m: (u64, f64)| {
+        rows.push(Row {
+            name,
+            ops_per_rep: m.0,
+            wall_ms_total: m.1,
+        });
+    };
+
+    // --- single-transform rows ---------------------------------------------
+    let plane = &img.as_slice()[..H * H];
+    push(
+        &mut rows,
+        "fft2_forward_full_c2c",
+        measure(reps, || {
+            let _ = forward_real_c2c(&fft, plane);
+        }),
+    );
+    push(
+        &mut rows,
+        "fft2_forward_real_packed",
+        measure(reps, || {
+            let _ = fft.forward_real_packed(plane);
+        }),
+    );
+    push(
+        &mut rows,
+        "fft2_forward_modes_pruned",
+        measure(reps, || {
+            let _ = fft.forward_modes(plane, &iy, &ix);
+        }),
+    );
+
+    // --- spectral conv: old dense algorithm vs the live pruned kernel ------
+    let mut out_buf = vec![0.0f32; CO * H * H];
+    push(
+        &mut rows,
+        "spectral_conv_forward_full_c2c",
+        measure(reps, || {
+            spectral_conv_c2c(&fft, x_multi.as_slice(), &weights, &iy, &ix, &mut out_buf);
+        }),
+    );
+    let mut ctx = InferCtx::new();
+    push(
+        &mut rows,
+        "spectral_conv_forward_pruned",
+        measure(reps, || {
+            let y = spectral_conv2d_infer(&mut ctx, &x_multi, &w_re, &w_im, K);
+            ctx.recycle(y);
+        }),
+    );
+
+    // --- optimized Fourier Unit: old dense algorithm vs live kernel --------
+    let mut unit_out = vec![0.0f32; C_UNIT * H * H];
+    push(
+        &mut rows,
+        "fourier_unit_forward_full_c2c",
+        measure(reps, || {
+            fourier_unit_c2c(&fft, plane, &wp, &wr, &iy, &ix, &mut unit_out);
+        }),
+    );
+    push(
+        &mut rows,
+        "fourier_unit_forward_pruned",
+        measure(reps, || {
+            let y = fourier_unit_infer(&mut ctx, &img, &wp_re, &wp_im, &wr_re, &wr_im, K);
+            ctx.recycle(y);
+        }),
+    );
+
+    let find = |name: &str| -> u64 {
+        rows.iter()
+            .find(|r| r.name == name)
+            .unwrap_or_else(|| panic!("missing expected bench row {name}"))
+            .ops_per_rep
+    };
+    let ratio = |full: &str, fast: &str| find(full) as f64 / find(fast).max(1) as f64;
+    let conv_reduction = ratio(
+        "spectral_conv_forward_full_c2c",
+        "spectral_conv_forward_pruned",
+    );
+    let unit_reduction = ratio(
+        "fourier_unit_forward_full_c2c",
+        "fourier_unit_forward_pruned",
+    );
+    let rfft_reduction = ratio("fft2_forward_full_c2c", "fft2_forward_real_packed");
+    let (cache_hits, cache_misses) = plan_cache_stats();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"config\": {{\"h\": {H}, \"w\": {H}, \"k\": {K}, \"nmodes\": {nmodes}, \"ci\": {CI}, \"co\": {CO}, \"c_unit\": {C_UNIT}, \"reps\": {reps}, \"scale\": \"{scale:?}\"}},\n"
+    ));
+    json.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"ops_per_rep\": {}, \"wall_ms_total\": {:.3}}}{}\n",
+            r.name,
+            r.ops_per_rep,
+            r.wall_ms_total,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"derived\": {{\"spectral_conv_op_reduction\": {conv_reduction:.2}, \"fourier_unit_op_reduction\": {unit_reduction:.2}, \"rfft_op_reduction\": {rfft_reduction:.2}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"plan_cache\": {{\"hits\": {cache_hits}, \"misses\": {cache_misses}}}\n"
+    ));
+    json.push_str("}\n");
+
+    // Self-check before writing: CI greps these names, and the tentpole's
+    // acceptance bar is a >= 1.5x op-count reduction on the truncated
+    // spectral-conv forward.
+    for required in [
+        "fft2_forward_full_c2c",
+        "fft2_forward_real_packed",
+        "fft2_forward_modes_pruned",
+        "spectral_conv_forward_full_c2c",
+        "spectral_conv_forward_pruned",
+        "fourier_unit_forward_full_c2c",
+        "fourier_unit_forward_pruned",
+    ] {
+        assert!(json.contains(required), "row {required} missing from JSON");
+    }
+    assert!(
+        conv_reduction >= 1.5,
+        "spectral-conv op reduction regressed below 1.5x: {conv_reduction:.2}"
+    );
+
+    std::fs::write(&out_path, &json).expect("write BENCH_fourier.json");
+    println!("{json}");
+    println!("wrote {out_path}");
+}

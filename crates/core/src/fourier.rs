@@ -19,6 +19,21 @@
 //! Complex weights are stored as separate real/imaginary [`Param`](litho_nn::Param) tensors;
 //! gradients follow the real-pair (Wirtinger) rules `∇_w = conj(x)·ḡ`,
 //! `∇_x = conj(w)·ḡ`, and the FFT adjoints `F^H = N·F⁻¹`, `(F⁻¹)^H = F/N`.
+//!
+//! ## Spectral execution
+//!
+//! Both operators run on the `litho-fft` spectral engine: plans come from
+//! the process-wide cache ([`litho_fft::plans`] — nothing here re-plans per
+//! forward), the truncated forward is the fused mode-pruned real transform
+//! ([`Fft2::forward_modes_into`](litho_fft::Fft2::forward_modes_into) — no
+//! full spectrum is ever materialised), and the truncated inverse is
+//! [`Fft2::inverse_from_modes_into`](litho_fft::Fft2::inverse_from_modes_into),
+//! which computes exactly the `Re(F⁻¹(scatter(modes)))` the old dense path
+//! produced while transforming only the non-zero columns. All complex
+//! scratch (input modes, accumulators, weight staging, FFT staging) is drawn
+//! from the [`InferCtx`] complex buffer pool, so a warm tape-free forward
+//! allocates nothing — including complex scratch (asserted by
+//! `crates/core/tests/infer_alloc.rs`).
 
 use litho_fft::{Complex32, Fft2};
 use litho_nn::{Graph, InferCtx, Var};
@@ -40,50 +55,55 @@ pub fn mode_indices(n: usize, k: usize) -> Vec<usize> {
     idx
 }
 
-/// Gathers the truncated modes of a full `h×w` spectrum into a flat buffer of
-/// `len(iy)·len(ix)` complex values.
-fn gather_modes(spec: &[Complex32], w: usize, iy: &[usize], ix: &[usize]) -> Vec<Complex32> {
-    let mut out = Vec::with_capacity(iy.len() * ix.len());
-    for &y in iy {
-        for &x in ix {
-            out.push(spec[y * w + x]);
-        }
-    }
+/// Loads a complex weight stored as two real tensors into a flat buffer.
+/// (Training-path convenience; hot paths use [`to_complex_into`] with pooled
+/// scratch.)
+fn to_complex(re: &Tensor, im: &Tensor) -> Vec<Complex32> {
+    let mut out = vec![Complex32::ZERO; re.numel()];
+    to_complex_into(re, im, &mut out);
     out
 }
 
-/// Adjoint of [`gather_modes`]: scatters a flat mode buffer back into a
-/// zeroed full spectrum.
-fn scatter_modes(
-    modes: &[Complex32],
-    h: usize,
-    w: usize,
+/// Zips two real tensors into a caller-provided complex buffer.
+fn to_complex_into(re: &Tensor, im: &Tensor, out: &mut [Complex32]) {
+    for ((dst, &r), &i) in out.iter_mut().zip(re.as_slice()).zip(im.as_slice()) {
+        *dst = Complex32::new(r, i);
+    }
+}
+
+/// Computes the truncated input modes of every `(batch, channel)` plane of a
+/// real NCHW tensor slice via the mode-pruned forward transform, writing
+/// `nmodes` complex values per plane into `t_all`.
+fn input_modes_into(
+    fft: &Fft2,
+    planes: &[f32],
+    plane_count: usize,
     iy: &[usize],
     ix: &[usize],
-) -> Vec<Complex32> {
-    let mut out = vec![Complex32::ZERO; h * w];
-    let mut it = modes.iter();
-    for &y in iy {
-        for &x in ix {
-            out[y * w + x] = *it.next().expect("mode count mismatch");
-        }
+    t_all: &mut [Complex32],
+    scratch: &mut [Complex32],
+    pool: &litho_parallel::Pool,
+) {
+    let hw = fft.len();
+    let nmodes = iy.len() * ix.len();
+    for p in 0..plane_count {
+        fft.forward_modes_into(
+            &planes[p * hw..(p + 1) * hw],
+            iy,
+            ix,
+            &mut t_all[p * nmodes..(p + 1) * nmodes],
+            scratch,
+            pool,
+        );
     }
-    out
-}
-
-/// Loads a complex weight stored as two real tensors into a flat buffer.
-fn to_complex(re: &Tensor, im: &Tensor) -> Vec<Complex32> {
-    re.as_slice()
-        .iter()
-        .zip(im.as_slice())
-        .map(|(&r, &i)| Complex32::new(r, i))
-        .collect()
 }
 
 /// Shared forward kernel of the FNO spectral conv: writes the full output
 /// `[N, Co, h, w]` (every element overwritten). Both the graph op and the
-/// tape-free eval path route through this, which keeps them bit-identical.
+/// tape-free eval path route through this, which keeps them bit-identical;
+/// all complex scratch comes from the [`InferCtx`] pool.
 fn spectral_conv2d_fill(
+    ctx: &mut InferCtx,
     x: &Tensor,
     weights: &[Complex32],
     co: usize,
@@ -93,20 +113,28 @@ fn spectral_conv2d_fill(
 ) {
     let (n, ci, h, w) = (x.dim(0), x.dim(1), x.dim(2), x.dim(3));
     let nmodes = iy.len() * ix.len();
-    let fft = Fft2::new(h, w);
-    let mut t_all = vec![Complex32::ZERO; n * ci * nmodes];
-    let xd = x.as_slice();
-    for b in 0..n {
-        for c in 0..ci {
-            let spec = fft.forward_real(&xd[(b * ci + c) * h * w..(b * ci + c + 1) * h * w]);
-            let t = gather_modes(&spec, w, iy, ix);
-            t_all[(b * ci + c) * nmodes..(b * ci + c + 1) * nmodes].copy_from_slice(&t);
-        }
-    }
+    let fft = litho_fft::plans(h, w);
+    let pool = ctx.pool().clone();
+    let mut t_all = ctx.alloc_complex(n * ci * nmodes);
+    let mut fwd_scratch = ctx.alloc_complex(fft.modes_scratch_len());
+    input_modes_into(
+        &fft,
+        x.as_slice(),
+        n * ci,
+        iy,
+        ix,
+        &mut t_all,
+        &mut fwd_scratch,
+        &pool,
+    );
+    ctx.recycle_complex(fwd_scratch);
+    let mut acc = ctx.alloc_complex(nmodes);
+    let targets = fft.packed_targets(ix);
+    let mut inv_scratch = ctx.alloc_complex(fft.inverse_modes_scratch_len(&targets));
     let od = out.as_mut_slice();
     for b in 0..n {
         for o in 0..co {
-            let mut acc = vec![Complex32::ZERO; nmodes];
+            acc.fill(Complex32::ZERO);
             for c in 0..ci {
                 let t = &t_all[(b * ci + c) * nmodes..(b * ci + c + 1) * nmodes];
                 let wslice = &weights[(c * co + o) * nmodes..(c * co + o + 1) * nmodes];
@@ -114,16 +142,20 @@ fn spectral_conv2d_fill(
                     acc[f] = acc[f].mul_add(t[f], wslice[f]);
                 }
             }
-            let mut full = scatter_modes(&acc, h, w, iy, ix);
-            fft.inverse(&mut full);
-            for (dst, &v) in od[(b * co + o) * h * w..(b * co + o + 1) * h * w]
-                .iter_mut()
-                .zip(&full)
-            {
-                *dst = v.re;
-            }
+            fft.inverse_from_modes_into(
+                &acc,
+                iy,
+                ix,
+                &targets,
+                &mut od[(b * co + o) * h * w..(b * co + o + 1) * h * w],
+                &mut inv_scratch,
+                &pool,
+            );
         }
     }
+    ctx.recycle_complex(inv_scratch);
+    ctx.recycle_complex(acc);
+    ctx.recycle_complex(t_all);
 }
 
 /// Graph-free eval of the FNO spectral conv (eq. 10): same shapes and
@@ -152,9 +184,11 @@ pub fn spectral_conv2d_infer(
         "spectral weight shape mismatch"
     );
     assert_eq!(w_im.shape(), &[ci, co, my, mx]);
-    let weights = to_complex(w_re, w_im);
+    let mut weights = ctx.alloc_complex(w_re.numel());
+    to_complex_into(w_re, w_im, &mut weights);
     let mut out = ctx.alloc(&[n, co, h, w]);
-    spectral_conv2d_fill(x, &weights, co, &iy, &ix, &mut out);
+    spectral_conv2d_fill(ctx, x, &weights, co, &iy, &ix, &mut out);
+    ctx.recycle_complex(weights);
     out
 }
 
@@ -186,7 +220,8 @@ pub fn spectral_conv2d(g: &mut Graph, x: Var, w_re: Var, w_im: Var, k: usize) ->
 
     let weights = to_complex(g.value(w_re), g.value(w_im)); // [ci, co, modes]
     let mut out = Tensor::zeros(&[n, co, h, w]);
-    spectral_conv2d_fill(xv, &weights, co, &iy, &ix, &mut out);
+    let mut fill_ctx = InferCtx::new();
+    spectral_conv2d_fill(&mut fill_ctx, xv, &weights, co, &iy, &ix, &mut out);
     let iy_b = iy.clone();
     let ix_b = ix.clone();
     g.push(
@@ -195,34 +230,36 @@ pub fn spectral_conv2d(g: &mut Graph, x: Var, w_re: Var, w_im: Var, k: usize) ->
         Box::new(move |grad, parents, _| {
             let xv = parents[0];
             let weights = to_complex(parents[1], parents[2]);
-            let fft = Fft2::new(h, w);
+            let fft = litho_fft::plans(h, w);
+            let pool = litho_parallel::global();
+            let mut fwd_scratch = vec![Complex32::ZERO; fft.modes_scratch_len()];
             let hw = (h * w) as f32;
             // recompute input modes
             let mut t_all = vec![Complex32::ZERO; n * ci * nmodes];
-            let xd = xv.as_slice();
-            for b in 0..n {
-                for c in 0..ci {
-                    let spec =
-                        fft.forward_real(&xd[(b * ci + c) * h * w..(b * ci + c + 1) * h * w]);
-                    let t = gather_modes(&spec, w, &iy_b, &ix_b);
-                    t_all[(b * ci + c) * nmodes..(b * ci + c + 1) * nmodes].copy_from_slice(&t);
-                }
-            }
+            input_modes_into(
+                &fft,
+                xv.as_slice(),
+                n * ci,
+                &iy_b,
+                &ix_b,
+                &mut t_all,
+                &mut fwd_scratch,
+                pool,
+            );
             // gradient modes Ĝ[n, o] = gather(F(grad))/hw
-            let gd = grad.as_slice();
             let mut g_all = vec![Complex32::ZERO; n * co * nmodes];
-            for b in 0..n {
-                for o in 0..co {
-                    let spec =
-                        fft.forward_real(&gd[(b * co + o) * h * w..(b * co + o + 1) * h * w]);
-                    let gm = gather_modes(&spec, w, &iy_b, &ix_b);
-                    for (dst, v) in g_all[(b * co + o) * nmodes..(b * co + o + 1) * nmodes]
-                        .iter_mut()
-                        .zip(gm)
-                    {
-                        *dst = v.scale(1.0 / hw);
-                    }
-                }
+            input_modes_into(
+                &fft,
+                grad.as_slice(),
+                n * co,
+                &iy_b,
+                &ix_b,
+                &mut g_all,
+                &mut fwd_scratch,
+                pool,
+            );
+            for v in g_all.iter_mut() {
+                *v = v.scale(1.0 / hw);
             }
             // weight gradient and input-mode gradient
             let mut dw = vec![Complex32::ZERO; ci * co * nmodes];
@@ -245,21 +282,22 @@ pub fn spectral_conv2d(g: &mut Graph, x: Var, w_re: Var, w_im: Var, k: usize) ->
             // dx = hw · Re(F⁻¹(scatter(dT)))
             let mut dx = Tensor::zeros(xv.shape());
             let dxd = dx.as_mut_slice();
+            let targets = fft.packed_targets(&ix_b);
+            let mut inv_scratch = vec![Complex32::ZERO; fft.inverse_modes_scratch_len(&targets)];
             for b in 0..n {
                 for c in 0..ci {
-                    let mut full = scatter_modes(
+                    let plane = &mut dxd[(b * ci + c) * h * w..(b * ci + c + 1) * h * w];
+                    fft.inverse_from_modes_into(
                         &dt[(b * ci + c) * nmodes..(b * ci + c + 1) * nmodes],
-                        h,
-                        w,
                         &iy_b,
                         &ix_b,
+                        &targets,
+                        plane,
+                        &mut inv_scratch,
+                        pool,
                     );
-                    fft.inverse(&mut full);
-                    for (dst, &v) in dxd[(b * ci + c) * h * w..(b * ci + c + 1) * h * w]
-                        .iter_mut()
-                        .zip(&full)
-                    {
-                        *dst = v.re * hw;
+                    for v in plane.iter_mut() {
+                        *v *= hw;
                     }
                 }
             }
@@ -276,8 +314,10 @@ pub fn spectral_conv2d(g: &mut Graph, x: Var, w_re: Var, w_im: Var, k: usize) ->
 
 /// Shared forward kernel of the optimized Fourier Unit: writes the full
 /// output `[N, C, h, w]` (every element overwritten). Both the graph op and
-/// the tape-free eval path route through this.
+/// the tape-free eval path route through this; all complex scratch comes
+/// from the [`InferCtx`] pool.
 fn fourier_unit_fill(
+    ctx: &mut InferCtx,
     x: &Tensor,
     wp: &[Complex32],
     wr: &[Complex32],
@@ -288,15 +328,27 @@ fn fourier_unit_fill(
     let (n, h, w) = (x.dim(0), x.dim(2), x.dim(3));
     let c = wp.len();
     let nmodes = iy.len() * ix.len();
-    let fft = Fft2::new(h, w);
+    let fft = litho_fft::plans(h, w);
+    let pool = ctx.pool().clone();
+    let mut t = ctx.alloc_complex(nmodes);
+    let mut acc = ctx.alloc_complex(nmodes);
+    let mut fwd_scratch = ctx.alloc_complex(fft.modes_scratch_len());
+    let targets = fft.packed_targets(ix);
+    let mut inv_scratch = ctx.alloc_complex(fft.inverse_modes_scratch_len(&targets));
     let xd = x.as_slice();
     let od = out.as_mut_slice();
     for b in 0..n {
-        let spec = fft.forward_real(&xd[b * h * w..(b + 1) * h * w]);
-        let t = gather_modes(&spec, w, iy, ix);
+        fft.forward_modes_into(
+            &xd[b * h * w..(b + 1) * h * w],
+            iy,
+            ix,
+            &mut t,
+            &mut fwd_scratch,
+            &pool,
+        );
         // lift: B_i = T · wp_i ; mix: Ĉ_o = Σ_i B_i ⊙ wr[i,o]
         for o in 0..c {
-            let mut acc = vec![Complex32::ZERO; nmodes];
+            acc.fill(Complex32::ZERO);
             for i in 0..c {
                 let lift = wp[i];
                 let wslice = &wr[(i * c + o) * nmodes..(i * c + o + 1) * nmodes];
@@ -304,16 +356,21 @@ fn fourier_unit_fill(
                     acc[f] = acc[f].mul_add(t[f] * lift, wslice[f]);
                 }
             }
-            let mut full = scatter_modes(&acc, h, w, iy, ix);
-            fft.inverse(&mut full);
-            for (dst, &v) in od[(b * c + o) * h * w..(b * c + o + 1) * h * w]
-                .iter_mut()
-                .zip(&full)
-            {
-                *dst = v.re;
-            }
+            fft.inverse_from_modes_into(
+                &acc,
+                iy,
+                ix,
+                &targets,
+                &mut od[(b * c + o) * h * w..(b * c + o + 1) * h * w],
+                &mut inv_scratch,
+                &pool,
+            );
         }
     }
+    ctx.recycle_complex(inv_scratch);
+    ctx.recycle_complex(fwd_scratch);
+    ctx.recycle_complex(acc);
+    ctx.recycle_complex(t);
 }
 
 /// Graph-free eval of the optimized Fourier Unit (eq. 11): same shapes and
@@ -344,10 +401,14 @@ pub fn fourier_unit_infer(
     let (my, mx) = (iy.len(), ix.len());
     assert_eq!(wr_re.shape(), &[c, c, my, mx], "W_R shape mismatch");
     assert_eq!(wr_im.shape(), &[c, c, my, mx]);
-    let wp = to_complex(wp_re, wp_im);
-    let wr = to_complex(wr_re, wr_im);
+    let mut wp = ctx.alloc_complex(c);
+    to_complex_into(wp_re, wp_im, &mut wp);
+    let mut wr = ctx.alloc_complex(wr_re.numel());
+    to_complex_into(wr_re, wr_im, &mut wr);
     let mut out = ctx.alloc(&[n, c, h, w]);
-    fourier_unit_fill(x, &wp, &wr, &iy, &ix, &mut out);
+    fourier_unit_fill(ctx, x, &wp, &wr, &iy, &ix, &mut out);
+    ctx.recycle_complex(wr);
+    ctx.recycle_complex(wp);
     out
 }
 
@@ -393,7 +454,8 @@ pub fn fourier_unit(
     let wr = to_complex(g.value(wr_re), g.value(wr_im));
 
     let mut out = Tensor::zeros(&[n, c, h, w]);
-    fourier_unit_fill(xv, &wp, &wr, &iy, &ix, &mut out);
+    let mut fill_ctx = InferCtx::new();
+    fourier_unit_fill(&mut fill_ctx, xv, &wp, &wr, &iy, &ix, &mut out);
 
     let iy_b = iy.clone();
     let ix_b = ix.clone();
@@ -404,26 +466,43 @@ pub fn fourier_unit(
             let xv = parents[0];
             let wp = to_complex(parents[1], parents[2]);
             let wr = to_complex(parents[3], parents[4]);
-            let fft = Fft2::new(h, w);
+            let fft = litho_fft::plans(h, w);
+            let pool = litho_parallel::global();
+            let mut fwd_scratch = vec![Complex32::ZERO; fft.modes_scratch_len()];
+            let targets = fft.packed_targets(&ix_b);
+            let mut inv_scratch = vec![Complex32::ZERO; fft.inverse_modes_scratch_len(&targets)];
             let hw = (h * w) as f32;
             let xd = xv.as_slice();
             let gd = grad.as_slice();
+            let mut t = vec![Complex32::ZERO; nmodes];
             let mut dwp = vec![Complex32::ZERO; c];
             let mut dwr = vec![Complex32::ZERO; c * c * nmodes];
             let mut dx = Tensor::zeros(xv.shape());
             let dxd = dx.as_mut_slice();
             for b in 0..n {
                 // recompute T and B
-                let spec = fft.forward_real(&xd[b * h * w..(b + 1) * h * w]);
-                let t = gather_modes(&spec, w, &iy_b, &ix_b);
+                fft.forward_modes_into(
+                    &xd[b * h * w..(b + 1) * h * w],
+                    &iy_b,
+                    &ix_b,
+                    &mut t,
+                    &mut fwd_scratch,
+                    pool,
+                );
                 // Ĝ_o
                 let mut g_modes = vec![Complex32::ZERO; c * nmodes];
-                for o in 0..c {
-                    let gspec = fft.forward_real(&gd[(b * c + o) * h * w..(b * c + o + 1) * h * w]);
-                    let gm = gather_modes(&gspec, w, &iy_b, &ix_b);
-                    for (dst, v) in g_modes[o * nmodes..(o + 1) * nmodes].iter_mut().zip(gm) {
-                        *dst = v.scale(1.0 / hw);
-                    }
+                input_modes_into(
+                    &fft,
+                    &gd[b * c * h * w..(b + 1) * c * h * w],
+                    c,
+                    &iy_b,
+                    &ix_b,
+                    &mut g_modes,
+                    &mut fwd_scratch,
+                    pool,
+                );
+                for v in g_modes.iter_mut() {
+                    *v = v.scale(1.0 / hw);
                 }
                 // dwr[i,o,f] += conj(B_i[f]) Ĝ_o[f];   B_i = T·wp_i
                 // dB_i[f]    = Σ_o Ĝ_o[f] conj(wr[i,o,f])
@@ -450,10 +529,18 @@ pub fn fourier_unit(
                     dwp[i] += acc;
                 }
                 // dx = hw · Re(F⁻¹(scatter(dT)))
-                let mut full = scatter_modes(&dt, h, w, &iy_b, &ix_b);
-                fft.inverse(&mut full);
-                for (dst, &v) in dxd[b * h * w..(b + 1) * h * w].iter_mut().zip(&full) {
-                    *dst = v.re * hw;
+                let plane = &mut dxd[b * h * w..(b + 1) * h * w];
+                fft.inverse_from_modes_into(
+                    &dt,
+                    &iy_b,
+                    &ix_b,
+                    &targets,
+                    plane,
+                    &mut inv_scratch,
+                    pool,
+                );
+                for v in plane.iter_mut() {
+                    *v *= hw;
                 }
             }
             let mut dwp_re = Tensor::zeros(&[c]);

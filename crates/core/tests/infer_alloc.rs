@@ -1,10 +1,14 @@
 //! Regression test for the tape-free inference runtime's buffer reuse: a
 //! warm DOINN forward must be allocation-flat — after the first call fills
-//! the `InferCtx` pool, repeated forwards of the same shape allocate **zero**
-//! new tensor buffers (tracked by the `litho-tensor` debug allocation
-//! counter) and never miss the buffer pool.
+//! the `InferCtx` pools, repeated forwards of the same shape allocate
+//! **zero** new tensor buffers *and zero new complex scratch buffers*
+//! (tracked by the `litho-tensor` debug allocation counters) and never miss
+//! either buffer pool. The complex-scratch counter covers the spectral
+//! engine's staging: input modes, mode accumulators, complex weights, and
+//! the FFT pack/transpose scratch all recycle through the `InferCtx`
+//! complex buckets.
 //!
-//! This file holds a single test on purpose: the allocation counter is
+//! This file holds a single test on purpose: the allocation counters are
 //! process-global, and sibling tests running on other threads (cargo runs a
 //! binary's tests concurrently) would pollute the deltas. Integration-test
 //! binaries are separate processes, so this one observes only its own
@@ -12,7 +16,7 @@
 
 use doinn::{Doinn, DoinnConfig};
 use litho_nn::{InferCtx, Module};
-use litho_tensor::alloc_stats::tensor_allocations;
+use litho_tensor::alloc_stats::{complex_scratch_allocations, tensor_allocations};
 use litho_tensor::{init::seeded_rng, Tensor};
 
 #[test]
@@ -29,10 +33,23 @@ fn warm_doinn_infer_is_allocation_flat() {
     let reference = y.as_slice().to_vec();
     ctx.recycle(y);
     let (_, misses_after_warmup) = ctx.alloc_stats();
+    let (_, cmisses_after_warmup) = ctx.complex_alloc_stats();
+    assert!(
+        cmisses_after_warmup > 0,
+        "the spectral kernels must draw complex scratch from the ctx pool"
+    );
+    let complex_after_warmup = complex_scratch_allocations();
+    if cfg!(debug_assertions) {
+        assert_eq!(
+            complex_after_warmup, cmisses_after_warmup,
+            "every cold complex-bucket miss is one fresh scratch buffer"
+        );
+    }
 
     // warm calls: bit-identical output, no pool misses, and (in debug
-    // builds, where the counter is live) zero fresh tensor allocations
-    // beyond the explicit input clone handed to each call
+    // builds, where the counters are live) zero fresh tensor *or complex
+    // scratch* allocations beyond the explicit input clone handed to each
+    // call
     for call in 0..3 {
         let before = tensor_allocations();
         let x = input.clone(); // 1 counted allocation, owned by the call
@@ -52,11 +69,22 @@ fn warm_doinn_infer_is_allocation_flat() {
                 "warm call {call} allocated fresh tensor buffers — the \
                  InferCtx pool failed to recycle"
             );
+            assert_eq!(
+                complex_scratch_allocations(),
+                complex_after_warmup,
+                "warm call {call} materialised fresh complex scratch — the \
+                 InferCtx complex buckets failed to recycle"
+            );
         }
         let (_, misses) = ctx.alloc_stats();
         assert_eq!(
             misses, misses_after_warmup,
             "warm call {call} missed the buffer pool"
+        );
+        let (_, cmisses) = ctx.complex_alloc_stats();
+        assert_eq!(
+            cmisses, cmisses_after_warmup,
+            "warm call {call} missed the complex-scratch pool"
         );
     }
 

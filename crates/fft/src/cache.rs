@@ -1,0 +1,98 @@
+//! Process-wide 2-D FFT plan cache.
+//!
+//! Planning a [`Fft2`] is not free: it builds twiddle tables and bit-reversal
+//! permutations for both axes, and for non-power-of-two sizes an entire
+//! Bluestein chirp + filter FFT. Before this cache existed, the spectral NN
+//! operators re-planned on *every forward pass*. [`plans`] amortises that to
+//! one plan per distinct shape per process: lookups take a read lock on the
+//! shared map, so concurrent forward passes on different threads share plans
+//! without serialising on a mutex.
+//!
+//! The cache is unbounded by design — a lithography workload touches a
+//! handful of shapes (tile sizes, halo sizes, pooled GP-path sizes), each a
+//! few hundred KB of tables at most.
+
+use crate::Fft2;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+type PlanMap = RwLock<HashMap<(usize, usize), Arc<Fft2>>>;
+
+static CACHE: OnceLock<PlanMap> = OnceLock::new();
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Returns the process-wide shared plan for `rows x cols` transforms,
+/// building (and caching) it on first use.
+///
+/// All consumers of a given shape get the *same* [`Arc`]'d plan; the plan is
+/// immutable and every transform method takes `&self`, so sharing across
+/// threads is free.
+///
+/// # Panics
+///
+/// Panics if either dimension is zero (same contract as [`Fft2::new`]).
+///
+/// # Examples
+///
+/// ```
+/// let a = litho_fft::plans(8, 8);
+/// let b = litho_fft::plans(8, 8);
+/// assert!(std::sync::Arc::ptr_eq(&a, &b));
+/// ```
+pub fn plans(rows: usize, cols: usize) -> Arc<Fft2> {
+    let map = CACHE.get_or_init(|| RwLock::new(HashMap::new()));
+    if let Some(plan) = map
+        .read()
+        .expect("plan cache lock poisoned")
+        .get(&(rows, cols))
+    {
+        HITS.fetch_add(1, Ordering::Relaxed);
+        return Arc::clone(plan);
+    }
+    let mut writer = map.write().expect("plan cache lock poisoned");
+    // Double-checked: another thread may have planned this shape between our
+    // read unlock and write lock.
+    if let Some(plan) = writer.get(&(rows, cols)) {
+        HITS.fetch_add(1, Ordering::Relaxed);
+        return Arc::clone(plan);
+    }
+    MISSES.fetch_add(1, Ordering::Relaxed);
+    let plan = Arc::new(Fft2::new(rows, cols));
+    writer.insert((rows, cols), Arc::clone(&plan));
+    plan
+}
+
+/// `(hits, misses)` of [`plans`] lookups so far. Misses equal the number of
+/// distinct shapes planned; a steady-state workload should show hits growing
+/// while misses stay flat.
+pub fn plan_cache_stats() -> (u64, u64) {
+    (HITS.load(Ordering::Relaxed), MISSES.load(Ordering::Relaxed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_shape_shares_one_plan() {
+        let a = plans(4, 6);
+        let b = plans(4, 6);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.rows(), 4);
+        assert_eq!(a.cols(), 6);
+        let c = plans(6, 4);
+        assert!(!Arc::ptr_eq(&a, &c), "transposed shape is a distinct plan");
+    }
+
+    #[test]
+    fn stats_track_hits_and_misses() {
+        let (h0, _) = plan_cache_stats();
+        let _ = plans(3, 7);
+        let _ = plans(3, 7);
+        let (h1, m1) = plan_cache_stats();
+        assert!(h1 > h0, "second lookup must hit");
+        assert!(m1 >= 1, "first lookup of a shape is a miss");
+    }
+}

@@ -135,24 +135,34 @@ impl FftPlan {
     }
 
     /// In-place transform in the given direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.len()`.
     pub fn transform(&self, data: &mut [Complex32], dir: Direction) {
         assert_eq!(data.len(), self.n, "buffer length must match plan length");
         match (&self.kind, dir) {
             (PlanKind::Trivial, _) => {}
             (PlanKind::Radix2 { twiddles, rev }, Direction::Forward) => {
+                crate::op_count::add(radix2_ops(self.n));
                 radix2(data, twiddles, rev, false);
             }
             (PlanKind::Radix2 { twiddles, rev }, Direction::Inverse) => {
+                crate::op_count::add(radix2_ops(self.n));
                 radix2(data, twiddles, rev, true);
                 let inv = 1.0 / self.n as f32;
                 for v in data.iter_mut() {
                     *v = v.scale(inv);
                 }
             }
-            (PlanKind::Bluestein { .. }, Direction::Forward) => {
+            (PlanKind::Bluestein { inner, .. }, Direction::Forward) => {
+                // chirp-in + pointwise filter + chirp-out; the inner plan's
+                // two transforms bump the counter themselves.
+                crate::op_count::add(2 * self.n as u64 + inner.len() as u64);
                 self.bluestein(data, false);
             }
-            (PlanKind::Bluestein { .. }, Direction::Inverse) => {
+            (PlanKind::Bluestein { inner, .. }, Direction::Inverse) => {
+                crate::op_count::add(2 * self.n as u64 + inner.len() as u64);
                 self.bluestein(data, true);
                 let inv = 1.0 / self.n as f32;
                 for v in data.iter_mut() {
@@ -190,6 +200,12 @@ impl FftPlan {
             data[k] = if inverse { y.conj() } else { y };
         }
     }
+}
+
+/// Butterfly count of one radix-2 transform: `(n/2)·log2(n)`.
+#[inline]
+fn radix2_ops(n: usize) -> u64 {
+    (n as u64 / 2) * n.trailing_zeros() as u64
 }
 
 /// Per-stage forward twiddles, flattened stage after stage.

@@ -1,16 +1,53 @@
 //! Two-dimensional FFT over row-major buffers.
 //!
 //! A [`Fft2`] plan owns 1-D plans for the row and column lengths and a
-//! scratch-free transpose strategy: rows are transformed in place, then the
-//! matrix is transposed, column transforms run as rows, and the matrix is
-//! transposed back. For the image sizes used in lithography (≥128²) this is
-//! faster than strided column access on one core.
+//! transpose strategy: rows are transformed in place, then the matrix is
+//! transposed, column transforms run as rows, and the matrix is transposed
+//! back. For the image sizes used in lithography (≥128²) this is faster than
+//! strided column access on one core.
 //!
-//! Both 1-D passes are data-parallel (each line is transformed
-//! independently), so they fan out over the `litho-parallel` pool. Results
-//! are bit-identical for every thread count: each line is produced by the
-//! same instruction sequence as the serial loop, and no reduction spans
-//! lines. See `docs/PERFORMANCE.md` for measured scaling.
+//! Beyond the plain complex-to-complex transform the plan implements the two
+//! structural savings every lithography input admits:
+//!
+//! - **Real-input (Hermitian-packed) transforms.** Mask and resist images
+//!   are real, so the forward spectrum obeys `S[y][x] = conj(S[-y][-x])` and
+//!   only `cols/2 + 1` columns carry information.
+//!   [`Fft2::forward_real_packed`] computes exactly those columns by packing
+//!   two real rows into one complex row FFT (halving the row pass) and
+//!   transforming only the [`Fft2::packed_cols`] retained columns (halving
+//!   the column pass). [`Fft2::inverse_real_into`] is the matching
+//!   complex-to-real inverse, and [`Fft2::unpack_full`] expands a packed
+//!   spectrum when a consumer genuinely needs all `rows·cols` bins.
+//!
+//! - **Mode-pruned transforms.** The FNO-style spectral operators only ever
+//!   read a `2k × 2k` corner subset of the spectrum.
+//!   [`Fft2::forward_modes_into`] fuses the gather into the transform: the
+//!   row pass still covers every (packed pair of) row(s), but the column pass
+//!   runs only over the ≤ `k+1` source columns the requested modes live in.
+//!   [`Fft2::inverse_from_modes_into`] is the adjoint-shaped inverse: it
+//!   returns `Re(F⁻¹(scatter(modes)))` while transforming only the non-zero
+//!   columns and half the rows, never materialising the full spectrum.
+//!
+//! The bulk 1-D passes (full row/column passes and the packed row passes)
+//! are data-parallel — each line is transformed independently — and fan out
+//! over the `litho-parallel` pool. The pruned paths' *column* passes are
+//! intentionally serial: they touch at most `k+1` short transforms, below
+//! any sensible fan-out threshold. Results are bit-identical for every
+//! thread count: each line is produced by the same instruction sequence as
+//! the serial loop, and no reduction spans lines. See
+//! `docs/PERFORMANCE.md` for measured op-count reductions.
+//!
+//! # Panics
+//!
+//! Every transform method asserts its buffer contracts with a uniform set of
+//! messages: full complex/real image buffers must satisfy
+//! `len == rows*cols` ("buffer length must be rows*cols"), packed spectra
+//! `len == rows*packed_cols` ("packed buffer length must be
+//! rows*packed_cols"), mode buffers `len == iy.len()*ix.len()` ("mode buffer
+//! length must be iy.len()*ix.len()"), scratch buffers the documented
+//! `*_scratch_len` ("scratch length must match the documented scratch
+//! size"), and mode indices must lie inside the grid ("mode index out of
+//! range").
 
 use crate::fft1d::{Direction, FftPlan};
 use crate::Complex32;
@@ -24,6 +61,9 @@ const PAR_MIN_ELEMS: usize = 16 * 1024;
 ///
 /// Convention matches [`FftPlan`]: forward unscaled, inverse scaled by
 /// `1/(rows·cols)` — identical to `torch.fft.fft2` / `ifft2`.
+///
+/// Plans are immutable; share one across threads via the process-wide cache
+/// [`crate::plans`] instead of re-planning per call.
 ///
 /// # Examples
 ///
@@ -83,6 +123,41 @@ impl Fft2 {
         self.len() == 0
     }
 
+    /// Number of spectrum columns stored by the Hermitian-packed real
+    /// transforms: `cols/2 + 1`. Columns `packed_cols..cols` of a real
+    /// input's spectrum are redundant (`S[y][x] = conj(S[-y][-x])`).
+    #[inline]
+    pub fn packed_cols(&self) -> usize {
+        self.cols / 2 + 1
+    }
+
+    /// Number of packed row pairs the real row pass transforms:
+    /// `ceil(rows/2)` (an odd trailing row rides alone).
+    #[inline]
+    fn row_pairs(&self) -> usize {
+        self.rows.div_ceil(2)
+    }
+
+    /// Scratch length required by [`Fft2::forward_real_packed_into`] and
+    /// [`Fft2::inverse_real_into`].
+    #[inline]
+    pub fn packed_scratch_len(&self) -> usize {
+        self.row_pairs() * self.cols + self.rows * self.packed_cols()
+    }
+
+    /// Scratch length required by [`Fft2::forward_modes_into`].
+    #[inline]
+    pub fn modes_scratch_len(&self) -> usize {
+        self.row_pairs() * self.cols + self.rows
+    }
+
+    /// Scratch length required by [`Fft2::inverse_from_modes_into`] for a
+    /// target set obtained from [`Fft2::packed_targets`].
+    #[inline]
+    pub fn inverse_modes_scratch_len(&self, targets: &[usize]) -> usize {
+        self.row_pairs() * self.cols + targets.len() * self.rows
+    }
+
     /// In-place forward 2-D DFT (unscaled).
     ///
     /// # Panics
@@ -108,7 +183,8 @@ impl Fft2 {
     }
 
     /// In-place transform in the given direction, fanning the row and column
-    /// passes out over an explicit `pool`.
+    /// passes out over an explicit `pool`. Allocates one transpose buffer;
+    /// use [`Fft2::transform_in_scratch`] on hot paths with reusable scratch.
     ///
     /// Output is bit-identical for every pool size (including 1, which runs
     /// fully inline); small transforms below an internal threshold skip the
@@ -118,35 +194,73 @@ impl Fft2 {
     ///
     /// Panics if `data.len() != rows*cols`.
     pub fn transform_in(&self, data: &mut [Complex32], dir: Direction, pool: &Pool) {
+        let mut scratch = vec![Complex32::ZERO; self.len()];
+        self.transform_in_scratch(data, dir, pool, &mut scratch);
+    }
+
+    /// Like [`Fft2::transform_in`], but stages the column pass in a
+    /// caller-provided transpose buffer so repeated transforms allocate
+    /// nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows*cols` or
+    /// `scratch.len() != rows*cols`.
+    pub fn transform_in_scratch(
+        &self,
+        data: &mut [Complex32],
+        dir: Direction,
+        pool: &Pool,
+        scratch: &mut [Complex32],
+    ) {
         assert_eq!(
             data.len(),
             self.rows * self.cols,
             "buffer length must be rows*cols"
+        );
+        assert_eq!(
+            scratch.len(),
+            self.rows * self.cols,
+            "scratch length must match the documented scratch size"
         );
         // minimum lines per thread so each chunk carries >= PAR_MIN_ELEMS
         let row_grain = PAR_MIN_ELEMS.div_ceil(self.cols.max(1));
         pool.par_chunks_mut(data, self.cols, row_grain, |_, row| {
             self.row_plan.transform(row, dir);
         });
-        let mut tr = transpose(data, self.rows, self.cols);
+        transpose_into(data, self.rows, self.cols, scratch);
         let col_grain = PAR_MIN_ELEMS.div_ceil(self.rows.max(1));
-        pool.par_chunks_mut(&mut tr, self.rows, col_grain, |_, col| {
+        pool.par_chunks_mut(scratch, self.rows, col_grain, |_, col| {
             self.col_plan.transform(col, dir);
         });
-        transpose_into(&tr, self.cols, self.rows, data);
+        transpose_into(scratch, self.cols, self.rows, data);
     }
 
-    /// Forward transform of a real image, returning a freshly allocated
-    /// complex spectrum.
+    /// Forward transform of a real image, returning the freshly allocated
+    /// **full** `rows x cols` complex spectrum.
+    ///
+    /// Runs the Hermitian-packed fast path internally (half the row FFTs,
+    /// half the column FFTs) and expands via [`Fft2::unpack_full_into`];
+    /// callers that can consume the packed layout directly should prefer
+    /// [`Fft2::forward_real_packed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows*cols`.
     pub fn forward_real(&self, data: &[f32]) -> Vec<Complex32> {
-        assert_eq!(data.len(), self.len(), "buffer length must be rows*cols");
-        let mut c: Vec<Complex32> = data.iter().map(|&v| Complex32::from_re(v)).collect();
-        self.forward(&mut c);
-        c
+        let packed = self.forward_real_packed(data);
+        let mut full = vec![Complex32::ZERO; self.len()];
+        self.unpack_full_into(&packed, &mut full);
+        full
     }
 
     /// Inverse transform returning only the real part (imaginary residue from
-    /// numerically Hermitian spectra is discarded).
+    /// numerically Hermitian spectra is discarded). Takes a **full**
+    /// spectrum; see [`Fft2::inverse_real_into`] for the packed fast path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spectrum.len() != rows*cols`.
     pub fn inverse_real(&self, spectrum: &[Complex32]) -> Vec<f32> {
         assert_eq!(
             spectrum.len(),
@@ -156,6 +270,511 @@ impl Fft2 {
         let mut c = spectrum.to_vec();
         self.inverse(&mut c);
         c.into_iter().map(|v| v.re).collect()
+    }
+
+    /// Forward transform of a real image into a freshly allocated
+    /// Hermitian-packed spectrum (`rows x packed_cols`, row-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows*cols`.
+    pub fn forward_real_packed(&self, data: &[f32]) -> Vec<Complex32> {
+        let mut out = vec![Complex32::ZERO; self.rows * self.packed_cols()];
+        let mut scratch = vec![Complex32::ZERO; self.packed_scratch_len()];
+        self.forward_real_packed_into(data, &mut out, &mut scratch, litho_parallel::global());
+        out
+    }
+
+    /// Forward real transform into a caller-provided Hermitian-packed
+    /// spectrum buffer, staging in caller-provided scratch (zero allocation).
+    ///
+    /// The packed layout stores columns `0..packed_cols` of the full
+    /// spectrum; the remaining columns follow from
+    /// `S[y][x] = conj(S[(rows-y)%rows][cols-x])`.
+    ///
+    /// Cost: `ceil(rows/2)` row FFTs (two real rows per complex transform)
+    /// plus `packed_cols` column FFTs — about half the work of a full
+    /// complex transform in each pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows*cols`,
+    /// `out.len() != rows*packed_cols`, or
+    /// `scratch.len() != self.packed_scratch_len()`.
+    pub fn forward_real_packed_into(
+        &self,
+        data: &[f32],
+        out: &mut [Complex32],
+        scratch: &mut [Complex32],
+        pool: &Pool,
+    ) {
+        let (rows, cols, wh) = (self.rows, self.cols, self.packed_cols());
+        assert_eq!(data.len(), rows * cols, "buffer length must be rows*cols");
+        assert_eq!(
+            out.len(),
+            rows * wh,
+            "packed buffer length must be rows*packed_cols"
+        );
+        assert_eq!(
+            scratch.len(),
+            self.packed_scratch_len(),
+            "scratch length must match the documented scratch size"
+        );
+        let pairs = self.row_pairs();
+        let (z, t) = scratch.split_at_mut(pairs * cols);
+        self.pack_and_fft_rows(data, z, pool);
+        // Separate each packed pair into the two packed spectrum rows.
+        for p in 0..pairs {
+            let zrow = &z[p * cols..(p + 1) * cols];
+            if 2 * p + 1 < rows {
+                for k in 0..wh {
+                    let (a, b) = separate_pair(zrow, cols, k);
+                    out[2 * p * wh + k] = a;
+                    out[(2 * p + 1) * wh + k] = b;
+                }
+            } else {
+                // unpaired trailing row: its imaginary payload was zero, so
+                // the packed transform already *is* its spectrum
+                for k in 0..wh {
+                    out[2 * p * wh + k] = zrow[k];
+                }
+            }
+        }
+        // Column pass over the retained packed columns only.
+        transpose_into(out, rows, wh, t);
+        let col_grain = PAR_MIN_ELEMS.div_ceil(rows.max(1));
+        pool.par_chunks_mut(t, rows, col_grain, |_, col| {
+            self.col_plan.transform(col, Direction::Forward);
+        });
+        transpose_into(t, wh, rows, out);
+    }
+
+    /// Complex-to-real inverse of a Hermitian-packed spectrum (the inverse of
+    /// [`Fft2::forward_real_packed_into`]), scaled by `1/(rows·cols)`.
+    ///
+    /// Cost: `packed_cols` column FFTs plus `ceil(rows/2)` row FFTs (two real
+    /// output rows recovered per complex transform).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `packed.len() != rows*packed_cols`,
+    /// `out.len() != rows*cols`, or
+    /// `scratch.len() != self.packed_scratch_len()`.
+    pub fn inverse_real_into(
+        &self,
+        packed: &[Complex32],
+        out: &mut [f32],
+        scratch: &mut [Complex32],
+        pool: &Pool,
+    ) {
+        let (rows, cols, wh) = (self.rows, self.cols, self.packed_cols());
+        assert_eq!(
+            packed.len(),
+            rows * wh,
+            "packed buffer length must be rows*packed_cols"
+        );
+        assert_eq!(out.len(), rows * cols, "buffer length must be rows*cols");
+        assert_eq!(
+            scratch.len(),
+            self.packed_scratch_len(),
+            "scratch length must match the documented scratch size"
+        );
+        let pairs = self.row_pairs();
+        let (z, t) = scratch.split_at_mut(pairs * cols);
+        // Column pass (transposed so each column is contiguous).
+        transpose_into(packed, rows, wh, t);
+        let col_grain = PAR_MIN_ELEMS.div_ceil(rows.max(1));
+        pool.par_chunks_mut(t, rows, col_grain, |_, col| {
+            self.col_plan.transform(col, Direction::Inverse);
+        });
+        // Re-pack two real output rows per complex row transform: after the
+        // column inverse every row spectrum is individually Hermitian, so
+        // Z[k] = A_full[k] + i*B_full[k] inverts to a + i*b.
+        for p in 0..pairs {
+            let zrow = &mut z[p * cols..(p + 1) * cols];
+            let paired = 2 * p + 1 < rows;
+            for (k, zk) in zrow.iter_mut().enumerate() {
+                let (a, b) = if k < wh {
+                    (
+                        t[k * rows + 2 * p],
+                        if paired {
+                            t[k * rows + 2 * p + 1]
+                        } else {
+                            Complex32::ZERO
+                        },
+                    )
+                } else {
+                    let m = cols - k;
+                    (
+                        t[m * rows + 2 * p].conj(),
+                        if paired {
+                            t[m * rows + 2 * p + 1].conj()
+                        } else {
+                            Complex32::ZERO
+                        },
+                    )
+                };
+                *zk = Complex32::new(a.re - b.im, a.im + b.re);
+            }
+        }
+        self.inverse_rows_to_real(z, out, pool);
+    }
+
+    /// Expands a Hermitian-packed spectrum to the full `rows x cols` grid
+    /// using `S[y][x] = conj(S[(rows-y)%rows][cols-x])`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `packed.len() != rows*packed_cols` or
+    /// `out.len() != rows*cols`.
+    pub fn unpack_full_into(&self, packed: &[Complex32], out: &mut [Complex32]) {
+        let (rows, cols, wh) = (self.rows, self.cols, self.packed_cols());
+        assert_eq!(
+            packed.len(),
+            rows * wh,
+            "packed buffer length must be rows*packed_cols"
+        );
+        assert_eq!(out.len(), rows * cols, "buffer length must be rows*cols");
+        for y in 0..rows {
+            let dst = &mut out[y * cols..(y + 1) * cols];
+            dst[..wh].copy_from_slice(&packed[y * wh..y * wh + wh]);
+            let ym = (rows - y) % rows;
+            for (x, v) in dst.iter_mut().enumerate().skip(wh) {
+                *v = packed[ym * wh + (cols - x)].conj();
+            }
+        }
+    }
+
+    /// Allocating convenience wrapper around [`Fft2::unpack_full_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `packed.len() != rows*packed_cols`.
+    pub fn unpack_full(&self, packed: &[Complex32]) -> Vec<Complex32> {
+        let mut out = vec![Complex32::ZERO; self.len()];
+        self.unpack_full_into(packed, &mut out);
+        out
+    }
+
+    /// Mode-pruned forward transform of a real image: computes **only** the
+    /// spectrum bins `(iy[j], ix[i])`, writing them row-major
+    /// (`out[j*ix.len() + i]`) — the fusion of `forward` + gather.
+    ///
+    /// The row pass covers `ceil(rows/2)` packed real pairs; the column pass
+    /// runs only over the distinct *source* columns of `ix` (an index `x >=
+    /// packed_cols` reads its Hermitian mirror `cols - x`), which for the
+    /// standard `[0,k) ∪ [cols-k,cols)` corner set is `k+1` columns instead
+    /// of `cols`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows*cols`,
+    /// `out.len() != iy.len()*ix.len()`,
+    /// `scratch.len() != self.modes_scratch_len()`, or any mode index is out
+    /// of range.
+    pub fn forward_modes_into(
+        &self,
+        data: &[f32],
+        iy: &[usize],
+        ix: &[usize],
+        out: &mut [Complex32],
+        scratch: &mut [Complex32],
+        pool: &Pool,
+    ) {
+        let (rows, cols, wh) = (self.rows, self.cols, self.packed_cols());
+        assert_eq!(data.len(), rows * cols, "buffer length must be rows*cols");
+        assert_eq!(
+            out.len(),
+            iy.len() * ix.len(),
+            "mode buffer length must be iy.len()*ix.len()"
+        );
+        assert_eq!(
+            scratch.len(),
+            self.modes_scratch_len(),
+            "scratch length must match the documented scratch size"
+        );
+        assert!(iy.iter().all(|&y| y < rows), "mode index out of range");
+        assert!(ix.iter().all(|&x| x < cols), "mode index out of range");
+        let pairs = self.row_pairs();
+        let mx = ix.len();
+        let (z, col) = scratch.split_at_mut(pairs * cols);
+        self.pack_and_fft_rows(data, z, pool);
+        // One column FFT per distinct source column, shared by direct and
+        // mirrored consumers.
+        let src_of = |x: usize| if x < wh { x } else { cols - x };
+        for (xi0, &x0) in ix.iter().enumerate() {
+            let src = src_of(x0);
+            if ix[..xi0].iter().any(|&x| src_of(x) == src) {
+                continue; // this source column was already transformed
+            }
+            // Separate the packed row pairs at this column only.
+            for (y, cell) in col.iter_mut().enumerate() {
+                *cell = separate_row_at(z, cols, rows, y, src);
+            }
+            self.col_plan.transform(col, Direction::Forward);
+            for (xi, &x) in ix.iter().enumerate().skip(xi0) {
+                if src_of(x) != src {
+                    continue;
+                }
+                if x < wh {
+                    for (yi, &y) in iy.iter().enumerate() {
+                        out[yi * mx + xi] = col[y];
+                    }
+                } else {
+                    for (yi, &y) in iy.iter().enumerate() {
+                        out[yi * mx + xi] = col[(rows - y) % rows].conj();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Allocating convenience wrapper around [`Fft2::forward_modes_into`],
+    /// running on the process-wide pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows*cols` or any mode index is out of range.
+    pub fn forward_modes(&self, data: &[f32], iy: &[usize], ix: &[usize]) -> Vec<Complex32> {
+        let mut out = vec![Complex32::ZERO; iy.len() * ix.len()];
+        let mut scratch = vec![Complex32::ZERO; self.modes_scratch_len()];
+        self.forward_modes_into(
+            data,
+            iy,
+            ix,
+            &mut out,
+            &mut scratch,
+            litho_parallel::global(),
+        );
+        out
+    }
+
+    /// Mode-pruned real inverse: computes
+    /// `Re(F⁻¹(scatter(modes)))` — the fusion of scatter + `inverse` + real
+    /// part — transforming only the non-zero spectrum columns and packing two
+    /// real output rows per row transform.
+    ///
+    /// The real part is taken exactly as the dense path does: the sparse
+    /// spectrum is Hermitian-symmetrised (`(S + conj(S∘neg))/2`, which maps
+    /// each mode to at most two packed bins) and inverted with the
+    /// complex-to-real machinery, so general non-Hermitian mode buffers give
+    /// the same result as the dense scatter→inverse→`.re` pipeline up to
+    /// rounding.
+    ///
+    /// `targets` must be the set returned by [`Fft2::packed_targets`] for
+    /// this `ix` — callers that invert many mode buffers over one mode set
+    /// (the spectral NN kernels run one inverse per output channel) compute
+    /// it once instead of re-deriving it per call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modes.len() != iy.len()*ix.len()`,
+    /// `out.len() != rows*cols`,
+    /// `scratch.len() != self.inverse_modes_scratch_len(targets)`, any mode
+    /// index is out of range, or `targets` is missing a packed column that
+    /// `ix` maps onto.
+    #[allow(clippy::too_many_arguments)]
+    pub fn inverse_from_modes_into(
+        &self,
+        modes: &[Complex32],
+        iy: &[usize],
+        ix: &[usize],
+        targets: &[usize],
+        out: &mut [f32],
+        scratch: &mut [Complex32],
+        pool: &Pool,
+    ) {
+        let (rows, cols, wh) = (self.rows, self.cols, self.packed_cols());
+        assert_eq!(
+            modes.len(),
+            iy.len() * ix.len(),
+            "mode buffer length must be iy.len()*ix.len()"
+        );
+        assert_eq!(out.len(), rows * cols, "buffer length must be rows*cols");
+        assert!(iy.iter().all(|&y| y < rows), "mode index out of range");
+        assert!(ix.iter().all(|&x| x < cols), "mode index out of range");
+        assert_eq!(
+            scratch.len(),
+            self.inverse_modes_scratch_len(targets),
+            "scratch length must match the documented scratch size"
+        );
+        let pairs = self.row_pairs();
+        let mx = ix.len();
+        let (z, cb) = scratch.split_at_mut(pairs * cols);
+        cb.fill(Complex32::ZERO);
+        // Hermitian-symmetrise the sparse modes straight into per-column
+        // accumulators: S_H[u] = (S[u] + conj(S[-u]))/2, keeping only the
+        // packed columns (< packed_cols).
+        let slot_of = |x: usize| {
+            targets
+                .binary_search(&x)
+                .expect("targets must come from packed_targets(ix)")
+        };
+        for (yi, &y) in iy.iter().enumerate() {
+            for (xi, &x) in ix.iter().enumerate() {
+                let val = modes[yi * mx + xi];
+                if x < wh {
+                    cb[slot_of(x) * rows + y] += val.scale(0.5);
+                }
+                let m = (cols - x) % cols;
+                if m < wh {
+                    cb[slot_of(m) * rows + (rows - y) % rows] += val.conj().scale(0.5);
+                }
+            }
+        }
+        // Column inverse over the (few) non-zero columns only.
+        for slot in 0..targets.len() {
+            self.col_plan
+                .transform(&mut cb[slot * rows..(slot + 1) * rows], Direction::Inverse);
+        }
+        // Scatter the sparse row spectra into the packed pair rows; columns
+        // outside the target set are zero.
+        z.fill(Complex32::ZERO);
+        for (slot, &x) in targets.iter().enumerate() {
+            let col = &cb[slot * rows..(slot + 1) * rows];
+            let m = (cols - x) % cols;
+            for p in 0..pairs {
+                let a = col[2 * p];
+                let b = if 2 * p + 1 < rows {
+                    col[2 * p + 1]
+                } else {
+                    Complex32::ZERO
+                };
+                z[p * cols + x] = Complex32::new(a.re - b.im, a.im + b.re);
+                if m != x {
+                    // the Hermitian mirror column (>= packed_cols): conj(a) + i*conj(b)
+                    z[p * cols + m] = Complex32::new(a.re + b.im, b.re - a.im);
+                }
+            }
+        }
+        self.inverse_rows_to_real(z, out, pool);
+    }
+
+    /// Allocating convenience wrapper around
+    /// [`Fft2::inverse_from_modes_into`], running on the process-wide pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modes.len() != iy.len()*ix.len()` or any mode index is out
+    /// of range.
+    pub fn inverse_from_modes(&self, modes: &[Complex32], iy: &[usize], ix: &[usize]) -> Vec<f32> {
+        let targets = self.packed_targets(ix);
+        let mut out = vec![0.0f32; self.len()];
+        let mut scratch = vec![Complex32::ZERO; self.inverse_modes_scratch_len(&targets)];
+        self.inverse_from_modes_into(
+            modes,
+            iy,
+            ix,
+            &targets,
+            &mut out,
+            &mut scratch,
+            litho_parallel::global(),
+        );
+        out
+    }
+
+    /// Sorted, deduplicated packed-column targets of a column-mode set: each
+    /// `x` contributes itself (if `< packed_cols`) and its Hermitian mirror
+    /// `(cols-x)%cols` (if `< packed_cols`). Compute once per mode set and
+    /// hand to [`Fft2::inverse_from_modes_into`] /
+    /// [`Fft2::inverse_modes_scratch_len`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index in `ix` is `>= cols`.
+    pub fn packed_targets(&self, ix: &[usize]) -> Vec<usize> {
+        let (cols, wh) = (self.cols, self.packed_cols());
+        assert!(ix.iter().all(|&x| x < cols), "mode index out of range");
+        let mut targets = Vec::with_capacity(2 * ix.len());
+        for &x in ix {
+            if x < wh {
+                targets.push(x);
+            }
+            let m = (cols - x) % cols;
+            if m < wh {
+                targets.push(m);
+            }
+        }
+        targets.sort_unstable();
+        targets.dedup();
+        targets
+    }
+
+    /// Packs consecutive real rows pairwise into complex rows
+    /// (`z[p] = row[2p] + i·row[2p+1]`, trailing odd row padded with zero
+    /// imaginary) and runs the forward row FFTs over the pool.
+    fn pack_and_fft_rows(&self, data: &[f32], z: &mut [Complex32], pool: &Pool) {
+        let (rows, cols) = (self.rows, self.cols);
+        for (p, zrow) in z.chunks_mut(cols).enumerate() {
+            let re = &data[2 * p * cols..(2 * p + 1) * cols];
+            if 2 * p + 1 < rows {
+                let im = &data[(2 * p + 1) * cols..(2 * p + 2) * cols];
+                for ((zv, &a), &b) in zrow.iter_mut().zip(re).zip(im) {
+                    *zv = Complex32::new(a, b);
+                }
+            } else {
+                for (zv, &a) in zrow.iter_mut().zip(re) {
+                    *zv = Complex32::from_re(a);
+                }
+            }
+        }
+        let row_grain = PAR_MIN_ELEMS.div_ceil(cols.max(1));
+        pool.par_chunks_mut(z, cols, row_grain, |_, row| {
+            self.row_plan.transform(row, Direction::Forward);
+        });
+    }
+
+    /// Row-inverse of packed pair rows followed by the real unpack:
+    /// `z[p] → out[2p] = Re, out[2p+1] = Im` (trailing odd row takes the real
+    /// part alone).
+    fn inverse_rows_to_real(&self, z: &mut [Complex32], out: &mut [f32], pool: &Pool) {
+        let (rows, cols) = (self.rows, self.cols);
+        let row_grain = PAR_MIN_ELEMS.div_ceil(cols.max(1));
+        pool.par_chunks_mut(z, cols, row_grain, |_, row| {
+            self.row_plan.transform(row, Direction::Inverse);
+        });
+        for (p, zrow) in z.chunks(cols).enumerate() {
+            if 2 * p + 1 < rows {
+                let (ra, rest) = out[2 * p * cols..(2 * p + 2) * cols].split_at_mut(cols);
+                for ((v, a), b) in zrow.iter().zip(ra).zip(rest) {
+                    *a = v.re;
+                    *b = v.im;
+                }
+            } else {
+                for (v, a) in zrow.iter().zip(&mut out[2 * p * cols..(2 * p + 1) * cols]) {
+                    *a = v.re;
+                }
+            }
+        }
+    }
+}
+
+/// Separates bin `k` of a two-real-rows-in-one packed transform `zrow` into
+/// the spectra `(A[k], B[k])` of the even and odd real rows.
+#[inline]
+fn separate_pair(zrow: &[Complex32], cols: usize, k: usize) -> (Complex32, Complex32) {
+    let zk = zrow[k];
+    let zmk = zrow[(cols - k) % cols].conj();
+    let a = (zk + zmk).scale(0.5);
+    let d = zk - zmk;
+    (a, Complex32::new(d.im * 0.5, -d.re * 0.5))
+}
+
+/// Spectrum value `R[y][x]` of real row `y`, read out of the packed pair
+/// transforms `z` (must agree bit-for-bit with the separation in
+/// [`Fft2::forward_real_packed_into`]).
+#[inline]
+fn separate_row_at(z: &[Complex32], cols: usize, rows: usize, y: usize, x: usize) -> Complex32 {
+    let p = y / 2;
+    let zrow = &z[p * cols..(p + 1) * cols];
+    if 2 * p + 1 >= rows {
+        return zrow[x]; // unpaired trailing row
+    }
+    let (a, b) = separate_pair(zrow, cols, x);
+    if y % 2 == 0 {
+        a
+    } else {
+        b
     }
 }
 
@@ -219,6 +838,20 @@ mod tests {
         (0..rows * cols)
             .map(|i| Complex32::new((i as f32 * 0.13).sin(), (i as f32 * 0.07).cos()))
             .collect()
+    }
+
+    fn real_ramp(rows: usize, cols: usize) -> Vec<f32> {
+        (0..rows * cols)
+            .map(|i| (i as f32 * 0.37).sin() + 0.2 * (i as f32 * 0.11).cos())
+            .collect()
+    }
+
+    /// The pre-spectral-engine reference: widen to complex and run the full
+    /// C2C transform.
+    fn forward_real_c2c(plan: &Fft2, data: &[f32]) -> Vec<Complex32> {
+        let mut c: Vec<Complex32> = data.iter().map(|&v| Complex32::from_re(v)).collect();
+        plan.forward(&mut c);
+        c
     }
 
     #[test]
@@ -305,6 +938,102 @@ mod tests {
     }
 
     #[test]
+    fn packed_forward_matches_c2c_all_parities() {
+        for (r, c) in [
+            (1usize, 1usize),
+            (1, 8),
+            (8, 1),
+            (4, 4),
+            (5, 5),
+            (4, 6),
+            (5, 4),
+            (6, 10),
+            (7, 12),
+            (16, 16),
+        ] {
+            let plan = Fft2::new(r, c);
+            let img = real_ramp(r, c);
+            let want = forward_real_c2c(&plan, &img);
+            let full = plan.unpack_full(&plan.forward_real_packed(&img));
+            let tol = 1e-4 * ((r * c) as f32).max(1.0);
+            for (i, (a, b)) in want.iter().zip(&full).enumerate() {
+                assert!((*a - *b).abs() < tol, "({r},{c}) bin {i}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_roundtrip_restores_image() {
+        for (r, c) in [(4usize, 4usize), (5, 7), (8, 3), (1, 6), (9, 1), (16, 8)] {
+            let plan = Fft2::new(r, c);
+            let img = real_ramp(r, c);
+            let packed = plan.forward_real_packed(&img);
+            let mut back = vec![0.0f32; r * c];
+            let mut scratch = vec![Complex32::ZERO; plan.packed_scratch_len()];
+            plan.inverse_real_into(&packed, &mut back, &mut scratch, &Pool::new(1));
+            for (i, (a, b)) in img.iter().zip(&back).enumerate() {
+                assert!((a - b).abs() < 1e-4, "({r},{c}) px {i}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_modes_matches_gather_from_c2c() {
+        for (r, c, k) in [(8usize, 8usize, 2usize), (6, 10, 3), (5, 5, 2), (1, 8, 2)] {
+            let plan = Fft2::new(r, c);
+            let img = real_ramp(r, c);
+            let corner = |n: usize, k: usize| -> Vec<usize> {
+                if n == 1 {
+                    return vec![0];
+                }
+                let k = k.min(n / 2).max(1);
+                let mut idx: Vec<usize> = (0..k).collect();
+                idx.extend(n - k..n);
+                idx
+            };
+            let iy = corner(r, k);
+            let ix = corner(c, k);
+            let full = forward_real_c2c(&plan, &img);
+            let got = plan.forward_modes(&img, &iy, &ix);
+            let tol = 1e-4 * ((r * c) as f32).max(1.0);
+            for (j, &y) in iy.iter().enumerate() {
+                for (i, &x) in ix.iter().enumerate() {
+                    let want = full[y * c + x];
+                    let v = got[j * ix.len() + i];
+                    assert!(
+                        (want - v).abs() < tol,
+                        "({r},{c}) mode ({y},{x}): {want} vs {v}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_from_modes_matches_scatter_inverse_real() {
+        // general complex (non-Hermitian) modes: the pruned path must match
+        // the dense scatter -> inverse -> .re pipeline
+        let (r, c) = (8usize, 6usize);
+        let plan = Fft2::new(r, c);
+        let iy = [0usize, 1, 6, 7];
+        let ix = [0usize, 1, 4, 5];
+        let modes: Vec<Complex32> = (0..iy.len() * ix.len())
+            .map(|i| Complex32::new((i as f32 * 0.7).sin(), (i as f32 * 0.4).cos()))
+            .collect();
+        let mut full = vec![Complex32::ZERO; r * c];
+        for (j, &y) in iy.iter().enumerate() {
+            for (i, &x) in ix.iter().enumerate() {
+                full[y * c + x] = modes[j * ix.len() + i];
+            }
+        }
+        let want = plan.inverse_real(&full);
+        let got = plan.inverse_from_modes(&modes, &iy, &ix);
+        for (i, (a, b)) in want.iter().zip(&got).enumerate() {
+            assert!((a - b).abs() < 1e-5, "px {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
     fn transform_in_bit_identical_across_pool_sizes() {
         // (8,8)..(256,64) stay under PAR_MIN_ELEMS and run inline;
         // (128,256) and (256,256) exceed it in both passes, so the threaded
@@ -329,6 +1058,59 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn packed_paths_bit_identical_across_pool_sizes() {
+        // (256,256) exceeds PAR_MIN_ELEMS in both packed passes
+        for (r, c) in [(8usize, 8usize), (128, 256), (256, 256)] {
+            let plan = Fft2::new(r, c);
+            let img = real_ramp(r, c);
+            let wh = plan.packed_cols();
+            let run_fwd = |threads: usize| {
+                let mut out = vec![Complex32::ZERO; r * wh];
+                let mut scratch = vec![Complex32::ZERO; plan.packed_scratch_len()];
+                plan.forward_real_packed_into(&img, &mut out, &mut scratch, &Pool::new(threads));
+                out
+            };
+            let reference = run_fwd(1);
+            let run_inv = |threads: usize| {
+                let mut out = vec![0.0f32; r * c];
+                let mut scratch = vec![Complex32::ZERO; plan.packed_scratch_len()];
+                plan.inverse_real_into(&reference, &mut out, &mut scratch, &Pool::new(threads));
+                out
+            };
+            let inv_reference = run_inv(1);
+            for threads in [2usize, 4] {
+                assert_eq!(reference, run_fwd(threads), "fwd ({r},{c}) x{threads}");
+                assert_eq!(inv_reference, run_inv(threads), "inv ({r},{c}) x{threads}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scratch length must match the documented scratch size")]
+    fn wrong_scratch_length_panics() {
+        let plan = Fft2::new(4, 4);
+        let img = real_ramp(4, 4);
+        let mut out = vec![Complex32::ZERO; 4 * plan.packed_cols()];
+        let mut scratch = vec![Complex32::ZERO; 1];
+        plan.forward_real_packed_into(&img, &mut out, &mut scratch, &Pool::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length must be rows*cols")]
+    fn wrong_real_buffer_length_panics() {
+        let plan = Fft2::new(4, 4);
+        let _ = plan.forward_real(&[0.0; 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mode index out of range")]
+    fn out_of_range_mode_panics() {
+        let plan = Fft2::new(4, 4);
+        let img = real_ramp(4, 4);
+        let _ = plan.forward_modes(&img, &[0], &[4]);
     }
 
     #[test]

@@ -8,7 +8,12 @@
 //! - [`Complex32`] — minimal `f32` complex arithmetic.
 //! - [`FftPlan`] — reusable 1-D plans; radix-2 for powers of two, Bluestein
 //!   for everything else.
-//! - [`Fft2`] — 2-D transforms over row-major buffers with real-input helpers.
+//! - [`Fft2`] — 2-D transforms over row-major buffers with real-input
+//!   (Hermitian-packed) and mode-pruned fast paths.
+//! - [`plans`] — the process-wide plan cache: one shared [`Fft2`] per shape,
+//!   so hot paths never re-plan per forward pass.
+//! - [`op_count`] — a butterfly-operation counter, the machine-independent
+//!   performance metric behind `BENCH_fourier.json`.
 //!
 //! Scaling convention matches `torch.fft`: forward unscaled, inverse scaled
 //! by `1/N`. The adjoint identities used by backpropagation are therefore
@@ -34,10 +39,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod complex;
 mod fft1d;
 mod fft2d;
+pub mod op_count;
 
+pub use cache::{plan_cache_stats, plans};
 pub use complex::Complex32;
 pub use fft1d::{fft, fft_freq, ifft, Direction, FftPlan};
 pub use fft2d::{fftshift2, ifftshift2, transpose, Fft2};

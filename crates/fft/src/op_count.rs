@@ -1,0 +1,42 @@
+//! Process-wide butterfly-operation counter.
+//!
+//! Every 1-D transform adds its butterfly count (complex multiply–add pairs
+//! for radix-2 stages; chirp/pointwise complex multiplies for Bluestein) to a
+//! relaxed atomic — one `fetch_add` per 1-D line transform, which is
+//! measurement noise next to the butterflies themselves. The counter is the
+//! *primary* performance metric for the spectral engine: this project's CI
+//! container has a single CPU, so wall-clock comparisons are dominated by
+//! noise while operation counts are exact and machine-independent. The
+//! `bench_fourier` binary in `litho-bench` reads it to produce
+//! `BENCH_fourier.json`.
+//!
+//! The counter is process-global and monotonically increasing; measure a
+//! region by differencing [`butterfly_ops`] before and after, or call
+//! [`reset_butterfly_ops`] in single-threaded measurement harnesses.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static BUTTERFLY_OPS: AtomicU64 = AtomicU64::new(0);
+
+/// Total butterfly-scale complex operations executed by this crate's
+/// transforms since process start (or the last [`reset_butterfly_ops`]).
+pub fn butterfly_ops() -> u64 {
+    BUTTERFLY_OPS.load(Ordering::Relaxed)
+}
+
+/// Resets the process-wide counter to zero. Intended for measurement
+/// harnesses; racing transforms on other threads make the subsequent reading
+/// approximate, so reset only in quiesced benchmarks.
+pub fn reset_butterfly_ops() {
+    BUTTERFLY_OPS.store(0, Ordering::Relaxed);
+}
+
+/// Adds `n` operations to the counter (called once per 1-D transform).
+#[inline]
+pub(crate) fn add(n: u64) {
+    BUTTERFLY_OPS.fetch_add(n, Ordering::Relaxed);
+}
+
+// Exact-count assertions live in `tests/op_count.rs`: the counter is
+// process-global, so they need a process of their own — concurrent unit
+// tests running transforms would pollute any delta measured here.

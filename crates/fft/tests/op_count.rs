@@ -1,0 +1,69 @@
+//! Exact assertions on the butterfly-operation counter.
+//!
+//! The counter is process-global, so this file holds a **single** test: an
+//! integration-test binary is its own process, and sibling `#[test]`s would
+//! run on other threads and pollute every before/after delta. Keep any new
+//! exact-count assertion inside this one function.
+
+use litho_fft::op_count::{butterfly_ops, reset_butterfly_ops};
+use litho_fft::{Complex32, Fft2, FftPlan};
+
+fn measure(f: impl FnOnce()) -> u64 {
+    let before = butterfly_ops();
+    f();
+    butterfly_ops() - before
+}
+
+#[test]
+fn butterfly_counter_is_exact_and_pruning_pays() {
+    reset_butterfly_ops();
+
+    // radix-2: (n/2)·log2(n)
+    let plan = FftPlan::new(16);
+    let mut d = vec![Complex32::ZERO; 16];
+    assert_eq!(measure(|| plan.forward(&mut d)), 32);
+
+    // Bluestein(6): chirp-in (n) + pointwise (m) + chirp-out (n) plus the
+    // inner radix-2 forward + inverse of length m = 16 (32 ops each)
+    let plan = FftPlan::new(6);
+    let mut d = vec![Complex32::ZERO; 6];
+    assert_eq!(measure(|| plan.forward(&mut d)), 2 * 6 + 16 + 2 * 32);
+
+    // trivial length-1 plan does no work
+    let plan = FftPlan::new(1);
+    let mut d = vec![Complex32::ZERO; 1];
+    assert_eq!(measure(|| plan.forward(&mut d)), 0);
+
+    // 2-D C2C at 128²: 256 line transforms of length 128 (448 ops each)
+    let n = 128usize;
+    let plan = Fft2::new(n, n);
+    let mut img = vec![Complex32::ZERO; n * n];
+    let c2c = measure(|| plan.forward(&mut img));
+    assert_eq!(c2c, 256 * 448);
+
+    // packed RFFT: 64 packed row transforms + 65 packed column transforms
+    let real: Vec<f32> = (0..n * n).map(|i| (i as f32 * 0.1).sin()).collect();
+    let rfft = measure(|| {
+        let _ = plan.forward_real_packed(&real);
+    });
+    assert_eq!(rfft, (64 + 65) * 448);
+
+    // pruned forward at k=16: 64 packed rows + k+1 = 17 source columns
+    let k = 16usize;
+    let idx: Vec<usize> = (0..k).chain(n - k..n).collect();
+    let pruned = measure(|| {
+        let _ = plan.forward_modes(&real, &idx, &idx);
+    });
+    assert_eq!(pruned, (64 + 17) * 448);
+    assert!(
+        pruned * 2 < c2c,
+        "pruned {pruned} ops must be well under half of full {c2c}"
+    );
+
+    // pruned inverse at k=16: k+1 = 17 non-zero packed columns + 64 rows
+    let modes = vec![Complex32::ONE; idx.len() * idx.len()];
+    let inv_pruned = measure(|| {
+        let _ = plan.inverse_from_modes(&modes, &idx, &idx);
+    });
+    assert_eq!(inv_pruned, (17 + 64) * 448);
+}

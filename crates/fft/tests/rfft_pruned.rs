@@ -1,0 +1,238 @@
+//! Property tests for the spectral engine's real-input (Hermitian-packed)
+//! and mode-pruned transforms: every fast path must agree with the plain
+//! complex-to-complex plan *and* with a naive O(n²) DFT oracle, over random
+//! shapes including odd/Bluestein sizes and degenerate one-bin axes.
+
+use litho_fft::{plans, Complex32, Fft2};
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random real image (the vendored proptest stub has no
+/// float-vec shrinking; seeded signals keep failures reproducible).
+fn real_image(rows: usize, cols: usize, seed: u64) -> Vec<f32> {
+    (0..rows * cols)
+        .map(|i| {
+            let t = (i as u64)
+                .wrapping_mul(seed.wrapping_add(7))
+                .wrapping_add(3) as f32;
+            (t * 0.013).sin() + 0.3 * (t * 0.029).cos()
+        })
+        .collect()
+}
+
+/// Naive 2-D DFT of a real image: `S[y][x] = Σ f[u][v]·e^(-2πi(yu/r + xv/c))`.
+fn naive_dft2(img: &[f32], rows: usize, cols: usize) -> Vec<Complex32> {
+    let mut out = vec![Complex32::ZERO; rows * cols];
+    for y in 0..rows {
+        for x in 0..cols {
+            let mut acc = Complex32::ZERO;
+            for (u, row) in img.chunks(cols).enumerate() {
+                for (v, &f) in row.iter().enumerate() {
+                    let phase = -2.0
+                        * std::f64::consts::PI
+                        * ((y * u) as f64 / rows as f64 + (x * v) as f64 / cols as f64);
+                    acc += Complex32::new(
+                        (f as f64 * phase.cos()) as f32,
+                        (f as f64 * phase.sin()) as f32,
+                    );
+                }
+            }
+            out[y * cols + x] = acc;
+        }
+    }
+    out
+}
+
+/// The pre-spectral-engine reference path: widen to complex, full C2C.
+fn forward_real_c2c(plan: &Fft2, data: &[f32]) -> Vec<Complex32> {
+    let mut c: Vec<Complex32> = data.iter().map(|&v| Complex32::from_re(v)).collect();
+    plan.forward(&mut c);
+    c
+}
+
+/// The corner mode set `[0,k) ∪ [n-k,n)` (clamped like `doinn`'s
+/// `mode_indices`, including the degenerate one-bin axis).
+fn corner_modes(n: usize, k: usize) -> Vec<usize> {
+    if n == 1 {
+        return vec![0];
+    }
+    let k = k.min(n / 2).max(1);
+    let mut idx: Vec<usize> = (0..k).collect();
+    idx.extend(n - k..n);
+    idx
+}
+
+/// A seeded arbitrary (sorted, unique, non-empty) index subset of `0..n`.
+fn random_modes(n: usize, seed: u64) -> Vec<usize> {
+    let mut out: Vec<usize> = (0..n)
+        .filter(|&i| (seed.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(i as u32)) & 3 == 0)
+        .collect();
+    if out.is_empty() {
+        out.push(seed as usize % n);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// RFFT == C2C over random shapes (1..=20 covers radix-2, Bluestein and
+    /// n == 1 on both axes).
+    #[test]
+    fn packed_forward_matches_c2c(r in 1usize..20, c in 1usize..20, seed in 0u64..500) {
+        let plan = Fft2::new(r, c);
+        let img = real_image(r, c, seed);
+        let want = forward_real_c2c(&plan, &img);
+        let got = plan.unpack_full(&plan.forward_real_packed(&img));
+        let tol = 1e-4 * ((r * c) as f32).max(1.0);
+        for (i, (a, b)) in want.iter().zip(&got).enumerate() {
+            prop_assert!((*a - *b).abs() < tol, "({r},{c}) bin {i}: {a} vs {b}");
+        }
+    }
+
+    /// RFFT == naive DFT oracle (small shapes; O(n²) oracle).
+    #[test]
+    fn packed_forward_matches_naive_dft(r in 1usize..9, c in 1usize..9, seed in 0u64..500) {
+        let plan = Fft2::new(r, c);
+        let img = real_image(r, c, seed);
+        let want = naive_dft2(&img, r, c);
+        let got = plan.unpack_full(&plan.forward_real_packed(&img));
+        let tol = 2e-4 * ((r * c) as f32).max(1.0);
+        for (i, (a, b)) in want.iter().zip(&got).enumerate() {
+            prop_assert!((*a - *b).abs() < tol, "({r},{c}) bin {i}: {a} vs {b}");
+        }
+    }
+
+    /// C2R inverse of the packed forward restores the image.
+    #[test]
+    fn packed_roundtrip(r in 1usize..20, c in 1usize..20, seed in 0u64..500) {
+        let plan = Fft2::new(r, c);
+        let img = real_image(r, c, seed);
+        let packed = plan.forward_real_packed(&img);
+        let mut back = vec![0.0f32; r * c];
+        let mut scratch = vec![Complex32::ZERO; plan.packed_scratch_len()];
+        plan.inverse_real_into(&packed, &mut back, &mut scratch, litho_parallel::global());
+        let tol = 1e-4 * ((r * c) as f32).max(1.0);
+        for (i, (a, b)) in img.iter().zip(&back).enumerate() {
+            prop_assert!((a - b).abs() < tol, "({r},{c}) px {i}: {a} vs {b}");
+        }
+    }
+
+    /// Hermitian-symmetry invariant of the packed spectrum:
+    /// `S[y][x] == conj(S[(r-y)%r][(c-x)%c])` over the full unpacked grid.
+    #[test]
+    fn packed_spectrum_is_hermitian(r in 1usize..16, c in 1usize..16, seed in 0u64..500) {
+        let plan = Fft2::new(r, c);
+        let img = real_image(r, c, seed);
+        let full = plan.unpack_full(&plan.forward_real_packed(&img));
+        let tol = 1e-4 * ((r * c) as f32).max(1.0);
+        for y in 0..r {
+            for x in 0..c {
+                let a = full[y * c + x];
+                let b = full[((r - y) % r) * c + (c - x) % c].conj();
+                prop_assert!((a - b).abs() < tol, "({r},{c}) at ({y},{x}): {a} vs {b}");
+            }
+        }
+    }
+
+    /// Pruned forward == gather from the C2C spectrum, for both the FNO
+    /// corner sets and arbitrary random index subsets.
+    #[test]
+    fn forward_modes_matches_c2c_gather(
+        r in 1usize..20,
+        c in 1usize..20,
+        k in 1usize..5,
+        seed in 0u64..500,
+    ) {
+        let plan = Fft2::new(r, c);
+        let img = real_image(r, c, seed);
+        let full = forward_real_c2c(&plan, &img);
+        let tol = 1e-4 * ((r * c) as f32).max(1.0);
+        let sets = [
+            (corner_modes(r, k), corner_modes(c, k)),
+            (random_modes(r, seed), random_modes(c, seed.wrapping_add(1))),
+        ];
+        for (iy, ix) in &sets {
+            let got = plan.forward_modes(&img, iy, ix);
+            for (j, &y) in iy.iter().enumerate() {
+                for (i, &x) in ix.iter().enumerate() {
+                    let want = full[y * c + x];
+                    let v = got[j * ix.len() + i];
+                    prop_assert!(
+                        (want - v).abs() < tol,
+                        "({r},{c}) mode ({y},{x}): {want} vs {v}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Pruned inverse == dense scatter → C2C inverse → real part, for
+    /// arbitrary (non-Hermitian) complex mode values.
+    #[test]
+    fn inverse_from_modes_matches_dense(
+        r in 1usize..20,
+        c in 1usize..20,
+        k in 1usize..5,
+        seed in 0u64..500,
+    ) {
+        let plan = Fft2::new(r, c);
+        let sets = [
+            (corner_modes(r, k), corner_modes(c, k)),
+            (random_modes(r, seed), random_modes(c, seed.wrapping_add(9))),
+        ];
+        for (iy, ix) in &sets {
+            let modes: Vec<Complex32> = (0..iy.len() * ix.len())
+                .map(|i| {
+                    let t = (i as u64).wrapping_mul(seed.wrapping_add(11)) as f32;
+                    Complex32::new((t * 0.017).sin(), (t * 0.041).cos())
+                })
+                .collect();
+            let mut full = vec![Complex32::ZERO; r * c];
+            for (j, &y) in iy.iter().enumerate() {
+                for (i, &x) in ix.iter().enumerate() {
+                    full[y * c + x] = modes[j * ix.len() + i];
+                }
+            }
+            let want = plan.inverse_real(&full);
+            let got = plan.inverse_from_modes(&modes, iy, ix);
+            let tol = 1e-4;
+            for (i, (a, b)) in want.iter().zip(&got).enumerate() {
+                prop_assert!((a - b).abs() < tol, "({r},{c}) px {i}: {a} vs {b}");
+            }
+        }
+    }
+}
+
+#[test]
+fn plan_cache_is_safe_under_concurrent_lookups() {
+    // many threads hammering the same and different shapes must agree on one
+    // shared plan per shape and never deadlock/poison
+    let shapes: Vec<(usize, usize)> = vec![(32, 32), (17, 5), (64, 16), (33, 33)];
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for t in 0..8usize {
+            let shapes = &shapes;
+            handles.push(s.spawn(move || {
+                let mut got = Vec::new();
+                for round in 0..50 {
+                    let (r, c) = shapes[(t + round) % shapes.len()];
+                    let plan = plans(r, c);
+                    assert_eq!((plan.rows(), plan.cols()), (r, c));
+                    got.push(((r, c), plan));
+                }
+                got
+            }));
+        }
+        let all: Vec<_> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        for (shape, plan) in &all {
+            let canonical = plans(shape.0, shape.1);
+            assert!(
+                std::sync::Arc::ptr_eq(plan, &canonical),
+                "every thread must see the same cached plan for {shape:?}"
+            );
+        }
+    });
+}

@@ -14,8 +14,9 @@
 //! This engine generates the OPC'ed training masks for the datasets and the
 //! 24-iteration mask trajectory of the paper's Figure 8.
 
-use litho_fft::{Complex32, Fft2};
+use litho_fft::{plans, Complex32, Fft2};
 use litho_optics::{ResistModel, SocsKernels};
+use std::sync::Arc;
 
 /// ILT hyper-parameters.
 #[derive(Debug, Clone, Copy)]
@@ -58,7 +59,8 @@ pub struct IltResult {
 pub struct IltEngine<'a> {
     socs: &'a SocsKernels,
     config: IltConfig,
-    fft: Fft2,
+    /// Shared plan from the process-wide cache (one per grid size).
+    fft: Arc<Fft2>,
 }
 
 impl<'a> IltEngine<'a> {
@@ -69,7 +71,7 @@ impl<'a> IltEngine<'a> {
         Self {
             socs,
             config,
-            fft: Fft2::new(n, n),
+            fft: plans(n, n),
         }
     }
 

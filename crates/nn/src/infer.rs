@@ -41,9 +41,10 @@
 
 use crate::graph::Graph;
 use crate::layers::Module;
+use litho_fft::Complex32;
 use litho_parallel::Pool;
 use litho_tensor::{concat_channels_into, concat_channels_shape, Tensor};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Reusable state for tape-free inference: a size-bucketed buffer pool plus
 /// the thread [`Pool`] the forward kernels fan out on.
@@ -67,6 +68,14 @@ pub struct InferCtx {
     buckets: HashMap<usize, Vec<Vec<f32>>>,
     hits: u64,
     misses: u64,
+    /// Free complex scratch keyed by **capacity** (ordered so a request can
+    /// take the smallest buffer that fits). The spectral kernels' scratch
+    /// sizes are stable for a fixed model but several distinct lengths occur
+    /// per forward; capacity keying lets a buffer that grew once keep
+    /// serving smaller requests without reallocating.
+    cbuckets: BTreeMap<usize, Vec<Vec<Complex32>>>,
+    chits: u64,
+    cmisses: u64,
 }
 
 impl Default for InferCtx {
@@ -91,6 +100,9 @@ impl InferCtx {
             buckets: HashMap::new(),
             hits: 0,
             misses: 0,
+            cbuckets: BTreeMap::new(),
+            chits: 0,
+            cmisses: 0,
         }
     }
 
@@ -147,6 +159,49 @@ impl InferCtx {
     /// driving a fixed model should report only hits after its first call.
     pub fn alloc_stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// Takes a zero-filled complex scratch buffer of exactly `len` elements
+    /// from the complex pool, reusing the smallest recycled buffer whose
+    /// capacity fits (fresh allocations are counted by
+    /// [`litho_tensor::alloc_stats::complex_scratch_allocations`] in debug
+    /// builds).
+    ///
+    /// The spectral FFT kernels overwrite their scratch, but zero-filling
+    /// keeps the contract simple and costs a memset that is noise next to
+    /// the transforms consuming the buffer.
+    pub fn alloc_complex(&mut self, len: usize) -> Vec<Complex32> {
+        // find_map skips buckets whose stock is exhausted (entries stay once
+        // created) and takes from the smallest capacity that fits
+        let reuse = self.cbuckets.range_mut(len..).find_map(|(_, b)| b.pop());
+        match reuse {
+            Some(mut buf) => {
+                self.chits += 1;
+                buf.clear();
+                buf.resize(len, Complex32::ZERO);
+                buf
+            }
+            None => {
+                self.cmisses += 1;
+                litho_tensor::alloc_stats::bump_complex_scratch();
+                vec![Complex32::ZERO; len]
+            }
+        }
+    }
+
+    /// Returns a complex scratch buffer to the pool for reuse by a later
+    /// [`InferCtx::alloc_complex`] of any length up to its capacity.
+    pub fn recycle_complex(&mut self, buf: Vec<Complex32>) {
+        let cap = buf.capacity();
+        if cap == 0 {
+            return;
+        }
+        self.cbuckets.entry(cap).or_default().push(buf);
+    }
+
+    /// `(pool hits, pool misses)` of the complex-scratch alloc calls so far.
+    pub fn complex_alloc_stats(&self) -> (u64, u64) {
+        (self.chits, self.cmisses)
     }
 }
 
@@ -234,6 +289,36 @@ mod tests {
         ctx.recycle(c);
         let d = ctx.alloc_zeroed(&[2, 3]);
         assert!(d.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn complex_buckets_reuse_by_capacity() {
+        let mut ctx = InferCtx::with_pool(&Pool::new(1));
+        let a = ctx.alloc_complex(16);
+        assert!(a.iter().all(|v| *v == Complex32::ZERO));
+        ctx.recycle_complex(a);
+        // a smaller request reuses the 16-capacity buffer (zeroed again)
+        let mut b = ctx.alloc_complex(8);
+        assert_eq!(b.len(), 8);
+        assert!(b.iter().all(|v| *v == Complex32::ZERO));
+        b.fill(Complex32::ONE);
+        ctx.recycle_complex(b);
+        let c = ctx.alloc_complex(16);
+        assert_eq!(c.len(), 16);
+        assert!(c.iter().all(|v| *v == Complex32::ZERO), "must be re-zeroed");
+        ctx.recycle_complex(c);
+        // a larger request cannot reuse the 16-capacity buffer
+        let d = ctx.alloc_complex(17);
+        assert_eq!(d.len(), 17);
+        let (hits, misses) = ctx.complex_alloc_stats();
+        assert_eq!((hits, misses), (2, 2));
+        // exhausted buckets are skipped, not mistaken for stock
+        ctx.recycle_complex(d);
+        let _big = ctx.alloc_complex(17); // takes the 17-capacity buffer...
+        let small = ctx.alloc_complex(2); // ...so this reuses the 16 one
+        assert_eq!(small.len(), 2);
+        let (hits, misses) = ctx.complex_alloc_stats();
+        assert_eq!((hits, misses), (4, 2));
     }
 
     #[test]

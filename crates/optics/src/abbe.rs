@@ -12,7 +12,8 @@
 //! truncation. The SOCS/TCC engine in [`crate::tcc`] is validated against it.
 
 use crate::{Pupil, SimGrid, SourceModel, SourcePoint};
-use litho_fft::{Complex32, Fft2};
+use litho_fft::{plans, Complex32, Fft2};
+use std::sync::Arc;
 
 /// Partially coherent aerial-image simulator using the Abbe method.
 #[derive(Debug, Clone)]
@@ -22,7 +23,8 @@ pub struct AbbeSimulator {
     points: Vec<SourcePoint>,
     /// Pre-evaluated shifted pupils, one `size²` plane per source point.
     shifted_pupils: Vec<Vec<Complex32>>,
-    fft: Fft2,
+    /// Shared plan from the process-wide cache (one per grid size).
+    fft: Arc<Fft2>,
     clear_intensity: f32,
 }
 
@@ -53,7 +55,7 @@ impl AbbeSimulator {
             pupil,
             points,
             shifted_pupils,
-            fft: Fft2::new(n, n),
+            fft: plans(n, n),
             clear_intensity: clear_intensity.max(f32::EPSILON),
         }
     }

@@ -18,7 +18,8 @@
 
 use crate::eig::top_eigenpairs_hermitian;
 use crate::{LithoModel, Pupil, SimGrid, SourceModel};
-use litho_fft::{Complex32, Fft2};
+use litho_fft::{plans, Complex32, Fft2};
+use std::sync::Arc;
 
 /// Dense TCC matrix on the truncated frequency support.
 #[derive(Debug, Clone)]
@@ -132,7 +133,7 @@ impl TccModel {
         SocsKernels {
             grid: self.grid,
             kernels,
-            fft: Fft2::new(n, n),
+            fft: plans(n, n),
             clear_intensity: self.clear_intensity,
         }
     }
@@ -144,7 +145,8 @@ impl TccModel {
 pub struct SocsKernels {
     grid: SimGrid,
     kernels: Vec<(f32, Vec<Complex32>)>,
-    fft: Fft2,
+    /// Shared plan from the process-wide cache (one per grid size).
+    fft: Arc<Fft2>,
     clear_intensity: f32,
 }
 

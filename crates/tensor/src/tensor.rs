@@ -7,8 +7,9 @@
 
 use std::fmt;
 
-/// Accounting for fresh tensor-buffer allocations, used by the tape-free
-/// inference tests to prove the `InferCtx` buffer pool actually recycles.
+/// Accounting for fresh tensor-buffer (and complex-scratch) allocations,
+/// used by the tape-free inference tests to prove the `InferCtx` buffer
+/// pools actually recycle.
 ///
 /// The counter only exists in debug builds (`#[cfg(debug_assertions)]`): it
 /// is an atomic bump on every constructor that materialises a **new** `f32`
@@ -43,6 +44,35 @@ pub mod alloc_stats {
     pub(crate) fn bump() {
         #[cfg(debug_assertions)]
         TENSOR_ALLOCS.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[cfg(debug_assertions)]
+    static COMPLEX_SCRATCH_ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+    /// Number of fresh **complex scratch** buffers materialised so far by the
+    /// spectral inference paths (the `litho-nn` `InferCtx` complex-bucket
+    /// pool reports its misses here). This crate holds the counter so one
+    /// `alloc_stats` module covers every buffer family the zero-alloc
+    /// regression tests assert on; like [`tensor_allocations`] it is live in
+    /// debug builds only and always `0` in release.
+    pub fn complex_scratch_allocations() -> u64 {
+        #[cfg(debug_assertions)]
+        {
+            COMPLEX_SCRATCH_ALLOCS.load(Ordering::Relaxed)
+        }
+        #[cfg(not(debug_assertions))]
+        {
+            0
+        }
+    }
+
+    /// Records one fresh complex-scratch buffer allocation. Called by the
+    /// scratch allocators in higher crates (`litho_nn::InferCtx::alloc_complex`
+    /// on a pool miss); not intended for application code.
+    #[inline]
+    pub fn bump_complex_scratch() {
+        #[cfg(debug_assertions)]
+        COMPLEX_SCRATCH_ALLOCS.fetch_add(1, Ordering::Relaxed);
     }
 }
 
