@@ -1,0 +1,274 @@
+//! Machine-readable serving benchmark: `BENCH_serve.json`.
+//!
+//! Drives the `litho-serve` batched inference server with **open-loop**
+//! offered load (arrivals follow a fixed schedule, independent of
+//! completions — the honest way to measure a service, since closed-loop
+//! generators self-throttle exactly when the server is slowest). Three load
+//! points are recorded relative to a calibrated single-server capacity:
+//! 0.5× (headroom), 1.0× (saturation) and 2.0× (overload, where the bounded
+//! queue must shed).
+//!
+//! Per point: sustained tiles/sec, p50/p99 end-to-end latency, and the shed
+//! rate. The committed `BENCH_serve.json` at the repo root holds the
+//! default-scale numbers; CI re-runs the binary at `LITHO_SCALE=smoke`
+//! (fewer requests, same machinery) and fails if any expected row goes
+//! missing.
+//!
+//! The workload is the paper's serving shape: single-tile DOINN inference
+//! on 64×64 mask tiles (`DoinnConfig::tiny`), fanned out over persistent
+//! per-worker `InferCtx`s on the `litho-parallel` pool.
+//!
+//! Usage: `bench_serve [output-path]` (default `BENCH_serve.json`).
+
+use doinn::{Doinn, DoinnConfig};
+use litho_bench::Scale;
+use litho_nn::Module;
+use litho_serve::{Clock, ModelZoo, RealClock, Rejected, Request, ServeConfig, Server};
+use litho_tensor::init::seeded_rng;
+use litho_tensor::Tensor;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Tile side: the Low-resolution dataset tile the models are trained on.
+const SIDE: usize = 64;
+const LOAD_FACTORS: [f64; 3] = [0.5, 1.0, 2.0];
+
+fn serve_config() -> ServeConfig {
+    ServeConfig {
+        queue_capacity: 32,
+        max_batch: 8,
+        max_wait: Duration::from_millis(5),
+    }
+}
+
+fn model() -> Box<Doinn> {
+    let m = Doinn::new(DoinnConfig::tiny(), &mut seeded_rng(0x5E));
+    m.set_training(false);
+    Box::new(m)
+}
+
+/// Deterministic pseudo-random mask-like tile (sparse binary features).
+fn tile(seq: usize) -> Tensor {
+    let vals: Vec<f32> = (0..SIDE * SIDE)
+        .map(|j| {
+            let h = (seq as u64)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(j as u64)
+                .wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            if h >> 62 == 0 {
+                1.0
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    Tensor::from_vec(vals, &[1, 1, SIDE, SIDE])
+}
+
+/// Calibrates server capacity: tiles/sec through back-to-back full batches
+/// (no queueing idle time), on the same pool the load points use.
+fn calibrate(batches: usize) -> f64 {
+    let clock = Arc::new(RealClock::new());
+    let zoo = ModelZoo::with_default(model());
+    let mut server = Server::new(zoo, serve_config(), clock.clone());
+    let max_batch = server.config().max_batch;
+    // one untimed warmup batch populates the worker contexts' buffer pools
+    for i in 0..max_batch {
+        server.submit(Request::new(tile(i))).unwrap();
+    }
+    server.flush_now();
+    server.drain_completed();
+
+    let t0 = clock.now();
+    let mut done = 0u64;
+    for b in 0..batches {
+        for i in 0..max_batch {
+            server
+                .submit(Request::new(tile(b * max_batch + i)))
+                .unwrap();
+        }
+        server.flush_now();
+        done += server.drain_completed().len() as u64;
+    }
+    let wall = (clock.now() - t0).as_secs_f64();
+    done as f64 / wall.max(1e-9)
+}
+
+struct Point {
+    name: String,
+    offered: usize,
+    offered_tps: f64,
+    admitted: u64,
+    completed: u64,
+    failed: u64,
+    shed: u64,
+    shed_rate: f64,
+    sustained_tps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    wall_ms: f64,
+    batches: u64,
+    mean_batch: f64,
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+/// One open-loop run: `n` arrivals spaced `1 / offered_tps` apart on the
+/// real clock, against a fresh server. The driver busy-polls (single-core
+/// container; sleeping would just add timer jitter to the latency tail).
+fn run_point(factor: f64, offered_tps: f64, n: usize) -> Point {
+    let clock = Arc::new(RealClock::new());
+    let zoo = ModelZoo::with_default(model());
+    let mut server = Server::new(zoo, serve_config(), clock.clone());
+    let interval = 1.0 / offered_tps;
+
+    let mut latencies_ms: Vec<f64> = Vec::with_capacity(n);
+    let collect = |server: &mut Server, lat: &mut Vec<f64>| {
+        for c in server.drain_completed() {
+            lat.push(c.latency().as_secs_f64() * 1e3);
+        }
+    };
+
+    let t0 = clock.now();
+    let mut submitted = 0usize;
+    while submitted < n {
+        let elapsed = (clock.now() - t0).as_secs_f64();
+        let due = (((elapsed / interval) as usize) + 1).min(n);
+        while submitted < due {
+            match server.submit(Request::new(tile(submitted))) {
+                Ok(_) | Err(Rejected::QueueFull { .. }) => {}
+                Err(other) => panic!("unexpected rejection: {other}"),
+            }
+            submitted += 1;
+        }
+        server.poll();
+        collect(&mut server, &mut latencies_ms);
+        std::hint::spin_loop();
+    }
+    // drain the tail: remaining requests flush via their deadlines
+    while server.queued() > 0 {
+        server.poll();
+        collect(&mut server, &mut latencies_ms);
+        std::hint::spin_loop();
+    }
+    collect(&mut server, &mut latencies_ms);
+    let wall = (clock.now() - t0).as_secs_f64();
+
+    let stats = server.stats();
+    assert_eq!(
+        stats.admitted + stats.shed,
+        n as u64,
+        "open-loop accounting"
+    );
+    assert_eq!(stats.completed + stats.failed, stats.admitted);
+    assert_eq!(stats.failed, 0, "DOINN inference must not fail");
+    assert_eq!(latencies_ms.len() as u64, stats.completed);
+
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    Point {
+        name: format!("load_{factor:.2}x"),
+        offered: n,
+        offered_tps,
+        admitted: stats.admitted,
+        completed: stats.completed,
+        failed: stats.failed,
+        shed: stats.shed,
+        shed_rate: stats.shed as f64 / n as f64,
+        sustained_tps: stats.completed as f64 / wall.max(1e-9),
+        p50_ms: percentile(&latencies_ms, 0.50),
+        p99_ms: percentile(&latencies_ms, 0.99),
+        wall_ms: wall * 1e3,
+        batches: stats.batches,
+        mean_batch: stats.batched_tiles as f64 / stats.batches.max(1) as f64,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let scale = Scale::from_env();
+    let (cal_batches, n_per_point) = match scale {
+        Scale::Smoke => (3, 60),
+        Scale::Default => (12, 600),
+        Scale::Full => (25, 3000),
+    };
+
+    let capacity_tps = calibrate(cal_batches);
+    eprintln!("calibrated capacity: {capacity_tps:.1} tiles/sec");
+
+    let points: Vec<Point> = LOAD_FACTORS
+        .iter()
+        .map(|&f| run_point(f, f * capacity_tps, n_per_point))
+        .collect();
+
+    let cfg = serve_config();
+    let threads = litho_parallel::global().threads();
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"config\": {{\"tile\": {SIDE}, \"model\": \"doinn_tiny\", \"threads\": {threads}, \"queue_capacity\": {}, \"max_batch\": {}, \"max_wait_ms\": {}, \"requests_per_point\": {n_per_point}, \"scale\": \"{scale:?}\"}},\n",
+        cfg.queue_capacity,
+        cfg.max_batch,
+        cfg.max_wait.as_secs_f64() * 1e3,
+    ));
+    json.push_str(&format!(
+        "  \"calibration\": {{\"capacity_tps\": {capacity_tps:.1}, \"batches\": {cal_batches}}},\n"
+    ));
+    json.push_str("  \"rows\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"offered\": {}, \"offered_tps\": {:.1}, \"admitted\": {}, \"completed\": {}, \"failed\": {}, \"shed\": {}, \"shed_rate\": {:.4}, \"sustained_tps\": {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"wall_ms\": {:.1}, \"batches\": {}, \"mean_batch\": {:.2}}}{}\n",
+            p.name,
+            p.offered,
+            p.offered_tps,
+            p.admitted,
+            p.completed,
+            p.failed,
+            p.shed,
+            p.shed_rate,
+            p.sustained_tps,
+            p.p50_ms,
+            p.p99_ms,
+            p.wall_ms,
+            p.batches,
+            p.mean_batch,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    // Self-checks before writing: CI greps these names, and the numbers
+    // must be internally consistent.
+    for required in ["load_0.50x", "load_1.00x", "load_2.00x", "sustained_tps"] {
+        assert!(json.contains(required), "{required} missing from JSON");
+    }
+    for p in &points {
+        assert!(
+            p.p99_ms >= p.p50_ms,
+            "{}: p99 {} below p50 {}",
+            p.name,
+            p.p99_ms,
+            p.p50_ms
+        );
+        assert!(p.completed > 0, "{}: served nothing", p.name);
+    }
+    if scale != Scale::Smoke {
+        let overload = points.last().expect("points is non-empty");
+        assert!(
+            overload.shed > 0,
+            "2.0x offered load against a bounded queue must shed (shed = 0 \
+             suggests the calibration under-measured capacity)"
+        );
+    }
+
+    std::fs::write(&out_path, &json).expect("write BENCH_serve.json");
+    println!("{json}");
+    println!("wrote {out_path}");
+}

@@ -203,6 +203,16 @@ impl InferCtx {
     pub fn complex_alloc_stats(&self) -> (u64, u64) {
         (self.chits, self.cmisses)
     }
+
+    /// Drops every pooled buffer (real and complex), keeping the hit/miss
+    /// counters. Long-lived contexts call this when the shapes they serve
+    /// change wholesale — e.g. after a serving hot-swap to a model of a
+    /// different architecture — so buffers sized for the old shapes don't
+    /// linger as dead weight. The next forward repopulates the pool.
+    pub fn clear(&mut self) {
+        self.buckets.clear();
+        self.cbuckets.clear();
+    }
 }
 
 /// The graph-backed fallback behind the default [`Module::infer`]: records
@@ -267,6 +277,129 @@ pub fn par_infer_map<T: Send>(
         .into_iter()
         .map(|s| s.expect("every index filled"))
         .collect()
+}
+
+/// A bank of persistent per-worker [`InferCtx`]s for long-lived serving
+/// loops.
+///
+/// [`par_infer_map`] creates fresh contexts per call, which is right for
+/// one-shot fan-outs (`doinn::predict_batch`) but wrong for a server: a
+/// warm buffer pool is the whole point of [`InferCtx`], and it only pays
+/// off if the contexts survive from batch to batch. A `CtxBank` owns one
+/// context per [`Pool`] thread and fans work out so that chunk *i* of
+/// every batch runs on context *i* — the chunk split is
+/// [`Pool::chunk_ranges`], the same deterministic policy the `par_*`
+/// primitives use, so at most one worker touches each context at a time
+/// and the per-item results are in input order.
+///
+/// Determinism: each item is processed by the same instruction sequence
+/// regardless of which context it lands on (a context only changes *where
+/// buffers come from*, never arithmetic), so results are bit-identical for
+/// any pool size — the same contract as [`par_infer_map`].
+#[derive(Debug)]
+pub struct CtxBank {
+    pool: Pool,
+    ctxs: Vec<std::sync::Mutex<InferCtx>>,
+}
+
+impl CtxBank {
+    /// One persistent context per thread of `pool`.
+    pub fn new(pool: &Pool) -> Self {
+        Self {
+            pool: pool.clone(),
+            ctxs: (0..pool.threads())
+                .map(|_| std::sync::Mutex::new(InferCtx::with_pool(pool)))
+                .collect(),
+        }
+    }
+
+    /// Number of contexts (= the pool's thread count).
+    pub fn workers(&self) -> usize {
+        self.ctxs.len()
+    }
+
+    /// The pool batches fan out on.
+    pub fn pool(&self) -> &Pool {
+        &self.pool
+    }
+
+    fn lock(&self, i: usize) -> std::sync::MutexGuard<'_, InferCtx> {
+        // a poisoned context just means an item's closure panicked while
+        // holding it; the buffer pool has no invariants a panic can break,
+        // so serving continues on the same context
+        self.ctxs[i]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Consumes `items`, mapping each through `f` with a persistent
+    /// per-worker context, and returns the results in input order.
+    ///
+    /// Items move into the workers (no clones), chunked by
+    /// [`Pool::chunk_ranges`]; chunk `i` locks context `i`, so no context is
+    /// ever shared between concurrently-running workers. A panic inside `f`
+    /// propagates after all workers join (wrap `f`'s body in
+    /// [`std::panic::catch_unwind`] to contain per-item failures).
+    pub fn par_map_consume<I: Send, T: Send>(
+        &self,
+        items: Vec<I>,
+        f: impl Fn(&mut InferCtx, I) -> T + Sync,
+    ) -> Vec<T> {
+        let n = items.len();
+        let ranges = self.pool.chunk_ranges(n, 1);
+        debug_assert!(ranges.len() <= self.ctxs.len());
+        // pre-split into one owned chunk per worker; Option lets each worker
+        // take its chunk by value from behind the shared borrow
+        let mut items = items.into_iter();
+        let slots: Vec<std::sync::Mutex<Option<Vec<I>>>> = ranges
+            .iter()
+            .map(|r| std::sync::Mutex::new(Some(items.by_ref().take(r.len()).collect())))
+            .collect();
+        let per_chunk: Vec<Vec<T>> = self.pool.par_map(ranges.len(), 1, |ci| {
+            let chunk = slots[ci]
+                .lock()
+                .expect("chunk slot lock")
+                .take()
+                .expect("each chunk taken once");
+            let mut ctx = self.lock(ci);
+            chunk.into_iter().map(|item| f(&mut ctx, item)).collect()
+        });
+        per_chunk.into_iter().flatten().collect()
+    }
+
+    /// Aggregate `(hits, misses)` of the real-buffer allocations across all
+    /// contexts — a warm bank serving fixed shapes reports only hits after
+    /// each worker's first batch.
+    pub fn alloc_stats(&self) -> (u64, u64) {
+        let mut hits = 0;
+        let mut misses = 0;
+        for i in 0..self.ctxs.len() {
+            let (h, m) = self.lock(i).alloc_stats();
+            hits += h;
+            misses += m;
+        }
+        (hits, misses)
+    }
+
+    /// Aggregate `(hits, misses)` of the complex-scratch allocations.
+    pub fn complex_alloc_stats(&self) -> (u64, u64) {
+        let mut hits = 0;
+        let mut misses = 0;
+        for i in 0..self.ctxs.len() {
+            let (h, m) = self.lock(i).complex_alloc_stats();
+            hits += h;
+            misses += m;
+        }
+        (hits, misses)
+    }
+
+    /// [`InferCtx::clear`] on every context (serving hot-swap to a model of
+    /// a different architecture).
+    pub fn clear(&self) {
+        for i in 0..self.ctxs.len() {
+            self.lock(i).clear();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -354,6 +487,59 @@ mod tests {
         let got = concat(&mut ctx, &[&a, &b]);
         assert_eq!(want.as_slice(), got.as_slice());
         assert_eq!(want.shape(), got.shape());
+    }
+
+    #[test]
+    fn clear_drops_pooled_buffers_but_keeps_counters() {
+        let mut ctx = InferCtx::with_pool(&Pool::new(1));
+        let t = ctx.alloc_zeroed(&[4]);
+        ctx.recycle(t);
+        let c = ctx.alloc_complex(4);
+        ctx.recycle_complex(c);
+        ctx.clear();
+        // both pools are empty again: the next allocs miss
+        let t = ctx.alloc(&[4]);
+        let c = ctx.alloc_complex(4);
+        assert_eq!(ctx.alloc_stats(), (0, 2));
+        assert_eq!(ctx.complex_alloc_stats(), (0, 2));
+        ctx.recycle(t);
+        ctx.recycle_complex(c);
+    }
+
+    #[test]
+    fn ctx_bank_preserves_order_and_reuses_buffers_across_batches() {
+        for threads in [1usize, 2, 4] {
+            let bank = CtxBank::new(&Pool::new(threads));
+            assert_eq!(bank.workers(), threads);
+            // two batches of identically-shaped work: the second batch must
+            // be all pool hits (contexts persist between batches)
+            for batch in 0..2 {
+                let items: Vec<usize> = (0..7).collect();
+                let out = bank.par_map_consume(items, |ctx, i| {
+                    let t = ctx.alloc_zeroed(&[3]);
+                    ctx.recycle(t);
+                    i * 2 + batch
+                });
+                assert_eq!(out, (0..7).map(|i| i * 2 + batch).collect::<Vec<_>>());
+            }
+            let (hits, misses) = bank.alloc_stats();
+            assert_eq!(hits + misses, 14);
+            // one miss per context that participated, never per batch
+            assert!(misses <= threads as u64, "misses {misses} > {threads}");
+        }
+    }
+
+    #[test]
+    fn ctx_bank_consumes_items_without_clones() {
+        // items move into the workers: a non-Clone type compiles and works
+        struct NoClone(usize);
+        let bank = CtxBank::new(&Pool::new(2));
+        let items: Vec<NoClone> = (0..5).map(NoClone).collect();
+        let out = bank.par_map_consume(items, |_ctx, item| item.0);
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+        assert!(bank
+            .par_map_consume(Vec::<NoClone>::new(), |_, i| i.0)
+            .is_empty());
     }
 
     #[test]

@@ -42,7 +42,7 @@ mod optim;
 mod serial;
 
 pub use graph::{BackwardFn, Graph, Param, ParamGuard, Var};
-pub use infer::InferCtx;
+pub use infer::{CtxBank, InferCtx};
 pub use layers::{
     AvgPool2d, BatchNorm2d, Conv2d, ConvTranspose2d, LeakyRelu, Module, Relu, Sequential, Tanh,
 };

@@ -132,6 +132,25 @@ impl Pool {
         self.threads
     }
 
+    /// The chunking policy behind every `par_*` primitive, exposed so
+    /// long-lived callers can mirror it: splits `0..n` into at most
+    /// [`Pool::threads`] contiguous chunks, in ascending order. A caller
+    /// that pre-partitions per-worker state (for example, one persistent
+    /// inference context per chunk) and then fans out with
+    /// [`Pool::par_map`] over `chunk_ranges(n, grain).len()` indices gets
+    /// exactly one concurrently-running worker per chunk.
+    ///
+    /// The split is a pure function of `(threads, n, grain)` — it never
+    /// depends on runtime scheduling, which is what keeps the `par_*`
+    /// results deterministic.
+    /// Returns no chunks for `n == 0` (the `par_*` primitives run nothing).
+    pub fn chunk_ranges(&self, n: usize, grain: usize) -> Vec<Range<usize>> {
+        if n == 0 {
+            return Vec::new();
+        }
+        self.chunks(n, grain)
+    }
+
     /// Splits `0..n` into at most `threads` contiguous chunks and returns
     /// them in order. Every chunk holds at least `grain` items (unless
     /// `n < grain`, which yields a single short chunk): `k ≤ ⌊n/grain⌋`
@@ -392,6 +411,19 @@ mod tests {
                             );
                         }
                     }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_is_the_public_face_of_chunks() {
+        for threads in [1usize, 2, 4, 7] {
+            let pool = Pool::new(threads);
+            for grain in [1usize, 8] {
+                assert!(pool.chunk_ranges(0, grain).is_empty());
+                for n in [1usize, 5, 97] {
+                    assert_eq!(pool.chunk_ranges(n, grain), pool.chunks(n, grain));
                 }
             }
         }

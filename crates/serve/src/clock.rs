@@ -1,0 +1,160 @@
+//! Injectable time source.
+//!
+//! Every batching, timeout and load-shedding decision in this crate reads
+//! time through the [`Clock`] trait rather than [`std::time::Instant`]
+//! directly. Production code runs on [`RealClock`]; tests run on
+//! [`SimClock`], whose time only moves when the test says so — which is what
+//! makes queue/batcher/backpressure behaviour *provable* in unit tests
+//! instead of flaky: no sleeps, no tolerance windows, no scheduler races.
+//!
+//! Time is represented as a [`Duration`] since the clock's epoch (its
+//! construction instant for [`RealClock`], zero for [`SimClock`]). Durations
+//! compare and add cheaply and can't be accidentally mixed with wall-clock
+//! dates.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// A monotonic time source; see the module docs for why it's injectable.
+pub trait Clock: Send + Sync {
+    /// Monotonic time since this clock's epoch. Implementations must never
+    /// go backwards.
+    fn now(&self) -> Duration;
+}
+
+/// The production clock: monotonic wall time since construction.
+#[derive(Debug)]
+pub struct RealClock {
+    epoch: Instant,
+}
+
+impl RealClock {
+    /// A clock whose epoch is "now".
+    pub fn new() -> Self {
+        Self {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for RealClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for RealClock {
+    fn now(&self) -> Duration {
+        self.epoch.elapsed()
+    }
+}
+
+/// A simulated clock for deterministic tests: time stands still until the
+/// test advances it.
+///
+/// Shared by `Arc` between the test (which advances) and the server (which
+/// reads). Stored as nanoseconds in an atomic so advancing never blocks.
+///
+/// # Examples
+///
+/// ```
+/// use litho_serve::{Clock, SimClock};
+/// use std::time::Duration;
+///
+/// let clock = SimClock::new();
+/// assert_eq!(clock.now(), Duration::ZERO);
+/// clock.advance(Duration::from_millis(3));
+/// assert_eq!(clock.now(), Duration::from_millis(3));
+/// ```
+#[derive(Debug, Default)]
+pub struct SimClock {
+    nanos: AtomicU64,
+}
+
+impl SimClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A clock starting at `t`.
+    pub fn at(t: Duration) -> Self {
+        let c = Self::new();
+        c.set(t);
+        c
+    }
+
+    /// Moves time forward by `dt`.
+    pub fn advance(&self, dt: Duration) {
+        self.nanos
+            .fetch_add(duration_to_nanos(dt), Ordering::SeqCst);
+    }
+
+    /// Jumps to absolute time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is earlier than the current time — simulated clocks
+    /// honour the same monotonicity contract as real ones, so a test bug
+    /// that rewinds time fails loudly instead of corrupting deadline math.
+    pub fn set(&self, t: Duration) {
+        let target = duration_to_nanos(t);
+        let prev = self.nanos.swap(target, Ordering::SeqCst);
+        assert!(
+            target >= prev,
+            "SimClock must not go backwards ({prev} ns -> {target} ns)"
+        );
+    }
+}
+
+fn duration_to_nanos(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).expect("simulated time fits in u64 nanoseconds (~584 years)")
+}
+
+impl Clock for SimClock {
+    fn now(&self) -> Duration {
+        Duration::from_nanos(self.nanos.load(Ordering::SeqCst))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_clock_is_monotonic() {
+        let c = RealClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn sim_clock_moves_only_on_demand() {
+        let c = SimClock::new();
+        assert_eq!(c.now(), Duration::ZERO);
+        assert_eq!(c.now(), Duration::ZERO, "time stands still");
+        c.advance(Duration::from_micros(5));
+        c.advance(Duration::from_micros(7));
+        assert_eq!(c.now(), Duration::from_micros(12));
+        c.set(Duration::from_millis(1));
+        assert_eq!(c.now(), Duration::from_millis(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "must not go backwards")]
+    fn sim_clock_rejects_rewind() {
+        let c = SimClock::at(Duration::from_secs(1));
+        c.set(Duration::from_millis(1));
+    }
+
+    #[test]
+    fn sim_clock_shared_across_threads() {
+        let c = std::sync::Arc::new(SimClock::new());
+        let c2 = std::sync::Arc::clone(&c);
+        std::thread::spawn(move || c2.advance(Duration::from_secs(2)))
+            .join()
+            .unwrap();
+        assert_eq!(c.now(), Duration::from_secs(2));
+    }
+}

@@ -1,0 +1,40 @@
+//! `litho-serve` — batched inference serving for lithography models.
+//!
+//! The workspace's models predict resist images tile by tile; this crate
+//! turns a trained model into a *service*: requests arrive one tile at a
+//! time, get coalesced into batches (size- and deadline-triggered), execute
+//! over persistent per-worker inference contexts on the scoped
+//! `litho-parallel` pool, and come back with full timing records. The
+//! design goals, in order:
+//!
+//! 1. **Determinism** — every decision (flush, shed, ordering) is a pure
+//!    function of the submitted requests and an injectable [`Clock`]. Under
+//!    [`SimClock`], test suites prove batching/timeout/backpressure
+//!    behaviour exactly, with no sleeps. Outputs are bit-identical to
+//!    per-tile [`Module::infer`](litho_nn::Module::infer) at any pool size.
+//! 2. **Bounded overload** — admission control sheds explicitly
+//!    ([`Rejected`]) once the bounded queue fills; shed requests never
+//!    touch a worker context.
+//! 3. **Safe model updates** — the [`ModelZoo`] hot-swaps checkpoints
+//!    atomically (generation-counted `Arc` publish); in-flight requests
+//!    finish on the model they were admitted under, and a corrupt
+//!    checkpoint can never replace a serving model.
+//!
+//! Module map: [`clock`] (time injection), [`server`] (queue + batcher +
+//! execution), [`zoo`] (named models, hot-swap), [`testing`] (the
+//! instrumented [`ProbeModel`](testing::ProbeModel) the suites and bench
+//! share).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod server;
+pub mod testing;
+pub mod zoo;
+
+pub use clock::{Clock, RealClock, SimClock};
+pub use server::{
+    Completed, Priority, Rejected, Request, ServeConfig, ServeError, ServeStats, Server, TicketId,
+};
+pub use zoo::{ModelEntry, ModelSlot, ModelZoo, DEFAULT_MODEL};

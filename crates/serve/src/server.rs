@@ -1,0 +1,689 @@
+//! The request queue, batcher and execution engine.
+//!
+//! ## Control flow
+//!
+//! A [`Server`] is a *sans-I/O* service core driven by one owning loop
+//! (`&mut self` methods — no internal command threads): callers
+//! [`Server::submit`] requests and [`Server::poll`] the batcher; transports
+//! (a socket loop, the load generator, a test) live outside. This is what
+//! the workspace's `#![forbid(unsafe_code)]` scoped-pool design wants: the
+//! server loop owns all long-lived state and *scopes* each batch into the
+//! `litho-parallel` pool, rather than parking work on persistent threads.
+//!
+//! ## Batching policy
+//!
+//! Requests queue per priority class (FIFO within a class). A flush happens
+//! when either trigger fires:
+//!
+//! - **size** — at least [`ServeConfig::max_batch`] requests are queued;
+//! - **deadline** — some queued request's deadline (admission time +
+//!   [`ServeConfig::max_wait`]) has passed.
+//!
+//! [`Server::poll`] flushes repeatedly until neither trigger holds, so after
+//! any poll no overdue request is left queued. Drivers that poll at
+//! [`Server::next_deadline`] (the test harness, the load generator) give
+//! every request a flush time no later than its deadline — the property the
+//! batcher suite proves.
+//!
+//! ## Admission control
+//!
+//! The queue is bounded ([`ServeConfig::queue_capacity`], all classes
+//! combined). A request arriving at a full queue is **shed**: rejected
+//! explicitly ([`Rejected::QueueFull`]), counted, and never touches a
+//! worker context. Overload therefore degrades into a bounded queue with an
+//! explicit shed rate instead of an unbounded latency spiral.
+//!
+//! ## Model pinning
+//!
+//! `submit` resolves the request's model name to the zoo's current
+//! [`ModelEntry`] *at admission* and pins it. A hot-swap
+//! between admission and execution does not retarget queued requests: they
+//! finish on the model generation they were admitted under (each
+//! [`Completed`] records it).
+
+use crate::clock::Clock;
+use crate::zoo::{ModelEntry, ModelZoo, DEFAULT_MODEL};
+use litho_nn::CtxBank;
+use litho_parallel::Pool;
+use litho_tensor::Tensor;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Batching, queueing and admission parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Bound on queued (admitted, not yet flushed) requests across all
+    /// priority classes; arrivals beyond it are shed. Clamped to ≥ 1.
+    pub queue_capacity: usize,
+    /// Flush as soon as this many requests are queued. Clamped to ≥ 1.
+    pub max_batch: usize,
+    /// Deadline slack per request: a request admitted at `t` must be
+    /// flushed by `t + max_wait`, even if the batch is not full.
+    pub max_wait: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 64,
+            max_batch: 8,
+            max_wait: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Request priority class. Batches drain [`Priority::High`] first and FIFO
+/// within a class; under sustained higher-priority load, lower classes only
+/// flush via their deadlines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum Priority {
+    /// Drained first.
+    High,
+    /// The default class.
+    #[default]
+    Normal,
+    /// Drained last.
+    Low,
+}
+
+impl Priority {
+    /// All classes, in drain order.
+    pub const ALL: [Priority; 3] = [Priority::High, Priority::Normal, Priority::Low];
+
+    fn index(self) -> usize {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+}
+
+/// Handle for an admitted request; monotonically increasing in admission
+/// order (across all classes), which is what the FIFO-fairness property
+/// checks against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TicketId(u64);
+
+impl TicketId {
+    /// The raw admission sequence number.
+    pub fn id(self) -> u64 {
+        self.0
+    }
+}
+
+/// An inference request: one input tile plus routing metadata.
+#[derive(Debug)]
+pub struct Request {
+    input: Tensor,
+    priority: Priority,
+    model: Option<String>,
+}
+
+impl Request {
+    /// A [`Priority::Normal`] request for the zoo's default model.
+    pub fn new(input: Tensor) -> Self {
+        Self {
+            input,
+            priority: Priority::Normal,
+            model: None,
+        }
+    }
+
+    /// Sets the priority class.
+    #[must_use]
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Routes to a named zoo slot instead of [`DEFAULT_MODEL`].
+    #[must_use]
+    pub fn with_model(mut self, name: impl Into<String>) -> Self {
+        self.model = Some(name.into());
+        self
+    }
+}
+
+/// Why [`Server::submit`] refused a request. Rejection is part of the API —
+/// overload produces explicit `Rejected` responses, not hidden latency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rejected {
+    /// The bounded queue is full; the request was shed.
+    QueueFull {
+        /// The configured capacity that was hit.
+        capacity: usize,
+    },
+    /// No zoo slot is registered under this name.
+    UnknownModel(String),
+}
+
+impl std::fmt::Display for Rejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rejected::QueueFull { capacity } => {
+                write!(f, "queue full (capacity {capacity}); request shed")
+            }
+            Rejected::UnknownModel(name) => write!(f, "no model registered under '{name}'"),
+        }
+    }
+}
+
+impl std::error::Error for Rejected {}
+
+/// Why an admitted request failed during execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The model's forward panicked on this request's input. Only this
+    /// request fails; the batch's other requests and the server survive.
+    WorkerPanicked(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::WorkerPanicked(msg) => write!(f, "worker panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A finished request: output (or failure) plus the full timing/identity
+/// record the metrics pipeline needs.
+#[derive(Debug)]
+pub struct Completed {
+    /// The admission ticket.
+    pub ticket: TicketId,
+    /// The request's priority class.
+    pub priority: Priority,
+    /// Admission time.
+    pub arrival: Duration,
+    /// `arrival + max_wait` — the latest permissible flush time.
+    pub deadline: Duration,
+    /// When the batcher drained this request from the queue.
+    pub flushed_at: Duration,
+    /// When its batch finished executing (includes compute on a real clock).
+    pub completed_at: Duration,
+    /// The model generation pinned at admission.
+    pub generation: u64,
+    /// The model output, or the per-request failure.
+    pub result: Result<Tensor, ServeError>,
+}
+
+impl Completed {
+    /// Time spent queued before the flush.
+    pub fn queue_wait(&self) -> Duration {
+        self.flushed_at.saturating_sub(self.arrival)
+    }
+
+    /// End-to-end latency (admission → batch completion).
+    pub fn latency(&self) -> Duration {
+        self.completed_at.saturating_sub(self.arrival)
+    }
+}
+
+/// Monotonic counters describing everything the server has done.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests admitted to the queue.
+    pub admitted: u64,
+    /// Requests shed at admission (queue full).
+    pub shed: u64,
+    /// Requests refused because their model name resolved to nothing.
+    pub unknown_model: u64,
+    /// Requests that finished with an output.
+    pub completed: u64,
+    /// Requests that failed (worker panic).
+    pub failed: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Requests summed over all executed batches.
+    pub batched_tiles: u64,
+    /// Batches triggered by the queue reaching `max_batch`.
+    pub size_flushes: u64,
+    /// Batches triggered by a request deadline.
+    pub deadline_flushes: u64,
+    /// Batches triggered by [`Server::flush_now`].
+    pub forced_flushes: u64,
+}
+
+struct Pending {
+    ticket: TicketId,
+    priority: Priority,
+    arrival: Duration,
+    deadline: Duration,
+    entry: Arc<ModelEntry>,
+    input: Tensor,
+}
+
+enum Trigger {
+    Size,
+    Deadline,
+    Forced,
+}
+
+/// The batched inference server core. See the module docs for the design.
+///
+/// # Examples
+///
+/// ```
+/// use litho_serve::{ModelZoo, Request, ServeConfig, Server, SimClock};
+/// use litho_serve::testing::ProbeModel;
+/// use litho_tensor::Tensor;
+/// use std::sync::Arc;
+/// use std::time::Duration;
+///
+/// let clock = Arc::new(SimClock::new());
+/// let zoo = ModelZoo::with_default(Box::new(ProbeModel::new(2.0)));
+/// let mut server = Server::new(zoo, ServeConfig::default(), clock.clone());
+///
+/// let t = server
+///     .submit(Request::new(Tensor::from_vec(vec![1.0, 3.0], &[1, 1, 1, 2])))
+///     .unwrap();
+/// assert_eq!(server.poll(), 0); // batch not full, deadline not reached
+/// clock.advance(Duration::from_millis(5)); // past the 2 ms max_wait
+/// assert_eq!(server.poll(), 1); // deadline flush
+/// let done = server.take(t).unwrap();
+/// assert_eq!(done.result.unwrap().as_slice(), &[2.0, 6.0]);
+/// ```
+pub struct Server {
+    clock: Arc<dyn Clock>,
+    zoo: ModelZoo,
+    cfg: ServeConfig,
+    ctxs: CtxBank,
+    queues: [VecDeque<Pending>; 3],
+    queued: usize,
+    next_ticket: u64,
+    done: VecDeque<Completed>,
+    stats: ServeStats,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("cfg", &self.cfg)
+            .field("queued", &self.queued)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Server {
+    /// A server fanning batches out on the process-wide
+    /// [`litho_parallel::global`] pool (`LITHO_THREADS` to configure).
+    pub fn new(zoo: ModelZoo, cfg: ServeConfig, clock: Arc<dyn Clock>) -> Self {
+        Self::with_pool(zoo, cfg, clock, litho_parallel::global())
+    }
+
+    /// A server on an explicit pool (the determinism suites run pools
+    /// 1/2/4). Outputs are bit-identical for any pool size: which worker
+    /// context an item lands on changes where its buffers come from, never
+    /// its arithmetic.
+    pub fn with_pool(zoo: ModelZoo, cfg: ServeConfig, clock: Arc<dyn Clock>, pool: &Pool) -> Self {
+        let cfg = ServeConfig {
+            queue_capacity: cfg.queue_capacity.max(1),
+            max_batch: cfg.max_batch.max(1),
+            max_wait: cfg.max_wait,
+        };
+        Self {
+            clock,
+            zoo,
+            cfg,
+            ctxs: CtxBank::new(pool),
+            queues: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+            queued: 0,
+            next_ticket: 0,
+            done: VecDeque::new(),
+            stats: ServeStats::default(),
+        }
+    }
+
+    /// The model zoo (register/swap slots through this).
+    pub fn zoo(&self) -> &ModelZoo {
+        &self.zoo
+    }
+
+    /// The effective (clamped) configuration.
+    pub fn config(&self) -> ServeConfig {
+        self.cfg
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> ServeStats {
+        self.stats
+    }
+
+    /// Requests currently queued (admitted, not yet flushed).
+    pub fn queued(&self) -> usize {
+        self.queued
+    }
+
+    /// Finished requests not yet taken.
+    pub fn pending_responses(&self) -> usize {
+        self.done.len()
+    }
+
+    /// Aggregate `(hits, misses)` of the worker contexts' buffer pools.
+    /// Shed requests never touch a context, so these move only when batches
+    /// execute.
+    pub fn ctx_alloc_stats(&self) -> (u64, u64) {
+        self.ctxs.alloc_stats()
+    }
+
+    /// Drops the worker contexts' pooled buffers (call after hot-swapping
+    /// to a model of a different architecture, whose activation shapes no
+    /// longer match the pooled buffers).
+    pub fn clear_ctxs(&mut self) {
+        self.ctxs.clear();
+    }
+
+    /// Admission: resolves and pins the model, stamps arrival and deadline,
+    /// and enqueues — or sheds.
+    ///
+    /// # Errors
+    ///
+    /// [`Rejected::UnknownModel`] if the request names an unregistered
+    /// model; [`Rejected::QueueFull`] if the bounded queue is at capacity.
+    /// Neither consumes a ticket or touches a worker context.
+    pub fn submit(&mut self, req: Request) -> Result<TicketId, Rejected> {
+        let name = req.model.as_deref().unwrap_or(DEFAULT_MODEL);
+        let Some(entry) = self.zoo.resolve(name) else {
+            self.stats.unknown_model += 1;
+            return Err(Rejected::UnknownModel(name.to_string()));
+        };
+        if self.queued >= self.cfg.queue_capacity {
+            self.stats.shed += 1;
+            return Err(Rejected::QueueFull {
+                capacity: self.cfg.queue_capacity,
+            });
+        }
+        let ticket = TicketId(self.next_ticket);
+        self.next_ticket += 1;
+        let arrival = self.clock.now();
+        self.queues[req.priority.index()].push_back(Pending {
+            ticket,
+            priority: req.priority,
+            arrival,
+            deadline: arrival + self.cfg.max_wait,
+            entry,
+            input: req.input,
+        });
+        self.queued += 1;
+        self.stats.admitted += 1;
+        Ok(ticket)
+    }
+
+    /// The earliest deadline among queued requests — the next time a driver
+    /// must poll by. `None` when the queue is empty.
+    pub fn next_deadline(&self) -> Option<Duration> {
+        self.queues
+            .iter()
+            .flat_map(|q| q.iter().map(|p| p.deadline))
+            .min()
+    }
+
+    /// Runs the batcher: flushes (and executes) batches while either
+    /// trigger — size or deadline — holds, and returns how many batches
+    /// ran. On return, the queue holds fewer than `max_batch` requests and
+    /// none of them is overdue.
+    pub fn poll(&mut self) -> usize {
+        let mut flushes = 0;
+        loop {
+            let now = self.clock.now();
+            let trigger = if self.queued >= self.cfg.max_batch {
+                Trigger::Size
+            } else if self.next_deadline().is_some_and(|d| d <= now) {
+                Trigger::Deadline
+            } else {
+                break;
+            };
+            let batch = self.drain_batch();
+            self.execute(batch, now, trigger);
+            flushes += 1;
+        }
+        flushes
+    }
+
+    /// Flushes everything queued, regardless of triggers (drain on
+    /// shutdown / end of a load run). Returns the number of batches run.
+    pub fn flush_now(&mut self) -> usize {
+        let mut flushes = 0;
+        while self.queued > 0 {
+            let now = self.clock.now();
+            let batch = self.drain_batch();
+            self.execute(batch, now, Trigger::Forced);
+            flushes += 1;
+        }
+        flushes
+    }
+
+    /// Takes the response for `ticket`, if it has finished.
+    pub fn take(&mut self, ticket: TicketId) -> Option<Completed> {
+        let idx = self.done.iter().position(|c| c.ticket == ticket)?;
+        self.done.remove(idx)
+    }
+
+    /// Takes every finished response, in completion order (batch by batch;
+    /// priority order within a batch).
+    pub fn drain_completed(&mut self) -> Vec<Completed> {
+        self.done.drain(..).collect()
+    }
+
+    /// Up to `max_batch` requests: all of `High` first, then `Normal`, then
+    /// `Low`; FIFO within each class.
+    fn drain_batch(&mut self) -> Vec<Pending> {
+        let take = self.cfg.max_batch.min(self.queued);
+        let mut batch = Vec::with_capacity(take);
+        for q in &mut self.queues {
+            while batch.len() < take {
+                match q.pop_front() {
+                    Some(p) => batch.push(p),
+                    None => break,
+                }
+            }
+        }
+        self.queued -= batch.len();
+        batch
+    }
+
+    /// Runs one batch over the persistent worker contexts. A panic inside a
+    /// model's forward is contained to its own request: it is caught in the
+    /// worker closure (before it can unwind into the pool scope), recorded
+    /// as [`ServeError::WorkerPanicked`], and every other request in the
+    /// batch completes normally.
+    fn execute(&mut self, batch: Vec<Pending>, flushed_at: Duration, trigger: Trigger) {
+        if batch.is_empty() {
+            return;
+        }
+        self.stats.batches += 1;
+        self.stats.batched_tiles += batch.len() as u64;
+        match trigger {
+            Trigger::Size => self.stats.size_flushes += 1,
+            Trigger::Deadline => self.stats.deadline_flushes += 1,
+            Trigger::Forced => self.stats.forced_flushes += 1,
+        }
+        let results = self.ctxs.par_map_consume(batch, |ctx, p| {
+            let Pending {
+                ticket,
+                priority,
+                arrival,
+                deadline,
+                entry,
+                input,
+            } = p;
+            let generation = entry.generation();
+            let result = catch_unwind(AssertUnwindSafe(|| entry.model().infer(ctx, input)))
+                .map_err(|payload| ServeError::WorkerPanicked(panic_message(payload.as_ref())));
+            (ticket, priority, arrival, deadline, generation, result)
+        });
+        let completed_at = self.clock.now();
+        for (ticket, priority, arrival, deadline, generation, result) in results {
+            match &result {
+                Ok(_) => self.stats.completed += 1,
+                Err(_) => self.stats.failed += 1,
+            }
+            self.done.push_back(Completed {
+                ticket,
+                priority,
+                arrival,
+                deadline,
+                flushed_at,
+                completed_at,
+                generation,
+                result,
+            });
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::SimClock;
+    use crate::testing::ProbeModel;
+
+    fn tile(vals: &[f32]) -> Tensor {
+        Tensor::from_vec(vals.to_vec(), &[1, 1, 1, vals.len()])
+    }
+
+    fn server(cfg: ServeConfig) -> (Arc<SimClock>, Server) {
+        let clock = Arc::new(SimClock::new());
+        let zoo = ModelZoo::with_default(Box::new(ProbeModel::new(2.0)));
+        let server = Server::with_pool(zoo, cfg, clock.clone(), &Pool::new(1));
+        (clock, server)
+    }
+
+    #[test]
+    fn size_trigger_flushes_exactly_at_max_batch() {
+        let (_clock, mut server) = server(ServeConfig {
+            max_batch: 3,
+            ..ServeConfig::default()
+        });
+        for i in 0..2 {
+            server.submit(Request::new(tile(&[i as f32]))).unwrap();
+            assert_eq!(server.poll(), 0, "below max_batch: no flush");
+        }
+        server.submit(Request::new(tile(&[9.0]))).unwrap();
+        assert_eq!(server.poll(), 1);
+        assert_eq!(server.queued(), 0);
+        let stats = server.stats();
+        assert_eq!(stats.size_flushes, 1);
+        assert_eq!(stats.deadline_flushes, 0);
+        assert_eq!(stats.completed, 3);
+    }
+
+    #[test]
+    fn deadline_trigger_fires_at_exactly_max_wait() {
+        let (clock, mut server) = server(ServeConfig {
+            max_batch: 100,
+            max_wait: Duration::from_millis(10),
+            ..ServeConfig::default()
+        });
+        let t = server.submit(Request::new(tile(&[1.0]))).unwrap();
+        assert_eq!(server.next_deadline(), Some(Duration::from_millis(10)));
+        clock.set(Duration::from_nanos(9_999_999));
+        assert_eq!(server.poll(), 0, "one ns early: no flush");
+        clock.set(Duration::from_millis(10));
+        assert_eq!(server.poll(), 1, "exactly at the deadline: flush");
+        let done = server.take(t).unwrap();
+        assert_eq!(done.flushed_at, Duration::from_millis(10));
+        assert_eq!(done.queue_wait(), Duration::from_millis(10));
+        assert_eq!(server.stats().deadline_flushes, 1);
+    }
+
+    #[test]
+    fn poll_drains_every_overdue_request_across_batches() {
+        let (clock, mut server) = server(ServeConfig {
+            max_batch: 2,
+            queue_capacity: 64,
+            max_wait: Duration::from_millis(1),
+        });
+        // 5 requests, all overdue after the jump: poll must run ⌈5/2⌉
+        // batches in one call, leaving nothing overdue behind
+        let mut tickets = Vec::new();
+        for i in 0..5 {
+            tickets.push(server.submit(Request::new(tile(&[i as f32]))).unwrap());
+        }
+        // two size-triggered batches are already due (4 of 5 requests)
+        clock.advance(Duration::from_millis(5));
+        let flushes = server.poll();
+        assert_eq!(flushes, 3);
+        assert_eq!(server.queued(), 0);
+        for t in tickets {
+            assert!(server.take(t).is_some());
+        }
+    }
+
+    #[test]
+    fn responses_match_inputs_by_ticket() {
+        let (_clock, mut server) = server(ServeConfig {
+            max_batch: 4,
+            ..ServeConfig::default()
+        });
+        let a = server.submit(Request::new(tile(&[1.0, 2.0]))).unwrap();
+        let b = server.submit(Request::new(tile(&[-3.0]))).unwrap();
+        server.flush_now();
+        assert_eq!(
+            server.take(a).unwrap().result.unwrap().as_slice(),
+            &[2.0, 4.0]
+        );
+        assert_eq!(server.take(b).unwrap().result.unwrap().as_slice(), &[-6.0]);
+        assert!(server.take(a).is_none(), "a response can be taken once");
+    }
+
+    #[test]
+    fn unknown_model_is_not_shed() {
+        let (_clock, mut server) = server(ServeConfig::default());
+        let err = server
+            .submit(Request::new(tile(&[1.0])).with_model("nope"))
+            .unwrap_err();
+        assert_eq!(err, Rejected::UnknownModel("nope".to_string()));
+        let stats = server.stats();
+        assert_eq!(stats.unknown_model, 1);
+        assert_eq!(stats.shed, 0);
+        assert_eq!(stats.admitted, 0);
+    }
+
+    #[test]
+    fn priority_classes_drain_in_order_within_one_batch() {
+        let (_clock, mut server) = server(ServeConfig {
+            max_batch: 6,
+            ..ServeConfig::default()
+        });
+        let low = server
+            .submit(Request::new(tile(&[1.0])).with_priority(Priority::Low))
+            .unwrap();
+        let norm = server.submit(Request::new(tile(&[2.0]))).unwrap();
+        let high = server
+            .submit(Request::new(tile(&[3.0])).with_priority(Priority::High))
+            .unwrap();
+        server.flush_now();
+        let order: Vec<TicketId> = server.drain_completed().iter().map(|c| c.ticket).collect();
+        assert_eq!(order, vec![high, norm, low]);
+    }
+
+    #[test]
+    fn config_clamps_degenerate_values() {
+        let (_clock, server) = server(ServeConfig {
+            queue_capacity: 0,
+            max_batch: 0,
+            max_wait: Duration::ZERO,
+        });
+        assert_eq!(server.config().queue_capacity, 1);
+        assert_eq!(server.config().max_batch, 1);
+    }
+}

@@ -1,0 +1,96 @@
+//! Test instrumentation models.
+//!
+//! The serve test suites need a model that is (a) cheap enough to run
+//! thousands of times under a property test, (b) checkpointable (so
+//! hot-swap paths run end-to-end through `litho_nn::{save,load}_params`),
+//! and (c) able to fail on demand (fault-injection). [`ProbeModel`] is all
+//! three; it lives in the library (not `#[cfg(test)]`) so the integration
+//! tests, doctests and the bench harness can share it.
+
+use litho_nn::{ops, Graph, InferCtx, Module, Param, Var};
+use litho_tensor::Tensor;
+
+/// A one-parameter model: `y = scale · x`, with a deliberate panic on
+/// non-finite inputs.
+///
+/// - The single `[1]` parameter (`"probe.scale"`) makes checkpoints
+///   meaningful: two probes with different scales produce visibly different
+///   outputs, so swap tests can assert *which* weights served a request.
+/// - `infer` draws its output from the [`InferCtx`] pool (one alloc per
+///   call) and recycles its input, so backpressure tests can count context
+///   consumption exactly.
+/// - Feeding any NaN or infinity panics — the fault-injection vehicle for
+///   "a panicking worker closure fails only its own request".
+#[derive(Debug)]
+pub struct ProbeModel {
+    scale: Param,
+}
+
+impl ProbeModel {
+    /// A probe multiplying by `scale`.
+    pub fn new(scale: f32) -> Self {
+        Self {
+            scale: Param::new(Tensor::from_vec(vec![scale], &[1]), "probe.scale"),
+        }
+    }
+
+    /// The current scale value.
+    pub fn scale(&self) -> f32 {
+        self.scale.value().as_slice()[0]
+    }
+}
+
+impl Module for ProbeModel {
+    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        // the scale enters as a constant (this model is a serving probe,
+        // not a training vehicle); params() still exposes it for checkpoints
+        ops::scale(g, x, self.scale())
+    }
+
+    fn infer(&self, ctx: &mut InferCtx, x: Tensor) -> Tensor {
+        assert!(
+            x.as_slice().iter().all(|v| v.is_finite()),
+            "ProbeModel fed a non-finite input"
+        );
+        let s = self.scale();
+        let mut out = ctx.alloc(x.shape());
+        for (o, &v) in out.as_mut_slice().iter_mut().zip(x.as_slice()) {
+            *o = s * v;
+        }
+        ctx.recycle(x);
+        out
+    }
+
+    fn params(&self) -> Vec<Param> {
+        vec![self.scale.clone()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_scales_and_roundtrips_checkpoints() {
+        let m = ProbeModel::new(3.0);
+        let x = Tensor::from_vec(vec![1.0, -2.0], &[1, 1, 1, 2]);
+        let mut ctx = InferCtx::new();
+        let y = m.infer(&mut ctx, x);
+        assert_eq!(y.as_slice(), &[3.0, -6.0]);
+
+        let path = std::env::temp_dir().join(format!("serve_probe_{}.ckpt", std::process::id()));
+        litho_nn::save_params(&path, &m.params()).unwrap();
+        let m2 = ProbeModel::new(0.0);
+        litho_nn::load_params(&path, &m2.params()).unwrap();
+        assert_eq!(m2.scale(), 3.0);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn probe_panics_on_nan() {
+        let m = ProbeModel::new(1.0);
+        let mut ctx = InferCtx::new();
+        let _ = m.infer(&mut ctx, Tensor::from_vec(vec![f32::NAN], &[1, 1, 1, 1]));
+    }
+}

@@ -1,0 +1,250 @@
+//! Model zoo with atomic hot-swap.
+//!
+//! A [`ModelZoo`] maps names to [`ModelSlot`]s; each slot holds the current
+//! [`ModelEntry`] (model + monotonically increasing generation) behind an
+//! `RwLock<Arc<…>>`. Swapping publishes a *new* entry by replacing the `Arc`
+//! under the write lock — a single pointer-sized commit — so:
+//!
+//! - readers never observe a half-updated model (the entry behind an `Arc`
+//!   is immutable once published);
+//! - requests that resolved their entry before the swap keep their `Arc`
+//!   and **finish on the old model** — generation pinning happens at
+//!   admission, see [`crate::Server::submit`];
+//! - a failed checkpoint load aborts *before* the swap, leaving the serving
+//!   entry untouched. This leans on `litho_nn::load_params`' own
+//!   stage-then-commit contract: the staging model is only published if the
+//!   whole file parsed and matched.
+
+use litho_nn::Module;
+use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+use std::sync::{Arc, RwLock};
+
+/// The name [`crate::Request`]s resolve to when they don't pick a model.
+pub const DEFAULT_MODEL: &str = "default";
+
+/// One published model version: the model plus the generation that
+/// published it. Immutable once behind an `Arc` — a swap makes a new entry.
+pub struct ModelEntry {
+    name: String,
+    generation: u64,
+    model: Box<dyn Module + Send + Sync>,
+}
+
+impl ModelEntry {
+    /// The slot name this entry was published under.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Generation counter: 0 for the initially registered model, +1 per
+    /// swap. In-flight requests report the generation they were pinned to.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The model itself.
+    pub fn model(&self) -> &(dyn Module + Send + Sync) {
+        self.model.as_ref()
+    }
+}
+
+impl std::fmt::Debug for ModelEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelEntry")
+            .field("name", &self.name)
+            .field("generation", &self.generation)
+            .field("params", &self.model.param_count())
+            .finish()
+    }
+}
+
+/// A named, hot-swappable model slot.
+#[derive(Debug)]
+pub struct ModelSlot {
+    current: RwLock<Arc<ModelEntry>>,
+}
+
+impl ModelSlot {
+    /// A slot serving `model` at generation 0. The model is switched to
+    /// eval mode: serving forwards must not mutate batch-norm running
+    /// statistics (and eval mode is what makes batched results
+    /// order-independent).
+    pub fn new(name: impl Into<String>, model: Box<dyn Module + Send + Sync>) -> Self {
+        model.set_training(false);
+        Self {
+            current: RwLock::new(Arc::new(ModelEntry {
+                name: name.into(),
+                generation: 0,
+                model,
+            })),
+        }
+    }
+
+    fn read(&self) -> Arc<ModelEntry> {
+        Arc::clone(&self.current.read().expect("model slot lock poisoned"))
+    }
+
+    /// The currently published entry. Callers that hold the returned `Arc`
+    /// across a swap keep serving the old model — that's the point.
+    pub fn current(&self) -> Arc<ModelEntry> {
+        self.read()
+    }
+
+    /// The currently published generation.
+    pub fn generation(&self) -> u64 {
+        self.read().generation
+    }
+
+    /// Publishes `model` as the new current entry and returns its
+    /// generation. The swap is atomic: a reader sees either the old entry or
+    /// the new one, never a mixture. The model is switched to eval mode.
+    pub fn swap_model(&self, model: Box<dyn Module + Send + Sync>) -> u64 {
+        model.set_training(false);
+        let mut w = self.current.write().expect("model slot lock poisoned");
+        let generation = w.generation + 1;
+        *w = Arc::new(ModelEntry {
+            name: w.name.clone(),
+            generation,
+            model,
+        });
+        generation
+    }
+
+    /// Loads the checkpoint at `path` into `staging` (a freshly built model
+    /// of the same architecture) and, only if the load fully succeeds,
+    /// publishes it. On any error — missing file, truncation, corruption,
+    /// count/name/shape mismatch — the staging model is dropped and the
+    /// serving entry is **untouched**: same model, same generation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `litho_nn::load_params` errors verbatim.
+    pub fn swap_checkpoint(
+        &self,
+        staging: Box<dyn Module + Send + Sync>,
+        path: impl AsRef<Path>,
+    ) -> io::Result<u64> {
+        litho_nn::load_params(path, &staging.params())?;
+        Ok(self.swap_model(staging))
+    }
+}
+
+/// Named collection of [`ModelSlot`]s.
+///
+/// Registration and lookup take `&self` (interior `RwLock`), so an admin
+/// thread holding a slot `Arc` can swap checkpoints while the serving loop
+/// resolves requests.
+#[derive(Debug, Default)]
+pub struct ModelZoo {
+    slots: RwLock<HashMap<String, Arc<ModelSlot>>>,
+}
+
+impl ModelZoo {
+    /// An empty zoo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A zoo whose [`DEFAULT_MODEL`] slot serves `model` — the common
+    /// single-model server.
+    pub fn with_default(model: Box<dyn Module + Send + Sync>) -> Self {
+        let zoo = Self::new();
+        zoo.register(DEFAULT_MODEL, model);
+        zoo
+    }
+
+    /// Registers (or replaces the slot of) `name`, returning the slot for
+    /// later hot-swaps.
+    pub fn register(
+        &self,
+        name: impl Into<String>,
+        model: Box<dyn Module + Send + Sync>,
+    ) -> Arc<ModelSlot> {
+        let name = name.into();
+        let slot = Arc::new(ModelSlot::new(name.clone(), model));
+        self.slots
+            .write()
+            .expect("zoo lock poisoned")
+            .insert(name, Arc::clone(&slot));
+        slot
+    }
+
+    /// The slot registered under `name`, if any.
+    pub fn slot(&self, name: &str) -> Option<Arc<ModelSlot>> {
+        self.slots
+            .read()
+            .expect("zoo lock poisoned")
+            .get(name)
+            .map(Arc::clone)
+    }
+
+    /// Resolves `name` to its currently published entry (the admission-time
+    /// pinning step).
+    pub fn resolve(&self, name: &str) -> Option<Arc<ModelEntry>> {
+        self.slot(name).map(|s| s.current())
+    }
+
+    /// Registered slot names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .slots
+            .read()
+            .expect("zoo lock poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::ProbeModel;
+
+    #[test]
+    fn swap_bumps_generation_and_old_arcs_survive() {
+        let slot = ModelSlot::new("m", Box::new(ProbeModel::new(2.0)));
+        let old = slot.current();
+        assert_eq!(old.generation(), 0);
+        let g = slot.swap_model(Box::new(ProbeModel::new(3.0)));
+        assert_eq!(g, 1);
+        assert_eq!(slot.generation(), 1);
+        // the pinned entry still serves the old weights
+        assert_eq!(old.generation(), 0);
+        let x = litho_tensor::Tensor::from_vec(vec![1.0, 2.0], &[1, 1, 1, 2]);
+        let mut ctx = litho_nn::InferCtx::new();
+        let y = old.model().infer(&mut ctx, x);
+        assert_eq!(y.as_slice(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn zoo_resolves_and_lists() {
+        let zoo = ModelZoo::with_default(Box::new(ProbeModel::new(1.0)));
+        zoo.register("b", Box::new(ProbeModel::new(5.0)));
+        assert_eq!(
+            zoo.names(),
+            vec!["b".to_string(), DEFAULT_MODEL.to_string()]
+        );
+        assert!(zoo.resolve(DEFAULT_MODEL).is_some());
+        assert!(zoo.resolve("missing").is_none());
+    }
+
+    #[test]
+    fn failed_checkpoint_swap_keeps_entry_and_generation() {
+        let slot = ModelSlot::new("m", Box::new(ProbeModel::new(2.0)));
+        let path = std::env::temp_dir().join(format!("serve_zoo_{}.ckpt", std::process::id()));
+        std::fs::write(&path, b"NOTACKPT").unwrap();
+        let err = slot
+            .swap_checkpoint(Box::new(ProbeModel::new(9.0)), &path)
+            .unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+        assert_eq!(slot.generation(), 0);
+        let entry = slot.current();
+        assert_eq!(entry.generation(), 0);
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,135 @@
+//! Backpressure regression suite: the bounded queue must shed
+//! *deterministically* (exactly the arrivals beyond capacity, no more, no
+//! less), shed requests must consume **zero** worker-context resources, and
+//! admission must reopen as soon as a flush frees queue space.
+
+use litho_parallel::Pool;
+use litho_serve::testing::ProbeModel;
+use litho_serve::{ModelZoo, Priority, Rejected, Request, ServeConfig, Server, SimClock};
+use litho_tensor::Tensor;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn tile(v: f32) -> Tensor {
+    Tensor::from_vec(vec![v], &[1, 1, 1, 1])
+}
+
+fn server(capacity: usize, max_batch: usize, threads: usize) -> Server {
+    Server::with_pool(
+        ModelZoo::with_default(Box::new(ProbeModel::new(2.0))),
+        ServeConfig {
+            queue_capacity: capacity,
+            max_batch,
+            max_wait: Duration::from_millis(1),
+        },
+        Arc::new(SimClock::new()),
+        &Pool::new(threads),
+    )
+}
+
+#[test]
+fn overload_sheds_exactly_the_arrivals_beyond_capacity() {
+    for threads in [1usize, 2, 4] {
+        let capacity = 6;
+        // max_batch > capacity: the size trigger can never fire, so nothing
+        // drains while we overfill — the shed count is a pure function of
+        // the arrival count
+        let mut server = server(capacity, 16, threads);
+        let offered = 17;
+        let mut admitted = 0;
+        let mut shed = 0;
+        for i in 0..offered {
+            match server.submit(Request::new(tile(i as f32))) {
+                Ok(_) => admitted += 1,
+                Err(Rejected::QueueFull { capacity: c }) => {
+                    assert_eq!(c, capacity);
+                    shed += 1;
+                }
+                Err(other) => panic!("unexpected rejection: {other}"),
+            }
+        }
+        assert_eq!(admitted, capacity, "{threads} threads");
+        assert_eq!(shed, offered - capacity);
+        let stats = server.stats();
+        assert_eq!(stats.admitted, capacity as u64);
+        assert_eq!(stats.shed, (offered - capacity) as u64);
+        assert_eq!(stats.batches, 0, "nothing may have drained mid-test");
+    }
+}
+
+#[test]
+fn shed_requests_never_consume_an_infer_ctx() {
+    let capacity = 4;
+    let mut server = server(capacity, 8, 2);
+
+    // phase 1: shed a pile of requests against a full queue
+    for i in 0..capacity {
+        server.submit(Request::new(tile(i as f32))).unwrap();
+    }
+    for i in 0..25 {
+        let err = server.submit(Request::new(tile(i as f32))).unwrap_err();
+        assert!(matches!(err, Rejected::QueueFull { .. }));
+    }
+    // ProbeModel allocates exactly once per executed request, so context
+    // counters are an exact census of who touched a worker context: nothing
+    // has executed yet, so nothing may have touched one
+    assert_eq!(server.ctx_alloc_stats(), (0, 0), "shed must be alloc-free");
+
+    // phase 2: flush the admitted requests — only they may consume contexts
+    server.flush_now();
+    let (hits, misses) = server.ctx_alloc_stats();
+    assert_eq!(
+        hits + misses,
+        capacity as u64,
+        "exactly one ctx alloc per *admitted* request"
+    );
+
+    // phase 3: shed again post-flush; counters must not move
+    for i in 0..capacity {
+        server.submit(Request::new(tile(i as f32))).unwrap();
+    }
+    for _ in 0..9 {
+        server.submit(Request::new(tile(0.0))).unwrap_err();
+    }
+    assert_eq!(server.ctx_alloc_stats(), (hits, misses));
+
+    let stats = server.stats();
+    assert_eq!(stats.shed, 25 + 9);
+    assert_eq!(stats.completed, capacity as u64);
+}
+
+#[test]
+fn admission_reopens_after_a_flush_frees_space() {
+    let mut server = server(2, 4, 1);
+    server.submit(Request::new(tile(1.0))).unwrap();
+    server.submit(Request::new(tile(2.0))).unwrap();
+    server.submit(Request::new(tile(3.0))).unwrap_err();
+
+    server.flush_now();
+    let t = server
+        .submit(Request::new(tile(4.0)))
+        .expect("flush freed the queue");
+    server.flush_now();
+    assert_eq!(server.take(t).unwrap().result.unwrap().as_slice(), &[8.0]);
+}
+
+#[test]
+fn capacity_is_shared_across_priority_classes() {
+    // priority buys drain order, not queue space: a full queue sheds High
+    // arrivals too, and the deterministic shed count is class-blind
+    let mut server = server(3, 8, 1);
+    server
+        .submit(Request::new(tile(1.0)).with_priority(Priority::Low))
+        .unwrap();
+    server
+        .submit(Request::new(tile(2.0)).with_priority(Priority::Low))
+        .unwrap();
+    server
+        .submit(Request::new(tile(3.0)).with_priority(Priority::Low))
+        .unwrap();
+    let err = server
+        .submit(Request::new(tile(4.0)).with_priority(Priority::High))
+        .unwrap_err();
+    assert_eq!(err, Rejected::QueueFull { capacity: 3 });
+    assert_eq!(server.stats().shed, 1);
+}

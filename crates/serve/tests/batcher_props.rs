@@ -1,0 +1,210 @@
+//! Property suite for the batcher, run entirely on the simulated clock:
+//! random arrival schedules (gaps, priorities) are replayed through a
+//! driver that polls exactly when a real event loop would (at every arrival
+//! and every queue deadline), at pool sizes 1, 2 and 4. Proved here:
+//!
+//! (a) **deadline** — no request is flushed later than `arrival + max_wait`;
+//! (b) **bit-parity** — every batched output is bit-identical to per-tile
+//!     `predict` on the same model, at every pool size (including the real
+//!     DOINN network, not just the probe);
+//! (c) **FIFO fairness** — within a priority class, requests complete in
+//!     admission order.
+
+use litho_parallel::Pool;
+use litho_serve::testing::ProbeModel;
+use litho_serve::{
+    Clock, Completed, ModelZoo, Priority, Request, ServeConfig, Server, SimClock, TicketId,
+};
+use litho_tensor::Tensor;
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+const POOLS: [usize; 3] = [1, 2, 4];
+
+/// One arrival: `gap` ns after the previous one, in class `pri % 3`.
+type Arrival = (u64, u8);
+
+fn priority_of(code: u8) -> Priority {
+    match code % 3 {
+        0 => Priority::High,
+        1 => Priority::Normal,
+        _ => Priority::Low,
+    }
+}
+
+/// A recognisable per-request payload so outputs identify their input.
+fn tile_for(seq: u64) -> Tensor {
+    let base = seq as f32;
+    Tensor::from_vec(vec![base, -base, 0.5 * base + 1.0], &[1, 1, 1, 3])
+}
+
+/// Replays `schedule` through a server at `threads`, polling the way a real
+/// driver sleeps: never past a queue deadline without a poll. Returns every
+/// completion in the order the server produced it.
+fn run_schedule(threads: usize, cfg: ServeConfig, schedule: &[Arrival]) -> Vec<Completed> {
+    let clock = Arc::new(SimClock::new());
+    let zoo = ModelZoo::with_default(Box::new(ProbeModel::new(2.0)));
+    let mut server = Server::with_pool(zoo, cfg, clock.clone(), &Pool::new(threads));
+    for (seq, &(gap, pri)) in schedule.iter().enumerate() {
+        let target = clock.now() + Duration::from_nanos(gap);
+        advance_to(&mut server, &clock, target);
+        server
+            .submit(Request::new(tile_for(seq as u64)).with_priority(priority_of(pri)))
+            .expect("capacity is sized so the schedule never sheds");
+        server.poll();
+    }
+    // idle out: each remaining request flushes at its own deadline
+    while let Some(d) = server.next_deadline() {
+        advance_to(&mut server, &clock, d);
+    }
+    assert_eq!(server.queued(), 0);
+    server.drain_completed()
+}
+
+/// Moves simulated time to `target`, stopping to poll at every queue
+/// deadline on the way (the simulated analogue of "sleep until
+/// `min(next_arrival, next_deadline)`").
+fn advance_to(server: &mut Server, clock: &SimClock, target: Duration) {
+    loop {
+        match server.next_deadline() {
+            Some(d) if d <= target => {
+                if d > clock.now() {
+                    clock.set(d);
+                }
+                server.poll();
+            }
+            _ => break,
+        }
+    }
+    if target > clock.now() {
+        clock.set(target);
+    }
+    server.poll();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// (a) + (c) + probe bit-parity + pool invariance, on random schedules.
+    #[test]
+    fn batcher_properties_hold_on_random_schedules(
+        schedule in prop::collection::vec((0u64..3_000_000, 0u8..255), 1..50),
+        max_batch in 1usize..9,
+        max_wait_us in 1u64..2_000,
+    ) {
+        let cfg = ServeConfig {
+            queue_capacity: schedule.len().max(1),
+            max_batch,
+            max_wait: Duration::from_micros(max_wait_us),
+        };
+        let mut transcripts: Vec<Vec<(TicketId, Duration, Vec<u32>)>> = Vec::new();
+        for threads in POOLS {
+            let completed = run_schedule(threads, cfg, &schedule);
+            prop_assert_eq!(completed.len(), schedule.len());
+
+            // (a) no request waits past its deadline before flushing
+            for c in &completed {
+                prop_assert!(
+                    c.flushed_at <= c.deadline,
+                    "ticket {:?} flushed at {:?} past deadline {:?} ({} threads)",
+                    c.ticket, c.flushed_at, c.deadline, threads
+                );
+            }
+
+            // (c) FIFO within each priority class, in completion order
+            for class in Priority::ALL {
+                let order: Vec<TicketId> = completed
+                    .iter()
+                    .filter(|c| c.priority == class)
+                    .map(|c| c.ticket)
+                    .collect();
+                prop_assert!(
+                    order.windows(2).all(|w| w[0] < w[1]),
+                    "class {:?} completed out of admission order: {:?} ({} threads)",
+                    class, order, threads
+                );
+            }
+
+            // (b) bit-parity against the per-tile reference (probe: 2x)
+            for c in &completed {
+                let want = tile_for(c.ticket.id());
+                let got = c.result.as_ref().expect("probe never fails");
+                let expect: Vec<f32> = want.as_slice().iter().map(|v| 2.0 * v).collect();
+                prop_assert_eq!(got.as_slice(), &expect[..]);
+            }
+
+            transcripts.push(
+                completed
+                    .iter()
+                    .map(|c| {
+                        let bits = c.result.as_ref().unwrap().as_slice()
+                            .iter().map(|v| v.to_bits()).collect();
+                        (c.ticket, c.flushed_at, bits)
+                    })
+                    .collect(),
+            );
+        }
+        // pool size must not change a single decision, timestamp or bit
+        prop_assert_eq!(&transcripts[0], &transcripts[1]);
+        prop_assert_eq!(&transcripts[0], &transcripts[2]);
+    }
+}
+
+/// (b) on the real network: serving a batch of DOINN tiles produces outputs
+/// bit-identical to `doinn::predict` per tile, at pools 1, 2 and 4.
+#[test]
+fn doinn_outputs_bit_identical_to_per_tile_predict() {
+    use doinn::{predict, Doinn, DoinnConfig};
+    use litho_nn::Module;
+    use litho_tensor::init::seeded_rng;
+
+    let side = 32;
+    let tiles: Vec<Tensor> = (0..5)
+        .map(|i| {
+            let vals: Vec<f32> = (0..side * side)
+                .map(|j| if (i * 37 + j * 13) % 5 < 2 { 1.0 } else { 0.0 })
+                .collect();
+            Tensor::from_vec(vals, &[1, 1, side, side])
+        })
+        .collect();
+
+    let reference = Doinn::new(DoinnConfig::tiny(), &mut seeded_rng(7));
+    reference.set_training(false);
+    let want: Vec<Vec<u32>> = tiles
+        .iter()
+        .map(|t| {
+            predict(&reference, t.clone())
+                .as_slice()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect()
+        })
+        .collect();
+
+    for threads in POOLS {
+        // an identically seeded build boxed into the zoo: same weights
+        let model = Doinn::new(DoinnConfig::tiny(), &mut seeded_rng(7));
+        let zoo = ModelZoo::with_default(Box::new(model));
+        let clock = Arc::new(SimClock::new());
+        let mut server = Server::with_pool(
+            zoo,
+            ServeConfig {
+                max_batch: tiles.len(),
+                ..ServeConfig::default()
+            },
+            clock,
+            &Pool::new(threads),
+        );
+        let tickets: Vec<TicketId> = tiles
+            .iter()
+            .map(|t| server.submit(Request::new(t.clone())).unwrap())
+            .collect();
+        assert_eq!(server.poll(), 1, "size trigger at {threads} threads");
+        for (ticket, want_bits) in tickets.iter().zip(&want) {
+            let got = server.take(*ticket).unwrap().result.unwrap();
+            let got_bits: Vec<u32> = got.as_slice().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(&got_bits, want_bits, "{threads} threads");
+        }
+    }
+}

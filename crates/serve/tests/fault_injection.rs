@@ -1,0 +1,166 @@
+//! Fault injection: what happens when the things that *do* go wrong in a
+//! serving fleet go wrong here.
+//!
+//! - Hot-swap fed a truncated / corrupt / misshapen checkpoint file must
+//!   leave the serving model untouched (exercising `litho_nn::load_params`'
+//!   stage-then-commit contract end-to-end through the zoo), and requests
+//!   already admitted before a *successful* swap must finish on the old
+//!   model.
+//! - A model panicking inside a worker closure must fail only its own
+//!   request: the rest of the batch completes, and the server keeps serving.
+
+use litho_nn::Module;
+use litho_parallel::Pool;
+use litho_serve::testing::ProbeModel;
+use litho_serve::{ModelZoo, Request, ServeConfig, ServeError, Server, SimClock, DEFAULT_MODEL};
+use litho_tensor::Tensor;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn tile(vals: &[f32]) -> Tensor {
+    Tensor::from_vec(vals.to_vec(), &[1, 1, 1, vals.len()])
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("serve_fault_{}_{name}", std::process::id()))
+}
+
+fn probe_server(scale: f32, threads: usize) -> Server {
+    let zoo = ModelZoo::with_default(Box::new(ProbeModel::new(scale)));
+    Server::with_pool(
+        zoo,
+        ServeConfig::default(),
+        Arc::new(SimClock::new()),
+        &Pool::new(threads),
+    )
+}
+
+/// A valid checkpoint for a probe of the given scale, written to disk.
+fn probe_checkpoint(name: &str, scale: f32) -> PathBuf {
+    let path = tmp(name);
+    litho_nn::save_params(&path, &ProbeModel::new(scale).params()).unwrap();
+    path
+}
+
+#[test]
+fn corrupt_checkpoints_never_replace_the_serving_model() {
+    let good = probe_checkpoint("good.ckpt", 5.0);
+    let good_bytes = std::fs::read(&good).unwrap();
+
+    // every corruption mode load_params detects, fed through the hot-swap
+    // path: bad magic, truncation mid-payload, trailing garbage, and a
+    // checkpoint whose (valid) contents don't match the staging model
+    let bad_magic = tmp("bad_magic.ckpt");
+    std::fs::write(&bad_magic, b"XXXXXXXX").unwrap();
+    let truncated = tmp("truncated.ckpt");
+    std::fs::write(&truncated, &good_bytes[..good_bytes.len() - 2]).unwrap();
+    let trailing = tmp("trailing.ckpt");
+    let mut padded = good_bytes.clone();
+    padded.extend_from_slice(b"JUNK");
+    std::fs::write(&trailing, &padded).unwrap();
+    let missing = tmp("does_not_exist.ckpt");
+    let mismatched = tmp("mismatched.ckpt");
+    litho_nn::save_params(
+        &mismatched,
+        &[litho_nn::Param::new(
+            Tensor::from_vec(vec![1.0, 2.0], &[2]),
+            "probe.scale",
+        )],
+    )
+    .unwrap();
+
+    let mut server = probe_server(2.0, 2);
+    let slot = server.zoo().slot(DEFAULT_MODEL).unwrap();
+    for bad in [&bad_magic, &truncated, &trailing, &missing, &mismatched] {
+        let err = slot.swap_checkpoint(Box::new(ProbeModel::new(0.0)), bad);
+        assert!(err.is_err(), "{} must be rejected", bad.display());
+        assert_eq!(slot.generation(), 0, "failed swap must not bump generation");
+
+        // the server still serves the original weights after each failure
+        let t = server.submit(Request::new(tile(&[1.0]))).unwrap();
+        server.flush_now();
+        let done = server.take(t).unwrap();
+        assert_eq!(done.generation, 0);
+        assert_eq!(done.result.unwrap().as_slice(), &[2.0]);
+    }
+
+    // ...and the same slot still accepts a *valid* checkpoint afterwards
+    let gen = slot
+        .swap_checkpoint(Box::new(ProbeModel::new(0.0)), &good)
+        .unwrap();
+    assert_eq!(gen, 1);
+    let t = server.submit(Request::new(tile(&[1.0]))).unwrap();
+    server.flush_now();
+    assert_eq!(server.take(t).unwrap().result.unwrap().as_slice(), &[5.0]);
+
+    for p in [good, bad_magic, truncated, trailing, mismatched] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
+fn requests_admitted_before_a_swap_finish_on_the_old_model() {
+    let ckpt = probe_checkpoint("swap_mid_queue.ckpt", 10.0);
+    let mut server = probe_server(3.0, 2);
+
+    // admitted (and pinned) while generation 0 is current
+    let before = server.submit(Request::new(tile(&[1.0]))).unwrap();
+
+    let slot = server.zoo().slot(DEFAULT_MODEL).unwrap();
+    let gen = slot
+        .swap_checkpoint(Box::new(ProbeModel::new(0.0)), &ckpt)
+        .unwrap();
+    assert_eq!(gen, 1);
+
+    // admitted after the swap: pinned to generation 1
+    let after = server.submit(Request::new(tile(&[1.0]))).unwrap();
+    server.flush_now();
+
+    let b = server.take(before).unwrap();
+    assert_eq!(b.generation, 0, "pinned at admission, not at flush");
+    assert_eq!(b.result.unwrap().as_slice(), &[3.0], "old weights served");
+    let a = server.take(after).unwrap();
+    assert_eq!(a.generation, 1);
+    assert_eq!(a.result.unwrap().as_slice(), &[10.0], "new weights served");
+
+    std::fs::remove_file(ckpt).ok();
+}
+
+#[test]
+fn panicking_worker_fails_only_its_own_request() {
+    for threads in [1usize, 2, 4] {
+        let mut server = probe_server(2.0, threads);
+
+        // a poisoned tile (NaN makes ProbeModel panic) in the middle of an
+        // otherwise healthy batch
+        let ok_a = server.submit(Request::new(tile(&[1.0, 2.0]))).unwrap();
+        let bad = server.submit(Request::new(tile(&[f32::NAN]))).unwrap();
+        let ok_b = server.submit(Request::new(tile(&[4.0]))).unwrap();
+        server.flush_now();
+
+        assert_eq!(
+            server.take(ok_a).unwrap().result.unwrap().as_slice(),
+            &[2.0, 4.0],
+            "{threads} threads"
+        );
+        match server.take(bad).unwrap().result {
+            Err(ServeError::WorkerPanicked(msg)) => {
+                assert!(msg.contains("non-finite"), "panic message surfaced: {msg}")
+            }
+            other => panic!("expected a contained panic, got {other:?}"),
+        }
+        assert_eq!(
+            server.take(ok_b).unwrap().result.unwrap().as_slice(),
+            &[8.0]
+        );
+
+        let stats = server.stats();
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.failed, 1);
+
+        // the server is not poisoned: the next batch works normally
+        let t = server.submit(Request::new(tile(&[5.0]))).unwrap();
+        server.flush_now();
+        assert_eq!(server.take(t).unwrap().result.unwrap().as_slice(), &[10.0]);
+    }
+}

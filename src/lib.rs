@@ -4,7 +4,7 @@
 //! reproduction of *"Generic Lithography Modeling with Dual-band
 //! Optics-Inspired Neural Networks"* (Yang et al., DAC 2022).
 //!
-//! The real code lives in the ten workspace crates; this crate exists so the
+//! The real code lives in the eleven workspace crates; this crate exists so the
 //! top-level `examples/` and `tests/` can exercise the full cross-crate
 //! pipeline, and re-exports each crate under a short alias for convenience:
 //!
@@ -19,6 +19,7 @@
 //! | [`layout`] | `litho-layout` | layout synthesis, ILT OPC, SRAFs |
 //! | [`data`] | `litho-data` | dataset synthesis and caching |
 //! | [`doinn`] | `doinn` | the DOINN network and baselines |
+//! | [`serve`] | `litho-serve` | batched inference service with deterministic-clock batching |
 //! | [`bench`](mod@bench) | `litho-bench` | experiment harness for tables/figures |
 //!
 //! The FFT, convolution and large-tile hot paths are multi-threaded through
@@ -39,4 +40,5 @@ pub use litho_layout as layout;
 pub use litho_nn as nn;
 pub use litho_optics as optics;
 pub use litho_parallel as parallel;
+pub use litho_serve as serve;
 pub use litho_tensor as tensor;

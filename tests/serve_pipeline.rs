@@ -1,0 +1,180 @@
+//! End-to-end serving integration: synthesize lithography tiles with
+//! `litho-data`, serve them through a live `litho-serve` server (simulated
+//! clock, batched, multi-worker), and require the responses to be
+//! bit-identical to the `doinn::predict_batch` golden path — including
+//! across a mid-stream checkpoint hot-swap, where each request must be
+//! served by exactly the model generation it was admitted under.
+
+use litho::data::{synthesize, DatasetConfig, DatasetKind, Resolution};
+use litho::doinn::{predict_batch_with_pool, Doinn, DoinnConfig};
+use litho::nn::Module;
+use litho::parallel::Pool;
+use litho::serve::testing::ProbeModel;
+use litho::serve::{
+    ModelZoo, Priority, Request, ServeConfig, Server, SimClock, TicketId, DEFAULT_MODEL,
+};
+use litho::tensor::init::seeded_rng;
+use litho::tensor::Tensor;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A handful of real synthesized mask tiles (64×64, ISPD-like rules).
+fn mask_tiles(n: usize) -> Vec<Tensor> {
+    let mut cfg = DatasetConfig {
+        socs_kernels: 4,
+        opc_iterations: 2,
+        ..DatasetConfig::new(DatasetKind::Ispd2019Like, Resolution::Low)
+    }
+    .with_tiles(n, 0);
+    cfg.seed = 0x5E27E;
+    let ds = synthesize(&cfg);
+    ds.train
+        .into_iter()
+        .map(|(mask, _)| {
+            let shape = [1, mask.dim(0), mask.dim(1), mask.dim(2)];
+            mask.reshape(&shape)
+        })
+        .collect()
+}
+
+fn tiny_doinn(seed: u64) -> Doinn {
+    let model = Doinn::new(DoinnConfig::tiny(), &mut seeded_rng(seed));
+    model.set_training(false);
+    model
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+#[test]
+fn served_tiles_match_predict_batch_goldens() {
+    let tiles = mask_tiles(6);
+    let golden = predict_batch_with_pool(&tiny_doinn(11), &tiles, &Pool::new(1));
+
+    let clock = Arc::new(SimClock::new());
+    let zoo = ModelZoo::with_default(Box::new(tiny_doinn(11)));
+    let mut server = Server::with_pool(
+        zoo,
+        ServeConfig {
+            queue_capacity: 32,
+            max_batch: 4,
+            max_wait: Duration::from_millis(2),
+        },
+        clock.clone(),
+        &Pool::new(2),
+    );
+
+    // offered load with mixed priorities and a deliberately partial last
+    // batch, so both flush triggers (size and deadline) serve real tiles
+    let classes = [Priority::Normal, Priority::High, Priority::Low];
+    let tickets: Vec<TicketId> = tiles
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            server
+                .submit(Request::new(t.clone()).with_priority(classes[i % classes.len()]))
+                .unwrap()
+        })
+        .collect();
+    server.poll(); // size trigger: first batch of 4
+    assert_eq!(server.stats().size_flushes, 1);
+    clock.advance(Duration::from_millis(2));
+    server.poll(); // deadline trigger: remaining 2
+    assert_eq!(server.stats().deadline_flushes, 1);
+    assert_eq!(server.queued(), 0);
+
+    for (ticket, want) in tickets.iter().zip(&golden) {
+        let done = server.take(*ticket).expect("every tile served");
+        let got = done.result.expect("inference succeeded");
+        assert_eq!(
+            bits(&got),
+            bits(want),
+            "served output must be bit-identical to predict_batch"
+        );
+        assert!(done.flushed_at <= done.deadline);
+    }
+}
+
+#[test]
+fn mid_stream_hot_swap_splits_traffic_by_admission_generation() {
+    let tiles = mask_tiles(4);
+    let golden_a = predict_batch_with_pool(&tiny_doinn(11), &tiles, &Pool::new(1));
+    let golden_b = predict_batch_with_pool(&tiny_doinn(47), &tiles, &Pool::new(1));
+    // the two seeds must actually disagree, or the test proves nothing
+    assert_ne!(bits(&golden_a[0]), bits(&golden_b[0]));
+
+    // model B's weights on disk, as a checkpoint hot-swap would find them
+    let ckpt = std::env::temp_dir().join(format!("serve_pipeline_{}.ckpt", std::process::id()));
+    litho::nn::save_params(&ckpt, &tiny_doinn(47).params()).unwrap();
+
+    let zoo = ModelZoo::with_default(Box::new(tiny_doinn(11)));
+    let mut server = Server::with_pool(
+        zoo,
+        ServeConfig::default(),
+        Arc::new(SimClock::new()),
+        &Pool::new(2),
+    );
+
+    // first half admitted (pinned to generation 0), then the swap lands
+    // while they are still queued
+    let first: Vec<TicketId> = tiles[..2]
+        .iter()
+        .map(|t| server.submit(Request::new(t.clone())).unwrap())
+        .collect();
+    let slot = server.zoo().slot(DEFAULT_MODEL).unwrap();
+    let gen = slot
+        .swap_checkpoint(Box::new(tiny_doinn(999)), &ckpt)
+        .expect("valid checkpoint swaps in");
+    assert_eq!(gen, 1);
+
+    let second: Vec<TicketId> = tiles[2..]
+        .iter()
+        .map(|t| server.submit(Request::new(t.clone())).unwrap())
+        .collect();
+    server.flush_now();
+
+    for (i, t) in first.iter().enumerate() {
+        let done = server.take(*t).unwrap();
+        assert_eq!(done.generation, 0, "admitted before the swap");
+        assert_eq!(bits(&done.result.unwrap()), bits(&golden_a[i]));
+    }
+    for (i, t) in second.iter().enumerate() {
+        let done = server.take(*t).unwrap();
+        assert_eq!(done.generation, 1, "admitted after the swap");
+        assert_eq!(bits(&done.result.unwrap()), bits(&golden_b[i + 2]));
+    }
+
+    std::fs::remove_file(ckpt).ok();
+}
+
+#[test]
+fn serving_probe_and_doinn_from_one_zoo_routes_by_name() {
+    // multi-model serving: the default DOINN slot plus a named probe slot,
+    // with per-request routing
+    let tiles = mask_tiles(2);
+    let golden = predict_batch_with_pool(&tiny_doinn(11), &tiles, &Pool::new(1));
+
+    let zoo = ModelZoo::with_default(Box::new(tiny_doinn(11)));
+    zoo.register("probe", Box::new(ProbeModel::new(-1.0)));
+    let mut server = Server::with_pool(
+        zoo,
+        ServeConfig::default(),
+        Arc::new(SimClock::new()),
+        &Pool::new(2),
+    );
+
+    let d = server.submit(Request::new(tiles[0].clone())).unwrap();
+    let p = server
+        .submit(Request::new(tiles[1].clone()).with_model("probe"))
+        .unwrap();
+    server.flush_now();
+
+    assert_eq!(
+        bits(&server.take(d).unwrap().result.unwrap()),
+        bits(&golden[0])
+    );
+    let probe_out = server.take(p).unwrap().result.unwrap();
+    let want: Vec<f32> = tiles[1].as_slice().iter().map(|v| -v).collect();
+    assert_eq!(probe_out.as_slice(), &want[..]);
+}
