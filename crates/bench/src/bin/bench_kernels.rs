@@ -1,0 +1,413 @@
+//! Machine-readable compute-microkernel benchmark: `BENCH_kernels.json`.
+//!
+//! Measures the three kernel families the compute engine rewrote — GEMM,
+//! radix-2 butterfly lines, and the 2-D FFT transpose — twice each: once
+//! through the pre-engine implementation reimplemented here verbatim (the
+//! direct triple loop, the scalar butterfly stage, the strided transpose)
+//! and once through today's blocked/packed/tiled kernels. Both sides of
+//! every pair produce bit-identical results (asserted in-binary before any
+//! timing), so the rows measure pure scheduling/cache effects. Each row's
+//! `ns_per_op` is the min over several timed batches (`config.trials`), per
+//! the min-column methodology in docs/PERFORMANCE.md.
+//!
+//! The GEMM rows use im2col-shaped problems (`M` = output channels,
+//! `N` = output pixels, `K` = `ci·kh·kw`) because that is the exact shape
+//! `litho-nn`'s convolution lowering feeds the engine. The committed
+//! `BENCH_kernels.json` at the repo root holds default-scale numbers; CI
+//! re-runs at `LITHO_SCALE=smoke` (fewer reps, no speedup gate — a shared
+//! runner's wall clock is too noisy to gate on) and fails if any expected
+//! row goes missing.
+//!
+//! Usage: `bench_kernels [output-path]` (default `BENCH_kernels.json`).
+
+use litho_bench::Scale;
+use litho_fft::{transpose_into, Complex32, FftPlan};
+use litho_tensor::{sgemm_nn_with_scratch, GemmBlocking};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// im2col-shaped GEMM problems: (output channels, output pixels, ci·kh·kw).
+const GEMM_SHAPES: [(usize, usize, usize); 2] = [(32, 4096, 288), (64, 1024, 576)];
+/// 1-D butterfly benchmark length (a full radix-2 plan, 12 stages).
+const BFLY_N: usize = 4096;
+/// Transpose benchmark shape (complex elements), deliberately ragged so the
+/// tile loop exercises partial tiles.
+const T_ROWS: usize = 512;
+const T_COLS: usize = 384;
+
+struct Row {
+    name: String,
+    ns_per_op: f64,
+    wall_ms_total: f64,
+}
+
+/// Time a baseline/engine pair as `trials` **interleaved** batches of `reps`
+/// iterations each, reporting the per-side **minimum** per-op time across
+/// batches (plus total wall). Two deliberate choices for a 1-core container
+/// (see docs/PERFORMANCE.md):
+///
+/// - the min is the least contamination-prone statistic a wall-clock
+///   harness has — a background burst can only inflate a batch, never
+///   deflate it, so the min converges on the undisturbed time;
+/// - interleaving (baseline, engine, baseline, engine, …) exposes both
+///   sides to the *same* background-load distribution, so a burst or
+///   clock-drift episode cannot land entirely on one side and masquerade
+///   as a kernel-level speedup or regression, which is exactly what
+///   happens with two back-to-back single-sided timing windows.
+fn measure_pair(
+    reps: usize,
+    trials: usize,
+    mut fa: impl FnMut(),
+    mut fb: impl FnMut(),
+) -> ((f64, f64), (f64, f64)) {
+    let mut best = [f64::INFINITY; 2];
+    let mut wall = [0.0f64; 2];
+    for _ in 0..trials {
+        for (side, f) in [&mut fa as &mut dyn FnMut(), &mut fb]
+            .into_iter()
+            .enumerate()
+        {
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                f();
+            }
+            let dt = t0.elapsed();
+            best[side] = best[side].min(dt.as_nanos() as f64 / reps as f64);
+            wall[side] += dt.as_secs_f64() * 1e3;
+        }
+    }
+    ((best[0], wall[0]), (best[1], wall[1]))
+}
+
+fn fill(len: usize, seed: u64) -> Vec<f32> {
+    // zero pattern depends on i + seed, never on a seed-derived multiplier
+    // that could be a divisor of the modulus (which would zero the whole
+    // buffer and let the zero-skip kernels skip all work)
+    (0..len)
+        .map(|i| {
+            let t = (i as u64).wrapping_add(seed).wrapping_mul(2654435761);
+            if t % 7 == 0 {
+                0.0
+            } else {
+                ((t % 1013) as f32 - 506.0) / 127.0
+            }
+        })
+        .collect()
+}
+
+/// The pre-engine `sgemm_nn` verbatim: direct triple loop, zero-skip on `A`,
+/// `s = α·a` per term, ascending reduction order.
+fn direct_nn_baseline(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+) {
+    for i in 0..m {
+        for p in 0..k {
+            let av = a[i * k + p];
+            if av == 0.0 {
+                continue;
+            }
+            let s = alpha * av;
+            let brow = &b[p * n..(p + 1) * n];
+            let crow = &mut c[i * n..(i + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += s * bv;
+            }
+        }
+    }
+}
+
+/// The pre-engine scalar radix-2 stage loop (forward direction), verbatim.
+struct ScalarRadix2 {
+    n: usize,
+    twiddles: Vec<Complex32>,
+    rev: Vec<u32>,
+}
+
+impl ScalarRadix2 {
+    fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two() && n > 1);
+        let mut tw = Vec::with_capacity(n - 1);
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            for j in 0..half {
+                let angle = -2.0 * std::f64::consts::PI * j as f64 / len as f64;
+                tw.push(Complex32::new(angle.cos() as f32, angle.sin() as f32));
+            }
+            len <<= 1;
+        }
+        let bits = n.trailing_zeros();
+        let rev = (0..n as u32)
+            .map(|i| i.reverse_bits() >> (32 - bits))
+            .collect();
+        Self {
+            n,
+            twiddles: tw,
+            rev,
+        }
+    }
+
+    fn forward(&self, data: &mut [Complex32]) {
+        let n = self.n;
+        for i in 0..n {
+            let j = self.rev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+        let mut len = 2;
+        let mut tw_off = 0;
+        while len <= n {
+            let half = len / 2;
+            for block in data.chunks_exact_mut(len) {
+                for j in 0..half {
+                    let w = self.twiddles[tw_off + j];
+                    let u = block[j];
+                    let t = block[j + half] * w;
+                    block[j] = u + t;
+                    block[j + half] = u - t;
+                }
+            }
+            tw_off += half;
+            len <<= 1;
+        }
+    }
+}
+
+/// The pre-engine strided transpose, verbatim.
+fn strided_transpose(data: &[Complex32], rows: usize, cols: usize, out: &mut [Complex32]) {
+    for r in 0..rows {
+        for c in 0..cols {
+            out[c * rows + r] = data[r * cols + c];
+        }
+    }
+}
+
+fn complex_signal(n: usize, seed: u64) -> Vec<Complex32> {
+    (0..n)
+        .map(|i| {
+            let t = (i as u64).wrapping_mul(seed.wrapping_mul(48271).wrapping_add(13)) as f32;
+            Complex32::new((t * 0.007).sin(), (t * 0.011).cos() * 0.5)
+        })
+        .collect()
+}
+
+fn bits_equal_f32(a: &[f32], b: &[f32]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+fn bits_equal_c32(a: &[Complex32], b: &[Complex32]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits())
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_kernels.json".to_string());
+    let scale = Scale::from_env();
+    // Per-trial reps × trials; each row reports min-of-trials per-op time.
+    // Scaling up means MORE trials, not longer batches: a longer timed
+    // window absorbs more background/thermal drift that the min cannot
+    // shed, while extra short windows only improve the min.
+    let (reps, trials) = match scale {
+        Scale::Smoke => (1, 2),
+        Scale::Default => (3, 8),
+        Scale::Full => (3, 20),
+    };
+
+    let mut rows: Vec<Row> = Vec::new();
+
+    // --- GEMM: direct triple loop vs the blocked/packed engine -------------
+    let mut gemm_speedups: Vec<(String, f64)> = Vec::new();
+    for (mi, &(m, n, k)) in GEMM_SHAPES.iter().enumerate() {
+        let a = fill(m * k, 3 + mi as u64);
+        let b = fill(k * n, 17 + mi as u64);
+        let blk = GemmBlocking::for_shape(m, n, k);
+        let mut pack = vec![0.0f32; blk.pack_len()];
+
+        // bit-identity sanity before timing anything
+        let mut c_direct = vec![0.0f32; m * n];
+        let mut c_blocked = vec![0.0f32; m * n];
+        direct_nn_baseline(m, n, k, 1.0, &a, &b, &mut c_direct);
+        sgemm_nn_with_scratch(&blk, m, n, k, 1.0, &a, &b, &mut c_blocked, &mut pack);
+        assert!(
+            bits_equal_f32(&c_direct, &c_blocked),
+            "blocked GEMM diverged from the direct baseline at {m}x{n}x{k}"
+        );
+
+        let ((ns_d, wall_d), (ns_b, wall_b)) = measure_pair(
+            reps,
+            trials,
+            || {
+                direct_nn_baseline(
+                    m,
+                    n,
+                    k,
+                    1.0,
+                    black_box(&a),
+                    black_box(&b),
+                    black_box(&mut c_direct),
+                );
+            },
+            || {
+                sgemm_nn_with_scratch(
+                    &blk,
+                    m,
+                    n,
+                    k,
+                    1.0,
+                    black_box(&a),
+                    black_box(&b),
+                    black_box(&mut c_blocked),
+                    black_box(&mut pack),
+                );
+            },
+        );
+        rows.push(Row {
+            name: format!("gemm_nn_direct_m{m}_n{n}_k{k}"),
+            ns_per_op: ns_d,
+            wall_ms_total: wall_d,
+        });
+        rows.push(Row {
+            name: format!("gemm_nn_blocked_m{m}_n{n}_k{k}"),
+            ns_per_op: ns_b,
+            wall_ms_total: wall_b,
+        });
+        gemm_speedups.push((format!("gemm_im2col_m{m}_n{n}_k{k}_speedup"), ns_d / ns_b));
+    }
+
+    // --- butterflies: scalar stage loop vs the chunked lines ---------------
+    let scalar = ScalarRadix2::new(BFLY_N);
+    let plan = FftPlan::new(BFLY_N);
+    let x = complex_signal(BFLY_N, 5);
+
+    let mut y_scalar = x.clone();
+    scalar.forward(&mut y_scalar);
+    let mut y_plan = x.clone();
+    plan.forward(&mut y_plan);
+    assert!(
+        bits_equal_c32(&y_scalar, &y_plan),
+        "chunked butterflies diverged from the scalar baseline at n={BFLY_N}"
+    );
+
+    let mut buf_s = vec![Complex32::ZERO; BFLY_N];
+    let mut buf_v = vec![Complex32::ZERO; BFLY_N];
+    let bfly_reps = reps * 16; // a single 4096-point pass is microseconds
+    let ((ns_s, wall_s), (ns_v, wall_v)) = measure_pair(
+        bfly_reps,
+        trials,
+        || {
+            buf_s.copy_from_slice(&x);
+            scalar.forward(black_box(&mut buf_s));
+        },
+        || {
+            buf_v.copy_from_slice(&x);
+            plan.forward(black_box(&mut buf_v));
+        },
+    );
+    rows.push(Row {
+        name: format!("butterfly_scalar_n{BFLY_N}"),
+        ns_per_op: ns_s,
+        wall_ms_total: wall_s,
+    });
+    rows.push(Row {
+        name: format!("butterfly_chunked_n{BFLY_N}"),
+        ns_per_op: ns_v,
+        wall_ms_total: wall_v,
+    });
+    let butterfly_speedup = ns_s / ns_v;
+
+    // --- transpose: strided vs cache-tiled ---------------------------------
+    let t_in = complex_signal(T_ROWS * T_COLS, 9);
+    let mut t_strided = vec![Complex32::ZERO; T_ROWS * T_COLS];
+    let mut t_tiled = vec![Complex32::ZERO; T_ROWS * T_COLS];
+    strided_transpose(&t_in, T_ROWS, T_COLS, &mut t_strided);
+    transpose_into(&t_in, T_ROWS, T_COLS, &mut t_tiled);
+    assert!(
+        bits_equal_c32(&t_strided, &t_tiled),
+        "tiled transpose diverged from the strided baseline"
+    );
+
+    let t_reps = reps * 8;
+    let ((ns_st, wall_st), (ns_ti, wall_ti)) = measure_pair(
+        t_reps,
+        trials,
+        || {
+            strided_transpose(black_box(&t_in), T_ROWS, T_COLS, black_box(&mut t_strided));
+        },
+        || {
+            transpose_into(black_box(&t_in), T_ROWS, T_COLS, black_box(&mut t_tiled));
+        },
+    );
+    rows.push(Row {
+        name: format!("transpose_strided_{T_ROWS}x{T_COLS}"),
+        ns_per_op: ns_st,
+        wall_ms_total: wall_st,
+    });
+    rows.push(Row {
+        name: format!("transpose_tiled_{T_ROWS}x{T_COLS}"),
+        ns_per_op: ns_ti,
+        wall_ms_total: wall_ti,
+    });
+    let transpose_speedup = ns_st / ns_ti;
+
+    // --- emit ---------------------------------------------------------------
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"config\": {{\"gemm_shapes\": [[32, 4096, 288], [64, 1024, 576]], \"butterfly_n\": {BFLY_N}, \"transpose\": [{T_ROWS}, {T_COLS}], \"reps\": {reps}, \"trials\": {trials}, \"stat\": \"min_of_trials\", \"scale\": \"{scale:?}\"}},\n"
+    ));
+    json.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"ns_per_op\": {:.0}, \"wall_ms_total\": {:.3}}}{}\n",
+            r.name,
+            r.ns_per_op,
+            r.wall_ms_total,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"derived\": {");
+    for (name, v) in &gemm_speedups {
+        json.push_str(&format!("\"{name}\": {v:.2}, "));
+    }
+    json.push_str(&format!(
+        "\"butterfly_speedup\": {butterfly_speedup:.2}, \"transpose_speedup\": {transpose_speedup:.2}}}\n"
+    ));
+    json.push_str("}\n");
+
+    // CI greps these names; the engine's acceptance bar is >= 1.3x wall
+    // clock on the im2col-shaped GEMM rows (not gated at smoke scale, where
+    // reps are too few for stable wall clock).
+    for required in [
+        "gemm_nn_direct_m32_n4096_k288",
+        "gemm_nn_blocked_m32_n4096_k288",
+        "gemm_nn_direct_m64_n1024_k576",
+        "gemm_nn_blocked_m64_n1024_k576",
+        "butterfly_scalar_n4096",
+        "butterfly_chunked_n4096",
+        "transpose_strided_512x384",
+        "transpose_tiled_512x384",
+    ] {
+        assert!(json.contains(required), "row {required} missing from JSON");
+    }
+    if scale != Scale::Smoke {
+        for (name, v) in &gemm_speedups {
+            assert!(*v >= 1.3, "{name} regressed below the 1.3x bar: {v:.2}x");
+        }
+    }
+
+    std::fs::write(&out_path, &json).expect("write BENCH_kernels.json");
+    println!("{json}");
+    println!("wrote {out_path}");
+}

@@ -2,8 +2,8 @@
 //! warm DOINN forward must be allocation-flat — after the first call fills
 //! the `InferCtx` pools, repeated forwards of the same shape allocate
 //! **zero** new tensor buffers *and zero new complex scratch buffers*
-//! (tracked by the `litho-tensor` debug allocation counters) and never miss
-//! either buffer pool. The complex-scratch counter covers the spectral
+//! *and zero fresh GEMM pack scratch* (tracked by the `litho-tensor` debug
+//! allocation counters) and never miss either buffer pool. The complex-scratch counter covers the spectral
 //! engine's staging: input modes, mode accumulators, complex weights, and
 //! the FFT pack/transpose scratch all recycle through the `InferCtx`
 //! complex buckets.
@@ -16,7 +16,9 @@
 
 use doinn::{Doinn, DoinnConfig};
 use litho_nn::{InferCtx, Module};
-use litho_tensor::alloc_stats::{complex_scratch_allocations, tensor_allocations};
+use litho_tensor::alloc_stats::{
+    complex_scratch_allocations, gemm_pack_allocations, tensor_allocations,
+};
 use litho_tensor::{init::seeded_rng, Tensor};
 
 #[test]
@@ -39,6 +41,7 @@ fn warm_doinn_infer_is_allocation_flat() {
         "the spectral kernels must draw complex scratch from the ctx pool"
     );
     let complex_after_warmup = complex_scratch_allocations();
+    let packs_after_warmup = gemm_pack_allocations();
     if cfg!(debug_assertions) {
         assert_eq!(
             complex_after_warmup, cmisses_after_warmup,
@@ -74,6 +77,12 @@ fn warm_doinn_infer_is_allocation_flat() {
                 complex_after_warmup,
                 "warm call {call} materialised fresh complex scratch — the \
                  InferCtx complex buckets failed to recycle"
+            );
+            assert_eq!(
+                gemm_pack_allocations(),
+                packs_after_warmup,
+                "warm call {call} materialised fresh GEMM pack scratch — the \
+                 conv drivers must draw pack buffers from the InferCtx pool"
             );
         }
         let (_, misses) = ctx.alloc_stats();

@@ -785,17 +785,39 @@ pub fn transpose(data: &[Complex32], rows: usize, cols: usize) -> Vec<Complex32>
     out
 }
 
-fn transpose_into(data: &[Complex32], rows: usize, cols: usize, out: &mut [Complex32]) {
-    // Blocked transpose for cache friendliness at large sizes.
-    const B: usize = 32;
-    for rb in (0..rows).step_by(B) {
-        for cb in (0..cols).step_by(B) {
-            for r in rb..(rb + B).min(rows) {
-                for c in cb..(cb + B).min(cols) {
-                    out[c * rows + r] = data[r * cols + c];
+/// Cache-tiled out-of-place transpose into a caller-provided buffer
+/// (`rows x cols` → `cols x rows`).
+///
+/// Works in 32×32 tiles so a tile's source rows and destination columns stay
+/// cache-resident regardless of matrix size; within a tile each source row
+/// is read as one contiguous slice, so the inner loop is a straight strided
+/// scatter from an already-bounds-checked slice. This is the transpose every
+/// `Fft2` column pass goes through; it is public so the kernel benchmarks
+/// and parity suites can exercise exactly the production path.
+///
+/// # Panics
+///
+/// Panics if `data.len() != rows*cols` or `out.len() != rows*cols`
+/// ("buffer length must be rows*cols").
+pub fn transpose_into(data: &[Complex32], rows: usize, cols: usize, out: &mut [Complex32]) {
+    assert_eq!(data.len(), rows * cols, "buffer length must be rows*cols");
+    assert_eq!(out.len(), rows * cols, "buffer length must be rows*cols");
+    const TILE: usize = 32;
+    let mut rb = 0;
+    while rb < rows {
+        let rlim = (rb + TILE).min(rows);
+        let mut cb = 0;
+        while cb < cols {
+            let clim = (cb + TILE).min(cols);
+            for r in rb..rlim {
+                let src = &data[r * cols + cb..r * cols + clim];
+                for (dc, &v) in src.iter().enumerate() {
+                    out[(cb + dc) * rows + r] = v;
                 }
             }
+            cb = clim;
         }
+        rb = rlim;
     }
 }
 

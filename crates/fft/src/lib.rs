@@ -48,4 +48,4 @@ pub mod op_count;
 pub use cache::{plan_cache_stats, plans};
 pub use complex::Complex32;
 pub use fft1d::{fft, fft_freq, ifft, Direction, FftPlan};
-pub use fft2d::{fftshift2, ifftshift2, transpose, Fft2};
+pub use fft2d::{fftshift2, ifftshift2, transpose, transpose_into, Fft2};

@@ -24,8 +24,8 @@ use crate::graph::{Graph, Var};
 use crate::infer::InferCtx;
 use litho_parallel::Pool;
 use litho_tensor::{
-    col2im, conv_out_size, conv_transpose_out_size, im2col, sgemm_nn, sgemm_nt, sgemm_tn,
-    sgemm_tn_rowblock, Tensor,
+    col2im, conv_out_size, conv_transpose_out_size, im2col, sgemm_nn, sgemm_nn_with_scratch,
+    sgemm_nt, sgemm_tn, sgemm_tn_rowblock, sgemm_tn_with_scratch, GemmBlocking, Tensor,
 };
 
 /// Minimum multiply-accumulates a worker thread must receive before a
@@ -89,9 +89,37 @@ pub fn conv2d_infer(
     stride: usize,
     pad: usize,
 ) -> Tensor {
-    let mut out = ctx.alloc_zeroed(&conv2d_out_shape(x, w, stride, pad));
+    let shape = conv2d_out_shape(x, w, stride, pad);
+    let mut out = ctx.alloc_zeroed(&shape);
     let pool = ctx.pool().clone();
-    conv2d_fill(x, w, bias, stride, pad, &pool, &mut out);
+    if x.dim(0) == 1 && out.numel() > 0 {
+        // single sample: draw the im2col buffer AND the GEMM packing scratch
+        // from the ctx bucket pool, so a warm forward allocates nothing
+        let (o, l) = (shape[1], shape[2] * shape[3]);
+        let k = x.dim(1) * w.dim(2) * w.dim(3);
+        let blk = GemmBlocking::for_shape(o, l, k);
+        let mut cols = ctx.alloc(&[k * l]);
+        let mut pack = ctx.alloc(&[blk.pack_len()]);
+        let bd = bias.map(|bv| {
+            assert_eq!(bv.numel(), o, "bias length must equal output channels");
+            bv.as_slice()
+        });
+        conv2d_single(
+            x,
+            w,
+            bd,
+            stride,
+            pad,
+            &pool,
+            out.as_mut_slice(),
+            cols.as_mut_slice(),
+            pack.as_mut_slice(),
+        );
+        ctx.recycle(cols);
+        ctx.recycle(pack);
+    } else {
+        conv2d_fill(x, w, bias, stride, pad, &pool, &mut out);
+    }
     out
 }
 
@@ -155,33 +183,81 @@ fn conv2d_fill(
             }
         });
     } else {
-        // single sample: lower across input channels, GEMM across output
-        // channels (disjoint rows of cols / of the output matrix)
+        // single sample: scratch allocated per call (the training path; the
+        // tape-free path in `conv2d_infer` recycles pool buffers instead)
+        let blk = GemmBlocking::for_shape(o, l, k);
         let mut cols = vec![0.0f32; k * l];
-        let chan_grain = PAR_MIN_MACS.div_ceil((kh * kw * l).max(1));
-        pool.par_chunks_mut(&mut cols, kh * kw * l, chan_grain, |ci, rows| {
-            im2col(
-                &xd[ci * h * width..(ci + 1) * h * width],
-                1,
-                h,
-                width,
-                kh,
-                kw,
-                stride,
-                pad,
+        let mut pack = vec![0.0f32; blk.pack_len()];
+        conv2d_single(x, w, bd, stride, pad, pool, od, &mut cols, &mut pack);
+    }
+}
+
+/// Single-sample conv2d core shared by [`conv2d_fill`] and the scratch-backed
+/// [`conv2d_infer`] path: im2col into `cols` (`k·l` floats, fully
+/// overwritten), then the weight GEMM plus bias into the **zeroed** `od`
+/// (`o·l` floats).
+///
+/// The im2col lowering fans out across input channels. The GEMM either runs
+/// as one blocked call drawing packing scratch from `pack` (whenever the
+/// pool would not fan out — the common inference case) or fans out across
+/// disjoint output-channel row blocks through the plain driver; both compose
+/// bit-identically, so results match the serial loop for any pool size.
+#[allow(clippy::too_many_arguments)]
+fn conv2d_single(
+    x: &Tensor,
+    w: &Tensor,
+    bd: Option<&[f32]>,
+    stride: usize,
+    pad: usize,
+    pool: &Pool,
+    od: &mut [f32],
+    cols: &mut [f32],
+    pack: &mut [f32],
+) {
+    let (c, h, width) = (x.dim(1), x.dim(2), x.dim(3));
+    let (o, kh, kw) = (w.dim(0), w.dim(2), w.dim(3));
+    let k = c * kh * kw;
+    let l = od.len() / o;
+    let xd = x.as_slice();
+    let wd = w.as_slice();
+    let chan_grain = PAR_MIN_MACS.div_ceil((kh * kw * l).max(1));
+    pool.par_chunks_mut(cols, kh * kw * l, chan_grain, |ci, rows| {
+        im2col(
+            &xd[ci * h * width..(ci + 1) * h * width],
+            1,
+            h,
+            width,
+            kh,
+            kw,
+            stride,
+            pad,
+            rows,
+        );
+    });
+    let row_grain = PAR_MIN_MACS.div_ceil((l * k).max(1));
+    if pool.runs_inline(o, row_grain) {
+        let blk = GemmBlocking::for_shape(o, l, k);
+        sgemm_nn_with_scratch(&blk, o, l, k, 1.0, wd, cols, od, pack);
+    } else {
+        pool.par_chunk_runs_mut(od, l, row_grain, |first, run| {
+            let rows = run.len() / l;
+            sgemm_nn(
                 rows,
+                l,
+                k,
+                1.0,
+                &wd[first * k..(first + rows) * k],
+                cols,
+                run,
             );
         });
-        let row_grain = PAR_MIN_MACS.div_ceil((l * k).max(1));
-        pool.par_chunks_mut(od, l, row_grain, |oi, orow| {
-            sgemm_nn(1, l, k, 1.0, &wd[oi * k..(oi + 1) * k], &cols, orow);
-            if let Some(bd) = bd {
-                let bias = bd[oi];
-                for v in orow {
-                    *v += bias;
-                }
+    }
+    if let Some(bd) = bd {
+        for (orow, &bias) in od.chunks_mut(l).zip(bd) {
+            for v in orow {
+                *v += bias;
             }
-        });
+        }
     }
 }
 
@@ -323,9 +399,39 @@ pub fn conv_transpose2d_infer(
     stride: usize,
     pad: usize,
 ) -> Tensor {
-    let mut out = ctx.alloc_zeroed(&conv_transpose2d_out_shape(x, w, stride, pad));
+    let shape = conv_transpose2d_out_shape(x, w, stride, pad);
+    let mut out = ctx.alloc_zeroed(&shape);
     let pool = ctx.pool().clone();
-    conv_transpose2d_fill(x, w, bias, stride, pad, &pool, &mut out);
+    if x.dim(0) == 1 && out.numel() > 0 {
+        // single sample: the Wᵀ·x lowering buffer and the GEMM packing
+        // scratch both come from the ctx bucket pool (zero-alloc when warm)
+        let (ci, co) = (x.dim(1), w.dim(1));
+        let kout = co * w.dim(2) * w.dim(3);
+        let lin = x.dim(2) * x.dim(3);
+        let blk = GemmBlocking::for_shape(kout, lin, ci);
+        let mut cols = ctx.alloc(&[kout * lin]);
+        cols.as_mut_slice().fill(0.0); // sgemm_tn accumulates
+        let mut pack = ctx.alloc(&[blk.pack_len()]);
+        let bd = bias.map(|bv| {
+            assert_eq!(bv.numel(), co, "bias length must equal output channels");
+            bv.as_slice()
+        });
+        conv_transpose2d_single(
+            x,
+            w,
+            bd,
+            stride,
+            pad,
+            &pool,
+            out.as_mut_slice(),
+            cols.as_mut_slice(),
+            pack.as_mut_slice(),
+        );
+        ctx.recycle(cols);
+        ctx.recycle(pack);
+    } else {
+        conv_transpose2d_fill(x, w, bias, stride, pad, &pool, &mut out);
+    }
     out
 }
 
@@ -409,35 +515,76 @@ fn conv_transpose2d_fill(
             }
         });
     } else {
-        // single sample: row-split the Wᵀ·x GEMM (one multi-row block per
-        // worker run — blocks compose bit-identically), then scatter per
-        // channel
+        // single sample: scratch allocated per call (the training path; the
+        // tape-free path in `conv_transpose2d_infer` recycles pool buffers)
+        let blk = GemmBlocking::for_shape(kout, lin, ci);
         let mut cols = vec![0.0f32; kout * lin];
-        let row_grain = PAR_MIN_MACS.div_ceil((ci * lin).max(1));
-        pool.par_chunk_runs_mut(&mut cols, lin, row_grain, |p0, run| {
+        let mut pack = vec![0.0f32; blk.pack_len()];
+        conv_transpose2d_single(x, w, bd, stride, pad, pool, od, &mut cols, &mut pack);
+    }
+}
+
+/// Single-sample transposed-conv core shared by [`conv_transpose2d_fill`]
+/// and the scratch-backed [`conv_transpose2d_infer`] path: `cols = Wᵀ·x`
+/// into the **zeroed** `cols` (`kout·lin` floats), then the col2im scatter
+/// plus bias into the **zeroed** `od`.
+///
+/// The GEMM either runs as one blocked call drawing packing scratch from
+/// `pack` (whenever the pool would not fan out) or row-splits through
+/// [`sgemm_tn_rowblock`] (one multi-row block per worker run — blocks
+/// compose bit-identically); the scatter fans out across output channels.
+#[allow(clippy::too_many_arguments)]
+fn conv_transpose2d_single(
+    x: &Tensor,
+    w: &Tensor,
+    bd: Option<&[f32]>,
+    stride: usize,
+    pad: usize,
+    pool: &Pool,
+    od: &mut [f32],
+    cols: &mut [f32],
+    pack: &mut [f32],
+) {
+    let (ci, h, width) = (x.dim(1), x.dim(2), x.dim(3));
+    let (co, kh, kw) = (w.dim(1), w.dim(2), w.dim(3));
+    let kout = co * kh * kw;
+    let lin = h * width;
+    let (oh, ow) = (
+        conv_transpose_out_size(h, kh, stride, pad),
+        conv_transpose_out_size(width, kw, stride, pad),
+    );
+    let hw = oh * ow;
+    let xd = x.as_slice();
+    let wd = w.as_slice();
+    let row_grain = PAR_MIN_MACS.div_ceil((ci * lin).max(1));
+    if pool.runs_inline(kout, row_grain) {
+        let blk = GemmBlocking::for_shape(kout, lin, ci);
+        sgemm_tn_with_scratch(&blk, ci, lin, kout, 1.0, wd, xd, cols, pack);
+    } else {
+        pool.par_chunk_runs_mut(cols, lin, row_grain, |p0, run| {
             sgemm_tn_rowblock(ci, lin, kout, 1.0, wd, xd, run, p0);
         });
-        let chan_grain = PAR_MIN_MACS.div_ceil((kh * kw * lin).max(1));
-        pool.par_chunks_mut(od, hw, chan_grain, |oi, ochan| {
-            col2im(
-                &cols[oi * kh * kw * lin..(oi + 1) * kh * kw * lin],
-                1,
-                oh,
-                ow,
-                kh,
-                kw,
-                stride,
-                pad,
-                ochan,
-            );
-            if let Some(bd) = bd {
-                let bias = bd[oi];
-                for v in ochan {
-                    *v += bias;
-                }
-            }
-        });
     }
+    let chan_grain = PAR_MIN_MACS.div_ceil((kh * kw * lin).max(1));
+    pool.par_chunks_mut(od, hw, chan_grain, |oi, ochan| {
+        col2im(
+            &cols[oi * kh * kw * lin..(oi + 1) * kh * kw * lin],
+            1,
+            oh,
+            ow,
+            kh,
+            kw,
+            stride,
+            pad,
+            ochan,
+        );
+        if let Some(bd) = bd {
+            let bias = bd[oi];
+            for v in ochan {
+                *v += bias;
+            }
+        }
+    });
 }
 
 /// 2-D transposed convolution. `x: [N,C_in,H,W]`, `w: [C_in,C_out,kh,kw]`,

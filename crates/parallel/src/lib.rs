@@ -151,6 +151,22 @@ impl Pool {
         self.chunks(n, grain)
     }
 
+    /// Whether a [`Pool::par_chunk_runs_mut`] (or [`Pool::par_chunks_mut`])
+    /// call over `n_chunks` chunks with this `grain` would execute as a
+    /// single inline run on the calling thread: one chunk range after grain
+    /// coarsening, a nested call inside a pool worker, or nothing to do at
+    /// all. Computed exactly the way the fan-out primitives compute it (same
+    /// chunking policy, same worker-nesting rule), evaluated on the calling
+    /// thread at call time.
+    ///
+    /// Callers use this to choose a caller-owned-scratch fast path when no
+    /// fan-out will happen — e.g. the convolution drivers run one
+    /// scratch-backed blocked GEMM instead of per-run driver calls, keeping
+    /// warm inference allocation-free.
+    pub fn runs_inline(&self, n_chunks: usize, grain: usize) -> bool {
+        n_chunks <= 1 || in_worker() || self.chunks(n_chunks, grain.max(1)).len() == 1
+    }
+
     /// Splits `0..n` into at most `threads` contiguous chunks and returns
     /// them in order. Every chunk holds at least `grain` items (unless
     /// `n < grain`, which yields a single short chunk): `k ≤ ⌊n/grain⌋`

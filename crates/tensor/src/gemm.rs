@@ -7,19 +7,148 @@
 //! - [`sgemm_nt`]: `C += α·A·Bᵀ`
 //! - [`sgemm_tn`]: `C += α·Aᵀ·B`
 //!
-//! The kernels use loop orders that stream the innermost axis contiguously so
-//! the compiler can auto-vectorize; on one core this is within a small factor
-//! of a tuned BLAS for the matrix shapes produced by im2col.
+//! # Blocked, packed engine
+//!
+//! Beyond a small-problem cutoff the public drivers run a Goto-style blocked
+//! kernel: the operands are cut into `MC×KC` / `KC×NC` cache blocks
+//! ([`GemmBlocking`]), each block is *packed* into contiguous
+//! [`GEMM_MR`]`×`[`GEMM_NR`] panels, and a fixed-size register microkernel
+//! written as explicit [`GEMM_MR`]/[`GEMM_NR`]-wide array arithmetic (which
+//! the autovectorizer cannot miss) does the flops. Small problems take a
+//! direct loop with the same per-element operation sequence.
+//!
+//! **Bit-identity contract.** Every path — direct, blocked under any
+//! block-size override, and any [`sgemm_tn_rowblock`] decomposition — adds
+//! the terms of each output element one at a time in the same order
+//! (ascending reduction index), with the same zero-skip and the same
+//! per-term scaling, so all of them produce bit-identical results. This is
+//! what lets `litho-nn` parallelize over row blocks and lets `InferCtx`
+//! swap scratch-backed blocked calls for the plain drivers without changing
+//! a single output bit. Per element:
+//!
+//! - `sgemm_nn` / `sgemm_tn`: terms `(α·a)·b` are accumulated directly into
+//!   `C` in ascending reduction order; terms whose `A`-operand is exactly
+//!   `0.0` are skipped (not added at all).
+//! - `sgemm_nt`: a fresh accumulator sums `a·b` over the full reduction
+//!   axis, then `C += α·acc` once (no zero-skip).
+//!
+//! # Scratch
+//!
+//! The blocked drivers need one packing buffer of
+//! [`GemmBlocking::pack_len`] floats. The plain drivers allocate it on the
+//! spot (recorded by `alloc_stats::gemm_pack_allocations`); the
+//! `*_with_scratch` variants take a caller-provided buffer (contents need
+//! not be initialised) so warm inference paths can recycle pool buffers and
+//! stay allocation-free.
 
-/// `C[m×n] += α · A[m×k] · B[k×n]`, all row-major.
+use crate::tensor::alloc_stats;
+
+/// Microkernel row count: each A panel is packed `GEMM_MR` rows wide.
+pub const GEMM_MR: usize = 4;
+
+/// Microkernel column count: each B panel is packed `GEMM_NR` columns wide.
+pub const GEMM_NR: usize = 8;
+
+/// The one documented slice-length panic message shared by every `sgemm_*`
+/// validation (the GEMM counterpart of `Fft2`'s "buffer length must be…"
+/// convention).
+const GEMM_LEN_MSG: &str = "slice length must match the documented GEMM extents";
+
+/// Problems with at most this many multiply-accumulates use the direct
+/// (non-packing) loops: below this size packing costs more than it saves.
+const DIRECT_MAX_MACS: usize = 32 * 1024;
+
+#[inline]
+fn round_up(x: usize, to: usize) -> usize {
+    x.div_ceil(to) * to
+}
+
+/// Cache-blocking parameters for the packed GEMM engine.
 ///
-/// # Panics
-///
-/// Panics if any slice is shorter than its `m·k`/`k·n`/`m·n` extent.
-pub fn sgemm_nn(m: usize, n: usize, k: usize, alpha: f32, a: &[f32], b: &[f32], c: &mut [f32]) {
-    assert!(a.len() >= m * k, "A too short");
-    assert!(b.len() >= k * n, "B too short");
-    assert!(c.len() >= m * n, "C too short");
+/// `mc×kc` A blocks and `kc×nc` B blocks are packed into contiguous panels;
+/// the defaults keep the packed A block in L1-adjacent cache and the packed
+/// B block in L2 for the matrix shapes produced by im2col. Results are
+/// **bit-identical across any choice of block sizes** (see the module docs),
+/// so overrides are purely a performance/footprint knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GemmBlocking {
+    /// Rows of `C` (or of the `sgemm_tn` row block) per packed A block.
+    pub mc: usize,
+    /// Reduction depth per packed block.
+    pub kc: usize,
+    /// Columns of `C` per packed B block.
+    pub nc: usize,
+}
+
+impl Default for GemmBlocking {
+    fn default() -> Self {
+        Self {
+            mc: 64,
+            kc: 128,
+            nc: 256,
+        }
+    }
+}
+
+impl GemmBlocking {
+    /// Default blocking shrunk to fit an `m×k · k×n` problem, so the scratch
+    /// requirement ([`Self::pack_len`]) scales down with small problems.
+    /// Deterministic in the shape — callers that pool scratch by length get
+    /// a stable bucket per GEMM shape.
+    pub fn for_shape(m: usize, n: usize, k: usize) -> Self {
+        let d = Self::default();
+        Self {
+            mc: d.mc.min(round_up(m.max(1), GEMM_MR)),
+            kc: d.kc.min(k.max(1)),
+            nc: d.nc.min(round_up(n.max(1), GEMM_NR)),
+        }
+    }
+
+    /// Length (in `f32` elements) of the packing scratch the blocked drivers
+    /// need: one `kc×nc` B block rounded up to whole `GEMM_NR` panels plus
+    /// one `mc×kc` A block rounded up to whole `GEMM_MR` panels.
+    pub fn pack_len(&self) -> usize {
+        self.kc * round_up(self.nc, GEMM_NR) + round_up(self.mc, GEMM_MR) * self.kc
+    }
+
+    /// Length of the B-block region inside the packing scratch (the split
+    /// point used by the blocked kernels).
+    fn b_region_len(&self) -> usize {
+        self.kc * round_up(self.nc, GEMM_NR)
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.mc > 0 && self.kc > 0 && self.nc > 0,
+            "GEMM block sizes must be positive"
+        );
+    }
+}
+
+/// Scratch length (in `f32` elements) required by [`sgemm_nt_with_scratch`]
+/// for a reduction depth of `k`: one full-depth `k×`[`GEMM_NR`] B panel.
+/// (`sgemm_nt` sums each element's full reduction chain before touching `C`,
+/// so its panels are never split along `k`.)
+pub fn sgemm_nt_pack_len(k: usize) -> usize {
+    k * GEMM_NR
+}
+
+// ---------------------------------------------------------------------------
+// Validation
+// ---------------------------------------------------------------------------
+
+#[inline]
+fn validate_abc(a_need: usize, b_need: usize, c_need: usize, a: &[f32], b: &[f32], c: &[f32]) {
+    assert!(a.len() >= a_need, "{}", GEMM_LEN_MSG);
+    assert!(b.len() >= b_need, "{}", GEMM_LEN_MSG);
+    assert!(c.len() >= c_need, "{}", GEMM_LEN_MSG);
+}
+
+// ---------------------------------------------------------------------------
+// Direct (non-packing) kernels — also the small-problem fast path
+// ---------------------------------------------------------------------------
+
+fn direct_nn(m: usize, n: usize, k: usize, alpha: f32, a: &[f32], b: &[f32], c: &mut [f32]) {
     for i in 0..m {
         let arow = &a[i * k..(i + 1) * k];
         let crow = &mut c[i * n..(i + 1) * n];
@@ -36,15 +165,7 @@ pub fn sgemm_nn(m: usize, n: usize, k: usize, alpha: f32, a: &[f32], b: &[f32], 
     }
 }
 
-/// `C[m×n] += α · A[m×k] · B[n×k]ᵀ`, all row-major.
-///
-/// # Panics
-///
-/// Panics if any slice is shorter than its extent.
-pub fn sgemm_nt(m: usize, n: usize, k: usize, alpha: f32, a: &[f32], b: &[f32], c: &mut [f32]) {
-    assert!(a.len() >= m * k, "A too short");
-    assert!(b.len() >= n * k, "B too short");
-    assert!(c.len() >= m * n, "C too short");
+fn direct_nt(m: usize, n: usize, k: usize, alpha: f32, a: &[f32], b: &[f32], c: &mut [f32]) {
     for i in 0..m {
         let arow = &a[i * k..(i + 1) * k];
         let crow = &mut c[i * n..(i + 1) * n];
@@ -59,48 +180,19 @@ pub fn sgemm_nt(m: usize, n: usize, k: usize, alpha: f32, a: &[f32], b: &[f32], 
     }
 }
 
-/// `C[k×n] += α · A[m×k]ᵀ · B[m×n]`, all row-major.
-///
-/// # Panics
-///
-/// Panics if any slice is shorter than its extent.
-pub fn sgemm_tn(m: usize, n: usize, k: usize, alpha: f32, a: &[f32], b: &[f32], c: &mut [f32]) {
-    assert!(c.len() >= k * n, "C too short");
-    if n == 0 {
-        return; // degenerate GEMM: historically a well-defined no-op
-    }
-    sgemm_tn_rowblock(m, n, k, alpha, a, b, &mut c[..k * n], 0);
-}
-
-/// Row-block of [`sgemm_tn`]: computes rows `p0..p0 + c_rows.len()/n` of
-/// `C[k×n] += α · A[m×k]ᵀ · B[m×n]` into `c_rows` (row-major), with the same
-/// per-element accumulation order (ascending `i`) and the same zero-skip as
-/// the full kernel — disjoint row-blocks therefore compose **bit-identically**
-/// to one `sgemm_tn` call, which is what lets `litho-nn` parallelize the
-/// transposed-convolution lowering across output rows.
-///
-/// # Panics
-///
-/// Panics if a slice is shorter than its extent, `c_rows.len()` is not a
-/// multiple of `n`, or the row block exceeds `k` rows.
-pub fn sgemm_tn_rowblock(
+fn direct_tn_rowblock(
     m: usize,
     n: usize,
-    k: usize,
     alpha: f32,
     a: &[f32],
+    lda: usize,
     b: &[f32],
     c_rows: &mut [f32],
     p0: usize,
+    rows: usize,
 ) {
-    assert!(a.len() >= m * k, "A too short");
-    assert!(b.len() >= m * n, "B too short");
-    assert!(n > 0, "C must have columns");
-    assert_eq!(c_rows.len() % n, 0, "C block must hold whole rows");
-    let rows = c_rows.len() / n;
-    assert!(p0 + rows <= k, "row block exceeds C");
     for i in 0..m {
-        let arow = &a[i * k..(i + 1) * k];
+        let arow = &a[i * lda..(i + 1) * lda];
         let brow = &b[i * n..(i + 1) * n];
         for p in p0..p0 + rows {
             let aip = arow[p];
@@ -114,6 +206,595 @@ pub fn sgemm_tn_rowblock(
             }
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Packing
+// ---------------------------------------------------------------------------
+
+/// Packs `kcb` rows × `cols` columns of row-major `src` (row stride `ld`,
+/// starting at `(row0, col0)`) into [`GEMM_NR`]-wide column panels: panel
+/// `jt` holds columns `jt·NR..`, laid out `[reduction][lane]` with trailing
+/// lanes of a ragged panel zero-filled.
+///
+/// Traversal is source-row-major: each source row is read once,
+/// sequentially, and scattered across the panels. Panel-major traversal
+/// would instead stride through `src` by `ld` floats per element group —
+/// for im2col matrices (`ld` in the thousands) that walk thrashes the TLB
+/// and the same cache sets on every step, and the pack becomes slower than
+/// the GEMM it feeds.
+fn pack_col_panels(
+    src: &[f32],
+    ld: usize,
+    row0: usize,
+    kcb: usize,
+    col0: usize,
+    cols: usize,
+    dst: &mut [f32],
+) {
+    let ntiles = cols.div_ceil(GEMM_NR);
+    let stride = kcb * GEMM_NR;
+    let region = &mut dst[..ntiles * stride];
+    for p in 0..kcb {
+        let row = &src[(row0 + p) * ld + col0..][..cols];
+        let mut chunks = row.chunks_exact(GEMM_NR);
+        let mut jt = 0;
+        for chunk in &mut chunks {
+            region[jt * stride + p * GEMM_NR..][..GEMM_NR].copy_from_slice(chunk);
+            jt += 1;
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let lane = &mut region[jt * stride + p * GEMM_NR..][..GEMM_NR];
+            lane[..rem.len()].copy_from_slice(rem);
+            lane[rem.len()..].fill(0.0);
+        }
+    }
+}
+
+/// Packs `rows` rows × `kcb` columns of row-major `a` (row stride `ld`,
+/// starting at `(row0, col0)`) into [`GEMM_MR`]-tall row panels laid out
+/// `[reduction][lane]` (i.e. transposed within the panel), trailing lanes of
+/// a ragged panel zero-filled. Used by `sgemm_nn`, where the reduction runs
+/// along A's rows.
+fn pack_row_panels(
+    a: &[f32],
+    ld: usize,
+    row0: usize,
+    rows: usize,
+    col0: usize,
+    kcb: usize,
+    dst: &mut [f32],
+) {
+    let ntiles = rows.div_ceil(GEMM_MR);
+    for (rt, panel) in dst[..ntiles * kcb * GEMM_MR]
+        .chunks_exact_mut(kcb * GEMM_MR)
+        .enumerate()
+    {
+        let base = rt * GEMM_MR;
+        let h = GEMM_MR.min(rows - base);
+        for (p, lane) in panel.chunks_exact_mut(GEMM_MR).enumerate() {
+            let col = col0 + p;
+            for (r, v) in lane.iter_mut().enumerate() {
+                *v = if r < h {
+                    a[(row0 + base + r) * ld + col]
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+}
+
+/// Packs an already-transposed A block for `sgemm_tn`: `icb` reduction rows
+/// of `a` (row stride `ld`, starting at row `i0`), columns
+/// `p_first..p_first+rows`, into [`GEMM_MR`]-tall panels `[reduction][lane]`.
+/// Contiguous copies, since a panel's lanes are adjacent within one A row.
+fn pack_tn_panels(
+    a: &[f32],
+    ld: usize,
+    i0: usize,
+    icb: usize,
+    p_first: usize,
+    rows: usize,
+    dst: &mut [f32],
+) {
+    let ntiles = rows.div_ceil(GEMM_MR);
+    for (rt, panel) in dst[..ntiles * icb * GEMM_MR]
+        .chunks_exact_mut(icb * GEMM_MR)
+        .enumerate()
+    {
+        let base = rt * GEMM_MR;
+        let h = GEMM_MR.min(rows - base);
+        for (i, lane) in panel.chunks_exact_mut(GEMM_MR).enumerate() {
+            let row = &a[(i0 + i) * ld + p_first + base..][..h];
+            lane[..h].copy_from_slice(row);
+            lane[h..].fill(0.0);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Register microkernels
+// ---------------------------------------------------------------------------
+
+/// `GEMM_MR×GEMM_NR` accumulate microkernel shared by the blocked `nn` and
+/// `tn` kernels: loads the live `mr×nr` corner of the C tile into a register
+/// accumulator, adds each packed term in ascending reduction order exactly
+/// as the direct kernels do (`acc += (α·a)·b`, zero-skip on the A operand),
+/// and stores the corner back. Loading/storing C is exact, and each `+=` is
+/// individually rounded with no reassociation, so the result is bit-identical
+/// to the direct kernels.
+#[inline]
+fn microkernel_acc(
+    alpha: f32,
+    apanel: &[f32],
+    bpanel: &[f32],
+    c: &mut [f32],
+    ldc: usize,
+    mr: usize,
+    nr: usize,
+) {
+    let mut acc = [[0.0f32; GEMM_NR]; GEMM_MR];
+    for (r, accr) in acc.iter_mut().take(mr).enumerate() {
+        accr[..nr].copy_from_slice(&c[r * ldc..r * ldc + nr]);
+    }
+    for (ap, bp) in apanel
+        .chunks_exact(GEMM_MR)
+        .zip(bpanel.chunks_exact(GEMM_NR))
+    {
+        let ap: &[f32; GEMM_MR] = ap.try_into().expect("exact chunk");
+        let bp: &[f32; GEMM_NR] = bp.try_into().expect("exact chunk");
+        for (r, accr) in acc.iter_mut().enumerate() {
+            let av = ap[r];
+            if av == 0.0 {
+                continue;
+            }
+            let s = alpha * av;
+            for (cv, &bv) in accr.iter_mut().zip(bp) {
+                *cv += s * bv;
+            }
+        }
+    }
+    for (r, accr) in acc.iter().take(mr).enumerate() {
+        c[r * ldc..r * ldc + nr].copy_from_slice(&accr[..nr]);
+    }
+}
+
+/// Full-height `nt` microkernel: [`GEMM_MR`] A rows against one packed
+/// `k×`[`GEMM_NR`] B panel. Fresh zero accumulators, full reduction chains
+/// in ascending order, then a single `C += α·acc` per element — exactly the
+/// direct `nt` operation sequence.
+#[inline]
+fn microkernel_nt_full(
+    alpha: f32,
+    arows: [&[f32]; GEMM_MR],
+    bpanel: &[f32],
+    c: &mut [f32],
+    ldc: usize,
+    nr: usize,
+) {
+    let [a0, a1, a2, a3] = arows;
+    let mut acc = [[0.0f32; GEMM_NR]; GEMM_MR];
+    for ((((&v0, &v1), &v2), &v3), bp) in a0
+        .iter()
+        .zip(a1)
+        .zip(a2)
+        .zip(a3)
+        .zip(bpanel.chunks_exact(GEMM_NR))
+    {
+        let bp: &[f32; GEMM_NR] = bp.try_into().expect("exact chunk");
+        let avs = [v0, v1, v2, v3];
+        for (accr, &av) in acc.iter_mut().zip(&avs) {
+            for (cv, &bv) in accr.iter_mut().zip(bp) {
+                *cv += av * bv;
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate() {
+        for (cv, &av) in c[r * ldc..r * ldc + nr].iter_mut().zip(accr) {
+            *cv += alpha * av;
+        }
+    }
+}
+
+/// Single-row `nt` microkernel for ragged row tiles.
+#[inline]
+fn microkernel_nt_row(alpha: f32, arow: &[f32], bpanel: &[f32], crow: &mut [f32], nr: usize) {
+    let mut acc = [0.0f32; GEMM_NR];
+    for (&av, bp) in arow.iter().zip(bpanel.chunks_exact(GEMM_NR)) {
+        let bp: &[f32; GEMM_NR] = bp.try_into().expect("exact chunk");
+        for (cv, &bv) in acc.iter_mut().zip(bp) {
+            *cv += av * bv;
+        }
+    }
+    for (cv, &av) in crow[..nr].iter_mut().zip(&acc) {
+        *cv += alpha * av;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Blocked kernels
+// ---------------------------------------------------------------------------
+
+fn blocked_nn(
+    blk: &GemmBlocking,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    pack: &mut [f32],
+) {
+    let (bpack_all, apack_all) = pack[..blk.pack_len()].split_at_mut(blk.b_region_len());
+    let mut jc = 0;
+    while jc < n {
+        let ncb = blk.nc.min(n - jc);
+        let ntiles = ncb.div_ceil(GEMM_NR);
+        let mut pc = 0;
+        while pc < k {
+            let kcb = blk.kc.min(k - pc);
+            let bpack = &mut bpack_all[..ntiles * kcb * GEMM_NR];
+            pack_col_panels(b, n, pc, kcb, jc, ncb, bpack);
+            let mut ic = 0;
+            while ic < m {
+                let mcb = blk.mc.min(m - ic);
+                let mtiles = mcb.div_ceil(GEMM_MR);
+                let apack = &mut apack_all[..mtiles * kcb * GEMM_MR];
+                pack_row_panels(a, k, ic, mcb, pc, kcb, apack);
+                for (rt, apanel) in apack.chunks_exact(kcb * GEMM_MR).enumerate() {
+                    let row0 = ic + rt * GEMM_MR;
+                    let h = GEMM_MR.min(m - row0);
+                    for (jt, bpanel) in bpack.chunks_exact(kcb * GEMM_NR).enumerate() {
+                        let col0 = jc + jt * GEMM_NR;
+                        let w = GEMM_NR.min(n - col0);
+                        microkernel_acc(alpha, apanel, bpanel, &mut c[row0 * n + col0..], n, h, w);
+                    }
+                }
+                ic += blk.mc;
+            }
+            pc += blk.kc;
+        }
+        jc += blk.nc;
+    }
+}
+
+fn blocked_tn_rowblock(
+    blk: &GemmBlocking,
+    m: usize,
+    n: usize,
+    lda: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    c_rows: &mut [f32],
+    p0: usize,
+    rows: usize,
+    pack: &mut [f32],
+) {
+    let (bpack_all, apack_all) = pack[..blk.pack_len()].split_at_mut(blk.b_region_len());
+    // Reduction (`i`) blocks are the outermost loop so every C element's
+    // terms arrive in ascending `i` order across blocks.
+    let mut i0 = 0;
+    while i0 < m {
+        let icb = blk.kc.min(m - i0);
+        let mut jc = 0;
+        while jc < n {
+            let ncb = blk.nc.min(n - jc);
+            let ntiles = ncb.div_ceil(GEMM_NR);
+            let bpack = &mut bpack_all[..ntiles * icb * GEMM_NR];
+            pack_col_panels(b, n, i0, icb, jc, ncb, bpack);
+            let mut pc = 0;
+            while pc < rows {
+                let pcb = blk.mc.min(rows - pc);
+                let mtiles = pcb.div_ceil(GEMM_MR);
+                let apack = &mut apack_all[..mtiles * icb * GEMM_MR];
+                pack_tn_panels(a, lda, i0, icb, p0 + pc, pcb, apack);
+                for (rt, apanel) in apack.chunks_exact(icb * GEMM_MR).enumerate() {
+                    let row0 = pc + rt * GEMM_MR;
+                    let h = GEMM_MR.min(rows - row0);
+                    for (jt, bpanel) in bpack.chunks_exact(icb * GEMM_NR).enumerate() {
+                        let col0 = jc + jt * GEMM_NR;
+                        let w = GEMM_NR.min(n - col0);
+                        microkernel_acc(
+                            alpha,
+                            apanel,
+                            bpanel,
+                            &mut c_rows[row0 * n + col0..],
+                            n,
+                            h,
+                            w,
+                        );
+                    }
+                }
+                pc += blk.mc;
+            }
+            jc += blk.nc;
+        }
+        i0 += blk.kc;
+    }
+}
+
+fn blocked_nt(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    pack: &mut [f32],
+) {
+    let bpack = &mut pack[..k * GEMM_NR];
+    let mut jt0 = 0;
+    while jt0 < n {
+        let w = GEMM_NR.min(n - jt0);
+        // B rows jt0..jt0+w (each of length k) packed `[p][lane]`, ragged
+        // lanes zero-filled; padded lanes only feed accumulator columns that
+        // are never stored.
+        for (p, lane) in bpack.chunks_exact_mut(GEMM_NR).enumerate() {
+            for (jj, v) in lane.iter_mut().enumerate() {
+                *v = if jj < w { b[(jt0 + jj) * k + p] } else { 0.0 };
+            }
+        }
+        let mut it0 = 0;
+        while it0 + GEMM_MR <= m {
+            let arows = [
+                &a[it0 * k..(it0 + 1) * k],
+                &a[(it0 + 1) * k..(it0 + 2) * k],
+                &a[(it0 + 2) * k..(it0 + 3) * k],
+                &a[(it0 + 3) * k..(it0 + 4) * k],
+            ];
+            microkernel_nt_full(alpha, arows, bpack, &mut c[it0 * n + jt0..], n, w);
+            it0 += GEMM_MR;
+        }
+        while it0 < m {
+            microkernel_nt_row(
+                alpha,
+                &a[it0 * k..(it0 + 1) * k],
+                bpack,
+                &mut c[it0 * n + jt0..],
+                w,
+            );
+            it0 += 1;
+        }
+        jt0 += GEMM_NR;
+    }
+}
+
+fn fresh_pack(len: usize) -> Vec<f32> {
+    alloc_stats::bump_gemm_pack();
+    vec![0.0; len]
+}
+
+// ---------------------------------------------------------------------------
+// Public drivers
+// ---------------------------------------------------------------------------
+
+/// `C[m×n] += α · A[m×k] · B[k×n]`, all row-major.
+///
+/// Thin driver over the packed engine: small problems run a direct loop,
+/// larger ones the blocked kernel with freshly allocated pack scratch
+/// (bit-identical either way; see the module docs). Inference paths that
+/// must not allocate use [`sgemm_nn_with_scratch`].
+///
+/// # Panics
+///
+/// Panics with `"slice length must match the documented GEMM extents"` if
+/// any slice is shorter than its `m·k`/`k·n`/`m·n` extent.
+pub fn sgemm_nn(m: usize, n: usize, k: usize, alpha: f32, a: &[f32], b: &[f32], c: &mut [f32]) {
+    validate_abc(m * k, k * n, m * n, a, b, c);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    if m * n * k <= DIRECT_MAX_MACS {
+        direct_nn(m, n, k, alpha, a, b, c);
+    } else {
+        let blk = GemmBlocking::for_shape(m, n, k);
+        let mut pack = fresh_pack(blk.pack_len());
+        blocked_nn(&blk, m, n, k, alpha, a, b, c, &mut pack);
+    }
+}
+
+/// [`sgemm_nn`] through the blocked kernel with caller-provided blocking and
+/// packing scratch (`pack` contents need not be initialised). Bit-identical
+/// to [`sgemm_nn`] for every valid `blk`.
+///
+/// # Panics
+///
+/// Panics with the documented GEMM extents message if any operand slice is
+/// short or `pack.len() < blk.pack_len()`, and if any block size is zero.
+pub fn sgemm_nn_with_scratch(
+    blk: &GemmBlocking,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    pack: &mut [f32],
+) {
+    validate_abc(m * k, k * n, m * n, a, b, c);
+    blk.validate();
+    assert!(pack.len() >= blk.pack_len(), "{}", GEMM_LEN_MSG);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    blocked_nn(blk, m, n, k, alpha, a, b, c, pack);
+}
+
+/// `C[m×n] += α · A[m×k] · B[n×k]ᵀ`, all row-major.
+///
+/// Per element this kernel sums the full reduction chain into a fresh
+/// accumulator and then adds `α·acc` to `C` once, so its panels are never
+/// split along `k`; the blocked path tiles `m×n` only (scratch:
+/// [`sgemm_nt_pack_len`]).
+///
+/// # Panics
+///
+/// Panics with `"slice length must match the documented GEMM extents"` if
+/// any slice is shorter than its `m·k`/`n·k`/`m·n` extent.
+pub fn sgemm_nt(m: usize, n: usize, k: usize, alpha: f32, a: &[f32], b: &[f32], c: &mut [f32]) {
+    validate_abc(m * k, n * k, m * n, a, b, c);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if m * n * k <= DIRECT_MAX_MACS {
+        direct_nt(m, n, k, alpha, a, b, c);
+    } else {
+        let mut pack = fresh_pack(sgemm_nt_pack_len(k));
+        blocked_nt(m, n, k, alpha, a, b, c, &mut pack);
+    }
+}
+
+/// [`sgemm_nt`] through the blocked kernel with caller-provided packing
+/// scratch of at least [`sgemm_nt_pack_len`]`(k)` floats (contents need not
+/// be initialised). Bit-identical to [`sgemm_nt`].
+///
+/// # Panics
+///
+/// Panics with the documented GEMM extents message if any operand slice is
+/// short or `pack` is shorter than [`sgemm_nt_pack_len`]`(k)`.
+pub fn sgemm_nt_with_scratch(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    pack: &mut [f32],
+) {
+    validate_abc(m * k, n * k, m * n, a, b, c);
+    assert!(pack.len() >= sgemm_nt_pack_len(k), "{}", GEMM_LEN_MSG);
+    if m == 0 || n == 0 {
+        return;
+    }
+    blocked_nt(m, n, k, alpha, a, b, c, pack);
+}
+
+/// `C[k×n] += α · A[m×k]ᵀ · B[m×n]`, all row-major.
+///
+/// # Panics
+///
+/// Panics with `"slice length must match the documented GEMM extents"` if
+/// any slice is shorter than its `m·k`/`m·n`/`k·n` extent.
+pub fn sgemm_tn(m: usize, n: usize, k: usize, alpha: f32, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert!(c.len() >= k * n, "{}", GEMM_LEN_MSG);
+    if n == 0 {
+        // degenerate GEMM: historically a well-defined no-op (the row-block
+        // kernel insists on positive n so block bookkeeping stays exact)
+        assert!(a.len() >= m * k, "{}", GEMM_LEN_MSG);
+        assert!(b.len() >= m * n, "{}", GEMM_LEN_MSG);
+        return;
+    }
+    sgemm_tn_rowblock(m, n, k, alpha, a, b, &mut c[..k * n], 0);
+}
+
+/// [`sgemm_tn`] through the blocked kernel with caller-provided blocking and
+/// packing scratch. Bit-identical to [`sgemm_tn`] for every valid `blk`.
+///
+/// # Panics
+///
+/// As [`sgemm_tn`], plus the pack-length/blocking checks of
+/// [`sgemm_nn_with_scratch`].
+pub fn sgemm_tn_with_scratch(
+    blk: &GemmBlocking,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    pack: &mut [f32],
+) {
+    validate_abc(m * k, m * n, k * n, a, b, c);
+    blk.validate();
+    assert!(pack.len() >= blk.pack_len(), "{}", GEMM_LEN_MSG);
+    if n == 0 || k == 0 {
+        return;
+    }
+    blocked_tn_rowblock(blk, m, n, k, alpha, a, b, &mut c[..k * n], 0, k, pack);
+}
+
+/// Row-block of [`sgemm_tn`]: computes rows `p0..p0 + c_rows.len()/n` of
+/// `C[k×n] += α · A[m×k]ᵀ · B[m×n]` into `c_rows` (row-major), with the same
+/// per-element accumulation order (ascending `i`) and the same zero-skip as
+/// the full kernel — disjoint row-blocks therefore compose **bit-identically**
+/// to one `sgemm_tn` call, which is what lets `litho-nn` parallelize the
+/// transposed-convolution lowering across output rows.
+///
+/// # Panics
+///
+/// Panics with `"slice length must match the documented GEMM extents"` if a
+/// slice is shorter than its extent, and with the messages below if `n == 0`
+/// (`"C must have columns"`), `c_rows.len()` is not a multiple of `n`
+/// (`"C block must hold whole rows"`), or the row block exceeds `k` rows
+/// (`"row block exceeds C"`).
+pub fn sgemm_tn_rowblock(
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    c_rows: &mut [f32],
+    p0: usize,
+) {
+    assert!(a.len() >= m * k, "{}", GEMM_LEN_MSG);
+    assert!(b.len() >= m * n, "{}", GEMM_LEN_MSG);
+    assert!(n > 0, "C must have columns");
+    assert_eq!(c_rows.len() % n, 0, "C block must hold whole rows");
+    let rows = c_rows.len() / n;
+    assert!(p0 + rows <= k, "row block exceeds C");
+    if rows == 0 || m == 0 {
+        return;
+    }
+    if m * n * rows <= DIRECT_MAX_MACS {
+        direct_tn_rowblock(m, n, alpha, a, k, b, c_rows, p0, rows);
+    } else {
+        let blk = GemmBlocking::for_shape(rows, n, m);
+        let mut pack = fresh_pack(blk.pack_len());
+        blocked_tn_rowblock(&blk, m, n, k, alpha, a, b, c_rows, p0, rows, &mut pack);
+    }
+}
+
+/// [`sgemm_tn_rowblock`] through the blocked kernel with caller-provided
+/// blocking and packing scratch. Bit-identical to [`sgemm_tn_rowblock`].
+///
+/// # Panics
+///
+/// As [`sgemm_tn_rowblock`], plus the pack-length/blocking checks of
+/// [`sgemm_nn_with_scratch`].
+#[allow(clippy::too_many_arguments)]
+pub fn sgemm_tn_rowblock_with_scratch(
+    blk: &GemmBlocking,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    c_rows: &mut [f32],
+    p0: usize,
+    pack: &mut [f32],
+) {
+    assert!(a.len() >= m * k, "{}", GEMM_LEN_MSG);
+    assert!(b.len() >= m * n, "{}", GEMM_LEN_MSG);
+    assert!(n > 0, "C must have columns");
+    assert_eq!(c_rows.len() % n, 0, "C block must hold whole rows");
+    let rows = c_rows.len() / n;
+    assert!(p0 + rows <= k, "row block exceeds C");
+    blk.validate();
+    assert!(pack.len() >= blk.pack_len(), "{}", GEMM_LEN_MSG);
+    if rows == 0 || m == 0 {
+        return;
+    }
+    blocked_tn_rowblock(blk, m, n, k, alpha, a, b, c_rows, p0, rows, pack);
 }
 
 #[cfg(test)]
@@ -240,8 +921,43 @@ mod tests {
         assert_eq!(c, b);
     }
 
+    /// Blocked engine (every `_with_scratch` variant, ragged blocking) is
+    /// bit-identical to the direct drivers on a remainder-heavy shape.
     #[test]
-    #[should_panic(expected = "A too short")]
+    fn blocked_paths_bit_match_direct() {
+        let (m, n, k) = (13usize, 19usize, 11usize);
+        let a = seq(m * k, 0.31);
+        let b = seq(k * n, 0.17);
+        let blk = GemmBlocking {
+            mc: 5,
+            kc: 3,
+            nc: 10,
+        };
+        let mut pack = vec![f32::NAN; blk.pack_len()]; // contents must not matter
+        let mut want = seq(m * n, 0.05);
+        let mut got = want.clone();
+        sgemm_nn(m, n, k, 1.25, &a, &b, &mut want);
+        sgemm_nn_with_scratch(&blk, m, n, k, 1.25, &a, &b, &mut got, &mut pack);
+        assert_eq!(want, got, "nn blocked vs direct");
+
+        let bt = seq(n * k, 0.23);
+        let mut want = seq(m * n, 0.07);
+        let mut got = want.clone();
+        let mut ntpack = vec![f32::NAN; sgemm_nt_pack_len(k)];
+        sgemm_nt(m, n, k, 0.75, &a, &bt, &mut want);
+        sgemm_nt_with_scratch(m, n, k, 0.75, &a, &bt, &mut got, &mut ntpack);
+        assert_eq!(want, got, "nt blocked vs direct");
+
+        let bb = seq(m * n, 0.4);
+        let mut want = seq(k * n, 0.02);
+        let mut got = want.clone();
+        sgemm_tn(m, n, k, 1.5, &a, &bb, &mut want);
+        sgemm_tn_with_scratch(&blk, m, n, k, 1.5, &a, &bb, &mut got, &mut pack);
+        assert_eq!(want, got, "tn blocked vs direct");
+    }
+
+    #[test]
+    #[should_panic(expected = "slice length must match the documented GEMM extents")]
     fn short_a_panics() {
         let mut c = vec![0.0; 4];
         sgemm_nn(2, 2, 2, 1.0, &[0.0; 3], &[0.0; 4], &mut c);

@@ -5,7 +5,9 @@
 //!
 //! - [`Tensor`] — contiguous row-major buffers with NCHW conventions.
 //! - [`sgemm_nn`] / [`sgemm_nt`] / [`sgemm_tn`] — the three GEMM variants
-//!   needed by convolution forward/backward.
+//!   needed by convolution forward/backward, backed by a blocked, packed
+//!   microkernel engine ([`GemmBlocking`]); the `*_with_scratch` variants
+//!   take caller-owned packing scratch for allocation-free hot paths.
 //! - [`im2col`] / [`col2im`] — convolution lowering and its adjoint.
 //! - [`concat_channels`], [`pad_spatial`], … — shape plumbing for skip
 //!   connections and tile stitching.
@@ -36,7 +38,11 @@ pub mod init;
 mod shape_ops;
 mod tensor;
 
-pub use gemm::{sgemm_nn, sgemm_nt, sgemm_tn, sgemm_tn_rowblock};
+pub use gemm::{
+    sgemm_nn, sgemm_nn_with_scratch, sgemm_nt, sgemm_nt_pack_len, sgemm_nt_with_scratch, sgemm_tn,
+    sgemm_tn_rowblock, sgemm_tn_rowblock_with_scratch, sgemm_tn_with_scratch, GemmBlocking,
+    GEMM_MR, GEMM_NR,
+};
 pub use im2col::{col2im, conv_out_size, conv_transpose_out_size, im2col};
 pub use shape_ops::{
     concat_channels, concat_channels_into, concat_channels_shape, crop_spatial, crop_spatial_into,

@@ -74,6 +74,36 @@ pub mod alloc_stats {
         #[cfg(debug_assertions)]
         COMPLEX_SCRATCH_ALLOCS.fetch_add(1, Ordering::Relaxed);
     }
+
+    #[cfg(debug_assertions)]
+    static GEMM_PACK_ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+    /// Number of fresh **GEMM pack** buffers materialised so far: the blocked
+    /// `sgemm_*` drivers bump this whenever a caller did not supply packing
+    /// scratch (`sgemm_*_with_scratch`) and a panel buffer had to be
+    /// allocated on the spot. Warm `InferCtx` forwards route pack scratch
+    /// through the `f32` bucket pool, so the zero-alloc regression tests
+    /// assert this counter stays flat. Debug builds only; always `0` in
+    /// release.
+    pub fn gemm_pack_allocations() -> u64 {
+        #[cfg(debug_assertions)]
+        {
+            GEMM_PACK_ALLOCS.load(Ordering::Relaxed)
+        }
+        #[cfg(not(debug_assertions))]
+        {
+            0
+        }
+    }
+
+    /// Records one fresh GEMM pack-buffer allocation (see
+    /// [`gemm_pack_allocations`]). Bumped by the `sgemm_*` drivers in this
+    /// crate; not intended for application code.
+    #[inline]
+    pub fn bump_gemm_pack() {
+        #[cfg(debug_assertions)]
+        GEMM_PACK_ALLOCS.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// A contiguous row-major `f32` tensor.

@@ -1,0 +1,348 @@
+//! Oracle-backed lockdown of the packed GEMM engine.
+//!
+//! Every `sgemm_*` variant is property-tested against a naive triple-loop
+//! oracle that mirrors the *documented per-element contract* (ascending
+//! reduction order, zero-skip on the `A` operand for `nn`/`tn`, the
+//! full-chain-then-single-add rule for `nt`) — and the comparison is
+//! **bit-exact**, not approximate: the engine promises the same f32
+//! operation sequence on every path, so the oracle's bits are the answer.
+//!
+//! Coverage the shrinking strategies guarantee:
+//! - degenerate axes (`m`/`n`/`k` of 0 and 1),
+//! - remainders not divisible by `GEMM_MR`/`GEMM_NR`,
+//! - `alpha != 1`,
+//! - the `sgemm_tn` accumulate contract (`C` starts non-zero),
+//! - bit-identity of the blocked kernel across arbitrary `MC`/`KC`/`NC`
+//!   block-size overrides (pack scratch deliberately poisoned with NaN to
+//!   prove its contents are never read before being written).
+
+use litho_tensor::{
+    sgemm_nn, sgemm_nn_with_scratch, sgemm_nt, sgemm_nt_pack_len, sgemm_nt_with_scratch, sgemm_tn,
+    sgemm_tn_rowblock, sgemm_tn_rowblock_with_scratch, sgemm_tn_with_scratch, GemmBlocking,
+};
+use proptest::prelude::*;
+
+/// Deterministic fill with a sprinkling of *exact* zeros so the zero-skip
+/// branch is exercised on every case.
+fn fill(len: usize, seed: u64) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            let t = (i as u64).wrapping_mul(seed.wrapping_mul(2654435761).wrapping_add(97));
+            if t % 5 == 0 {
+                0.0
+            } else {
+                ((t % 1013) as f32 - 506.0) / 89.0
+            }
+        })
+        .collect()
+}
+
+/// `C += α·A·B` exactly as the kernel documents it: terms `(α·a)·b` added in
+/// ascending `p`, skipping terms whose `A` operand is exactly zero.
+fn oracle_nn(m: usize, n: usize, k: usize, alpha: f32, a: &[f32], b: &[f32], c: &mut [f32]) {
+    for i in 0..m {
+        for p in 0..k {
+            let av = a[i * k + p];
+            if av == 0.0 {
+                continue;
+            }
+            let s = alpha * av;
+            for j in 0..n {
+                c[i * n + j] += s * b[p * n + j];
+            }
+        }
+    }
+}
+
+/// `C += α·A·Bᵀ`: one fresh accumulator per element over the full reduction
+/// chain, then a single `c += α·acc` (no zero-skip).
+fn oracle_nt(m: usize, n: usize, k: usize, alpha: f32, a: &[f32], b: &[f32], c: &mut [f32]) {
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += a[i * k + p] * b[j * k + p];
+            }
+            c[i * n + j] += alpha * acc;
+        }
+    }
+}
+
+/// `C[k×n] += α·Aᵀ·B`: per element terms in ascending `i`, zero-skip on `A`.
+fn oracle_tn(m: usize, n: usize, k: usize, alpha: f32, a: &[f32], b: &[f32], c: &mut [f32]) {
+    for i in 0..m {
+        for p in 0..k {
+            let av = a[i * k + p];
+            if av == 0.0 {
+                continue;
+            }
+            let s = alpha * av;
+            for j in 0..n {
+                c[p * n + j] += s * b[i * n + j];
+            }
+        }
+    }
+}
+
+/// Bit-exact slice comparison (plain `==` would let `-0.0 == 0.0` slip by).
+fn assert_bits(got: &[f32], want: &[f32], what: &str) -> Result<(), TestCaseError> {
+    prop_assert!(got.len() == want.len(), "{} length mismatch", what);
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        prop_assert!(
+            g.to_bits() == w.to_bits(),
+            "{}[{}]: {} != {}",
+            what,
+            i,
+            g,
+            w
+        );
+    }
+    Ok(())
+}
+
+/// Three representative alphas (the stub proptest has no `prop_oneof!`).
+fn alphas() -> impl Strategy<Value = f32> {
+    (0usize..3).prop_map(|i| [1.0f32, -1.5, 0.375][i])
+}
+
+fn nan_pack(len: usize) -> Vec<f32> {
+    vec![f32::NAN; len]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `sgemm_nn` (direct or blocked, the driver decides) and the blocked
+    /// kernel under an arbitrary block-size override both match the oracle
+    /// bit-for-bit.
+    #[test]
+    fn nn_matches_oracle(
+        m in 0usize..24, n in 0usize..24, k in 0usize..24,
+        alpha in alphas(),
+        seed in 0u64..1000,
+        mc in 1usize..10, kc in 1usize..10, nc in 1usize..12,
+    ) {
+        let a = fill(m * k, seed);
+        let b = fill(k * n, seed.wrapping_add(1));
+        let c0 = fill(m * n, seed.wrapping_add(2));
+
+        let mut want = c0.clone();
+        oracle_nn(m, n, k, alpha, &a, &b, &mut want);
+
+        let mut got = c0.clone();
+        sgemm_nn(m, n, k, alpha, &a, &b, &mut got);
+        assert_bits(&got, &want, "sgemm_nn")?;
+
+        let blk = GemmBlocking { mc, kc, nc };
+        let mut pack = nan_pack(blk.pack_len());
+        let mut got_blk = c0.clone();
+        sgemm_nn_with_scratch(&blk, m, n, k, alpha, &a, &b, &mut got_blk, &mut pack);
+        assert_bits(&got_blk, &want, "sgemm_nn_with_scratch")?;
+    }
+
+    /// `sgemm_nt` and its scratch-backed blocked form match the oracle
+    /// bit-for-bit.
+    #[test]
+    fn nt_matches_oracle(
+        m in 0usize..24, n in 0usize..24, k in 0usize..24,
+        alpha in alphas(),
+        seed in 0u64..1000,
+    ) {
+        let a = fill(m * k, seed);
+        let b = fill(n * k, seed.wrapping_add(1));
+        let c0 = fill(m * n, seed.wrapping_add(2));
+
+        let mut want = c0.clone();
+        oracle_nt(m, n, k, alpha, &a, &b, &mut want);
+
+        let mut got = c0.clone();
+        sgemm_nt(m, n, k, alpha, &a, &b, &mut got);
+        assert_bits(&got, &want, "sgemm_nt")?;
+
+        let mut pack = nan_pack(sgemm_nt_pack_len(k));
+        let mut got_blk = c0.clone();
+        sgemm_nt_with_scratch(m, n, k, alpha, &a, &b, &mut got_blk, &mut pack);
+        assert_bits(&got_blk, &want, "sgemm_nt_with_scratch")?;
+    }
+
+    /// `sgemm_tn` *accumulates* into a non-zero `C` and matches the oracle
+    /// bit-for-bit, both through the plain driver and the blocked kernel
+    /// under an arbitrary block override.
+    #[test]
+    fn tn_matches_oracle_and_accumulates(
+        m in 0usize..24, n in 0usize..24, k in 0usize..24,
+        alpha in alphas(),
+        seed in 0u64..1000,
+        mc in 1usize..10, kc in 1usize..10, nc in 1usize..12,
+    ) {
+        let a = fill(m * k, seed);
+        let b = fill(m * n, seed.wrapping_add(1));
+        let c0 = fill(k * n, seed.wrapping_add(2));
+
+        let mut want = c0.clone();
+        oracle_tn(m, n, k, alpha, &a, &b, &mut want);
+
+        let mut got = c0.clone();
+        sgemm_tn(m, n, k, alpha, &a, &b, &mut got);
+        assert_bits(&got, &want, "sgemm_tn")?;
+
+        if n > 0 && k > 0 {
+            let blk = GemmBlocking { mc, kc, nc };
+            let mut pack = nan_pack(blk.pack_len());
+            let mut got_blk = c0.clone();
+            sgemm_tn_with_scratch(&blk, m, n, k, alpha, &a, &b, &mut got_blk, &mut pack);
+            assert_bits(&got_blk, &want, "sgemm_tn_with_scratch")?;
+        }
+    }
+
+    /// Disjoint `sgemm_tn_rowblock` calls compose bit-identically to one full
+    /// `sgemm_tn`, for an arbitrary split point and block override — the
+    /// contract `litho-nn` relies on to parallelize over output rows.
+    #[test]
+    fn tn_rowblocks_compose(
+        m in 0usize..20, n in 1usize..20, k in 1usize..20,
+        alpha in (0usize..2).prop_map(|i| [1.0f32, -0.75][i]),
+        seed in 0u64..1000,
+        split_sel in 0usize..100,
+        mc in 1usize..8, kc in 1usize..8, nc in 1usize..10,
+    ) {
+        let a = fill(m * k, seed);
+        let b = fill(m * n, seed.wrapping_add(1));
+        let c0 = fill(k * n, seed.wrapping_add(2));
+
+        let mut want = c0.clone();
+        sgemm_tn(m, n, k, alpha, &a, &b, &mut want);
+
+        let split = split_sel % (k + 1);
+        let mut got = c0.clone();
+        let (top, bottom) = got.split_at_mut(split * n);
+        sgemm_tn_rowblock(m, n, k, alpha, &a, &b, top, 0);
+        sgemm_tn_rowblock(m, n, k, alpha, &a, &b, bottom, split);
+        assert_bits(&got, &want, "composed rowblocks")?;
+
+        let blk = GemmBlocking { mc, kc, nc };
+        let mut got_s = c0.clone();
+        let (top, bottom) = got_s.split_at_mut(split * n);
+        let mut pack = nan_pack(blk.pack_len());
+        sgemm_tn_rowblock_with_scratch(&blk, m, n, k, alpha, &a, &b, top, 0, &mut pack);
+        sgemm_tn_rowblock_with_scratch(&blk, m, n, k, alpha, &a, &b, bottom, split, &mut pack);
+        assert_bits(&got_s, &want, "composed scratch rowblocks")?;
+    }
+
+    /// The blocked kernel is bit-identical across *different* block-size
+    /// overrides — blocking is purely a performance knob.
+    #[test]
+    fn blocking_is_invisible(
+        m in 1usize..20, n in 1usize..20, k in 1usize..20,
+        seed in 0u64..1000,
+        mc1 in 1usize..12, kc1 in 1usize..12, nc1 in 1usize..16,
+        mc2 in 1usize..12, kc2 in 1usize..12, nc2 in 1usize..16,
+    ) {
+        let a = fill(m * k, seed);
+        let b = fill(k * n, seed.wrapping_add(1));
+        let c0 = fill(m * n, seed.wrapping_add(2));
+
+        let b1 = GemmBlocking { mc: mc1, kc: kc1, nc: nc1 };
+        let b2 = GemmBlocking { mc: mc2, kc: kc2, nc: nc2 };
+        let mut c1 = c0.clone();
+        let mut c2 = c0.clone();
+        let mut p1 = nan_pack(b1.pack_len());
+        let mut p2 = nan_pack(b2.pack_len());
+        sgemm_nn_with_scratch(&b1, m, n, k, 1.0, &a, &b, &mut c1, &mut p1);
+        sgemm_nn_with_scratch(&b2, m, n, k, 1.0, &a, &b, &mut c2, &mut p2);
+        assert_bits(&c1, &c2, "nn across blockings")?;
+
+        let bt = fill(m * n, seed.wrapping_add(3));
+        let ct0 = fill(k * n, seed.wrapping_add(4));
+        let mut t1 = ct0.clone();
+        let mut t2 = ct0;
+        sgemm_tn_with_scratch(&b1, m, n, k, 1.0, &a, &bt, &mut t1, &mut p1);
+        sgemm_tn_with_scratch(&b2, m, n, k, 1.0, &a, &bt, &mut t2, &mut p2);
+        assert_bits(&t1, &t2, "tn across blockings")?;
+    }
+}
+
+/// The plain drivers switch to the blocked path (with fresh pack scratch)
+/// above the direct cutoff; pin a shape just past it for each variant and
+/// check the oracle still matches bit-for-bit.
+#[test]
+fn drivers_match_oracle_past_direct_cutoff() {
+    // 36·40·33 = 47 520 MACs > 32 768 — and none of the axes divide MR/NR.
+    let (m, n, k) = (36usize, 40usize, 33usize);
+
+    let a = fill(m * k, 11);
+    let b = fill(k * n, 12);
+    let c0 = fill(m * n, 13);
+    let mut want = c0.clone();
+    oracle_nn(m, n, k, 0.5, &a, &b, &mut want);
+    let mut got = c0;
+    sgemm_nn(m, n, k, 0.5, &a, &b, &mut got);
+    assert_eq!(
+        got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        "large sgemm_nn"
+    );
+
+    let bt = fill(n * k, 14);
+    let c0 = fill(m * n, 15);
+    let mut want = c0.clone();
+    oracle_nt(m, n, k, -2.0, &a, &bt, &mut want);
+    let mut got = c0;
+    sgemm_nt(m, n, k, -2.0, &a, &bt, &mut got);
+    assert_eq!(
+        got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        "large sgemm_nt"
+    );
+
+    let bn = fill(m * n, 16);
+    let c0 = fill(k * n, 17);
+    let mut want = c0.clone();
+    oracle_tn(m, n, k, 0.5, &a, &bn, &mut want);
+    let mut got = c0;
+    sgemm_tn(m, n, k, 0.5, &a, &bn, &mut got);
+    assert_eq!(
+        got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        "large sgemm_tn"
+    );
+}
+
+// Every variant shares the one documented slice-length panic message.
+
+#[test]
+#[should_panic(expected = "slice length must match the documented GEMM extents")]
+fn nn_short_a_panics() {
+    let mut c = vec![0.0; 4];
+    sgemm_nn(2, 2, 3, 1.0, &[0.0; 5], &[0.0; 6], &mut c);
+}
+
+#[test]
+#[should_panic(expected = "slice length must match the documented GEMM extents")]
+fn nt_short_b_panics() {
+    let mut c = vec![0.0; 4];
+    sgemm_nt(2, 2, 3, 1.0, &[0.0; 6], &[0.0; 5], &mut c);
+}
+
+#[test]
+#[should_panic(expected = "slice length must match the documented GEMM extents")]
+fn tn_short_c_panics() {
+    let mut c = vec![0.0; 5];
+    sgemm_tn(2, 2, 3, 1.0, &[0.0; 6], &[0.0; 4], &mut c);
+}
+
+#[test]
+#[should_panic(expected = "slice length must match the documented GEMM extents")]
+fn rowblock_short_a_panics() {
+    let mut c = vec![0.0; 6];
+    sgemm_tn_rowblock(2, 2, 3, 1.0, &[0.0; 5], &[0.0; 4], &mut c, 0);
+}
+
+#[test]
+#[should_panic(expected = "slice length must match the documented GEMM extents")]
+fn short_pack_scratch_panics() {
+    let blk = GemmBlocking::default();
+    let mut c = vec![0.0; 4];
+    let mut pack = vec![0.0; blk.pack_len() - 1];
+    sgemm_nn_with_scratch(&blk, 2, 2, 2, 1.0, &[0.0; 4], &[0.0; 4], &mut c, &mut pack);
+}
