@@ -31,7 +31,7 @@ fn bench_fourier_units(c: &mut Criterion) {
             let x = g.input(black_box(input1.clone()));
             let y = unit.forward(&mut g, x);
             black_box(g.value(y).sum())
-        })
+        });
     });
     group.bench_function("baseline_fno_layer_forward", |b| {
         b.iter(|| {
@@ -39,7 +39,7 @@ fn bench_fourier_units(c: &mut Criterion) {
             let x = g.input(black_box(inputc.clone()));
             let y = fno.forward(&mut g, x);
             black_box(g.value(y).sum())
-        })
+        });
     });
     group.finish();
 }

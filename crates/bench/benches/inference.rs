@@ -36,7 +36,7 @@ fn bench_inference(c: &mut Criterion) {
                 let x = g.input(black_box(input.clone()));
                 let y = built.model.forward(&mut g, x);
                 black_box(g.value(y).sum())
-            })
+            });
         });
         let mut ctx = InferCtx::new();
         group.bench_function(format!("{} [infer]", kind.name()), |b| {
@@ -45,7 +45,7 @@ fn bench_inference(c: &mut Criterion) {
                 let s = y.sum();
                 ctx.recycle(y);
                 black_box(s)
-            })
+            });
         });
     }
     group.finish();
@@ -69,7 +69,7 @@ fn bench_batched_inference(c: &mut Criterion) {
         b.iter(|| {
             let out = predict_batch(&built.model, black_box(&inputs));
             black_box(out.len())
-        })
+        });
     });
     group.finish();
 }

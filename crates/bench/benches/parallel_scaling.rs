@@ -29,6 +29,7 @@ fn configure(group: &mut criterion::BenchmarkGroup<'_>) {
 
 fn bench_fft2d(c: &mut Criterion) {
     let size = 512;
+    // litho-lint: allow(plan-cache): bench measures the bare plan, not cache lookup
     let plan = Fft2::new(size, size);
     let img: Vec<Complex32> = (0..size * size)
         .map(|i| Complex32::new((i as f32 * 0.13).sin(), (i as f32 * 0.07).cos()))
@@ -42,7 +43,7 @@ fn bench_fft2d(c: &mut Criterion) {
                 let mut data = img.clone();
                 plan.transform_in(black_box(&mut data), Direction::Forward, &pool);
                 black_box(data[0])
-            })
+            });
         });
     }
     group.finish();
@@ -70,7 +71,7 @@ fn bench_conv(c: &mut Criterion) {
                     1,
                     &pool,
                 ))
-            })
+            });
         });
     }
     group.finish();
@@ -88,7 +89,7 @@ fn bench_conv(c: &mut Criterion) {
                     1,
                     &pool,
                 ))
-            })
+            });
         });
     }
     group.finish();
@@ -105,7 +106,7 @@ fn bench_large_tile_and_batch(c: &mut Criterion) {
     for threads in POOL_SIZES {
         let pool = Pool::new(threads);
         group.bench_function(BenchmarkId::new("threads", threads), |b| {
-            b.iter(|| black_box(sim.simulate_with_pool(black_box(&mask), &pool)))
+            b.iter(|| black_box(sim.simulate_with_pool(black_box(&mask), &pool)));
         });
     }
     group.finish();
@@ -118,7 +119,7 @@ fn bench_large_tile_and_batch(c: &mut Criterion) {
     for threads in POOL_SIZES {
         let pool = Pool::new(threads);
         group.bench_function(BenchmarkId::new("threads", threads), |b| {
-            b.iter(|| black_box(predict_batch_with_pool(&model, black_box(&inputs), &pool)))
+            b.iter(|| black_box(predict_batch_with_pool(&model, black_box(&inputs), &pool)));
         });
     }
     group.finish();

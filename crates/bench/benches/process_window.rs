@@ -47,7 +47,7 @@ fn bench_corner_sweep(c: &mut Criterion) {
                     .print_corners(black_box(&mask), &corners, &resist)
                     .len(),
             )
-        })
+        });
     });
 
     // warm: the defocus-keyed cache leaves only FFT imaging + develop
@@ -59,7 +59,7 @@ fn bench_corner_sweep(c: &mut Criterion) {
                 warm.print_corners(black_box(&mask), &corners, &resist)
                     .len(),
             )
-        })
+        });
     });
 
     // per-corner cost as the grid widens (doses are free, defoci are not)
@@ -72,7 +72,7 @@ fn bench_corner_sweep(c: &mut Criterion) {
             b.iter(|| {
                 let mut engine = ProcessWindowEngine::new(grid, pupil, source, 6);
                 black_box(engine.print_corners(black_box(&mask), w, &resist).len())
-            })
+            });
         });
     }
     group.finish();
@@ -87,7 +87,7 @@ fn bench_corner_sweep(c: &mut Criterion) {
         b.iter(|| {
             let pv = PvBand::from_prints(black_box(&prints), 64);
             black_box(pv.stats(8.0).band_area_nm2)
-        })
+        });
     });
     group.finish();
 }

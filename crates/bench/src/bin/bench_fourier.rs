@@ -41,6 +41,7 @@ struct Row {
 
 fn measure(reps: usize, mut f: impl FnMut()) -> (u64, f64) {
     let ops0 = butterfly_ops();
+    // litho-lint: allow(clock-discipline): benchmark harness measures real wall time
     let t0 = Instant::now();
     for _ in 0..reps {
         f();

@@ -67,6 +67,7 @@ fn measure_pair(
             .into_iter()
             .enumerate()
         {
+            // litho-lint: allow(clock-discipline): benchmark harness measures real wall time
             let t0 = Instant::now();
             for _ in 0..reps {
                 f();

@@ -70,6 +70,7 @@ fn main() {
     );
     let time_engine = |f: &dyn Fn() -> Vec<f32>| {
         let _ = f(); // warm-up
+                     // litho-lint: allow(clock-discipline): benchmark harness measures real wall time
         let start = Instant::now();
         for _ in 0..iters {
             let _ = f();

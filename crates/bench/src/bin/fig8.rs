@@ -49,7 +49,7 @@ fn main() {
             mask.iter()
                 .map(|&v| if v >= 0.5 { 1.0 } else { 0.0 })
                 .collect(),
-        )
+        );
     });
 
     let resist = ResistModel::ConstantThreshold {

@@ -103,10 +103,7 @@ fn main() {
     let naive = SegMetrics::mean(&naive_scores);
     let lt = SegMetrics::mean(&lt_scores);
     print_table(
-        &format!(
-            "{}x{} px large tiles ({}x training size)",
-            large_px, large_px, s_factor
-        ),
+        &format!("{large_px}x{large_px} px large tiles ({s_factor}x training size)"),
         &["Scheme", "mPA (%)", "mIOU (%)"],
         &[
             vec![

@@ -318,6 +318,7 @@ pub fn measure_throughput(model: &dyn Module, ds: &LithoDataset, iters: usize) -
     // warm-up (also fills the ctx buffer pool)
     let y = model.infer(&mut ctx, input.clone());
     ctx.recycle(y);
+    // litho-lint: allow(clock-discipline): benchmark harness measures real wall time
     let start = Instant::now();
     for _ in 0..iters {
         let y = model.infer(&mut ctx, input.clone());
@@ -345,8 +346,8 @@ pub fn write_pgm(path: impl AsRef<std::path::Path>, img: &[f32], w: usize, h: us
 
 /// Normalises an arbitrary-range image to `[0,1]` for visualisation.
 pub fn normalize_for_display(img: &[f32]) -> Vec<f32> {
-    let lo = img.iter().cloned().fold(f32::INFINITY, f32::min);
-    let hi = img.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let lo = img.iter().copied().fold(f32::INFINITY, f32::min);
+    let hi = img.iter().copied().fold(f32::NEG_INFINITY, f32::max);
     let span = (hi - lo).max(1e-9);
     img.iter().map(|&v| (v - lo) / span).collect()
 }

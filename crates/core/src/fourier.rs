@@ -258,7 +258,7 @@ pub fn spectral_conv2d(g: &mut Graph, x: Var, w_re: Var, w_im: Var, k: usize) ->
                 &mut fwd_scratch,
                 pool,
             );
-            for v in g_all.iter_mut() {
+            for v in &mut g_all {
                 *v = v.scale(1.0 / hw);
             }
             // weight gradient and input-mode gradient
@@ -501,7 +501,7 @@ pub fn fourier_unit(
                     &mut fwd_scratch,
                     pool,
                 );
-                for v in g_modes.iter_mut() {
+                for v in &mut g_modes {
                     *v = v.scale(1.0 / hw);
                 }
                 // dwr[i,o,f] += conj(B_i[f]) Ĝ_o[f];   B_i = T·wp_i

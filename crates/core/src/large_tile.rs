@@ -140,8 +140,7 @@ impl<'a> LargeTileSimulator<'a> {
         let mut ctx = workers
             .into_iter()
             .next()
-            .map(|(ctx, _)| ctx)
-            .unwrap_or_else(|| InferCtx::with_pool(wpool));
+            .map_or_else(|| InferCtx::with_pool(wpool), |(ctx, _)| ctx);
         let lp_feats = self.model.lp_features_infer(&mut ctx, mask);
         self.model.reconstruct_infer(&mut ctx, stitched, lp_feats)
     }

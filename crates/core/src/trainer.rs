@@ -105,6 +105,7 @@ pub fn train_model<M: Module + ?Sized>(
     cfg: &TrainConfig,
 ) -> TrainReport {
     assert!(!samples.is_empty(), "training set is empty");
+    // litho-lint: allow(clock-discipline): TrainReport.seconds is wall time by definition
     let start = std::time::Instant::now();
     model.set_training(true);
     let mut opt = Adam::new(model.params(), cfg.lr).with_weight_decay(cfg.weight_decay);
@@ -170,11 +171,11 @@ pub fn train_model<M: Module + ?Sized>(
             if epoch_losses.len() > window {
                 let best_before: f32 = epoch_losses[..epoch_losses.len() - window]
                     .iter()
-                    .cloned()
+                    .copied()
                     .fold(f32::INFINITY, f32::min);
                 let best_recent: f32 = epoch_losses[epoch_losses.len() - window..]
                     .iter()
-                    .cloned()
+                    .copied()
                     .fold(f32::INFINITY, f32::min);
                 if best_recent > best_before * (1.0 - es.min_rel_delta) {
                     if cfg.verbose {

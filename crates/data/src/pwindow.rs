@@ -118,7 +118,7 @@ pub fn synthesize_process_window(
     for i in 0..cfg.test_tiles {
         let mask = tile_mask(cfg, &nominal, 1_000_000 + i as u64);
         let mask_t = Tensor::from_vec(mask.clone(), &shape);
-        for corner in corners.iter_mut() {
+        for corner in &mut corners {
             let printed = engine.print(&mask, corner.condition, &resist);
             corner
                 .samples

@@ -1,0 +1,289 @@
+//! `litho-lint` — workspace-invariant static analyzer.
+//!
+//! Every guarantee this workspace is built on — bit-identical results at any
+//! `LITHO_THREADS`, one parallelism primitive, process-wide FFT plan
+//! caching, zero-alloc warm inference, injectable clocks in the serving
+//! layer, stable kernel panic contracts — is a *convention* until something
+//! enforces it mechanically. This crate is that something: a
+//! dependency-free, lexer-level Rust source analyzer (no `syn` — the build
+//! environment is hermetic) plus a rule engine and the `litho-lint` binary
+//! that walks `crates/ src/ examples/` and fails CI on any violation.
+//!
+//! The rules are catalogued, with rationale and examples, in
+//! [`docs/LINTS.md`](https://example.invalid/doinn-rs):
+//!
+//! | rule | invariant |
+//! |---|---|
+//! | `pool-discipline` | `std::thread::{spawn,scope}` only inside `crates/parallel` |
+//! | `plan-cache` | no `Fft2::new` outside `litho-fft` — use `litho_fft::plans` |
+//! | `clock-discipline` | `crates/serve` reads time only through `Clock`; raw clocks elsewhere need a pragma |
+//! | `det-iteration` | no iteration over `HashMap` — iterated maps must be `BTreeMap` |
+//! | `infer-alloc` | no fresh allocation inside `*_infer`/`*_fill` hot-path functions |
+//! | `panic-contract` | kernel panic messages come from the contract-string registry |
+//!
+//! ## Pragmas
+//!
+//! A finding can be waived in place with
+//! `// litho-lint: allow(rule): reason` on the offending line or the line
+//! above. The reason is **mandatory** (a pragma without one is itself a
+//! finding, rule `pragma-syntax`), unknown rule names are rejected, and a
+//! pragma that suppresses nothing is flagged as `pragma-unused` so stale
+//! waivers can't accumulate.
+//!
+//! ## Test code
+//!
+//! Files under `tests/` directories, `#[cfg(test)]` items and `mod tests`
+//! blocks are exempt: the disciplines govern shipping library code. Fixture
+//! files under `tests/fixtures/` exercise each rule against this crate's
+//! own engine.
+
+pub mod rules;
+pub mod scrub;
+mod walk;
+
+pub use rules::{Config, Finding, CONTRACT_CONSTS, CONTRACT_STRINGS, META_RULES, RULES};
+pub use walk::workspace_files;
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Analyzes one file's source text. `rel_path` must use forward slashes and
+/// be workspace-relative (rules match on it); in-file test regions are
+/// skipped, but no path-level test classification happens here — the
+/// [`workspace_files`] walker is responsible for skipping `tests/`
+/// directories.
+pub fn analyze_source(rel_path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
+    let s = scrub::scrub(src);
+    let mut raw = Vec::new();
+    rules::run_all(&s, rel_path, cfg, &mut raw);
+
+    let mut findings = Vec::new();
+    let mut used = vec![false; s.pragmas.len()];
+    for f in raw {
+        let suppressed = s.pragmas.iter().enumerate().any(|(i, p)| {
+            let applies = !p.malformed
+                && !p.reason.is_empty()
+                && p.rule == f.rule
+                && (p.line == f.line || p.line + 1 == f.line);
+            if applies {
+                used[i] = true;
+            }
+            applies
+        });
+        if !suppressed {
+            findings.push(f);
+        }
+    }
+    for (i, p) in s.pragmas.iter().enumerate() {
+        if p.malformed {
+            findings.push(Finding {
+                rule: "pragma-syntax".to_string(),
+                file: rel_path.to_string(),
+                line: p.line,
+                message: "malformed litho-lint pragma: expected \
+                          `// litho-lint: allow(rule): reason`"
+                    .to_string(),
+            });
+        } else if !RULES.contains(&p.rule.as_str()) {
+            findings.push(Finding {
+                rule: "pragma-syntax".to_string(),
+                file: rel_path.to_string(),
+                line: p.line,
+                message: format!(
+                    "unknown rule `{}` in allow pragma (known rules: {})",
+                    p.rule,
+                    RULES.join(", ")
+                ),
+            });
+        } else if p.reason.is_empty() {
+            findings.push(Finding {
+                rule: "pragma-syntax".to_string(),
+                file: rel_path.to_string(),
+                line: p.line,
+                message: format!(
+                    "allow({}) pragma without a reason: the justification is mandatory \
+                     (`// litho-lint: allow({}): <why this is safe>`)",
+                    p.rule, p.rule
+                ),
+            });
+        } else if !used[i] {
+            findings.push(Finding {
+                rule: "pragma-unused".to_string(),
+                file: rel_path.to_string(),
+                line: p.line,
+                message: format!(
+                    "allow({}) pragma suppresses nothing on this or the next line: \
+                     stale waiver, remove it",
+                    p.rule
+                ),
+            });
+        }
+    }
+    findings.sort_by(|a, b| (a.line, &a.rule).cmp(&(b.line, &b.rule)));
+    findings
+}
+
+/// A whole-run report: every finding plus scan statistics.
+#[derive(Debug)]
+pub struct Report {
+    /// All findings across all files, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files analyzed.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Per-rule finding counts (zero entries included for every known rule,
+    /// so the JSON schema is stable).
+    pub fn rule_counts(&self) -> BTreeMap<&str, usize> {
+        let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+        for r in RULES.iter().chain(META_RULES) {
+            counts.insert(r, 0);
+        }
+        for f in &self.findings {
+            // findings only carry known rule ids; entry() keeps this total
+            // even if that ever changes
+            *counts.entry(f.rule.as_str()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Renders the report as deterministic JSON (keys ordered, findings
+    /// sorted). The CI gate greps the `"total"` row.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"tool\": \"litho-lint\",\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"total\": {},\n", self.findings.len()));
+        out.push_str("  \"rules\": {\n");
+        let counts = self.rule_counts();
+        let rows: Vec<String> = counts
+            .iter()
+            .map(|(rule, n)| format!("    {}: {}", json_str(rule), n))
+            .collect();
+        out.push_str(&rows.join(",\n"));
+        out.push_str("\n  },\n");
+        out.push_str("  \"findings\": [\n");
+        let rows: Vec<String> = self
+            .findings
+            .iter()
+            .map(|f| {
+                format!(
+                    "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+                    json_str(&f.rule),
+                    json_str(&f.file),
+                    f.line,
+                    json_str(&f.message)
+                )
+            })
+            .collect();
+        out.push_str(&rows.join(",\n"));
+        if !self.findings.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Analyzes every workspace source file under `root` (the repository
+/// checkout): `crates/`, `src/` and `examples/`, excluding `tests/`,
+/// `fixtures/` and `benches-free` build dirs. Paths in findings are
+/// `root`-relative with forward slashes.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the directory walk or file reads.
+pub fn analyze_workspace(root: &Path, cfg: &Config) -> std::io::Result<Report> {
+    let files = workspace_files(root)?;
+    let mut findings = Vec::new();
+    let files_scanned = files.len();
+    for path in files {
+        let src = std::fs::read_to_string(&path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        findings.extend(analyze_source(&rel, &src, cfg));
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    Ok(Report {
+        findings,
+        files_scanned,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pragma_suppresses_on_same_or_next_line() {
+        let src = "fn f() {\n    // litho-lint: allow(plan-cache): fixture twin\n    let p = Fft2::new(4, 4);\n    let q = Fft2::new(4, 4); // litho-lint: allow(plan-cache): trailing form\n}\n";
+        let f = analyze_source("crates/x/src/lib.rs", src, &Config::default());
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn pragma_without_reason_is_a_finding_and_does_not_suppress() {
+        let src =
+            "fn f() {\n    // litho-lint: allow(plan-cache)\n    let p = Fft2::new(4, 4);\n}\n";
+        let f = analyze_source("crates/x/src/lib.rs", src, &Config::default());
+        let rules: Vec<&str> = f.iter().map(|f| f.rule.as_str()).collect();
+        assert_eq!(rules, vec!["pragma-syntax", "plan-cache"], "{f:?}");
+    }
+
+    #[test]
+    fn unknown_rule_and_unused_pragmas_are_findings() {
+        let src = "// litho-lint: allow(no-such-rule): reason\nfn f() {}\n// litho-lint: allow(plan-cache): nothing here to suppress\nfn g() {}\n";
+        let f = analyze_source("crates/x/src/lib.rs", src, &Config::default());
+        let rules: Vec<&str> = f.iter().map(|f| f.rule.as_str()).collect();
+        assert_eq!(rules, vec!["pragma-syntax", "pragma-unused"], "{f:?}");
+    }
+
+    #[test]
+    fn json_report_is_stable_and_greppable() {
+        let r = Report {
+            findings: vec![],
+            files_scanned: 3,
+        };
+        let j = r.to_json();
+        assert!(j.contains("\"total\": 0"), "{j}");
+        assert!(j.contains("\"pool-discipline\": 0"));
+        assert!(j.contains("\"files_scanned\": 3"));
+        let r = Report {
+            findings: vec![Finding {
+                rule: "plan-cache".into(),
+                file: "a\\b\".rs".into(),
+                line: 7,
+                message: "x".into(),
+            }],
+            files_scanned: 1,
+        };
+        let j = r.to_json();
+        assert!(j.contains("\"total\": 1"));
+        assert!(j.contains("\"plan-cache\": 1"));
+        assert!(j.contains("a\\\\b\\\""), "escaping: {j}");
+    }
+}

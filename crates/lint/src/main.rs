@@ -1,0 +1,68 @@
+//! `litho-lint` CLI: walks the workspace sources and reports invariant
+//! violations.
+//!
+//! ```text
+//! litho-lint [--json] [ROOT]
+//! ```
+//!
+//! `ROOT` defaults to the current directory (CI runs it from the checkout
+//! root). Exit codes: `0` clean, `1` findings, `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("usage: litho-lint [--json] [ROOT]");
+                println!("Checks workspace sources against the litho invariant rules:");
+                for r in litho_lint::RULES {
+                    println!("  {r}");
+                }
+                println!("See docs/LINTS.md for the rule catalogue and pragma syntax.");
+                return ExitCode::SUCCESS;
+            }
+            a if a.starts_with('-') => {
+                eprintln!("litho-lint: unknown flag `{a}` (try --help)");
+                return ExitCode::from(2);
+            }
+            a => {
+                if root.is_some() {
+                    eprintln!("litho-lint: at most one ROOT argument (try --help)");
+                    return ExitCode::from(2);
+                }
+                root = Some(PathBuf::from(a));
+            }
+        }
+    }
+    let root = root.unwrap_or_else(|| PathBuf::from("."));
+    let cfg = litho_lint::Config::default();
+    let report = match litho_lint::analyze_workspace(&root, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("litho-lint: {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        for f in &report.findings {
+            println!("{f}");
+        }
+        println!(
+            "litho-lint: {} finding(s) across {} file(s)",
+            report.findings.len(),
+            report.files_scanned
+        );
+    }
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,488 @@
+//! Byte-preserving Rust source scrubber — the "lexer level" of the analyzer.
+//!
+//! [`scrub`] produces a copy of the source in which every comment body,
+//! string-literal body and char-literal body is replaced byte-for-byte with
+//! spaces (newlines are preserved). The output has **exactly the same byte
+//! length and line structure as the input**, so every offset into the
+//! scrubbed text is also an offset into the original file — rules can match
+//! code patterns with plain substring scans and never trip over a pattern
+//! that only occurs inside a comment or a string.
+//!
+//! Alongside the scrubbed text the scrubber collects:
+//!
+//! - the contents of every string literal, keyed by the byte offset of its
+//!   opening quote (the panic-contract rule needs the *values*);
+//! - every `litho-lint:` pragma found in a comment;
+//! - a per-line test-code map: lines inside `#[cfg(test)]` items, `#[test]`
+//!   functions or `mod tests { … }` blocks are marked so rules that only
+//!   govern non-test code can skip them.
+//!
+//! The scrubber assumes `rustfmt`-normalized input (the whole workspace is
+//! formatted in CI): paths like `Instant::now` carry no interior whitespace
+//! and attributes sit on their own line. It handles nested block comments,
+//! raw strings (`r#"…"#`), byte strings and the char-literal/lifetime
+//! ambiguity, because those are exactly the places where a naive text scan
+//! would misfire.
+
+use std::collections::BTreeMap;
+
+/// One `// litho-lint: allow(rule): reason` pragma found in a comment.
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    /// 1-based line the comment starts on.
+    pub line: usize,
+    /// The rule name inside `allow(…)`; empty when the pragma is malformed.
+    pub rule: String,
+    /// The justification after the closing paren; empty when missing.
+    pub reason: String,
+    /// True when the comment mentions `litho-lint` but does not parse as
+    /// `litho-lint: allow(rule): reason`.
+    pub malformed: bool,
+}
+
+/// The scrubbed view of one source file. See the module docs.
+#[derive(Debug)]
+pub struct Scrubbed {
+    /// Same byte length as the input; comment and literal bodies blanked.
+    pub text: String,
+    /// Byte offset of the start of each (0-based) line.
+    pub line_starts: Vec<usize>,
+    /// String-literal contents keyed by the byte offset of the opening `"`.
+    pub strings: BTreeMap<usize, String>,
+    /// Every pragma comment, in file order.
+    pub pragmas: Vec<Pragma>,
+    /// `test_lines[i]` is true when 0-based line `i` is test-only code.
+    pub test_lines: Vec<bool>,
+}
+
+impl Scrubbed {
+    /// 1-based line containing byte `offset`.
+    pub fn line_of(&self, offset: usize) -> usize {
+        match self.line_starts.binary_search(&offset) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    }
+
+    /// Whether the 1-based `line` is inside a test-only region.
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.test_lines
+            .get(line.wrapping_sub(1))
+            .copied()
+            .unwrap_or(false)
+    }
+}
+
+/// Is `c` an identifier byte (`[A-Za-z0-9_]`)?
+pub fn is_ident(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+fn blank(out: &mut [u8], from: usize, to: usize) {
+    for slot in out.iter_mut().take(to).skip(from) {
+        if *slot != b'\n' {
+            *slot = b' ';
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+/// Scrubs `src`; see the module docs for what is blanked and collected.
+pub fn scrub(src: &str) -> Scrubbed {
+    let b = src.as_bytes();
+    let n = b.len();
+    let mut out = b.to_vec();
+    let mut strings = BTreeMap::new();
+    // (byte offset, comment text) — lines resolved after the scan
+    let mut raw_pragmas: Vec<(usize, String)> = Vec::new();
+
+    let mut i = 0;
+    while i < n {
+        let c = b[i];
+        if c == b'/' && i + 1 < n && b[i + 1] == b'/' {
+            let start = i;
+            while i < n && b[i] != b'\n' {
+                i += 1;
+            }
+            note_pragma(&mut raw_pragmas, start, &src[start + 2..i]);
+            blank(&mut out, start, i);
+        } else if c == b'/' && i + 1 < n && b[i + 1] == b'*' {
+            let start = i;
+            let mut depth = 1usize;
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == b'/' && i + 1 < n && b[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && i + 1 < n && b[i + 1] == b'/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            let body_end = i.saturating_sub(2).max(start + 2);
+            note_pragma(&mut raw_pragmas, start, &src[start + 2..body_end]);
+            blank(&mut out, start, i);
+        } else if c == b'"' {
+            i = scan_string(src, b, i, &mut out, &mut strings);
+        } else if c == b'r' && !prev_is_ident(b, i) && raw_string_start(b, i + 1).is_some() {
+            let hashes = raw_string_start(b, i + 1).expect("checked");
+            i = scan_raw_string(src, b, i, i + 1 + hashes, hashes, &mut out, &mut strings);
+        } else if c == b'b' && !prev_is_ident(b, i) && i + 1 < n {
+            if b[i + 1] == b'"' {
+                i = scan_string(src, b, i + 1, &mut out, &mut strings);
+            } else if b[i + 1] == b'\'' {
+                i = scan_char(b, i + 1, &mut out);
+            } else if b[i + 1] == b'r' && raw_string_start(b, i + 2).is_some() {
+                let hashes = raw_string_start(b, i + 2).expect("checked");
+                i = scan_raw_string(src, b, i, i + 2 + hashes, hashes, &mut out, &mut strings);
+            } else {
+                i += 1;
+            }
+        } else if c == b'\'' {
+            i = scan_char(b, i, &mut out);
+        } else {
+            i += 1;
+        }
+    }
+
+    let text = String::from_utf8(out).expect("blanking whole regions preserves UTF-8");
+    let mut line_starts = vec![0usize];
+    for (off, ch) in src.bytes().enumerate() {
+        if ch == b'\n' {
+            line_starts.push(off + 1);
+        }
+    }
+    let line_of = |offset: usize| match line_starts.binary_search(&offset) {
+        Ok(i) => i + 1,
+        Err(i) => i,
+    };
+    let pragmas = raw_pragmas
+        .into_iter()
+        .filter_map(|(off, text)| {
+            let mut p = parse_pragma(&text)?;
+            p.line = line_of(off);
+            Some(p)
+        })
+        .collect();
+    let test_lines = compute_test_lines(&text);
+    Scrubbed {
+        text,
+        line_starts,
+        strings,
+        pragmas,
+        test_lines,
+    }
+}
+
+fn prev_is_ident(b: &[u8], i: usize) -> bool {
+    i > 0 && is_ident(b[i - 1])
+}
+
+/// If `b[from..]` is `#*"` (a raw-string opener after the `r`), returns the
+/// number of hashes.
+fn raw_string_start(b: &[u8], from: usize) -> Option<usize> {
+    let mut j = from;
+    while j < b.len() && b[j] == b'#' {
+        j += 1;
+    }
+    (j < b.len() && b[j] == b'"').then_some(j - from)
+}
+
+/// Scans a cooked string starting at the opening quote `q`; returns the index
+/// one past the closing quote. Blanks the body and records the contents.
+fn scan_string(
+    src: &str,
+    b: &[u8],
+    q: usize,
+    out: &mut [u8],
+    strings: &mut BTreeMap<usize, String>,
+) -> usize {
+    let n = b.len();
+    let mut i = q + 1;
+    while i < n {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => break,
+            _ => i += 1,
+        }
+    }
+    let end = i.min(n);
+    strings.insert(q, src[q + 1..end].to_string());
+    blank(out, q + 1, end);
+    (end + 1).min(n)
+}
+
+/// Scans a raw string whose opening quote is at `quote` with `hashes` hashes;
+/// `start` is the `r`/`b` the literal begins at. Returns one past the end.
+fn scan_raw_string(
+    src: &str,
+    b: &[u8],
+    start: usize,
+    quote: usize,
+    hashes: usize,
+    out: &mut [u8],
+    strings: &mut BTreeMap<usize, String>,
+) -> usize {
+    let n = b.len();
+    let mut i = quote + 1;
+    while i < n {
+        if b[i] == b'"'
+            && b[i + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&h| h == b'#')
+                .count()
+                == hashes
+        {
+            break;
+        }
+        i += 1;
+    }
+    let end = i.min(n);
+    // keyed by the opening quote so the panic-contract scanner, which walks
+    // the scrubbed text and stops on `"`, finds raw literals too
+    strings.insert(quote, src[quote + 1..end].to_string());
+    blank(out, start, end);
+    out[quote] = b'"';
+    (end + 1 + hashes).min(n)
+}
+
+/// Scans a char literal *or* lifetime starting at the `'` at `q`; blanks char
+/// literal bodies, leaves lifetimes untouched. Returns the next scan index.
+fn scan_char(b: &[u8], q: usize, out: &mut [u8]) -> usize {
+    let n = b.len();
+    if q + 1 >= n {
+        return q + 1;
+    }
+    if b[q + 1] == b'\\' {
+        // escaped char literal: scan to the closing quote
+        let mut i = q + 2;
+        while i < n && b[i] != b'\'' {
+            i += 1;
+        }
+        blank(out, q + 1, i.min(n));
+        return (i + 1).min(n);
+    }
+    let clen = utf8_len(b[q + 1]);
+    if q + 1 + clen < n && b[q + 1 + clen] == b'\'' {
+        // one-char literal like 'a' or '{'
+        blank(out, q + 1, q + 1 + clen);
+        q + 2 + clen
+    } else {
+        // lifetime or loop label: keep it
+        q + 1
+    }
+}
+
+fn note_pragma(raw: &mut Vec<(usize, String)>, off: usize, text: &str) {
+    if text.contains("litho-lint") {
+        raw.push((off, text.to_string()));
+    }
+}
+
+/// Parses a comment body known to contain `litho-lint`. Returns `None` for
+/// doc-prose mentions (marker not the first word of the comment); a comment
+/// *led* by the marker that does not parse as
+/// `litho-lint: allow(rule): reason` comes back `malformed`, so typos can't
+/// silently disable a rule.
+fn parse_pragma(text: &str) -> Option<Pragma> {
+    let pos = text.find("litho-lint")?;
+    let before = text[..pos].trim();
+    // `!` and `/` cover `//! litho-lint` / `/// litho-lint` doc-comment lines
+    let marker_leads = before.chars().all(|c| c == '!' || c == '/');
+    if !marker_leads {
+        return None;
+    }
+    let malformed = |raw_reason: &str| {
+        Some(Pragma {
+            line: 0,
+            rule: String::new(),
+            reason: raw_reason.to_string(),
+            malformed: true,
+        })
+    };
+    let rest = &text[pos + "litho-lint".len()..];
+    let Some(rest) = rest.trim_start().strip_prefix(':') else {
+        // `// litho-lint allow(...)` is a botched pragma; anything else
+        // (usage lines, prose about the tool) is not a pragma at all.
+        if rest.contains("allow(") {
+            return malformed(rest);
+        }
+        return None;
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix("allow(") else {
+        return malformed(rest);
+    };
+    let Some(close) = rest.find(')') else {
+        return malformed(rest);
+    };
+    let rule = rest[..close].trim().to_string();
+    let after = rest[close + 1..].trim_start();
+    let reason = after.strip_prefix(':').map_or("", str::trim).to_string();
+    Some(Pragma {
+        line: 0,
+        rule,
+        reason,
+        malformed: false,
+    })
+}
+
+/// Marks every line inside a `#[cfg(test)]` item, `#[test]` function or
+/// `mod tests { … }` block.
+fn compute_test_lines(scrubbed: &str) -> Vec<bool> {
+    let lines: Vec<&str> = scrubbed.split('\n').collect();
+    let mut flags = vec![false; lines.len()];
+    let mut depth: i64 = 0;
+    // depths at which an excluded block opened
+    let mut excl: Vec<i64> = Vec::new();
+    // a trigger armed at this depth is waiting for its `{`
+    let mut pending: Option<i64> = None;
+    for (li, line) in lines.iter().enumerate() {
+        let dense: String = line.chars().filter(|c| !c.is_whitespace()).collect();
+        if dense.contains("cfg(test)")
+            || dense.contains("cfg(all(test")
+            || dense.contains("cfg(any(test")
+            || dense.contains("#[test]")
+            || dense_mod_tests(&dense)
+        {
+            pending = Some(depth);
+        }
+        if !excl.is_empty() {
+            flags[li] = true;
+        }
+        for ch in line.bytes() {
+            match ch {
+                b'{' => {
+                    if let Some(d) = pending {
+                        if d == depth {
+                            excl.push(depth);
+                            pending = None;
+                            flags[li] = true;
+                        }
+                    }
+                    depth += 1;
+                }
+                b'}' => {
+                    depth -= 1;
+                    if excl.last() == Some(&depth) {
+                        excl.pop();
+                        flags[li] = true;
+                    }
+                }
+                b';' if pending == Some(depth) => {
+                    // `#[cfg(test)] use …;` — attribute consumed by a
+                    // braceless item
+                    pending = None;
+                }
+                _ => {}
+            }
+        }
+    }
+    flags
+}
+
+fn dense_mod_tests(dense: &str) -> bool {
+    for prefix in ["modtests", "pubmodtests"] {
+        if let Some(rest) = dense.strip_prefix(prefix) {
+            if rest.is_empty() || rest.starts_with('{') || rest.starts_with(';') {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blanks_comments_and_strings_preserving_offsets() {
+        let src = "let x = \"Fft2::new\"; // Fft2::new\nlet y = 1;\n";
+        let s = scrub(src);
+        assert_eq!(s.text.len(), src.len());
+        assert!(!s.text.contains("Fft2"));
+        assert!(s.text.contains("let y = 1;"));
+        assert_eq!(s.strings.get(&8).map(String::as_str), Some("Fft2::new"));
+    }
+
+    #[test]
+    fn raw_strings_and_chars_and_lifetimes() {
+        let src =
+            "fn f<'a>(c: char) { let s = r#\"x \" y\"#; let q = '\"'; let l: &'a str = \"\"; }";
+        let s = scrub(src);
+        assert_eq!(s.text.len(), src.len());
+        assert!(s.text.contains("fn f<'a>"), "lifetime survives: {}", s.text);
+        assert!(s.text.contains("&'a str"));
+        assert!(!s.text.contains("x \" y"));
+        // the raw string contributed a synthetic opening quote
+        assert!(s.strings.values().any(|v| v == "x \" y"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner */ still */ b\n";
+        let s = scrub(src);
+        assert!(s.text.contains('a'));
+        assert!(s.text.contains('b'));
+        assert!(!s.text.contains("inner"));
+        assert!(!s.text.contains("still"));
+    }
+
+    #[test]
+    fn pragma_parsing_and_malformed_detection() {
+        let src = "\n// litho-lint: allow(plan-cache): bench baseline\n// litho-lint: allow(plan-cache)\n// see litho-lint docs for details\n";
+        let s = scrub(src);
+        assert_eq!(s.pragmas.len(), 2, "prose mention is not a pragma");
+        assert_eq!(s.pragmas[0].line, 2);
+        assert_eq!(s.pragmas[0].rule, "plan-cache");
+        assert_eq!(s.pragmas[0].reason, "bench baseline");
+        assert!(!s.pragmas[0].malformed);
+        assert_eq!(s.pragmas[1].line, 3);
+        assert!(s.pragmas[1].reason.is_empty());
+    }
+
+    #[test]
+    fn marker_led_prose_is_not_a_pragma_but_botched_allow_is() {
+        let src =
+            "//! litho-lint [--json] [ROOT]\n// litho-lint allow(plan-cache): forgot the colon\n";
+        let s = scrub(src);
+        assert_eq!(s.pragmas.len(), 1, "{:?}", s.pragmas);
+        assert!(s.pragmas[0].malformed);
+        assert_eq!(s.pragmas[0].line, 2);
+    }
+
+    #[test]
+    fn test_region_tracking() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn live2() {}\n#[cfg(test)]\nuse foo;\nfn live3() {}\n";
+        let s = scrub(src);
+        assert!(!s.is_test_line(1));
+        assert!(s.is_test_line(3));
+        assert!(s.is_test_line(4));
+        assert!(s.is_test_line(5));
+        assert!(!s.is_test_line(6));
+        assert!(
+            !s.is_test_line(9),
+            "braceless cfg(test) item must not swallow the rest"
+        );
+    }
+
+    #[test]
+    fn bare_mod_tests_without_cfg_is_excluded() {
+        let src = "mod tests {\n    fn t() {}\n}\nmod tests_helper2;\nfn live() {}\n";
+        let s = scrub(src);
+        assert!(s.is_test_line(2));
+        assert!(!s.is_test_line(5));
+    }
+}

@@ -1,0 +1,89 @@
+//! Deterministic workspace file discovery.
+
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into: build output, VCS metadata, and
+/// test/fixture trees (test code is exempt from the disciplines, and the
+/// lint fixtures contain violations on purpose).
+const SKIP_DIRS: &[&str] = &["target", ".git", "tests", "fixtures", "vendor"];
+
+/// Top-level roots scanned under the workspace checkout.
+const ROOTS: &[&str] = &["crates", "src", "examples"];
+
+/// Collects every `.rs` file under the workspace's `crates/`, `src/` and
+/// `examples/` roots, sorted so runs are byte-for-byte reproducible.
+/// Directories named `target`, `.git`, `tests`, `fixtures` or `vendor` are
+/// skipped wholesale.
+///
+/// # Errors
+///
+/// Propagates I/O errors from reading directories; roots that don't exist
+/// are silently skipped.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    for r in ROOTS {
+        let dir = root.join(r);
+        if dir.is_dir() {
+            collect(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<std::io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_str()) {
+                collect(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walker_finds_this_crate_but_not_its_fixtures() {
+        // CARGO_MANIFEST_DIR = crates/lint; the workspace root is two up.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .unwrap()
+            .to_path_buf();
+        let files = workspace_files(&root).unwrap();
+        assert!(!files.is_empty());
+        let as_str: Vec<String> = files
+            .iter()
+            .map(|p| p.to_string_lossy().replace('\\', "/"))
+            .collect();
+        assert!(
+            as_str
+                .iter()
+                .any(|p| p.ends_with("crates/lint/src/walk.rs")),
+            "walker must see its own source"
+        );
+        assert!(
+            !as_str
+                .iter()
+                .any(|p| p.contains("/tests/") || p.contains("/fixtures/")),
+            "tests and fixtures must be skipped: {as_str:?}"
+        );
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted, "walk order must be sorted");
+    }
+}

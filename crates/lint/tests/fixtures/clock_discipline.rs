@@ -1,0 +1,8 @@
+//! Seed violation: raw clock reads in the serving layer (this fixture is
+//! analyzed under a `crates/serve/src/…` relative path, *not* `clock.rs`).
+
+fn deadline_ms() -> u64 {
+    let t0 = std::time::Instant::now();
+    let _wall = std::time::SystemTime::now();
+    t0.elapsed().as_millis() as u64
+}

@@ -1,0 +1,8 @@
+//! Pragma'd twin of `clock_discipline.rs`, analyzed under a non-serve path
+//! where a justified raw clock is acceptable.
+
+fn wall_seconds() -> f64 {
+    // litho-lint: allow(clock-discipline): fixture twin; wall time wanted here
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_secs_f64()
+}

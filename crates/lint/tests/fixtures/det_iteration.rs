@@ -1,0 +1,11 @@
+//! Seed violation: iterating a `HashMap` in non-test code.
+
+use std::collections::HashMap;
+
+fn names(slots: &HashMap<String, u32>) -> Vec<String> {
+    let mut out: Vec<String> = slots.keys().cloned().collect();
+    for (k, _v) in slots {
+        out.push(k.clone());
+    }
+    out
+}

@@ -1,0 +1,15 @@
+//! Pragma'd twin of `det_iteration.rs` — plus a keyed-lookup control that
+//! must not fire at all (the rule targets iteration, not existence).
+
+use std::collections::HashMap;
+
+fn names(slots: &HashMap<String, u32>) -> Vec<String> {
+    // litho-lint: allow(det-iteration): fixture twin; result is sorted below
+    let mut out: Vec<String> = slots.keys().cloned().collect();
+    out.sort();
+    out
+}
+
+fn lookup(slots: &HashMap<String, u32>, k: &str) -> Option<u32> {
+    slots.get(k).copied()
+}

@@ -1,0 +1,16 @@
+//! Seed violation: fresh allocation inside a `*_infer`/`*_fill` hot-path
+//! function. The cold helper below is a control: same allocations, no
+//! findings.
+
+fn conv_infer(n: usize) -> Vec<f32> {
+    let mut out = Vec::with_capacity(n);
+    let scratch = vec![0.0f32; n];
+    out.extend_from_slice(&scratch);
+    out
+}
+
+fn build_table(n: usize) -> Vec<f32> {
+    let mut out = Vec::with_capacity(n);
+    out.resize(n, 0.0);
+    out
+}

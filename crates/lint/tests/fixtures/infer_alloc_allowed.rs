@@ -1,0 +1,8 @@
+//! Pragma'd twin of `infer_alloc.rs`.
+
+fn conv_infer(n: usize) -> Vec<f32> {
+    // litho-lint: allow(infer-alloc): fixture twin; cold-path setup allocation
+    let mut out = Vec::with_capacity(n);
+    out.resize(n, 0.0);
+    out
+}

@@ -1,0 +1,12 @@
+//! Seed violation: ad-hoc panic message in a kernel file (the fixture test
+//! registers this file as a kernel via `Config::kernel_files`). The first
+//! two asserts use the registry and must pass; the last two must fire.
+
+fn gemm_kernel(a: &[f32], m: usize, n: usize) {
+    assert_eq!(a.len(), m * n, "slice length must match the documented GEMM extents");
+    assert!(m > 0, "{}", GEMM_LEN_MSG);
+    assert!(n > 0, "n should probably be positive");
+    if m > a.len() {
+        panic!("whoops: {m}");
+    }
+}

@@ -1,0 +1,6 @@
+//! Seed violation: ad-hoc FFT plan construction outside `litho-fft`.
+
+fn spectrum(rows: usize, cols: usize) -> usize {
+    let plan = Fft2::new(rows, cols);
+    plan.len()
+}

@@ -1,0 +1,7 @@
+//! Pragma'd twin of `plan_cache.rs`.
+
+fn spectrum(rows: usize, cols: usize) -> usize {
+    // litho-lint: allow(plan-cache): fixture twin exercising the waiver path
+    let plan = Fft2::new(rows, cols);
+    plan.len()
+}

@@ -1,0 +1,9 @@
+//! Seed violation: raw thread spawn outside `crates/parallel`.
+
+fn fan_out(xs: &[f32]) -> f32 {
+    let h = std::thread::spawn(move || xs.len());
+    std::thread::scope(|s| {
+        s.spawn(|| ());
+    });
+    h.join().unwrap() as f32
+}

@@ -1,0 +1,10 @@
+//! Pragma'd twin of `pool_discipline.rs`: same calls, each waived with a
+//! reason.
+
+fn fan_out(xs: &[f32]) -> f32 {
+    // litho-lint: allow(pool-discipline): fixture twin exercising the waiver path
+    let h = std::thread::spawn(move || xs.len());
+    let n = std::thread::scope(|s| s.spawn(|| ()).join()); // litho-lint: allow(pool-discipline): trailing-pragma form
+    let _ = n;
+    h.join().unwrap() as f32
+}

@@ -1,0 +1,9 @@
+//! Seed violation: an `allow` pragma without the mandatory reason. It does
+//! NOT suppress the finding below it, and is itself a `pragma-syntax`
+//! finding.
+
+fn spectrum(rows: usize, cols: usize) -> usize {
+    // litho-lint: allow(plan-cache)
+    let plan = Fft2::new(rows, cols);
+    plan.len()
+}

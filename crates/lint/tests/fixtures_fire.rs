@@ -1,0 +1,162 @@
+//! Every rule is proven live against a minimal seed-violation fixture, and
+//! every fixture has a pragma'd twin proving the waiver path works. If a
+//! rule stops firing (or starts over-firing), these tests pin the exact
+//! rule id and line.
+
+use litho_lint::{analyze_source, Config};
+
+/// (rule, line) pairs for a fixture analyzed under `rel_path`.
+fn findings(rel_path: &str, src: &str, cfg: &Config) -> Vec<(String, usize)> {
+    analyze_source(rel_path, src, cfg)
+        .into_iter()
+        .map(|f| (f.rule, f.line))
+        .collect()
+}
+
+fn default_findings(rel_path: &str, src: &str) -> Vec<(String, usize)> {
+    findings(rel_path, src, &Config::default())
+}
+
+#[test]
+fn pool_discipline_fires() {
+    let src = include_str!("fixtures/pool_discipline.rs");
+    let got = default_findings("crates/optics/src/fanout.rs", src);
+    assert_eq!(
+        got,
+        vec![
+            ("pool-discipline".to_string(), 4),
+            ("pool-discipline".to_string(), 5),
+        ]
+    );
+    // the same file inside crates/parallel is the blessed home: no findings
+    assert!(default_findings("crates/parallel/src/pool.rs", src).is_empty());
+}
+
+#[test]
+fn pool_discipline_twin_is_clean() {
+    let src = include_str!("fixtures/pool_discipline_allowed.rs");
+    let got = default_findings("crates/optics/src/fanout.rs", src);
+    assert!(got.is_empty(), "{got:?}");
+}
+
+#[test]
+fn plan_cache_fires() {
+    let src = include_str!("fixtures/plan_cache.rs");
+    let got = default_findings("crates/optics/src/spectrum.rs", src);
+    assert_eq!(got, vec![("plan-cache".to_string(), 4)]);
+    // inside litho-fft the constructor is the implementation: no findings
+    assert!(default_findings("crates/fft/src/cache.rs", src).is_empty());
+}
+
+#[test]
+fn plan_cache_twin_is_clean() {
+    let src = include_str!("fixtures/plan_cache_allowed.rs");
+    let got = default_findings("crates/optics/src/spectrum.rs", src);
+    assert!(got.is_empty(), "{got:?}");
+}
+
+#[test]
+fn clock_discipline_fires_in_serve() {
+    let src = include_str!("fixtures/clock_discipline.rs");
+    let got = default_findings("crates/serve/src/batch.rs", src);
+    assert_eq!(
+        got,
+        vec![
+            ("clock-discipline".to_string(), 5),
+            ("clock-discipline".to_string(), 6),
+        ]
+    );
+    // clock.rs itself is the one blessed home for raw clock reads
+    assert!(default_findings("crates/serve/src/clock.rs", src).is_empty());
+}
+
+#[test]
+fn clock_discipline_twin_is_clean() {
+    let src = include_str!("fixtures/clock_discipline_allowed.rs");
+    let got = default_findings("crates/core/src/timing.rs", src);
+    assert!(got.is_empty(), "{got:?}");
+}
+
+#[test]
+fn det_iteration_fires() {
+    let src = include_str!("fixtures/det_iteration.rs");
+    let got = default_findings("crates/serve/src/registry.rs", src);
+    assert_eq!(
+        got,
+        vec![
+            ("det-iteration".to_string(), 6),
+            ("det-iteration".to_string(), 7),
+        ]
+    );
+}
+
+#[test]
+fn det_iteration_twin_is_clean() {
+    let src = include_str!("fixtures/det_iteration_allowed.rs");
+    let got = default_findings("crates/serve/src/registry.rs", src);
+    assert!(got.is_empty(), "{got:?}");
+}
+
+#[test]
+fn infer_alloc_fires_only_in_hot_functions() {
+    let src = include_str!("fixtures/infer_alloc.rs");
+    let got = default_findings("crates/nn/src/ops/conv.rs", src);
+    assert_eq!(
+        got,
+        vec![
+            ("infer-alloc".to_string(), 6),
+            ("infer-alloc".to_string(), 7),
+        ],
+        "build_table (not *_infer/*_fill) must not fire"
+    );
+}
+
+#[test]
+fn infer_alloc_twin_is_clean() {
+    let src = include_str!("fixtures/infer_alloc_allowed.rs");
+    let got = default_findings("crates/nn/src/ops/conv.rs", src);
+    assert!(got.is_empty(), "{got:?}");
+}
+
+#[test]
+fn panic_contract_fires_on_ad_hoc_messages() {
+    let src = include_str!("fixtures/panic_contract.rs");
+    let cfg = Config {
+        kernel_files: vec!["crates/tensor/src/gemm.rs".to_string()],
+    };
+    let got = findings("crates/tensor/src/gemm.rs", src, &cfg);
+    assert_eq!(
+        got,
+        vec![
+            ("panic-contract".to_string(), 8),
+            ("panic-contract".to_string(), 10),
+        ],
+        "registry strings and the \"{{}}\", CONST form must pass; ad-hoc text and panic! must fire"
+    );
+    // a non-kernel file is out of scope for this rule
+    assert!(findings("crates/nn/src/lib.rs", src, &cfg).is_empty());
+}
+
+#[test]
+fn panic_contract_twin_is_clean() {
+    let src = include_str!("fixtures/panic_contract_allowed.rs");
+    let cfg = Config {
+        kernel_files: vec!["crates/tensor/src/gemm.rs".to_string()],
+    };
+    let got = findings("crates/tensor/src/gemm.rs", src, &cfg);
+    assert!(got.is_empty(), "{got:?}");
+}
+
+#[test]
+fn allow_without_reason_is_a_finding_and_suppresses_nothing() {
+    let src = include_str!("fixtures/pragma_no_reason.rs");
+    let got = default_findings("crates/optics/src/spectrum.rs", src);
+    assert_eq!(
+        got,
+        vec![
+            ("pragma-syntax".to_string(), 6),
+            ("plan-cache".to_string(), 7),
+        ],
+        "a reasonless pragma must be reported AND must not waive the violation"
+    );
+}

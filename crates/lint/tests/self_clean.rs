@@ -1,0 +1,27 @@
+//! The gate that can never silently rot: the analyzer runs over the real
+//! workspace checkout and must report **zero** findings. Any new violation
+//! (or any stale pragma) fails this test before it fails CI.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint sits two levels below the workspace root");
+    let report = litho_lint::analyze_workspace(root, &litho_lint::Config::default())
+        .expect("workspace walk failed");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}): walker misconfigured?",
+        report.files_scanned
+    );
+    let rendered: Vec<String> = report.findings.iter().map(ToString::to_string).collect();
+    assert!(
+        report.findings.is_empty(),
+        "workspace must be lint-clean, found {}:\n{}",
+        report.findings.len(),
+        rendered.join("\n")
+    );
+}

@@ -44,7 +44,7 @@ use crate::layers::Module;
 use litho_fft::Complex32;
 use litho_parallel::Pool;
 use litho_tensor::{concat_channels_into, concat_channels_shape, Tensor};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// Reusable state for tape-free inference: a size-bucketed buffer pool plus
 /// the thread [`Pool`] the forward kernels fan out on.
@@ -65,7 +65,9 @@ pub struct InferCtx {
     pool: Pool,
     /// Free buffers keyed by element count. Shapes repeat across the forwards
     /// of a fixed model, so exact-length bucketing hits after one warm call.
-    buckets: HashMap<usize, Vec<Vec<f32>>>,
+    /// BTreeMap (like `cbuckets`): `Debug` output and any future stats walk
+    /// iterate this map, and iteration order must not depend on a hash seed.
+    buckets: BTreeMap<usize, Vec<Vec<f32>>>,
     hits: u64,
     misses: u64,
     /// Free complex scratch keyed by **capacity** (ordered so a request can
@@ -97,7 +99,7 @@ impl InferCtx {
     pub fn with_pool(pool: &Pool) -> Self {
         Self {
             pool: pool.clone(),
-            buckets: HashMap::new(),
+            buckets: BTreeMap::new(),
             hits: 0,
             misses: 0,
             cbuckets: BTreeMap::new(),

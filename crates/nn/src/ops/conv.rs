@@ -157,6 +157,7 @@ fn conv2d_fill(
         // for its whole run of samples (im2col fully overwrites it)
         let sample_grain = PAR_MIN_MACS.div_ceil((o * l * k).max(1));
         pool.par_chunk_runs_mut(od, o * l, sample_grain, |first, run| {
+            // litho-lint: allow(infer-alloc): training-path worker scratch; conv2d_infer recycles via InferCtx
             let mut cols = vec![0.0f32; k * l];
             for (off, od_n) in run.chunks_mut(o * l).enumerate() {
                 let ni = first + off;
@@ -186,7 +187,9 @@ fn conv2d_fill(
         // single sample: scratch allocated per call (the training path; the
         // tape-free path in `conv2d_infer` recycles pool buffers instead)
         let blk = GemmBlocking::for_shape(o, l, k);
+        // litho-lint: allow(infer-alloc): training-path scratch; conv2d_infer recycles via InferCtx
         let mut cols = vec![0.0f32; k * l];
+        // litho-lint: allow(infer-alloc): training-path scratch; conv2d_infer recycles via InferCtx
         let mut pack = vec![0.0f32; blk.pack_len()];
         conv2d_single(x, w, bd, stride, pad, pool, od, &mut cols, &mut pack);
     }
@@ -489,6 +492,7 @@ fn conv_transpose2d_fill(
         // re-zeroed per sample (exactly like the old serial loop)
         let sample_grain = PAR_MIN_MACS.div_ceil((ci * lin * kout).max(1));
         pool.par_chunk_runs_mut(od, co * hw, sample_grain, |first, run| {
+            // litho-lint: allow(infer-alloc): training-path worker scratch; conv_transpose2d_infer recycles via InferCtx
             let mut cols = vec![0.0f32; kout * lin];
             for (off, od_n) in run.chunks_mut(co * hw).enumerate() {
                 let ni = first + off;
@@ -518,7 +522,9 @@ fn conv_transpose2d_fill(
         // single sample: scratch allocated per call (the training path; the
         // tape-free path in `conv_transpose2d_infer` recycles pool buffers)
         let blk = GemmBlocking::for_shape(kout, lin, ci);
+        // litho-lint: allow(infer-alloc): training-path scratch; conv_transpose2d_infer recycles via InferCtx
         let mut cols = vec![0.0f32; kout * lin];
+        // litho-lint: allow(infer-alloc): training-path scratch; conv_transpose2d_infer recycles via InferCtx
         let mut pack = vec![0.0f32; blk.pack_len()];
         conv_transpose2d_single(x, w, bd, stride, pad, pool, od, &mut cols, &mut pack);
     }

@@ -191,7 +191,7 @@ mod tests {
         let mut mask = vec![0.0f32; size * size];
         mask[32 * size + 32] = 1.0;
         let img = sim.aerial_image(&mask);
-        let peak = img.iter().cloned().fold(0.0f32, f32::max);
+        let peak = img.iter().copied().fold(0.0f32, f32::max);
         assert!(peak < 0.05, "sub-resolution peak {peak}");
     }
 
@@ -224,8 +224,8 @@ mod tests {
         let blurred = defocus.aerial_image(&mask);
         // image contrast (max-min) drops with defocus
         let contrast = |img: &[f32]| {
-            img.iter().cloned().fold(0.0f32, f32::max)
-                - img.iter().cloned().fold(f32::INFINITY, f32::min)
+            img.iter().copied().fold(0.0f32, f32::max)
+                - img.iter().copied().fold(f32::INFINITY, f32::min)
         };
         assert!(contrast(&blurred) < contrast(&sharp));
     }

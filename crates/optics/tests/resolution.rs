@@ -24,8 +24,8 @@ fn grating(size: usize, pixel_nm: f32, pitch_nm: f32) -> Vec<f32> {
 /// Michelson contrast of the aerial image along the centre row.
 fn contrast(img: &[f32], size: usize) -> f32 {
     let row = &img[(size / 2) * size..(size / 2 + 1) * size];
-    let max = row.iter().cloned().fold(0.0f32, f32::max);
-    let min = row.iter().cloned().fold(f32::INFINITY, f32::min);
+    let max = row.iter().copied().fold(0.0f32, f32::max);
+    let min = row.iter().copied().fold(f32::INFINITY, f32::min);
     if max + min == 0.0 {
         0.0
     } else {

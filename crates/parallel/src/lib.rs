@@ -385,9 +385,7 @@ pub fn configured_threads() -> usize {
 }
 
 fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// The process-wide pool used by every hot path that does not take an

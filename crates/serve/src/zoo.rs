@@ -16,7 +16,7 @@
 //!   whole file parsed and matched.
 
 use litho_nn::Module;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io;
 use std::path::Path;
 use std::sync::{Arc, RwLock};
@@ -138,7 +138,9 @@ impl ModelSlot {
 /// resolves requests.
 #[derive(Debug, Default)]
 pub struct ModelZoo {
-    slots: RwLock<HashMap<String, Arc<ModelSlot>>>,
+    // BTreeMap, not HashMap: `names()` iterates this map, and iteration
+    // order must never depend on the hash seed (det-iteration).
+    slots: RwLock<BTreeMap<String, Arc<ModelSlot>>>,
 }
 
 impl ModelZoo {
@@ -186,17 +188,14 @@ impl ModelZoo {
         self.slot(name).map(|s| s.current())
     }
 
-    /// Registered slot names, sorted.
+    /// Registered slot names, sorted (BTreeMap keys are already ordered).
     pub fn names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self
-            .slots
+        self.slots
             .read()
             .expect("zoo lock poisoned")
             .keys()
             .cloned()
-            .collect();
-        names.sort();
-        names
+            .collect()
     }
 }
 

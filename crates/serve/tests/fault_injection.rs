@@ -145,7 +145,7 @@ fn panicking_worker_fails_only_its_own_request() {
         );
         match server.take(bad).unwrap().result {
             Err(ServeError::WorkerPanicked(msg)) => {
-                assert!(msg.contains("non-finite"), "panic message surfaced: {msg}")
+                assert!(msg.contains("non-finite"), "panic message surfaced: {msg}");
             }
             other => panic!("expected a contained panic, got {other:?}"),
         }

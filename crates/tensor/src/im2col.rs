@@ -205,9 +205,7 @@ mod tests {
         let img = vec![1.0; 16];
         im2col(&img, 1, h, w, 3, 3, 1, 1, &mut cols);
         // replace cols with all ones to count coverage
-        for v in cols.iter_mut() {
-            *v = 1.0;
-        }
+        cols.fill(1.0);
         let mut out = vec![0.0; 16];
         col2im(&cols, 1, h, w, 3, 3, 1, 1, &mut out);
         // corner pixel covered by 4 windows of the 3x3/pad1 conv

@@ -18,6 +18,7 @@ fn measure(model: &dyn Module, input: &Tensor) -> f64 {
     let mut g = Graph::new();
     let x = g.input(input.clone());
     let _ = model.forward(&mut g, x);
+    // litho-lint: allow(clock-discipline): example prints wall-clock timings for illustration
     let start = Instant::now();
     for _ in 0..3 {
         let mut g = Graph::new();

@@ -293,7 +293,7 @@ mod tests {
         group.warm_up_time(Duration::from_millis(1));
         group.measurement_time(Duration::from_millis(2));
         group.bench_with_input(BenchmarkId::from_parameter(3), &data, |b, d| {
-            b.iter(|| seen = d.len())
+            b.iter(|| seen = d.len());
         });
         group.finish();
         assert_eq!(seen, 3);
