@@ -326,6 +326,7 @@ fn main() {
         "spectral-conv op reduction regressed below 1.5x: {conv_reduction:.2}"
     );
 
+    // litho-lint: allow(io-discipline): bench reports are local scratch output, not a data format
     std::fs::write(&out_path, &json).expect("write BENCH_fourier.json");
     println!("{json}");
     println!("wrote {out_path}");

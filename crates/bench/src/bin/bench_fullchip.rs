@@ -1,0 +1,237 @@
+//! Machine-readable full-chip streaming benchmark: `BENCH_fullchip.json`.
+//!
+//! The point of the streaming engine (`doinn::streaming`) is that full-chip
+//! memory stops scaling with chip area: the mask and resist image live in
+//! chunked on-disk rasters (`litho_data::ChunkedRaster`), and only
+//! `in_flight` halo-extended super-tiles are resident at once. This bench
+//! pins that claim with numbers:
+//!
+//! - **streaming** — chip mask synthesized straight into a `ChunkedRaster`
+//!   (never materialised in memory), streamed through [`ChipStreamer`] into
+//!   a second on-disk raster. Records sustained super-tiles/sec and the
+//!   peak live tensor bytes (`litho_tensor::alloc_stats`).
+//! - **in-memory baseline** — the same chip loaded whole and pushed through
+//!   [`LargeTileSimulator::simulate_with_pool`], whose mask + stitched
+//!   features + output are all `O(chip²)`.
+//!
+//! Across the committed default-scale sizes (512², 1024², 2048²) the
+//! streaming peak must stay flat (< [`PEAK_FLAT_RATIO`]× max/min) while the
+//! baseline peak grows with chip area (≥ 4× first→last); the binary asserts
+//! both before writing. CI re-runs at `LITHO_SCALE=smoke` (smaller chips,
+//! same machinery) and greps the three chip rows and their `peak_bytes`
+//! fields.
+//!
+//! Usage: `bench_fullchip [output-path]` (default `BENCH_fullchip.json`).
+//!
+//! [`LargeTileSimulator::simulate_with_pool`]: doinn::LargeTileSimulator::simulate_with_pool
+
+use doinn::{ChipStreamer, Doinn, DoinnConfig, StreamConfig};
+use litho_bench::Scale;
+use litho_data::ChunkedRaster;
+use litho_nn::Module;
+use litho_tensor::init::seeded_rng;
+use litho_tensor::{alloc_stats, Tensor};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Training-tile side: the window size of the large-tile scheme.
+const TRAIN: usize = 64;
+/// Super-tile core edge (fixed across chip sizes so the in-flight working
+/// set — and therefore the streaming peak — is chip-size-independent).
+const SUPER_TILE: usize = 256;
+/// Guard band per super-tile side.
+const HALO: usize = 32;
+/// On-disk chunk edge for the mask/output rasters.
+const CHUNK: usize = 256;
+/// Maximum allowed max/min spread of the streaming peak across chip sizes
+/// (asserted at default/full scale, where every size has interior tiles).
+const PEAK_FLAT_RATIO: f64 = 1.25;
+
+fn model() -> Doinn {
+    let m = Doinn::new(DoinnConfig::tiny(), &mut seeded_rng(0xFC));
+    m.set_training(false);
+    m
+}
+
+/// Deterministic sparse mask value for pixel `(y, x)` of an `l`-sized chip.
+fn mask_px(l: usize, y: usize, x: usize) -> f32 {
+    let h = ((y * l + x) as u64)
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(l as u64)
+        .wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    if h >> 62 == 0 {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+fn scratch(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("bench_fullchip_{}_{name}", std::process::id()))
+}
+
+/// Synthesizes the `l × l` chip mask straight into a finalized on-disk
+/// raster, one row strip at a time — the chip never exists in memory.
+fn synth_mask(path: &PathBuf, l: usize) -> ChunkedRaster {
+    let mut r = ChunkedRaster::create(path, l, l, CHUNK).expect("create mask raster");
+    let strip_rows = CHUNK.min(l);
+    let mut strip = vec![0.0f32; strip_rows * l];
+    let mut y = 0;
+    while y < l {
+        let rows = strip_rows.min(l - y);
+        for (dy, row) in strip[..rows * l].chunks_exact_mut(l).enumerate() {
+            for (x, v) in row.iter_mut().enumerate() {
+                *v = mask_px(l, y + dy, x);
+            }
+        }
+        r.write_rect(y, 0, rows, l, &strip[..rows * l])
+            .expect("write mask strip");
+        y += rows;
+    }
+    r.finalize().expect("finalize mask raster");
+    ChunkedRaster::open(path).expect("reopen mask raster")
+}
+
+struct Row {
+    chip_px: usize,
+    tiles: usize,
+    stream_wall_ms: f64,
+    stream_tiles_per_sec: f64,
+    stream_peak_bytes: u64,
+    inmem_wall_ms: f64,
+    inmem_peak_bytes: u64,
+}
+
+fn run_size(l: usize, cfg: &StreamConfig) -> Row {
+    let mask_path = scratch(&format!("mask_{l}.lcr"));
+    let out_path = scratch(&format!("out_{l}.lcr"));
+    let mut src = synth_mask(&mask_path, l);
+    let mut sink = ChunkedRaster::create(&out_path, l, l, CHUNK).expect("create output raster");
+
+    let m = model();
+    let streamer = ChipStreamer::new(&m, TRAIN);
+
+    alloc_stats::reset_peak_live_tensor_bytes();
+    // litho-lint: allow(clock-discipline): benchmark harness measures real wall time
+    let t0 = Instant::now();
+    let report = streamer.stream(&mut src, &mut sink, cfg).expect("stream");
+    let stream_wall = t0.elapsed().as_secs_f64();
+    let stream_peak = alloc_stats::peak_live_tensor_bytes();
+    assert_eq!(report.tiles(), l.div_ceil(SUPER_TILE).pow(2));
+
+    // in-memory baseline: whole chip resident, one-shot simulation
+    alloc_stats::reset_peak_live_tensor_bytes();
+    let mut chip = vec![0.0f32; l * l];
+    src.read_rect(0, 0, l, l, &mut chip).expect("load chip");
+    let chip = Tensor::from_vec(chip, &[1, 1, l, l]);
+    // litho-lint: allow(clock-discipline): benchmark harness measures real wall time
+    let t0 = Instant::now();
+    let one_shot = streamer
+        .simulator()
+        .simulate_with_pool(&chip, litho_parallel::global());
+    let inmem_wall = t0.elapsed().as_secs_f64();
+    let inmem_peak = alloc_stats::peak_live_tensor_bytes();
+    drop(one_shot);
+    drop(chip);
+
+    // litho-lint: allow(io-discipline): scratch raster cleanup for bench runs
+    std::fs::remove_file(&mask_path).ok();
+    // litho-lint: allow(io-discipline): scratch raster cleanup for bench runs
+    std::fs::remove_file(&out_path).ok();
+
+    Row {
+        chip_px: l,
+        tiles: report.tiles(),
+        stream_wall_ms: stream_wall * 1e3,
+        stream_tiles_per_sec: report.tiles() as f64 / stream_wall.max(1e-9),
+        stream_peak_bytes: stream_peak,
+        inmem_wall_ms: inmem_wall * 1e3,
+        inmem_peak_bytes: inmem_peak,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_fullchip.json".to_string());
+    let scale = Scale::from_env();
+    let sizes: [usize; 3] = match scale {
+        Scale::Smoke => [256, 384, 512],
+        Scale::Default | Scale::Full => [512, 1024, 2048],
+    };
+
+    let cfg = StreamConfig::new(SUPER_TILE, HALO, 2 * litho_parallel::global().threads());
+    let rows: Vec<Row> = sizes
+        .iter()
+        .map(|&l| {
+            eprintln!("chip {l}x{l} ...");
+            run_size(l, &cfg)
+        })
+        .collect();
+
+    let threads = litho_parallel::global().threads();
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!(
+        "  \"config\": {{\"model\": \"doinn_tiny\", \"train_size\": {TRAIN}, \"super_tile\": {SUPER_TILE}, \"halo\": {HALO}, \"chunk\": {CHUNK}, \"in_flight\": {}, \"threads\": {threads}, \"scale\": \"{scale:?}\"}},\n",
+        cfg.in_flight,
+    ));
+    json.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"chip_{}\", \"chip_px\": {}, \"tiles\": {}, \"stream_tiles_per_sec\": {:.2}, \"stream_wall_ms\": {:.1}, \"stream_peak_bytes\": {}, \"inmem_peak_bytes\": {}, \"inmem_wall_ms\": {:.1}}}{}\n",
+            r.chip_px,
+            r.chip_px,
+            r.tiles,
+            r.stream_tiles_per_sec,
+            r.stream_wall_ms,
+            r.stream_peak_bytes,
+            r.inmem_peak_bytes,
+            r.inmem_wall_ms,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+
+    let peaks: Vec<f64> = rows.iter().map(|r| r.stream_peak_bytes as f64).collect();
+    let (pmin, pmax) = peaks.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), &p| {
+        (lo.min(p), hi.max(p))
+    });
+    let flat_ratio = pmax / pmin.max(1.0);
+    let inmem_growth = rows.last().expect("rows non-empty").inmem_peak_bytes as f64
+        / rows[0].inmem_peak_bytes.max(1) as f64;
+    json.push_str(&format!(
+        "  \"summary\": {{\"stream_peak_flat_ratio\": {flat_ratio:.3}, \"inmem_peak_growth\": {inmem_growth:.2}}}\n"
+    ));
+    json.push_str("}\n");
+
+    // Self-checks before writing: CI greps the row names and peak fields,
+    // and the memory claims must actually hold in the data.
+    for l in sizes {
+        assert!(json.contains(&format!("chip_{l}")), "chip_{l} row missing");
+    }
+    for field in [
+        "stream_peak_bytes",
+        "inmem_peak_bytes",
+        "stream_tiles_per_sec",
+    ] {
+        assert!(json.contains(field), "{field} missing from JSON");
+    }
+    if scale != Scale::Smoke {
+        assert!(
+            flat_ratio < PEAK_FLAT_RATIO,
+            "streaming peak must stay flat across chip sizes: max/min = {flat_ratio:.3} \
+             (bound {PEAK_FLAT_RATIO})"
+        );
+        assert!(
+            inmem_growth >= 4.0,
+            "in-memory peak must grow with chip area (16x pixels first to last): \
+             measured {inmem_growth:.2}x"
+        );
+    }
+
+    // litho-lint: allow(io-discipline): bench reports are local scratch output, not a data format
+    std::fs::write(&out_path, &json).expect("write BENCH_fullchip.json");
+    println!("{json}");
+    println!("wrote {out_path}");
+}

@@ -408,6 +408,7 @@ fn main() {
         }
     }
 
+    // litho-lint: allow(io-discipline): bench reports are local scratch output, not a data format
     std::fs::write(&out_path, &json).expect("write BENCH_kernels.json");
     println!("{json}");
     println!("wrote {out_path}");

@@ -30,6 +30,7 @@ fn main() {
         p.push("fig7");
         p
     };
+    // litho-lint: allow(io-discipline): figure output dir is local scratch, not a data format
     std::fs::create_dir_all(&out_dir).expect("create figure dir");
 
     let (mask, _) = &ds.test[0];

@@ -263,6 +263,7 @@ pub fn run_experiment(
 pub fn train_or_load(kind: ModelKind, ds: &LithoDataset, scale: Scale, seed: u64) -> BuiltModel {
     let built = build_model(kind, ds.tile_pixels(), seed);
     let dir = cache_dir();
+    // litho-lint: allow(io-discipline): checkpoint cache dir is local scratch for bench runs
     std::fs::create_dir_all(&dir).ok();
     let path = dir.join(format!(
         "ckpt_{}_{}_{}_{}.bin",
@@ -289,6 +290,7 @@ pub fn train_or_load_doinn(ds: &LithoDataset, scale: Scale, seed: u64) -> Doinn 
     let mut rng = seeded_rng(seed);
     let model = Doinn::new(doinn_config_for(ds.tile_pixels()), &mut rng);
     let dir = cache_dir();
+    // litho-lint: allow(io-discipline): checkpoint cache dir is local scratch for bench runs
     std::fs::create_dir_all(&dir).ok();
     let path = dir.join(format!(
         "ckpt_{}_{}_{}_{}.bin",
@@ -335,6 +337,7 @@ pub fn measure_throughput(model: &dyn Module, ds: &LithoDataset, iters: usize) -
 /// Panics if `img.len() != w·h` or the file cannot be written.
 pub fn write_pgm(path: impl AsRef<std::path::Path>, img: &[f32], w: usize, h: usize) {
     assert_eq!(img.len(), w * h, "image size mismatch");
+    // litho-lint: allow(io-discipline): PGM figures are debug artifacts, not a managed data format
     let mut f = std::fs::File::create(path).expect("create PGM");
     write!(f, "P5\n{w} {h}\n255\n").expect("write PGM header");
     let bytes: Vec<u8> = img

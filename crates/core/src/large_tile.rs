@@ -7,16 +7,28 @@
 //! region (safe from boundary effects, per the optical-diameter argument),
 //! while the purely local LP/IR convolutions run on the full tile unchanged.
 //!
+//! Inputs may be any rectangular `[1, 1, H, W]` with `H, W ≥ S`: dimensions
+//! that are not multiples of `S/2` are **reflect-padded** (mirror without
+//! the edge row, bottom/right only — see
+//! [`litho_tensor::reflect_pad_spatial`]) up to the window grid and the
+//! output is cropped back, so already-aligned inputs take the exact same
+//! code path as before and unaligned ones differ only by the padded band.
+//!
 //! The window fan-out is embarrassingly parallel — every window runs an
 //! independent GP forward and its core region lands in a disjoint part of
 //! the stitched feature map — so it is distributed over the `litho-parallel`
 //! pool (one work item per window, results stitched in window order, output
 //! bit-identical for any `LITHO_THREADS` when the model is in eval mode —
-//! see [`LargeTileSimulator::simulate`] for the batch-norm caveat).
+//! see [`LargeTileSimulator::simulate`] for the batch-norm caveat). The
+//! serial [`LargeTileSimulator::simulate_in_ctx`] variant runs the same
+//! window schedule on one caller-owned [`InferCtx`] and is bit-identical to
+//! the pooled path — it is the per-super-tile kernel of the full-chip
+//! streaming engine (`crate::streaming`), where the parallelism lives one
+//! level up (tiles, not windows).
 
 use crate::model::Doinn;
 use litho_nn::{ops, InferCtx, Module};
-use litho_tensor::{crop_spatial_into, Tensor};
+use litho_tensor::{crop_spatial, crop_spatial_into, reflect_pad_spatial, Tensor};
 
 /// Applies a trained [`Doinn`] to tiles larger than its training size using
 /// the half-overlap core-stitching scheme.
@@ -42,9 +54,16 @@ impl<'a> LargeTileSimulator<'a> {
         Self { model, train_size }
     }
 
-    /// Simulates a `[1, 1, L, L]` mask with `L ≥ train_size` and
-    /// `L` a multiple of `train_size/2`. Returns the Tanh contour prediction
-    /// of shape `[1, 1, L, L]`.
+    /// The training tile edge this simulator windows with.
+    #[must_use]
+    pub fn train_size(&self) -> usize {
+        self.train_size
+    }
+
+    /// Simulates a `[1, 1, H, W]` mask with `H, W ≥ train_size`. Returns
+    /// the Tanh contour prediction of shape `[1, 1, H, W]`; unaligned
+    /// inputs are reflect-padded to the window grid and cropped back (see
+    /// the module docs).
     ///
     /// Deterministic (bit-identical for any `LITHO_THREADS`) **provided the
     /// model is in eval mode**: in training mode batch-norm layers fold
@@ -63,23 +82,116 @@ impl<'a> LargeTileSimulator<'a> {
     /// [`LargeTileSimulator::simulate`] with an explicit `pool` for the
     /// window fan-out (the public entry point uses the process-wide pool).
     pub fn simulate_with_pool(&self, mask: &Tensor, wpool: &litho_parallel::Pool) -> Tensor {
+        let (h, w) = self.validate(mask);
+        match self.pad_to_grid(mask) {
+            Some(padded) => {
+                let out = self.simulate_aligned_with_pool(&padded, wpool);
+                crop_spatial(&out, 0, 0, h, w)
+            }
+            None => self.simulate_aligned_with_pool(mask, wpool),
+        }
+    }
+
+    /// Serial [`LargeTileSimulator::simulate`] on one caller-owned context:
+    /// the same window schedule, the same FP order, bit-identical output —
+    /// but every window runs on `ctx`, so a warm context makes the whole
+    /// simulation allocation-free modulo the stitched map and the result.
+    /// This is the kernel the full-chip streaming engine runs per
+    /// super-tile, with `CtxBank` contexts persisting across tiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the [`LargeTileSimulator::simulate`] shape constraints.
+    pub fn simulate_in_ctx(&self, ctx: &mut InferCtx, mask: &Tensor) -> Tensor {
+        let (h, w) = self.validate(mask);
+        match self.pad_to_grid(mask) {
+            Some(padded) => {
+                let out = self.simulate_aligned_in_ctx(ctx, &padded);
+                let mut cropped = ctx.alloc(&[1, 1, h, w]);
+                crop_spatial_into(&out, 0, 0, &mut cropped);
+                ctx.recycle(out);
+                cropped
+            }
+            None => self.simulate_aligned_in_ctx(ctx, mask),
+        }
+    }
+
+    /// Shape validation shared by every entry point; returns `(H, W)`.
+    fn validate(&self, mask: &Tensor) -> (usize, usize) {
         assert_eq!(mask.rank(), 4, "expects NCHW input");
         assert_eq!(mask.dim(0), 1, "large-tile simulation is single-image");
         assert_eq!(mask.dim(1), 1, "expects a 1-channel mask");
-        let l = mask.dim(2);
-        assert_eq!(mask.dim(3), l, "expects a square tile");
+        let (h, w) = (mask.dim(2), mask.dim(3));
         let s = self.train_size;
-        assert!(l >= s, "input smaller than training tile");
-        assert!(
-            l % (s / 2) == 0,
-            "input size must be a multiple of half the training tile"
-        );
+        assert!(h >= s && w >= s, "input smaller than training tile");
+        (h, w)
+    }
+
+    /// Reflect-pads bottom/right up to the next multiple of `train_size/2`,
+    /// or `None` for already-aligned inputs (which then share the exact
+    /// unpadded code path).
+    fn pad_to_grid(&self, mask: &Tensor) -> Option<Tensor> {
+        let stride = self.train_size / 2;
+        let (h, w) = (mask.dim(2), mask.dim(3));
+        let (hp, wp) = (h.next_multiple_of(stride), w.next_multiple_of(stride));
+        // pad < stride ≤ train_size/2 ≤ H, so reflection always has room
+        (hp != h || wp != w).then(|| reflect_pad_spatial(mask, 0, hp - h, 0, wp - w))
+    }
+
+    /// GP forward of one `S×S` window at tile coords `(ty, tx)`; returns
+    /// the `[1, C, p, p]` pooled feature map (caller recycles).
+    fn window_feature(&self, ctx: &mut InferCtx, mask: &Tensor, ty: usize, tx: usize) -> Tensor {
+        let s = self.train_size;
+        let stride = s / 2;
+        // crop into a recycled buffer so the s×s bucket cycles too
+        let mut window = ctx.alloc(&[1, 1, s, s]);
+        crop_spatial_into(mask, ty * stride, tx * stride, &mut window);
+        let pooled = ops::avg_pool2d_infer(ctx, &window, self.model.config().pool);
+        ctx.recycle(window);
+        self.model.gp_on_pooled_infer(ctx, pooled)
+    }
+
+    /// Copies the window's core region into the stitched map. Core bounds
+    /// in pooled window coords; edge windows extend to the tile boundary so
+    /// every output pixel is covered exactly once.
+    fn stitch_core(
+        &self,
+        stitched: &mut Tensor,
+        feat: &Tensor,
+        (ty, tx): (usize, usize),
+        (n_ty, n_tx): (usize, usize),
+    ) {
+        let pool = self.model.config().pool;
+        let p = self.train_size / pool; // per-window pooled size
+        let stride = self.train_size / 2;
+        let c = stitched.dim(1);
+        let (cy0, cy1) = core_span(ty, n_ty, p);
+        let (cx0, cx1) = core_span(tx, n_tx, p);
+        let oy = ty * stride / pool;
+        let ox = tx * stride / pool;
+        for ch in 0..c {
+            for wy in cy0..cy1 {
+                for wx in cx0..cx1 {
+                    stitched.set(&[0, ch, oy + wy, ox + wx], feat.get(&[0, ch, wy, wx]));
+                }
+            }
+        }
+    }
+
+    /// Window-grid dimensions `(n_ty, n_tx)` for an aligned `H×W` input.
+    fn grid(&self, h: usize, w: usize) -> (usize, usize) {
+        let s = self.train_size;
+        let stride = s / 2;
+        ((h - s) / stride + 1, (w - s) / stride + 1)
+    }
+
+    /// The aligned-input core: window fan-out over `wpool`, stitch, LP,
+    /// reconstruct. `mask` dims must be multiples of `train_size/2`.
+    fn simulate_aligned_with_pool(&self, mask: &Tensor, wpool: &litho_parallel::Pool) -> Tensor {
+        let (h, w) = (mask.dim(2), mask.dim(3));
         let pool = self.model.config().pool;
         let c = self.model.config().gp_channels;
-        let lp_pooled = l / pool; // stitched GP feature resolution
-        let p = s / pool; // per-window pooled size
-        let stride = s / 2;
-        let n_tiles = (l - s) / stride + 1;
+        let (n_ty, n_tx) = self.grid(h, w);
 
         // 1. GP path on half-overlapped windows, fanned out one window per
         //    work item and stitched in window order. Each worker *slot* owns
@@ -90,9 +202,9 @@ impl<'a> LargeTileSimulator<'a> {
         //    rounds of one per worker so peak memory holds O(threads)
         //    feature maps, not O(windows). Stitched regions are disjoint, so
         //    neither the fan-out nor the rounding can change the result.
-        let total = n_tiles * n_tiles;
+        let total = n_ty * n_tx;
         let round = wpool.threads();
-        let mut stitched = Tensor::zeros(&[1, c, lp_pooled, lp_pooled]);
+        let mut stitched = Tensor::zeros(&[1, c, h / pool, w / pool]);
         let mut workers: Vec<(InferCtx, Option<Tensor>)> = (0..round)
             .map(|_| (InferCtx::with_pool(wpool), None))
             .collect();
@@ -102,34 +214,12 @@ impl<'a> LargeTileSimulator<'a> {
             wpool.par_chunks_mut(&mut workers[..count], 1, 1, |i, slot| {
                 let (ctx, out) = &mut slot[0];
                 let ti = start + i;
-                let (ty, tx) = (ti / n_tiles, ti % n_tiles);
-                // crop into a recycled buffer so the s×s bucket cycles too
-                let mut window = ctx.alloc(&[1, 1, s, s]);
-                crop_spatial_into(mask, ty * stride, tx * stride, &mut window);
-                let pooled = ops::avg_pool2d_infer(ctx, &window, pool);
-                ctx.recycle(window);
-                *out = Some(self.model.gp_on_pooled_infer(ctx, pooled)); // [1, C, p, p]
+                *out = Some(self.window_feature(ctx, mask, ti / n_tx, ti % n_tx));
             });
             for (off, (ctx, out)) in workers[..count].iter_mut().enumerate() {
                 let feat = out.take().expect("window feature filled");
                 let ti = start + off;
-                let (ty, tx) = (ti / n_tiles, ti % n_tiles);
-                // core region in pooled window coords; edge windows extend
-                // to the tile boundary so every output pixel is covered
-                // exactly once
-                let cy0 = if ty == 0 { 0 } else { p / 4 };
-                let cy1 = if ty == n_tiles - 1 { p } else { 3 * p / 4 };
-                let cx0 = if tx == 0 { 0 } else { p / 4 };
-                let cx1 = if tx == n_tiles - 1 { p } else { 3 * p / 4 };
-                let oy = ty * stride / pool;
-                let ox = tx * stride / pool;
-                for ch in 0..c {
-                    for wy in cy0..cy1 {
-                        for wx in cx0..cx1 {
-                            stitched.set(&[0, ch, oy + wy, ox + wx], feat.get(&[0, ch, wy, wx]));
-                        }
-                    }
-                }
+                self.stitch_core(&mut stitched, &feat, (ti / n_tx, ti % n_tx), (n_ty, n_tx));
                 ctx.recycle(feat);
             }
             start += count;
@@ -145,11 +235,38 @@ impl<'a> LargeTileSimulator<'a> {
         self.model.reconstruct_infer(&mut ctx, stitched, lp_feats)
     }
 
+    /// Serial aligned-input core on one context: identical window schedule
+    /// and FP order to [`LargeTileSimulator::simulate_aligned_with_pool`],
+    /// just no fan-out.
+    fn simulate_aligned_in_ctx(&self, ctx: &mut InferCtx, mask: &Tensor) -> Tensor {
+        let (h, w) = (mask.dim(2), mask.dim(3));
+        let pool = self.model.config().pool;
+        let c = self.model.config().gp_channels;
+        let (n_ty, n_tx) = self.grid(h, w);
+        let mut stitched = Tensor::zeros(&[1, c, h / pool, w / pool]);
+        for ti in 0..n_ty * n_tx {
+            let feat = self.window_feature(ctx, mask, ti / n_tx, ti % n_tx);
+            self.stitch_core(&mut stitched, &feat, (ti / n_tx, ti % n_tx), (n_ty, n_tx));
+            ctx.recycle(feat);
+        }
+        let lp_feats = self.model.lp_features_infer(ctx, mask);
+        self.model.reconstruct_infer(ctx, stitched, lp_feats)
+    }
+
     /// Naive baseline: feed the large tile directly through the network
     /// (the "DOINN" row of Table 4 that shows the quality drop).
     pub fn simulate_naive(&self, mask: &Tensor) -> Tensor {
         self.model.infer(&mut InferCtx::new(), mask.clone())
     }
+}
+
+/// Core half-open span of window `t` of `n` along one axis, in pooled
+/// window coords of size `p`: interior windows keep the middle half, edge
+/// windows extend to the boundary.
+fn core_span(t: usize, n: usize, p: usize) -> (usize, usize) {
+    let lo = if t == 0 { 0 } else { p / 4 };
+    let hi = if t == n - 1 { p } else { 3 * p / 4 };
+    (lo, hi)
 }
 
 #[cfg(test)]
@@ -221,11 +338,73 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "multiple of half the training tile")]
-    fn rejects_misaligned_input() {
+    fn rectangular_inputs_are_supported() {
+        let mut rng = seeded_rng(6);
+        let model = Doinn::new(DoinnConfig::tiny(), &mut rng);
+        model.set_training(false);
+        let sim = LargeTileSimulator::new(&model, 32);
+        let mask = litho_tensor::init::randn(&[1, 1, 48, 80], 0.5, &mut rng);
+        let out = sim.simulate_with_pool(&mask, &litho_parallel::Pool::new(2));
+        assert_eq!(out.shape(), &[1, 1, 48, 80]);
+        assert!(out.all_finite());
+    }
+
+    #[test]
+    fn aligned_inputs_bypass_padding_bit_identically() {
+        // the padding satellite's regression: on an already-aligned input
+        // the public entry point must be bit-identical to the aligned core
+        // (i.e. the padding layer is a true no-op, not a pad+crop epicycle)
+        let mut rng = seeded_rng(7);
+        let model = Doinn::new(DoinnConfig::tiny(), &mut rng);
+        model.set_training(false);
+        let sim = LargeTileSimulator::new(&model, 32);
+        let mask = litho_tensor::init::randn(&[1, 1, 64, 64], 0.5, &mut rng);
+        let pool = litho_parallel::Pool::new(2);
+        let public = sim.simulate_with_pool(&mask, &pool);
+        let aligned = sim.simulate_aligned_with_pool(&mask, &pool);
+        assert_eq!(public.as_slice(), aligned.as_slice());
+    }
+
+    #[test]
+    fn unaligned_inputs_equal_manual_pad_then_crop() {
+        // 40 is not a multiple of 16: the simulator must reflect-pad to
+        // 48×48, simulate, and crop — verified against doing that by hand
+        let mut rng = seeded_rng(8);
+        let model = Doinn::new(DoinnConfig::tiny(), &mut rng);
+        model.set_training(false);
+        let sim = LargeTileSimulator::new(&model, 32);
+        let mask = litho_tensor::init::randn(&[1, 1, 40, 40], 0.5, &mut rng);
+        let pool = litho_parallel::Pool::new(2);
+        let out = sim.simulate_with_pool(&mask, &pool);
+        assert_eq!(out.shape(), &[1, 1, 40, 40]);
+        let padded = reflect_pad_spatial(&mask, 0, 8, 0, 8);
+        let manual = crop_spatial(&sim.simulate_with_pool(&padded, &pool), 0, 0, 40, 40);
+        assert_eq!(out.as_slice(), manual.as_slice());
+    }
+
+    #[test]
+    fn in_ctx_path_matches_pooled_path_bit_identically() {
+        let mut rng = seeded_rng(9);
+        let model = Doinn::new(DoinnConfig::tiny(), &mut rng);
+        model.set_training(false);
+        let sim = LargeTileSimulator::new(&model, 32);
+        // rectangular and unaligned on one axis to cover pad + crop too
+        let mask = litho_tensor::init::randn(&[1, 1, 48, 72], 0.5, &mut rng);
+        let want = sim.simulate_with_pool(&mask, &litho_parallel::Pool::new(3));
+        let mut ctx = InferCtx::new();
+        let got = sim.simulate_in_ctx(&mut ctx, &mask);
+        assert_eq!(want.as_slice(), got.as_slice());
+        // and a second run on the now-warm context stays identical
+        let again = sim.simulate_in_ctx(&mut ctx, &mask);
+        assert_eq!(want.as_slice(), again.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "input smaller than training tile")]
+    fn rejects_inputs_below_train_size() {
         let mut rng = seeded_rng(4);
         let model = Doinn::new(DoinnConfig::tiny(), &mut rng);
         let sim = LargeTileSimulator::new(&model, 32);
-        let _ = sim.simulate(&Tensor::zeros(&[1, 1, 40, 40]));
+        let _ = sim.simulate(&Tensor::zeros(&[1, 1, 24, 24]));
     }
 }

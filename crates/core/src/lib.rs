@@ -12,6 +12,9 @@
 //! - [`models`] — the comparison baselines: [`models::Unet`],
 //!   [`models::DamoDls`] (nested-UNet DAMO-like), [`models::Fno`].
 //! - [`LargeTileSimulator`] — the §3.2 any-size tile scheme.
+//! - [`streaming`] — the bounded-memory full-chip engine: super-tile
+//!   pipeline over [`ChipStreamer`] with on-disk sources/sinks
+//!   (`litho_data::ChunkedRaster`).
 //! - [`seg_metrics`] — mPA / mIOU (§2.2).
 //! - [`train_model`] / [`evaluate_model`] — the Table 8 training recipe.
 //! - [`evaluate_process_window`] — per-corner scoring of a trained model
@@ -48,6 +51,7 @@ mod metrics;
 mod model;
 pub mod models;
 mod process_window;
+pub mod streaming;
 mod trainer;
 
 pub use large_tile::LargeTileSimulator;
@@ -60,6 +64,7 @@ pub use process_window::{
     evaluate_process_window, evaluate_process_window_with_pool, CornerEvalConfig, CornerSamples,
     CornerScore, ProcessWindowReport,
 };
+pub use streaming::{ChipStreamer, StreamConfig, StreamReport, TileSink, TileSource};
 pub use trainer::{
     evaluate_model, to_tanh_target, train_model, EarlyStop, Sample, TrainConfig, TrainReport,
 };

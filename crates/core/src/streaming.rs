@@ -1,0 +1,442 @@
+//! Full-chip streaming simulation engine.
+//!
+//! [`LargeTileSimulator`] is RAM-bound: the mask, the stitched GP feature
+//! map and the output all materialise at chip scale. This module removes
+//! that bound by partitioning the chip into super-tiles
+//! ([`litho_geometry::ChipPlan`]) with guard-band halos and pumping them
+//! through a three-stage **producer / compute / consumer** pipeline:
+//!
+//! 1. **produce** — crop up to `in_flight` halo-extended super-tiles from a
+//!    [`TileSource`] (serial, cheap: seek-addressed reads);
+//! 2. **compute** — run [`LargeTileSimulator::simulate_in_ctx`] on each
+//!    tile, fanned out over the `litho-parallel` pool with persistent
+//!    per-worker contexts ([`litho_nn::CtxBank`]) so the warm buffer pools
+//!    survive from tile to tile;
+//! 3. **consume** — crop each result back to its core region and flush it
+//!    to a [`TileSink`], in tile-index order, each core exactly once.
+//!
+//! The stages advance in rounds of `in_flight` tiles, so peak memory is
+//! `O(in_flight × super_tile²)` **regardless of chip size** — the
+//! `tests/streaming_memory.rs` suite pins this with the
+//! `litho_tensor::alloc_stats` live-bytes gauge, and `BENCH_fullchip.json`
+//! records it against the in-memory path's `O(chip²)`.
+//!
+//! ## Determinism
+//!
+//! The output is bit-identical across `LITHO_THREADS` **and** across
+//! in-flight budgets: every super-tile is simulated by the same instruction
+//! sequence whatever context it lands on (a context only changes where
+//! buffers come from), tiles are flushed in tile-index order by a single
+//! consumer, and core regions are disjoint (exact-once coverage), so
+//! neither the fan-out, the round size, nor the flush interleaving can
+//! reorder arithmetic. The root `tests/streaming_determinism.rs` suite
+//! property-tests this over pools × budgets.
+//!
+//! ## Halos
+//!
+//! Within a super-tile the large-tile scheme already guards its windows'
+//! boundary effects; the super-tile's own edges see artificial boundaries,
+//! so the plan extends every core by `halo` pixels on each side (clamped at
+//! the chip, grown inward to `train_size` — the same clamping the window
+//! logic applies one level down) and the consumer discards the band.
+//! Widening the halo monotonically shrinks the seam disagreement against
+//! the one-shot result (`tests/streaming_seam.rs`).
+
+use crate::large_tile::LargeTileSimulator;
+use crate::model::Doinn;
+use litho_data::ChunkedRaster;
+use litho_geometry::{ChipPlan, TileWindow};
+use litho_nn::CtxBank;
+use litho_tensor::{crop_spatial, Tensor};
+use std::io;
+
+/// Pixel supplier for the produce stage: any store that can hand out
+/// rectangular windows of a `height × width` raster.
+pub trait TileSource {
+    /// Raster size as `(height, width)` pixels.
+    fn dims(&self) -> (usize, usize);
+
+    /// Reads the `h × w` window at `(y0, x0)` into `out` (row-major,
+    /// `out.len() == h*w`).
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O error.
+    fn read_window(
+        &mut self,
+        y0: usize,
+        x0: usize,
+        h: usize,
+        w: usize,
+        out: &mut [f32],
+    ) -> io::Result<()>;
+}
+
+/// Pixel consumer for the flush stage. Windows arrive disjoint and in tile
+/// order; [`TileSink::finish`] runs once after the last flush.
+pub trait TileSink {
+    /// Writes the row-major `h × w` window `data` at `(y0, x0)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O error.
+    fn write_window(
+        &mut self,
+        y0: usize,
+        x0: usize,
+        h: usize,
+        w: usize,
+        data: &[f32],
+    ) -> io::Result<()>;
+
+    /// Completes the sink (flush/fsync for files; no-op by default).
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O error.
+    fn finish(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// An in-memory `[1, 1, H, W]` tensor as a source (tests, small chips).
+impl TileSource for Tensor {
+    fn dims(&self) -> (usize, usize) {
+        assert_nchw(self);
+        (self.dim(2), self.dim(3))
+    }
+
+    fn read_window(
+        &mut self,
+        y0: usize,
+        x0: usize,
+        h: usize,
+        w: usize,
+        out: &mut [f32],
+    ) -> io::Result<()> {
+        assert_nchw(self);
+        let (ih, iw) = (self.dim(2), self.dim(3));
+        assert!(y0 + h <= ih && x0 + w <= iw, "window exceeds tensor bounds");
+        assert_eq!(out.len(), h * w, "buffer length does not match window");
+        let src = self.as_slice();
+        for (row, dst) in out.chunks_exact_mut(w).enumerate() {
+            let off = (y0 + row) * iw + x0;
+            dst.copy_from_slice(&src[off..off + w]);
+        }
+        Ok(())
+    }
+}
+
+/// An in-memory `[1, 1, H, W]` tensor as a sink (tests, small chips).
+impl TileSink for Tensor {
+    fn write_window(
+        &mut self,
+        y0: usize,
+        x0: usize,
+        h: usize,
+        w: usize,
+        data: &[f32],
+    ) -> io::Result<()> {
+        assert_nchw(self);
+        let (ih, iw) = (self.dim(2), self.dim(3));
+        assert!(y0 + h <= ih && x0 + w <= iw, "window exceeds tensor bounds");
+        assert_eq!(data.len(), h * w, "buffer length does not match window");
+        let dst = self.as_mut_slice();
+        for (row, src) in data.chunks_exact(w).enumerate() {
+            let off = (y0 + row) * iw + x0;
+            dst[off..off + w].copy_from_slice(src);
+        }
+        Ok(())
+    }
+}
+
+/// The chunked on-disk raster as a source: the chip mask never fully
+/// materialises in memory.
+impl TileSource for ChunkedRaster {
+    fn dims(&self) -> (usize, usize) {
+        (self.height(), self.width())
+    }
+
+    fn read_window(
+        &mut self,
+        y0: usize,
+        x0: usize,
+        h: usize,
+        w: usize,
+        out: &mut [f32],
+    ) -> io::Result<()> {
+        self.read_rect(y0, x0, h, w, out)
+    }
+}
+
+/// The chunked on-disk raster as a sink; [`TileSink::finish`] is the
+/// fsync'd [`ChunkedRaster::finalize`].
+impl TileSink for ChunkedRaster {
+    fn write_window(
+        &mut self,
+        y0: usize,
+        x0: usize,
+        h: usize,
+        w: usize,
+        data: &[f32],
+    ) -> io::Result<()> {
+        self.write_rect(y0, x0, h, w, data)
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.finalize()
+    }
+}
+
+fn assert_nchw(t: &Tensor) {
+    assert_eq!(t.rank(), 4, "tile store expects an NCHW tensor");
+    assert_eq!(t.dim(0), 1, "tile store is single-image");
+    assert_eq!(t.dim(1), 1, "tile store expects a 1-channel raster");
+}
+
+/// Knobs of the streaming pipeline: super-tile core size, guard-band halo,
+/// and the hard in-flight budget (peak memory is
+/// `O(in_flight × (super_tile + 2·halo)²)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamConfig {
+    /// Core super-tile edge in pixels.
+    pub super_tile: usize,
+    /// Guard band added on each super-tile side, pixels. More halo = less
+    /// seam disagreement, more redundant compute; `train_size/2` matches
+    /// the margin the window scheme itself trusts.
+    pub halo: usize,
+    /// Maximum super-tiles resident at once (the pipeline's round size).
+    pub in_flight: usize,
+}
+
+impl StreamConfig {
+    /// A configuration with explicit knobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `super_tile` or `in_flight` is zero.
+    #[must_use]
+    pub fn new(super_tile: usize, halo: usize, in_flight: usize) -> Self {
+        assert!(super_tile > 0, "super-tile size must be positive");
+        assert!(in_flight > 0, "in-flight budget must be positive");
+        Self {
+            super_tile,
+            halo,
+            in_flight,
+        }
+    }
+
+    /// The defaults for a model trained on `train_size` tiles: super-tiles
+    /// of `4 × train_size`, a half-window halo (the same margin the §3.2
+    /// scheme trusts between windows), and an in-flight budget of twice the
+    /// process-wide pool so the compute stage never starves.
+    #[must_use]
+    pub fn default_for(train_size: usize) -> Self {
+        Self::new(
+            4 * train_size,
+            train_size / 2,
+            2 * litho_parallel::global().threads(),
+        )
+    }
+}
+
+/// What a streaming run did — sizes and tile counts for logs and benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamReport {
+    /// Chip height in pixels.
+    pub chip_h: usize,
+    /// Chip width in pixels.
+    pub chip_w: usize,
+    /// Super-tile rows.
+    pub tiles_y: usize,
+    /// Super-tile columns.
+    pub tiles_x: usize,
+}
+
+impl StreamReport {
+    /// Total super-tiles processed.
+    #[must_use]
+    pub fn tiles(&self) -> usize {
+        self.tiles_y * self.tiles_x
+    }
+}
+
+/// Streams a full chip through a [`LargeTileSimulator`] with bounded
+/// memory (see the module docs).
+#[derive(Debug)]
+pub struct ChipStreamer<'a> {
+    sim: LargeTileSimulator<'a>,
+}
+
+impl<'a> ChipStreamer<'a> {
+    /// A streamer over `model` trained on `train_size × train_size` tiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the [`LargeTileSimulator::new`] divisibility constraint.
+    pub fn new(model: &'a Doinn, train_size: usize) -> Self {
+        Self {
+            sim: LargeTileSimulator::new(model, train_size),
+        }
+    }
+
+    /// The per-super-tile simulator.
+    #[must_use]
+    pub fn simulator(&self) -> &LargeTileSimulator<'a> {
+        &self.sim
+    }
+
+    /// Streams `src` to `sink` on the process-wide pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates source/sink I/O errors (the pipeline stops at the first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either chip dimension is smaller than the training tile,
+    /// or if `sink` rejects a window shape (the sink must span the chip).
+    pub fn stream<S: TileSource, K: TileSink>(
+        &self,
+        src: &mut S,
+        sink: &mut K,
+        cfg: &StreamConfig,
+    ) -> io::Result<StreamReport> {
+        self.stream_with_pool(src, sink, cfg, litho_parallel::global())
+    }
+
+    /// [`ChipStreamer::stream`] with an explicit pool for the compute-stage
+    /// fan-out.
+    pub fn stream_with_pool<S: TileSource, K: TileSink>(
+        &self,
+        src: &mut S,
+        sink: &mut K,
+        cfg: &StreamConfig,
+        wpool: &litho_parallel::Pool,
+    ) -> io::Result<StreamReport> {
+        let (chip_h, chip_w) = src.dims();
+        let plan = ChipPlan::new(chip_w, chip_h, cfg.super_tile, cfg.halo)
+            .with_min_extent(self.sim.train_size());
+        let bank = CtxBank::new(wpool);
+        let total = plan.len();
+        let mut next = 0;
+        while next < total {
+            let count = cfg.in_flight.min(total - next);
+
+            // produce: crop the round's halo-extended tiles from the source
+            let mut inputs: Vec<(TileWindow, Tensor)> = Vec::with_capacity(count);
+            for i in next..next + count {
+                let tw = plan.window(i);
+                let mut buf = vec![0.0; tw.ext_h * tw.ext_w];
+                src.read_window(tw.ext_y0, tw.ext_x0, tw.ext_h, tw.ext_w, &mut buf)?;
+                inputs.push((tw, Tensor::from_vec(buf, &[1, 1, tw.ext_h, tw.ext_w])));
+            }
+
+            // compute: per-tile large-tile simulation on persistent
+            // per-worker contexts; input tiles are consumed (freed) in the
+            // workers, results come back in tile order
+            let outputs = bank.par_map_consume(inputs, |ctx, (tw, tile)| {
+                let out = self.sim.simulate_in_ctx(ctx, &tile);
+                (tw, out)
+            });
+
+            // consume: crop cores and flush in tile-index order
+            for (tw, out) in outputs {
+                let (dy, dx) = tw.core_offset();
+                let core = crop_spatial(&out, dy, dx, tw.core_h, tw.core_w);
+                sink.write_window(
+                    tw.core_y0,
+                    tw.core_x0,
+                    tw.core_h,
+                    tw.core_w,
+                    core.as_slice(),
+                )?;
+            }
+            next += count;
+        }
+        sink.finish()?;
+        Ok(StreamReport {
+            chip_h,
+            chip_w,
+            tiles_y: plan.tiles_y(),
+            tiles_x: plan.tiles_x(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::DoinnConfig;
+    use litho_nn::Module;
+    use litho_tensor::init::seeded_rng;
+
+    fn toy_chip(h: usize, w: usize, seed: u64) -> Tensor {
+        litho_tensor::init::randn(&[1, 1, h, w], 0.5, &mut seeded_rng(seed))
+    }
+
+    #[test]
+    fn streamed_tensor_roundtrip_covers_whole_chip() {
+        let mut rng = seeded_rng(11);
+        let model = Doinn::new(DoinnConfig::tiny(), &mut rng);
+        model.set_training(false);
+        let streamer = ChipStreamer::new(&model, 32);
+        let mut src = toy_chip(96, 80, 1);
+        let mut sink = Tensor::full(&[1, 1, 96, 80], f32::NAN);
+        let cfg = StreamConfig::new(48, 16, 3);
+        let report = streamer
+            .stream_with_pool(&mut src, &mut sink, &cfg, &litho_parallel::Pool::new(2))
+            .unwrap();
+        assert_eq!((report.tiles_y, report.tiles_x), (2, 2));
+        assert_eq!(report.tiles(), 4);
+        // every pixel flushed exactly once: no NaN survives
+        assert!(sink.all_finite(), "unflushed pixels remain");
+    }
+
+    #[test]
+    fn zero_halo_single_tile_equals_one_shot() {
+        // one super-tile covering the whole chip = the in-memory path
+        let mut rng = seeded_rng(12);
+        let model = Doinn::new(DoinnConfig::tiny(), &mut rng);
+        model.set_training(false);
+        let streamer = ChipStreamer::new(&model, 32);
+        let pool = litho_parallel::Pool::new(2);
+        let mut src = toy_chip(64, 64, 2);
+        let want = streamer.simulator().simulate_with_pool(&src, &pool);
+        let mut sink = Tensor::zeros(&[1, 1, 64, 64]);
+        let cfg = StreamConfig::new(64, 0, 1);
+        streamer
+            .stream_with_pool(&mut src, &mut sink, &cfg, &pool)
+            .unwrap();
+        assert_eq!(want.as_slice(), sink.as_slice());
+    }
+
+    #[test]
+    fn in_flight_budget_does_not_change_results() {
+        let mut rng = seeded_rng(13);
+        let model = Doinn::new(DoinnConfig::tiny(), &mut rng);
+        model.set_training(false);
+        let streamer = ChipStreamer::new(&model, 32);
+        let pool = litho_parallel::Pool::new(2);
+        let mut outs = Vec::new();
+        for in_flight in [1usize, 2, 5] {
+            let mut src = toy_chip(80, 80, 3);
+            let mut sink = Tensor::zeros(&[1, 1, 80, 80]);
+            let cfg = StreamConfig::new(48, 8, in_flight);
+            streamer
+                .stream_with_pool(&mut src, &mut sink, &cfg, &pool)
+                .unwrap();
+            outs.push(sink);
+        }
+        assert_eq!(outs[0].as_slice(), outs[1].as_slice());
+        assert_eq!(outs[0].as_slice(), outs[2].as_slice());
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let cfg = StreamConfig::default_for(32);
+        assert_eq!(cfg.super_tile, 128);
+        assert_eq!(cfg.halo, 16);
+        assert!(cfg.in_flight >= 2);
+    }
+}

@@ -1,0 +1,412 @@
+//! Chunked on-disk raster — the streaming engine's tile store.
+//!
+//! A full-chip mask or contour at 2048² and beyond should never have to
+//! materialise in memory. [`ChunkedRaster`] keeps it on disk as a grid of
+//! fixed-size square chunks so that any rectangular window can be read or
+//! written with pure seek arithmetic — no index, no read-modify-write, no
+//! scan.
+//!
+//! Format (little-endian), magic `LCHRAST1`:
+//!
+//! - header: width `u64`, height `u64`, chunk edge `u32`, dtype `u32`
+//!   (`0` = `f32`, the only dtype today), finalized flag `u32`
+//!   (`0` while writing, `1` after [`ChunkedRaster::finalize`]);
+//! - body: `ceil(h/chunk) × ceil(w/chunk)` chunks in row-major chunk
+//!   order, each exactly `chunk × chunk` `f32`s in chunk-local row-major
+//!   order. Edge chunks keep the full stride — the out-of-chip remainder is
+//!   dead space — because a *fixed* chunk stride is what makes every pixel's
+//!   file offset a closed-form expression.
+//!
+//! The file is pre-sized at creation ([`File::set_len`]), so concurrent
+//! tiles land in disjoint byte ranges and write order is irrelevant; a
+//! crash before `finalize` leaves the flag `0` and [`ChunkedRaster::open`]
+//! refuses the torn file.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"LCHRAST1";
+const HEADER_LEN: u64 = 8 + 8 + 8 + 4 + 4 + 4;
+const DTYPE_F32: u32 = 0;
+
+/// A `width × height` `f32` raster stored on disk in fixed-size chunks
+/// (see the module docs for the format).
+#[derive(Debug)]
+pub struct ChunkedRaster {
+    file: File,
+    width: usize,
+    height: usize,
+    chunk: usize,
+    chunks_x: usize,
+    finalized: bool,
+}
+
+impl ChunkedRaster {
+    /// Creates (truncating) a raster file pre-sized for `width × height`
+    /// pixels in `chunk × chunk` chunks, open for reading and writing.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width`, `height` or `chunk` is zero.
+    pub fn create(
+        path: impl AsRef<Path>,
+        width: usize,
+        height: usize,
+        chunk: usize,
+    ) -> io::Result<Self> {
+        assert!(width > 0 && height > 0, "raster dims must be positive");
+        assert!(chunk > 0, "chunk size must be positive");
+        let chunks_x = width.div_ceil(chunk);
+        let chunks_y = height.div_ceil(chunk);
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        let body = (chunks_x * chunks_y * chunk * chunk) as u64 * 4;
+        file.set_len(HEADER_LEN + body)?;
+        file.write_all(MAGIC)?;
+        file.write_all(&(width as u64).to_le_bytes())?;
+        file.write_all(&(height as u64).to_le_bytes())?;
+        file.write_all(&(chunk as u32).to_le_bytes())?;
+        file.write_all(&DTYPE_F32.to_le_bytes())?;
+        file.write_all(&0u32.to_le_bytes())?; // not finalized
+        Ok(Self {
+            file,
+            width,
+            height,
+            chunk,
+            chunks_x,
+            finalized: false,
+        })
+    }
+
+    /// Opens a finalized raster read-only, validating the header and the
+    /// exact file length.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` for a bad magic/dtype, a length mismatch, or a
+    /// file whose finalized flag is still `0` (torn write).
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        let mut file = File::open(path)?;
+        let mut magic = [0u8; 8];
+        file.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(bad("not a chunked raster file (bad magic)"));
+        }
+        let width = read_u64(&mut file)? as usize;
+        let height = read_u64(&mut file)? as usize;
+        let chunk = read_u32(&mut file)? as usize;
+        let dtype = read_u32(&mut file)?;
+        let finalized = read_u32(&mut file)?;
+        if dtype != DTYPE_F32 {
+            return Err(bad("unsupported dtype (only f32 rasters exist today)"));
+        }
+        if width == 0 || height == 0 || chunk == 0 {
+            return Err(bad("zero dimension in chunked raster header"));
+        }
+        if finalized != 1 {
+            return Err(bad("chunked raster not finalized (torn write?)"));
+        }
+        let chunks_x = width.div_ceil(chunk);
+        let chunks_y = height.div_ceil(chunk);
+        let want = HEADER_LEN + (chunks_x * chunks_y * chunk * chunk) as u64 * 4;
+        let got = file.metadata()?.len();
+        if got != want {
+            return Err(bad(&format!(
+                "chunked raster length mismatch: file is {got} bytes, header implies {want}"
+            )));
+        }
+        Ok(Self {
+            file,
+            width,
+            height,
+            chunk,
+            chunks_x,
+            finalized: true,
+        })
+    }
+
+    /// Raster width in pixels.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Raster height in pixels.
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Chunk edge in pixels.
+    #[must_use]
+    pub fn chunk_size(&self) -> usize {
+        self.chunk
+    }
+
+    /// `true` once [`ChunkedRaster::finalize`] has run (always `true` for
+    /// rasters from [`ChunkedRaster::open`]).
+    #[must_use]
+    pub fn is_finalized(&self) -> bool {
+        self.finalized
+    }
+
+    /// Reads the `h × w` window at `(y0, x0)` into `out` (row-major).
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window exceeds the raster bounds or `out.len() != h*w`.
+    pub fn read_rect(
+        &mut self,
+        y0: usize,
+        x0: usize,
+        h: usize,
+        w: usize,
+        out: &mut [f32],
+    ) -> io::Result<()> {
+        self.check_rect(y0, x0, h, w, out.len());
+        let mut bytes = vec![0u8; w * 4];
+        for (row, dst) in out.chunks_exact_mut(w).enumerate() {
+            let y = y0 + row;
+            let mut x = x0;
+            let mut off = 0;
+            while x < x0 + w {
+                let seg = self.segment_len(x, x0 + w);
+                self.file.seek(SeekFrom::Start(self.offset_of(y, x)))?;
+                self.file.read_exact(&mut bytes[off * 4..(off + seg) * 4])?;
+                x += seg;
+                off += seg;
+            }
+            for (d, b) in dst.iter_mut().zip(bytes.chunks_exact(4)) {
+                *d = f32::from_le_bytes([b[0], b[1], b[2], b[3]]);
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes the row-major `h × w` window `data` at `(y0, x0)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O error, or `InvalidInput` if the raster is
+    /// already finalized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window exceeds the raster bounds or
+    /// `data.len() != h*w`.
+    pub fn write_rect(
+        &mut self,
+        y0: usize,
+        x0: usize,
+        h: usize,
+        w: usize,
+        data: &[f32],
+    ) -> io::Result<()> {
+        if self.finalized {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "chunked raster is finalized (read-only)",
+            ));
+        }
+        self.check_rect(y0, x0, h, w, data.len());
+        let mut bytes = vec![0u8; w * 4];
+        for (row, src) in data.chunks_exact(w).enumerate() {
+            let y = y0 + row;
+            for (b, v) in bytes.chunks_exact_mut(4).zip(src) {
+                b.copy_from_slice(&v.to_le_bytes());
+            }
+            let mut x = x0;
+            let mut off = 0;
+            while x < x0 + w {
+                let seg = self.segment_len(x, x0 + w);
+                self.file.seek(SeekFrom::Start(self.offset_of(y, x)))?;
+                self.file.write_all(&bytes[off * 4..(off + seg) * 4])?;
+                x += seg;
+                off += seg;
+            }
+        }
+        Ok(())
+    }
+
+    /// Flushes, flips the header's finalized flag and `fsync`s, making the
+    /// file acceptable to [`ChunkedRaster::open`]. Idempotent.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O error.
+    pub fn finalize(&mut self) -> io::Result<()> {
+        if self.finalized {
+            return Ok(());
+        }
+        self.file.flush()?;
+        self.file.seek(SeekFrom::Start(HEADER_LEN - 4))?;
+        self.file.write_all(&1u32.to_le_bytes())?;
+        self.file.sync_all()?;
+        self.finalized = true;
+        Ok(())
+    }
+
+    /// File offset of pixel `(y, x)`.
+    fn offset_of(&self, y: usize, x: usize) -> u64 {
+        let (cy, cx) = (y / self.chunk, x / self.chunk);
+        let (ly, lx) = (y % self.chunk, x % self.chunk);
+        let chunk_base = (cy * self.chunks_x + cx) * self.chunk * self.chunk;
+        HEADER_LEN + (chunk_base + ly * self.chunk + lx) as u64 * 4
+    }
+
+    /// Length of the contiguous run starting at column `x` (bounded by the
+    /// end of the pixel's chunk and by `x_end`).
+    fn segment_len(&self, x: usize, x_end: usize) -> usize {
+        let chunk_end = (x / self.chunk + 1) * self.chunk;
+        chunk_end.min(x_end) - x
+    }
+
+    fn check_rect(&self, y0: usize, x0: usize, h: usize, w: usize, len: usize) {
+        assert!(h > 0 && w > 0, "window dims must be positive");
+        assert!(
+            y0 + h <= self.height && x0 + w <= self.width,
+            "window exceeds raster bounds"
+        );
+        assert_eq!(len, h * w, "buffer length does not match window");
+    }
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("litho_chunked_{}_{name}.lcr", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrips_windows_across_chunk_boundaries() {
+        let path = tmp("roundtrip");
+        let (w, h, chunk) = (70, 50, 16);
+        let full: Vec<f32> = (0..w * h).map(|i| i as f32).collect();
+        {
+            let mut r = ChunkedRaster::create(&path, w, h, chunk).unwrap();
+            // write in awkward strips that straddle chunk boundaries
+            for (y0, x0, rh, rw) in [(0, 0, 20, 70), (20, 0, 30, 33), (20, 33, 30, 37)] {
+                let mut strip = vec![0.0; rh * rw];
+                for y in 0..rh {
+                    for x in 0..rw {
+                        strip[y * rw + x] = full[(y0 + y) * w + x0 + x];
+                    }
+                }
+                r.write_rect(y0, x0, rh, rw, &strip).unwrap();
+            }
+            r.finalize().unwrap();
+        }
+        let mut r = ChunkedRaster::open(&path).unwrap();
+        assert_eq!((r.width(), r.height(), r.chunk_size()), (w, h, chunk));
+        let mut back = vec![0.0; w * h];
+        r.read_rect(0, 0, h, w, &mut back).unwrap();
+        assert_eq!(back, full);
+        // an interior window that crosses all four neighbouring chunks
+        let mut win = vec![0.0; 10 * 10];
+        r.read_rect(11, 11, 10, 10, &mut win).unwrap();
+        for y in 0..10 {
+            for x in 0..10 {
+                assert_eq!(win[y * 10 + x], full[(11 + y) * w + 11 + x]);
+            }
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_torn_and_corrupt_files() {
+        let path = tmp("torn");
+        {
+            let mut r = ChunkedRaster::create(&path, 8, 8, 4).unwrap();
+            r.write_rect(0, 0, 8, 8, &[1.0; 64]).unwrap();
+            // no finalize: flag stays 0
+        }
+        let err = ChunkedRaster::open(&path).unwrap_err();
+        assert!(err.to_string().contains("not finalized"), "{err}");
+        // truncated body
+        {
+            let mut r = ChunkedRaster::create(&path, 8, 8, 4).unwrap();
+            r.finalize().unwrap();
+        }
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(40).unwrap();
+        let err = ChunkedRaster::open(&path).unwrap_err();
+        assert!(err.to_string().contains("length mismatch"), "{err}");
+        // bad magic
+        std::fs::write(&path, b"NOTAMAGIC___").unwrap();
+        let err = ChunkedRaster::open(&path).unwrap_err();
+        assert!(err.to_string().contains("bad magic"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn finalize_makes_raster_read_only() {
+        let path = tmp("readonly");
+        let mut r = ChunkedRaster::create(&path, 8, 8, 8).unwrap();
+        r.write_rect(0, 0, 1, 8, &[2.0; 8]).unwrap();
+        r.finalize().unwrap();
+        assert!(r.is_finalized());
+        let err = r.write_rect(1, 0, 1, 8, &[3.0; 8]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        // still readable through the same handle
+        let mut row = [0.0; 8];
+        r.read_rect(0, 0, 1, 8, &mut row).unwrap();
+        assert_eq!(row, [2.0; 8]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn unwritten_regions_read_as_zero() {
+        let path = tmp("sparse");
+        let mut r = ChunkedRaster::create(&path, 20, 20, 8).unwrap();
+        r.write_rect(5, 5, 2, 2, &[9.0; 4]).unwrap();
+        r.finalize().unwrap();
+        let mut all = vec![0.0; 400];
+        r.read_rect(0, 0, 20, 20, &mut all).unwrap();
+        let total: f32 = all.iter().sum();
+        assert_eq!(total, 36.0);
+        assert_eq!(all[5 * 20 + 5], 9.0);
+        assert_eq!(all[0], 0.0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "window exceeds raster bounds")]
+    fn rejects_out_of_bounds_window() {
+        let path = tmp("oob");
+        let mut r = ChunkedRaster::create(&path, 8, 8, 4).unwrap();
+        let _ = r.write_rect(4, 4, 8, 8, &[0.0; 64]);
+    }
+}

@@ -6,7 +6,10 @@
 //! substitute for the paper's ISPD-2019 / ICCAD-2013 / N14 benchmarks —
 //! see `DESIGN.md`), plus golden process-window corner sweeps
 //! ([`synthesize_process_window`]) that print the held-out masks at every
-//! dose/defocus corner for PV-band and degradation analysis.
+//! dose/defocus corner for PV-band and degradation analysis. The crate also
+//! owns the workspace's on-disk formats: the dataset cache and the
+//! chunked full-chip raster ([`ChunkedRaster`]) the streaming engine reads
+//! and writes.
 //!
 //! # Examples
 //!
@@ -23,9 +26,12 @@
 #![warn(missing_docs)]
 
 mod cache;
+mod chunked;
 mod config;
 mod pwindow;
 mod synth;
+
+pub use chunked::ChunkedRaster;
 
 pub use cache::{
     cache_path, load_dataset, load_process_window, process_window_cache_path,

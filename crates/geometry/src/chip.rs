@@ -1,0 +1,287 @@
+//! Super-tile partitioning of a full-chip raster.
+//!
+//! [`ChipPlan`] cuts an arbitrarily large `W×H` pixel grid into a regular
+//! grid of **core** tiles (disjoint, exact-once coverage of every pixel)
+//! and, for each core, an **extended** window that adds a guard-band halo
+//! on every side, clamped to the chip. The streaming simulator runs
+//! inference on the extended window and keeps only the core — the halo
+//! absorbs the windowed-FFT boundary effects, exactly the role the
+//! half-overlap margins play inside the large-tile scheme one level down.
+//!
+//! The plan is pure index arithmetic: it owns no pixels, so the same value
+//! drives the in-process streaming engine (`doinn::streaming`) and the
+//! serving layer's full-chip request planner (`litho_serve::chip`).
+
+/// One super-tile of a [`ChipPlan`]: its core rectangle (disjoint coverage)
+/// and the halo-extended window actually sent through the model. All
+/// coordinates are pixels, `y` down, `x` right, half-open ranges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileWindow {
+    /// Tile index in row-major tile-grid order.
+    pub index: usize,
+    /// Core top-left y (pixels).
+    pub core_y0: usize,
+    /// Core top-left x (pixels).
+    pub core_x0: usize,
+    /// Core height; last-row tiles are clamped to the chip edge.
+    pub core_h: usize,
+    /// Core width; last-column tiles are clamped to the chip edge.
+    pub core_w: usize,
+    /// Extended-window top-left y (core minus halo, clamped to 0).
+    pub ext_y0: usize,
+    /// Extended-window top-left x (core minus halo, clamped to 0).
+    pub ext_x0: usize,
+    /// Extended-window height (clamped to the chip, then grown inward to
+    /// the plan's `min_extent` if needed).
+    pub ext_h: usize,
+    /// Extended-window width (see `ext_h`).
+    pub ext_w: usize,
+}
+
+impl TileWindow {
+    /// Core offset inside the extended window: `(dy, dx)` such that core
+    /// pixel `(y, x)` is extended-window pixel `(y + dy - …)` — i.e.
+    /// `core_y0 - ext_y0` and `core_x0 - ext_x0`.
+    #[must_use]
+    pub fn core_offset(&self) -> (usize, usize) {
+        (self.core_y0 - self.ext_y0, self.core_x0 - self.ext_x0)
+    }
+}
+
+/// Partition of a `chip_w × chip_h` pixel grid into `tile × tile` cores
+/// with a `halo`-pixel guard band (see the module docs).
+///
+/// # Examples
+///
+/// ```
+/// use litho_geometry::ChipPlan;
+///
+/// let plan = ChipPlan::new(96, 64, 48, 8);
+/// assert_eq!((plan.tiles_x(), plan.tiles_y()), (2, 2));
+/// let t = plan.window(3); // bottom-right tile
+/// assert_eq!((t.core_y0, t.core_x0, t.core_h, t.core_w), (48, 48, 16, 48));
+/// // halo clamped at the chip's bottom-right corner
+/// assert_eq!((t.ext_y0, t.ext_x0, t.ext_h, t.ext_w), (40, 40, 24, 56));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChipPlan {
+    chip_w: usize,
+    chip_h: usize,
+    tile: usize,
+    halo: usize,
+    min_extent: usize,
+}
+
+impl ChipPlan {
+    /// Plans a `chip_w × chip_h` chip as `tile × tile` cores with a `halo`
+    /// guard band.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of `chip_w`, `chip_h`, `tile` is zero.
+    #[must_use]
+    pub fn new(chip_w: usize, chip_h: usize, tile: usize, halo: usize) -> Self {
+        assert!(chip_w > 0 && chip_h > 0, "chip dims must be positive");
+        assert!(tile > 0, "super-tile size must be positive");
+        Self {
+            chip_w,
+            chip_h,
+            tile,
+            halo,
+            min_extent: 0,
+        }
+    }
+
+    /// Guarantees every extended window spans at least `min × min` pixels,
+    /// growing clamped edge windows back toward the chip interior. The
+    /// streaming simulator sets this to the model's training tile so even a
+    /// sliver of a last-row core arrives as a full-size window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min` exceeds either chip dimension — a chip smaller than
+    /// the minimum window cannot be planned.
+    #[must_use]
+    pub fn with_min_extent(mut self, min: usize) -> Self {
+        assert!(
+            min <= self.chip_w && min <= self.chip_h,
+            "min extent exceeds chip dims"
+        );
+        self.min_extent = min;
+        self
+    }
+
+    /// Chip width in pixels.
+    #[must_use]
+    pub fn chip_w(&self) -> usize {
+        self.chip_w
+    }
+
+    /// Chip height in pixels.
+    #[must_use]
+    pub fn chip_h(&self) -> usize {
+        self.chip_h
+    }
+
+    /// Core tile size in pixels.
+    #[must_use]
+    pub fn tile(&self) -> usize {
+        self.tile
+    }
+
+    /// Guard-band width in pixels.
+    #[must_use]
+    pub fn halo(&self) -> usize {
+        self.halo
+    }
+
+    /// Number of tile columns (`ceil(chip_w / tile)`).
+    #[must_use]
+    pub fn tiles_x(&self) -> usize {
+        self.chip_w.div_ceil(self.tile)
+    }
+
+    /// Number of tile rows (`ceil(chip_h / tile)`).
+    #[must_use]
+    pub fn tiles_y(&self) -> usize {
+        self.chip_h.div_ceil(self.tile)
+    }
+
+    /// Total number of super-tiles.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tiles_x() * self.tiles_y()
+    }
+
+    /// `true` only for the degenerate zero-tile plan (impossible by
+    /// construction, but clippy wants `is_empty` next to `len`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `index`-th super-tile in row-major tile-grid order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    #[must_use]
+    pub fn window(&self, index: usize) -> TileWindow {
+        assert!(index < self.len(), "tile index out of range");
+        let (ty, tx) = (index / self.tiles_x(), index % self.tiles_x());
+        let (core_y0, ext_y0, core_h, ext_h) = self.axis(ty, self.chip_h);
+        let (core_x0, ext_x0, core_w, ext_w) = self.axis(tx, self.chip_w);
+        TileWindow {
+            index,
+            core_y0,
+            core_x0,
+            core_h,
+            core_w,
+            ext_y0,
+            ext_x0,
+            ext_h,
+            ext_w,
+        }
+    }
+
+    /// Iterates the super-tiles in row-major order.
+    pub fn windows(&self) -> impl Iterator<Item = TileWindow> + '_ {
+        (0..self.len()).map(|i| self.window(i))
+    }
+
+    /// One axis of the window math: `(core_0, ext_0, core_len, ext_len)`
+    /// for tile coordinate `t` on an axis of `chip` pixels.
+    fn axis(&self, t: usize, chip: usize) -> (usize, usize, usize, usize) {
+        let core_0 = t * self.tile;
+        let core_1 = (core_0 + self.tile).min(chip); // last tile clamps
+        let mut ext_0 = core_0.saturating_sub(self.halo);
+        let mut ext_1 = (core_1 + self.halo).min(chip);
+        if ext_1 - ext_0 < self.min_extent {
+            // grow inward: anchor whichever edge was clamped, extend the
+            // other side to min_extent (chip >= min_extent is asserted)
+            ext_0 = ext_1.saturating_sub(self.min_extent);
+            ext_1 = (ext_0 + self.min_extent).min(chip);
+        }
+        (core_0, ext_0, core_1 - core_0, ext_1 - ext_0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cores_cover_every_pixel_exactly_once() {
+        for (w, h, tile, halo) in [(96, 64, 48, 8), (100, 70, 32, 16), (31, 57, 16, 4)] {
+            let plan = ChipPlan::new(w, h, tile, halo);
+            let mut hits = vec![0u32; w * h];
+            for t in plan.windows() {
+                for y in t.core_y0..t.core_y0 + t.core_h {
+                    for x in t.core_x0..t.core_x0 + t.core_w {
+                        hits[y * w + x] += 1;
+                    }
+                }
+            }
+            assert!(
+                hits.iter().all(|&n| n == 1),
+                "{w}x{h} tile {tile}: coverage not exact-once"
+            );
+        }
+    }
+
+    #[test]
+    fn extended_contains_core_plus_halo_clamped() {
+        let plan = ChipPlan::new(100, 100, 40, 12);
+        for t in plan.windows() {
+            assert!(t.ext_y0 <= t.core_y0 && t.ext_x0 <= t.core_x0);
+            assert!(t.ext_y0 + t.ext_h >= t.core_y0 + t.core_h);
+            assert!(t.ext_x0 + t.ext_w >= t.core_x0 + t.core_w);
+            assert!(t.ext_y0 + t.ext_h <= 100 && t.ext_x0 + t.ext_w <= 100);
+            // interior windows carry the full halo on both sides
+            if t.core_y0 > 0 && t.core_y0 + 40 < 100 {
+                assert_eq!(t.ext_y0, t.core_y0 - 12);
+                assert_eq!(t.ext_h, t.core_h + 24);
+            }
+        }
+    }
+
+    #[test]
+    fn min_extent_grows_slivers_inward() {
+        // 70-px chip, 32-px tiles: last core is a 6-px sliver
+        let plan = ChipPlan::new(70, 70, 32, 0).with_min_extent(32);
+        let t = plan.window(plan.len() - 1);
+        assert_eq!((t.core_h, t.core_w), (6, 6));
+        assert_eq!((t.ext_h, t.ext_w), (32, 32));
+        assert_eq!((t.ext_y0, t.ext_x0), (38, 38)); // anchored at chip edge
+        let (dy, dx) = t.core_offset();
+        assert_eq!((dy, dx), (26, 26));
+    }
+
+    #[test]
+    fn zero_halo_windows_equal_cores() {
+        let plan = ChipPlan::new(96, 96, 48, 0);
+        for t in plan.windows() {
+            assert_eq!((t.ext_y0, t.ext_x0), (t.core_y0, t.core_x0));
+            assert_eq!((t.ext_h, t.ext_w), (t.core_h, t.core_w));
+            assert_eq!(t.core_offset(), (0, 0));
+        }
+    }
+
+    #[test]
+    fn window_index_roundtrips_row_major() {
+        let plan = ChipPlan::new(96, 64, 32, 8);
+        assert_eq!((plan.tiles_x(), plan.tiles_y()), (3, 2));
+        assert_eq!(plan.len(), 6);
+        for (i, t) in plan.windows().enumerate() {
+            assert_eq!(t.index, i);
+            assert_eq!(t.core_y0, (i / 3) * 32);
+            assert_eq!(t.core_x0, (i % 3) * 32);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "min extent exceeds chip dims")]
+    fn rejects_min_extent_larger_than_chip() {
+        let _ = ChipPlan::new(24, 24, 16, 4).with_min_extent(32);
+    }
+}

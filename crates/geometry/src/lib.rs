@@ -3,8 +3,9 @@
 //! Manhattan layout geometry for the DOINN reproduction: integer-nanometre
 //! rectangles ([`Rect`]), area-weighted rasterization to mask images
 //! ([`rasterize`]), binary morphology ([`dilate`]/[`erode`]), image
-//! comparison ([`binary_iou`]), edge-placement error ([`measure_epe`]) and
-//! process-variation bands across corner sweeps ([`PvBand`]).
+//! comparison ([`binary_iou`]), edge-placement error ([`measure_epe`]),
+//! process-variation bands across corner sweeps ([`PvBand`]) and full-chip
+//! super-tile planning with guard-band halos ([`ChipPlan`]).
 //!
 //! # Examples
 //!
@@ -20,11 +21,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chip;
 mod epe;
 mod pvband;
 mod raster;
 mod rect;
 
+pub use chip::{ChipPlan, TileWindow};
 pub use epe::{boundary, measure_epe, EpeStats};
 pub use pvband::{PvBand, PvBandStats};
 pub use raster::{binarize, binary_iou, dilate, erode, rasterize, rasterize_into};

@@ -20,6 +20,7 @@
 //! | `det-iteration` | no iteration over `HashMap` — iterated maps must be `BTreeMap` |
 //! | `infer-alloc` | no fresh allocation inside `*_infer`/`*_fill` hot-path functions |
 //! | `panic-contract` | kernel panic messages come from the contract-string registry |
+//! | `io-discipline` | filesystem access (`std::fs`, `File::open/create`, `OpenOptions`) only inside `crates/data`; local I/O elsewhere needs a pragma |
 //!
 //! ## Pragmas
 //!
@@ -217,6 +218,7 @@ pub fn analyze_workspace(root: &Path, cfg: &Config) -> std::io::Result<Report> {
     let mut findings = Vec::new();
     let files_scanned = files.len();
     for path in files {
+        // litho-lint: allow(io-discipline): the analyzer's job is reading the source tree
         let src = std::fs::read_to_string(&path)?;
         let rel = path
             .strip_prefix(root)

@@ -1,4 +1,4 @@
-//! The six workspace-invariant rules.
+//! The seven workspace-invariant rules.
 //!
 //! Each rule encodes one discipline documented in `docs/ARCHITECTURE.md` and
 //! catalogued with examples in `docs/LINTS.md`. Rules operate on the
@@ -30,7 +30,7 @@ impl std::fmt::Display for Finding {
     }
 }
 
-/// The six discipline rules, in documentation order.
+/// The seven discipline rules, in documentation order.
 pub const RULES: &[&str] = &[
     "pool-discipline",
     "plan-cache",
@@ -38,6 +38,7 @@ pub const RULES: &[&str] = &[
     "det-iteration",
     "infer-alloc",
     "panic-contract",
+    "io-discipline",
 ];
 
 /// Meta-rules emitted by the engine itself (pragma hygiene). Not
@@ -139,7 +140,7 @@ fn skip_balanced(b: &[u8], mut i: usize) -> usize {
     i
 }
 
-/// Shared driver for the three "forbidden call outside its home" rules.
+/// Shared driver for the four "forbidden call outside its home" rules.
 fn forbidden_calls(
     s: &Scrubbed,
     file: &str,
@@ -238,6 +239,44 @@ pub fn clock_discipline(s: &Scrubbed, file: &str, out: &mut Vec<Finding>) {
                      (`// litho-lint: allow(clock-discipline): <reason>`)"
                 )
             }
+        },
+        out,
+    );
+}
+
+/// **io-discipline** — filesystem access (`std::fs::*`, `File::open`/
+/// `File::create`, `OpenOptions`) belongs in `crates/data`: on-disk formats
+/// are versioned, seek-addressed and fsync-disciplined there (see
+/// `ChunkedRaster`), and scattering raw I/O across crates is how torn files
+/// and unseekable ad-hoc formats creep in. Genuinely local I/O elsewhere
+/// (checkpoint serialization, bench report emission, the lint walker
+/// itself) carries a pragma naming its reason.
+pub fn io_discipline(s: &Scrubbed, file: &str, out: &mut Vec<Finding>) {
+    if file.starts_with("crates/data/") {
+        return;
+    }
+    forbidden_calls(
+        s,
+        file,
+        "io-discipline",
+        &[
+            "File::open(",
+            "File::create(",
+            "OpenOptions::new(",
+            "fs::read",
+            "fs::write",
+            "fs::create_dir",
+            "fs::remove",
+            "fs::rename",
+            "fs::copy",
+        ],
+        &|needle: &str| {
+            format!(
+                "`{}` outside crates/data: on-disk formats and filesystem access live in \
+                 `litho-data` (stream rasters through `ChunkedRaster`); pragma-justify \
+                 genuinely local I/O (`// litho-lint: allow(io-discipline): <reason>`)",
+                needle.trim_end_matches('(')
+            )
         },
         out,
     );
@@ -634,6 +673,7 @@ pub fn run_all(s: &Scrubbed, file: &str, cfg: &Config, out: &mut Vec<Finding>) {
     pool_discipline(s, file, out);
     plan_cache(s, file, out);
     clock_discipline(s, file, out);
+    io_discipline(s, file, out);
     det_iteration(s, file, out);
     infer_alloc(s, file, out);
     panic_contract(s, file, cfg, out);
@@ -731,6 +771,15 @@ mod tests {
         assert!(findings(src, "crates/fft/src/x.rs")
             .iter()
             .all(|f| f.rule != "plan-cache"));
+    }
+
+    #[test]
+    fn io_discipline_fires_outside_data_only() {
+        let src = "fn f() {\n    let b = std::fs::read(\"p\").unwrap();\n    let f = File::create(\"q\").unwrap();\n    let _ = (b, f);\n}\n#[cfg(test)]\nmod tests {\n    fn t() {\n        std::fs::write(\"tmp\", b\"x\").unwrap();\n    }\n}\n";
+        let f = findings(src, "crates/core/src/streaming.rs");
+        let rules: Vec<&str> = f.iter().map(|f| f.rule.as_str()).collect();
+        assert_eq!(rules, vec!["io-discipline", "io-discipline"], "{f:?}");
+        assert!(findings(src, "crates/data/src/chunked.rs").is_empty());
     }
 
     #[test]

@@ -1,0 +1,8 @@
+//! Seed violation: raw filesystem access outside `crates/data`.
+
+fn load(path: &str) -> Vec<u8> {
+    let bytes = std::fs::read(path).unwrap();
+    let f = File::create("out.bin").unwrap();
+    drop(f);
+    bytes
+}

@@ -1,0 +1,10 @@
+//! Pragma'd twin of `io_discipline.rs`.
+
+fn load(path: &str) -> Vec<u8> {
+    // litho-lint: allow(io-discipline): fixture twin exercising the waiver path
+    let bytes = std::fs::read(path).unwrap();
+    // litho-lint: allow(io-discipline): fixture twin exercising the waiver path
+    let f = File::create("out.bin").unwrap();
+    drop(f);
+    bytes
+}

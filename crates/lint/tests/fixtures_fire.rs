@@ -148,6 +148,28 @@ fn panic_contract_twin_is_clean() {
 }
 
 #[test]
+fn io_discipline_fires_outside_data() {
+    let src = include_str!("fixtures/io_discipline.rs");
+    let got = default_findings("crates/core/src/streaming.rs", src);
+    assert_eq!(
+        got,
+        vec![
+            ("io-discipline".to_string(), 4),
+            ("io-discipline".to_string(), 5),
+        ]
+    );
+    // crates/data is the blessed home for on-disk formats: no findings
+    assert!(default_findings("crates/data/src/chunked.rs", src).is_empty());
+}
+
+#[test]
+fn io_discipline_twin_is_clean() {
+    let src = include_str!("fixtures/io_discipline_allowed.rs");
+    let got = default_findings("crates/core/src/streaming.rs", src);
+    assert!(got.is_empty(), "{got:?}");
+}
+
+#[test]
 fn allow_without_reason_is_a_finding_and_suppresses_nothing() {
     let src = include_str!("fixtures/pragma_no_reason.rs");
     let got = default_findings("crates/optics/src/spectrum.rs", src);

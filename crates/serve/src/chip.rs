@@ -1,0 +1,241 @@
+//! Full-chip request planning: the serving face of the super-tile scheme.
+//!
+//! The streaming engine in `doinn::streaming` and this module share one
+//! scheduler type — [`litho_geometry::ChipPlan`] — so a chip is cut into
+//! the same halo-extended super-tiles whether it is simulated in-process
+//! or fanned out as serving requests. [`ChipJob`] turns a chip raster into
+//! per-tile [`Request`]s (one halo-extended window each, in tile order);
+//! [`ChipAssembler`] collects the completed predictions **in any order**,
+//! crops each back to its core region and stitches the full-chip output
+//! with exact-once coverage.
+//!
+//! Order independence is what makes this serving-friendly: the batcher is
+//! free to coalesce, reorder across priorities, or interleave tiles of
+//! several chips — cores are disjoint, so assembly is commutative.
+
+use crate::server::Request;
+use litho_geometry::ChipPlan;
+use litho_tensor::{crop_spatial, Tensor};
+
+/// A full-chip inference job: the plan plus the chip raster's identity
+/// checks, producing one request per super-tile.
+#[derive(Debug, Clone, Copy)]
+pub struct ChipJob {
+    plan: ChipPlan,
+}
+
+impl ChipJob {
+    /// A job over `plan`.
+    #[must_use]
+    pub fn new(plan: ChipPlan) -> Self {
+        Self { plan }
+    }
+
+    /// The shared super-tile plan.
+    #[must_use]
+    pub fn plan(&self) -> ChipPlan {
+        self.plan
+    }
+
+    /// Number of per-tile requests this job produces.
+    #[must_use]
+    pub fn tile_count(&self) -> usize {
+        self.plan.len()
+    }
+
+    /// The halo-extended input window of tile `index`, cropped from the
+    /// `[1, 1, H, W]` chip raster.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chip` does not match the plan's dimensions or `index` is
+    /// out of range.
+    #[must_use]
+    pub fn tile_input(&self, chip: &Tensor, index: usize) -> Tensor {
+        self.check_chip(chip);
+        let t = self.plan.window(index);
+        crop_spatial(chip, t.ext_y0, t.ext_x0, t.ext_h, t.ext_w)
+    }
+
+    /// All per-tile requests in tile order. The caller records the returned
+    /// tickets positionally: the `i`-th request is tile `i`, which is the
+    /// index [`ChipAssembler::accept`] expects back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chip` does not match the plan's dimensions.
+    #[must_use]
+    pub fn requests(&self, chip: &Tensor) -> Vec<Request> {
+        (0..self.tile_count())
+            .map(|i| Request::new(self.tile_input(chip, i)))
+            .collect()
+    }
+
+    fn check_chip(&self, chip: &Tensor) {
+        assert_eq!(chip.rank(), 4, "chip raster must be NCHW");
+        assert_eq!(chip.dim(0), 1, "chip raster is single-image");
+        assert_eq!(chip.dim(1), 1, "chip raster is 1-channel");
+        assert_eq!(
+            (chip.dim(2), chip.dim(3)),
+            (self.plan.chip_h(), self.plan.chip_w()),
+            "chip raster does not match the plan"
+        );
+    }
+}
+
+/// Collects per-tile predictions back into the full-chip output. Accepts
+/// tiles in any order, each exactly once.
+#[derive(Debug)]
+pub struct ChipAssembler {
+    plan: ChipPlan,
+    out: Tensor,
+    filled: Vec<bool>,
+    remaining: usize,
+}
+
+impl ChipAssembler {
+    /// An empty assembler for `plan`.
+    #[must_use]
+    pub fn new(plan: ChipPlan) -> Self {
+        let n = plan.len();
+        Self {
+            plan,
+            out: Tensor::zeros(&[1, 1, plan.chip_h(), plan.chip_w()]),
+            filled: vec![false; n],
+            remaining: n,
+        }
+    }
+
+    /// Stitches tile `index`'s prediction: crops the core out of the
+    /// halo-extended window and writes it to the chip position. Disjoint
+    /// cores make this commutative — completion order does not matter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range, already accepted, or
+    /// `prediction` is not the tile's `[1, 1, ext_h, ext_w]` shape.
+    pub fn accept(&mut self, index: usize, prediction: &Tensor) {
+        let t = self.plan.window(index);
+        assert!(!self.filled[index], "tile {index} accepted twice");
+        assert_eq!(
+            prediction.shape(),
+            &[1, 1, t.ext_h, t.ext_w],
+            "tile {index} prediction shape does not match its window"
+        );
+        let (dy, dx) = t.core_offset();
+        let w = self.plan.chip_w();
+        let dst = self.out.as_mut_slice();
+        let src = prediction.as_slice();
+        for row in 0..t.core_h {
+            let s_off = (dy + row) * t.ext_w + dx;
+            let d_off = (t.core_y0 + row) * w + t.core_x0;
+            dst[d_off..d_off + t.core_w].copy_from_slice(&src[s_off..s_off + t.core_w]);
+        }
+        self.filled[index] = true;
+        self.remaining -= 1;
+    }
+
+    /// Tiles still outstanding.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// `true` once every tile has been accepted.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.remaining == 0
+    }
+
+    /// The assembled `[1, 1, H, W]` chip output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any tile is still outstanding.
+    #[must_use]
+    pub fn finish(self) -> Tensor {
+        assert!(
+            self.is_complete(),
+            "{} tiles still outstanding",
+            self.remaining
+        );
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::ProbeModel;
+    use crate::{ModelZoo, ServeConfig, Server, SimClock};
+    use std::sync::Arc;
+
+    fn chip(h: usize, w: usize) -> Tensor {
+        Tensor::from_vec((0..h * w).map(|i| i as f32 * 0.25).collect(), &[1, 1, h, w])
+    }
+
+    #[test]
+    fn assembler_accepts_tiles_in_any_order() {
+        let plan = ChipPlan::new(20, 14, 8, 3);
+        let job = ChipJob::new(plan);
+        let x = chip(14, 20);
+        let mut asm = ChipAssembler::new(plan);
+        // feed the identity prediction per tile, deliberately backwards
+        for i in (0..job.tile_count()).rev() {
+            assert!(!asm.is_complete());
+            asm.accept(i, &job.tile_input(&x, i));
+        }
+        assert!(asm.is_complete());
+        // identity model + exact-once cores ⇒ assembly reproduces the chip
+        assert_eq!(asm.finish().as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn chip_roundtrips_through_the_server() {
+        let plan = ChipPlan::new(20, 14, 8, 3);
+        let job = ChipJob::new(plan);
+        let x = chip(14, 20);
+        let mut server = Server::new(
+            ModelZoo::with_default(Box::new(ProbeModel::new(2.0))),
+            ServeConfig {
+                queue_capacity: job.tile_count(),
+                ..ServeConfig::default()
+            },
+            Arc::new(SimClock::new()),
+        );
+        let tickets: Vec<_> = job
+            .requests(&x)
+            .into_iter()
+            .map(|r| server.submit(r).unwrap())
+            .collect();
+        server.flush_now();
+        let mut asm = ChipAssembler::new(plan);
+        for done in server.drain_completed() {
+            let index = tickets.iter().position(|&t| t == done.ticket).unwrap();
+            asm.accept(index, &done.result.unwrap());
+        }
+        let got = asm.finish();
+        // ProbeModel doubles every pixel; halos are cropped away exactly
+        let want: Vec<f32> = x.as_slice().iter().map(|v| v * 2.0).collect();
+        assert_eq!(got.as_slice(), &want[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "accepted twice")]
+    fn assembler_rejects_double_fill() {
+        let plan = ChipPlan::new(16, 16, 8, 0);
+        let job = ChipJob::new(plan);
+        let x = chip(16, 16);
+        let mut asm = ChipAssembler::new(plan);
+        asm.accept(0, &job.tile_input(&x, 0));
+        asm.accept(0, &job.tile_input(&x, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match its window")]
+    fn assembler_rejects_wrong_shape() {
+        let plan = ChipPlan::new(16, 16, 8, 2);
+        let mut asm = ChipAssembler::new(plan);
+        asm.accept(0, &Tensor::zeros(&[1, 1, 4, 4]));
+    }
+}

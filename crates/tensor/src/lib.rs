@@ -46,6 +46,6 @@ pub use gemm::{
 pub use im2col::{col2im, conv_out_size, conv_transpose_out_size, im2col};
 pub use shape_ops::{
     concat_channels, concat_channels_into, concat_channels_shape, crop_spatial, crop_spatial_into,
-    dihedral_chw, pad_spatial, slice_channels, stack_batch,
+    dihedral_chw, pad_spatial, reflect_pad_spatial, slice_channels, stack_batch,
 };
 pub use tensor::{alloc_stats, Tensor};

@@ -102,6 +102,61 @@ pub fn pad_spatial(t: &Tensor, top: usize, bottom: usize, left: usize, right: us
     out
 }
 
+/// Reflect-pads the spatial dims of an NCHW tensor by `(top, bottom, left,
+/// right)`, mirror-without-edge (PyTorch `ReflectionPad2d` convention): the
+/// `k`-th padded row beyond the bottom edge repeats row `h - 2 - k`, so the
+/// edge row itself is never duplicated. The large-tile simulator uses this
+/// to extend unaligned inputs — reflection keeps the padded band's pattern
+/// statistics (density, pitch) continuous with the real geometry, where
+/// zero-padding would fabricate a mask edge.
+///
+/// # Panics
+///
+/// Panics if the tensor is not rank 4 or any pad amount exceeds the
+/// corresponding `dim - 1` (reflection needs that many interior rows or
+/// columns to mirror).
+pub fn reflect_pad_spatial(
+    t: &Tensor,
+    top: usize,
+    bottom: usize,
+    left: usize,
+    right: usize,
+) -> Tensor {
+    assert_eq!(t.rank(), 4, "reflect_pad_spatial expects NCHW tensors");
+    let (n, c, h, w) = (t.dim(0), t.dim(1), t.dim(2), t.dim(3));
+    assert!(
+        top < h && bottom < h && left < w && right < w,
+        "reflect pad must be smaller than the padded dim"
+    );
+    let (nh, nw) = (h + top + bottom, w + left + right);
+    let mut out = Tensor::zeros(&[n, c, nh, nw]);
+    let od = out.as_mut_slice();
+    let sd = t.as_slice();
+    for nc in 0..n * c {
+        for y in 0..nh {
+            let sy = reflect_index(y, top, h);
+            let src = &sd[(nc * h + sy) * w..(nc * h + sy + 1) * w];
+            let dst = &mut od[(nc * nh + y) * nw..(nc * nh + y + 1) * nw];
+            for (x, d) in dst.iter_mut().enumerate() {
+                *d = src[reflect_index(x, left, w)];
+            }
+        }
+    }
+    out
+}
+
+/// Source index for padded coordinate `i` of an axis of size `n` padded by
+/// `pad` at the low end, with mirror-without-edge reflection at both ends.
+fn reflect_index(i: usize, pad: usize, n: usize) -> usize {
+    if i < pad {
+        pad - i
+    } else if i - pad < n {
+        i - pad
+    } else {
+        2 * n - 2 - (i - pad)
+    }
+}
+
 /// Crops the spatial dims of an NCHW tensor to the window starting at
 /// `(y0, x0)` with size `(h, w)`.
 ///
@@ -243,6 +298,39 @@ mod tests {
         assert_eq!(padded.get(&[0, 0, 1, 3]), x.get(&[0, 0, 0, 0]));
         let back = crop_spatial(&padded, 1, 3, 3, 3);
         assert_eq!(back, x);
+    }
+
+    #[test]
+    fn reflect_pad_mirrors_without_edge() {
+        // rows 0..3 of a 1×1×3×3: [0 1 2 / 3 4 5 / 6 7 8]
+        let x = t(1, 1, 3, 3, 0.0);
+        let p = reflect_pad_spatial(&x, 1, 2, 0, 1);
+        assert_eq!(p.shape(), &[1, 1, 6, 4]);
+        // top pad row mirrors row 1 (not the edge row 0)
+        assert_eq!(p.get(&[0, 0, 0, 0]), x.get(&[0, 0, 1, 0]));
+        // interior is the original
+        assert_eq!(p.get(&[0, 0, 1, 0]), x.get(&[0, 0, 0, 0]));
+        // bottom pads mirror rows h-2, h-3
+        assert_eq!(p.get(&[0, 0, 4, 0]), x.get(&[0, 0, 1, 0]));
+        assert_eq!(p.get(&[0, 0, 5, 0]), x.get(&[0, 0, 0, 0]));
+        // right pad column mirrors column w-2
+        assert_eq!(p.get(&[0, 0, 1, 3]), x.get(&[0, 0, 0, 1]));
+    }
+
+    #[test]
+    fn reflect_pad_zero_is_identity_and_crop_inverts() {
+        let x = t(1, 2, 4, 5, 0.0);
+        assert_eq!(reflect_pad_spatial(&x, 0, 0, 0, 0), x);
+        let p = reflect_pad_spatial(&x, 2, 3, 1, 4);
+        let back = crop_spatial(&p, 2, 1, 4, 5);
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than the padded dim")]
+    fn reflect_pad_rejects_oversized_pad() {
+        let x = t(1, 1, 3, 3, 0.0);
+        let _ = reflect_pad_spatial(&x, 3, 0, 0, 0);
     }
 
     #[test]

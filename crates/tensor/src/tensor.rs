@@ -11,17 +11,66 @@ use std::fmt;
 /// used by the tape-free inference tests to prove the `InferCtx` buffer
 /// pools actually recycle.
 ///
-/// The counter only exists in debug builds (`#[cfg(debug_assertions)]`): it
-/// is an atomic bump on every constructor that materialises a **new** `f32`
-/// buffer inside this crate — [`Tensor::zeros`], [`Tensor::full`],
-/// [`Tensor::ones`], [`Tensor::scalar`], [`Tensor::map`], [`Tensor::zip`],
-/// [`Tensor::reshape`] and `Clone`. [`Tensor::from_vec`] *adopts* a
-/// caller-provided buffer and is deliberately not counted — which is exactly
-/// what lets a buffer pool's recycled tensors register as zero new
-/// allocations.
+/// The *allocation counters* only exist in debug builds
+/// (`#[cfg(debug_assertions)]`): each is an atomic bump on every constructor
+/// that materialises a **new** `f32` buffer inside this crate —
+/// [`Tensor::zeros`], [`Tensor::full`], [`Tensor::ones`],
+/// [`Tensor::scalar`], [`Tensor::map`], [`Tensor::zip`], [`Tensor::reshape`]
+/// and `Clone`. [`Tensor::from_vec`] *adopts* a caller-provided buffer and
+/// is deliberately not counted — which is exactly what lets a buffer pool's
+/// recycled tensors register as zero new allocations.
+///
+/// The *live-bytes tracker* ([`alloc_stats::live_tensor_bytes`] /
+/// [`alloc_stats::peak_live_tensor_bytes`]) is different: it is live in
+/// **every** build
+/// profile, because the full-chip streaming benchmark records peak memory in
+/// release mode. It is two relaxed atomic ops per `Tensor`
+/// construction/drop — noise next to the buffer allocation itself, and the
+/// warm inference paths are zero-alloc anyway. Every constructor (including
+/// the adopting [`Tensor::from_vec`]) adds the buffer's bytes; `Drop` and
+/// [`Tensor::into_vec`] subtract them, so the gauge counts exactly the
+/// bytes owned by live `Tensor` values. Buffers parked in an `InferCtx`
+/// free list are *not* tensors and do not count: the gauge measures the
+/// working set of materialised tensors, which is the quantity the
+/// streaming engine bounds.
 pub mod alloc_stats {
     #[cfg(debug_assertions)]
-    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::atomic::AtomicU64;
+    use std::sync::atomic::{AtomicI64, Ordering};
+
+    static LIVE_BYTES: AtomicI64 = AtomicI64::new(0);
+    static PEAK_BYTES: AtomicI64 = AtomicI64::new(0);
+
+    /// Bytes currently held by live [`Tensor`](crate::Tensor) values,
+    /// process-wide. Live in every build profile.
+    pub fn live_tensor_bytes() -> u64 {
+        u64::try_from(LIVE_BYTES.load(Ordering::Relaxed).max(0)).unwrap_or(0)
+    }
+
+    /// High-water mark of [`live_tensor_bytes`] since process start or the
+    /// last [`reset_peak_live_tensor_bytes`]. Live in every build profile.
+    pub fn peak_live_tensor_bytes() -> u64 {
+        u64::try_from(PEAK_BYTES.load(Ordering::Relaxed).max(0)).unwrap_or(0)
+    }
+
+    /// Resets the peak gauge to the *current* live-bytes level (not zero),
+    /// so a measurement window starts from what is already resident.
+    pub fn reset_peak_live_tensor_bytes() {
+        PEAK_BYTES.store(LIVE_BYTES.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn track_add(elems: usize) {
+        let bytes = i64::try_from(elems * 4).unwrap_or(i64::MAX);
+        let now = LIVE_BYTES.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        PEAK_BYTES.fetch_max(now, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn track_sub(elems: usize) {
+        let bytes = i64::try_from(elems * 4).unwrap_or(i64::MAX);
+        LIVE_BYTES.fetch_sub(bytes, Ordering::Relaxed);
+    }
 
     #[cfg(debug_assertions)]
     static TENSOR_ALLOCS: AtomicU64 = AtomicU64::new(0);
@@ -126,14 +175,28 @@ pub struct Tensor {
 impl Clone for Tensor {
     fn clone(&self) -> Self {
         alloc_stats::bump();
-        Self {
-            shape: self.shape.clone(),
-            data: self.data.clone(),
-        }
+        Self::tracked(self.shape.clone(), self.data.clone())
+    }
+}
+
+impl Drop for Tensor {
+    fn drop(&mut self) {
+        // `into_vec` empties `data` via `mem::take` before this runs, so a
+        // handed-off buffer is subtracted exactly once (there, not here)
+        alloc_stats::track_sub(self.data.len());
     }
 }
 
 impl Tensor {
+    /// Sole construction point: every tensor's bytes enter the
+    /// [`alloc_stats`] live-bytes gauge here (and leave in `Drop`/
+    /// [`Tensor::into_vec`]).
+    #[inline]
+    fn tracked(shape: Vec<usize>, data: Vec<f32>) -> Self {
+        alloc_stats::track_add(data.len());
+        Self { shape, data }
+    }
+
     /// Creates a tensor from a flat buffer and a shape.
     ///
     /// # Panics
@@ -148,28 +211,19 @@ impl Tensor {
             data.len(),
             shape
         );
-        Self {
-            shape: shape.to_vec(),
-            data,
-        }
+        Self::tracked(shape.to_vec(), data)
     }
 
     /// Creates a zero-filled tensor.
     pub fn zeros(shape: &[usize]) -> Self {
         alloc_stats::bump();
-        Self {
-            shape: shape.to_vec(),
-            data: vec![0.0; shape.iter().product()],
-        }
+        Self::tracked(shape.to_vec(), vec![0.0; shape.iter().product()])
     }
 
     /// Creates a tensor filled with `value`.
     pub fn full(shape: &[usize], value: f32) -> Self {
         alloc_stats::bump();
-        Self {
-            shape: shape.to_vec(),
-            data: vec![value; shape.iter().product()],
-        }
+        Self::tracked(shape.to_vec(), vec![value; shape.iter().product()])
     }
 
     /// Creates a one-filled tensor.
@@ -180,10 +234,7 @@ impl Tensor {
     /// Creates a scalar (rank-0) tensor.
     pub fn scalar(value: f32) -> Self {
         alloc_stats::bump();
-        Self {
-            shape: vec![],
-            data: vec![value],
-        }
+        Self::tracked(vec![], vec![value])
     }
 
     /// The tensor's shape.
@@ -216,9 +267,13 @@ impl Tensor {
         &mut self.data
     }
 
-    /// Consumes the tensor and returns the flat buffer.
-    pub fn into_vec(self) -> Vec<f32> {
-        self.data
+    /// Consumes the tensor and returns the flat buffer. The buffer's bytes
+    /// leave the [`alloc_stats`] live gauge here — a handed-off `Vec` (e.g.
+    /// parked in an `InferCtx` free list) is no longer a live tensor.
+    pub fn into_vec(mut self) -> Vec<f32> {
+        let data = std::mem::take(&mut self.data);
+        alloc_stats::track_sub(data.len());
+        data
     }
 
     /// Size of axis `axis`.
@@ -283,10 +338,10 @@ impl Tensor {
     /// Elementwise map into a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
         alloc_stats::bump();
-        Tensor {
-            shape: self.shape.clone(),
-            data: self.data.iter().map(|&v| f(v)).collect(),
-        }
+        Tensor::tracked(
+            self.shape.clone(),
+            self.data.iter().map(|&v| f(v)).collect(),
+        )
     }
 
     /// In-place elementwise map.
@@ -304,15 +359,14 @@ impl Tensor {
     pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
         assert_eq!(self.shape, other.shape, "shape mismatch in zip");
         alloc_stats::bump();
-        Tensor {
-            shape: self.shape.clone(),
-            data: self
-                .data
+        Tensor::tracked(
+            self.shape.clone(),
+            self.data
                 .iter()
                 .zip(&other.data)
                 .map(|(&a, &b)| f(a, b))
                 .collect(),
-        }
+        )
     }
 
     /// Elementwise sum.
@@ -512,6 +566,46 @@ mod tests {
         assert!(t.all_finite());
         t.set(&[0], f32::NAN);
         assert!(!t.all_finite());
+    }
+
+    #[test]
+    fn live_bytes_gauge_tracks_construction_handoff_and_drop() {
+        use super::alloc_stats::{
+            live_tensor_bytes, peak_live_tensor_bytes, reset_peak_live_tensor_bytes,
+        };
+        // other tests in this binary allocate concurrently, so measure with a
+        // buffer that dwarfs their footprint and assert with generous slack
+        const ELEMS: usize = 1 << 22; // 16 MiB
+        let big = u64::try_from(ELEMS * 4).unwrap();
+        let slack = big / 4;
+
+        let before = live_tensor_bytes();
+        reset_peak_live_tensor_bytes();
+        let t = Tensor::zeros(&[ELEMS]);
+        let held = live_tensor_bytes();
+        assert!(held >= before + big, "{held} vs {before} + {big}");
+        assert!(peak_live_tensor_bytes() >= before + big);
+
+        // into_vec hands the buffer off: no longer live tensor bytes …
+        let buf = t.into_vec();
+        let after_handoff = live_tensor_bytes();
+        assert!(
+            after_handoff + big <= held + slack,
+            "{after_handoff} vs {held}"
+        );
+        // … and re-adopting it counts it again
+        let t = Tensor::from_vec(buf, &[ELEMS]);
+        assert!(live_tensor_bytes() >= after_handoff + big - slack);
+
+        // dropping subtracts; the peak high-water mark stays
+        drop(t);
+        let after_drop = live_tensor_bytes();
+        assert!(after_drop + big <= held + slack, "{after_drop} vs {held}");
+        assert!(peak_live_tensor_bytes() >= before + big);
+
+        // resetting re-bases the peak to the (now lower) live level
+        reset_peak_live_tensor_bytes();
+        assert!(peak_live_tensor_bytes() <= after_drop + slack);
     }
 
     #[test]

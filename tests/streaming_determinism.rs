@@ -1,0 +1,124 @@
+//! Determinism contract of the full-chip streaming engine
+//! (`doinn::streaming`): the streamed output must be **bit-identical**
+//! across thread counts, across in-flight budgets, across source/sink
+//! backings (in-memory tensor vs chunked on-disk raster), and against the
+//! serve-layer assembly path that shares the same `ChipPlan`.
+
+use litho::data::ChunkedRaster;
+use litho::doinn::{ChipStreamer, Doinn, DoinnConfig, StreamConfig};
+use litho::geometry::ChipPlan;
+use litho::nn::{InferCtx, Module};
+use litho::parallel::Pool;
+use litho::serve::{ChipAssembler, ChipJob};
+use litho::tensor::init::{randn, seeded_rng};
+use litho::tensor::Tensor;
+use std::path::PathBuf;
+
+const TRAIN: usize = 32;
+/// Rectangular chip: exercises non-square plans and clamped edge tiles
+/// (112 = 2×48 + 16, so the right column is a sliver grown to `TRAIN`).
+const CHIP_H: usize = 96;
+const CHIP_W: usize = 112;
+
+fn model(seed: u64) -> Doinn {
+    let m = Doinn::new(DoinnConfig::tiny(), &mut seeded_rng(seed));
+    m.set_training(false);
+    m
+}
+
+fn chip(seed: u64) -> Tensor {
+    randn(&[1, 1, CHIP_H, CHIP_W], 0.5, &mut seeded_rng(seed))
+}
+
+fn stream_once(model: &Doinn, cfg: &StreamConfig, pool: &Pool) -> Vec<f32> {
+    let streamer = ChipStreamer::new(model, TRAIN);
+    let mut src = chip(7);
+    let mut sink = Tensor::full(&[1, 1, CHIP_H, CHIP_W], f32::NAN);
+    streamer
+        .stream_with_pool(&mut src, &mut sink, cfg, pool)
+        .expect("in-memory streaming cannot fail");
+    assert!(sink.all_finite(), "every core pixel flushed exactly once");
+    sink.into_vec()
+}
+
+#[test]
+fn bit_identical_across_threads_and_budgets() {
+    let model = model(0xD1);
+    let want = stream_once(&model, &StreamConfig::new(48, 8, 1), &Pool::new(1));
+    for threads in [1usize, 2, 4] {
+        let pool = Pool::new(threads);
+        for in_flight in [1usize, 3] {
+            let cfg = StreamConfig::new(48, 8, in_flight);
+            let got = stream_once(&model, &cfg, &pool);
+            assert_eq!(
+                want, got,
+                "streamed output drifted at {threads} threads, in_flight {in_flight}"
+            );
+        }
+    }
+}
+
+#[test]
+fn chunked_raster_backing_matches_in_memory_backing() {
+    let model = model(0xD1);
+    let cfg = StreamConfig::new(48, 8, 2);
+    let pool = Pool::new(2);
+    let want = stream_once(&model, &cfg, &pool);
+
+    let tmp = |name: &str| -> PathBuf {
+        std::env::temp_dir().join(format!("stream_det_{}_{name}", std::process::id()))
+    };
+    let mask_path = tmp("mask.lcr");
+    let out_path = tmp("out.lcr");
+
+    // spill the same chip to disk, stream raster -> raster, read it back
+    let chip = chip(7);
+    let mut src = ChunkedRaster::create(&mask_path, CHIP_W, CHIP_H, 64).unwrap();
+    src.write_rect(0, 0, CHIP_H, CHIP_W, chip.as_slice())
+        .unwrap();
+    src.finalize().unwrap();
+    let mut src = ChunkedRaster::open(&mask_path).unwrap();
+    let mut sink = ChunkedRaster::create(&out_path, CHIP_W, CHIP_H, 64).unwrap();
+
+    let streamer = ChipStreamer::new(&model, TRAIN);
+    streamer
+        .stream_with_pool(&mut src, &mut sink, &cfg, &pool)
+        .expect("raster streaming failed");
+    assert!(
+        sink.is_finalized(),
+        "sink.finish() must finalize the raster"
+    );
+
+    let mut got = vec![0.0f32; CHIP_H * CHIP_W];
+    let mut reread = ChunkedRaster::open(&out_path).unwrap();
+    reread.read_rect(0, 0, CHIP_H, CHIP_W, &mut got).unwrap();
+    assert_eq!(want, got, "on-disk backing changed the result");
+
+    std::fs::remove_file(mask_path).ok();
+    std::fs::remove_file(out_path).ok();
+}
+
+#[test]
+fn serve_assembler_reproduces_streamed_chip() {
+    // The serving path cuts the chip with the *same* ChipPlan and stitches
+    // with ChipAssembler; per-tile compute via the same simulate_in_ctx
+    // kernel must reassemble to exactly the streamed output, regardless of
+    // completion order.
+    let model = model(0xD1);
+    let cfg = StreamConfig::new(48, 8, 2);
+    let want = stream_once(&model, &cfg, &Pool::new(2));
+
+    let plan = ChipPlan::new(CHIP_W, CHIP_H, cfg.super_tile, cfg.halo).with_min_extent(TRAIN);
+    let job = ChipJob::new(plan);
+    let chip = chip(7);
+    let streamer = ChipStreamer::new(&model, TRAIN);
+    let mut ctx = InferCtx::new();
+    let mut asm = ChipAssembler::new(plan);
+    for i in (0..job.tile_count()).rev() {
+        let pred = streamer
+            .simulator()
+            .simulate_in_ctx(&mut ctx, &job.tile_input(&chip, i));
+        asm.accept(i, &pred);
+    }
+    assert_eq!(want, asm.finish().into_vec(), "serve assembly drifted");
+}

@@ -1,0 +1,96 @@
+//! Bounded-memory contract of the streaming engine: peak live tensor
+//! bytes must stay flat when the chip quadruples, because only
+//! `in_flight` halo-extended super-tiles are ever resident.
+//!
+//! This file holds exactly one `#[test]`: the `litho_tensor::alloc_stats`
+//! gauge is process-wide, and a concurrently running test in the same
+//! binary would pollute the peak. (Separate integration-test files are
+//! separate processes, so the other suites can't interfere.)
+
+use litho::data::ChunkedRaster;
+use litho::doinn::{ChipStreamer, Doinn, DoinnConfig, StreamConfig};
+use litho::nn::Module;
+use litho::parallel::Pool;
+use litho::tensor::alloc_stats;
+use std::path::PathBuf;
+
+const TRAIN: usize = 32;
+/// Both sides have interior super-tiles (side > 2×64), so the two runs see
+/// the same maximal halo-extended tile shape and the peaks are comparable.
+const SMALL: usize = 160;
+const LARGE: usize = 320;
+/// The large chip has 4× the pixels; the streaming peak may wobble with
+/// round composition but must not scale with chip area.
+const MAX_PEAK_GROWTH: f64 = 1.25;
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("stream_mem_{}_{name}", std::process::id()))
+}
+
+/// Synthesizes an `l × l` on-disk mask (strip-wise — never chip-resident),
+/// streams it to an on-disk output, and returns the peak live tensor bytes
+/// of the streaming run alone.
+fn streamed_peak(model: &Doinn, l: usize, pool: &Pool) -> u64 {
+    let mask_path = tmp(&format!("mask_{l}.lcr"));
+    let out_path = tmp(&format!("out_{l}.lcr"));
+
+    let mut mask = ChunkedRaster::create(&mask_path, l, l, 64).unwrap();
+    let mut strip = vec![0.0f32; 64 * l];
+    let mut y = 0;
+    while y < l {
+        let rows = 64.min(l - y);
+        for (i, v) in strip[..rows * l].iter_mut().enumerate() {
+            let j = (y * l + i) as u64;
+            *v = if j.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 63 == 0 {
+                1.0
+            } else {
+                0.0
+            };
+        }
+        mask.write_rect(y, 0, rows, l, &strip[..rows * l]).unwrap();
+        y += rows;
+    }
+    mask.finalize().unwrap();
+
+    let mut src = ChunkedRaster::open(&mask_path).unwrap();
+    let mut sink = ChunkedRaster::create(&out_path, l, l, 64).unwrap();
+    // in_flight = 1: peak is exactly one super-tile's working set, which
+    // makes the flatness bound tight. (Peak scales linearly with the
+    // budget — O(in_flight × tile²) — and a budget of 2 makes the *round
+    // composition* chip-size-dependent: the large chip packs rounds with
+    // two full interior tiles while the small one never does. Budget
+    // variation itself is covered by tests/streaming_determinism.rs.)
+    let streamer = ChipStreamer::new(model, TRAIN);
+    let cfg = StreamConfig::new(64, TRAIN / 2, 1);
+
+    alloc_stats::reset_peak_live_tensor_bytes();
+    streamer
+        .stream_with_pool(&mut src, &mut sink, &cfg, pool)
+        .expect("streaming failed");
+    let peak = alloc_stats::peak_live_tensor_bytes();
+
+    std::fs::remove_file(mask_path).ok();
+    std::fs::remove_file(out_path).ok();
+    peak
+}
+
+#[test]
+fn peak_live_bytes_stay_flat_when_chip_quadruples() {
+    let model = Doinn::new(
+        DoinnConfig::tiny(),
+        &mut litho::tensor::init::seeded_rng(0x3E3),
+    );
+    model.set_training(false);
+    let pool = Pool::new(2);
+
+    let small = streamed_peak(&model, SMALL, &pool);
+    let large = streamed_peak(&model, LARGE, &pool);
+    assert!(small > 0, "gauge recorded nothing");
+
+    let growth = large as f64 / small as f64;
+    assert!(
+        growth < MAX_PEAK_GROWTH,
+        "streaming peak scaled with the chip: {SMALL}^2 -> {small} bytes, \
+         {LARGE}^2 (4x pixels) -> {large} bytes ({growth:.3}x, bound {MAX_PEAK_GROWTH})"
+    );
+}
