@@ -327,7 +327,7 @@ fn main() {
     );
 
     // litho-lint: allow(io-discipline): bench reports are local scratch output, not a data format
-    std::fs::write(&out_path, &json).expect("write BENCH_fourier.json");
+    std::fs::write(&out_path, &json).expect("write BENCH_fourier.json"); // litho-lint: allow(error-discipline): bench harness aborts on I/O failure by design
     println!("{json}");
     println!("wrote {out_path}");
 }

@@ -21,13 +21,21 @@
 //! same machinery) and greps the three chip rows and their `peak_bytes`
 //! fields.
 //!
+//! Since the rasters became checksummed (`LCHRAST2`), each row also
+//! reports `checksum_overhead`: wall-nanoseconds spent inside CRC32
+//! computations during the streaming run (verification of source chunks on
+//! read + table construction at sink finalize, measured by
+//! `litho_data::crc_stats`) as a fraction of streaming wall time. At
+//! default/full scale the binary asserts it stays under
+//! [`MAX_CHECKSUM_OVERHEAD`] — integrity must ride along nearly for free.
+//!
 //! Usage: `bench_fullchip [output-path]` (default `BENCH_fullchip.json`).
 //!
 //! [`LargeTileSimulator::simulate_with_pool`]: doinn::LargeTileSimulator::simulate_with_pool
 
 use doinn::{ChipStreamer, Doinn, DoinnConfig, StreamConfig};
 use litho_bench::Scale;
-use litho_data::ChunkedRaster;
+use litho_data::{crc_stats, ChunkedRaster};
 use litho_nn::Module;
 use litho_tensor::init::seeded_rng;
 use litho_tensor::{alloc_stats, Tensor};
@@ -46,6 +54,9 @@ const CHUNK: usize = 256;
 /// Maximum allowed max/min spread of the streaming peak across chip sizes
 /// (asserted at default/full scale, where every size has interior tiles).
 const PEAK_FLAT_RATIO: f64 = 1.25;
+/// Hardest acceptable checksum cost: CRC32 time as a fraction of streaming
+/// wall time (asserted at default/full scale).
+const MAX_CHECKSUM_OVERHEAD: f64 = 0.05;
 
 fn model() -> Doinn {
     let m = Doinn::new(DoinnConfig::tiny(), &mut seeded_rng(0xFC));
@@ -85,10 +96,10 @@ fn synth_mask(path: &PathBuf, l: usize) -> ChunkedRaster {
             }
         }
         r.write_rect(y, 0, rows, l, &strip[..rows * l])
-            .expect("write mask strip");
+            .expect("write mask strip"); // litho-lint: allow(error-discipline): bench harness aborts on I/O failure by design
         y += rows;
     }
-    r.finalize().expect("finalize mask raster");
+    r.finalize().expect("finalize mask raster"); // litho-lint: allow(error-discipline): bench harness aborts on I/O failure by design
     ChunkedRaster::open(path).expect("reopen mask raster")
 }
 
@@ -98,6 +109,8 @@ struct Row {
     stream_wall_ms: f64,
     stream_tiles_per_sec: f64,
     stream_peak_bytes: u64,
+    crc_bytes: u64,
+    checksum_overhead: f64,
     inmem_wall_ms: f64,
     inmem_peak_bytes: u64,
 }
@@ -112,17 +125,20 @@ fn run_size(l: usize, cfg: &StreamConfig) -> Row {
     let streamer = ChipStreamer::new(&m, TRAIN);
 
     alloc_stats::reset_peak_live_tensor_bytes();
+    crc_stats::reset();
     // litho-lint: allow(clock-discipline): benchmark harness measures real wall time
     let t0 = Instant::now();
     let report = streamer.stream(&mut src, &mut sink, cfg).expect("stream");
     let stream_wall = t0.elapsed().as_secs_f64();
     let stream_peak = alloc_stats::peak_live_tensor_bytes();
+    let crc_bytes = crc_stats::bytes_checksummed();
+    let checksum_overhead = crc_stats::nanos_in_checksums() as f64 / (stream_wall * 1e9).max(1.0);
     assert_eq!(report.tiles(), l.div_ceil(SUPER_TILE).pow(2));
 
     // in-memory baseline: whole chip resident, one-shot simulation
     alloc_stats::reset_peak_live_tensor_bytes();
     let mut chip = vec![0.0f32; l * l];
-    src.read_rect(0, 0, l, l, &mut chip).expect("load chip");
+    src.read_rect(0, 0, l, l, &mut chip).expect("load chip"); // litho-lint: allow(error-discipline): bench harness aborts on I/O failure by design
     let chip = Tensor::from_vec(chip, &[1, 1, l, l]);
     // litho-lint: allow(clock-discipline): benchmark harness measures real wall time
     let t0 = Instant::now();
@@ -145,6 +161,8 @@ fn run_size(l: usize, cfg: &StreamConfig) -> Row {
         stream_wall_ms: stream_wall * 1e3,
         stream_tiles_per_sec: report.tiles() as f64 / stream_wall.max(1e-9),
         stream_peak_bytes: stream_peak,
+        crc_bytes,
+        checksum_overhead,
         inmem_wall_ms: inmem_wall * 1e3,
         inmem_peak_bytes: inmem_peak,
     }
@@ -179,13 +197,15 @@ fn main() {
     json.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"name\": \"chip_{}\", \"chip_px\": {}, \"tiles\": {}, \"stream_tiles_per_sec\": {:.2}, \"stream_wall_ms\": {:.1}, \"stream_peak_bytes\": {}, \"inmem_peak_bytes\": {}, \"inmem_wall_ms\": {:.1}}}{}\n",
+            "    {{\"name\": \"chip_{}\", \"chip_px\": {}, \"tiles\": {}, \"stream_tiles_per_sec\": {:.2}, \"stream_wall_ms\": {:.1}, \"stream_peak_bytes\": {}, \"crc_bytes\": {}, \"checksum_overhead\": {:.5}, \"inmem_peak_bytes\": {}, \"inmem_wall_ms\": {:.1}}}{}\n",
             r.chip_px,
             r.chip_px,
             r.tiles,
             r.stream_tiles_per_sec,
             r.stream_wall_ms,
             r.stream_peak_bytes,
+            r.crc_bytes,
+            r.checksum_overhead,
             r.inmem_peak_bytes,
             r.inmem_wall_ms,
             if i + 1 < rows.len() { "," } else { "" }
@@ -200,8 +220,12 @@ fn main() {
     let flat_ratio = pmax / pmin.max(1.0);
     let inmem_growth = rows.last().expect("rows non-empty").inmem_peak_bytes as f64
         / rows[0].inmem_peak_bytes.max(1) as f64;
+    let overhead_max = rows
+        .iter()
+        .map(|r| r.checksum_overhead)
+        .fold(0.0f64, f64::max);
     json.push_str(&format!(
-        "  \"summary\": {{\"stream_peak_flat_ratio\": {flat_ratio:.3}, \"inmem_peak_growth\": {inmem_growth:.2}}}\n"
+        "  \"summary\": {{\"stream_peak_flat_ratio\": {flat_ratio:.3}, \"inmem_peak_growth\": {inmem_growth:.2}, \"checksum_overhead_max\": {overhead_max:.5}}}\n"
     ));
     json.push_str("}\n");
 
@@ -214,6 +238,7 @@ fn main() {
         "stream_peak_bytes",
         "inmem_peak_bytes",
         "stream_tiles_per_sec",
+        "checksum_overhead",
     ] {
         assert!(json.contains(field), "{field} missing from JSON");
     }
@@ -228,10 +253,16 @@ fn main() {
             "in-memory peak must grow with chip area (16x pixels first to last): \
              measured {inmem_growth:.2}x"
         );
+        assert!(
+            overhead_max < MAX_CHECKSUM_OVERHEAD,
+            "chunk checksums must cost under {:.0}% of streaming wall time: \
+             measured {overhead_max:.4}",
+            MAX_CHECKSUM_OVERHEAD * 100.0
+        );
     }
 
     // litho-lint: allow(io-discipline): bench reports are local scratch output, not a data format
-    std::fs::write(&out_path, &json).expect("write BENCH_fullchip.json");
+    std::fs::write(&out_path, &json).expect("write BENCH_fullchip.json"); // litho-lint: allow(error-discipline): bench harness aborts on I/O failure by design
     println!("{json}");
     println!("wrote {out_path}");
 }

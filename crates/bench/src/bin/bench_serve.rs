@@ -38,6 +38,7 @@ fn serve_config() -> ServeConfig {
         queue_capacity: 32,
         max_batch: 8,
         max_wait: Duration::from_millis(5),
+        ..ServeConfig::default()
     }
 }
 
@@ -269,7 +270,7 @@ fn main() {
     }
 
     // litho-lint: allow(io-discipline): bench reports are local scratch output, not a data format
-    std::fs::write(&out_path, &json).expect("write BENCH_serve.json");
+    std::fs::write(&out_path, &json).expect("write BENCH_serve.json"); // litho-lint: allow(error-discipline): bench harness aborts on I/O failure by design
     println!("{json}");
     println!("wrote {out_path}");
 }

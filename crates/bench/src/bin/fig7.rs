@@ -31,7 +31,7 @@ fn main() {
         p
     };
     // litho-lint: allow(io-discipline): figure output dir is local scratch, not a data format
-    std::fs::create_dir_all(&out_dir).expect("create figure dir");
+    std::fs::create_dir_all(&out_dir).expect("create figure dir"); // litho-lint: allow(error-discipline): bench harness aborts on I/O failure by design
 
     let (mask, _) = &ds.test[0];
     let size = mask.dim(1);

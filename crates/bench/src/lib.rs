@@ -279,7 +279,7 @@ pub fn train_or_load(kind: ModelKind, ds: &LithoDataset, scale: Scale, seed: u64
     }
     let samples = to_samples(&ds.train);
     train_model(built.model.as_ref(), &samples, &scale.train_config());
-    litho_nn::save_params(&path, &params).expect("checkpoint write failed");
+    litho_nn::save_params(&path, &params).expect("checkpoint write failed"); // litho-lint: allow(error-discipline): bench harness aborts on I/O failure by design
     built
 }
 
@@ -306,7 +306,7 @@ pub fn train_or_load_doinn(ds: &LithoDataset, scale: Scale, seed: u64) -> Doinn 
     }
     let samples = to_samples(&ds.train);
     train_model(&model, &samples, &scale.train_config());
-    litho_nn::save_params(&path, &params).expect("checkpoint write failed");
+    litho_nn::save_params(&path, &params).expect("checkpoint write failed"); // litho-lint: allow(error-discipline): bench harness aborts on I/O failure by design
     model
 }
 
@@ -338,7 +338,7 @@ pub fn measure_throughput(model: &dyn Module, ds: &LithoDataset, iters: usize) -
 pub fn write_pgm(path: impl AsRef<std::path::Path>, img: &[f32], w: usize, h: usize) {
     assert_eq!(img.len(), w * h, "image size mismatch");
     // litho-lint: allow(io-discipline): PGM figures are debug artifacts, not a managed data format
-    let mut f = std::fs::File::create(path).expect("create PGM");
+    let mut f = std::fs::File::create(path).expect("create PGM"); // litho-lint: allow(error-discipline): bench harness aborts on I/O failure by design
     write!(f, "P5\n{w} {h}\n255\n").expect("write PGM header");
     let bytes: Vec<u8> = img
         .iter()

@@ -14,7 +14,9 @@
 //! - [`LargeTileSimulator`] — the §3.2 any-size tile scheme.
 //! - [`streaming`] — the bounded-memory full-chip engine: super-tile
 //!   pipeline over [`ChipStreamer`] with on-disk sources/sinks
-//!   (`litho_data::ChunkedRaster`).
+//!   (`litho_data::ChunkedRaster`), transient-fault retry ([`retry`]),
+//!   per-tile quarantine, and journal-backed crash-safe resume
+//!   ([`ChipStreamer::resume_stream`]).
 //! - [`seg_metrics`] — mPA / mIOU (§2.2).
 //! - [`train_model`] / [`evaluate_model`] — the Table 8 training recipe.
 //! - [`evaluate_process_window`] — per-corner scoring of a trained model
@@ -51,6 +53,7 @@ mod metrics;
 mod model;
 pub mod models;
 mod process_window;
+pub mod retry;
 pub mod streaming;
 mod trainer;
 
@@ -64,7 +67,12 @@ pub use process_window::{
     evaluate_process_window, evaluate_process_window_with_pool, CornerEvalConfig, CornerSamples,
     CornerScore, ProcessWindowReport,
 };
-pub use streaming::{ChipStreamer, StreamConfig, StreamReport, TileSink, TileSource};
+pub use retry::{
+    retry_with_backoff, BackoffSleeper, NoSleep, RecordingSleeper, RetryPolicy, ThreadSleeper,
+};
+pub use streaming::{
+    ChipStreamer, QuarantinedTile, StreamConfig, StreamReport, TileSink, TileSource,
+};
 pub use trainer::{
     evaluate_model, to_tanh_target, train_model, EarlyStop, Sample, TrainConfig, TrainReport,
 };

@@ -1,0 +1,226 @@
+//! Bounded retry with exponential backoff for transient tile I/O faults.
+//!
+//! The streaming pipeline treats an `io::ErrorKind::Interrupted` /
+//! `WouldBlock` / `TimedOut` from a [`TileSource`] or [`TileSink`] as
+//! *transient*: the same operation is re-issued up to
+//! [`RetryPolicy::max_attempts`] times, sleeping an exponentially growing,
+//! capped backoff between attempts. Anything else (corrupt data, a dead
+//! disk) is permanent and propagates immediately.
+//!
+//! Sleeping is abstracted behind [`BackoffSleeper`] so the *policy* stays
+//! wall-clock-free: production uses [`ThreadSleeper`], deterministic tests
+//! use [`NoSleep`] or [`RecordingSleeper`] (or an adapter driving
+//! `litho_serve::SimClock`), and the retry schedule itself — which
+//! attempts happen, with which backoff — is a pure function of the policy
+//! and the error sequence.
+//!
+//! [`TileSource`]: crate::TileSource
+//! [`TileSink`]: crate::TileSink
+
+use std::io;
+use std::time::Duration;
+
+/// How many times to attempt a transient-faulting I/O operation, and how
+/// long to back off between attempts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per operation (first try included). `1` = no retry.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per subsequent retry.
+    pub base_backoff: Duration,
+    /// Upper bound the exponential backoff saturates at.
+    pub max_backoff: Duration,
+}
+
+impl RetryPolicy {
+    /// A policy with explicit knobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_attempts` is zero.
+    #[must_use]
+    pub fn new(max_attempts: u32, base_backoff: Duration, max_backoff: Duration) -> Self {
+        assert!(max_attempts >= 1, "at least one attempt is required");
+        Self {
+            max_attempts,
+            base_backoff,
+            max_backoff,
+        }
+    }
+
+    /// No retries: every error is final. The default for plain streaming.
+    #[must_use]
+    pub fn none() -> Self {
+        Self::new(1, Duration::ZERO, Duration::ZERO)
+    }
+
+    /// A sane production default for disk I/O: 4 attempts, 10 ms base
+    /// backoff, capped at 160 ms.
+    #[must_use]
+    pub fn default_io() -> Self {
+        Self::new(4, Duration::from_millis(10), Duration::from_millis(160))
+    }
+
+    /// Backoff to sleep after the `attempt`-th failed attempt (1-based):
+    /// `base · 2^(attempt−1)`, saturating at [`RetryPolicy::max_backoff`].
+    #[must_use]
+    pub fn backoff_for(&self, attempt: u32) -> Duration {
+        let factor = 1u32 << attempt.saturating_sub(1).min(20);
+        (self.base_backoff * factor).min(self.max_backoff)
+    }
+
+    /// Is this error kind worth retrying? `Interrupted` (EINTR),
+    /// `WouldBlock` and `TimedOut` are; data corruption and everything
+    /// else are permanent.
+    #[must_use]
+    pub fn is_transient(kind: io::ErrorKind) -> bool {
+        matches!(
+            kind,
+            io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+        )
+    }
+}
+
+/// Where retry backoff time comes from. Implementations decide whether
+/// "sleep" means real wall time, simulated time, or nothing at all.
+pub trait BackoffSleeper {
+    /// Waits out `d` before the next attempt.
+    fn sleep(&mut self, d: Duration);
+}
+
+/// Never sleeps: retries are immediate. The right sleeper for
+/// deterministic tests that only care about attempt counts.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoSleep;
+
+impl BackoffSleeper for NoSleep {
+    fn sleep(&mut self, _d: Duration) {}
+}
+
+/// Sleeps real wall time on the calling thread — the production sleeper.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ThreadSleeper;
+
+impl BackoffSleeper for ThreadSleeper {
+    fn sleep(&mut self, d: Duration) {
+        if !d.is_zero() {
+            std::thread::sleep(d);
+        }
+    }
+}
+
+/// Records every requested backoff instead of sleeping — tests assert the
+/// exact schedule (and a simulated clock can be advanced from it).
+#[derive(Debug, Default)]
+pub struct RecordingSleeper {
+    /// The backoffs requested so far, in order.
+    pub slept: Vec<Duration>,
+}
+
+impl BackoffSleeper for RecordingSleeper {
+    fn sleep(&mut self, d: Duration) {
+        self.slept.push(d);
+    }
+}
+
+/// Runs `op` under `policy`: transient errors are retried (after
+/// `sleeper`-mediated backoff) until they clear or attempts run out;
+/// permanent errors return immediately. On success returns the value and
+/// the number of retries it took.
+///
+/// # Errors
+///
+/// The last error, once attempts are exhausted or a permanent error hits.
+pub fn retry_with_backoff<T>(
+    policy: &RetryPolicy,
+    sleeper: &mut dyn BackoffSleeper,
+    mut op: impl FnMut() -> io::Result<T>,
+) -> io::Result<(T, u32)> {
+    let mut attempt = 1u32;
+    loop {
+        match op() {
+            Ok(v) => return Ok((v, attempt - 1)),
+            Err(e) if RetryPolicy::is_transient(e.kind()) && attempt < policy.max_attempts => {
+                sleeper.sleep(policy.backoff_for(attempt));
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_saturates() {
+        let p = RetryPolicy::new(8, Duration::from_millis(10), Duration::from_millis(45));
+        assert_eq!(p.backoff_for(1), Duration::from_millis(10));
+        assert_eq!(p.backoff_for(2), Duration::from_millis(20));
+        assert_eq!(p.backoff_for(3), Duration::from_millis(40));
+        assert_eq!(p.backoff_for(4), Duration::from_millis(45)); // capped
+        assert_eq!(p.backoff_for(30), Duration::from_millis(45)); // no overflow
+    }
+
+    #[test]
+    fn transient_errors_clear_within_budget() {
+        let p = RetryPolicy::new(3, Duration::from_millis(5), Duration::from_millis(20));
+        let mut sleeper = RecordingSleeper::default();
+        let mut calls = 0;
+        let (v, retries) = retry_with_backoff(&p, &mut sleeper, || {
+            calls += 1;
+            if calls < 3 {
+                Err(io::Error::new(io::ErrorKind::Interrupted, "eintr"))
+            } else {
+                Ok(42)
+            }
+        })
+        .unwrap();
+        assert_eq!((v, retries, calls), (42, 2, 3));
+        assert_eq!(
+            sleeper.slept,
+            vec![Duration::from_millis(5), Duration::from_millis(10)]
+        );
+    }
+
+    #[test]
+    fn budget_exhaustion_surfaces_the_last_error() {
+        let p = RetryPolicy::new(2, Duration::ZERO, Duration::ZERO);
+        let mut calls = 0;
+        let err = retry_with_backoff(&p, &mut NoSleep, || -> io::Result<()> {
+            calls += 1;
+            Err(io::Error::new(io::ErrorKind::TimedOut, "still down"))
+        })
+        .unwrap_err();
+        assert_eq!(calls, 2);
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+    }
+
+    #[test]
+    fn permanent_errors_do_not_retry() {
+        let p = RetryPolicy::new(5, Duration::ZERO, Duration::ZERO);
+        let mut calls = 0;
+        let err = retry_with_backoff(&p, &mut NoSleep, || -> io::Result<()> {
+            calls += 1;
+            Err(io::Error::new(io::ErrorKind::InvalidData, "corrupt"))
+        })
+        .unwrap_err();
+        assert_eq!(calls, 1, "InvalidData must not be retried");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn no_retry_policy_is_single_attempt() {
+        let p = RetryPolicy::none();
+        assert_eq!(p.max_attempts, 1);
+        let mut calls = 0;
+        let err = retry_with_backoff(&p, &mut NoSleep, || -> io::Result<()> {
+            calls += 1;
+            Err(io::Error::new(io::ErrorKind::Interrupted, "eintr"))
+        })
+        .unwrap_err();
+        assert_eq!(calls, 1);
+        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+    }
+}

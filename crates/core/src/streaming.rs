@@ -41,14 +41,41 @@
 //! logic applies one level down) and the consumer discards the band.
 //! Widening the halo monotonically shrinks the seam disagreement against
 //! the one-shot result (`tests/streaming_seam.rs`).
+//!
+//! ## Fault tolerance
+//!
+//! A chip-scale run is hours of work; this engine refuses to lose it to a
+//! single bad moment (`docs/RELIABILITY.md` has the full model):
+//!
+//! - **transient I/O**: source reads and sink writes run under the
+//!   [`StreamConfig::retry`] policy — `Interrupted`/`WouldBlock`/`TimedOut`
+//!   errors are re-issued with bounded exponential backoff
+//!   ([`crate::retry`]), and the count lands in
+//!   [`StreamReport::io_retries`];
+//! - **poisoned tiles**: each tile's simulation runs under `catch_unwind`
+//!   and its output is screened for NaN/Inf; a bad tile is *quarantined* —
+//!   its core is flushed as zeros so coverage and determinism hold — and
+//!   recorded with coordinates in [`StreamReport::quarantined`] instead of
+//!   aborting the chip;
+//! - **kills**: [`ChipStreamer::resume_stream`] pairs the sink with a
+//!   [`litho_data::JobJournal`]; completed tiles are journaled only after
+//!   the sink data is synced, so a killed run resumes by recomputing
+//!   exactly the missing tiles, and the resumed raster is bit-identical to
+//!   an uninterrupted run (`tests/streaming_resume.rs`).
+//!
+//! Quarantine keeps determinism because panics and non-finite outputs are
+//! themselves deterministic functions of the tile input — the same chip
+//! quarantines the same tiles at any thread count.
 
 use crate::large_tile::LargeTileSimulator;
 use crate::model::Doinn;
-use litho_data::ChunkedRaster;
+use crate::retry::{retry_with_backoff, BackoffSleeper, RetryPolicy, ThreadSleeper};
+use litho_data::{ChunkedRaster, JobJournal, JournalSpec};
 use litho_geometry::{ChipPlan, TileWindow};
 use litho_nn::CtxBank;
 use litho_tensor::{crop_spatial, Tensor};
 use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Pixel supplier for the produce stage: any store that can hand out
 /// rectangular windows of a `height × width` raster.
@@ -88,6 +115,18 @@ pub trait TileSink {
         w: usize,
         data: &[f32],
     ) -> io::Result<()>;
+
+    /// Makes windows written so far durable without completing the sink
+    /// (fsync for files; no-op by default). The journaled streaming path
+    /// calls this before recording a round of tiles as done, so a journal
+    /// entry never outlives the data it vouches for.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O error.
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
 
     /// Completes the sink (flush/fsync for files; no-op by default).
     ///
@@ -183,6 +222,10 @@ impl TileSink for ChunkedRaster {
         self.write_rect(y0, x0, h, w, data)
     }
 
+    fn flush(&mut self) -> io::Result<()> {
+        self.sync_data()
+    }
+
     fn finish(&mut self) -> io::Result<()> {
         self.finalize()
     }
@@ -207,10 +250,15 @@ pub struct StreamConfig {
     pub halo: usize,
     /// Maximum super-tiles resident at once (the pipeline's round size).
     pub in_flight: usize,
+    /// Retry policy for transient source/sink I/O faults. Defaults to
+    /// [`RetryPolicy::none`] (first error is final), matching the
+    /// pre-fault-tolerance behaviour.
+    pub retry: RetryPolicy,
 }
 
 impl StreamConfig {
-    /// A configuration with explicit knobs.
+    /// A configuration with explicit knobs (and no I/O retries; see
+    /// [`StreamConfig::with_retry`]).
     ///
     /// # Panics
     ///
@@ -223,7 +271,15 @@ impl StreamConfig {
             super_tile,
             halo,
             in_flight,
+            retry: RetryPolicy::none(),
         }
+    }
+
+    /// Replaces the transient-I/O retry policy.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// The defaults for a model trained on `train_size` tiles: super-tiles
@@ -240,8 +296,23 @@ impl StreamConfig {
     }
 }
 
-/// What a streaming run did — sizes and tile counts for logs and benches.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// A tile whose simulation panicked or produced non-finite output. Its
+/// core was flushed as zeros so chip coverage (and determinism) hold;
+/// the caller decides whether any quarantine is acceptable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedTile {
+    /// Tile index in the `ChipPlan` numbering.
+    pub index: usize,
+    /// Tile row in the super-tile grid.
+    pub tile_y: usize,
+    /// Tile column in the super-tile grid.
+    pub tile_x: usize,
+    /// What went wrong: the panic message, or the first NaN/Inf found.
+    pub reason: String,
+}
+
+/// What a streaming run did — sizes, tile counts, and the fault ledger.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StreamReport {
     /// Chip height in pixels.
     pub chip_h: usize,
@@ -251,13 +322,27 @@ pub struct StreamReport {
     pub tiles_y: usize,
     /// Super-tile columns.
     pub tiles_x: usize,
+    /// Tiles actually simulated by this run.
+    pub computed: usize,
+    /// Tiles skipped because the job journal already had them (resume).
+    pub skipped: usize,
+    /// Transient I/O faults absorbed by the retry policy.
+    pub io_retries: u64,
+    /// Tiles quarantined (panic or non-finite output), with coordinates.
+    pub quarantined: Vec<QuarantinedTile>,
 }
 
 impl StreamReport {
-    /// Total super-tiles processed.
+    /// Total super-tiles in the plan.
     #[must_use]
     pub fn tiles(&self) -> usize {
         self.tiles_y * self.tiles_x
+    }
+
+    /// Did every computed tile come out clean (no quarantine)?
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.quarantined.is_empty()
     }
 }
 
@@ -314,43 +399,202 @@ impl<'a> ChipStreamer<'a> {
         cfg: &StreamConfig,
         wpool: &litho_parallel::Pool,
     ) -> io::Result<StreamReport> {
+        self.run(src, sink, cfg, wpool, None, &mut ThreadSleeper)
+    }
+
+    /// [`ChipStreamer::stream_with_pool`] with an explicit backoff sleeper
+    /// for the retry policy — tests drive retries through a recording or
+    /// simulated-clock sleeper instead of real `thread::sleep`.
+    pub fn stream_with_sleeper<S: TileSource, K: TileSink>(
+        &self,
+        src: &mut S,
+        sink: &mut K,
+        cfg: &StreamConfig,
+        wpool: &litho_parallel::Pool,
+        sleeper: &mut dyn BackoffSleeper,
+    ) -> io::Result<StreamReport> {
+        self.run(src, sink, cfg, wpool, None, sleeper)
+    }
+
+    /// The [`JournalSpec`] a job journal for this streamer + chip + config
+    /// must carry (pass to [`litho_data::JobJournal::open_or_create`]).
+    #[must_use]
+    pub fn journal_spec(&self, chip_h: usize, chip_w: usize, cfg: &StreamConfig) -> JournalSpec {
+        let plan = ChipPlan::new(chip_w, chip_h, cfg.super_tile, cfg.halo)
+            .with_min_extent(self.sim.train_size());
+        JournalSpec {
+            chip_w: chip_w as u64,
+            chip_h: chip_h as u64,
+            super_tile: cfg.super_tile as u32,
+            halo: cfg.halo as u32,
+            tiles: plan.len() as u64,
+        }
+    }
+
+    /// Journaled streaming on the process-wide pool: tiles already
+    /// recorded in `journal` are skipped, every newly completed round is
+    /// made durable (sink flush, then journal record + sync, in that
+    /// order), and the sink is finalized once all tiles are present.
+    ///
+    /// With a fresh (empty) journal this *is* the crash-safe way to run a
+    /// long job from scratch; with a journal left behind by a killed run
+    /// it recomputes exactly the missing tiles. Either way the finished
+    /// raster is bit-identical to an uninterrupted [`ChipStreamer::stream`]
+    /// (`tests/streaming_resume.rs` pins this at 1/2/4 threads).
+    ///
+    /// # Errors
+    ///
+    /// Propagates source/sink/journal I/O errors, and `InvalidData` if the
+    /// journal's geometry does not match this chip + config.
+    ///
+    /// # Panics
+    ///
+    /// As [`ChipStreamer::stream`].
+    pub fn resume_stream<S: TileSource, K: TileSink>(
+        &self,
+        src: &mut S,
+        sink: &mut K,
+        cfg: &StreamConfig,
+        journal: &mut JobJournal,
+    ) -> io::Result<StreamReport> {
+        self.resume_stream_with_pool(src, sink, cfg, journal, litho_parallel::global())
+    }
+
+    /// [`ChipStreamer::resume_stream`] with an explicit pool.
+    pub fn resume_stream_with_pool<S: TileSource, K: TileSink>(
+        &self,
+        src: &mut S,
+        sink: &mut K,
+        cfg: &StreamConfig,
+        journal: &mut JobJournal,
+        wpool: &litho_parallel::Pool,
+    ) -> io::Result<StreamReport> {
+        self.run(src, sink, cfg, wpool, Some(journal), &mut ThreadSleeper)
+    }
+
+    /// [`ChipStreamer::resume_stream_with_pool`] with an explicit backoff
+    /// sleeper (see [`ChipStreamer::stream_with_sleeper`]).
+    pub fn resume_stream_with_sleeper<S: TileSource, K: TileSink>(
+        &self,
+        src: &mut S,
+        sink: &mut K,
+        cfg: &StreamConfig,
+        journal: &mut JobJournal,
+        wpool: &litho_parallel::Pool,
+        sleeper: &mut dyn BackoffSleeper,
+    ) -> io::Result<StreamReport> {
+        self.run(src, sink, cfg, wpool, Some(journal), sleeper)
+    }
+
+    /// The shared produce → compute → consume pipeline behind every public
+    /// streaming entry point.
+    fn run<S: TileSource, K: TileSink>(
+        &self,
+        src: &mut S,
+        sink: &mut K,
+        cfg: &StreamConfig,
+        wpool: &litho_parallel::Pool,
+        mut journal: Option<&mut JobJournal>,
+        sleeper: &mut dyn BackoffSleeper,
+    ) -> io::Result<StreamReport> {
         let (chip_h, chip_w) = src.dims();
         let plan = ChipPlan::new(chip_w, chip_h, cfg.super_tile, cfg.halo)
             .with_min_extent(self.sim.train_size());
-        let bank = CtxBank::new(wpool);
         let total = plan.len();
+        let mut skipped = 0usize;
+        let pending: Vec<usize> = match journal.as_deref() {
+            Some(j) => {
+                let spec = self.journal_spec(chip_h, chip_w, cfg);
+                if j.spec() != spec {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!(
+                            "job journal does not match this job: journal {:?}, job {spec:?}",
+                            j.spec()
+                        ),
+                    ));
+                }
+                let p: Vec<usize> = (0..total).filter(|&i| !j.is_done(i)).collect();
+                skipped = total - p.len();
+                p
+            }
+            None => (0..total).collect(),
+        };
+
+        let bank = CtxBank::new(wpool);
+        let mut io_retries = 0u64;
+        let mut quarantined: Vec<QuarantinedTile> = Vec::new();
         let mut next = 0;
-        while next < total {
-            let count = cfg.in_flight.min(total - next);
+        while next < pending.len() {
+            let count = cfg.in_flight.min(pending.len() - next);
+            let round = &pending[next..next + count];
 
             // produce: crop the round's halo-extended tiles from the source
-            let mut inputs: Vec<(TileWindow, Tensor)> = Vec::with_capacity(count);
-            for i in next..next + count {
+            let mut inputs: Vec<(usize, TileWindow, Tensor)> = Vec::with_capacity(count);
+            for &i in round {
                 let tw = plan.window(i);
                 let mut buf = vec![0.0; tw.ext_h * tw.ext_w];
-                src.read_window(tw.ext_y0, tw.ext_x0, tw.ext_h, tw.ext_w, &mut buf)?;
-                inputs.push((tw, Tensor::from_vec(buf, &[1, 1, tw.ext_h, tw.ext_w])));
+                let (_, retries) = retry_with_backoff(&cfg.retry, sleeper, || {
+                    src.read_window(tw.ext_y0, tw.ext_x0, tw.ext_h, tw.ext_w, &mut buf)
+                })?;
+                io_retries += u64::from(retries);
+                inputs.push((i, tw, Tensor::from_vec(buf, &[1, 1, tw.ext_h, tw.ext_w])));
             }
 
             // compute: per-tile large-tile simulation on persistent
             // per-worker contexts; input tiles are consumed (freed) in the
-            // workers, results come back in tile order
-            let outputs = bank.par_map_consume(inputs, |ctx, (tw, tile)| {
-                let out = self.sim.simulate_in_ctx(ctx, &tile);
-                (tw, out)
+            // workers, results come back in tile order. A panicking or
+            // NaN/Inf-producing tile is contained here, not propagated.
+            let outputs = bank.par_map_consume(inputs, |ctx, (i, tw, tile)| {
+                let result =
+                    catch_unwind(AssertUnwindSafe(|| self.sim.simulate_in_ctx(ctx, &tile)))
+                        .map_err(|p| format!("tile simulation panicked: {}", panic_message(&p)))
+                        .and_then(|out| match out.first_non_finite() {
+                            None => Ok(out),
+                            Some((at, v)) => Err(format!(
+                                "tile output is not finite: value {v} at flat index {at}"
+                            )),
+                        });
+                (i, tw, result)
             });
 
-            // consume: crop cores and flush in tile-index order
-            for (tw, out) in outputs {
-                let (dy, dx) = tw.core_offset();
-                let core = crop_spatial(&out, dy, dx, tw.core_h, tw.core_w);
-                sink.write_window(
-                    tw.core_y0,
-                    tw.core_x0,
-                    tw.core_h,
-                    tw.core_w,
-                    core.as_slice(),
-                )?;
+            // consume: crop cores and flush in tile-index order; a
+            // quarantined tile's core flushes as zeros so coverage holds
+            for (i, tw, result) in outputs {
+                let core = match &result {
+                    Ok(out) => {
+                        let (dy, dx) = tw.core_offset();
+                        crop_spatial(out, dy, dx, tw.core_h, tw.core_w)
+                    }
+                    Err(reason) => {
+                        quarantined.push(QuarantinedTile {
+                            index: i,
+                            tile_y: i / plan.tiles_x(),
+                            tile_x: i % plan.tiles_x(),
+                            reason: reason.clone(),
+                        });
+                        Tensor::zeros(&[1, 1, tw.core_h, tw.core_w])
+                    }
+                };
+                let (_, retries) = retry_with_backoff(&cfg.retry, sleeper, || {
+                    sink.write_window(
+                        tw.core_y0,
+                        tw.core_x0,
+                        tw.core_h,
+                        tw.core_w,
+                        core.as_slice(),
+                    )
+                })?;
+                io_retries += u64::from(retries);
+            }
+
+            // journal the round only after its sink data is durable
+            if let Some(j) = journal.as_deref_mut() {
+                sink.flush()?;
+                for &i in round {
+                    j.record(i)?;
+                }
+                j.sync()?;
             }
             next += count;
         }
@@ -360,7 +604,22 @@ impl<'a> ChipStreamer<'a> {
             chip_w,
             tiles_y: plan.tiles_y(),
             tiles_x: plan.tiles_x(),
+            computed: pending.len(),
+            skipped,
+            io_retries,
+            quarantined,
         })
+    }
+}
+
+/// Renders a `catch_unwind` payload (the common `&str` / `String` cases).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
     }
 }
 

@@ -6,28 +6,55 @@
 //! written with pure seek arithmetic — no index, no read-modify-write, no
 //! scan.
 //!
-//! Format (little-endian), magic `LCHRAST1`:
+//! Format v2 (little-endian), magic `LCHRAST2`:
 //!
-//! - header: width `u64`, height `u64`, chunk edge `u32`, dtype `u32`
-//!   (`0` = `f32`, the only dtype today), finalized flag `u32`
-//!   (`0` while writing, `1` after [`ChunkedRaster::finalize`]);
+//! - header (40 bytes): magic, width `u64`, height `u64`, chunk edge
+//!   `u32`, dtype `u32` (`0` = `f32`, the only dtype today), finalized
+//!   flag `u32` (`0` while writing, `1` after
+//!   [`ChunkedRaster::finalize`]), header CRC32 `u32` over bytes `8..36`;
+//! - checksum table: one CRC32 (`u32`) per chunk, row-major chunk order,
+//!   over the chunk's raw on-disk bytes — populated at finalize, verified
+//!   lazily on first read of each chunk;
 //! - body: `ceil(h/chunk) × ceil(w/chunk)` chunks in row-major chunk
 //!   order, each exactly `chunk × chunk` `f32`s in chunk-local row-major
 //!   order. Edge chunks keep the full stride — the out-of-chip remainder is
 //!   dead space — because a *fixed* chunk stride is what makes every pixel's
 //!   file offset a closed-form expression.
 //!
+//! The legacy v1 format (magic `LCHRAST1`, 36-byte header, no checksums)
+//! is still accepted by [`ChunkedRaster::open`] for migration, read-only
+//! and unverified; [`ChunkedRaster::create`] always writes v2.
+//!
 //! The file is pre-sized at creation ([`File::set_len`]), so concurrent
-//! tiles land in disjoint byte ranges and write order is irrelevant; a
-//! crash before `finalize` leaves the flag `0` and [`ChunkedRaster::open`]
-//! refuses the torn file.
+//! tiles land in disjoint byte ranges and write order is irrelevant.
+//! [`ChunkedRaster::finalize`] is crash-atomic in two fsync steps: chunk
+//! data and the checksum table are made durable *before* the finalized
+//! flag flips, so a crash at any point leaves either a file `open` refuses
+//! (flag still `0`) or a fully consistent one — never a finalized file
+//! with unflushed data. A torn, unfinished job is picked back up with
+//! [`ChunkedRaster::resume`].
+//!
+//! For fault-tolerance testing, a seeded [`FaultPlan`] can be injected
+//! beneath the I/O surface ([`ChunkedRaster::inject_faults`]); see
+//! `fault.rs` for its determinism guarantees.
 
+use crate::crc::{crc32, crc32_counted};
+use crate::fault::{FaultOp, FaultPlan};
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
-const MAGIC: &[u8; 8] = b"LCHRAST1";
-const HEADER_LEN: u64 = 8 + 8 + 8 + 4 + 4 + 4;
+const MAGIC_V2: &[u8; 8] = b"LCHRAST2";
+const MAGIC_V1: &[u8; 8] = b"LCHRAST1";
+/// v1 header: magic + width u64 + height u64 + chunk u32 + dtype u32 +
+/// finalized u32.
+const HEADER_LEN_V1: u64 = 8 + 8 + 8 + 4 + 4 + 4;
+/// v2 header: v1 fields + header CRC32.
+const HEADER_LEN_V2: u64 = HEADER_LEN_V1 + 4;
+/// Byte offset of the finalized flag (both versions).
+const OFF_FINALIZED: u64 = 32;
+/// Byte offset of the v2 header CRC (over bytes `8..36`).
+const OFF_HEADER_CRC: u64 = 36;
 const DTYPE_F32: u32 = 0;
 
 /// A `width × height` `f32` raster stored on disk in fixed-size chunks
@@ -39,12 +66,27 @@ pub struct ChunkedRaster {
     height: usize,
     chunk: usize,
     chunks_x: usize,
+    chunks_y: usize,
     finalized: bool,
+    /// Format version of the backing file (1 = legacy unchecked, 2 = CRC).
+    version: u32,
+    /// Per-chunk CRC32s (row-major chunk order). Populated at finalize /
+    /// v2 open; empty for v1 and for unfinalized writers.
+    crcs: Vec<u32>,
+    /// Chunks touched by `write_rect` on this handle (writer handles) —
+    /// reading an untouched chunk before finalize is an error.
+    written: Vec<bool>,
+    /// Chunks whose checksum this handle has already verified.
+    verified: Vec<bool>,
+    /// Checksum verification on read (v2, finalized). On by default.
+    verify: bool,
+    faults: Option<FaultPlan>,
 }
 
 impl ChunkedRaster {
-    /// Creates (truncating) a raster file pre-sized for `width × height`
-    /// pixels in `chunk × chunk` chunks, open for reading and writing.
+    /// Creates (truncating) a v2 raster file pre-sized for
+    /// `width × height` pixels in `chunk × chunk` chunks, open for reading
+    /// and writing.
     ///
     /// # Errors
     ///
@@ -63,49 +105,72 @@ impl ChunkedRaster {
         assert!(chunk > 0, "chunk size must be positive");
         let chunks_x = width.div_ceil(chunk);
         let chunks_y = height.div_ceil(chunk);
+        let chunks = chunks_x * chunks_y;
         let mut file = OpenOptions::new()
             .read(true)
             .write(true)
             .create(true)
             .truncate(true)
             .open(path)?;
-        let body = (chunks_x * chunks_y * chunk * chunk) as u64 * 4;
-        file.set_len(HEADER_LEN + body)?;
-        file.write_all(MAGIC)?;
-        file.write_all(&(width as u64).to_le_bytes())?;
-        file.write_all(&(height as u64).to_le_bytes())?;
-        file.write_all(&(chunk as u32).to_le_bytes())?;
-        file.write_all(&DTYPE_F32.to_le_bytes())?;
-        file.write_all(&0u32.to_le_bytes())?; // not finalized
+        let body = (chunks * chunk * chunk) as u64 * 4;
+        file.set_len(HEADER_LEN_V2 + chunks as u64 * 4 + body)?;
+        let header = header_fields(width, height, chunk, 0);
+        file.write_all(MAGIC_V2)?;
+        file.write_all(&header)?;
+        file.write_all(&crc32(&header).to_le_bytes())?;
         Ok(Self {
             file,
             width,
             height,
             chunk,
             chunks_x,
+            chunks_y,
             finalized: false,
+            version: 2,
+            crcs: Vec::new(),
+            written: vec![false; chunks],
+            verified: vec![false; chunks],
+            verify: true,
+            faults: None,
         })
     }
 
-    /// Opens a finalized raster read-only, validating the header and the
-    /// exact file length.
+    /// Opens a finalized raster read-only, validating the header (v2: its
+    /// CRC too) and the exact file length. v2 chunk checksums are loaded
+    /// and verified lazily on the first read touching each chunk; legacy
+    /// v1 files open without checksum protection.
     ///
     /// # Errors
     ///
-    /// Returns `InvalidData` for a bad magic/dtype, a length mismatch, or a
-    /// file whose finalized flag is still `0` (torn write).
+    /// Returns `InvalidData` for a bad magic/dtype, a corrupt header, a
+    /// length mismatch, or a file whose finalized flag is still `0`
+    /// (torn write).
     pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
         let mut file = File::open(path)?;
         let mut magic = [0u8; 8];
         file.read_exact(&mut magic)?;
-        if &magic != MAGIC {
-            return Err(bad("not a chunked raster file (bad magic)"));
+        let version = match &magic {
+            m if m == MAGIC_V2 => 2,
+            m if m == MAGIC_V1 => 1,
+            _ => return Err(bad("not a chunked raster file (bad magic)")),
+        };
+        let mut header = [0u8; 28];
+        file.read_exact(&mut header)?;
+        if version == 2 {
+            let stored = read_u32(&mut file)?;
+            let got = crc32(&header);
+            if stored != got {
+                return Err(bad(&format!(
+                    "chunked raster header checksum mismatch: stored {stored:#010x}, \
+                     computed {got:#010x} (corrupt header)"
+                )));
+            }
         }
-        let width = read_u64(&mut file)? as usize;
-        let height = read_u64(&mut file)? as usize;
-        let chunk = read_u32(&mut file)? as usize;
-        let dtype = read_u32(&mut file)?;
-        let finalized = read_u32(&mut file)?;
+        let width = u64::from_le_bytes(header[0..8].try_into().expect("slice len")) as usize;
+        let height = u64::from_le_bytes(header[8..16].try_into().expect("slice len")) as usize;
+        let chunk = u32::from_le_bytes(header[16..20].try_into().expect("slice len")) as usize;
+        let dtype = u32::from_le_bytes(header[20..24].try_into().expect("slice len"));
+        let finalized = u32::from_le_bytes(header[24..28].try_into().expect("slice len"));
         if dtype != DTYPE_F32 {
             return Err(bad("unsupported dtype (only f32 rasters exist today)"));
         }
@@ -117,7 +182,101 @@ impl ChunkedRaster {
         }
         let chunks_x = width.div_ceil(chunk);
         let chunks_y = height.div_ceil(chunk);
-        let want = HEADER_LEN + (chunks_x * chunks_y * chunk * chunk) as u64 * 4;
+        let chunks = chunks_x * chunks_y;
+        let header_len = if version == 2 {
+            HEADER_LEN_V2 + chunks as u64 * 4
+        } else {
+            HEADER_LEN_V1
+        };
+        let want = header_len + (chunks * chunk * chunk) as u64 * 4;
+        let got = file.metadata()?.len();
+        if got != want {
+            return Err(bad(&format!(
+                "chunked raster length mismatch: file is {got} bytes, header implies {want}"
+            )));
+        }
+        let mut crcs = Vec::new();
+        if version == 2 {
+            crcs.reserve_exact(chunks);
+            let mut table = vec![0u8; chunks * 4];
+            file.seek(SeekFrom::Start(HEADER_LEN_V2))?;
+            file.read_exact(&mut table)?;
+            for c in table.chunks_exact(4) {
+                crcs.push(u32::from_le_bytes([c[0], c[1], c[2], c[3]]));
+            }
+        }
+        Ok(Self {
+            file,
+            width,
+            height,
+            chunk,
+            chunks_x,
+            chunks_y,
+            finalized: true,
+            version,
+            crcs,
+            written: vec![true; chunks],
+            verified: vec![false; chunks],
+            verify: true,
+            faults: None,
+        })
+    }
+
+    /// Reopens a **non-finalized** v2 raster read-write to continue a torn
+    /// job (crash-safe resume). The header (and its CRC) are validated;
+    /// the finalized flag must still be `0`.
+    ///
+    /// The resumed handle cannot know which chunks the dead writer
+    /// touched, so the unwritten-chunk read guard is disabled for it: the
+    /// caller's job journal is the authority on which regions hold valid
+    /// data (see `doinn`'s `resume_stream`).
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` for a bad/corrupt/v1 header or a length
+    /// mismatch, and `InvalidInput` if the raster is already finalized
+    /// (use [`ChunkedRaster::open`]).
+    pub fn resume(path: impl AsRef<Path>) -> io::Result<Self> {
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut magic = [0u8; 8];
+        file.read_exact(&mut magic)?;
+        if &magic == MAGIC_V1 {
+            return Err(bad("cannot resume a legacy v1 raster (no checksum table)"));
+        }
+        if &magic != MAGIC_V2 {
+            return Err(bad("not a chunked raster file (bad magic)"));
+        }
+        let mut header = [0u8; 28];
+        file.read_exact(&mut header)?;
+        let stored = read_u32(&mut file)?;
+        let got = crc32(&header);
+        if stored != got {
+            return Err(bad(&format!(
+                "chunked raster header checksum mismatch: stored {stored:#010x}, \
+                 computed {got:#010x} (corrupt header)"
+            )));
+        }
+        let width = u64::from_le_bytes(header[0..8].try_into().expect("slice len")) as usize;
+        let height = u64::from_le_bytes(header[8..16].try_into().expect("slice len")) as usize;
+        let chunk = u32::from_le_bytes(header[16..20].try_into().expect("slice len")) as usize;
+        let dtype = u32::from_le_bytes(header[20..24].try_into().expect("slice len"));
+        let finalized = u32::from_le_bytes(header[24..28].try_into().expect("slice len"));
+        if dtype != DTYPE_F32 {
+            return Err(bad("unsupported dtype (only f32 rasters exist today)"));
+        }
+        if width == 0 || height == 0 || chunk == 0 {
+            return Err(bad("zero dimension in chunked raster header"));
+        }
+        if finalized == 1 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "raster is already finalized; open() it read-only instead of resuming",
+            ));
+        }
+        let chunks_x = width.div_ceil(chunk);
+        let chunks_y = height.div_ceil(chunk);
+        let chunks = chunks_x * chunks_y;
+        let want = HEADER_LEN_V2 + chunks as u64 * 4 + (chunks * chunk * chunk) as u64 * 4;
         let got = file.metadata()?.len();
         if got != want {
             return Err(bad(&format!(
@@ -130,7 +289,14 @@ impl ChunkedRaster {
             height,
             chunk,
             chunks_x,
-            finalized: true,
+            chunks_y,
+            finalized: false,
+            version: 2,
+            crcs: Vec::new(),
+            written: vec![true; chunks],
+            verified: vec![false; chunks],
+            verify: true,
+            faults: None,
         })
     }
 
@@ -152,6 +318,13 @@ impl ChunkedRaster {
         self.chunk
     }
 
+    /// On-disk format version of the backing file: `2` for checksummed
+    /// `LCHRAST2`, `1` for legacy read-only `LCHRAST1`.
+    #[must_use]
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
     /// `true` once [`ChunkedRaster::finalize`] has run (always `true` for
     /// rasters from [`ChunkedRaster::open`]).
     #[must_use]
@@ -159,11 +332,40 @@ impl ChunkedRaster {
         self.finalized
     }
 
+    /// Enables/disables CRC verification on read (default on). Only
+    /// meaningful for finalized v2 rasters; v1 files are never verified.
+    pub fn set_checksum_verification(&mut self, on: bool) {
+        self.verify = on;
+    }
+
+    /// Installs a seeded [`FaultPlan`] beneath this raster's I/O: every
+    /// subsequent `read_rect` / `write_rect` (and checksum verification,
+    /// for corruption faults) consults it first. Testing hook — see
+    /// `fault.rs`.
+    pub fn inject_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
+    }
+
+    /// Number of faults the injected [`FaultPlan`] has fired so far
+    /// (`0` when no plan is installed).
+    #[must_use]
+    pub fn injected_faults(&self) -> u64 {
+        self.faults.as_ref().map_or(0, FaultPlan::injected)
+    }
+
     /// Reads the `h × w` window at `(y0, x0)` into `out` (row-major).
+    ///
+    /// On a finalized v2 raster, the first read touching each chunk
+    /// verifies that chunk's CRC32 against the checksum table (the result
+    /// is cached per handle, so steady-state reads pay nothing).
     ///
     /// # Errors
     ///
-    /// Returns any underlying I/O error.
+    /// Returns any underlying I/O error; `InvalidData` if a touched chunk
+    /// fails checksum verification, or if the raster is not finalized and
+    /// a touched chunk was never written through this handle (unwritten
+    /// chunks hold undefined bytes until [`ChunkedRaster::finalize`]
+    /// checksums them as zeros).
     ///
     /// # Panics
     ///
@@ -177,6 +379,14 @@ impl ChunkedRaster {
         out: &mut [f32],
     ) -> io::Result<()> {
         self.check_rect(y0, x0, h, w, out.len());
+        if let Some(f) = self.faults.as_mut() {
+            f.before_op(FaultOp::Read, y0, x0, h, w)?;
+        }
+        if !self.finalized {
+            self.check_written(y0, x0, h, w)?;
+        } else if self.version == 2 && self.verify {
+            self.verify_rect(y0, x0, h, w)?;
+        }
         let mut bytes = vec![0u8; w * 4];
         for (row, dst) in out.chunks_exact_mut(w).enumerate() {
             let y = y0 + row;
@@ -222,6 +432,9 @@ impl ChunkedRaster {
             ));
         }
         self.check_rect(y0, x0, h, w, data.len());
+        if let Some(f) = self.faults.as_mut() {
+            f.before_op(FaultOp::Write, y0, x0, h, w)?;
+        }
         let mut bytes = vec![0u8; w * 4];
         for (row, src) in data.chunks_exact(w).enumerate() {
             let y = y0 + row;
@@ -238,11 +451,19 @@ impl ChunkedRaster {
                 off += seg;
             }
         }
+        // A touched chunk counts as written even if only partially covered:
+        // the untouched remainder is well-defined zeros from set_len. The
+        // unwritten-chunk guard targets chunks never touched at all.
+        for (cy, cx) in chunk_range(y0, x0, h, w, self.chunk) {
+            self.written[cy * self.chunks_x + cx] = true;
+        }
         Ok(())
     }
 
-    /// Flushes, flips the header's finalized flag and `fsync`s, making the
-    /// file acceptable to [`ChunkedRaster::open`]. Idempotent.
+    /// Flushes chunk data, writes the per-chunk checksum table, and flips
+    /// the header's finalized flag — in that order, with an `fsync`
+    /// between, so the flag can never become durable before the data it
+    /// vouches for (crash-atomic). Idempotent.
     ///
     /// # Errors
     ///
@@ -252,11 +473,106 @@ impl ChunkedRaster {
             return Ok(());
         }
         self.file.flush()?;
-        self.file.seek(SeekFrom::Start(HEADER_LEN - 4))?;
+        // Step 1: checksum every chunk from the file bytes and persist the
+        // table, then fsync — data + table durable, flag still 0.
+        let chunk_bytes = self.chunk * self.chunk * 4;
+        let chunks = self.chunks_x * self.chunks_y;
+        let mut buf = vec![0u8; chunk_bytes];
+        let mut table = Vec::with_capacity(chunks * 4);
+        self.crcs.clear();
+        self.crcs.reserve_exact(chunks);
+        for c in 0..chunks {
+            self.file.seek(SeekFrom::Start(self.chunk_offset(c)))?;
+            self.file.read_exact(&mut buf)?;
+            let crc = crc32_counted(&buf);
+            self.crcs.push(crc);
+            table.extend_from_slice(&crc.to_le_bytes());
+        }
+        self.file.seek(SeekFrom::Start(HEADER_LEN_V2))?;
+        self.file.write_all(&table)?;
+        self.file.sync_all()?;
+        // Step 2: flip the finalized flag and recompute the header CRC
+        // (which covers the flag), then fsync again.
+        let header = header_fields(self.width, self.height, self.chunk, 1);
+        self.file.seek(SeekFrom::Start(OFF_FINALIZED))?;
         self.file.write_all(&1u32.to_le_bytes())?;
+        self.file.seek(SeekFrom::Start(OFF_HEADER_CRC))?;
+        self.file.write_all(&crc32(&header).to_le_bytes())?;
         self.file.sync_all()?;
         self.finalized = true;
+        // The table was just computed from the file bytes — re-verifying
+        // through this handle would be pure waste.
+        self.verified.iter_mut().for_each(|v| *v = true);
         Ok(())
+    }
+
+    /// `fsync`s file data (not metadata) — the durability point the
+    /// streaming engine uses before journaling tiles as complete.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O error.
+    pub fn sync_data(&mut self) -> io::Result<()> {
+        self.file.flush()?;
+        self.file.sync_data()
+    }
+
+    /// Errors if any chunk touched by the rect was never written through
+    /// this handle (pre-finalize reads of unwritten chunks see undefined
+    /// bytes — historically silent zeros/stale data).
+    fn check_written(&self, y0: usize, x0: usize, h: usize, w: usize) -> io::Result<()> {
+        for (cy, cx) in chunk_range(y0, x0, h, w, self.chunk) {
+            if !self.written[cy * self.chunks_x + cx] {
+                return Err(bad(&format!(
+                    "chunk ({cx}, {cy}) was never written: reads from a non-finalized \
+                     raster only see chunks written through this handle"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Verifies the CRC of every not-yet-verified chunk the rect touches.
+    fn verify_rect(&mut self, y0: usize, x0: usize, h: usize, w: usize) -> io::Result<()> {
+        let chunk_bytes = self.chunk * self.chunk * 4;
+        let mut buf = vec![0u8; chunk_bytes];
+        for (cy, cx) in chunk_range(y0, x0, h, w, self.chunk) {
+            let idx = cy * self.chunks_x + cx;
+            if self.verified[idx] {
+                continue;
+            }
+            self.file.seek(SeekFrom::Start(self.chunk_offset(idx)))?;
+            self.file.read_exact(&mut buf)?;
+            if let Some(f) = self.faults.as_mut() {
+                if f.corrupts_chunk(idx) {
+                    buf[0] ^= 0xFF;
+                }
+            }
+            let got = crc32_counted(&buf);
+            let stored = self.crcs[idx];
+            if got != stored {
+                return Err(bad(&format!(
+                    "chunk ({cx}, {cy}) failed checksum verification: stored \
+                     {stored:#010x}, computed {got:#010x}"
+                )));
+            }
+            self.verified[idx] = true;
+        }
+        Ok(())
+    }
+
+    /// Byte offset where the body's data begins.
+    fn data_base(&self) -> u64 {
+        if self.version == 2 {
+            HEADER_LEN_V2 + (self.chunks_x * self.chunks_y) as u64 * 4
+        } else {
+            HEADER_LEN_V1
+        }
+    }
+
+    /// File offset of the start of chunk `idx` (row-major chunk order).
+    fn chunk_offset(&self, idx: usize) -> u64 {
+        self.data_base() + (idx * self.chunk * self.chunk) as u64 * 4
     }
 
     /// File offset of pixel `(y, x)`.
@@ -264,7 +580,7 @@ impl ChunkedRaster {
         let (cy, cx) = (y / self.chunk, x / self.chunk);
         let (ly, lx) = (y % self.chunk, x % self.chunk);
         let chunk_base = (cy * self.chunks_x + cx) * self.chunk * self.chunk;
-        HEADER_LEN + (chunk_base + ly * self.chunk + lx) as u64 * 4
+        self.data_base() + (chunk_base + ly * self.chunk + lx) as u64 * 4
     }
 
     /// Length of the contiguous run starting at column `x` (bounded by the
@@ -284,14 +600,35 @@ impl ChunkedRaster {
     }
 }
 
-fn bad(msg: &str) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+/// The 28 CRC-covered header bytes (offsets `8..36`): width, height,
+/// chunk, dtype, finalized.
+fn header_fields(width: usize, height: usize, chunk: usize, finalized: u32) -> [u8; 28] {
+    let mut h = [0u8; 28];
+    h[0..8].copy_from_slice(&(width as u64).to_le_bytes());
+    h[8..16].copy_from_slice(&(height as u64).to_le_bytes());
+    h[16..20].copy_from_slice(&(chunk as u32).to_le_bytes());
+    h[20..24].copy_from_slice(&DTYPE_F32.to_le_bytes());
+    h[24..28].copy_from_slice(&finalized.to_le_bytes());
+    h
 }
 
-fn read_u64(r: &mut impl Read) -> io::Result<u64> {
-    let mut b = [0u8; 8];
-    r.read_exact(&mut b)?;
-    Ok(u64::from_le_bytes(b))
+/// Iterator over the `(cy, cx)` chunk coordinates a rect touches.
+fn chunk_range(
+    y0: usize,
+    x0: usize,
+    h: usize,
+    w: usize,
+    chunk: usize,
+) -> impl Iterator<Item = (usize, usize)> {
+    let cy0 = y0 / chunk;
+    let cy1 = (y0 + h - 1) / chunk;
+    let cx0 = x0 / chunk;
+    let cx1 = (x0 + w - 1) / chunk;
+    (cy0..=cy1).flat_map(move |cy| (cx0..=cx1).map(move |cx| (cy, cx)))
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
 }
 
 fn read_u32(r: &mut impl Read) -> io::Result<u32> {
@@ -331,6 +668,7 @@ mod tests {
         }
         let mut r = ChunkedRaster::open(&path).unwrap();
         assert_eq!((r.width(), r.height(), r.chunk_size()), (w, h, chunk));
+        assert_eq!(r.version(), 2);
         let mut back = vec![0.0; w * h];
         r.read_rect(0, 0, h, w, &mut back).unwrap();
         assert_eq!(back, full);
@@ -358,10 +696,11 @@ mod tests {
         // truncated body
         {
             let mut r = ChunkedRaster::create(&path, 8, 8, 4).unwrap();
+            r.write_rect(0, 0, 8, 8, &[1.0; 64]).unwrap();
             r.finalize().unwrap();
         }
         let f = OpenOptions::new().write(true).open(&path).unwrap();
-        f.set_len(40).unwrap();
+        f.set_len(HEADER_LEN_V2 + 16 + 40).unwrap();
         let err = ChunkedRaster::open(&path).unwrap_err();
         assert!(err.to_string().contains("length mismatch"), "{err}");
         // bad magic
@@ -388,7 +727,7 @@ mod tests {
     }
 
     #[test]
-    fn unwritten_regions_read_as_zero() {
+    fn unwritten_regions_read_as_zero_after_finalize() {
         let path = tmp("sparse");
         let mut r = ChunkedRaster::create(&path, 20, 20, 8).unwrap();
         r.write_rect(5, 5, 2, 2, &[9.0; 4]).unwrap();
@@ -399,6 +738,163 @@ mod tests {
         assert_eq!(total, 36.0);
         assert_eq!(all[5 * 20 + 5], 9.0);
         assert_eq!(all[0], 0.0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn reading_unwritten_chunk_before_finalize_is_an_error() {
+        // Regression: this used to silently return whatever bytes the
+        // pre-sized file held (zeros, or stale data on some filesystems).
+        let path = tmp("unwritten_guard");
+        let mut r = ChunkedRaster::create(&path, 20, 20, 8).unwrap();
+        r.write_rect(5, 5, 2, 2, &[9.0; 4]).unwrap();
+        // chunk (0,0) is written -> readable pre-finalize
+        let mut buf = vec![0.0; 4];
+        r.read_rect(5, 5, 2, 2, &mut buf).unwrap();
+        assert_eq!(buf, [9.0; 4]);
+        // chunk (1,1) was never touched -> hard error with coordinates
+        let err = r.read_rect(10, 10, 2, 2, &mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("chunk (1, 1)"), "{err}");
+        // a rect straddling written and unwritten chunks also errors
+        let mut wide = vec![0.0; 20];
+        let err = r.read_rect(6, 0, 1, 20, &mut wide).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // after finalize the same reads succeed (chunks checksummed as-is)
+        r.finalize().unwrap();
+        r.read_rect(10, 10, 2, 2, &mut buf).unwrap();
+        assert_eq!(buf, [0.0; 4]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupted_chunk_is_caught_on_read_with_coordinates() {
+        let path = tmp("crc_catch");
+        {
+            let mut r = ChunkedRaster::create(&path, 20, 20, 8).unwrap();
+            let data: Vec<f32> = (0..400).map(|i| i as f32).collect();
+            r.write_rect(0, 0, 20, 20, &data).unwrap();
+            r.finalize().unwrap();
+        }
+        // flip one byte inside chunk (1, 1)'s data region
+        {
+            let mut f = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .open(&path)
+                .unwrap();
+            let chunks = 3 * 3;
+            let data_base = HEADER_LEN_V2 + chunks as u64 * 4;
+            let (cy, cx) = (1usize, 1usize);
+            let idx = cy * 3 + cx;
+            let off = data_base + (idx * 8 * 8) as u64 * 4 + 17;
+            f.seek(SeekFrom::Start(off)).unwrap();
+            let mut b = [0u8; 1];
+            f.read_exact(&mut b).unwrap();
+            b[0] ^= 0x40;
+            f.seek(SeekFrom::Start(off)).unwrap();
+            f.write_all(&b).unwrap();
+        }
+        let mut r = ChunkedRaster::open(&path).unwrap();
+        // untouched chunks still read fine
+        let mut buf = vec![0.0; 4];
+        r.read_rect(0, 0, 2, 2, &mut buf).unwrap();
+        // the corrupt chunk is detected with its coordinates
+        let err = r.read_rect(10, 10, 2, 2, &mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("chunk (1, 1)"), "{err}");
+        assert!(err.to_string().contains("checksum"), "{err}");
+        // verification off -> the (wrong) bytes come back without error
+        let mut r = ChunkedRaster::open(&path).unwrap();
+        r.set_checksum_verification(false);
+        r.read_rect(10, 10, 2, 2, &mut buf).unwrap();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn opens_legacy_v1_rasters_read_only_unverified() {
+        let path = tmp("v1_compat");
+        // hand-craft a v1 file: 36-byte header + one 4x4 chunk
+        let (w, h, chunk) = (4usize, 4usize, 4usize);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC_V1);
+        bytes.extend_from_slice(&(w as u64).to_le_bytes());
+        bytes.extend_from_slice(&(h as u64).to_le_bytes());
+        bytes.extend_from_slice(&(chunk as u32).to_le_bytes());
+        bytes.extend_from_slice(&DTYPE_F32.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // finalized
+        for i in 0..16 {
+            bytes.extend_from_slice(&(i as f32).to_le_bytes());
+        }
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mut r = ChunkedRaster::open(&path).unwrap();
+        assert_eq!(r.version(), 1);
+        assert!(r.is_finalized());
+        let mut back = vec![0.0; 16];
+        r.read_rect(0, 0, 4, 4, &mut back).unwrap();
+        let want: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        assert_eq!(back, want);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn resume_continues_a_torn_job_and_finalizes_identically() {
+        let path_a = tmp("resume_a");
+        let path_b = tmp("resume_b");
+        let data: Vec<f32> = (0..400).map(|i| (i as f32).sin()).collect();
+        // uninterrupted reference
+        {
+            let mut r = ChunkedRaster::create(&path_a, 20, 20, 8).unwrap();
+            r.write_rect(0, 0, 20, 20, &data).unwrap();
+            r.finalize().unwrap();
+        }
+        // torn job: write the top half, drop the handle (simulated kill)
+        {
+            let mut r = ChunkedRaster::create(&path_b, 20, 20, 8).unwrap();
+            r.write_rect(0, 0, 10, 20, &data[..200]).unwrap();
+            r.sync_data().unwrap();
+        }
+        assert!(
+            ChunkedRaster::open(&path_b).is_err(),
+            "torn file must not open"
+        );
+        // resume, write the rest, finalize
+        {
+            let mut r = ChunkedRaster::resume(&path_b).unwrap();
+            assert!(!r.is_finalized());
+            r.write_rect(10, 0, 10, 20, &data[200..]).unwrap();
+            r.finalize().unwrap();
+        }
+        let a = std::fs::read(&path_a).unwrap();
+        let b = std::fs::read(&path_b).unwrap();
+        assert_eq!(a, b, "resumed file must be byte-identical to uninterrupted");
+        // resuming a finalized raster is refused
+        let err = ChunkedRaster::resume(&path_b).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        std::fs::remove_file(&path_a).unwrap();
+        std::fs::remove_file(&path_b).unwrap();
+    }
+
+    #[test]
+    fn injected_faults_fire_and_clear_on_retry() {
+        let path = tmp("faulty");
+        let mut r = ChunkedRaster::create(&path, 8, 8, 4).unwrap();
+        r.inject_faults(
+            FaultPlan::new()
+                .with_nth_write(1, 1, io::ErrorKind::Interrupted)
+                .with_nth_read(0, 1, io::ErrorKind::Interrupted),
+        );
+        r.write_rect(0, 0, 4, 4, &[1.0; 16]).unwrap(); // write #0 fine
+        let err = r.write_rect(4, 4, 4, 4, &[2.0; 16]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+        r.write_rect(4, 4, 4, 4, &[2.0; 16]).unwrap(); // retry clears
+        let mut buf = vec![0.0; 16];
+        let err = r.read_rect(0, 0, 4, 4, &mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+        r.read_rect(0, 0, 4, 4, &mut buf).unwrap();
+        assert_eq!(buf, [1.0; 16]);
+        assert_eq!(r.injected_faults(), 2);
         std::fs::remove_file(&path).unwrap();
     }
 

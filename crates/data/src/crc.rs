@@ -1,0 +1,130 @@
+//! CRC32 (IEEE 802.3) — the integrity primitive of the on-disk formats.
+//!
+//! The chunked raster (`LCHRAST2`) and the job journal both guard their
+//! bytes with this checksum: cheap enough to run on every chunk read,
+//! strong enough to catch the failure modes that actually happen to files
+//! (bit rot, torn writes, truncation, fat-fingered edits). The container is
+//! hermetic, so this is a clean-room table-driven implementation rather
+//! than a crates.io dependency.
+//!
+//! [`crc_stats`] keeps always-on counters of checksum work (bytes and
+//! wall-nanoseconds) so `bench_fullchip` can report the measured
+//! `checksum_overhead` as a fraction of streaming wall time instead of
+//! guessing.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The CRC32 lookup table for the reflected IEEE polynomial `0xEDB88320`.
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// CRC32 (IEEE) of `bytes`. Pure function, no stats side effects.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// [`crc32`] plus [`crc_stats`] accounting — the variant the chunk
+/// verify/finalize paths call, so checksum cost is measurable.
+#[must_use]
+pub fn crc32_counted(bytes: &[u8]) -> u32 {
+    // litho-lint: allow(clock-discipline): always-on checksum cost accounting (BENCH_fullchip's checksum_overhead)
+    let t0 = std::time::Instant::now();
+    let c = crc32(bytes);
+    crc_stats::record(bytes.len() as u64, t0.elapsed().as_nanos() as u64);
+    c
+}
+
+/// Always-on counters of checksum work, in the style of
+/// `litho_tensor::alloc_stats` / `litho_fft::op_count`: two relaxed atomic
+/// adds per checksummed chunk, cheap enough to never turn off.
+pub mod crc_stats {
+    use super::{AtomicU64, Ordering};
+
+    static BYTES: AtomicU64 = AtomicU64::new(0);
+    static NANOS: AtomicU64 = AtomicU64::new(0);
+
+    pub(super) fn record(bytes: u64, nanos: u64) {
+        BYTES.fetch_add(bytes, Ordering::Relaxed);
+        NANOS.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Bytes checksummed process-wide since the last [`reset`].
+    #[must_use]
+    pub fn bytes_checksummed() -> u64 {
+        BYTES.load(Ordering::Relaxed)
+    }
+
+    /// Wall-nanoseconds spent inside chunk checksum computations since the
+    /// last [`reset`] (verification on read + table construction at
+    /// finalize).
+    #[must_use]
+    pub fn nanos_in_checksums() -> u64 {
+        NANOS.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes both counters (single-process benches only).
+    pub fn reset() {
+        BYTES.store(0, Ordering::Relaxed);
+        NANOS.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_known_vectors() {
+        // canonical IEEE CRC32 check values
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn single_bit_flip_changes_checksum() {
+        let data = vec![0xA5u8; 4096];
+        let base = crc32(&data);
+        for byte in [0usize, 1, 2048, 4095] {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), base, "flip at byte {byte} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn counted_variant_moves_the_stats() {
+        let before = crc_stats::bytes_checksummed();
+        let _ = crc32_counted(&[0u8; 1000]);
+        assert!(crc_stats::bytes_checksummed() >= before + 1000);
+    }
+}

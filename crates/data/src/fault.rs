@@ -1,0 +1,296 @@
+//! Deterministic fault injection for raster I/O.
+//!
+//! A [`FaultPlan`] sits beneath `ChunkedRaster::read_rect` / `write_rect`
+//! and decides, *before* any bytes move, whether the operation fails. Every
+//! decision is a pure function of the plan's configuration and the
+//! operation's **identity** — `(read|write, y0, x0, h, w)` — never of wall
+//! clock, thread id, or global call order across rasters. That buys two
+//! properties the fault-tolerance tests lean on:
+//!
+//! - **Reproducibility**: the same streaming run against the same plan
+//!   injects the same faults at `LITHO_THREADS` ∈ {1, 2, 4}, because tile
+//!   windows (the identities) are fixed by the `ChipPlan`, not the
+//!   schedule.
+//! - **"Fails once" semantics**: a retry re-issues the *same* identity, so
+//!   the plan recognizes it as attempt #2 and lets it through. Transient
+//!   faults are therefore survivable by a retry loop with no plan-side
+//!   bookkeeping in the caller.
+//!
+//! Hard (non-transient) faults use `with_nth_read` / `with_nth_write` with
+//! a `times` budget: `times = u32::MAX` models a dead disk, small `times`
+//! models a fault that outlasts a bounded retry budget, and an
+//! `ErrorKind::Other` on a write is how the resume tests simulate a
+//! mid-job kill.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::io;
+
+/// Which half of the raster I/O surface an operation belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultOp {
+    /// A `read_rect`-style window read.
+    Read,
+    /// A `write_rect`-style window write.
+    Write,
+}
+
+impl FaultOp {
+    fn name(self) -> &'static str {
+        match self {
+            FaultOp::Read => "read",
+            FaultOp::Write => "write",
+        }
+    }
+}
+
+/// The identity of one raster operation: kind plus the requested window.
+/// Two calls with the same identity are the same logical operation
+/// (attempt #1, #2, ...), which is what makes retries meaningful.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct OpId {
+    op: FaultOp,
+    y0: u64,
+    x0: u64,
+    h: u64,
+    w: u64,
+}
+
+/// splitmix64 — the same cheap avalanche used across the workspace for
+/// seeded, wall-clock-free pseudo-randomness.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seeded, wall-clock-free schedule of injected raster I/O faults.
+///
+/// Compose with the builder methods, then hand to
+/// `ChunkedRaster::inject_faults`. The plan is consulted on every
+/// `read_rect` / `write_rect` (and, for [`with_corrupt_chunk`], during
+/// checksum verification) and keeps per-identity attempt counts so that
+/// transient faults clear on retry.
+///
+/// [`with_corrupt_chunk`]: FaultPlan::with_corrupt_chunk
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    /// `(seed, percent)`: each distinct op identity independently fails its
+    /// first attempt with probability `percent`/100 (EINTR-style).
+    transient: Option<(u64, u32)>,
+    /// `(op, first-sight sequence number) -> (times, kind)`: the n-th
+    /// distinct operation of that kind fails its first `times` attempts.
+    nth: BTreeMap<(FaultOp, u64), (u32, io::ErrorKind)>,
+    /// Linear chunk indices whose bytes are flipped at verification time.
+    corrupt: BTreeSet<usize>,
+    /// Attempt bookkeeping: identity -> (first-sight sequence, attempts).
+    seen: BTreeMap<OpId, (u64, u64)>,
+    /// Next first-sight sequence number per op kind.
+    next_seq: [u64; 2],
+    /// Total faults injected so far (reads + writes + corruptions).
+    injected: u64,
+}
+
+impl FaultPlan {
+    /// An empty plan: injects nothing until faults are composed on.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fail the first attempt of roughly `percent`% of distinct I/O
+    /// operations with `ErrorKind::Interrupted` (EINTR). Which operations
+    /// fail is a pure hash of `(seed, identity)`.
+    #[must_use]
+    pub fn with_transient(mut self, seed: u64, percent: u32) -> Self {
+        assert!(percent <= 100, "percent must be in 0..=100");
+        self.transient = Some((seed, percent));
+        self
+    }
+
+    /// Fail the `n`-th **distinct** read operation (0-based, in first-sight
+    /// order) with `kind`, for its first `times` attempts.
+    #[must_use]
+    pub fn with_nth_read(mut self, n: u64, times: u32, kind: io::ErrorKind) -> Self {
+        self.nth.insert((FaultOp::Read, n), (times, kind));
+        self
+    }
+
+    /// Fail the `n`-th **distinct** write operation (0-based, in
+    /// first-sight order) with `kind`, for its first `times` attempts.
+    /// With `times = u32::MAX` this is a permanent failure — the hook the
+    /// resume tests use to "kill" a streaming run at tile `n`.
+    #[must_use]
+    pub fn with_nth_write(mut self, n: u64, times: u32, kind: io::ErrorKind) -> Self {
+        self.nth.insert((FaultOp::Write, n), (times, kind));
+        self
+    }
+
+    /// Flip bytes of the chunk with linear index `chunk` when its checksum
+    /// is verified, so the stored CRC no longer matches. Models silent
+    /// media corruption between write and read.
+    #[must_use]
+    pub fn with_corrupt_chunk(mut self, chunk: usize) -> Self {
+        self.corrupt.insert(chunk);
+        self
+    }
+
+    /// Total faults injected so far.
+    #[must_use]
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Distinct operation identities observed so far.
+    #[must_use]
+    pub fn distinct_ops(&self) -> u64 {
+        self.seen.len() as u64
+    }
+
+    /// Consulted by the raster before moving any bytes for the operation
+    /// `(op, y0, x0, h, w)`. Returns the injected error, if this attempt is
+    /// scheduled to fail.
+    pub fn before_op(
+        &mut self,
+        op: FaultOp,
+        y0: usize,
+        x0: usize,
+        h: usize,
+        w: usize,
+    ) -> io::Result<()> {
+        let id = OpId {
+            op,
+            y0: y0 as u64,
+            x0: x0 as u64,
+            h: h as u64,
+            w: w as u64,
+        };
+        let next = &mut self.next_seq[op as usize];
+        let (seq, attempts) = self.seen.entry(id).or_insert_with(|| {
+            let s = *next;
+            *next += 1;
+            (s, 0)
+        });
+        *attempts += 1;
+        let (seq, attempts) = (*seq, *attempts);
+
+        if let Some(&(times, kind)) = self.nth.get(&(op, seq)) {
+            if attempts <= u64::from(times) {
+                self.injected += 1;
+                return Err(io::Error::new(
+                    kind,
+                    format!(
+                        "injected fault: {} op #{seq} (rect y0={y0} x0={x0} {h}x{w}), attempt {attempts}",
+                        op.name()
+                    ),
+                ));
+            }
+        }
+
+        if let Some((seed, percent)) = self.transient {
+            let mut z = seed ^ 0x4C43_4852_4653_4C54; // "LCHRFSLT"
+            z = splitmix64(z ^ (id.op as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93));
+            z = splitmix64(z ^ id.y0);
+            z = splitmix64(z ^ id.x0);
+            z = splitmix64(z ^ id.h);
+            z = splitmix64(z ^ id.w);
+            if z % 100 < u64::from(percent) && attempts == 1 {
+                self.injected += 1;
+                return Err(io::Error::new(
+                    io::ErrorKind::Interrupted,
+                    format!(
+                        "injected transient fault: {} op (rect y0={y0} x0={x0} {h}x{w})",
+                        op.name()
+                    ),
+                ));
+            }
+        }
+
+        Ok(())
+    }
+
+    /// Consulted during checksum verification: should the freshly read
+    /// bytes of chunk `chunk` be flipped before the CRC compare?
+    pub fn corrupts_chunk(&mut self, chunk: usize) -> bool {
+        if self.corrupt.contains(&chunk) {
+            self.injected += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transient_faults_clear_on_retry_and_are_schedule_independent() {
+        let ids: Vec<(usize, usize)> = (0..40).map(|i| (i * 64, (i * 17) % 512)).collect();
+
+        let run = |order: &[usize]| -> Vec<bool> {
+            let mut plan = FaultPlan::new().with_transient(0xFA17, 25);
+            let mut failed = vec![false; ids.len()];
+            for &i in order {
+                let (y, x) = ids[i];
+                if let Err(e) = plan.before_op(FaultOp::Read, y, x, 64, 64) {
+                    assert_eq!(e.kind(), io::ErrorKind::Interrupted);
+                    failed[i] = true;
+                    // retry with the same identity must succeed
+                    plan.before_op(FaultOp::Read, y, x, 64, 64)
+                        .expect("retry of a transient fault must pass");
+                }
+            }
+            failed
+        };
+
+        let forward: Vec<usize> = (0..ids.len()).collect();
+        let reverse: Vec<usize> = (0..ids.len()).rev().collect();
+        let a = run(&forward);
+        let b = run(&reverse);
+        assert_eq!(a, b, "fault schedule must not depend on issue order");
+        let hits = a.iter().filter(|&&f| f).count();
+        assert!(
+            (4..=16).contains(&hits),
+            "25% of 40 ops should fault roughly 10 times, got {hits}"
+        );
+    }
+
+    #[test]
+    fn nth_write_fails_for_times_attempts_then_clears() {
+        let mut plan = FaultPlan::new().with_nth_write(1, 2, io::ErrorKind::TimedOut);
+        plan.before_op(FaultOp::Write, 0, 0, 8, 8).unwrap(); // seq 0
+        let e = plan.before_op(FaultOp::Write, 8, 0, 8, 8).unwrap_err(); // seq 1, attempt 1
+        assert_eq!(e.kind(), io::ErrorKind::TimedOut);
+        assert!(e.to_string().contains("op #1"), "{e}");
+        plan.before_op(FaultOp::Write, 8, 0, 8, 8).unwrap_err(); // attempt 2
+        plan.before_op(FaultOp::Write, 8, 0, 8, 8).unwrap(); // attempt 3 clears
+        assert_eq!(plan.injected(), 2);
+        assert_eq!(plan.distinct_ops(), 2);
+    }
+
+    #[test]
+    fn reads_and_writes_are_numbered_independently() {
+        let mut plan = FaultPlan::new().with_nth_read(0, 1, io::ErrorKind::Interrupted);
+        // a write first must not consume read seq 0
+        plan.before_op(FaultOp::Write, 0, 0, 4, 4).unwrap();
+        plan.before_op(FaultOp::Read, 0, 0, 4, 4).unwrap_err();
+    }
+
+    #[test]
+    fn permanent_fault_never_clears() {
+        let mut plan = FaultPlan::new().with_nth_write(0, u32::MAX, io::ErrorKind::Other);
+        for _ in 0..10 {
+            assert!(plan.before_op(FaultOp::Write, 0, 0, 4, 4).is_err());
+        }
+    }
+
+    #[test]
+    fn corrupt_chunk_fires_only_for_listed_chunks() {
+        let mut plan = FaultPlan::new().with_corrupt_chunk(3);
+        assert!(!plan.corrupts_chunk(0));
+        assert!(plan.corrupts_chunk(3));
+        assert_eq!(plan.injected(), 1);
+    }
+}

@@ -1,0 +1,387 @@
+//! Sidecar job journal — the crash-safe resume log of a streaming run.
+//!
+//! While `doinn`'s `ChipStreamer` grinds through a chip, it appends one
+//! entry per *completed* super-tile to a [`JobJournal`] next to the output
+//! raster. After a kill, `resume_stream` replays the journal and
+//! recomputes only the missing tiles — the recorded ones are already
+//! durable in the raster (the streamer `sync_data`s the sink before
+//! journaling a round).
+//!
+//! Format (little-endian), magic `LJOBJRN1`:
+//!
+//! - header (44 bytes): magic, chip width `u64`, chip height `u64`,
+//!   super-tile `u32`, halo `u32`, total tiles `u64`, header CRC32 `u32`
+//!   over bytes `8..40`. The geometry fields fingerprint the `ChipPlan`;
+//!   a journal from a different plan is refused rather than silently
+//!   producing a wrong resume.
+//! - entries (12 bytes each, appended): tile index `u64` + CRC32 of those
+//!   8 bytes. Append-only, no ordering requirement, duplicates tolerated.
+//!
+//! Recovery is conservative: parsing stops at the first short or
+//! CRC-invalid entry (a torn tail from the kill) and the file is truncated
+//! there. Losing a trailing entry only means one extra tile is recomputed
+//! — resume stays correct, just marginally slower.
+
+use crate::crc::crc32;
+use std::fs::OpenOptions;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"LJOBJRN1";
+const HEADER_LEN: u64 = 8 + 8 + 8 + 4 + 4 + 8 + 4;
+const ENTRY_LEN: u64 = 8 + 4;
+
+/// The job geometry a journal is bound to. Two runs may share a journal
+/// only if every field matches — it fingerprints the tile numbering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalSpec {
+    /// Chip width in pixels.
+    pub chip_w: u64,
+    /// Chip height in pixels.
+    pub chip_h: u64,
+    /// Super-tile core edge in pixels.
+    pub super_tile: u32,
+    /// Halo (guard band) per side in pixels.
+    pub halo: u32,
+    /// Total number of super-tiles in the plan.
+    pub tiles: u64,
+}
+
+impl JournalSpec {
+    /// The 32 CRC-covered header bytes (offsets `8..40`).
+    fn to_bytes(self) -> [u8; 32] {
+        let mut b = [0u8; 32];
+        b[0..8].copy_from_slice(&self.chip_w.to_le_bytes());
+        b[8..16].copy_from_slice(&self.chip_h.to_le_bytes());
+        b[16..20].copy_from_slice(&self.super_tile.to_le_bytes());
+        b[20..24].copy_from_slice(&self.halo.to_le_bytes());
+        b[24..32].copy_from_slice(&self.tiles.to_le_bytes());
+        b
+    }
+
+    fn from_bytes(b: &[u8; 32]) -> Self {
+        Self {
+            chip_w: u64::from_le_bytes(b[0..8].try_into().expect("slice len")),
+            chip_h: u64::from_le_bytes(b[8..16].try_into().expect("slice len")),
+            super_tile: u32::from_le_bytes(b[16..20].try_into().expect("slice len")),
+            halo: u32::from_le_bytes(b[20..24].try_into().expect("slice len")),
+            tiles: u64::from_le_bytes(b[24..32].try_into().expect("slice len")),
+        }
+    }
+}
+
+/// Append-only record of completed super-tiles (see the module docs).
+#[derive(Debug)]
+pub struct JobJournal {
+    file: std::fs::File,
+    spec: JournalSpec,
+    done: Vec<bool>,
+    completed: usize,
+}
+
+impl JobJournal {
+    /// Opens the journal at `path`, creating it (with a fresh header) if
+    /// absent or empty, or replaying its entries if it already exists.
+    /// Torn trailing entries from a previous kill are truncated away.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` if an existing file is not a journal, its
+    /// header is corrupt, or its geometry does not match `spec`; otherwise
+    /// any underlying I/O error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec.tiles` is zero.
+    pub fn open_or_create(path: impl AsRef<Path>, spec: JournalSpec) -> io::Result<Self> {
+        assert!(spec.tiles > 0, "a job journal needs at least one tile");
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let len = file.metadata()?.len();
+        if len == 0 {
+            let body = spec.to_bytes();
+            file.write_all(MAGIC)?;
+            file.write_all(&body)?;
+            file.write_all(&crc32(&body).to_le_bytes())?;
+            file.sync_all()?;
+            return Ok(Self {
+                file,
+                spec,
+                done: vec![false; spec.tiles as usize],
+                completed: 0,
+            });
+        }
+
+        let mut magic = [0u8; 8];
+        file.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(bad("not a job journal (bad magic)"));
+        }
+        let mut body = [0u8; 32];
+        file.read_exact(&mut body)?;
+        let mut crc_b = [0u8; 4];
+        file.read_exact(&mut crc_b)?;
+        if u32::from_le_bytes(crc_b) != crc32(&body) {
+            return Err(bad("job journal header checksum mismatch (corrupt header)"));
+        }
+        let found = JournalSpec::from_bytes(&body);
+        if found != spec {
+            return Err(bad(&format!(
+                "job journal geometry mismatch: journal was written for \
+                 {}x{} super_tile {} halo {} ({} tiles), this job is \
+                 {}x{} super_tile {} halo {} ({} tiles)",
+                found.chip_w,
+                found.chip_h,
+                found.super_tile,
+                found.halo,
+                found.tiles,
+                spec.chip_w,
+                spec.chip_h,
+                spec.super_tile,
+                spec.halo,
+                spec.tiles
+            )));
+        }
+
+        // Replay entries; stop (and truncate) at the first torn one.
+        let mut done = vec![false; spec.tiles as usize];
+        let mut completed = 0usize;
+        let mut valid_end = HEADER_LEN;
+        let mut entry = [0u8; ENTRY_LEN as usize];
+        loop {
+            if read_full(&mut file, &mut entry)? < entry.len() {
+                break; // short tail (possibly none at all)
+            }
+            let tile = u64::from_le_bytes(entry[0..8].try_into().expect("slice len"));
+            let crc = u32::from_le_bytes(entry[8..12].try_into().expect("slice len"));
+            if crc != crc32(&entry[0..8]) || tile >= spec.tiles {
+                break; // torn or corrupt tail: recompute from here
+            }
+            valid_end += ENTRY_LEN;
+            let t = tile as usize;
+            if !done[t] {
+                done[t] = true;
+                completed += 1;
+            }
+        }
+        file.set_len(valid_end)?;
+        file.seek(SeekFrom::Start(valid_end))?;
+        Ok(Self {
+            file,
+            spec,
+            done,
+            completed,
+        })
+    }
+
+    /// The geometry this journal is bound to.
+    #[must_use]
+    pub fn spec(&self) -> JournalSpec {
+        self.spec
+    }
+
+    /// Total tiles in the job.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.spec.tiles as usize
+    }
+
+    /// Tiles recorded as completed.
+    #[must_use]
+    pub fn completed(&self) -> usize {
+        self.completed
+    }
+
+    /// Has `tile` been recorded as completed?
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile` is out of range.
+    #[must_use]
+    pub fn is_done(&self, tile: usize) -> bool {
+        self.done[tile]
+    }
+
+    /// Appends a completion record for `tile` (no-op if already
+    /// recorded). Buffered — call [`JobJournal::sync`] to make a batch of
+    /// records durable.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile` is out of range.
+    pub fn record(&mut self, tile: usize) -> io::Result<()> {
+        assert!(tile < self.total(), "tile index out of range");
+        if self.done[tile] {
+            return Ok(());
+        }
+        let idx = (tile as u64).to_le_bytes();
+        let mut entry = [0u8; ENTRY_LEN as usize];
+        entry[0..8].copy_from_slice(&idx);
+        entry[8..12].copy_from_slice(&crc32(&idx).to_le_bytes());
+        self.file.write_all(&entry)?;
+        self.done[tile] = true;
+        self.completed += 1;
+        Ok(())
+    }
+
+    /// `fsync`s recorded entries. The streamer calls this after syncing
+    /// the output raster, so a journal entry never becomes durable before
+    /// the tile data it vouches for.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O error.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.file.flush()?;
+        self.file.sync_data()
+    }
+}
+
+/// Reads as many bytes as available into `buf`; returns how many (short
+/// only at EOF).
+fn read_full(r: &mut impl Read, buf: &mut [u8]) -> io::Result<usize> {
+    let mut n = 0;
+    while n < buf.len() {
+        match r.read(&mut buf[n..]) {
+            Ok(0) => break,
+            Ok(k) => n += k,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(n)
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("litho_journal_{}_{name}.ljj", std::process::id()));
+        p
+    }
+
+    fn spec() -> JournalSpec {
+        JournalSpec {
+            chip_w: 512,
+            chip_h: 256,
+            super_tile: 128,
+            halo: 16,
+            tiles: 8,
+        }
+    }
+
+    #[test]
+    fn records_survive_reopen() {
+        let path = tmp("reopen");
+        std::fs::remove_file(&path).ok();
+        {
+            let mut j = JobJournal::open_or_create(&path, spec()).unwrap();
+            assert_eq!(j.completed(), 0);
+            j.record(3).unwrap();
+            j.record(0).unwrap();
+            j.record(3).unwrap(); // duplicate: no-op
+            j.sync().unwrap();
+            assert_eq!(j.completed(), 2);
+        }
+        let j = JobJournal::open_or_create(&path, spec()).unwrap();
+        assert_eq!(j.completed(), 2);
+        assert!(j.is_done(0) && j.is_done(3));
+        assert!(!j.is_done(1));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_fatal() {
+        let path = tmp("torn");
+        std::fs::remove_file(&path).ok();
+        {
+            let mut j = JobJournal::open_or_create(&path, spec()).unwrap();
+            j.record(0).unwrap();
+            j.record(1).unwrap();
+            j.sync().unwrap();
+        }
+        // simulate a kill mid-append: 5 stray bytes of a third entry
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[0x02, 0, 0, 0, 0]).unwrap();
+        }
+        let j = JobJournal::open_or_create(&path, spec()).unwrap();
+        assert_eq!(j.completed(), 2, "torn entry dropped, valid prefix kept");
+        assert!(!j.is_done(2));
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            HEADER_LEN + 2 * ENTRY_LEN,
+            "file truncated back to the valid prefix"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_entry_stops_replay() {
+        let path = tmp("corrupt");
+        std::fs::remove_file(&path).ok();
+        {
+            let mut j = JobJournal::open_or_create(&path, spec()).unwrap();
+            j.record(0).unwrap();
+            j.record(1).unwrap();
+            j.record(2).unwrap();
+            j.sync().unwrap();
+        }
+        // flip a byte in the second entry's index
+        {
+            let mut f = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .open(&path)
+                .unwrap();
+            f.seek(SeekFrom::Start(HEADER_LEN + ENTRY_LEN)).unwrap();
+            f.write_all(&[0xFF]).unwrap();
+        }
+        let j = JobJournal::open_or_create(&path, spec()).unwrap();
+        assert_eq!(
+            j.completed(),
+            1,
+            "entries after the corrupt one are dropped"
+        );
+        assert!(j.is_done(0) && !j.is_done(1) && !j.is_done(2));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn geometry_mismatch_is_refused() {
+        let path = tmp("geom");
+        std::fs::remove_file(&path).ok();
+        {
+            JobJournal::open_or_create(&path, spec()).unwrap();
+        }
+        let mut other = spec();
+        other.super_tile = 64;
+        let err = JobJournal::open_or_create(&path, other).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("geometry mismatch"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn rejects_non_journal_files() {
+        let path = tmp("notajournal");
+        std::fs::write(&path, b"definitely not a journal header").unwrap();
+        let err = JobJournal::open_or_create(&path, spec()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

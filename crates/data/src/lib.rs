@@ -7,9 +7,12 @@
 //! see `DESIGN.md`), plus golden process-window corner sweeps
 //! ([`synthesize_process_window`]) that print the held-out masks at every
 //! dose/defocus corner for PV-band and degradation analysis. The crate also
-//! owns the workspace's on-disk formats: the dataset cache and the
-//! chunked full-chip raster ([`ChunkedRaster`]) the streaming engine reads
-//! and writes.
+//! owns the workspace's on-disk formats: the dataset cache, the
+//! checksummed chunked full-chip raster ([`ChunkedRaster`]) the streaming
+//! engine reads and writes, and the crash-safe job journal
+//! ([`JobJournal`]) that makes interrupted streaming runs resumable —
+//! plus the deterministic fault-injection plan ([`FaultPlan`]) used to
+//! test all of the above.
 //!
 //! # Examples
 //!
@@ -28,10 +31,16 @@
 mod cache;
 mod chunked;
 mod config;
+mod crc;
+mod fault;
+mod journal;
 mod pwindow;
 mod synth;
 
 pub use chunked::ChunkedRaster;
+pub use crc::{crc32, crc_stats};
+pub use fault::{FaultOp, FaultPlan};
+pub use journal::{JobJournal, JournalSpec};
 
 pub use cache::{
     cache_path, load_dataset, load_process_window, process_window_cache_path,

@@ -1,0 +1,193 @@
+//! Corruption matrix for the checksummed `LCHRAST2` chunked-raster
+//! format: every header field bit-flipped, torn mid-chunk writes,
+//! truncated tails, and silent chunk-data corruption. The contract under
+//! test is uniform — every corruption is **detected** and surfaced as
+//! `io::ErrorKind::InvalidData` (or the documented kind), and no
+//! corruption ever panics, hangs, or returns garbage pixels.
+
+use litho_data::{ChunkedRaster, FaultPlan};
+use std::fs;
+use std::io::ErrorKind;
+use std::path::PathBuf;
+
+/// Raster geometry: 80×96 pixels in 32-pixel chunks → a 3×3 chunk grid
+/// with ragged right/bottom chunks (the padding paths are in play).
+const WIDTH: usize = 80;
+const HEIGHT: usize = 96;
+const CHUNK: usize = 32;
+const CHUNKS: usize = 9;
+
+/// v2 layout: 8-byte magic, 28-byte body, 4-byte header CRC, then the
+/// per-chunk CRC table, then fixed-stride chunk data.
+const HEADER_LEN: usize = 40;
+const TABLE_LEN: usize = CHUNKS * 4;
+const CHUNK_BYTES: usize = CHUNK * CHUNK * 4;
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("corrupt_mx_{}_{name}", std::process::id()))
+}
+
+/// A finalized raster with deterministic, position-dependent content,
+/// returned as its raw file bytes (the mutation substrate).
+fn pristine_bytes() -> Vec<u8> {
+    let path = tmp("pristine");
+    let mut r = ChunkedRaster::create(&path, WIDTH, HEIGHT, CHUNK).expect("create");
+    let data: Vec<f32> = (0..WIDTH * HEIGHT)
+        .map(|i| (i as f32).mul_add(0.25, -37.0))
+        .collect();
+    r.write_rect(0, 0, HEIGHT, WIDTH, &data).expect("write");
+    r.finalize().expect("finalize");
+    drop(r);
+    let bytes = fs::read(&path).expect("read pristine file");
+    let _ = fs::remove_file(&path);
+    assert_eq!(bytes.len(), HEADER_LEN + TABLE_LEN + CHUNKS * CHUNK_BYTES);
+    bytes
+}
+
+/// Writes `bytes` to a scratch file and tries to `open` it.
+fn open_mutated(name: &str, bytes: &[u8]) -> std::io::Result<ChunkedRaster> {
+    let path = tmp(name);
+    fs::write(&path, bytes).expect("write mutated file");
+    let result = ChunkedRaster::open(&path);
+    let _ = fs::remove_file(&path);
+    result
+}
+
+#[test]
+fn every_header_field_flip_is_detected_at_open() {
+    let pristine = pristine_bytes();
+    // (field name, byte range in the v2 header)
+    let fields: [(&str, std::ops::Range<usize>); 7] = [
+        ("magic", 0..8),
+        ("width", 8..16),
+        ("height", 16..24),
+        ("chunk", 24..28),
+        ("dtype", 28..32),
+        ("finalized", 32..36),
+        ("header_crc", 36..40),
+    ];
+    for (field, range) in fields {
+        for off in range {
+            let mut bytes = pristine.clone();
+            bytes[off] ^= 0xFF;
+            let err = open_mutated(&format!("hdr_{field}_{off}"), &bytes)
+                .expect_err("a corrupted header must not open");
+            assert_eq!(
+                err.kind(),
+                ErrorKind::InvalidData,
+                "field {field}, byte {off}: wrong error kind ({err})"
+            );
+        }
+    }
+}
+
+#[test]
+fn torn_mid_chunk_write_is_a_length_mismatch() {
+    let pristine = pristine_bytes();
+    // the file dies halfway through chunk 4's data: a torn bulk write
+    let torn_len = HEADER_LEN + TABLE_LEN + 4 * CHUNK_BYTES + CHUNK_BYTES / 2;
+    let err = open_mutated("torn_mid_chunk", &pristine[..torn_len])
+        .expect_err("a torn file must not open");
+    assert_eq!(err.kind(), ErrorKind::InvalidData);
+    assert!(
+        err.to_string().contains("length mismatch"),
+        "unexpected message: {err}"
+    );
+}
+
+#[test]
+fn truncated_tail_and_trailing_garbage_are_length_mismatches() {
+    let pristine = pristine_bytes();
+    let err = open_mutated("trunc_tail", &pristine[..pristine.len() - 4])
+        .expect_err("a truncated file must not open");
+    assert_eq!(err.kind(), ErrorKind::InvalidData);
+
+    let mut grown = pristine.clone();
+    grown.extend_from_slice(&[0xAB; 16]);
+    let err = open_mutated("grown_tail", &grown).expect_err("a grown file must not open");
+    assert_eq!(err.kind(), ErrorKind::InvalidData);
+}
+
+#[test]
+fn chunk_data_flip_fails_checksum_with_chunk_coordinates() {
+    let pristine = pristine_bytes();
+    // flip one byte inside chunk (cx=1, cy=1): linear index 1*3 + 1 = 4
+    let mut bytes = pristine.clone();
+    let poison = HEADER_LEN + TABLE_LEN + 4 * CHUNK_BYTES + 17;
+    bytes[poison] ^= 0x01;
+
+    let path = tmp("chunk_flip");
+    fs::write(&path, &bytes).expect("write mutated file");
+    // the header is intact, so open succeeds; the rot is caught lazily
+    let mut r = ChunkedRaster::open(&path).expect("open succeeds, verification is per-read");
+
+    // a read clear of the corrupt chunk still works (detection is
+    // per-chunk, healthy regions stay readable)
+    let mut out = vec![0.0f32; CHUNK * CHUNK];
+    r.read_rect(0, 0, CHUNK, CHUNK, &mut out)
+        .expect("chunk (0, 0) is intact");
+    assert!((out[0] - -37.0).abs() < 1e-6, "intact data reads back");
+
+    // a read touching the flipped chunk reports it, with coordinates
+    let err = r
+        .read_rect(CHUNK, CHUNK, 8, 8, &mut [0.0f32; 64])
+        .expect_err("corrupt chunk must fail verification");
+    assert_eq!(err.kind(), ErrorKind::InvalidData);
+    let msg = err.to_string();
+    assert!(
+        msg.contains("chunk (1, 1)") && msg.contains("checksum"),
+        "message must name the corrupt chunk: {msg}"
+    );
+    drop(r);
+    let _ = fs::remove_file(&path);
+}
+
+#[test]
+fn injected_media_corruption_is_equivalent_to_on_disk_rot() {
+    // the FaultPlan corruption hook must behave exactly like a real flip
+    let path = tmp("fault_corrupt");
+    fs::write(&path, pristine_bytes()).expect("write pristine file");
+    let mut r = ChunkedRaster::open(&path).expect("open");
+    r.inject_faults(FaultPlan::new().with_corrupt_chunk(0));
+    let err = r
+        .read_rect(0, 0, 8, 8, &mut [0.0f32; 64])
+        .expect_err("injected corruption must fail verification");
+    assert_eq!(err.kind(), ErrorKind::InvalidData);
+    assert!(err.to_string().contains("chunk (0, 0)"), "{err}");
+    assert_eq!(r.injected_faults(), 1);
+    drop(r);
+    let _ = fs::remove_file(&path);
+}
+
+#[test]
+fn resume_rejects_corrupt_headers_and_finalized_files() {
+    // a non-finalized raster (writer crashed before finalize)
+    let path = tmp("resume_target");
+    let mut r = ChunkedRaster::create(&path, WIDTH, HEIGHT, CHUNK).expect("create");
+    r.write_rect(0, 0, CHUNK, CHUNK, &[1.0; CHUNK * CHUNK])
+        .expect("write");
+    r.sync_data().expect("sync");
+    drop(r);
+
+    // header flip → resume refuses with InvalidData
+    let bytes = fs::read(&path).expect("read");
+    let mut flipped = bytes.clone();
+    flipped[12] ^= 0xFF; // inside the width field
+    fs::write(&path, &flipped).expect("write flipped");
+    let err = ChunkedRaster::resume(&path).expect_err("corrupt header must not resume");
+    assert_eq!(err.kind(), ErrorKind::InvalidData);
+
+    // intact non-finalized file resumes fine
+    fs::write(&path, &bytes).expect("restore");
+    let resumed = ChunkedRaster::resume(&path).expect("intact torn file resumes");
+    assert!(!resumed.is_finalized());
+    drop(resumed);
+
+    // a *finalized* file must be open()ed, not resumed
+    let finalized = tmp("resume_finalized");
+    fs::write(&finalized, pristine_bytes()).expect("write finalized");
+    let err = ChunkedRaster::resume(&finalized).expect_err("finalized file must not resume");
+    assert_eq!(err.kind(), ErrorKind::InvalidInput);
+    let _ = fs::remove_file(&path);
+    let _ = fs::remove_file(&finalized);
+}

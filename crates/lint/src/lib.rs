@@ -21,6 +21,7 @@
 //! | `infer-alloc` | no fresh allocation inside `*_infer`/`*_fill` hot-path functions |
 //! | `panic-contract` | kernel panic messages come from the contract-string registry |
 //! | `io-discipline` | filesystem access (`std::fs`, `File::open/create`, `OpenOptions`) only inside `crates/data`; local I/O elsewhere needs a pragma |
+//! | `error-discipline` | no `.unwrap()`/`.expect()` on fallible I/O results outside `crates/data`; deliberate aborts need a pragma |
 //!
 //! ## Pragmas
 //!

@@ -1,4 +1,4 @@
-//! The seven workspace-invariant rules.
+//! The eight workspace-invariant rules.
 //!
 //! Each rule encodes one discipline documented in `docs/ARCHITECTURE.md` and
 //! catalogued with examples in `docs/LINTS.md`. Rules operate on the
@@ -30,7 +30,7 @@ impl std::fmt::Display for Finding {
     }
 }
 
-/// The seven discipline rules, in documentation order.
+/// The eight discipline rules, in documentation order.
 pub const RULES: &[&str] = &[
     "pool-discipline",
     "plan-cache",
@@ -39,6 +39,7 @@ pub const RULES: &[&str] = &[
     "infer-alloc",
     "panic-contract",
     "io-discipline",
+    "error-discipline",
 ];
 
 /// Meta-rules emitted by the engine itself (pragma hygiene). Not
@@ -280,6 +281,112 @@ pub fn io_discipline(s: &Scrubbed, file: &str, out: &mut Vec<Finding>) {
         },
         out,
     );
+}
+
+// ---------------------------------------------------------------------------
+// error-discipline
+// ---------------------------------------------------------------------------
+
+/// Substrings that mark a statement as *fallible I/O* context: filesystem
+/// paths, the raster/journal/checkpoint surfaces, and the serving layer's
+/// per-request `Result` field. The error-discipline rule fires only when an
+/// `.unwrap()`/`.expect(` sits in a statement containing one of these —
+/// lock-guard `expect`s and `Option` plumbing stay untouched.
+const IO_CONTEXT_NEEDLES: &[&str] = &[
+    "fs::",
+    "File::",
+    "OpenOptions",
+    "io::Result",
+    "read_rect(",
+    "write_rect(",
+    "read_window(",
+    "write_window(",
+    "save_params(",
+    "load_params(",
+    "swap_checkpoint(",
+    "open_or_create(",
+    ".finalize(",
+    ".sync_all(",
+    ".sync_data(",
+    ".flush(",
+    "stream_with",
+    "resume_stream",
+    ".result",
+];
+
+/// Every occurrence of `needle` in `text` with no identifier-boundary
+/// requirement (the error-discipline needles start with `.`, whose
+/// preceding byte is the receiver).
+fn plain_occurrences(text: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = text[from..].find(needle) {
+        let pos = from + rel;
+        out.push(pos);
+        from = pos + needle.len().max(1);
+    }
+    out
+}
+
+/// Walks backward from `i` to the start of the enclosing statement: the
+/// byte after the nearest `;` or opening brace at bracket depth 0. Brackets
+/// closed while scanning left (`)`/`]`/`}`) are skipped to their opener, so
+/// a `;` inside a closure or match arm does not end the scan early.
+fn statement_start(b: &[u8], mut i: usize) -> usize {
+    let mut depth = 0i64;
+    while i > 0 {
+        match b[i - 1] {
+            b')' | b']' | b'}' => depth += 1,
+            b'(' | b'[' | b'{' => {
+                if depth == 0 {
+                    return i;
+                }
+                depth -= 1;
+            }
+            b';' if depth == 0 => return i,
+            _ => {}
+        }
+        i -= 1;
+    }
+    0
+}
+
+/// **error-discipline** — `.unwrap()`/`.expect(…)` on a fallible I/O result
+/// (filesystem calls, raster/journal/checkpoint operations, per-request
+/// serve results) turns a recoverable fault into a process abort; library
+/// code must propagate (`?`) or handle the error. `crates/data` internals
+/// are exempt (the I/O layer's own invariants panic deliberately at its
+/// boundary), as is test code; anywhere else a deliberate abort carries a
+/// pragma naming its reason.
+pub fn error_discipline(s: &Scrubbed, file: &str, out: &mut Vec<Finding>) {
+    if file.starts_with("crates/data/") {
+        return;
+    }
+    let text = &s.text;
+    let b = text.as_bytes();
+    for call in [".unwrap()", ".expect("] {
+        for pos in plain_occurrences(text, call) {
+            let line = s.line_of(pos);
+            if s.is_test_line(line) {
+                continue;
+            }
+            let start = statement_start(b, pos);
+            let context = &text[start..pos];
+            if IO_CONTEXT_NEEDLES.iter().any(|n| context.contains(n)) {
+                out.push(Finding {
+                    rule: "error-discipline".to_string(),
+                    file: file.to_string(),
+                    line,
+                    message: format!(
+                        "`{}` on a fallible I/O result: propagate (`?`) or handle the error — \
+                         panicking turns a recoverable I/O fault into an abort; pragma-justify \
+                         a deliberate abort (`// litho-lint: allow(error-discipline): <reason>`)",
+                        call.trim_end_matches('(')
+                    ),
+                });
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -674,6 +781,7 @@ pub fn run_all(s: &Scrubbed, file: &str, cfg: &Config, out: &mut Vec<Finding>) {
     plan_cache(s, file, out);
     clock_discipline(s, file, out);
     io_discipline(s, file, out);
+    error_discipline(s, file, out);
     det_iteration(s, file, out);
     infer_alloc(s, file, out);
     panic_contract(s, file, cfg, out);
@@ -774,11 +882,49 @@ mod tests {
     }
 
     #[test]
+    fn error_discipline_fires_on_io_unwraps_only() {
+        let src = "fn f(r: &mut Raster) {\n    let b = std::fs::read(\"p\").unwrap();\n    let t = r.read_rect(0, 0, 4, 4).expect(\"torn\");\n    let g = lock.read().expect(\"lock poisoned\");\n    let v = some_option.unwrap();\n    let _ = (b, t, g, v);\n}\n";
+        let f = findings(src, "crates/core/src/streaming.rs");
+        let ed: Vec<usize> = f
+            .iter()
+            .filter(|f| f.rule == "error-discipline")
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(
+            ed,
+            vec![2, 3],
+            "unwrap on fs:: and expect on read_rect fire; lock guards and Options do not ({f:?})"
+        );
+        // the I/O layer's own internals are exempt
+        assert!(findings(src, "crates/data/src/chunked.rs")
+            .iter()
+            .all(|f| f.rule != "error-discipline"));
+    }
+
+    #[test]
+    fn error_discipline_statement_scan_stops_at_boundaries() {
+        // the fs:: call is in a *previous* statement: the unwrap on the
+        // Option in the next statement must not fire
+        let src = "fn f() {\n    let b = std::fs::read(\"p\")?;\n    let v = maybe.unwrap();\n    let _ = (b, v);\n}\n";
+        let f = findings(src, "crates/core/src/streaming.rs");
+        assert!(f.iter().all(|f| f.rule != "error-discipline"), "{f:?}");
+    }
+
+    #[test]
     fn io_discipline_fires_outside_data_only() {
         let src = "fn f() {\n    let b = std::fs::read(\"p\").unwrap();\n    let f = File::create(\"q\").unwrap();\n    let _ = (b, f);\n}\n#[cfg(test)]\nmod tests {\n    fn t() {\n        std::fs::write(\"tmp\", b\"x\").unwrap();\n    }\n}\n";
         let f = findings(src, "crates/core/src/streaming.rs");
         let rules: Vec<&str> = f.iter().map(|f| f.rule.as_str()).collect();
-        assert_eq!(rules, vec!["io-discipline", "io-discipline"], "{f:?}");
+        assert_eq!(
+            rules,
+            vec![
+                "io-discipline",
+                "io-discipline",
+                "error-discipline",
+                "error-discipline"
+            ],
+            "{f:?}"
+        );
         assert!(findings(src, "crates/data/src/chunked.rs").is_empty());
     }
 

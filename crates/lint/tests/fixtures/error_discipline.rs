@@ -1,0 +1,9 @@
+//! Seed violation: panicking on fallible I/O results outside `crates/data`.
+
+fn load(r: &mut Raster, m: &Model) -> Tile {
+    let tile = r.read_rect(0, 0, 64, 64).unwrap();
+    save_params("ckpt.bin", &m.params()).expect("checkpoint write failed");
+    let guard = lock.read().expect("lock poisoned");
+    drop(guard);
+    tile
+}

@@ -1,0 +1,11 @@
+//! Pragma'd twin of `error_discipline.rs`.
+
+fn load(r: &mut Raster, m: &Model) -> Tile {
+    // litho-lint: allow(error-discipline): fixture twin exercising the waiver path
+    let tile = r.read_rect(0, 0, 64, 64).unwrap();
+    // litho-lint: allow(error-discipline): fixture twin exercising the waiver path
+    save_params("ckpt.bin", &m.params()).expect("checkpoint write failed");
+    let guard = lock.read().expect("lock poisoned");
+    drop(guard);
+    tile
+}

@@ -1,8 +1,8 @@
 //! Seed violation: raw filesystem access outside `crates/data`.
 
-fn load(path: &str) -> Vec<u8> {
-    let bytes = std::fs::read(path).unwrap();
-    let f = File::create("out.bin").unwrap();
+fn load(path: &str) -> std::io::Result<Vec<u8>> {
+    let bytes = std::fs::read(path)?;
+    let f = File::create("out.bin")?;
     drop(f);
-    bytes
+    Ok(bytes)
 }

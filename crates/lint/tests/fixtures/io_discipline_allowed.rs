@@ -1,10 +1,10 @@
 //! Pragma'd twin of `io_discipline.rs`.
 
-fn load(path: &str) -> Vec<u8> {
+fn load(path: &str) -> std::io::Result<Vec<u8>> {
     // litho-lint: allow(io-discipline): fixture twin exercising the waiver path
-    let bytes = std::fs::read(path).unwrap();
+    let bytes = std::fs::read(path)?;
     // litho-lint: allow(io-discipline): fixture twin exercising the waiver path
-    let f = File::create("out.bin").unwrap();
+    let f = File::create("out.bin")?;
     drop(f);
-    bytes
+    Ok(bytes)
 }

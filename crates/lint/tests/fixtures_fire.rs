@@ -170,6 +170,29 @@ fn io_discipline_twin_is_clean() {
 }
 
 #[test]
+fn error_discipline_fires_on_io_panics() {
+    let src = include_str!("fixtures/error_discipline.rs");
+    let got = default_findings("crates/core/src/streaming.rs", src);
+    assert_eq!(
+        got,
+        vec![
+            ("error-discipline".to_string(), 4),
+            ("error-discipline".to_string(), 5),
+        ],
+        "raster/checkpoint unwraps fire; the lock-guard expect on line 6 must not"
+    );
+    // crates/data internals own the I/O layer's invariants: no findings
+    assert!(default_findings("crates/data/src/chunked.rs", src).is_empty());
+}
+
+#[test]
+fn error_discipline_twin_is_clean() {
+    let src = include_str!("fixtures/error_discipline_allowed.rs");
+    let got = default_findings("crates/core/src/streaming.rs", src);
+    assert!(got.is_empty(), "{got:?}");
+}
+
+#[test]
 fn allow_without_reason_is_a_finding_and_suppresses_nothing() {
     let src = include_str!("fixtures/pragma_no_reason.rs");
     let got = default_findings("crates/optics/src/spectrum.rs", src);

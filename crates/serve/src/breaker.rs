@@ -1,0 +1,232 @@
+//! Per-model circuit breaker: stop feeding a failing model slot.
+//!
+//! A model whose forward panics on every input (a bad checkpoint, a
+//! poisoned architecture) would otherwise burn a worker context per
+//! request forever. The breaker watches each slot's *consecutive* failure
+//! count and trips after [`BreakerConfig::failure_threshold`] in a row:
+//!
+//! ```text
+//!            failures < threshold                  cooldown elapsed
+//!  Closed ────────────────────────▶ Open ────────────────────────▶ HalfOpen
+//!    ▲   consecutive failures hit      requests rejected             │
+//!    │   the threshold                 until cooldown                │ one probe
+//!    │                                                               │ admitted
+//!    ├── probe succeeds ◀────────────────────────────────────────────┤
+//!    └── probe fails ──▶ back to Open (cooldown restarts)
+//! ```
+//!
+//! Time comes from the same injectable [`Clock`](crate::Clock) the rest of
+//! the crate runs on, so the whole state machine is provable under
+//! [`SimClock`](crate::SimClock): trip it, advance the clock past the
+//! cooldown, watch exactly one half-open probe go through.
+//!
+//! The breaker itself is clock-free — every method takes `now` — which
+//! keeps it a pure state machine; the [`Server`](crate::Server) feeds it
+//! `clock.now()` at admission and completion.
+
+use std::time::Duration;
+
+/// Trip threshold and recovery cooldown for one model slot's breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive request failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// How long the breaker stays open before allowing a half-open probe.
+    pub cooldown: Duration,
+}
+
+impl BreakerConfig {
+    /// A configuration with explicit knobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `failure_threshold` is zero.
+    #[must_use]
+    pub fn new(failure_threshold: u32, cooldown: Duration) -> Self {
+        assert!(failure_threshold >= 1, "threshold must be at least 1");
+        Self {
+            failure_threshold,
+            cooldown,
+        }
+    }
+}
+
+impl Default for BreakerConfig {
+    /// 5 consecutive failures trip the slot; 100 ms cooldown.
+    fn default() -> Self {
+        Self::new(5, Duration::from_millis(100))
+    }
+}
+
+/// Where a breaker is in its trip/recover cycle at a given instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: requests flow.
+    Closed,
+    /// Tripped: requests are rejected until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: exactly one probe request may test the model.
+    HalfOpen,
+}
+
+/// The per-slot state machine (see the module docs for the diagram).
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    consecutive_failures: u32,
+    /// `Some(t)` while tripped: the instant the breaker opened (or
+    /// re-opened after a failed probe).
+    opened_at: Option<Duration>,
+    /// A half-open probe is in flight; no second probe until it reports.
+    probing: bool,
+    times_opened: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker.
+    #[must_use]
+    pub fn new(cfg: BreakerConfig) -> Self {
+        Self {
+            cfg,
+            consecutive_failures: 0,
+            opened_at: None,
+            probing: false,
+            times_opened: 0,
+        }
+    }
+
+    /// The state at instant `now`.
+    #[must_use]
+    pub fn state(&self, now: Duration) -> BreakerState {
+        match self.opened_at {
+            None => BreakerState::Closed,
+            Some(t) if now < t + self.cfg.cooldown => BreakerState::Open,
+            Some(_) => BreakerState::HalfOpen,
+        }
+    }
+
+    /// How many times this breaker has tripped open.
+    #[must_use]
+    pub fn times_opened(&self) -> u64 {
+        self.times_opened
+    }
+
+    /// Admission gate: may a request proceed at instant `now`? Closed
+    /// always admits; open admits nothing; half-open admits exactly one
+    /// probe (subsequent calls are rejected until the probe's outcome is
+    /// recorded).
+    pub fn try_acquire(&mut self, now: Duration) -> bool {
+        match self.state(now) {
+            BreakerState::Closed => true,
+            BreakerState::Open => false,
+            BreakerState::HalfOpen => {
+                if self.probing {
+                    false
+                } else {
+                    self.probing = true;
+                    true
+                }
+            }
+        }
+    }
+
+    /// A request against this slot completed cleanly: the failure streak
+    /// resets, and a successful half-open probe closes the breaker.
+    pub fn record_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.opened_at = None;
+        self.probing = false;
+    }
+
+    /// A request against this slot failed at instant `now`: the streak
+    /// grows (tripping the breaker at the threshold), and a failed
+    /// half-open probe re-opens it with a fresh cooldown.
+    pub fn record_failure(&mut self, now: Duration) {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        if self.probing {
+            // failed probe: straight back to open, cooldown restarts
+            self.probing = false;
+            self.opened_at = Some(now);
+            self.times_opened += 1;
+        } else if self.opened_at.is_none()
+            && self.consecutive_failures >= self.cfg.failure_threshold
+        {
+            self.opened_at = Some(now);
+            self.times_opened += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: Duration = Duration::from_millis(1);
+
+    fn tripped(cfg: BreakerConfig, now: Duration) -> CircuitBreaker {
+        let mut b = CircuitBreaker::new(cfg);
+        for _ in 0..cfg.failure_threshold {
+            assert!(b.try_acquire(now));
+            b.record_failure(now);
+        }
+        b
+    }
+
+    #[test]
+    fn trips_exactly_at_the_threshold() {
+        let cfg = BreakerConfig::new(3, 10 * MS);
+        let mut b = CircuitBreaker::new(cfg);
+        b.record_failure(Duration::ZERO);
+        b.record_failure(Duration::ZERO);
+        assert_eq!(b.state(Duration::ZERO), BreakerState::Closed);
+        b.record_failure(Duration::ZERO);
+        assert_eq!(b.state(Duration::ZERO), BreakerState::Open);
+        assert!(!b.try_acquire(Duration::ZERO));
+        assert_eq!(b.times_opened(), 1);
+    }
+
+    #[test]
+    fn success_resets_the_streak() {
+        let cfg = BreakerConfig::new(3, 10 * MS);
+        let mut b = CircuitBreaker::new(cfg);
+        b.record_failure(Duration::ZERO);
+        b.record_failure(Duration::ZERO);
+        b.record_success();
+        b.record_failure(Duration::ZERO);
+        b.record_failure(Duration::ZERO);
+        assert_eq!(b.state(Duration::ZERO), BreakerState::Closed);
+    }
+
+    #[test]
+    fn half_open_admits_exactly_one_probe() {
+        let cfg = BreakerConfig::new(2, 10 * MS);
+        let mut b = tripped(cfg, Duration::ZERO);
+        assert!(!b.try_acquire(9 * MS), "still cooling down");
+        assert_eq!(b.state(10 * MS), BreakerState::HalfOpen);
+        assert!(b.try_acquire(10 * MS), "the probe");
+        assert!(!b.try_acquire(10 * MS), "no second probe");
+        assert!(!b.try_acquire(50 * MS), "still no second probe, ever");
+    }
+
+    #[test]
+    fn successful_probe_closes() {
+        let cfg = BreakerConfig::new(2, 10 * MS);
+        let mut b = tripped(cfg, Duration::ZERO);
+        assert!(b.try_acquire(10 * MS));
+        b.record_success();
+        assert_eq!(b.state(10 * MS), BreakerState::Closed);
+        assert!(b.try_acquire(10 * MS));
+    }
+
+    #[test]
+    fn failed_probe_reopens_with_fresh_cooldown() {
+        let cfg = BreakerConfig::new(2, 10 * MS);
+        let mut b = tripped(cfg, Duration::ZERO);
+        assert!(b.try_acquire(12 * MS));
+        b.record_failure(12 * MS);
+        assert_eq!(b.state(12 * MS), BreakerState::Open);
+        assert_eq!(b.state(21 * MS), BreakerState::Open, "cooldown restarted");
+        assert_eq!(b.state(22 * MS), BreakerState::HalfOpen);
+        assert_eq!(b.times_opened(), 2);
+    }
+}

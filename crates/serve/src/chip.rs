@@ -12,6 +12,17 @@
 //! Order independence is what makes this serving-friendly: the batcher is
 //! free to coalesce, reorder across priorities, or interleave tiles of
 //! several chips — cores are disjoint, so assembly is commutative.
+//!
+//! ## Retry budgets
+//!
+//! A tile whose request fails (worker panic, [`crate::ServeError`]) is not
+//! the whole chip's failure: the assembler tracks a bounded per-tile retry
+//! budget ([`ChipAssembler::with_retry_budget`]). The driver reports each
+//! failure via [`ChipAssembler::record_failure`] and gets back a
+//! [`TileDisposition`]: `Retry` (budget left — resubmit the same tile
+//! input) or `Exhausted` (give up on the chip, or quarantine the tile).
+//! Budgets are per tile, so one stubbornly failing tile cannot consume the
+//! retries of its neighbours.
 
 use crate::server::Request;
 use litho_geometry::ChipPlan;
@@ -83,18 +94,31 @@ impl ChipJob {
     }
 }
 
+/// What to do with a tile after [`ChipAssembler::record_failure`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TileDisposition {
+    /// Budget remains: resubmit the same tile input.
+    Retry,
+    /// The tile's retry budget is spent; it will not complete.
+    Exhausted,
+}
+
 /// Collects per-tile predictions back into the full-chip output. Accepts
-/// tiles in any order, each exactly once.
+/// tiles in any order, each exactly once, and tracks a bounded per-tile
+/// retry budget for failed requests.
 #[derive(Debug)]
 pub struct ChipAssembler {
     plan: ChipPlan,
     out: Tensor,
     filled: Vec<bool>,
     remaining: usize,
+    retry_budget: u32,
+    failures: Vec<u32>,
 }
 
 impl ChipAssembler {
-    /// An empty assembler for `plan`.
+    /// An empty assembler for `plan` with no retry budget (any failure is
+    /// immediately [`TileDisposition::Exhausted`]).
     #[must_use]
     pub fn new(plan: ChipPlan) -> Self {
         let n = plan.len();
@@ -103,7 +127,41 @@ impl ChipAssembler {
             out: Tensor::zeros(&[1, 1, plan.chip_h(), plan.chip_w()]),
             filled: vec![false; n],
             remaining: n,
+            retry_budget: 0,
+            failures: vec![0; n],
         }
+    }
+
+    /// Allows each tile up to `retries` resubmissions after failures.
+    #[must_use]
+    pub fn with_retry_budget(mut self, retries: u32) -> Self {
+        self.retry_budget = retries;
+        self
+    }
+
+    /// Reports that tile `index`'s request failed; returns whether the
+    /// driver should resubmit it or give up on it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range or the tile already completed.
+    pub fn record_failure(&mut self, index: usize) -> TileDisposition {
+        assert!(
+            !self.filled[index],
+            "tile {index} already completed; a late failure cannot apply"
+        );
+        self.failures[index] += 1;
+        if self.failures[index] <= self.retry_budget {
+            TileDisposition::Retry
+        } else {
+            TileDisposition::Exhausted
+        }
+    }
+
+    /// Failures recorded for tile `index` so far.
+    #[must_use]
+    pub fn failures(&self, index: usize) -> u32 {
+        self.failures[index]
     }
 
     /// Stitches tile `index`'s prediction: crops the core out of the
@@ -218,6 +276,72 @@ mod tests {
         // ProbeModel doubles every pixel; halos are cropped away exactly
         let want: Vec<f32> = x.as_slice().iter().map(|v| v * 2.0).collect();
         assert_eq!(got.as_slice(), &want[..]);
+    }
+
+    #[test]
+    fn retry_budget_absorbs_a_transiently_failing_model() {
+        use crate::testing::FlakyModel;
+        use litho_parallel::Pool;
+
+        let plan = ChipPlan::new(20, 14, 8, 3);
+        let job = ChipJob::new(plan);
+        let x = chip(14, 20);
+        // every tile's first attempt panics; retries succeed
+        let flaky = FlakyModel::new(2.0, job.tile_count() as u32);
+        let mut server = Server::with_pool(
+            ModelZoo::with_default(Box::new(flaky)),
+            ServeConfig {
+                queue_capacity: job.tile_count(),
+                ..ServeConfig::default()
+            },
+            Arc::new(SimClock::new()),
+            &Pool::new(1),
+        );
+        let mut asm = ChipAssembler::new(plan).with_retry_budget(2);
+        // ticket -> tile index, maintained across resubmissions
+        let mut owner: Vec<(crate::TicketId, usize)> = job
+            .requests(&x)
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| (server.submit(r).unwrap(), i))
+            .collect();
+        while !asm.is_complete() {
+            server.flush_now();
+            for done in server.drain_completed() {
+                let pos = owner.iter().position(|&(t, _)| t == done.ticket).unwrap();
+                let (_, index) = owner.swap_remove(pos);
+                match done.result {
+                    Ok(pred) => asm.accept(index, &pred),
+                    Err(_) => match asm.record_failure(index) {
+                        TileDisposition::Retry => {
+                            let t = server
+                                .submit(Request::new(job.tile_input(&x, index)))
+                                .unwrap();
+                            owner.push((t, index));
+                        }
+                        TileDisposition::Exhausted => panic!("budget must suffice"),
+                    },
+                }
+            }
+        }
+        for i in 0..job.tile_count() {
+            assert_eq!(asm.failures(i), 1, "each tile failed exactly once");
+        }
+        let got = asm.finish();
+        let want: Vec<f32> = x.as_slice().iter().map(|v| v * 2.0).collect();
+        assert_eq!(got.as_slice(), &want[..], "retried chip is bit-identical");
+    }
+
+    #[test]
+    fn exhausted_budget_reports_and_stops_retrying() {
+        let plan = ChipPlan::new(16, 16, 8, 0);
+        let mut asm = ChipAssembler::new(plan).with_retry_budget(1);
+        assert_eq!(asm.record_failure(2), TileDisposition::Retry);
+        assert_eq!(asm.record_failure(2), TileDisposition::Exhausted);
+        assert_eq!(asm.record_failure(2), TileDisposition::Exhausted);
+        assert_eq!(asm.failures(2), 3);
+        assert_eq!(asm.failures(0), 0, "budgets are per tile");
+        assert_eq!(asm.record_failure(0), TileDisposition::Retry);
     }
 
     #[test]

@@ -21,22 +21,25 @@
 //!    checkpoint can never replace a serving model.
 //!
 //! Module map: [`clock`] (time injection), [`server`] (queue + batcher +
-//! execution), [`zoo`] (named models, hot-swap), [`chip`] (full-chip jobs:
-//! per-super-tile requests and order-independent assembly over the same
+//! execution), [`breaker`] (per-model circuit breaking), [`zoo`] (named
+//! models, hot-swap), [`chip`] (full-chip jobs: per-super-tile requests
+//! with bounded retry budgets, and order-independent assembly over the same
 //! `litho_geometry::ChipPlan` the streaming engine uses), [`testing`] (the
-//! instrumented [`ProbeModel`](testing::ProbeModel) the suites and bench
-//! share).
+//! instrumented [`ProbeModel`](testing::ProbeModel) and
+//! [`FlakyModel`](testing::FlakyModel) the suites and bench share).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod breaker;
 pub mod chip;
 pub mod clock;
 pub mod server;
 pub mod testing;
 pub mod zoo;
 
-pub use chip::{ChipAssembler, ChipJob};
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use chip::{ChipAssembler, ChipJob, TileDisposition};
 pub use clock::{Clock, RealClock, SimClock};
 pub use server::{
     Completed, Priority, Rejected, Request, ServeConfig, ServeError, ServeStats, Server, TicketId,

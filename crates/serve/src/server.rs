@@ -40,13 +40,25 @@
 //! between admission and execution does not retarget queued requests: they
 //! finish on the model generation they were admitted under (each
 //! [`Completed`] records it).
+//!
+//! ## Circuit breaking
+//!
+//! With [`ServeConfig::breaker`] set, each model slot gets a
+//! [`CircuitBreaker`]: a run of consecutive request failures (worker
+//! panics) trips the slot open and further requests for it are rejected at
+//! admission ([`Rejected::CircuitOpen`]) instead of burning worker
+//! contexts. After the cooldown (measured on the injected [`Clock`], so
+//! [`SimClock`](crate::SimClock) drives it in tests) exactly one half-open
+//! probe request is admitted; its outcome closes or re-opens the slot.
+//! Breakers are per-slot: a melting-down model never blocks its neighbours.
 
+use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 use crate::clock::Clock;
 use crate::zoo::{ModelEntry, ModelZoo, DEFAULT_MODEL};
 use litho_nn::CtxBank;
 use litho_parallel::Pool;
 use litho_tensor::Tensor;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Duration;
@@ -62,6 +74,9 @@ pub struct ServeConfig {
     /// Deadline slack per request: a request admitted at `t` must be
     /// flushed by `t + max_wait`, even if the batch is not full.
     pub max_wait: Duration,
+    /// Per-model circuit breaking; `None` (the default) disables it and
+    /// every request is admitted regardless of the slot's failure history.
+    pub breaker: Option<BreakerConfig>,
 }
 
 impl Default for ServeConfig {
@@ -70,6 +85,7 @@ impl Default for ServeConfig {
             queue_capacity: 64,
             max_batch: 8,
             max_wait: Duration::from_millis(2),
+            breaker: None,
         }
     }
 }
@@ -158,6 +174,12 @@ pub enum Rejected {
     },
     /// No zoo slot is registered under this name.
     UnknownModel(String),
+    /// The model's circuit breaker is open (or its half-open probe is
+    /// already in flight); the request was rejected at admission.
+    CircuitOpen {
+        /// The model slot whose breaker rejected the request.
+        model: String,
+    },
 }
 
 impl std::fmt::Display for Rejected {
@@ -167,6 +189,9 @@ impl std::fmt::Display for Rejected {
                 write!(f, "queue full (capacity {capacity}); request shed")
             }
             Rejected::UnknownModel(name) => write!(f, "no model registered under '{name}'"),
+            Rejected::CircuitOpen { model } => {
+                write!(f, "circuit breaker open for model '{model}'")
+            }
         }
     }
 }
@@ -248,6 +273,11 @@ pub struct ServeStats {
     pub deadline_flushes: u64,
     /// Batches triggered by [`Server::flush_now`].
     pub forced_flushes: u64,
+    /// Requests rejected at admission by an open circuit breaker.
+    pub circuit_rejected: u64,
+    /// Times any model's circuit breaker tripped open (including re-opens
+    /// after a failed half-open probe).
+    pub circuit_opened: u64,
 }
 
 struct Pending {
@@ -255,6 +285,7 @@ struct Pending {
     priority: Priority,
     arrival: Duration,
     deadline: Duration,
+    model: String,
     entry: Arc<ModelEntry>,
     input: Tensor,
 }
@@ -299,6 +330,9 @@ pub struct Server {
     next_ticket: u64,
     done: VecDeque<Completed>,
     stats: ServeStats,
+    // BTreeMap keyed by slot name: breakers are created lazily on first
+    // submit/completion for a model, only when cfg.breaker is set.
+    breakers: BTreeMap<String, CircuitBreaker>,
 }
 
 impl std::fmt::Debug for Server {
@@ -327,6 +361,7 @@ impl Server {
             queue_capacity: cfg.queue_capacity.max(1),
             max_batch: cfg.max_batch.max(1),
             max_wait: cfg.max_wait,
+            breaker: cfg.breaker,
         };
         Self {
             clock,
@@ -338,6 +373,7 @@ impl Server {
             next_ticket: 0,
             done: VecDeque::new(),
             stats: ServeStats::default(),
+            breakers: BTreeMap::new(),
         }
     }
 
@@ -386,8 +422,11 @@ impl Server {
     /// # Errors
     ///
     /// [`Rejected::UnknownModel`] if the request names an unregistered
-    /// model; [`Rejected::QueueFull`] if the bounded queue is at capacity.
-    /// Neither consumes a ticket or touches a worker context.
+    /// model; [`Rejected::QueueFull`] if the bounded queue is at capacity;
+    /// [`Rejected::CircuitOpen`] if the model's breaker is open. None of
+    /// them consumes a ticket or touches a worker context. The checks run
+    /// in that order so that a half-open probe token is never consumed by a
+    /// request that would have been shed anyway.
     pub fn submit(&mut self, req: Request) -> Result<TicketId, Rejected> {
         let name = req.model.as_deref().unwrap_or(DEFAULT_MODEL);
         let Some(entry) = self.zoo.resolve(name) else {
@@ -400,20 +439,41 @@ impl Server {
                 capacity: self.cfg.queue_capacity,
             });
         }
+        let arrival = self.clock.now();
+        if let Some(bcfg) = self.cfg.breaker {
+            let breaker = self
+                .breakers
+                .entry(name.to_string())
+                .or_insert_with(|| CircuitBreaker::new(bcfg));
+            if !breaker.try_acquire(arrival) {
+                self.stats.circuit_rejected += 1;
+                return Err(Rejected::CircuitOpen {
+                    model: name.to_string(),
+                });
+            }
+        }
         let ticket = TicketId(self.next_ticket);
         self.next_ticket += 1;
-        let arrival = self.clock.now();
         self.queues[req.priority.index()].push_back(Pending {
             ticket,
             priority: req.priority,
             arrival,
             deadline: arrival + self.cfg.max_wait,
+            model: name.to_string(),
             entry,
             input: req.input,
         });
         self.queued += 1;
         self.stats.admitted += 1;
         Ok(ticket)
+    }
+
+    /// The circuit-breaker state of `model` at the current clock instant.
+    /// `None` when breaking is disabled or no request has named the model
+    /// yet (an untouched breaker is trivially closed).
+    pub fn breaker_state(&self, model: &str) -> Option<BreakerState> {
+        let now = self.clock.now();
+        self.breakers.get(model).map(|b| b.state(now))
     }
 
     /// The earliest deadline among queued requests — the next time a driver
@@ -511,19 +571,36 @@ impl Server {
                 priority,
                 arrival,
                 deadline,
+                model,
                 entry,
                 input,
             } = p;
             let generation = entry.generation();
             let result = catch_unwind(AssertUnwindSafe(|| entry.model().infer(ctx, input)))
                 .map_err(|payload| ServeError::WorkerPanicked(panic_message(payload.as_ref())));
-            (ticket, priority, arrival, deadline, generation, result)
+            (
+                ticket, priority, arrival, deadline, model, generation, result,
+            )
         });
         let completed_at = self.clock.now();
-        for (ticket, priority, arrival, deadline, generation, result) in results {
+        for (ticket, priority, arrival, deadline, model, generation, result) in results {
             match &result {
                 Ok(_) => self.stats.completed += 1,
                 Err(_) => self.stats.failed += 1,
+            }
+            if let Some(bcfg) = self.cfg.breaker {
+                let breaker = self
+                    .breakers
+                    .entry(model)
+                    .or_insert_with(|| CircuitBreaker::new(bcfg));
+                match &result {
+                    Ok(_) => breaker.record_success(),
+                    Err(_) => {
+                        let before = breaker.times_opened();
+                        breaker.record_failure(completed_at);
+                        self.stats.circuit_opened += breaker.times_opened() - before;
+                    }
+                }
             }
             self.done.push_back(Completed {
                 ticket,
@@ -611,6 +688,7 @@ mod tests {
             max_batch: 2,
             queue_capacity: 64,
             max_wait: Duration::from_millis(1),
+            ..ServeConfig::default()
         });
         // 5 requests, all overdue after the jump: poll must run ⌈5/2⌉
         // batches in one call, leaving nothing overdue behind
@@ -682,8 +760,98 @@ mod tests {
             queue_capacity: 0,
             max_batch: 0,
             max_wait: Duration::ZERO,
+            breaker: None,
         });
         assert_eq!(server.config().queue_capacity, 1);
         assert_eq!(server.config().max_batch, 1);
+    }
+
+    #[test]
+    fn breaker_trips_after_consecutive_failures_and_rejects_at_admission() {
+        let clock = Arc::new(SimClock::new());
+        let zoo = ModelZoo::with_default(Box::new(ProbeModel::new(2.0)));
+        let cfg = ServeConfig {
+            max_batch: 1,
+            breaker: Some(BreakerConfig::new(2, Duration::from_millis(50))),
+            ..ServeConfig::default()
+        };
+        let mut server = Server::with_pool(zoo, cfg, clock.clone(), &Pool::new(1));
+        // two consecutive panics (NaN input) trip the default slot
+        for _ in 0..2 {
+            server.submit(Request::new(tile(&[f32::NAN]))).unwrap();
+            server.flush_now();
+        }
+        assert_eq!(server.breaker_state("default"), Some(BreakerState::Open));
+        assert_eq!(server.stats().circuit_opened, 1);
+        let err = server.submit(Request::new(tile(&[1.0]))).unwrap_err();
+        assert_eq!(
+            err,
+            Rejected::CircuitOpen {
+                model: "default".to_string()
+            }
+        );
+        assert_eq!(server.stats().circuit_rejected, 1);
+        // a healthy neighbour slot is unaffected
+        server
+            .zoo()
+            .register("other", Box::new(ProbeModel::new(3.0)));
+        let t = server
+            .submit(Request::new(tile(&[2.0])).with_model("other"))
+            .unwrap();
+        server.flush_now();
+        assert_eq!(server.take(t).unwrap().result.unwrap().as_slice(), &[6.0]);
+    }
+
+    #[test]
+    fn half_open_probe_is_single_and_its_outcome_decides() {
+        let clock = Arc::new(SimClock::new());
+        let zoo = ModelZoo::with_default(Box::new(ProbeModel::new(2.0)));
+        let cfg = ServeConfig {
+            max_batch: 1,
+            breaker: Some(BreakerConfig::new(1, Duration::from_millis(10))),
+            ..ServeConfig::default()
+        };
+        let mut server = Server::with_pool(zoo, cfg, clock.clone(), &Pool::new(1));
+        // one panic trips the threshold-1 breaker
+        server.submit(Request::new(tile(&[f32::NAN]))).unwrap();
+        server.flush_now();
+        assert_eq!(server.breaker_state("default"), Some(BreakerState::Open));
+        assert!(matches!(
+            server.submit(Request::new(tile(&[1.0]))).unwrap_err(),
+            Rejected::CircuitOpen { .. }
+        ));
+        // cooldown elapses on the simulated clock: exactly one probe admits
+        clock.advance(Duration::from_millis(10));
+        assert_eq!(
+            server.breaker_state("default"),
+            Some(BreakerState::HalfOpen)
+        );
+        let probe = server.submit(Request::new(tile(&[4.0]))).unwrap();
+        assert!(
+            matches!(
+                server.submit(Request::new(tile(&[5.0]))).unwrap_err(),
+                Rejected::CircuitOpen { .. }
+            ),
+            "second request during the probe must be rejected"
+        );
+        server.flush_now();
+        assert_eq!(
+            server.take(probe).unwrap().result.unwrap().as_slice(),
+            &[8.0]
+        );
+        // probe succeeded: the slot is closed and serves normally again
+        assert_eq!(server.breaker_state("default"), Some(BreakerState::Closed));
+        let t = server.submit(Request::new(tile(&[1.5]))).unwrap();
+        server.flush_now();
+        assert_eq!(server.take(t).unwrap().result.unwrap().as_slice(), &[3.0]);
+
+        // trip again, then fail the probe: breaker re-opens, cooldown restarts
+        server.submit(Request::new(tile(&[f32::NAN]))).unwrap();
+        server.flush_now();
+        clock.advance(Duration::from_millis(10));
+        server.submit(Request::new(tile(&[f32::NAN]))).unwrap();
+        server.flush_now();
+        assert_eq!(server.breaker_state("default"), Some(BreakerState::Open));
+        assert_eq!(server.stats().circuit_opened, 3);
     }
 }

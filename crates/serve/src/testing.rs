@@ -9,6 +9,7 @@
 
 use litho_nn::{ops, Graph, InferCtx, Module, Param, Var};
 use litho_tensor::Tensor;
+use std::sync::atomic::{AtomicU32, Ordering};
 
 /// A one-parameter model: `y = scale · x`, with a deliberate panic on
 /// non-finite inputs.
@@ -52,6 +53,63 @@ impl Module for ProbeModel {
             x.as_slice().iter().all(|v| v.is_finite()),
             "ProbeModel fed a non-finite input"
         );
+        let s = self.scale();
+        let mut out = ctx.alloc(x.shape());
+        for (o, &v) in out.as_mut_slice().iter_mut().zip(x.as_slice()) {
+            *o = s * v;
+        }
+        ctx.recycle(x);
+        out
+    }
+
+    fn params(&self) -> Vec<Param> {
+        vec![self.scale.clone()]
+    }
+}
+
+/// A model that panics for its first `fail_first` `infer` calls, then
+/// behaves like [`ProbeModel`] (`y = scale · x`) forever after.
+///
+/// This is the retry/circuit-breaker test vehicle: with a single-worker
+/// pool the failure order is deterministic, so suites can prove "trips
+/// after exactly N failures", "half-open probe succeeds", and "per-tile
+/// retry budgets absorb a transient model" without wall-clock sleeps.
+#[derive(Debug)]
+pub struct FlakyModel {
+    scale: Param,
+    failures_left: AtomicU32,
+}
+
+impl FlakyModel {
+    /// A model whose first `fail_first` inferences panic.
+    pub fn new(scale: f32, fail_first: u32) -> Self {
+        Self {
+            scale: Param::new(Tensor::from_vec(vec![scale], &[1]), "probe.scale"),
+            failures_left: AtomicU32::new(fail_first),
+        }
+    }
+
+    /// Failures this model will still inject.
+    pub fn failures_left(&self) -> u32 {
+        self.failures_left.load(Ordering::SeqCst)
+    }
+
+    fn scale(&self) -> f32 {
+        self.scale.value().as_slice()[0]
+    }
+}
+
+impl Module for FlakyModel {
+    fn forward(&self, g: &mut Graph, x: Var) -> Var {
+        ops::scale(g, x, self.scale())
+    }
+
+    fn infer(&self, ctx: &mut InferCtx, x: Tensor) -> Tensor {
+        let prev = self
+            .failures_left
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+            .unwrap_or(0);
+        assert!(prev == 0, "FlakyModel injected failure ({prev} left)");
         let s = self.scale();
         let mut out = ctx.alloc(x.shape());
         for (o, &v) in out.as_mut_slice().iter_mut().zip(x.as_slice()) {

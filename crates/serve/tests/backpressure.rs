@@ -21,6 +21,7 @@ fn server(capacity: usize, max_batch: usize, threads: usize) -> Server {
             queue_capacity: capacity,
             max_batch,
             max_wait: Duration::from_millis(1),
+            ..ServeConfig::default()
         },
         Arc::new(SimClock::new()),
         &Pool::new(threads),

@@ -97,6 +97,7 @@ proptest! {
             queue_capacity: schedule.len().max(1),
             max_batch,
             max_wait: Duration::from_micros(max_wait_us),
+            ..ServeConfig::default()
         };
         let mut transcripts: Vec<Vec<(TicketId, Duration, Vec<u32>)>> = Vec::new();
         for threads in POOLS {

@@ -446,6 +446,18 @@ impl Tensor {
     pub fn all_finite(&self) -> bool {
         self.data.iter().all(|v| v.is_finite())
     }
+
+    /// Flat index and value of the first non-finite element (NaN/±Inf), or
+    /// `None` if the tensor is fully finite. The diagnostic twin of
+    /// [`Tensor::all_finite`] — fault-tolerant consumers use it to say
+    /// *where* an output went bad.
+    pub fn first_non_finite(&self) -> Option<(usize, f32)> {
+        self.data
+            .iter()
+            .enumerate()
+            .find(|(_, v)| !v.is_finite())
+            .map(|(i, &v)| (i, v))
+    }
 }
 
 impl fmt::Debug for Tensor {

@@ -60,6 +60,7 @@ fn served_tiles_match_predict_batch_goldens() {
             queue_capacity: 32,
             max_batch: 4,
             max_wait: Duration::from_millis(2),
+            ..ServeConfig::default()
         },
         clock.clone(),
         &Pool::new(2),

@@ -1,0 +1,243 @@
+//! Fault-tolerance contract of the streaming engine under injected,
+//! seeded, wall-clock-free fault schedules:
+//!
+//! - transient tile I/O faults (EINTR-style, every op failing its first
+//!   attempt) are absorbed by the retry policy and the finished raster is
+//!   **byte-identical** to a fault-free run at 1, 2 and 4 threads;
+//! - the backoff schedule is exactly the policy's exponential series,
+//!   observed through a recording sleeper (no real sleeping, no wall
+//!   clock);
+//! - without a retry policy the same faults abort the run — retries are
+//!   what buys survival, not luck;
+//! - a tile whose simulation produces non-finite values is quarantined
+//!   alone, with coordinates, while the rest of the chip streams clean.
+
+use litho::data::{ChunkedRaster, FaultPlan};
+use litho::doinn::{
+    ChipStreamer, Doinn, DoinnConfig, NoSleep, RecordingSleeper, RetryPolicy, StreamConfig,
+};
+use litho::nn::Module;
+use litho::parallel::Pool;
+use litho::tensor::init::{randn, seeded_rng};
+use litho::tensor::Tensor;
+use std::fs;
+use std::io::ErrorKind;
+use std::path::PathBuf;
+use std::time::Duration;
+
+const TRAIN: usize = 32;
+/// 96×112 with 48-pixel super-tiles → a 2×3 tile grid (6 tiles).
+const CHIP_H: usize = 96;
+const CHIP_W: usize = 112;
+const TILES: u64 = 6;
+const RASTER_CHUNK: usize = 32;
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("stream_flt_{}_{name}", std::process::id()))
+}
+
+fn model(seed: u64) -> Doinn {
+    let m = Doinn::new(DoinnConfig::tiny(), &mut seeded_rng(seed));
+    m.set_training(false);
+    m
+}
+
+fn chip(seed: u64) -> Tensor {
+    randn(&[1, 1, CHIP_H, CHIP_W], 0.5, &mut seeded_rng(seed))
+}
+
+fn cfg_with_retry() -> StreamConfig {
+    StreamConfig::new(48, 16, 2).with_retry(RetryPolicy::new(
+        3,
+        Duration::from_millis(10),
+        Duration::from_millis(40),
+    ))
+}
+
+/// A finalized on-disk source raster holding `chip(7)`.
+fn source_raster(path: &PathBuf) -> ChunkedRaster {
+    let mut r =
+        ChunkedRaster::create(path, CHIP_W, CHIP_H, RASTER_CHUNK).expect("create source raster");
+    r.write_rect(0, 0, CHIP_H, CHIP_W, chip(7).as_slice())
+        .expect("fill source");
+    r.finalize().expect("finalize source");
+    drop(r);
+    ChunkedRaster::open(path).expect("reopen source")
+}
+
+#[test]
+fn transient_faults_on_every_op_are_absorbed_bit_identically() {
+    let model = model(0xA5);
+    let streamer = ChipStreamer::new(&model, TRAIN);
+    let src_path = tmp("trans_src");
+    let _ = source_raster(&src_path); // drop: each run reopens it
+
+    // fault-free baseline
+    let base_path = tmp("trans_base");
+    let mut src = ChunkedRaster::open(&src_path).expect("open source");
+    let mut sink =
+        ChunkedRaster::create(&base_path, CHIP_W, CHIP_H, RASTER_CHUNK).expect("create baseline");
+    let report = streamer
+        .stream_with_pool(&mut src, &mut sink, &cfg_with_retry(), &Pool::new(1))
+        .expect("fault-free run");
+    assert_eq!(report.io_retries, 0);
+    drop(sink);
+    let want = fs::read(&base_path).expect("read baseline");
+
+    for threads in [1usize, 2, 4] {
+        let pool = Pool::new(threads);
+        let out_path = tmp(&format!("trans_t{threads}"));
+        let mut src = ChunkedRaster::open(&src_path).expect("open source");
+        // percent = 100: every distinct read *and* write fails its first
+        // attempt — far past the "≥10% of ops" bar, and deterministic
+        src.inject_faults(FaultPlan::new().with_transient(0xF417, 100));
+        let mut sink =
+            ChunkedRaster::create(&out_path, CHIP_W, CHIP_H, RASTER_CHUNK).expect("create sink");
+        sink.inject_faults(FaultPlan::new().with_transient(0xF417, 100));
+
+        let mut sleeper = RecordingSleeper::default();
+        let report = streamer
+            .stream_with_sleeper(&mut src, &mut sink, &cfg_with_retry(), &pool, &mut sleeper)
+            .expect("retries must carry the run to completion");
+        assert!(report.is_clean());
+        // one tile read + one tile write per tile, each faulted once
+        assert_eq!(report.io_retries, 2 * TILES, "threads={threads}");
+        assert_eq!(
+            report.io_retries,
+            src.injected_faults() + sink.injected_faults()
+        );
+        // each op failed exactly once → every backoff is the base backoff,
+        // and none of it touched the wall clock
+        assert_eq!(sleeper.slept.len() as u64, report.io_retries);
+        assert!(sleeper
+            .slept
+            .iter()
+            .all(|d| *d == Duration::from_millis(10)));
+
+        drop(sink);
+        let got = fs::read(&out_path).expect("read faulted-run output");
+        assert_eq!(
+            want, got,
+            "threads={threads}: faulted run must be byte-identical to fault-free"
+        );
+        let _ = fs::remove_file(&out_path);
+    }
+    for p in [&src_path, &base_path] {
+        let _ = fs::remove_file(p);
+    }
+}
+
+#[test]
+fn without_a_retry_policy_the_same_faults_abort_the_run() {
+    let model = model(0xA5);
+    let streamer = ChipStreamer::new(&model, TRAIN);
+    let src_path = tmp("noretry_src");
+    let mut src = source_raster(&src_path);
+    src.inject_faults(FaultPlan::new().with_transient(0xF417, 100));
+    let mut sink = Tensor::zeros(&[1, 1, CHIP_H, CHIP_W]);
+    // default StreamConfig: RetryPolicy::none()
+    let err = streamer
+        .stream_with_pool(
+            &mut src,
+            &mut sink,
+            &StreamConfig::new(48, 16, 2),
+            &Pool::new(1),
+        )
+        .expect_err("with no retry budget the first transient fault is fatal");
+    assert_eq!(err.kind(), ErrorKind::Interrupted);
+    let _ = fs::remove_file(&src_path);
+}
+
+#[test]
+fn backoff_schedule_is_the_policy_exponential_series() {
+    let model = model(0xA5);
+    let streamer = ChipStreamer::new(&model, TRAIN);
+    let src_path = tmp("backoff_src");
+    let mut src = source_raster(&src_path);
+    // the first tile read fails 3 times, then clears (budget is 4 attempts)
+    src.inject_faults(FaultPlan::new().with_nth_read(0, 3, ErrorKind::TimedOut));
+    let cfg = StreamConfig::new(48, 16, 2).with_retry(RetryPolicy::new(
+        4,
+        Duration::from_millis(10),
+        Duration::from_millis(25),
+    ));
+    let mut sink = Tensor::zeros(&[1, 1, CHIP_H, CHIP_W]);
+    let mut sleeper = RecordingSleeper::default();
+    let report = streamer
+        .stream_with_sleeper(&mut src, &mut sink, &cfg, &Pool::new(1), &mut sleeper)
+        .expect("three faults fit in a four-attempt budget");
+    assert_eq!(report.io_retries, 3);
+    // 10 ms, doubled to 20 ms, then capped at 25 ms
+    assert_eq!(
+        sleeper.slept,
+        vec![
+            Duration::from_millis(10),
+            Duration::from_millis(20),
+            Duration::from_millis(25),
+        ]
+    );
+
+    // one more fault than the budget absorbs → the error surfaces
+    let mut src = ChunkedRaster::open(&src_path).expect("reopen source");
+    src.inject_faults(FaultPlan::new().with_nth_read(0, 4, ErrorKind::TimedOut));
+    let mut sink = Tensor::zeros(&[1, 1, CHIP_H, CHIP_W]);
+    let err = streamer
+        .stream_with_sleeper(&mut src, &mut sink, &cfg, &Pool::new(1), &mut NoSleep)
+        .expect_err("a fault outlasting the budget is fatal");
+    assert_eq!(err.kind(), ErrorKind::TimedOut);
+    let _ = fs::remove_file(&src_path);
+}
+
+#[test]
+fn poisoned_tile_is_quarantined_alone_with_coordinates() {
+    let model = model(0xA5);
+    let streamer = ChipStreamer::new(&model, TRAIN);
+    // NaN at (8, 8): inside tile 0's window, clear of every neighbour's
+    // halo-extended window (the nearest starts at row/col 32)
+    let mut poisoned = chip(7).into_vec();
+    poisoned[8 * CHIP_W + 8] = f32::NAN;
+
+    let mut outputs: Vec<Vec<f32>> = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let mut src = Tensor::from_vec(poisoned.clone(), &[1, 1, CHIP_H, CHIP_W]);
+        let mut sink = Tensor::full(&[1, 1, CHIP_H, CHIP_W], f32::NAN);
+        let report = streamer
+            .stream_with_pool(
+                &mut src,
+                &mut sink,
+                &StreamConfig::new(48, 16, 2),
+                &Pool::new(threads),
+            )
+            .expect("a poisoned tile must not abort the stream");
+        assert!(!report.is_clean());
+        assert_eq!(report.quarantined.len(), 1, "exactly one tile poisoned");
+        let q = &report.quarantined[0];
+        assert_eq!(
+            (q.index, q.tile_y, q.tile_x),
+            (0, 0, 0),
+            "threads={threads}"
+        );
+        assert!(
+            q.reason.contains("finite") || q.reason.contains("panick"),
+            "reason must say what happened: {}",
+            q.reason
+        );
+        assert_eq!(report.computed, report.tiles());
+        // the quarantined core flushed as zeros: full coverage, no NaN
+        assert!(sink.all_finite(), "threads={threads}: unflushed pixels");
+        outputs.push(sink.into_vec());
+    }
+    assert_eq!(outputs[0], outputs[1], "quarantine must stay deterministic");
+    assert_eq!(outputs[0], outputs[2], "quarantine must stay deterministic");
+
+    // tile 0's core is zeros; its healthy right neighbour is not
+    let out = &outputs[0];
+    assert!(
+        (0..48).all(|y| (0..48).all(|x| out[y * CHIP_W + x] == 0.0)),
+        "the poisoned tile's core must flush as zeros"
+    );
+    assert!(
+        (0..48).any(|y| (48..96).any(|x| out[y * CHIP_W + x] != 0.0)),
+        "healthy tiles must stream real data"
+    );
+}

@@ -1,0 +1,185 @@
+//! Crash-safe resume contract of the streaming engine: a run killed at
+//! tile `k` (for `k` ∈ {0, 1, mid, last}) and then resumed through the
+//! job journal produces a raster file **byte-identical** — header, CRC
+//! table and pixels — to an uninterrupted run, at 1, 2 and 4 worker
+//! threads. The kill is a deterministic injected fault (a permanent
+//! `ErrorKind::Other` on the k-th sink write), so the sweep is seeded and
+//! wall-clock-free.
+
+use litho::data::{ChunkedRaster, FaultPlan, JobJournal};
+use litho::doinn::{ChipStreamer, Doinn, DoinnConfig, StreamConfig};
+use litho::nn::Module;
+use litho::parallel::Pool;
+use litho::tensor::init::{randn, seeded_rng};
+use litho::tensor::Tensor;
+use std::fs;
+use std::io::ErrorKind;
+use std::path::PathBuf;
+
+const TRAIN: usize = 32;
+/// 96×112 with 48-pixel super-tiles → a 2×3 tile grid (6 tiles), with a
+/// clamped sliver column on the right.
+const CHIP_H: usize = 96;
+const CHIP_W: usize = 112;
+/// Raster chunk size: deliberately misaligned with the 48-pixel tile so
+/// tile writes straddle chunk boundaries.
+const RASTER_CHUNK: usize = 32;
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("stream_res_{}_{name}", std::process::id()))
+}
+
+fn model(seed: u64) -> Doinn {
+    let m = Doinn::new(DoinnConfig::tiny(), &mut seeded_rng(seed));
+    m.set_training(false);
+    m
+}
+
+fn chip(seed: u64) -> Tensor {
+    randn(&[1, 1, CHIP_H, CHIP_W], 0.5, &mut seeded_rng(seed))
+}
+
+fn cfg() -> StreamConfig {
+    StreamConfig::new(48, 16, 2)
+}
+
+/// One uninterrupted journal-free run into a fresh raster at `path`;
+/// returns the finalized file's bytes.
+fn baseline_bytes(streamer: &ChipStreamer, path: &PathBuf) -> Vec<u8> {
+    let mut src = chip(7);
+    let mut sink =
+        ChunkedRaster::create(path, CHIP_W, CHIP_H, RASTER_CHUNK).expect("create baseline raster");
+    let report = streamer
+        .stream_with_pool(&mut src, &mut sink, &cfg(), &Pool::new(1))
+        .expect("uninterrupted run");
+    assert!(report.is_clean());
+    drop(sink);
+    fs::read(path).expect("read baseline file")
+}
+
+#[test]
+fn killed_at_tile_k_then_resumed_is_byte_identical() {
+    let model = model(0xA5);
+    let streamer = ChipStreamer::new(&model, TRAIN);
+    let cfg = cfg();
+    let spec = streamer.journal_spec(CHIP_H, CHIP_W, &cfg);
+    let total = spec.tiles as usize;
+    assert_eq!(total, 6, "geometry drifted; update the kill points");
+
+    let base_path = tmp("baseline");
+    let want = baseline_bytes(&streamer, &base_path);
+
+    for k in [0, 1, total / 2, total - 1] {
+        for threads in [1usize, 2, 4] {
+            let pool = Pool::new(threads);
+            let rast = tmp(&format!("kill{k}_t{threads}"));
+            let jrnl = tmp(&format!("kill{k}_t{threads}.journal"));
+            let _ = fs::remove_file(&rast);
+            let _ = fs::remove_file(&jrnl);
+
+            // phase 1: run until the injected kill at sink write #k
+            let mut src = chip(7);
+            let mut sink = ChunkedRaster::create(&rast, CHIP_W, CHIP_H, RASTER_CHUNK)
+                .expect("create victim raster");
+            sink.inject_faults(FaultPlan::new().with_nth_write(
+                k as u64,
+                u32::MAX,
+                ErrorKind::Other,
+            ));
+            let mut journal = JobJournal::open_or_create(&jrnl, spec).expect("fresh journal");
+            let err = streamer
+                .resume_stream_with_pool(&mut src, &mut sink, &cfg, &mut journal, &pool)
+                .expect_err("the injected kill must abort the run");
+            assert_eq!(err.kind(), ErrorKind::Other, "k={k}, threads={threads}");
+            drop(sink);
+            drop(journal);
+
+            // phase 2: reopen everything and resume with no faults
+            let mut src = chip(7);
+            let mut sink = ChunkedRaster::resume(&rast).expect("reopen torn raster");
+            let mut journal = JobJournal::open_or_create(&jrnl, spec).expect("reopen journal");
+            let durable = journal.completed();
+            assert!(
+                durable < total,
+                "k={k}: the kill landed before the job finished"
+            );
+            let report = streamer
+                .resume_stream_with_pool(&mut src, &mut sink, &cfg, &mut journal, &pool)
+                .expect("resume must complete");
+            assert!(report.is_clean());
+            assert_eq!(
+                (report.skipped, report.computed),
+                (durable, total - durable),
+                "k={k}, threads={threads}: resume must recompute exactly the missing tiles"
+            );
+            drop(sink);
+
+            let got = fs::read(&rast).expect("read resumed file");
+            assert_eq!(
+                want, got,
+                "k={k}, threads={threads}: resumed raster differs from uninterrupted"
+            );
+            let _ = fs::remove_file(&rast);
+            let _ = fs::remove_file(&jrnl);
+        }
+    }
+    let _ = fs::remove_file(&base_path);
+}
+
+#[test]
+fn journaled_run_from_scratch_matches_plain_streaming() {
+    // a fresh journal is just crash-safety armour: same bytes out
+    let model = model(0xA5);
+    let streamer = ChipStreamer::new(&model, TRAIN);
+    let cfg = cfg();
+    let base_path = tmp("scratch_base");
+    let want = baseline_bytes(&streamer, &base_path);
+
+    let rast = tmp("scratch_journaled");
+    let jrnl = tmp("scratch_journaled.journal");
+    let _ = fs::remove_file(&jrnl);
+    let mut src = chip(7);
+    let mut sink =
+        ChunkedRaster::create(&rast, CHIP_W, CHIP_H, RASTER_CHUNK).expect("create raster");
+    let spec = streamer.journal_spec(CHIP_H, CHIP_W, &cfg);
+    let mut journal = JobJournal::open_or_create(&jrnl, spec).expect("fresh journal");
+    let report = streamer
+        .resume_stream_with_pool(&mut src, &mut sink, &cfg, &mut journal, &Pool::new(2))
+        .expect("journaled run");
+    assert_eq!((report.skipped, report.computed), (0, report.tiles()));
+    assert_eq!(journal.completed(), report.tiles());
+    drop(sink);
+    assert_eq!(want, fs::read(&rast).expect("read journaled file"));
+    for p in [&base_path, &rast, &jrnl] {
+        let _ = fs::remove_file(p);
+    }
+}
+
+#[test]
+fn journal_from_a_different_job_is_refused() {
+    let model = model(0xA5);
+    let streamer = ChipStreamer::new(&model, TRAIN);
+    let cfg = cfg();
+    let jrnl = tmp("mismatch.journal");
+    let _ = fs::remove_file(&jrnl);
+
+    // journal for a *different* halo: geometry mismatch
+    let other = StreamConfig::new(48, 8, 2);
+    let mut journal =
+        JobJournal::open_or_create(&jrnl, streamer.journal_spec(CHIP_H, CHIP_W, &other))
+            .expect("journal for the other job");
+
+    let rast = tmp("mismatch_raster");
+    let mut src = chip(7);
+    let mut sink =
+        ChunkedRaster::create(&rast, CHIP_W, CHIP_H, RASTER_CHUNK).expect("create raster");
+    let err = streamer
+        .resume_stream_with_pool(&mut src, &mut sink, &cfg, &mut journal, &Pool::new(1))
+        .expect_err("a mismatched journal must be refused");
+    assert_eq!(err.kind(), ErrorKind::InvalidData);
+    assert!(err.to_string().contains("does not match"), "{err}");
+    drop(sink);
+    for p in [&rast, &jrnl] {
+        let _ = fs::remove_file(p);
+    }
+}
